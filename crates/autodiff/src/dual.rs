@@ -1,0 +1,161 @@
+//! Forward-mode automatic differentiation with dual numbers.
+//!
+//! A [`Dual`] carries a value and one directional derivative; seeding the
+//! i-th input with tangent 1 and evaluating once yields `∂f/∂xᵢ` exactly.
+
+use crate::scalar::Scalar;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A dual number `v + εd` with `ε² = 0`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Dual {
+    /// The value (primal) part.
+    pub v: f64,
+    /// The derivative (tangent) part.
+    pub d: f64,
+}
+
+impl Dual {
+    /// A constant (zero tangent).
+    pub fn constant(v: f64) -> Dual {
+        Dual { v, d: 0.0 }
+    }
+
+    /// The i-th input variable: value `v`, tangent 1.
+    pub fn variable(v: f64) -> Dual {
+        Dual { v, d: 1.0 }
+    }
+}
+
+impl Add for Dual {
+    type Output = Dual;
+    fn add(self, o: Dual) -> Dual {
+        Dual { v: self.v + o.v, d: self.d + o.d }
+    }
+}
+
+impl Sub for Dual {
+    type Output = Dual;
+    fn sub(self, o: Dual) -> Dual {
+        Dual { v: self.v - o.v, d: self.d - o.d }
+    }
+}
+
+impl Mul for Dual {
+    type Output = Dual;
+    fn mul(self, o: Dual) -> Dual {
+        Dual { v: self.v * o.v, d: self.v * o.d + self.d * o.v }
+    }
+}
+
+impl Div for Dual {
+    type Output = Dual;
+    fn div(self, o: Dual) -> Dual {
+        Dual { v: self.v / o.v, d: (self.d * o.v - self.v * o.d) / (o.v * o.v) }
+    }
+}
+
+impl Neg for Dual {
+    type Output = Dual;
+    fn neg(self) -> Dual {
+        Dual { v: -self.v, d: -self.d }
+    }
+}
+
+impl PartialOrd for Dual {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.v.partial_cmp(&other.v)
+    }
+}
+
+impl Scalar for Dual {
+    fn from_f64(x: f64) -> Self {
+        Dual::constant(x)
+    }
+    fn value(&self) -> f64 {
+        self.v
+    }
+}
+
+/// Dual numbers form a loss monoid (component-wise addition), so a whole
+/// `selc` computation can run with `L = Dual` and propagate a tangent
+/// through every recorded loss — forward-mode AD through the loss channel.
+impl selc::Loss for Dual {
+    fn zero() -> Self {
+        Dual::constant(0.0)
+    }
+    fn combine(&self, other: &Self) -> Self {
+        *self + *other
+    }
+}
+
+/// The gradient of a [`Scalar`]-generic function at `at`, by n forward
+/// passes (one per coordinate).
+pub fn grad<F>(f: F, at: &[f64]) -> Vec<f64>
+where
+    F: Fn(&[Dual]) -> Dual,
+{
+    (0..at.len())
+        .map(|i| {
+            let inputs: Vec<Dual> = at
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| if i == j { Dual::variable(v) } else { Dual::constant(v) })
+                .collect();
+            f(&inputs).d
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_rule() {
+        let x = Dual::variable(3.0);
+        let c = Dual::constant(4.0);
+        let y = x * x * c; // 4x², d/dx = 8x = 24
+        assert_eq!(y.v, 36.0);
+        assert_eq!(y.d, 24.0);
+    }
+
+    #[test]
+    fn quotient_rule() {
+        let x = Dual::variable(2.0);
+        let y = Dual::constant(1.0) / x; // 1/x, d = -1/x² = -0.25
+        assert_eq!(y.v, 0.5);
+        assert_eq!(y.d, -0.25);
+    }
+
+    #[test]
+    fn neg_and_sub() {
+        let x = Dual::variable(5.0);
+        let y = -(x - Dual::constant(2.0)); // -(x-2), d = -1
+        assert_eq!(y.v, -3.0);
+        assert_eq!(y.d, -1.0);
+    }
+
+    #[test]
+    fn grad_of_two_vars() {
+        // f = x·y, ∇ = (y, x)
+        let g = grad(|p| p[0] * p[1], &[2.0, 7.0]);
+        assert_eq!(g, vec![7.0, 2.0]);
+    }
+
+    #[test]
+    fn ordering_uses_primal() {
+        assert!(Dual::variable(1.0) < Dual::constant(2.0));
+    }
+
+    #[test]
+    fn dual_losses_accumulate_with_tangents() {
+        use selc::{loss, Loss, Sel};
+        let prog: Sel<Dual, ()> = loss(Dual { v: 2.0, d: 1.0 })
+            .then(loss(Dual { v: 3.0, d: 0.5 }))
+            .map(|_| ());
+        let (l, ()) = prog.run_unwrap();
+        assert_eq!(l, Dual { v: 5.0, d: 1.5 });
+        assert_eq!(<Dual as Loss>::zero(), Dual::constant(0.0));
+    }
+}

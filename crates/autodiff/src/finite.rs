@@ -1,0 +1,92 @@
+//! Central finite differences over black-box functions.
+//!
+//! This is the engine the gradient-descent *handler* uses: the choice
+//! continuation is an opaque effectful function from parameters to loss,
+//! so `∂f/∂xᵢ ≈ (f(x + h·eᵢ) − f(x − h·eᵢ)) / 2h`. Each partial costs two
+//! invocations of the continuation — the recomputation cost §6 of the
+//! paper discusses.
+
+/// Default step: `h = ε^(1/3) · max(1, |xᵢ|)` is the usual optimum for
+/// central differences; we use the cube root of machine epsilon.
+const DEFAULT_REL_STEP: f64 = 6.055454452393343e-6; // f64::EPSILON.cbrt()
+
+/// Gradient of `f` at `at` by central differences with a per-coordinate
+/// relative step.
+pub fn finite_diff<F>(f: F, at: &[f64]) -> Vec<f64>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    finite_diff_with_step(f, at, DEFAULT_REL_STEP)
+}
+
+/// Gradient of `f` at `at` by central differences with relative step
+/// `rel_step`.
+///
+/// # Panics
+///
+/// Panics if `rel_step` is not strictly positive.
+pub fn finite_diff_with_step<F>(mut f: F, at: &[f64], rel_step: f64) -> Vec<f64>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(rel_step > 0.0, "step must be positive");
+    let mut xs = at.to_vec();
+    let mut out = Vec::with_capacity(at.len());
+    for i in 0..at.len() {
+        let h = rel_step * at[i].abs().max(1.0);
+        let orig = xs[i];
+        xs[i] = orig + h;
+        let fp = f(&xs);
+        xs[i] = orig - h;
+        let fm = f(&xs);
+        xs[i] = orig;
+        out.push((fp - fm) / (2.0 * h));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_of_quadratic() {
+        // f = (x-3)² + (y+1)², ∇ = (2(x-3), 2(y+1))
+        let f = |p: &[f64]| (p[0] - 3.0).powi(2) + (p[1] + 1.0).powi(2);
+        let g = finite_diff(f, &[0.0, 0.0]);
+        assert!((g[0] + 6.0).abs() < 1e-6, "{g:?}");
+        assert!((g[1] - 2.0).abs() < 1e-6, "{g:?}");
+    }
+
+    #[test]
+    fn counts_two_evals_per_coordinate() {
+        let mut calls = 0;
+        let _ = finite_diff(
+            |p| {
+                calls += 1;
+                p.iter().sum()
+            },
+            &[1.0, 2.0, 3.0],
+        );
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn custom_step_still_accurate_on_linear() {
+        let g = finite_diff_with_step(|p| 4.0 * p[0] - 2.0 * p[1], &[10.0, -10.0], 1e-3);
+        assert!((g[0] - 4.0).abs() < 1e-9);
+        assert!((g[1] + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        let _ = finite_diff_with_step(|p| p[0], &[1.0], 0.0);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_gradient() {
+        let g = finite_diff(|_| 42.0, &[]);
+        assert!(g.is_empty());
+    }
+}

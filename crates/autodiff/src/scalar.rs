@@ -1,0 +1,52 @@
+//! A minimal scalar abstraction so numeric code can run over `f64` or
+//! dual numbers.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A differentiable scalar: the operations needed by the regression and
+/// game losses of the paper's examples.
+pub trait Scalar:
+    Clone
+    + std::fmt::Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + PartialOrd
+    + 'static
+{
+    /// Lift a constant.
+    fn from_f64(x: f64) -> Self;
+    /// The primal (value) part.
+    fn value(&self) -> f64;
+    /// Squaring helper (common in losses).
+    fn sq(&self) -> Self {
+        self.clone() * self.clone()
+    }
+}
+
+impl Scalar for f64 {
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn value(&self) -> f64 {
+        *self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad<S: Scalar>(x: S) -> S {
+        x.sq() + S::from_f64(1.0)
+    }
+
+    #[test]
+    fn f64_is_a_scalar() {
+        assert_eq!(quad(3.0_f64), 10.0);
+        assert_eq!(3.0_f64.value(), 3.0);
+        assert_eq!(<f64 as Scalar>::from_f64(2.5), 2.5);
+    }
+}

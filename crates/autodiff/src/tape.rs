@@ -1,0 +1,205 @@
+//! Reverse-mode automatic differentiation on an explicit tape.
+//!
+//! One forward pass builds the computation graph; one backward sweep
+//! yields all partials. This is the engine a production ML stack would
+//! use, and serves as the exact-gradient baseline for the SGD experiments
+//! (E4) — the paper's `autodiff` is a black box, so we validate the
+//! finite-difference substitute against this.
+
+/// A node index on the tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    // Up to two parents with local partial derivatives.
+    parents: [(usize, f64); 2],
+    n_parents: u8,
+}
+
+/// A gradient tape. Build expressions with the arithmetic methods, then
+/// call [`Tape::backward`].
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    values: Vec<f64>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Tape {
+        Tape::default()
+    }
+
+    fn push(&mut self, value: f64, parents: [(usize, f64); 2], n_parents: u8) -> Var {
+        self.nodes.push(Node { parents, n_parents });
+        self.values.push(value);
+        Var(self.nodes.len() - 1)
+    }
+
+    /// A leaf variable.
+    pub fn var(&mut self, value: f64) -> Var {
+        self.push(value, [(0, 0.0), (0, 0.0)], 0)
+    }
+
+    /// The current value of a variable.
+    pub fn value(&self, v: Var) -> f64 {
+        self.values[v.0]
+    }
+
+    /// `a + b`
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        self.push(self.values[a.0] + self.values[b.0], [(a.0, 1.0), (b.0, 1.0)], 2)
+    }
+
+    /// `a - b`
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        self.push(self.values[a.0] - self.values[b.0], [(a.0, 1.0), (b.0, -1.0)], 2)
+    }
+
+    /// `a * b`
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.values[a.0], self.values[b.0]);
+        self.push(va * vb, [(a.0, vb), (b.0, va)], 2)
+    }
+
+    /// `a + c` for a constant `c`
+    pub fn add_const(&mut self, a: Var, c: f64) -> Var {
+        self.push(self.values[a.0] + c, [(a.0, 1.0), (0, 0.0)], 1)
+    }
+
+    /// `a - c` for a constant `c`
+    pub fn sub_const(&mut self, a: Var, c: f64) -> Var {
+        self.push(self.values[a.0] - c, [(a.0, 1.0), (0, 0.0)], 1)
+    }
+
+    /// `a * c` for a constant `c`
+    pub fn mul_const(&mut self, a: Var, c: f64) -> Var {
+        self.push(self.values[a.0] * c, [(a.0, c), (0, 0.0)], 1)
+    }
+
+    /// `a / b`
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.values[a.0], self.values[b.0]);
+        self.push(va / vb, [(a.0, 1.0 / vb), (b.0, -va / (vb * vb))], 2)
+    }
+
+    /// `-a`
+    pub fn neg(&mut self, a: Var) -> Var {
+        self.mul_const(a, -1.0)
+    }
+
+    /// `a²`
+    pub fn sq(&mut self, a: Var) -> Var {
+        self.mul(a, a)
+    }
+
+    /// Reverse sweep from `output`: returns `∂output/∂node` for every node.
+    pub fn backward(&self, output: Var) -> Vec<f64> {
+        let mut adj = vec![0.0; self.nodes.len()];
+        adj[output.0] = 1.0;
+        for i in (0..=output.0).rev() {
+            let node = self.nodes[i];
+            let a = adj[i];
+            if a == 0.0 {
+                continue;
+            }
+            for j in 0..node.n_parents as usize {
+                let (p, d) = node.parents[j];
+                adj[p] += a * d;
+            }
+        }
+        adj
+    }
+
+    /// Gradient with respect to the given leaf variables.
+    pub fn grad_of(&self, output: Var, wrt: &[Var]) -> Vec<f64> {
+        let adj = self.backward(output);
+        wrt.iter().map(|v| adj[v.0]).collect()
+    }
+}
+
+/// Convenience: gradient of `f` (expressed in tape operations) at `at`.
+pub fn grad<F>(f: F, at: &[f64]) -> Vec<f64>
+where
+    F: FnOnce(&mut Tape, &[Var]) -> Var,
+{
+    let mut tape = Tape::new();
+    let vars: Vec<Var> = at.iter().map(|&x| tape.var(x)).collect();
+    let out = f(&mut tape, &vars);
+    tape.grad_of(out, &vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_product() {
+        // f = x*y at (3, 4): ∇ = (4, 3)
+        let g = grad(|t, v| t.mul(v[0], v[1]), &[3.0, 4.0]);
+        assert_eq!(g, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn chain_of_operations() {
+        // f = (x + 2y)² at (1, 2): f=25, ∂x = 2(x+2y) = 10, ∂y = 4(x+2y) = 20
+        let g = grad(
+            |t, v| {
+                let two_y = t.mul_const(v[1], 2.0);
+                let s = t.add(v[0], two_y);
+                t.sq(s)
+            },
+            &[1.0, 2.0],
+        );
+        assert_eq!(g, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn division() {
+        // f = x / y at (6, 3): ∂x = 1/3, ∂y = -6/9
+        let g = grad(|t, v| t.div(v[0], v[1]), &[6.0, 3.0]);
+        assert!((g[0] - 1.0 / 3.0).abs() < 1e-15);
+        assert!((g[1] + 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // f = x*x + x at 5: ∂ = 2x + 1 = 11
+        let g = grad(
+            |t, v| {
+                let s = t.sq(v[0]);
+                t.add(s, v[0])
+            },
+            &[5.0],
+        );
+        assert_eq!(g, vec![11.0]);
+    }
+
+    #[test]
+    fn values_are_observable() {
+        let mut t = Tape::new();
+        let x = t.var(2.0);
+        let y = t.add_const(x, 3.0);
+        assert_eq!(t.value(y), 5.0);
+        let z = t.neg(y);
+        assert_eq!(t.value(z), -5.0);
+        let w = t.sub_const(z, 1.0);
+        assert_eq!(t.value(w), -6.0);
+    }
+
+    #[test]
+    fn regression_loss_gradient() {
+        // L = (wx + b - t)² at w=1, b=0, x=2, t=5 → err=-3, ∂w = 2·err·x = -12, ∂b = -6
+        let g = grad(
+            |t, v| {
+                let pred = t.mul_const(v[0], 2.0);
+                let pred = t.add(pred, v[1]);
+                let err = t.sub_const(pred, 5.0);
+                t.sq(err)
+            },
+            &[1.0, 0.0],
+        );
+        assert_eq!(g, vec![-12.0, -6.0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! A1 (ablation): what does selecting through a handler cost relative to
+//! a direct argmin? Sweeps the number of candidates; the handler probes
+//! each candidate through its choice continuation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selc_bench::nway::{direct_argmin, handler_argmin};
+use std::rc::Rc;
+
+fn bench(c: &mut Criterion) {
+    let costs = Rc::new(vec![3.0, 1.0, 4.0, 1.5]);
+    assert_eq!(handler_argmin(&costs), direct_argmin(&costs));
+    println!("A1: handler argmin == direct argmin; measuring the abstraction cost");
+
+    let mut g = c.benchmark_group("a1_overhead");
+    for n in [4usize, 64, 512] {
+        let costs: Rc<Vec<f64>> =
+            Rc::new((0..n).map(|i| ((i * 2654435761) % 1000) as f64).collect());
+        g.bench_with_input(BenchmarkId::new("handler", n), &costs, |b, costs| {
+            b.iter(|| std::hint::black_box(handler_argmin(costs)));
+        });
+        g.bench_with_input(BenchmarkId::new("direct", n), &costs, |b, costs| {
+            b.iter(|| std::hint::black_box(direct_argmin(costs)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! A2 (ablation, §6): choice continuations share work with the delimited
+//! continuation; each probe re-runs the future, and in a chain of probed
+//! choices the futures probe recursively — cost grows *exponentially*
+//! (≈3^n here: two probes plus one resumption per step). This is exactly
+//! the recomputation the paper's future-work section proposes to tame
+//! with memoisation and the Hartmann–Schrijvers–Gibbons generalised
+//! selection monad.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selc::handle;
+use selc_bench::{argmin_handler, costed_decide_chain};
+
+fn bench(c: &mut Criterion) {
+    println!("A2: argmin probes both branches at every step; per-step probes recurse, cost ~ 3^n");
+    let mut g = c.benchmark_group("a2_choice_cost");
+    for n in [2usize, 4, 6, 8, 10] {
+        g.bench_with_input(BenchmarkId::new("costed_chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let out = handle(&argmin_handler(), costed_decide_chain(n)).run_unwrap();
+                std::hint::black_box(out)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

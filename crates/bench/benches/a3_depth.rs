@@ -1,0 +1,22 @@
+//! A3 (ablation): cost of forwarding through towers of nested handlers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selc_bench::nested_handler_tower;
+
+fn bench(c: &mut Criterion) {
+    println!("A3: nested handler towers forward unhandled nodes through each fold");
+    let mut g = c.benchmark_group("a3_depth");
+    for depth in [0usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("tower", depth), &depth, |b, &depth| {
+            b.iter(|| std::hint::black_box(nested_handler_tower(depth, 6)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

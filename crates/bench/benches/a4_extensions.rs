@@ -1,0 +1,60 @@
+//! A4 (extensions): the future-work features built on top of the paper —
+//! GAN-style saddle training with paired descent/ascent handlers,
+//! alternating game trees with per-ply handlers vs. negamax, polynomial
+//! regression, and probe memoisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selc_games::alternating::GameTree;
+use selc_ml::polyreg::{train_poly_sgd, PolyDataset};
+use selc_ml::saddle::train;
+
+fn bench(c: &mut Criterion) {
+    // reproduce the extension results once
+    let (x, y) = train(
+        |x: &[f64], y: &[f64]| (x[0] - 1.0).powi(2) - (y[0] - 2.0).powi(2),
+        vec![0.0],
+        vec![0.0],
+        0.2,
+        60,
+    );
+    assert!((x[0] - 1.0).abs() < 1e-3 && (y[0] - 2.0).abs() < 1e-3);
+    println!("A4: descent/ascent handlers find the saddle (1, 2)");
+
+    let t = GameTree::random(2, 4, 11);
+    assert_eq!(t.solve_handlers().1, t.solve_backward().1);
+    println!("A4: per-ply handlers = backward induction at depth 4");
+
+    let mut g = c.benchmark_group("a4_extensions");
+    g.bench_function("saddle_10_rounds", |b| {
+        b.iter(|| {
+            std::hint::black_box(train(
+                |x: &[f64], y: &[f64]| (x[0] - 1.0).powi(2) - (y[0] - 2.0).powi(2),
+                vec![0.0],
+                vec![0.0],
+                0.2,
+                10,
+            ))
+        })
+    });
+    for depth in [2usize, 3, 4] {
+        let t = GameTree::random(2, depth, 5);
+        g.bench_with_input(BenchmarkId::new("game_tree_handlers", depth), &t, |b, t| {
+            b.iter(|| std::hint::black_box(t.solve_handlers()));
+        });
+        g.bench_with_input(BenchmarkId::new("game_tree_negamax", depth), &t, |b, t| {
+            b.iter(|| std::hint::black_box(t.solve_backward()));
+        });
+    }
+    let d = PolyDataset::generate(32, vec![0.5, 1.0, -0.8], 0.0, 9);
+    g.bench_function("polyreg_epoch", |b| {
+        b.iter(|| std::hint::black_box(train_poly_sgd(&d, 2, 0.08, 1)));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

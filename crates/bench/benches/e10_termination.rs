@@ -1,0 +1,47 @@
+//! E10 (§3.4): the well-foundedness check and fuel-bounded divergence
+//! detection on `moo`, plus termination of generated hierarchical
+//! programs (Theorem 3.5 in the small).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lambda_c::testgen::{gen_signature, ProgramGen};
+
+fn bench(c: &mut Criterion) {
+    let moo = lambda_c::examples::moo_divergent();
+    assert!(moo.sig.check_well_founded().is_err());
+    println!("E10: moo rejected by the well-foundedness check; hierarchical programs terminate");
+
+    let sig = gen_signature();
+    c.benchmark_group("e10_termination")
+        .bench_function("well_foundedness_check", |b| {
+            b.iter(|| {
+                std::hint::black_box(sig.check_well_founded().unwrap());
+                std::hint::black_box(moo.sig.check_well_founded().err());
+            })
+        })
+        .bench_function("moo_fuel_200", |b| {
+            let g = lambda_c::Expr::zero_cont(moo.ty.clone(), moo.eff.clone()).rc();
+            b.iter(|| {
+                std::hint::black_box(
+                    lambda_c::eval(&moo.sig, &g, &moo.eff, moo.expr.clone(), 200).is_err(),
+                )
+            })
+        })
+        .bench_function("generated_terminate", |b| {
+            let programs: Vec<_> =
+                (100..116).map(|s| ProgramGen::new(s).gen_program(4, false)).collect();
+            b.iter(|| {
+                for p in &programs {
+                    let g = lambda_c::Expr::zero_cont(p.ty.clone(), p.eff.clone()).rc();
+                    let out = lambda_c::eval(&sig, &g, &p.eff, p.expr.clone(), 1_000_000).unwrap();
+                    std::hint::black_box(out.steps);
+                }
+            })
+        });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

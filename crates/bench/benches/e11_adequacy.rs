@@ -1,0 +1,34 @@
+//! E11 (Thm 5.4/5.5): the denotational semantics differentially checked
+//! against the operational one — on the paper's pgm and on generated
+//! programs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lambda_c::testgen::{gen_signature, ProgramGen};
+use selc_denote::check_adequacy;
+
+fn bench(c: &mut Criterion) {
+    let ex = lambda_c::examples::pgm_with_argmin_handler();
+    check_adequacy(&ex.sig, &ex.expr, &ex.ty, &ex.eff, 3).unwrap();
+    println!("E11: S[pgm] L[0] = (2, 'a') = big-step result — adequacy holds");
+
+    let sig = gen_signature();
+    let programs: Vec<_> = (200..212).map(|s| ProgramGen::new(s).gen_program(3, s % 2 == 0)).collect();
+    c.benchmark_group("e11_adequacy")
+        .bench_function("pgm", |b| {
+            b.iter(|| check_adequacy(&ex.sig, &ex.expr, &ex.ty, &ex.eff, 3).unwrap())
+        })
+        .bench_function("generated", |b| {
+            b.iter(|| {
+                for p in &programs {
+                    check_adequacy(&sig, &p.expr, &p.ty, &p.eff, 2).unwrap();
+                }
+            })
+        });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E1 (§2.2/§4.1): non-deterministic enumeration. Reproduces
+//! `[True,False,False,False]` and times all-results enumeration as the
+//! number of sequential decides grows (result count = 2^n), in both the
+//! library and the λC interpreter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selc::handle;
+use selc_bench::{all_results_handler, decide_chain};
+
+fn bench(c: &mut Criterion) {
+    // reproduce the paper's values once
+    let (_, all) = handle(&all_results_handler(), decide_chain(2)).run_unwrap();
+    assert_eq!(all, vec![true, false, false, false]);
+    println!("E1: 2 decides enumerate {all:?} (paper: [True,False,False,False])");
+
+    let mut g = c.benchmark_group("e1_ndet");
+    for n in [2usize, 4, 8, 12] {
+        g.bench_with_input(BenchmarkId::new("selc_all_results", n), &n, |b, &n| {
+            b.iter(|| {
+                let (_, all) = handle(&all_results_handler(), decide_chain(n)).run_unwrap();
+                std::hint::black_box(all.len())
+            });
+        });
+    }
+    // the λC interpreter on the fixed §2.2 program
+    let ex = lambda_c::examples::decide_all();
+    g.bench_function("lambda_c_decide_all", |b| {
+        b.iter(|| {
+            let out = lambda_c::eval_closed(
+                &ex.sig,
+                ex.expr.clone(),
+                ex.ty.clone(),
+                ex.eff.clone(),
+            )
+            .unwrap();
+            std::hint::black_box(out.steps)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E3 (§4.3): greedy password selection. Reproduces "password is abc"
+//! and sweeps the candidate-list size for the handler vs. the direct
+//! greedy baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selc_ml::password::{password_baseline, run_password};
+
+fn candidates(n: usize) -> Vec<String> {
+    // distinct rewards: longer suffixes of the alphabet
+    (0..n)
+        .map(|i| {
+            let len = 1 + i % 24;
+            ('a'..='z').take(len).collect::<String>() + &"x".repeat(i % 3)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let (reward, msg) = run_password(vec!["aaa".into(), "aabb".into(), "abc".into()]);
+    assert_eq!((reward, msg.as_str()), (12.0, "password is abc"));
+    println!("E3: {msg} (reward {reward}) — paper: password is abc");
+
+    let mut g = c.benchmark_group("e3_password");
+    for n in [4usize, 32, 256] {
+        let cs = candidates(n);
+        g.bench_with_input(BenchmarkId::new("handler", n), &cs, |b, cs| {
+            b.iter(|| std::hint::black_box(run_password(cs.clone())));
+        });
+        g.bench_with_input(BenchmarkId::new("baseline", n), &cs, |b, cs| {
+            b.iter(|| std::hint::black_box(password_baseline(cs)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

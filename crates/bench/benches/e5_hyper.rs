@@ -1,0 +1,41 @@
+//! E5 (§4.3): hyperparameter grid search with `tuneLR` — the handler
+//! that probes every rate through the choice continuation and never
+//! resumes. Sweeps the grid size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selc::{handle, loss, perform, Sel};
+use selc_ml::hyper::tune_lr;
+use selc_ml::optimize::{gd_handler_tuned, Optimize};
+
+fn step_prog() -> Sel<f64, Vec<f64>> {
+    let prog = perform::<f64, Optimize>(vec![0.0]).and_then(|p| {
+        let e = p[0] - 3.0;
+        loss(e * e).map(move |_| p.clone())
+    });
+    handle(&gd_handler_tuned(), prog)
+}
+
+fn bench(c: &mut Criterion) {
+    let (_, alpha) = handle(&tune_lr(vec![1.0, 0.5]), step_prog()).run_unwrap();
+    assert_eq!(alpha, 0.5);
+    println!("E5: tuneLR {{1.0, 0.5}} picks 0.5 (paper: the rate with smaller loss)");
+
+    let mut g = c.benchmark_group("e5_hyper");
+    for n in [2usize, 8, 32] {
+        let grid: Vec<f64> = (1..=n).map(|i| i as f64 / n as f64).collect();
+        g.bench_with_input(BenchmarkId::new("tune_lr", n), &grid, |b, grid| {
+            b.iter(|| {
+                let (_, a) = handle(&tune_lr(grid.clone()), step_prog()).run_unwrap();
+                std::hint::black_box(a)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E6 (§4.3): minimax games — nested Max/Min handlers vs. the §2.1
+//! selection product vs. backward induction, swept over board size.
+//! Reproduces (Left, Right) with value 3 on the paper's table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selc_games::bimatrix::Matrix;
+use selc_games::minimax::{minimax_handler, minimax_selection};
+
+fn bench(c: &mut Criterion) {
+    let m = Matrix::paper_example();
+    assert_eq!(minimax_handler(&m), ((0, 1), 3.0));
+    println!("E6: paper table solved: (Left, Right), value 3 — all solvers agree");
+
+    let mut g = c.benchmark_group("e6_minimax");
+    for d in [2usize, 8, 24] {
+        let m = Matrix::random(d, d, 5);
+        g.bench_with_input(BenchmarkId::new("handlers", d), &m, |b, m| {
+            b.iter(|| std::hint::black_box(minimax_handler(m)));
+        });
+        g.bench_with_input(BenchmarkId::new("selection_product", d), &m, |b, m| {
+            b.iter(|| std::hint::black_box(minimax_selection(m)));
+        });
+        g.bench_with_input(BenchmarkId::new("backward_induction", d), &m, |b, m| {
+            b.iter(|| std::hint::black_box(m.maximin()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E7 (§4.3): prisoner's dilemma via the `hNash` handler. Reproduces
+//! (Stay Left, Stay Left) in 2 steps; times the handler dynamics vs.
+//! enumeration on random games.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selc_games::bimatrix::Bimatrix;
+use selc_games::nash::{solve_nash, Step, Strategy};
+
+fn bench(c: &mut Criterion) {
+    let pd = Bimatrix::prisoners_dilemma();
+    let ((a, b), n) = solve_nash(&pd, (Strategy::Cooperate, Strategy::Cooperate));
+    assert_eq!((a, b), (Step::Stay(Strategy::Defect), Step::Stay(Strategy::Defect)));
+    assert_eq!(n, 2);
+    println!("E7: prisoner's dilemma → (Stay Defect, Stay Defect) in {n} steps (paper: 2)");
+
+    let games: Vec<Bimatrix> = (0..16).map(|s| Bimatrix::random(2, 2, s)).collect();
+    c.benchmark_group("e7_nash")
+        .bench_function("hNash_pd", |b| {
+            b.iter(|| {
+                std::hint::black_box(solve_nash(&pd, (Strategy::Cooperate, Strategy::Cooperate)))
+            })
+        })
+        .bench_function("hNash_random_2x2", |b| {
+            b.iter(|| {
+                for g in &games {
+                    std::hint::black_box(solve_nash(g, (Strategy::Cooperate, Strategy::Defect)));
+                }
+            })
+        })
+        .bench_function("enumeration_random_2x2", |b| {
+            b.iter(|| {
+                for g in &games {
+                    std::hint::black_box(g.pure_nash_equilibria());
+                }
+            })
+        });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

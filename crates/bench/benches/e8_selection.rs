@@ -1,0 +1,42 @@
+//! E8 (§2.1): the pure selection monad — one-move games via Kleisli
+//! extension and the Escardó–Oliva product, swept over move counts, plus
+//! n-queens via iterated products.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selc_games::queens::{queens_backtracking, queens_selection};
+use selection::{argmax, argmin, product};
+
+fn bench(c: &mut Criterion) {
+    let table = [[5.0_f64, 3.0], [2.0, 9.0]];
+    let s = product::pair(argmax(vec![0usize, 1]), argmin(vec![0usize, 1]));
+    assert_eq!(s.select(move |&(x, y)| table[x][y]), (0, 1));
+    println!("E8: §2.1 product solves the one-move game: (Left, Right)");
+
+    let mut g = c.benchmark_group("e8_selection");
+    for d in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("pair_product", d), &d, |b, &d| {
+            let rows: Vec<usize> = (0..d).collect();
+            let cols: Vec<usize> = (0..d).collect();
+            b.iter(|| {
+                let s = product::pair(argmax(rows.clone()), argmin(cols.clone()));
+                std::hint::black_box(s.select(move |&(x, y)| ((x * 7 + y * 3) % 11) as f64))
+            });
+        });
+    }
+    for n in [4usize, 5] {
+        g.bench_with_input(BenchmarkId::new("queens_selection", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(queens_selection(n)));
+        });
+        g.bench_with_input(BenchmarkId::new("queens_backtracking", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(queens_backtracking(n)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

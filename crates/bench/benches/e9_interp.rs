@@ -1,0 +1,45 @@
+//! E9 (§3.3): λC interpreter throughput — steps per second on the worked
+//! example and on generated programs (typecheck + evaluate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lambda_c::testgen::{gen_signature, ProgramGen};
+
+fn bench(c: &mut Criterion) {
+    let ex = lambda_c::examples::pgm_with_argmin_handler();
+    let out = lambda_c::eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone()).unwrap();
+    println!("E9: pgm reduces in {} small steps", out.steps);
+
+    let sig = gen_signature();
+    let programs: Vec<_> = (0..24).map(|s| ProgramGen::new(s).gen_program(4, false)).collect();
+
+    c.benchmark_group("e9_interp")
+        .bench_function("pgm_eval", |b| {
+            b.iter(|| {
+                let out = lambda_c::eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone()).unwrap();
+                std::hint::black_box(out.steps)
+            })
+        })
+        .bench_function("generated_typecheck", |b| {
+            b.iter(|| {
+                for p in &programs {
+                    std::hint::black_box(lambda_c::check_program(&sig, &p.expr, &p.eff).unwrap());
+                }
+            })
+        })
+        .bench_function("generated_eval", |b| {
+            b.iter(|| {
+                for p in &programs {
+                    let g = lambda_c::Expr::zero_cont(p.ty.clone(), p.eff.clone()).rc();
+                    let out = lambda_c::eval(&sig, &g, &p.eff, p.expr.clone(), 1_000_000).unwrap();
+                    std::hint::black_box(out.steps);
+                }
+            })
+        });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

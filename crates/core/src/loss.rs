@@ -1,0 +1,116 @@
+//! The loss monoid `R`.
+//!
+//! The paper's library makes the loss type "any `Monoid` (not just a
+//! specific numerical type)" (§4.2). [`Loss`] is that monoid: `zero` is the
+//! unit and `combine` the (commutative) addition used to aggregate the
+//! losses recorded by [`loss()`](crate::sel::loss).
+
+/// A commutative monoid of losses.
+///
+/// Implementations must satisfy, up to the type's own notion of equality:
+///
+/// * `l.combine(&Loss::zero()) == l` and `Loss::zero().combine(&l) == l`;
+/// * `a.combine(&b.combine(&c)) == a.combine(&b).combine(&c)`;
+/// * `a.combine(&b) == b.combine(&a)` (the paper assumes commutativity —
+///   semantically, `loss` commutes with the other operations).
+pub trait Loss: Clone + std::fmt::Debug + 'static {
+    /// The monoid unit `0`.
+    fn zero() -> Self;
+    /// The monoid operation `+`.
+    fn combine(&self, other: &Self) -> Self;
+}
+
+impl Loss for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn combine(&self, other: &Self) -> Self {
+        self + other
+    }
+}
+
+impl Loss for f32 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn combine(&self, other: &Self) -> Self {
+        self + other
+    }
+}
+
+impl Loss for i64 {
+    fn zero() -> Self {
+        0
+    }
+    fn combine(&self, other: &Self) -> Self {
+        self + other
+    }
+}
+
+/// The trivial monoid — programs that never consult losses.
+impl Loss for () {
+    fn zero() -> Self {}
+    fn combine(&self, _other: &Self) -> Self {}
+}
+
+/// Product monoid, combined component-wise. Used for multi-objective
+/// losses, e.g. the prisoner's-dilemma sentence pairs of §4.3.
+impl<A: Loss, B: Loss> Loss for (A, B) {
+    fn zero() -> Self {
+        (A::zero(), B::zero())
+    }
+    fn combine(&self, other: &Self) -> Self {
+        (self.0.combine(&other.0), self.1.combine(&other.1))
+    }
+}
+
+/// Element-wise vector monoid, padding the shorter vector with zeros (so
+/// `zero` can be the empty vector regardless of dimension).
+impl Loss for Vec<f64> {
+    fn zero() -> Self {
+        Vec::new()
+    }
+    fn combine(&self, other: &Self) -> Self {
+        let n = self.len().max(other.len());
+        (0..n)
+            .map(|i| self.get(i).copied().unwrap_or(0.0) + other.get(i).copied().unwrap_or(0.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_monoid_laws() {
+        let a = 1.5_f64;
+        let b = -2.0;
+        let c = 4.25;
+        assert_eq!(a.combine(&f64::zero()), a);
+        assert_eq!(a.combine(&b), b.combine(&a));
+        assert_eq!(a.combine(&b).combine(&c), a.combine(&b.combine(&c)));
+    }
+
+    #[test]
+    fn pair_monoid_componentwise() {
+        let a = (1.0_f64, 2.0_f64);
+        let b = (3.0, -2.0);
+        assert_eq!(a.combine(&b), (4.0, 0.0));
+        assert_eq!(<(f64, f64)>::zero(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn vec_monoid_pads() {
+        let a = vec![1.0, 2.0];
+        let b = vec![10.0];
+        assert_eq!(a.combine(&b), vec![11.0, 2.0]);
+        assert_eq!(Vec::<f64>::zero().combine(&a), a);
+    }
+
+    #[test]
+    fn unit_monoid_is_trivial() {
+        assert_eq!(<()>::zero(), ());
+        assert_eq!(().combine(&()), ());
+    }
+}

@@ -1,0 +1,218 @@
+//! Probe memoisation — the §6 future-work direction made concrete.
+//!
+//! §6: "the choice continuation shares expressions with the delimited
+//! continuation (though this need not lead to recomputations) … we expect
+//! that further program transformations and advanced compiler
+//! optimizations (e.g., memoization) will mitigate recomputations."
+//!
+//! [`MemoChoice`] wraps a [`Choice`] with a per-activation cache keyed by
+//! the candidate result: probing the same candidate twice costs one run.
+//! This is sound because probes are observationally pure (they advance
+//! nothing and record nothing — a property pinned down by
+//! `tests/laws.rs::probes_are_observationally_pure`) and the wrapped
+//! choice continuation is fixed for the lifetime of one clause
+//! invocation.
+//!
+//! What it does **not** do — and cannot do soundly at this level — is
+//! share work between a probe and the eventual *resumption*: resuming
+//! must actually perform the future's effects, so the Hartmann–Schrijvers
+//! –Gibbons generalised selection monad (which returns choice and loss
+//! together) remains the real fix for that half of the cost.
+
+use crate::handler::Choice;
+use crate::loss::Loss;
+use crate::sel::Sel;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::rc::Rc;
+
+/// A memoising wrapper around a choice continuation. Create with
+/// [`MemoChoice::new`] (hashable candidates) or [`MemoChoice::with_key`]
+/// (explicit key function, e.g. for `f64`-valued candidates).
+pub struct MemoChoice<L, R, K = R>
+where
+    K: Eq + Hash,
+{
+    inner: Choice<L, R>,
+    key: Rc<dyn Fn(&R) -> K>,
+    cache: Rc<RefCell<HashMap<K, L>>>,
+    probes: Rc<RefCell<u64>>,
+}
+
+impl<L, R, K: Eq + Hash> Clone for MemoChoice<L, R, K> {
+    fn clone(&self) -> Self {
+        MemoChoice {
+            inner: self.inner.clone(),
+            key: Rc::clone(&self.key),
+            cache: Rc::clone(&self.cache),
+            probes: Rc::clone(&self.probes),
+        }
+    }
+}
+
+impl<L: Loss, R: Clone + Eq + Hash + 'static> MemoChoice<L, R, R> {
+    /// Memoises by the candidate value itself.
+    pub fn new(inner: &Choice<L, R>) -> MemoChoice<L, R, R> {
+        MemoChoice::with_key(inner, |r: &R| r.clone())
+    }
+}
+
+impl<L: Loss, R: Clone + 'static, K: Clone + Eq + Hash + 'static> MemoChoice<L, R, K> {
+    /// Memoises by an explicit key (use when `R` is not hashable, e.g.
+    /// quantise `f64` candidates to bits).
+    pub fn with_key(inner: &Choice<L, R>, key: impl Fn(&R) -> K + 'static) -> MemoChoice<L, R, K> {
+        MemoChoice {
+            inner: inner.clone(),
+            key: Rc::new(key),
+            cache: Rc::new(RefCell::new(HashMap::new())),
+            probes: Rc::new(RefCell::new(0)),
+        }
+    }
+
+    /// Probes candidate `y`, consulting the cache first.
+    ///
+    /// The returned computation checks the cache *at run time* (probes
+    /// sequenced earlier in the same clause fill it), so
+    /// `memo.at(x).and_then(|_| memo.at(x))` runs the future once.
+    pub fn at(&self, y: R) -> Sel<L, L> {
+        let me = self.clone();
+        Sel::from_fn(move |g| {
+            let k = (me.key)(&y);
+            if let Some(hit) = me.cache.borrow().get(&k) {
+                return crate::eff::Eff::Pure((L::zero(), hit.clone()));
+            }
+            let cache = Rc::clone(&me.cache);
+            let probes = Rc::clone(&me.probes);
+            me.inner
+                .at(y.clone())
+                .map(move |l| {
+                    *probes.borrow_mut() += 1;
+                    cache.borrow_mut().insert(k.clone(), l.clone());
+                    l
+                })
+                .run_with(g)
+        })
+    }
+
+    /// Number of *real* (uncached) probes performed so far.
+    pub fn real_probes(&self) -> u64 {
+        *self.probes.borrow()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{effect, handle, loss, perform, Handler};
+
+    effect! {
+        effect Grid {
+            op PickRate : () => u32;
+        }
+    }
+
+    /// A tuner that probes a grid *with duplicates* and returns the
+    /// argmin; with memoisation each distinct rate's future runs once.
+    fn tuner(grid: Vec<u32>, memo: bool, counter: Rc<RefCell<u64>>) -> Handler<f64, f64, u32> {
+        Handler::builder::<Grid>()
+            .on::<PickRate>(move |(), l, _k| {
+                let grid = grid.clone();
+                let m = MemoChoice::new(&l);
+                let probe = move |r: u32| -> Sel<f64, f64> {
+                    if memo {
+                        m.at(r)
+                    } else {
+                        l.at(r)
+                    }
+                };
+                fn go(
+                    probe: Rc<dyn Fn(u32) -> Sel<f64, f64>>,
+                    grid: Rc<Vec<u32>>,
+                    i: usize,
+                    best: (u32, f64),
+                ) -> Sel<f64, u32> {
+                    if i == grid.len() {
+                        return Sel::pure(best.0);
+                    }
+                    let r = grid[i];
+                    probe(r).and_then(move |e| {
+                        let best = if e < best.1 { (r, e) } else { best };
+                        go(Rc::clone(&probe), Rc::clone(&grid), i + 1, best)
+                    })
+                }
+                go(Rc::new(probe), Rc::new(grid), 0, (0, f64::INFINITY))
+            })
+            .ret({
+                let _c = counter;
+                |_| Sel::pure(0)
+            })
+            .build()
+    }
+
+    /// Each probe runs the future, which bumps `counter`.
+    fn future(counter: Rc<RefCell<u64>>) -> Sel<f64, f64> {
+        perform::<f64, PickRate>(()).and_then(move |r| {
+            *counter.borrow_mut() += 1;
+            let err = (r as f64 - 3.0).powi(2);
+            loss(err).map(move |_| err)
+        })
+    }
+
+    #[test]
+    fn duplicates_are_cached() {
+        let grid = vec![1u32, 5, 1, 5, 1, 3];
+        let runs_plain = Rc::new(RefCell::new(0u64));
+        let h = tuner(grid.clone(), false, Rc::clone(&runs_plain));
+        let (_, best) = handle(&h, future(Rc::clone(&runs_plain))).run_unwrap();
+        assert_eq!(best, 3);
+        let plain = *runs_plain.borrow();
+
+        let runs_memo = Rc::new(RefCell::new(0u64));
+        let h = tuner(grid, true, Rc::clone(&runs_memo));
+        let (_, best) = handle(&h, future(Rc::clone(&runs_memo))).run_unwrap();
+        assert_eq!(best, 3);
+        let memo = *runs_memo.borrow();
+
+        assert_eq!(plain, 6, "one future run per probe without memo");
+        assert_eq!(memo, 3, "one future run per distinct candidate with memo");
+    }
+
+    #[test]
+    fn memoised_and_plain_choices_agree() {
+        for grid in [vec![0u32, 6], vec![2, 2, 2], vec![4, 1, 4, 1]] {
+            let c1 = Rc::new(RefCell::new(0));
+            let c2 = Rc::new(RefCell::new(0));
+            let a = handle(&tuner(grid.clone(), false, c1.clone()), future(c1)).run_unwrap();
+            let b = handle(&tuner(grid, true, c2.clone()), future(c2)).run_unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn with_key_supports_float_candidates() {
+        effect! {
+            effect FGrid {
+                op PickF : () => ();
+            }
+        }
+        let h: Handler<f64, f64, f64> = Handler::builder::<FGrid>()
+            .on::<PickF>(|(), l, _k| {
+                // candidates are the probe *inputs* here — trivial op, the
+                // point is the key function on a non-Hash type
+                let m: MemoChoice<f64, (), u8> = MemoChoice::with_key(&l, |()| 0u8);
+                m.at(()).and_then(move |a| {
+                    let m = m.clone();
+                    m.at(()).map(move |b| {
+                        assert_eq!(a, b);
+                        a
+                    })
+                })
+            })
+            .ret(Sel::pure)
+            .build();
+        let prog = perform::<f64, PickF>(()).and_then(|()| loss(7.0).map(|_| 1.0));
+        let (_, probed) = handle(&h, prog).run_unwrap();
+        assert_eq!(probed, 7.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based laws for the library: the `Loss` monoid axioms, the
+//! `Sel` monad laws observed through `run`, scoping laws for
+//! `local0`/`reset`/`lreset`, and behavioural laws of handlers
+//! (identity-like handlers are transparent; probing is pure).
+
+use proptest::prelude::*;
+use selc::{effect, handle, loss, perform, Handler, Loss, Sel};
+
+effect! {
+    effect NDet {
+        op Decide : () => bool;
+    }
+}
+
+/// A tiny program AST we can generate, interpret into `Sel`, and reason
+/// about directly.
+#[derive(Clone, Debug)]
+enum P {
+    Pure(i32),
+    Loss(f64),
+    Seq(Box<P>, Box<P>),
+    Choose(Box<P>, Box<P>),
+    Local(Box<P>),
+    Reset(Box<P>),
+}
+
+fn arb_p() -> impl Strategy<Value = P> {
+    let leaf = prop_oneof![
+        (-10i32..10).prop_map(P::Pure),
+        (0u32..8).prop_map(|l| P::Loss(l as f64)),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| P::Seq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| P::Choose(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| P::Local(Box::new(a))),
+            inner.prop_map(|a| P::Reset(Box::new(a))),
+        ]
+    })
+}
+
+fn to_sel(p: &P) -> Sel<f64, i32> {
+    match p {
+        P::Pure(n) => Sel::pure(*n),
+        P::Loss(l) => loss(*l).map(|_| 0),
+        P::Seq(a, b) => {
+            let (a, b) = (to_sel(a), to_sel(b));
+            a.and_then(move |x| b.clone().map(move |y| x + y))
+        }
+        P::Choose(a, b) => {
+            let (a, b) = (to_sel(a), to_sel(b));
+            perform::<f64, Decide>(())
+                .and_then(move |c| if c { a.clone() } else { b.clone() })
+        }
+        P::Local(a) => to_sel(a).local0(),
+        P::Reset(a) => to_sel(a).reset(),
+    }
+}
+
+fn argmin_h() -> Handler<f64, i32, i32> {
+    Handler::builder::<NDet>()
+        .on::<Decide>(|(), l, k| {
+            l.at(true).and_then(move |y| {
+                let (l, k) = (l.clone(), k.clone());
+                l.at(false)
+                    .and_then(move |z| if y <= z { k.resume(true) } else { k.resume(false) })
+            })
+        })
+        .build_identity()
+}
+
+fn const_h(b: bool) -> Handler<f64, i32, i32> {
+    Handler::builder::<NDet>()
+        .on::<Decide>(move |(), _l, k| k.resume(b))
+        .build_identity()
+}
+
+/// Reference semantics of `P` under the const-`b` strategy.
+fn reference(p: &P, b: bool) -> (f64, i32) {
+    match p {
+        P::Pure(n) => (0.0, *n),
+        P::Loss(l) => (*l, 0),
+        P::Seq(x, y) => {
+            let (lx, vx) = reference(x, b);
+            let (ly, vy) = reference(y, b);
+            (lx + ly, vx + vy)
+        }
+        P::Choose(x, y) => reference(if b { x } else { y }, b),
+        P::Local(x) => reference(x, b),
+        P::Reset(x) => (0.0, reference(x, b).1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The f64, pair and vec Loss instances satisfy the monoid laws.
+    #[test]
+    fn loss_monoid_laws(a in -1e3f64..1e3, b in -1e3f64..1e3, c in -1e3f64..1e3) {
+        prop_assert_eq!(a.combine(&f64::zero()), a);
+        prop_assert_eq!(a.combine(&b), b.combine(&a));
+        prop_assert!((a.combine(&b).combine(&c) - a.combine(&b.combine(&c))).abs() < 1e-9);
+
+        let p1 = (a, b);
+        let p2 = (c, a);
+        prop_assert_eq!(p1.combine(&p2), p2.combine(&p1));
+        prop_assert_eq!(p1.combine(&<(f64, f64)>::zero()), p1);
+
+        let v1 = vec![a, b];
+        let v2 = vec![c];
+        prop_assert_eq!(v1.combine(&v2), v2.combine(&v1));
+        prop_assert_eq!(Vec::<f64>::zero().combine(&v1), v1);
+    }
+
+    /// Monad laws, observed through run (the only observation we have).
+    #[test]
+    fn monad_laws(p in arb_p(), n in -5i32..5) {
+        let f = move |x: i32| loss(x.unsigned_abs() as f64).map(move |_| x + n);
+        let g = |x: i32| Sel::<f64, i32>::pure(x * 2);
+        let m = handle(&argmin_h(), to_sel(&p));
+
+        // left identity
+        let lhs = Sel::pure(n).and_then(f);
+        prop_assert_eq!(lhs.run_unwrap(), f(n).run_unwrap());
+
+        // right identity
+        prop_assert_eq!(m.and_then(Sel::pure).run_unwrap(), m.run_unwrap());
+
+        // associativity
+        let lhs = m.and_then(f).and_then(g);
+        let rhs = m.and_then(move |x| f(x).and_then(g));
+        prop_assert_eq!(lhs.run_unwrap(), rhs.run_unwrap());
+    }
+
+    /// Constant handlers agree with the reference semantics.
+    #[test]
+    fn const_handler_is_reference(p in arb_p(), b in any::<bool>()) {
+        let got = handle(&const_h(b), to_sel(&p)).run_unwrap();
+        prop_assert_eq!(got, reference(&p, b));
+    }
+
+    /// The argmin handler never does worse than either constant strategy
+    /// (it optimises the total recorded loss over the whole future).
+    #[test]
+    fn argmin_is_no_worse_than_constant_strategies(p in arb_p()) {
+        let (min_loss, _) = handle(&argmin_h(), to_sel(&p)).run_unwrap();
+        let (lt, _) = handle(&const_h(true), to_sel(&p)).run_unwrap();
+        let (lf, _) = handle(&const_h(false), to_sel(&p)).run_unwrap();
+        prop_assert!(min_loss <= lt + 1e-9, "argmin {min_loss} > const-true {lt} on {:?}", p);
+        prop_assert!(min_loss <= lf + 1e-9, "argmin {min_loss} > const-false {lf} on {:?}", p);
+    }
+
+    /// reset drops the recorded loss and keeps the value; lreset is
+    /// local0 then reset; local0 preserves recorded losses.
+    #[test]
+    fn scoping_laws(p in arb_p()) {
+        let m = handle(&argmin_h(), to_sel(&p));
+        let (l0, v0) = m.run_unwrap();
+        prop_assert_eq!(m.reset().run_unwrap(), (0.0, v0));
+        prop_assert_eq!(m.local0().run_unwrap(), (l0, v0));
+        let (lr, _) = m.lreset().run_unwrap();
+        prop_assert_eq!(lr, 0.0);
+        prop_assert_eq!(m.lreset().run_unwrap(), m.local0().reset().run_unwrap());
+    }
+
+    /// Probing through the choice continuation does not change the final
+    /// outcome: a handler that probes and ignores behaves like const-true.
+    #[test]
+    fn probes_are_observationally_pure(p in arb_p()) {
+        let probing: Handler<f64, i32, i32> = Handler::builder::<NDet>()
+            .on::<Decide>(|(), l, k| {
+                l.at(true).and_then(move |_| {
+                    let (l, k) = (l.clone(), k.clone());
+                    l.at(false).and_then(move |_| k.resume(true))
+                })
+            })
+            .build_identity();
+        let a = handle(&probing, to_sel(&p)).run_unwrap();
+        let b = handle(&const_h(true), to_sel(&p)).run_unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Double handling: an inner handler consumes every Decide, so adding
+    /// an outer NDet handler is a no-op.
+    #[test]
+    fn fully_handled_programs_ignore_outer_handlers(p in arb_p(), b in any::<bool>()) {
+        let inner = handle(&const_h(b), to_sel(&p));
+        let outer = handle(&argmin_h(), inner.clone());
+        prop_assert_eq!(outer.run_unwrap(), inner.run_unwrap());
+    }
+}

@@ -1,0 +1,150 @@
+//! Multi-objective losses: §6 suggests "allowing users to locally vary
+//! the reward monoid (e.g., to a product …, facilitating multi-objective
+//! optimization)". The `Loss` trait already admits product monoids; these
+//! tests drive handlers whose probes return *pairs* of losses and select
+//! lexicographically or by weighted scalarisation — the prisoner's
+//! dilemma machinery generalised.
+
+use selc::{effect, handle, loss, perform, Choice, Handler, Sel};
+
+effect! {
+    effect Route {
+        /// Choose one of `n` routes.
+        op Pick : usize => usize;
+    }
+}
+
+type L2 = (f64, f64); // (time, toll)
+
+fn probe_all(l: &Choice<L2, usize>, n: usize) -> Sel<L2, Vec<L2>> {
+    fn go(l: Choice<L2, usize>, n: usize, i: usize, acc: Vec<L2>) -> Sel<L2, Vec<L2>> {
+        if i == n {
+            return Sel::pure(acc);
+        }
+        l.at(i).and_then(move |li| {
+            let mut acc = acc.clone();
+            acc.push(li);
+            go(l.clone(), n, i + 1, acc)
+        })
+    }
+    go(l.clone(), n, 0, Vec::new())
+}
+
+/// Lexicographic: minimise time, break ties by toll.
+fn lex_handler<B: Clone + 'static>() -> Handler<L2, B, B> {
+    Handler::builder::<Route>()
+        .on::<Pick>(|n, l, k| {
+            probe_all(&l, n).and_then(move |ls| {
+                let mut best = 0;
+                for i in 1..ls.len() {
+                    let better = ls[i].0 < ls[best].0
+                        || (ls[i].0 == ls[best].0 && ls[i].1 < ls[best].1);
+                    if better {
+                        best = i;
+                    }
+                }
+                k.resume(best)
+            })
+        })
+        .build_identity()
+}
+
+/// Weighted scalarisation: minimise `w·time + (1−w)·toll`.
+fn weighted_handler<B: Clone + 'static>(w: f64) -> Handler<L2, B, B> {
+    Handler::builder::<Route>()
+        .on::<Pick>(move |n, l, k| {
+            probe_all(&l, n).and_then(move |ls| {
+                let score = |p: &L2| w * p.0 + (1.0 - w) * p.1;
+                let mut best = 0;
+                for i in 1..ls.len() {
+                    if score(&ls[i]) < score(&ls[best]) {
+                        best = i;
+                    }
+                }
+                k.resume(best)
+            })
+        })
+        .build_identity()
+}
+
+/// Three routes: (time, toll) = (10, 0), (10, 5), (2, 9).
+fn trip() -> Sel<L2, usize> {
+    perform::<L2, Pick>(3).and_then(|r| {
+        let cost = [(10.0, 0.0), (10.0, 5.0), (2.0, 9.0)][r];
+        loss(cost).map(move |_| r)
+    })
+}
+
+#[test]
+fn lexicographic_prefers_fast_then_cheap() {
+    let ((time, toll), r) = handle(&lex_handler(), trip()).run_unwrap();
+    assert_eq!(r, 2); // fastest
+    assert_eq!((time, toll), (2.0, 9.0));
+}
+
+#[test]
+fn weights_trade_time_for_toll() {
+    // time-dominant weight picks route 2; toll-dominant picks route 0.
+    let (_, fast) = handle(&weighted_handler(0.9), trip()).run_unwrap();
+    assert_eq!(fast, 2);
+    let (_, cheap) = handle(&weighted_handler(0.1), trip()).run_unwrap();
+    assert_eq!(cheap, 0);
+}
+
+#[test]
+fn pair_losses_accumulate_componentwise() {
+    let prog = loss((1.0, 2.0)).then(loss((0.5, 0.5))).map(|_| ());
+    assert_eq!(prog.run_unwrap().0, (1.5, 2.5));
+}
+
+#[test]
+fn two_stage_trip_optimises_the_whole_journey() {
+    // Stage 1 then stage 2; choosing greedily per-stage on time would pick
+    // (fast, fast), but the lexicographic handler sees the *total* future:
+    // stage-1 route 0 (slow) unlocks nothing here — totals are additive,
+    // so the handler picks the per-stage lexicographic optimum of the
+    // aggregate, which is fast+fast on time regardless of toll.
+    let prog = trip().and_then(|r1| trip().map(move |r2| (r1, r2)));
+    let ((time, toll), (r1, r2)) = handle(&lex_handler(), prog).run_unwrap();
+    assert_eq!((r1, r2), (2, 2));
+    assert_eq!((time, toll), (4.0, 18.0));
+}
+
+#[test]
+fn vec_losses_work_as_well() {
+    // The Vec<f64> monoid supports ad-hoc objective counts.
+    let prog: Sel<Vec<f64>, ()> =
+        loss(vec![1.0]).then(loss(vec![0.0, 2.0])).map(|_| ());
+    assert_eq!(prog.run_unwrap().0, vec![1.0, 2.0]);
+}
+
+#[test]
+fn map_loss_resets_a_single_objective() {
+    // §6: "a product with independent localising constructs". Zero out the
+    // toll component at a boundary; the time component still escapes.
+    let prog = loss((3.0, 7.0)).map(|_| ()).map_loss(|l: &L2| (l.0, 0.0));
+    assert_eq!(prog.run_unwrap().0, (3.0, 0.0));
+}
+
+#[test]
+fn component_reset_changes_the_choice() {
+    // Route 2 is fast but tolled. A handler minimising the *sum* picks
+    // route 0 — unless the journey locally resets tolls, making route 2
+    // win on the remaining (time) objective.
+    let sum_handler = weighted_handler(0.5); // (time+toll)/2
+    let plain = handle(&sum_handler, trip()).run_unwrap().1;
+    assert_eq!(plain, 0); // 10+0 beats 2+9 and 10+5 on the sum
+
+    let toll_free = trip().map_loss(|l: &L2| (l.0, 0.0));
+    let subsidised = handle(&sum_handler, toll_free).run_unwrap();
+    assert_eq!(subsidised.1, 2, "with tolls reset, the fast route wins");
+    assert_eq!(subsidised.0, (2.0, 0.0));
+}
+
+#[test]
+fn reset_is_map_loss_to_zero() {
+    use selc::Loss;
+    let a = loss((1.0, 2.0)).map(|_| 5).reset().run_unwrap();
+    let b = loss((1.0, 2.0)).map(|_| 5).map_loss(|_| L2::zero()).run_unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,251 @@
+//! Empirical soundness/adequacy checking (Theorems 5.4, 5.5, 5.6).
+//!
+//! For a closed well-typed program `e : σ ! ε` the theorems say the
+//! denotational meaning under `L[g]` coincides with big-step evaluation
+//! under `g`:
+//!
+//! * value outcomes: `S[e] L[g] = (r, V[v])` iff `g ⊢ e ⇒r v`;
+//! * stuck outcomes: the tree is an operation node matching `K[op(v)]`,
+//!   and continues pointwise — the giant-step relation `⪯` of Thm 5.6.
+//!
+//! [`check_adequacy`] decides this up to a sampling of operation-result
+//! values (first-order `in`-types are enumerated up to a cap) and a depth
+//! bound on nested stuck continuations — exact for programs whose residual
+//! effect is empty, which covers every fully-handled example.
+
+use crate::domain::{FTree, SemVal, WTree};
+use crate::monads::zero_gamma;
+use crate::sem::{empty_env, Denoter};
+use lambda_c::bigstep::eval;
+use lambda_c::loss::LossVal;
+use lambda_c::prim::value_to_ground;
+use lambda_c::sig::Signature;
+use lambda_c::smallstep::{plug_all, split_stuck};
+use lambda_c::syntax::Expr;
+use lambda_c::types::{BaseTy, Effect, Type};
+use std::rc::Rc;
+
+/// Tolerance for comparing losses across the two semantics.
+pub const EPS: f64 = 1e-9;
+
+/// A mismatch between the two semantics, with a human-readable trail.
+#[derive(Clone, Debug)]
+pub struct AdequacyError(pub String);
+
+impl std::fmt::Display for AdequacyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "adequacy violation: {}", self.0)
+    }
+}
+
+impl std::error::Error for AdequacyError {}
+
+/// Enumerates sample closed values of a first-order type (capped).
+/// Returns `None` for higher-order types.
+pub fn sample_values(ty: &Type) -> Option<Vec<Expr>> {
+    const CAP: usize = 6;
+    let out = match ty {
+        Type::Base(BaseTy::Loss) => {
+            vec![Expr::lossc(0.0), Expr::lossc(1.0), Expr::lossc(-2.5)]
+        }
+        Type::Base(BaseTy::Char) => vec![
+            Expr::Const(lambda_c::syntax::Const::Char('a')),
+            Expr::Const(lambda_c::syntax::Const::Char('b')),
+        ],
+        Type::Base(BaseTy::Str) => vec![
+            Expr::Const(lambda_c::syntax::Const::Str(String::new())),
+            Expr::Const(lambda_c::syntax::Const::Str("ab".into())),
+        ],
+        Type::Nat => vec![Expr::nat(0), Expr::nat(1), Expr::nat(2)],
+        Type::Tuple(ts) => {
+            let mut combos: Vec<Vec<Expr>> = vec![Vec::new()];
+            for t in ts {
+                let samples = sample_values(t)?;
+                let mut next = Vec::new();
+                for c in &combos {
+                    for s in &samples {
+                        let mut c2 = c.clone();
+                        c2.push(s.clone());
+                        next.push(c2);
+                        if next.len() >= CAP {
+                            break;
+                        }
+                    }
+                    if next.len() >= CAP {
+                        break;
+                    }
+                }
+                combos = next;
+            }
+            combos
+                .into_iter()
+                .map(|c| Expr::Tuple(c.into_iter().map(Expr::rc).collect()))
+                .collect()
+        }
+        Type::Sum(a, b) => {
+            let mut out = Vec::new();
+            for s in sample_values(a)? {
+                out.push(Expr::Inl { lty: (**a).clone(), rty: (**b).clone(), e: s.rc() });
+            }
+            for s in sample_values(b)? {
+                out.push(Expr::Inr { lty: (**a).clone(), rty: (**b).clone(), e: s.rc() });
+            }
+            out
+        }
+        Type::List(t) => {
+            let samples = sample_values(t)?;
+            let mut out = vec![Expr::Nil((**t).clone())];
+            if let Some(s) = samples.first() {
+                out.push(Expr::Cons(s.clone().rc(), Expr::Nil((**t).clone()).rc()));
+            }
+            out
+        }
+        Type::Fun(..) => return None,
+    };
+    Some(out.into_iter().take(CAP).collect())
+}
+
+/// Checks adequacy of `e : ty ! eff` under the zero loss continuation,
+/// following stuck continuations up to `depth` levels.
+///
+/// # Errors
+///
+/// Returns [`AdequacyError`] describing the first observed mismatch.
+pub fn check_adequacy(
+    sig: &Signature,
+    e: &Expr,
+    ty: &Type,
+    eff: &Effect,
+    depth: usize,
+) -> Result<(), AdequacyError> {
+    let den = Denoter::new(sig.clone());
+    let comp = den.sem(&empty_env(), e, eff);
+    let tree = comp(&zero_gamma());
+    compare(sig, &den, e, ty, eff, &tree, LossVal::zero(), depth, "top")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compare(
+    sig: &Signature,
+    den: &Rc<Denoter>,
+    e: &Expr,
+    ty: &Type,
+    eff: &Effect,
+    tree: &WTree,
+    // Loss already emitted on the operational path leading here; the
+    // denotational tree carries it via the `r ·` action of Thm 5.4/5.5.
+    offset: LossVal,
+    depth: usize,
+    path: &str,
+) -> Result<(), AdequacyError> {
+    let g = Expr::zero_cont(ty.clone(), eff.clone()).rc();
+    let out = eval(sig, &g, eff, e.clone(), 2_000_000)
+        .map_err(|err| AdequacyError(format!("{path}: operational evaluation failed: {err}")))?;
+
+    match (&out.stuck_on, tree) {
+        (None, FTree::Leaf((r, v))) => {
+            // value outcome: compare loss and first-order value
+            let expected = offset.add(&out.loss);
+            if !r.approx_eq(&expected, EPS) {
+                return Err(AdequacyError(format!(
+                    "{path}: loss mismatch: operational {expected} vs denotational {r}"
+                )));
+            }
+            let op_v = den.sem_value(&empty_env(), &out.terminal);
+            if op_v.to_ground().is_some() && !v.approx_eq(&op_v, EPS) {
+                return Err(AdequacyError(format!(
+                    "{path}: value mismatch: operational {op_v:?} vs denotational {v:?}"
+                )));
+            }
+            Ok(())
+        }
+        (Some(op), FTree::Node { label, op: dop, arg, k, .. }) => {
+            if op != dop {
+                return Err(AdequacyError(format!(
+                    "{path}: stuck on `{op}` but tree node is `{dop}`"
+                )));
+            }
+            let Some(expected_label) = sig.label_of(op) else {
+                return Err(AdequacyError(format!("{path}: unknown op `{op}`")));
+            };
+            if label != expected_label {
+                return Err(AdequacyError(format!(
+                    "{path}: node label `{label}` vs signature `{expected_label}`"
+                )));
+            }
+            let stuck = split_stuck(&out.terminal).ok_or_else(|| {
+                AdequacyError(format!("{path}: terminal not decomposable as stuck"))
+            })?;
+            // compare operation arguments (first-order by assumption)
+            if let Some(garg) = value_to_ground(&stuck.arg) {
+                let sem_arg = SemVal::from_ground(&garg);
+                if !sem_arg.approx_eq(arg, EPS) {
+                    return Err(AdequacyError(format!(
+                        "{path}: op argument mismatch: operational {sem_arg:?} vs denotational {arg:?}"
+                    )));
+                }
+            }
+            // Thm 5.5(2): each denotational child equals
+            // (prefix loss) · S[K[w]]; recurse with the offset increased.
+            if depth == 0 {
+                return Ok(());
+            }
+            let osig = sig
+                .op_sig(op)
+                .ok_or_else(|| AdequacyError(format!("{path}: no signature for `{op}`")))?;
+            let Some(samples) = sample_values(&osig.ret) else {
+                return Ok(()); // higher-order in-type: cannot sample
+            };
+            for w in samples {
+                let resumed = plug_all(&stuck.path, w.clone());
+                let child = k(&den.sem_value(&empty_env(), &w));
+                compare(
+                    sig,
+                    den,
+                    &resumed,
+                    ty,
+                    eff,
+                    &child,
+                    offset.add(&out.loss),
+                    depth - 1,
+                    &format!("{path}/{op}({w})"),
+                )?;
+            }
+            Ok(())
+        }
+        (None, FTree::Node { op: dop, .. }) => Err(AdequacyError(format!(
+            "{path}: operational value but denotational node `{dop}`"
+        ))),
+        (Some(op), FTree::Leaf(_)) => Err(AdequacyError(format!(
+            "{path}: operational stuck on `{op}` but denotational leaf"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_covers_bools() {
+        let vs = sample_values(&Type::bool()).unwrap();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0], Expr::tt());
+        assert_eq!(vs[1], Expr::ff());
+    }
+
+    #[test]
+    fn sampling_rejects_function_types() {
+        let t = Type::fun(Type::unit(), Type::unit(), Effect::empty());
+        assert!(sample_values(&t).is_none());
+        assert!(sample_values(&Type::Tuple(vec![t])).is_none());
+    }
+
+    #[test]
+    fn sampling_tuples_is_capped() {
+        let t = Type::Tuple(vec![Type::Nat, Type::Nat, Type::Nat]);
+        let vs = sample_values(&t).unwrap();
+        assert!(vs.len() <= 6);
+        assert!(!vs.is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! Semantic domains (§5.1–5.2).
+//!
+//! * [`FTree`] — the free-algebra monad `F_ε`: effect-value /
+//!   interaction trees whose internal nodes carry an effect label, an
+//!   operation, a handler-depth index, and an operation argument, with one
+//!   child per operation result.
+//! * [`SemVal`] — the semantics of values: `S[b] = [b]`, products, sums,
+//!   naturals, lists, and `S[σ→τ!ε] = S[σ] → S_ε(S[τ])` as Rust closures.
+//! * [`SelComp`] — an element of the augmented selection monad
+//!   `S_ε(X) = (X → R_ε) → W_ε(X)` with `W_ε(X) = F_ε(R × X)`,
+//!   `R_ε = F_ε(R)`.
+//!
+//! The circularity the paper notes (the `F_ε` are defined from the `S_ε`
+//! and vice versa, justified by well-foundedness) is harmless here: Rust
+//! closures tie the knot.
+
+use lambda_c::loss::LossVal;
+use lambda_c::prim::Ground;
+use std::fmt;
+use std::rc::Rc;
+
+/// An interaction tree in `F_ε(T)`: a leaf, or an operation node.
+pub enum FTree<T> {
+    /// A finished computation.
+    Leaf(T),
+    /// An unresolved operation `((ℓ, op, i), (arg, k))`.
+    Node {
+        /// Effect label `ℓ`.
+        label: String,
+        /// Operation name.
+        op: String,
+        /// Handler-depth index `0 < i ⩽ ε(ℓ)`.
+        depth: u32,
+        /// The operation argument (an element of `S[out]`).
+        arg: SemVal,
+        /// One subtree per operation result (element of `S[in]`).
+        k: Rc<dyn Fn(&SemVal) -> FTree<T>>,
+    },
+}
+
+impl<T: Clone> Clone for FTree<T> {
+    fn clone(&self) -> Self {
+        match self {
+            FTree::Leaf(t) => FTree::Leaf(t.clone()),
+            FTree::Node { label, op, depth, arg, k } => FTree::Node {
+                label: label.clone(),
+                op: op.clone(),
+                depth: *depth,
+                arg: arg.clone(),
+                k: Rc::clone(k),
+            },
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for FTree<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FTree::Leaf(t) => write!(f, "Leaf({t:?})"),
+            FTree::Node { label, op, depth, arg, .. } => {
+                write!(f, "Node({label}::{op}@{depth}, {arg:?}, <k>)")
+            }
+        }
+    }
+}
+
+impl<T: Clone + 'static> FTree<T> {
+    /// The unit `η_{F_ε}`.
+    pub fn leaf(t: T) -> FTree<T> {
+        FTree::Leaf(t)
+    }
+
+    /// The free-monad bind (homomorphic extension on leaves).
+    pub fn bind<U: Clone + 'static>(
+        &self,
+        f: Rc<dyn Fn(&T) -> FTree<U>>,
+    ) -> FTree<U> {
+        match self {
+            FTree::Leaf(t) => f(t),
+            FTree::Node { label, op, depth, arg, k } => {
+                let k = Rc::clone(k);
+                FTree::Node {
+                    label: label.clone(),
+                    op: op.clone(),
+                    depth: *depth,
+                    arg: arg.clone(),
+                    k: Rc::new(move |a| k(a).bind(Rc::clone(&f))),
+                }
+            }
+        }
+    }
+
+    /// Functorial map.
+    pub fn map<U: Clone + 'static>(&self, f: Rc<dyn Fn(&T) -> U>) -> FTree<U> {
+        self.bind(Rc::new(move |t| FTree::Leaf(f(t))))
+    }
+}
+
+/// The loss tree `R_ε = F_ε(R)`.
+pub type RTree = FTree<LossVal>;
+
+/// The writer tree `W_ε(X) = F_ε(R × X)` at `X = SemVal`.
+pub type WTree = FTree<(LossVal, SemVal)>;
+
+/// A semantic loss function `γ : X → R_ε`.
+pub type Gamma = Rc<dyn Fn(&SemVal) -> RTree>;
+
+/// An element of `S_ε(S[σ]) = (S[σ] → R_ε) → W_ε(S[σ])` — the meaning of a
+/// computation.
+pub type SelComp = Rc<dyn Fn(&Gamma) -> WTree>;
+
+/// A semantic value.
+pub enum SemVal {
+    /// A loss.
+    Loss(LossVal),
+    /// A character.
+    Char(char),
+    /// A string.
+    Str(String),
+    /// A natural number.
+    Nat(u64),
+    /// A tuple.
+    Tuple(Vec<SemVal>),
+    /// A sum (`false` = left, `true` = right).
+    Sum(bool, Rc<SemVal>),
+    /// A list.
+    List(Vec<SemVal>),
+    /// A function `S[σ] → S_ε(S[τ])`.
+    Fun(Rc<dyn Fn(&SemVal) -> SelComp>),
+}
+
+impl Clone for SemVal {
+    fn clone(&self) -> Self {
+        match self {
+            SemVal::Loss(l) => SemVal::Loss(l.clone()),
+            SemVal::Char(c) => SemVal::Char(*c),
+            SemVal::Str(s) => SemVal::Str(s.clone()),
+            SemVal::Nat(n) => SemVal::Nat(*n),
+            SemVal::Tuple(vs) => SemVal::Tuple(vs.clone()),
+            SemVal::Sum(b, v) => SemVal::Sum(*b, Rc::clone(v)),
+            SemVal::List(vs) => SemVal::List(vs.clone()),
+            SemVal::Fun(f) => SemVal::Fun(Rc::clone(f)),
+        }
+    }
+}
+
+impl fmt::Debug for SemVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemVal::Loss(l) => write!(f, "Loss({l})"),
+            SemVal::Char(c) => write!(f, "Char({c:?})"),
+            SemVal::Str(s) => write!(f, "Str({s:?})"),
+            SemVal::Nat(n) => write!(f, "Nat({n})"),
+            SemVal::Tuple(vs) => f.debug_tuple("Tuple").field(vs).finish(),
+            SemVal::Sum(b, v) => write!(f, "Sum({}, {v:?})", if *b { "inr" } else { "inl" }),
+            SemVal::List(vs) => f.debug_tuple("List").field(vs).finish(),
+            SemVal::Fun(_) => write!(f, "Fun(<closure>)"),
+        }
+    }
+}
+
+impl SemVal {
+    /// The unit value.
+    pub fn unit() -> SemVal {
+        SemVal::Tuple(Vec::new())
+    }
+
+    /// A boolean (`inl ()` = true).
+    pub fn bool(b: bool) -> SemVal {
+        SemVal::Sum(!b, Rc::new(SemVal::unit()))
+    }
+
+    /// Converts a first-order semantic value to a [`Ground`] value.
+    /// Returns `None` if a function occurs.
+    pub fn to_ground(&self) -> Option<Ground> {
+        match self {
+            SemVal::Loss(l) => Some(Ground::Loss(l.clone())),
+            SemVal::Char(c) => Some(Ground::Char(*c)),
+            SemVal::Str(s) => Some(Ground::Str(s.clone())),
+            SemVal::Nat(n) => Some(Ground::Nat(*n)),
+            SemVal::Tuple(vs) => {
+                Some(Ground::Tuple(vs.iter().map(SemVal::to_ground).collect::<Option<_>>()?))
+            }
+            SemVal::Sum(b, v) => Some(Ground::Sum(*b, Box::new(v.to_ground()?))),
+            SemVal::List(vs) => {
+                Some(Ground::List(vs.iter().map(SemVal::to_ground).collect::<Option<_>>()?))
+            }
+            SemVal::Fun(_) => None,
+        }
+    }
+
+    /// Imports a [`Ground`] value.
+    pub fn from_ground(g: &Ground) -> SemVal {
+        match g {
+            Ground::Loss(l) => SemVal::Loss(l.clone()),
+            Ground::Char(c) => SemVal::Char(*c),
+            Ground::Str(s) => SemVal::Str(s.clone()),
+            Ground::Nat(n) => SemVal::Nat(*n),
+            Ground::Tuple(gs) => SemVal::Tuple(gs.iter().map(SemVal::from_ground).collect()),
+            Ground::Sum(b, g) => SemVal::Sum(*b, Rc::new(SemVal::from_ground(g))),
+            Ground::List(gs) => SemVal::List(gs.iter().map(SemVal::from_ground).collect()),
+        }
+    }
+
+    /// Approximate first-order equality (losses compared up to `eps`).
+    /// Functions are never equal.
+    pub fn approx_eq(&self, other: &SemVal, eps: f64) -> bool {
+        match (self, other) {
+            (SemVal::Loss(a), SemVal::Loss(b)) => a.approx_eq(b, eps),
+            (SemVal::Char(a), SemVal::Char(b)) => a == b,
+            (SemVal::Str(a), SemVal::Str(b)) => a == b,
+            (SemVal::Nat(a), SemVal::Nat(b)) => a == b,
+            (SemVal::Tuple(a), SemVal::Tuple(b)) | (SemVal::List(a), SemVal::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.approx_eq(y, eps))
+            }
+            (SemVal::Sum(ba, va), SemVal::Sum(bb, vb)) => ba == bb && va.approx_eq(vb, eps),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_roundtrip() {
+        let g = Ground::Tuple(vec![
+            Ground::bool(true),
+            Ground::List(vec![Ground::Nat(1), Ground::Nat(2)]),
+            Ground::Loss(LossVal::pair(1.0, 2.0)),
+        ]);
+        let v = SemVal::from_ground(&g);
+        assert_eq!(v.to_ground().unwrap(), g);
+    }
+
+    #[test]
+    fn functions_are_not_ground() {
+        let f = SemVal::Fun(Rc::new(|_v| -> SelComp {
+            Rc::new(|_g| FTree::Leaf((LossVal::zero(), SemVal::unit())))
+        }));
+        assert!(f.to_ground().is_none());
+        assert!(SemVal::Tuple(vec![f]).to_ground().is_none());
+    }
+
+    #[test]
+    fn tree_bind_grafts_at_leaves() {
+        let t: FTree<u32> = FTree::Node {
+            label: "amb".into(),
+            op: "decide".into(),
+            depth: 1,
+            arg: SemVal::unit(),
+            k: Rc::new(|v| match v {
+                SemVal::Sum(false, _) => FTree::Leaf(1),
+                _ => FTree::Leaf(2),
+            }),
+        };
+        let t2 = t.map(Rc::new(|x: &u32| x * 10));
+        match t2 {
+            FTree::Node { k, .. } => {
+                match k(&SemVal::bool(true)) {
+                    FTree::Leaf(v) => assert_eq!(v, 10),
+                    _ => panic!("expected leaf"),
+                }
+                match k(&SemVal::bool(false)) {
+                    FTree::Leaf(v) => assert_eq!(v, 20),
+                    _ => panic!("expected leaf"),
+                }
+            }
+            FTree::Leaf(_) => panic!("expected node"),
+        }
+    }
+
+    #[test]
+    fn approx_eq_on_losses() {
+        let a = SemVal::Loss(LossVal::scalar(1.0));
+        let b = SemVal::Loss(LossVal::scalar(1.0 + 1e-12));
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&SemVal::Loss(LossVal::scalar(2.0)), 1e-9));
+        assert!(!a.approx_eq(&SemVal::unit(), 1e-9));
+    }
+
+    #[test]
+    fn bool_encoding() {
+        match SemVal::bool(true) {
+            SemVal::Sum(false, _) => {}
+            other => panic!("true must be inl, got {other:?}"),
+        }
+    }
+}

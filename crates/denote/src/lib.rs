@@ -1,0 +1,35 @@
+//! Denotational semantics of λC via augmented selection monads (§5 of
+//! *Handling the Selection Monad*), plus the empirical soundness/adequacy
+//! harness that differentially tests it against the operational semantics
+//! of the `lambda-c` crate.
+//!
+//! The semantic stack:
+//!
+//! * [`domain::FTree`] — interaction trees `F_ε` (free algebra monads);
+//! * [`domain::SelComp`] — `S_ε(X) = (X → R_ε) → W_ε(X)` with
+//!   `W_ε(X) = F_ε(R × X)` and `R_ε = F_ε(R)`;
+//! * [`monads`] — units, actions, Kleisli extensions (eq. 6), the loss
+//!   `R_ε(F|γ)`;
+//! * [`sem::Denoter`] — `S[e]`, `V[v]`, `L[g]`, and the handler semantics
+//!   of §5.3 (free-algebra fold with clause-interpreting ε-algebra);
+//! * [`adequacy::check_adequacy`] — Theorems 5.4/5.5/5.6 as a runnable
+//!   differential check.
+//!
+//! # Example
+//!
+//! ```
+//! use lambda_c::examples;
+//! use selc_denote::adequacy::check_adequacy;
+//!
+//! let ex = examples::pgm_with_argmin_handler();
+//! check_adequacy(&ex.sig, &ex.expr, &ex.ty, &ex.eff, 3).unwrap();
+//! ```
+
+pub mod adequacy;
+pub mod domain;
+pub mod monads;
+pub mod sem;
+
+pub use adequacy::{check_adequacy, AdequacyError};
+pub use domain::{FTree, Gamma, RTree, SelComp, SemVal, WTree};
+pub use sem::{empty_env, Denoter, SemEnv};

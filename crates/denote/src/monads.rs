@@ -1,0 +1,190 @@
+//! The monad/algebra operations of §5.2: the writer-tree monad `W_ε`, the
+//! action of `R` on trees, the loss `R_ε(F|γ)`, and the Kleisli extension
+//! of the augmented selection monad `S_ε` (equation 6).
+
+use crate::domain::{FTree, Gamma, RTree, SelComp, SemVal, WTree};
+use lambda_c::loss::LossVal;
+use std::rc::Rc;
+
+/// `η_{W_ε}(x) = (0, x)`.
+pub fn w_unit(x: SemVal) -> WTree {
+    FTree::Leaf((LossVal::zero(), x))
+}
+
+/// The additive action `r · u` on `W_ε` (adds `r` to every leaf's recorded
+/// loss).
+pub fn w_act(r: &LossVal, u: &WTree) -> WTree {
+    let r = r.clone();
+    u.map(Rc::new(move |(s, x): &(LossVal, SemVal)| (r.add(s), x.clone())))
+}
+
+/// The additive action `r · u` on `R_ε` (adds `r` to every leaf).
+pub fn r_act(r: &LossVal, u: &RTree) -> RTree {
+    let r = r.clone();
+    u.map(Rc::new(move |s: &LossVal| r.add(s)))
+}
+
+/// Kleisli extension `f†_{W_ε}`: `f†(r, x) = r · f(x)` on leaves,
+/// homomorphic on nodes.
+pub fn w_bind(u: &WTree, f: Rc<dyn Fn(&SemVal) -> WTree>) -> WTree {
+    u.bind(Rc::new(move |(r, x): &(LossVal, SemVal)| w_act(r, &f(x))))
+}
+
+/// `γ†_{W_ε}` specialised to loss functions: lifts `γ : X → R_ε` over a
+/// writer tree, giving the loss `R_ε(F|γ) = γ†(F(γ))`'s inner step.
+pub fn gamma_extend(u: &WTree, gamma: &Gamma) -> RTree {
+    let gamma = Rc::clone(gamma);
+    u.bind(Rc::new(move |(r, x): &(LossVal, SemVal)| r_act(r, &gamma(x))))
+}
+
+/// The loss `R_ε(F|γ) = γ†_{W_ε}(F(γ))` of a selection computation under a
+/// loss function (§5.2).
+pub fn r_loss(comp: &SelComp, gamma: &Gamma) -> RTree {
+    gamma_extend(&comp(gamma), gamma)
+}
+
+/// `η_{S_ε}(x) = λγ. η_{W_ε}(x)`.
+pub fn s_unit(x: SemVal) -> SelComp {
+    Rc::new(move |_g| w_unit(x.clone()))
+}
+
+/// The Kleisli extension `f†_{S_ε}` of equation (6):
+///
+/// ```text
+/// f†(F) = λγ. let_{W_ε} x = F(λx. R_ε(f x | γ)) in f x γ
+/// ```
+pub fn s_bind(m: SelComp, f: Rc<dyn Fn(&SemVal) -> SelComp>) -> SelComp {
+    Rc::new(move |gamma: &Gamma| {
+        let f1 = Rc::clone(&f);
+        let g1 = Rc::clone(gamma);
+        // the pulled-back loss function  λx. R_ε(f x | γ)
+        let tilde: Gamma = Rc::new(move |x: &SemVal| r_loss(&f1(x), &g1));
+        let f2 = Rc::clone(&f);
+        let g2 = Rc::clone(gamma);
+        w_bind(&m(&tilde), Rc::new(move |x: &SemVal| f2(x)(&g2)))
+    })
+}
+
+/// The ε-algebra structure of `S_ε` (§5.2, last display): an operation
+/// call as a selection computation,
+/// `φ(o, f)(γ) = node(o, λa. f(a)(γ))`.
+pub fn s_op(
+    label: String,
+    op: String,
+    depth: u32,
+    arg: SemVal,
+    k: Rc<dyn Fn(&SemVal) -> SelComp>,
+) -> SelComp {
+    Rc::new(move |gamma: &Gamma| {
+        let k = Rc::clone(&k);
+        let g = Rc::clone(gamma);
+        FTree::Node {
+            label: label.clone(),
+            op: op.clone(),
+            depth,
+            arg: arg.clone(),
+            k: Rc::new(move |a: &SemVal| k(a)(&g)),
+        }
+    })
+}
+
+/// The zero loss function `λx. 0` (a leaf of zero loss).
+pub fn zero_gamma() -> Gamma {
+    Rc::new(|_x| FTree::Leaf(LossVal::zero()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_w(r: f64, x: SemVal) -> WTree {
+        FTree::Leaf((LossVal::scalar(r), x))
+    }
+
+    fn force_leaf(w: &WTree) -> (LossVal, SemVal) {
+        match w {
+            FTree::Leaf(p) => p.clone(),
+            FTree::Node { .. } => panic!("expected leaf"),
+        }
+    }
+
+    #[test]
+    fn action_adds_losses() {
+        let w = leaf_w(2.0, SemVal::Nat(1));
+        let w2 = w_act(&LossVal::scalar(3.0), &w);
+        assert_eq!(force_leaf(&w2).0, LossVal::scalar(5.0));
+    }
+
+    #[test]
+    fn w_bind_accumulates() {
+        let w = leaf_w(1.0, SemVal::Nat(1));
+        let out = w_bind(
+            &w,
+            Rc::new(|x: &SemVal| match x {
+                SemVal::Nat(n) => leaf_w(10.0, SemVal::Nat(n + 1)),
+                _ => panic!(),
+            }),
+        );
+        let (r, v) = force_leaf(&out);
+        assert_eq!(r, LossVal::scalar(11.0));
+        assert!(v.approx_eq(&SemVal::Nat(2), 0.0));
+    }
+
+    #[test]
+    fn r_loss_adds_recorded_and_continuation_loss() {
+        // computation recording loss 2 and returning 3 (a loss value)
+        let m: SelComp = Rc::new(|_g| leaf_w(2.0, SemVal::Loss(LossVal::scalar(3.0))));
+        // γ returns the value itself as loss
+        let gamma: Gamma = Rc::new(|x| match x {
+            SemVal::Loss(l) => FTree::Leaf(l.clone()),
+            _ => panic!(),
+        });
+        match r_loss(&m, &gamma) {
+            FTree::Leaf(l) => assert_eq!(l, LossVal::scalar(5.0)),
+            _ => panic!("expected leaf"),
+        }
+    }
+
+    #[test]
+    fn s_bind_threads_pulled_back_loss() {
+        // m selects a value and reports the loss its continuation assigns,
+        // by recording it (observable in the writer position).
+        let m: SelComp = Rc::new(|g: &Gamma| {
+            let probe = match g(&SemVal::Nat(7)) {
+                FTree::Leaf(l) => l,
+                _ => panic!(),
+            };
+            FTree::Leaf((probe, SemVal::Nat(7)))
+        });
+        // f records loss 4·x
+        let f: Rc<dyn Fn(&SemVal) -> SelComp> = Rc::new(|x: &SemVal| {
+            let n = match x {
+                SemVal::Nat(n) => *n,
+                _ => panic!(),
+            };
+            Rc::new(move |_g: &Gamma| {
+                FTree::Leaf((LossVal::scalar(4.0 * n as f64), SemVal::Nat(n)))
+            })
+        });
+        let out = s_bind(m, f)(&zero_gamma());
+        let (r, v) = force_leaf(&out);
+        // m recorded the probed downstream loss 28, f recorded 28 again
+        assert_eq!(r, LossVal::scalar(56.0));
+        assert!(v.approx_eq(&SemVal::Nat(7), 0.0));
+    }
+
+    #[test]
+    fn s_op_builds_a_node_and_passes_gamma() {
+        let k: Rc<dyn Fn(&SemVal) -> SelComp> = Rc::new(|a: &SemVal| s_unit(a.clone()));
+        let m = s_op("amb".into(), "decide".into(), 1, SemVal::unit(), k);
+        match m(&zero_gamma()) {
+            FTree::Node { label, op, depth, k, .. } => {
+                assert_eq!((label.as_str(), op.as_str(), depth), ("amb", "decide", 1));
+                let (r, v) = force_leaf(&k(&SemVal::bool(true)));
+                assert!(r.is_zero());
+                assert!(v.approx_eq(&SemVal::bool(true), 0.0));
+            }
+            FTree::Leaf(_) => panic!("expected node"),
+        }
+    }
+}

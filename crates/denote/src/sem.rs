@@ -1,0 +1,669 @@
+//! The denotational semantics of λC expressions and handlers
+//! (Fig 9, Fig 10, §5.3 / Appendix B.3).
+
+use crate::domain::{FTree, Gamma, RTree, SelComp, SemVal, WTree};
+use crate::monads::{r_loss, s_bind, s_op, s_unit, w_act, zero_gamma};
+use lambda_c::loss::LossVal;
+use lambda_c::prim::prim_lookup;
+use lambda_c::sig::Signature;
+use lambda_c::syntax::{Const, Expr, Handler};
+use lambda_c::types::Effect;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A semantic environment `ρ ∈ S[Γ]`.
+pub type SemEnv = Rc<HashMap<String, SemVal>>;
+
+/// Shared context for the denotation functions.
+pub struct Denoter {
+    sig: Signature,
+}
+
+/// An error raised when denoting an ill-formed expression. On well-typed
+/// input (which the theory assumes) these are unreachable; we surface them
+/// as panics with clear messages, matching the interpreter's conventions.
+fn stuck_sem(msg: &str) -> ! {
+    panic!("denotation of ill-typed expression: {msg}")
+}
+
+fn env_with(env: &SemEnv, var: &str, v: SemVal) -> SemEnv {
+    let mut m = (**env).clone();
+    m.insert(var.to_owned(), v);
+    Rc::new(m)
+}
+
+/// The empty environment.
+pub fn empty_env() -> SemEnv {
+    Rc::new(HashMap::new())
+}
+
+impl Denoter {
+    /// A denoter over the given signature.
+    pub fn new(sig: Signature) -> Rc<Denoter> {
+        Rc::new(Denoter { sig })
+    }
+
+    /// The value semantics `V[v] : S[Γ] → S[σ]` (Fig 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a value or mentions an unbound variable.
+    pub fn sem_value(self: &Rc<Self>, env: &SemEnv, v: &Expr) -> SemVal {
+        match v {
+            Expr::Var(x) => env
+                .get(x)
+                .cloned()
+                .unwrap_or_else(|| stuck_sem(&format!("unbound variable `{x}`"))),
+            Expr::Const(Const::Loss(l)) => SemVal::Loss(l.clone()),
+            Expr::Const(Const::Char(c)) => SemVal::Char(*c),
+            Expr::Const(Const::Str(s)) => SemVal::Str(s.clone()),
+            Expr::Zero => SemVal::Nat(0),
+            Expr::Succ(e) => match self.sem_value(env, e) {
+                SemVal::Nat(n) => SemVal::Nat(n + 1),
+                other => stuck_sem(&format!("succ of {other:?}")),
+            },
+            Expr::Tuple(es) => {
+                SemVal::Tuple(es.iter().map(|e| self.sem_value(env, e)).collect())
+            }
+            Expr::Inl { e, .. } => SemVal::Sum(false, Rc::new(self.sem_value(env, e))),
+            Expr::Inr { e, .. } => SemVal::Sum(true, Rc::new(self.sem_value(env, e))),
+            Expr::Nil(_) => SemVal::List(Vec::new()),
+            Expr::Cons(h, t) => {
+                let hv = self.sem_value(env, h);
+                match self.sem_value(env, t) {
+                    SemVal::List(mut vs) => {
+                        vs.insert(0, hv);
+                        SemVal::List(vs)
+                    }
+                    other => stuck_sem(&format!("cons onto {other:?}")),
+                }
+            }
+            Expr::Lam { eff, var, body, .. } => {
+                let cx = Rc::clone(self);
+                let env = Rc::clone(env);
+                let var = var.clone();
+                let body = Rc::clone(body);
+                let eff = eff.clone();
+                SemVal::Fun(Rc::new(move |a: &SemVal| {
+                    cx.sem(&env_with(&env, &var, a.clone()), &body, &eff)
+                }))
+            }
+            other => stuck_sem(&format!("not a value: {other}")),
+        }
+    }
+
+    /// The loss-function semantics `L[λε x:σ. e] : S[Γ] → S[σ] → R_ε`
+    /// (§5.3): run the body under the zero loss function and keep the
+    /// resulting loss *value*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lam` is not a lambda.
+    pub fn sem_lossfn(self: &Rc<Self>, env: &SemEnv, lam: &Expr) -> Gamma {
+        let Expr::Lam { eff, var, body, .. } = lam else {
+            stuck_sem(&format!("loss continuation is not a lambda: {lam}"))
+        };
+        let cx = Rc::clone(self);
+        let env = Rc::clone(env);
+        let var = var.clone();
+        let body = Rc::clone(body);
+        let eff = eff.clone();
+        Rc::new(move |a: &SemVal| -> RTree {
+            let w = cx.sem(&env_with(&env, &var, a.clone()), &body, &eff)(&zero_gamma());
+            w.map(Rc::new(|(_r1, r2): &(LossVal, SemVal)| match r2 {
+                SemVal::Loss(l) => l.clone(),
+                other => stuck_sem(&format!("loss continuation body returned {other:?}")),
+            }))
+        })
+    }
+
+    /// The expression semantics `S[e] : S[Γ] → S_ε(S[σ])` (Fig 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics on ill-typed input.
+    pub fn sem(self: &Rc<Self>, env: &SemEnv, e: &Expr, eff: &Effect) -> SelComp {
+        match e {
+            // Values denote via the unit (Lemma 5.1/B.2).
+            v if v.is_value() => s_unit(self.sem_value(env, v)),
+
+            Expr::Prim(name, arg) => {
+                let def = prim_lookup(name)
+                    .unwrap_or_else(|| stuck_sem(&format!("unknown primitive `{name}`")));
+                let ret_ty = def.ret_ty.clone();
+                let m = self.sem(env, arg, eff);
+                s_bind(
+                    m,
+                    Rc::new(move |a: &SemVal| {
+                        let g = a
+                            .to_ground()
+                            .unwrap_or_else(|| stuck_sem("non-ground prim argument"));
+                        let out = (def.eval)(&g)
+                            .unwrap_or_else(|e| stuck_sem(&format!("prim failed: {e}")));
+                        let _ = &ret_ty;
+                        s_unit(SemVal::from_ground(&out))
+                    }),
+                )
+            }
+
+            Expr::App(e1, e2) => {
+                let m1 = self.sem(env, e1, eff);
+                let m2 = self.sem(env, e2, eff);
+                s_bind(
+                    m1,
+                    Rc::new(move |f: &SemVal| {
+                        let SemVal::Fun(f) = f.clone() else {
+                            stuck_sem("application of a non-function")
+                        };
+                        let m2 = Rc::clone(&m2);
+                        s_bind(m2, Rc::new(move |a: &SemVal| f(a)))
+                    }),
+                )
+            }
+
+            Expr::Tuple(es) => {
+                // non-value tuple: sequence component computations
+                fn go(
+                    cx: Rc<Denoter>,
+                    env: SemEnv,
+                    es: Rc<Vec<Rc<Expr>>>,
+                    eff: Effect,
+                    i: usize,
+                    acc: Vec<SemVal>,
+                ) -> SelComp {
+                    if i == es.len() {
+                        return s_unit(SemVal::Tuple(acc));
+                    }
+                    let m = cx.sem(&env, &es[i], &eff);
+                    s_bind(
+                        m,
+                        Rc::new(move |a: &SemVal| {
+                            let mut acc = acc.clone();
+                            acc.push(a.clone());
+                            go(Rc::clone(&cx), Rc::clone(&env), Rc::clone(&es), eff.clone(), i + 1, acc)
+                        }),
+                    )
+                }
+                go(
+                    Rc::clone(self),
+                    Rc::clone(env),
+                    Rc::new(es.clone()),
+                    eff.clone(),
+                    0,
+                    Vec::new(),
+                )
+            }
+
+            Expr::Proj(e1, i) => {
+                let i = *i;
+                s_bind(
+                    self.sem(env, e1, eff),
+                    Rc::new(move |v: &SemVal| match v {
+                        SemVal::Tuple(vs) => s_unit(vs[i].clone()),
+                        other => stuck_sem(&format!("projection from {other:?}")),
+                    }),
+                )
+            }
+
+            Expr::Inl { e, .. } => s_bind(
+                self.sem(env, e, eff),
+                Rc::new(|v: &SemVal| s_unit(SemVal::Sum(false, Rc::new(v.clone())))),
+            ),
+            Expr::Inr { e, .. } => s_bind(
+                self.sem(env, e, eff),
+                Rc::new(|v: &SemVal| s_unit(SemVal::Sum(true, Rc::new(v.clone())))),
+            ),
+
+            Expr::Cases { scrut, lvar, lbody, rvar, rbody, .. } => {
+                let cx = Rc::clone(self);
+                let env2 = Rc::clone(env);
+                let (lvar, rvar) = (lvar.clone(), rvar.clone());
+                let (lbody, rbody) = (Rc::clone(lbody), Rc::clone(rbody));
+                let eff2 = eff.clone();
+                s_bind(
+                    self.sem(env, scrut, eff),
+                    Rc::new(move |v: &SemVal| match v {
+                        SemVal::Sum(false, p) => {
+                            cx.sem(&env_with(&env2, &lvar, (**p).clone()), &lbody, &eff2)
+                        }
+                        SemVal::Sum(true, p) => {
+                            cx.sem(&env_with(&env2, &rvar, (**p).clone()), &rbody, &eff2)
+                        }
+                        other => stuck_sem(&format!("cases on {other:?}")),
+                    }),
+                )
+            }
+
+            Expr::Succ(e1) => s_bind(
+                self.sem(env, e1, eff),
+                Rc::new(|v: &SemVal| match v {
+                    SemVal::Nat(n) => s_unit(SemVal::Nat(n + 1)),
+                    other => stuck_sem(&format!("succ of {other:?}")),
+                }),
+            ),
+
+            Expr::Iter(e1, e2, e3) => {
+                let m1 = self.sem(env, e1, eff);
+                let m2 = self.sem(env, e2, eff);
+                let m3 = self.sem(env, e3, eff);
+                s_bind(
+                    m1,
+                    Rc::new(move |n: &SemVal| {
+                        let SemVal::Nat(n) = n else { stuck_sem("iter on non-nat") };
+                        let n = *n;
+                        let m3 = Rc::clone(&m3);
+                        s_bind(
+                            Rc::clone(&m2),
+                            Rc::new(move |seed: &SemVal| {
+                                let m3 = Rc::clone(&m3);
+                                let seed = seed.clone();
+                                s_bind(
+                                    Rc::clone(&m3),
+                                    Rc::new(move |f: &SemVal| {
+                                        let SemVal::Fun(f) = f.clone() else {
+                                            stuck_sem("iter body not a function")
+                                        };
+                                        // iterate: f†ⁿ(η(seed))
+                                        fn go(
+                                            f: Rc<dyn Fn(&SemVal) -> SelComp>,
+                                            seed: SemVal,
+                                            n: u64,
+                                        ) -> SelComp {
+                                            if n == 0 {
+                                                return s_unit(seed);
+                                            }
+                                            let prev = go(Rc::clone(&f), seed, n - 1);
+                                            let f2 = Rc::clone(&f);
+                                            s_bind(prev, Rc::new(move |acc: &SemVal| f2(acc)))
+                                        }
+                                        go(f, seed.clone(), n)
+                                    }),
+                                )
+                            }),
+                        )
+                    }),
+                )
+            }
+
+            Expr::Cons(h, t) => {
+                let mh = self.sem(env, h, eff);
+                let mt = self.sem(env, t, eff);
+                s_bind(
+                    mh,
+                    Rc::new(move |hv: &SemVal| {
+                        let hv = hv.clone();
+                        s_bind(
+                            Rc::clone(&mt),
+                            Rc::new(move |tv: &SemVal| match tv {
+                                SemVal::List(vs) => {
+                                    let mut vs = vs.clone();
+                                    vs.insert(0, hv.clone());
+                                    s_unit(SemVal::List(vs))
+                                }
+                                other => stuck_sem(&format!("cons onto {other:?}")),
+                            }),
+                        )
+                    }),
+                )
+            }
+
+            Expr::Fold(e1, e2, e3) => {
+                let m1 = self.sem(env, e1, eff);
+                let m2 = self.sem(env, e2, eff);
+                let m3 = self.sem(env, e3, eff);
+                s_bind(
+                    m1,
+                    Rc::new(move |l: &SemVal| {
+                        let SemVal::List(items) = l.clone() else {
+                            stuck_sem("fold over non-list")
+                        };
+                        let m3 = Rc::clone(&m3);
+                        s_bind(
+                            Rc::clone(&m2),
+                            Rc::new(move |seed: &SemVal| {
+                                let m3 = Rc::clone(&m3);
+                                let items = items.clone();
+                                let seed = seed.clone();
+                                s_bind(
+                                    Rc::clone(&m3),
+                                    Rc::new(move |f: &SemVal| {
+                                        let SemVal::Fun(f) = f.clone() else {
+                                            stuck_sem("fold body not a function")
+                                        };
+                                        fn go(
+                                            f: Rc<dyn Fn(&SemVal) -> SelComp>,
+                                            items: Rc<Vec<SemVal>>,
+                                            seed: SemVal,
+                                            i: usize,
+                                        ) -> SelComp {
+                                            if i == items.len() {
+                                                return s_unit(seed);
+                                            }
+                                            let rest =
+                                                go(Rc::clone(&f), Rc::clone(&items), seed, i + 1);
+                                            let f2 = Rc::clone(&f);
+                                            let item = items[i].clone();
+                                            s_bind(
+                                                rest,
+                                                Rc::new(move |acc: &SemVal| {
+                                                    f2(&SemVal::Tuple(vec![
+                                                        item.clone(),
+                                                        acc.clone(),
+                                                    ]))
+                                                }),
+                                            )
+                                        }
+                                        go(f, Rc::new(items.clone()), seed.clone(), 0)
+                                    }),
+                                )
+                            }),
+                        )
+                    }),
+                )
+            }
+
+            Expr::OpCall { op, arg } => {
+                let label = self
+                    .sig
+                    .label_of(op)
+                    .unwrap_or_else(|| stuck_sem(&format!("unknown operation `{op}`")))
+                    .to_owned();
+                let depth = eff.multiplicity(&label);
+                let op = op.clone();
+                s_bind(
+                    self.sem(env, arg, eff),
+                    Rc::new(move |a: &SemVal| {
+                        s_op(
+                            label.clone(),
+                            op.clone(),
+                            depth,
+                            a.clone(),
+                            Rc::new(|y: &SemVal| s_unit(y.clone())),
+                        )
+                    }),
+                )
+            }
+
+            Expr::Loss(e1) => {
+                // S[loss(e)](γ) = let_F (r, a) = S[e](γ) in (a + r, ())
+                let m = self.sem(env, e1, eff);
+                Rc::new(move |gamma: &Gamma| {
+                    m(gamma).bind(Rc::new(|(r, a): &(LossVal, SemVal)| {
+                        let SemVal::Loss(l) = a else { stuck_sem("loss of a non-loss") };
+                        FTree::Leaf((l.add(r), SemVal::unit()))
+                    }))
+                })
+            }
+
+            Expr::Handle { handler, from, body } => {
+                let body_eff = eff.plus(handler.label.clone());
+                let g_body = self.sem(env, body, &body_eff);
+                let cx = Rc::clone(self);
+                let env2 = Rc::clone(env);
+                let h = Rc::clone(handler);
+                let eff2 = eff.clone();
+                s_bind(
+                    self.sem(env, from, eff),
+                    Rc::new(move |p: &SemVal| {
+                        cx.sem_handler(&env2, &h, &eff2, p.clone(), Rc::clone(&g_body))
+                    }),
+                )
+            }
+
+            Expr::Then { e, lam } => {
+                // S[e1 ◮ λx.e2](γ) =
+                //   let_F (r1, a) = S[e1](L[λx.e2]) in
+                //   let_F (r2, r3) = S[e2][a/x](λr.0) in (r2, r1 + r3)
+                let Expr::Lam { eff: leff, var, body, .. } = lam.as_ref() else {
+                    stuck_sem("then-continuation is not a lambda")
+                };
+                let m1 = self.sem(env, e, eff);
+                let lf = self.sem_lossfn(env, lam);
+                let cx = Rc::clone(self);
+                let env2 = Rc::clone(env);
+                let var = var.clone();
+                let body = Rc::clone(body);
+                let leff = leff.clone();
+                Rc::new(move |_gamma: &Gamma| {
+                    let cx = Rc::clone(&cx);
+                    let env2 = Rc::clone(&env2);
+                    let var = var.clone();
+                    let body = Rc::clone(&body);
+                    let leff = leff.clone();
+                    m1(&lf).bind(Rc::new(move |(r1, a): &(LossVal, SemVal)| {
+                        let r1 = r1.clone();
+                        let inner =
+                            cx.sem(&env_with(&env2, &var, a.clone()), &body, &leff)(&zero_gamma());
+                        inner.bind(Rc::new(move |(r2, r3): &(LossVal, SemVal)| {
+                            let SemVal::Loss(l3) = r3 else {
+                                stuck_sem("then body returned a non-loss")
+                            };
+                            FTree::Leaf((r2.clone(), SemVal::Loss(r1.add(l3))))
+                        }))
+                    }))
+                })
+            }
+
+            Expr::Local { eff: eff1, g, e } => {
+                // S[⟨e⟩_g](γ) = S[e](L[g])
+                let lf = self.sem_lossfn(env, g);
+                let m = self.sem(env, e, eff1);
+                Rc::new(move |_gamma: &Gamma| m(&lf))
+            }
+
+            Expr::Reset(e1) => {
+                // S[reset e](γ) = let_F (r, a) = S[e](γ) in η_W(a)
+                let m = self.sem(env, e1, eff);
+                Rc::new(move |gamma: &Gamma| {
+                    m(gamma).bind(Rc::new(|(_r, a): &(LossVal, SemVal)| {
+                        FTree::Leaf((LossVal::zero(), a.clone()))
+                    }))
+                })
+            }
+
+            other => stuck_sem(&format!("no semantic clause for {other}")),
+        }
+    }
+
+    /// The handler semantics (§5.3 / B.3):
+    ///
+    /// `S[h](ρ)(p, G)(γ) = s†_{F_εℓ}(G(λa. R_ε(S[e_ret](ρ[(p,a)/z]) | γ)))(p)`
+    ///
+    /// where the target ε-algebra on `S[par] → W_ε(S[σ'])` interprets
+    /// handled nodes with the operation clauses (handing them the choice
+    /// continuation `l(p,a) = λγ1. δ(γ†(k a p))` and delimited continuation
+    /// `k(p,a) = λγ1. k a p`), forwards other nodes, and maps leaves
+    /// through the return clause (`s(r, a) = λp. r · S[e_ret] γ`).
+    pub fn sem_handler(
+        self: &Rc<Self>,
+        env: &SemEnv,
+        h: &Rc<Handler>,
+        eff: &Effect,
+        p0: SemVal,
+        g_body: SelComp,
+    ) -> SelComp {
+        let cx = Rc::clone(self);
+        let env = Rc::clone(env);
+        let h = Rc::clone(h);
+        let eff = eff.clone();
+        Rc::new(move |gamma: &Gamma| {
+            let handled_depth = eff.multiplicity(&h.label) + 1;
+
+            // ret(p, a) as a SelComp
+            let sem_ret: Rc<dyn Fn(&SemVal, &SemVal) -> SelComp> = {
+                let cx = Rc::clone(&cx);
+                let env = Rc::clone(&env);
+                let h = Rc::clone(&h);
+                let eff = eff.clone();
+                Rc::new(move |p: &SemVal, a: &SemVal| -> SelComp {
+                    let env1 = env_with(&env, &h.ret.p, p.clone());
+                    let env2 = env_with(&env1, &h.ret.x, a.clone());
+                    cx.sem(&env2, &h.ret.body, &eff)
+                })
+            };
+
+            // γ' = λa. R_ε(S[e_ret](ρ[(p0, a)/z]) | γ)   (B.3 uses the
+            // initial parameter here; see DESIGN.md on the parameterized-
+            // handler nuance.)
+            let gamma_inner: Gamma = {
+                let sem_ret = Rc::clone(&sem_ret);
+                let p0 = p0.clone();
+                let gamma = Rc::clone(gamma);
+                Rc::new(move |a: &SemVal| r_loss(&sem_ret(&p0, a), &gamma))
+            };
+
+            // The fold s† over the W_εℓ tree, producing S[par] → W_ε(S[σ']).
+            fn fold(
+                cx: &Rc<Denoter>,
+                env: &SemEnv,
+                h: &Rc<Handler>,
+                eff: &Effect,
+                gamma: &Gamma,
+                sem_ret: &Rc<dyn Fn(&SemVal, &SemVal) -> SelComp>,
+                handled_depth: u32,
+                tree: &WTree,
+                p: &SemVal,
+            ) -> WTree {
+                match tree {
+                    FTree::Leaf((r, a)) => {
+                        // s(r, a)(p) = r · (S[e_ret] γ)
+                        w_act(r, &sem_ret(p, a)(gamma))
+                    }
+                    FTree::Node { label, op, depth, arg, k } => {
+                        if *label == h.label && *depth == handled_depth {
+                            let clause = h.clause(op).unwrap_or_else(|| {
+                                stuck_sem(&format!("handler lacks clause for `{op}`"))
+                            });
+                            // k̂(p', a) = λγ1. fold(k a)(p')
+                            let k_fun = {
+                                let (cx, env, h, eff, gamma, sem_ret) = (
+                                    Rc::clone(cx),
+                                    Rc::clone(env),
+                                    Rc::clone(h),
+                                    eff.clone(),
+                                    Rc::clone(gamma),
+                                    Rc::clone(sem_ret),
+                                );
+                                let k = Rc::clone(k);
+                                SemVal::Fun(Rc::new(move |z: &SemVal| -> SelComp {
+                                    let SemVal::Tuple(pa) = z else {
+                                        stuck_sem("continuation applied to a non-pair")
+                                    };
+                                    let (p2, a) = (pa[0].clone(), pa[1].clone());
+                                    let child = k(&a);
+                                    let (cx, env, h, eff, gamma, sem_ret) = (
+                                        Rc::clone(&cx),
+                                        Rc::clone(&env),
+                                        Rc::clone(&h),
+                                        eff.clone(),
+                                        Rc::clone(&gamma),
+                                        Rc::clone(&sem_ret),
+                                    );
+                                    Rc::new(move |_g1: &Gamma| {
+                                        fold(
+                                            &cx,
+                                            &env,
+                                            &h,
+                                            &eff,
+                                            &gamma,
+                                            &sem_ret,
+                                            handled_depth,
+                                            &child,
+                                            &p2,
+                                        )
+                                    })
+                                }))
+                            };
+                            // l̂(p', a) = λγ1. δ(γ†(fold(k a)(p')))
+                            let l_fun = {
+                                let (cx, env, h, eff, gamma, sem_ret) = (
+                                    Rc::clone(cx),
+                                    Rc::clone(env),
+                                    Rc::clone(h),
+                                    eff.clone(),
+                                    Rc::clone(gamma),
+                                    Rc::clone(sem_ret),
+                                );
+                                let k = Rc::clone(k);
+                                SemVal::Fun(Rc::new(move |z: &SemVal| -> SelComp {
+                                    let SemVal::Tuple(pa) = z else {
+                                        stuck_sem("choice continuation applied to a non-pair")
+                                    };
+                                    let (p2, a) = (pa[0].clone(), pa[1].clone());
+                                    let child = k(&a);
+                                    let (cx, env, h, eff, gamma, sem_ret) = (
+                                        Rc::clone(&cx),
+                                        Rc::clone(&env),
+                                        Rc::clone(&h),
+                                        eff.clone(),
+                                        Rc::clone(&gamma),
+                                        Rc::clone(&sem_ret),
+                                    );
+                                    Rc::new(move |_g1: &Gamma| {
+                                        let resumed = fold(
+                                            &cx,
+                                            &env,
+                                            &h,
+                                            &eff,
+                                            &gamma,
+                                            &sem_ret,
+                                            handled_depth,
+                                            &child,
+                                            &p2,
+                                        );
+                                        // δ(γ†(resumed)): probe loss as a value
+                                        crate::monads::gamma_extend(&resumed, &gamma).map(
+                                            Rc::new(|l: &LossVal| {
+                                                (LossVal::zero(), SemVal::Loss(l.clone()))
+                                            }),
+                                        )
+                                    })
+                                }))
+                            };
+                            // clause body with (p, x, l, k) bound
+                            let env1 = env_with(env, &clause.p, p.clone());
+                            let env2 = env_with(&env1, &clause.x, arg.clone());
+                            let env3 = env_with(&env2, &clause.l, l_fun);
+                            let env4 = env_with(&env3, &clause.k, k_fun);
+                            cx.sem(&env4, &clause.body, eff)(gamma)
+                        } else {
+                            // forward: ψ(o, k)(p) = node(o, λa. (fold k a)(p))
+                            let (cx, env, h, eff, gamma, sem_ret) = (
+                                Rc::clone(cx),
+                                Rc::clone(env),
+                                Rc::clone(h),
+                                eff.clone(),
+                                Rc::clone(gamma),
+                                Rc::clone(sem_ret),
+                            );
+                            let k = Rc::clone(k);
+                            let p = p.clone();
+                            FTree::Node {
+                                label: label.clone(),
+                                op: op.clone(),
+                                depth: *depth,
+                                arg: arg.clone(),
+                                k: Rc::new(move |a: &SemVal| {
+                                    fold(
+                                        &cx,
+                                        &env,
+                                        &h,
+                                        &eff,
+                                        &gamma,
+                                        &sem_ret,
+                                        handled_depth,
+                                        &k(a),
+                                        &p,
+                                    )
+                                }),
+                            }
+                        }
+                    }
+                }
+            }
+
+            let tree = g_body(&gamma_inner);
+            fold(&cx, &env, &h, &eff, gamma, &sem_ret, handled_depth, &tree, &p0)
+        })
+    }
+}

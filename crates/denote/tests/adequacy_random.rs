@@ -1,0 +1,29 @@
+//! Randomised adequacy (Theorems 5.4–5.6): the denotational semantics
+//! agrees with big-step evaluation on generated well-typed programs,
+//! both fully handled and with a residual `amb` effect.
+
+use lambda_c::testgen::{gen_signature, ProgramGen};
+use proptest::prelude::*;
+use selc_denote::check_adequacy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adequacy_on_fully_handled_programs(seed in 0u64..1_000_000) {
+        let sig = gen_signature();
+        let mut g = ProgramGen::new(seed);
+        let p = g.gen_program(4, false);
+        check_adequacy(&sig, &p.expr, &p.ty, &p.eff, 3)
+            .map_err(|e| TestCaseError::fail(format!("{e}\nprogram: {}", p.expr)))?;
+    }
+
+    #[test]
+    fn adequacy_on_residual_effect_programs(seed in 0u64..1_000_000) {
+        let sig = gen_signature();
+        let mut g = ProgramGen::new(seed);
+        let p = g.gen_program(3, true);
+        check_adequacy(&sig, &p.expr, &p.ty, &p.eff, 3)
+            .map_err(|e| TestCaseError::fail(format!("{e}\nprogram: {}", p.expr)))?;
+    }
+}

@@ -1,0 +1,189 @@
+//! Semantic-level laws: Lemma 5.1 (values denote via the unit), the
+//! monad laws of the augmented selection monad's Kleisli structure
+//! (equation 6), and the algebra laws of the writer action — checked on
+//! generated values and computations.
+
+use lambda_c::loss::LossVal;
+use lambda_c::testgen::{gen_signature, ProgramGen};
+use lambda_c::types::Effect;
+use proptest::prelude::*;
+use selc_denote::domain::{FTree, SelComp, SemVal};
+use selc_denote::monads::{r_act, r_loss, s_bind, s_unit, w_act, w_bind, zero_gamma};
+use selc_denote::sem::{empty_env, Denoter};
+use std::rc::Rc;
+
+fn leaf_of(comp: &SelComp) -> (LossVal, SemVal) {
+    match comp(&zero_gamma()) {
+        FTree::Leaf(p) => p,
+        FTree::Node { op, .. } => panic!("unexpected node {op}"),
+    }
+}
+
+fn approx(a: &(LossVal, SemVal), b: &(LossVal, SemVal)) -> bool {
+    a.0.approx_eq(&b.0, 1e-9) && a.1.approx_eq(&b.1, 1e-9)
+}
+
+/// A few deterministic sample computations built from units, writer
+/// actions, and probes of the loss continuation.
+fn sample_comps() -> Vec<SelComp> {
+    let tell = |r: f64, v: SemVal| -> SelComp {
+        Rc::new(move |_g| FTree::Leaf((LossVal::scalar(r), v.clone())))
+    };
+    let probe: SelComp = Rc::new(|g| {
+        // record the downstream loss of Nat(1) and return it
+        match g(&SemVal::Nat(1)) {
+            FTree::Leaf(l) => FTree::Leaf((l, SemVal::Nat(1))),
+            node => node.map(Rc::new(|l: &LossVal| (l.clone(), SemVal::Nat(1)))),
+        }
+    });
+    vec![
+        s_unit(SemVal::Nat(4)),
+        tell(2.5, SemVal::bool(true)),
+        tell(0.0, SemVal::Loss(LossVal::pair(1.0, -1.0))),
+        probe,
+    ]
+}
+
+fn sample_fns() -> Vec<Rc<dyn Fn(&SemVal) -> SelComp>> {
+    vec![
+        Rc::new(|v: &SemVal| s_unit(v.clone())),
+        Rc::new(|v: &SemVal| {
+            let v = v.clone();
+            Rc::new(move |_g| FTree::Leaf((LossVal::scalar(1.0), v.clone())))
+        }),
+        Rc::new(|v: &SemVal| {
+            // consult the continuation: loss of v, recorded
+            let v = v.clone();
+            Rc::new(move |g| match g(&v) {
+                FTree::Leaf(l) => FTree::Leaf((l, v.clone())),
+                node => {
+                    let v = v.clone();
+                    node.map(Rc::new(move |l: &LossVal| (l.clone(), v.clone())))
+                }
+            })
+        }),
+    ]
+}
+
+#[test]
+fn s_monad_left_identity() {
+    for f in sample_fns() {
+        for v in [SemVal::Nat(0), SemVal::bool(false), SemVal::Loss(LossVal::scalar(3.0))] {
+            let lhs = s_bind(s_unit(v.clone()), Rc::clone(&f));
+            let rhs = f(&v);
+            assert!(approx(&leaf_of(&lhs), &leaf_of(&rhs)));
+        }
+    }
+}
+
+#[test]
+fn s_monad_right_identity() {
+    for m in sample_comps() {
+        let lhs = s_bind(Rc::clone(&m), Rc::new(|v: &SemVal| s_unit(v.clone())));
+        assert!(approx(&leaf_of(&lhs), &leaf_of(&m)));
+    }
+}
+
+#[test]
+fn s_monad_associativity() {
+    for m in sample_comps() {
+        for f in sample_fns() {
+            for g in sample_fns() {
+                let f1 = Rc::clone(&f);
+                let g1 = Rc::clone(&g);
+                let lhs = s_bind(s_bind(Rc::clone(&m), f1), Rc::clone(&g));
+                let f2 = Rc::clone(&f);
+                let rhs = s_bind(
+                    Rc::clone(&m),
+                    Rc::new(move |v: &SemVal| s_bind(f2(v), Rc::clone(&g1))),
+                );
+                assert!(
+                    approx(&leaf_of(&lhs), &leaf_of(&rhs)),
+                    "associativity failed: {:?} vs {:?}",
+                    leaf_of(&lhs),
+                    leaf_of(&rhs)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn writer_action_laws() {
+    let w = FTree::Leaf((LossVal::scalar(2.0), SemVal::Nat(1)));
+    // 0 · w = w
+    let z = w_act(&LossVal::zero(), &w);
+    match (&z, &w) {
+        (FTree::Leaf(a), FTree::Leaf(b)) => assert!(approx(a, b)),
+        _ => panic!(),
+    }
+    // r · (s · w) = (r+s) · w
+    let r = LossVal::scalar(1.5);
+    let s = LossVal::pair(0.5, 3.0);
+    let lhs = w_act(&r, &w_act(&s, &w));
+    let rhs = w_act(&r.add(&s), &w);
+    match (&lhs, &rhs) {
+        (FTree::Leaf(a), FTree::Leaf(b)) => assert!(approx(a, b)),
+        _ => panic!(),
+    }
+    // action on R-trees too
+    let rt = FTree::Leaf(LossVal::scalar(4.0));
+    match r_act(&r, &rt) {
+        FTree::Leaf(l) => assert!(l.approx_eq(&LossVal::scalar(5.5), 1e-12)),
+        _ => panic!(),
+    }
+}
+
+#[test]
+fn w_bind_is_homomorphic_over_action() {
+    // f†(r · u) = r · f†(u)
+    let u = FTree::Leaf((LossVal::scalar(1.0), SemVal::Nat(2)));
+    let f: Rc<dyn Fn(&SemVal) -> selc_denote::WTree> = Rc::new(|v: &SemVal| {
+        FTree::Leaf((LossVal::scalar(10.0), v.clone()))
+    });
+    let r = LossVal::scalar(5.0);
+    let lhs = w_bind(&w_act(&r, &u), Rc::clone(&f));
+    let rhs = w_act(&r, &w_bind(&u, f));
+    match (lhs, rhs) {
+        (FTree::Leaf(a), FTree::Leaf(b)) => assert!(approx(&a, &b)),
+        _ => panic!(),
+    }
+}
+
+#[test]
+fn r_loss_of_unit_is_gamma() {
+    // R(η(x) | γ) = γ(x)
+    let gamma: selc_denote::Gamma = Rc::new(|v: &SemVal| match v {
+        SemVal::Nat(n) => FTree::Leaf(LossVal::scalar(*n as f64 * 3.0)),
+        _ => FTree::Leaf(LossVal::zero()),
+    });
+    match r_loss(&s_unit(SemVal::Nat(4)), &gamma) {
+        FTree::Leaf(l) => assert!(l.approx_eq(&LossVal::scalar(12.0), 1e-12)),
+        _ => panic!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 5.1: for every generated closed *value* v,
+    /// `S[v] = η_{S_ε}(V[v])` — both sides produce the same zero-loss leaf.
+    #[test]
+    fn values_denote_via_the_unit(seed in 0u64..1_000_000) {
+        let sig = gen_signature();
+        let mut pg = ProgramGen::new(seed);
+        let p = pg.gen_program(2, false);
+        // evaluate to a value first
+        let out = lambda_c::eval_closed(&sig, p.expr.clone(), p.ty.clone(), p.eff.clone()).unwrap();
+        prop_assume!(out.is_value());
+        let den = Denoter::new(sig);
+        let via_sem = den.sem(&empty_env(), &out.terminal, &Effect::empty());
+        let via_unit = s_unit(den.sem_value(&empty_env(), &out.terminal));
+        let a = leaf_of(&via_sem);
+        let b = leaf_of(&via_unit);
+        prop_assert!(a.0.is_zero());
+        if a.1.to_ground().is_some() {
+            prop_assert!(approx(&a, &b));
+        }
+    }
+}

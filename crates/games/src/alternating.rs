@@ -1,0 +1,315 @@
+//! Multi-round alternating games: the §4.3 minimax example extended from
+//! one move each to a full game tree of alternating moves.
+//!
+//! The correct generalisation nests **one handler per ply**, outermost
+//! handler for the first mover — exactly how the paper nests
+//! `hmax $ hmin` for its two-ply game. Each ply's choice continuation
+//! then resolves the whole subtree below it (all later plies are handled
+//! *inside* the probed resumption), which is backward induction.
+//!
+//! Sharing a single handler between two plies of the same player is *not*
+//! the same game: an op of ply 2 surfacing inside ply 1's probe escapes
+//! past the prober to the shared outer handler, whose own choice
+//! continuation then spans the prober's subsequent clause logic. That is
+//! faithful calculus behaviour (choice continuations are global until
+//! localised) but it is not backward induction —
+//! [`GameTree::solve_shared_handlers`] exhibits it and the tests pin down
+//! a case where the two diverge.
+
+use crate::minimax::{hmax, hmin, MaxMove, MinMove};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selc::{effect, handle, loss, perform, Choice, Handler, Sel};
+use std::rc::Rc;
+
+effect! {
+    /// Ply-0 move (maximiser).
+    pub effect Ply0 {
+        /// Choose among `n` moves.
+        op Move0 : usize => usize;
+    }
+}
+effect! {
+    /// Ply-1 move (minimiser).
+    pub effect Ply1 {
+        /// Choose among `n` moves.
+        op Move1 : usize => usize;
+    }
+}
+effect! {
+    /// Ply-2 move (maximiser).
+    pub effect Ply2 {
+        /// Choose among `n` moves.
+        op Move2 : usize => usize;
+    }
+}
+effect! {
+    /// Ply-3 move (minimiser).
+    pub effect Ply3 {
+        /// Choose among `n` moves.
+        op Move3 : usize => usize;
+    }
+}
+
+/// Maximum supported depth of [`GameTree::solve_handlers`] (one static
+/// effect per ply).
+pub const MAX_DEPTH: usize = 4;
+
+fn pick_extreme(l: &Choice<f64, usize>, n: usize, maximise: bool) -> Sel<f64, usize> {
+    fn go(
+        l: Choice<f64, usize>,
+        n: usize,
+        maximise: bool,
+        i: usize,
+        best: Option<(usize, f64)>,
+    ) -> Sel<f64, usize> {
+        if i == n {
+            return Sel::pure(best.expect("no moves").0);
+        }
+        l.at(i).and_then(move |li| {
+            let better = match best {
+                None => true,
+                Some((_, bv)) => {
+                    if maximise {
+                        li > bv
+                    } else {
+                        li < bv
+                    }
+                }
+            };
+            let next = if better { Some((i, li)) } else { best };
+            go(l.clone(), n, maximise, i + 1, next)
+        })
+    }
+    go(l.clone(), n, maximise, 0, None)
+}
+
+macro_rules! ply_handler {
+    ($name:ident, $op:ident, $maximise:expr) => {
+        fn $name<B: Clone + 'static>() -> Handler<f64, B, B> {
+            Handler::builder::<<$op as selc::Operation>::Effect>()
+                .on::<$op>(|n, l, k| {
+                    pick_extreme(&l, n, $maximise).and_then(move |m| k.resume(m))
+                })
+                .build_identity()
+        }
+    };
+}
+
+ply_handler!(h_ply0, Move0, true);
+ply_handler!(h_ply1, Move1, false);
+ply_handler!(h_ply2, Move2, true);
+ply_handler!(h_ply3, Move3, false);
+
+/// A complete game tree with `branching^depth` leaves, maximiser to move
+/// first, leaf values indexed by the move path.
+#[derive(Clone, Debug)]
+pub struct GameTree {
+    /// Moves available at every node.
+    pub branching: usize,
+    /// Number of plies (at most [`MAX_DEPTH`] for the handler solver).
+    pub depth: usize,
+    /// Leaf values in lexicographic path order.
+    pub leaves: Vec<f64>,
+}
+
+impl GameTree {
+    /// A random game tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branching == 0` or `depth == 0`.
+    pub fn random(branching: usize, depth: usize, seed: u64) -> GameTree {
+        assert!(branching > 0 && depth > 0, "degenerate game tree");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = branching.pow(depth as u32);
+        let leaves = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+        GameTree { branching, depth, leaves }
+    }
+
+    /// The leaf value at a full move path.
+    pub fn leaf(&self, path: &[usize]) -> f64 {
+        let mut idx = 0;
+        for m in path {
+            idx = idx * self.branching + m;
+        }
+        self.leaves[idx]
+    }
+
+    /// Explicit backward induction (negamax-style) — the baseline. The
+    /// maximiser moves on even plies; ties break towards smaller move
+    /// indices at every node.
+    pub fn solve_backward(&self) -> (Vec<usize>, f64) {
+        fn go(t: &GameTree, path: &mut Vec<usize>) -> (Vec<usize>, f64) {
+            if path.len() == t.depth {
+                return (path.clone(), t.leaf(path));
+            }
+            let maximising = path.len() % 2 == 0;
+            let mut best: Option<(Vec<usize>, f64)> = None;
+            for m in 0..t.branching {
+                path.push(m);
+                let (p, v) = go(t, path);
+                path.pop();
+                let better = match &best {
+                    None => true,
+                    Some((_, bv)) => {
+                        if maximising {
+                            v > *bv
+                        } else {
+                            v < *bv
+                        }
+                    }
+                };
+                if better {
+                    best = Some((p, v));
+                }
+            }
+            best.expect("branching > 0")
+        }
+        go(self, &mut Vec::new())
+    }
+
+    /// The game as a `Sel` program over the per-ply effects.
+    fn program(&self) -> Sel<f64, Vec<usize>> {
+        fn go(t: Rc<GameTree>, path: Vec<usize>) -> Sel<f64, Vec<usize>> {
+            if path.len() == t.depth {
+                let v = t.leaf(&path);
+                return loss(v).map(move |_| path.clone());
+            }
+            let b = t.branching;
+            let step = move |m: usize, t: Rc<GameTree>, mut p: Vec<usize>| {
+                p.push(m);
+                go(t, p)
+            };
+            match path.len() {
+                0 => perform::<f64, Move0>(b)
+                    .and_then(move |m| step(m, Rc::clone(&t), path.clone())),
+                1 => perform::<f64, Move1>(b)
+                    .and_then(move |m| step(m, Rc::clone(&t), path.clone())),
+                2 => perform::<f64, Move2>(b)
+                    .and_then(move |m| step(m, Rc::clone(&t), path.clone())),
+                _ => perform::<f64, Move3>(b)
+                    .and_then(move |m| step(m, Rc::clone(&t), path.clone())),
+            }
+        }
+        go(Rc::new(self.clone()), Vec::new())
+    }
+
+    /// Solves the game with one handler per ply, outermost first mover —
+    /// exact backward induction. Returns `(play, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > MAX_DEPTH`.
+    pub fn solve_handlers(&self) -> (Vec<usize>, f64) {
+        assert!(self.depth <= MAX_DEPTH, "per-ply handlers support depth <= {MAX_DEPTH}");
+        let prog = self.program();
+        let prog = handle(&h_ply3(), prog);
+        let prog = handle(&h_ply2(), prog);
+        let prog = handle(&h_ply1(), prog);
+        let prog = handle(&h_ply0(), prog);
+        let (v, play) = prog.run_unwrap();
+        (play, v)
+    }
+
+    /// The *shared-handler* variant: one `hmax` for all maximiser plies
+    /// and one `hmin` for all minimiser plies. For depth ≤ 2 this equals
+    /// backward induction (it is the paper's own nesting); for deeper
+    /// trees a later op surfacing inside an earlier probe escapes to the
+    /// shared handler and the dynamics differ — see module docs.
+    pub fn solve_shared_handlers(&self) -> (Vec<usize>, f64) {
+        fn go(t: Rc<GameTree>, path: Vec<usize>) -> Sel<f64, Vec<usize>> {
+            if path.len() == t.depth {
+                let v = t.leaf(&path);
+                return loss(v).map(move |_| path.clone());
+            }
+            let b = t.branching;
+            if path.len() % 2 == 0 {
+                perform::<f64, MaxMove>(b).and_then(move |m| {
+                    let mut p = path.clone();
+                    p.push(m);
+                    go(Rc::clone(&t), p)
+                })
+            } else {
+                perform::<f64, MinMove>(b).and_then(move |m| {
+                    let mut p = path.clone();
+                    p.push(m);
+                    go(Rc::clone(&t), p)
+                })
+            }
+        }
+        let prog = go(Rc::new(self.clone()), Vec::new());
+        let (v, play) = handle(&hmax(), handle(&hmin(), prog)).run_unwrap();
+        (play, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_two_matches_paper_shape() {
+        // [[5,3],[2,9]] as a depth-2, branching-2 tree
+        let t = GameTree { branching: 2, depth: 2, leaves: vec![5.0, 3.0, 2.0, 9.0] };
+        assert_eq!(t.solve_backward(), (vec![0, 1], 3.0));
+        assert_eq!(t.solve_handlers(), (vec![0, 1], 3.0)); // (Left, Right)
+        assert_eq!(t.solve_shared_handlers(), (vec![0, 1], 3.0));
+    }
+
+    #[test]
+    fn per_ply_handlers_match_backward_induction() {
+        for seed in 0..10 {
+            for depth in [2usize, 3, 4] {
+                let t = GameTree::random(2, depth, seed);
+                let (play, v) = t.solve_handlers();
+                let (bplay, bv) = t.solve_backward();
+                assert_eq!(v, bv, "seed {seed}, depth {depth}");
+                assert_eq!(play, bplay, "seed {seed}, depth {depth}");
+                assert_eq!(t.leaf(&play), v);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_handlers_agree_at_depth_two() {
+        for seed in 0..10 {
+            let t = GameTree::random(3, 2, seed);
+            assert_eq!(t.solve_shared_handlers().1, t.solve_backward().1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shared_handlers_can_diverge_at_depth_three() {
+        // Documented divergence: with shared handlers, ply-2 max ops
+        // surfacing inside ply-1 min probes escape to the shared hmax.
+        let mut diverged = false;
+        for seed in 0..10 {
+            let t = GameTree::random(2, 3, seed);
+            if t.solve_shared_handlers().1 != t.solve_backward().1 {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged, "expected at least one divergence across seeds");
+    }
+
+    #[test]
+    fn three_way_branching() {
+        let t = GameTree::random(3, 3, 4);
+        assert_eq!(t.solve_handlers().1, t.solve_backward().1);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth <= 4")]
+    fn depth_five_rejected_by_handler_solver() {
+        let t = GameTree::random(2, 5, 0);
+        let _ = t.solve_handlers();
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_depth_rejected() {
+        let _ = GameTree::random(2, 0, 0);
+    }
+}

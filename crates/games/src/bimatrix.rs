@@ -1,0 +1,272 @@
+//! Two-player matrix games.
+//!
+//! A [`Bimatrix`] stores a pair of losses per joint action (row player,
+//! column player) — the prisoner's dilemma of §4.3 is the canonical
+//! example. For zero-sum single tables use [`Matrix`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A single-payoff matrix game (both players see the same loss; row
+/// maximises, column minimises — the §4.3 minimax setting).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    /// `entries[r][c]` is the loss at joint action `(r, c)`.
+    pub entries: Vec<Vec<f64>>,
+}
+
+impl Matrix {
+    /// Builds from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or ragged table.
+    pub fn new(entries: Vec<Vec<f64>>) -> Matrix {
+        assert!(!entries.is_empty(), "empty matrix");
+        let w = entries[0].len();
+        assert!(w > 0 && entries.iter().all(|r| r.len() == w), "ragged matrix");
+        Matrix { entries }
+    }
+
+    /// The §4.3 example table `[[5,3],[2,9]]`.
+    pub fn paper_example() -> Matrix {
+        Matrix::new(vec![vec![5.0, 3.0], vec![2.0, 9.0]])
+    }
+
+    /// A random matrix with entries in `[0, 10)`.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::new(
+            (0..rows).map(|_| (0..cols).map(|_| rng.gen_range(0.0..10.0)).collect()).collect(),
+        )
+    }
+
+    /// Number of row moves.
+    pub fn rows(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of column moves.
+    pub fn cols(&self) -> usize {
+        self.entries[0].len()
+    }
+
+    /// Maximin solution by direct backward induction: the row maximiser
+    /// assumes the column minimiser replies optimally. Returns
+    /// `(row, col, value)`; ties break towards smaller indices.
+    pub fn maximin(&self) -> (usize, usize, f64) {
+        let best_reply = |r: usize| -> (usize, f64) {
+            let mut bc = 0;
+            for c in 1..self.cols() {
+                if self.entries[r][c] < self.entries[r][bc] {
+                    bc = c;
+                }
+            }
+            (bc, self.entries[r][bc])
+        };
+        let mut br = 0;
+        let (mut bc, mut bv) = best_reply(0);
+        for r in 1..self.rows() {
+            let (c, v) = best_reply(r);
+            if v > bv {
+                br = r;
+                bc = c;
+                bv = v;
+            }
+        }
+        (br, bc, bv)
+    }
+}
+
+/// A bimatrix game: per-player losses for each joint action.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bimatrix {
+    /// `entries[r][c] = (loss_row, loss_col)`.
+    pub entries: Vec<Vec<(f64, f64)>>,
+}
+
+impl Bimatrix {
+    /// Builds from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or ragged table.
+    pub fn new(entries: Vec<Vec<(f64, f64)>>) -> Bimatrix {
+        assert!(!entries.is_empty(), "empty bimatrix");
+        let w = entries[0].len();
+        assert!(w > 0 && entries.iter().all(|r| r.len() == w), "ragged bimatrix");
+        Bimatrix { entries }
+    }
+
+    /// The §4.3 prisoner's dilemma: rows/cols are (defect, cooperate),
+    /// losses are prison years `[[(3,3),(0,5)],[(5,0),(1,1)]]`.
+    pub fn prisoners_dilemma() -> Bimatrix {
+        Bimatrix::new(vec![
+            vec![(3.0, 3.0), (0.0, 5.0)],
+            vec![(5.0, 0.0), (1.0, 1.0)],
+        ])
+    }
+
+    /// A random bimatrix with losses in `[0, 10)`.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Bimatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Bimatrix::new(
+            (0..rows)
+                .map(|_| {
+                    (0..cols)
+                        .map(|_| (rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of row moves.
+    pub fn rows(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of column moves.
+    pub fn cols(&self) -> usize {
+        self.entries[0].len()
+    }
+
+    /// Is `(r, c)` a pure Nash equilibrium (no unilateral deviation
+    /// strictly improves — i.e. lowers — the deviator's loss)?
+    pub fn is_pure_nash(&self, r: usize, c: usize) -> bool {
+        let (lr, lc) = self.entries[r][c];
+        (0..self.rows()).all(|r2| self.entries[r2][c].0 >= lr)
+            && (0..self.cols()).all(|c2| self.entries[r][c2].1 >= lc)
+    }
+
+    /// All pure Nash equilibria, by enumeration (the baseline for E7).
+    pub fn pure_nash_equilibria(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for r in 0..self.rows() {
+            for c in 0..self.cols() {
+                if self.is_pure_nash(r, c) {
+                    out.push((r, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// One round of (row-first) best-response dynamics from `(r, c)`:
+    /// the row player switches iff it strictly improves; otherwise the
+    /// column player; otherwise the state is a fixed point.
+    pub fn best_response_step(&self, r: usize, c: usize) -> (usize, usize) {
+        let mut br = r;
+        for r2 in 0..self.rows() {
+            if self.entries[r2][c].0 < self.entries[br][c].0 {
+                br = r2;
+            }
+        }
+        if br != r {
+            return (br, c);
+        }
+        let mut bc = c;
+        for c2 in 0..self.cols() {
+            if self.entries[r][c2].1 < self.entries[r][bc].1 {
+                bc = c2;
+            }
+        }
+        (r, bc)
+    }
+
+    /// Iterates [`Bimatrix::best_response_step`] until a fixed point or
+    /// `max_steps`. Returns the trajectory (including the start).
+    pub fn best_response_dynamics(
+        &self,
+        start: (usize, usize),
+        max_steps: usize,
+    ) -> Vec<(usize, usize)> {
+        let mut traj = vec![start];
+        let (mut r, mut c) = start;
+        for _ in 0..max_steps {
+            let (r2, c2) = self.best_response_step(r, c);
+            if (r2, c2) == (r, c) {
+                break;
+            }
+            traj.push((r2, c2));
+            r = r2;
+            c = c2;
+        }
+        traj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matrix_maximin_is_left_right() {
+        let m = Matrix::paper_example();
+        let (r, c, v) = m.maximin();
+        assert_eq!((r, c), (0, 1));
+        assert_eq!(v, 3.0);
+    }
+
+    #[test]
+    fn prisoners_dilemma_unique_nash_is_defect_defect() {
+        let g = Bimatrix::prisoners_dilemma();
+        assert_eq!(g.pure_nash_equilibria(), vec![(0, 0)]);
+        assert!(g.is_pure_nash(0, 0));
+        assert!(!g.is_pure_nash(1, 1)); // cooperate/cooperate is not Nash
+    }
+
+    #[test]
+    fn best_response_dynamics_reach_defect_defect() {
+        let g = Bimatrix::prisoners_dilemma();
+        let traj = g.best_response_dynamics((1, 1), 10);
+        assert_eq!(*traj.last().unwrap(), (0, 0));
+        assert!(traj.len() <= 3, "{traj:?}");
+    }
+
+    #[test]
+    fn matching_pennies_has_no_pure_nash() {
+        // zero-sum mismatch game
+        let g = Bimatrix::new(vec![
+            vec![(0.0, 1.0), (1.0, 0.0)],
+            vec![(1.0, 0.0), (0.0, 1.0)],
+        ]);
+        assert!(g.pure_nash_equilibria().is_empty());
+    }
+
+    #[test]
+    fn random_games_are_deterministic_per_seed() {
+        assert_eq!(Bimatrix::random(3, 4, 9), Bimatrix::random(3, 4, 9));
+        assert_ne!(Bimatrix::random(3, 4, 9), Bimatrix::random(3, 4, 10));
+        assert_eq!(Matrix::random(2, 2, 1), Matrix::random(2, 2, 1));
+    }
+
+    #[test]
+    fn maximin_on_random_matrices_matches_bruteforce() {
+        for seed in 0..20 {
+            let m = Matrix::random(4, 5, seed);
+            let (r, c, v) = m.maximin();
+            // brute force
+            let reply = |r: usize| {
+                (0..m.cols())
+                    .map(|c| m.entries[r][c])
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let best = (0..m.rows()).map(reply).fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(v, best, "seed {seed}");
+            assert_eq!(m.entries[r][c], v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_rejected() {
+        let _ = Matrix::new(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_bimatrix_rejected() {
+        let _ = Bimatrix::new(vec![]);
+    }
+}

@@ -1,0 +1,113 @@
+//! n-queens via products of selection functions.
+//!
+//! The selection monad's algorithm-design lineage (Escardó–Oliva;
+//! Hartmann–Gibbons, both cited in §1) solves search problems by taking
+//! the product of one selection function per decision: each row's argmin
+//! selection, given the global "number of attacks" loss, implements
+//! exhaustive backward induction. A classic backtracking solver serves as
+//! the baseline.
+
+use selection::{argmin, product, Sel};
+use std::rc::Rc;
+
+/// Number of attacking queen pairs in `placement` (one column per row).
+pub fn attacks(placement: &[usize]) -> usize {
+    let mut count = 0;
+    for i in 0..placement.len() {
+        for j in (i + 1)..placement.len() {
+            let (ci, cj) = (placement[i] as i64, placement[j] as i64);
+            if ci == cj || (ci - cj).abs() == (j - i) as i64 {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Is the placement a solution?
+pub fn is_solution(placement: &[usize], n: usize) -> bool {
+    placement.len() == n && attacks(placement) == 0
+}
+
+/// Solves n-queens with the product of per-row `argmin` selection
+/// functions under the global attack-count loss. Exhaustive (`n^n` loss
+/// probes) — fine for the small `n` the benchmarks sweep.
+pub fn queens_selection(n: usize) -> Vec<usize> {
+    let stages: Vec<Rc<dyn Fn(&[usize]) -> Sel<usize, f64>>> = (0..n)
+        .map(|_| {
+            Rc::new(move |_: &[usize]| argmin((0..n).collect::<Vec<usize>>()))
+                as Rc<dyn Fn(&[usize]) -> Sel<usize, f64>>
+        })
+        .collect();
+    let s = product::big_product_dep(stages);
+    s.select(|p: &Vec<usize>| attacks(p) as f64)
+}
+
+/// Classic backtracking baseline. Returns the first solution in
+/// lexicographic order, or `None`.
+pub fn queens_backtracking(n: usize) -> Option<Vec<usize>> {
+    fn safe(p: &[usize], col: usize) -> bool {
+        let row = p.len();
+        p.iter().enumerate().all(|(r, &c)| {
+            c != col && (col as i64 - c as i64).abs() != (row - r) as i64
+        })
+    }
+    fn go(p: &mut Vec<usize>, n: usize) -> bool {
+        if p.len() == n {
+            return true;
+        }
+        for col in 0..n {
+            if safe(p, col) {
+                p.push(col);
+                if go(p, n) {
+                    return true;
+                }
+                p.pop();
+            }
+        }
+        false
+    }
+    let mut p = Vec::new();
+    go(&mut p, n).then_some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_counting() {
+        assert_eq!(attacks(&[0, 0]), 1); // same column
+        assert_eq!(attacks(&[0, 1]), 1); // diagonal
+        assert_eq!(attacks(&[0, 2]), 0);
+        assert_eq!(attacks(&[0, 1, 2]), 3); // all on one diagonal
+    }
+
+    #[test]
+    fn backtracking_solves_classic_sizes() {
+        for n in [1, 4, 5, 6, 8] {
+            let s = queens_backtracking(n).unwrap_or_else(|| panic!("n = {n}"));
+            assert!(is_solution(&s, n), "n = {n}: {s:?}");
+        }
+        assert!(queens_backtracking(2).is_none());
+        assert!(queens_backtracking(3).is_none());
+    }
+
+    #[test]
+    fn selection_product_solves_small_boards() {
+        for n in [1, 4, 5] {
+            let s = queens_selection(n);
+            assert!(is_solution(&s, n), "n = {n}: {s:?} ({} attacks)", attacks(&s));
+        }
+    }
+
+    #[test]
+    fn selection_product_minimises_even_when_unsolvable() {
+        // n = 2 and 3 have no solution; the product still returns a
+        // placement with the minimal number of attacks (1).
+        let s2 = queens_selection(2);
+        assert_eq!(attacks(&s2), 1);
+        let s3 = queens_selection(3);
+        assert_eq!(attacks(&s3), 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! A small builder DSL for writing λC programs in Rust.
+//!
+//! The paper writes programs with the sugar
+//! `x ← e1; e2  ≜  (λx. e2) e1`; this module provides that and friends so
+//! the examples read close to the paper. All builders take and return plain
+//! [`Expr`] values.
+
+use crate::syntax::{Expr, Handler, OpClause, RetClause};
+use crate::types::{Effect, Type};
+use std::rc::Rc;
+
+/// A variable reference.
+pub fn v(name: &str) -> Expr {
+    assert!(!name.starts_with('%'), "names starting with '%' are reserved for the machine");
+    Expr::Var(name.to_owned())
+}
+
+/// A scalar loss constant.
+pub fn lc(x: f64) -> Expr {
+    Expr::lossc(x)
+}
+
+/// A character constant.
+pub fn ch(c: char) -> Expr {
+    Expr::Const(crate::syntax::Const::Char(c))
+}
+
+/// A string constant.
+pub fn s(text: &str) -> Expr {
+    Expr::Const(crate::syntax::Const::Str(text.to_owned()))
+}
+
+/// The unit value.
+pub fn unit() -> Expr {
+    Expr::unit()
+}
+
+/// An abstraction `λε x:σ. body`.
+pub fn lam(eff: Effect, x: &str, ty: Type, body: Expr) -> Expr {
+    Expr::Lam { eff, var: x.to_owned(), ty, body: body.rc() }
+}
+
+/// An application `f a`.
+pub fn app(f: Expr, a: Expr) -> Expr {
+    Expr::App(f.rc(), a.rc())
+}
+
+/// The sequencing sugar `x ← e1; e2` at effect `ε`, i.e. `(λε x:σ. e2) e1`.
+pub fn let_(eff: Effect, x: &str, ty: Type, e1: Expr, e2: Expr) -> Expr {
+    app(lam(eff, x, ty, e2), e1)
+}
+
+/// The sugar `e1; e2` (sequence, discarding the first result of type `σ`).
+pub fn seq(eff: Effect, ty: Type, e1: Expr, e2: Expr) -> Expr {
+    let_(eff, "_seq", ty, e1, e2)
+}
+
+/// A tuple.
+pub fn tuple(es: Vec<Expr>) -> Expr {
+    Expr::Tuple(es.into_iter().map(Expr::rc).collect())
+}
+
+/// A pair.
+pub fn pair(a: Expr, b: Expr) -> Expr {
+    tuple(vec![a, b])
+}
+
+/// Projection `e.i` (0-based).
+pub fn proj(e: Expr, i: usize) -> Expr {
+    Expr::Proj(e.rc(), i)
+}
+
+/// `if c then t else f` — case analysis on the boolean sum.
+pub fn if_(c: Expr, t: Expr, f: Expr) -> Expr {
+    Expr::Cases {
+        scrut: c.rc(),
+        lvar: "_t".to_owned(),
+        lty: Type::unit(),
+        lbody: t.rc(),
+        rvar: "_f".to_owned(),
+        rty: Type::unit(),
+        rbody: f.rc(),
+    }
+}
+
+/// An operation call `op(arg)`.
+pub fn op(name: &str, arg: Expr) -> Expr {
+    Expr::OpCall { op: name.to_owned(), arg: arg.rc() }
+}
+
+/// The built-in `loss(e)` writer effect.
+pub fn loss(e: Expr) -> Expr {
+    Expr::Loss(e.rc())
+}
+
+/// Binary primitive application `f(a, b)`.
+pub fn prim2(name: &str, a: Expr, b: Expr) -> Expr {
+    Expr::Prim(name.to_owned(), pair(a, b).rc())
+}
+
+/// Unary primitive application.
+pub fn prim1(name: &str, a: Expr) -> Expr {
+    Expr::Prim(name.to_owned(), a.rc())
+}
+
+/// `a + b` on losses.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    prim2("add", a, b)
+}
+
+/// `a * b` on losses.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    prim2("mul", a, b)
+}
+
+/// `a <= b` on losses, returning a boolean.
+pub fn leq(a: Expr, b: Expr) -> Expr {
+    prim2("leq", a, b)
+}
+
+/// `with h from e1 handle e2`.
+pub fn handle(h: Handler, from: Expr, body: Expr) -> Expr {
+    Expr::Handle { handler: Rc::new(h), from: from.rc(), body: body.rc() }
+}
+
+/// `with h handle e` for unit-parameter handlers.
+pub fn handle0(h: Handler, body: Expr) -> Expr {
+    handle(h, unit(), body)
+}
+
+/// The localisation `⟨e⟩^ε_{0_{σ,ε}}` — local with the zero continuation,
+/// the form the paper finds sufficient for all its examples (§3.1).
+pub fn local0(eff: Effect, ty: Type, e: Expr) -> Expr {
+    Expr::Local { eff: eff.clone(), g: Expr::zero_cont(ty, eff).rc(), e: e.rc() }
+}
+
+/// `reset e`.
+pub fn reset(e: Expr) -> Expr {
+    Expr::Reset(e.rc())
+}
+
+/// `lreset` (§4.3): `reset ⟨e⟩^ε_0` — combine both localisations, so each
+/// iteration of a loop makes decisions based on its own loss.
+pub fn lreset(eff: Effect, ty: Type, e: Expr) -> Expr {
+    reset(local0(eff, ty, e))
+}
+
+/// The then construct `e ◮ λε x:σ. body`.
+pub fn then(e: Expr, eff: Effect, x: &str, ty: Type, body: Expr) -> Expr {
+    Expr::Then { e: e.rc(), lam: lam(eff, x, ty, body).rc() }
+}
+
+/// Builds a non-parameterized handler (parameter type `()`), with clauses
+/// written as `(op, |p, x, l, k| body)` binder names.
+pub struct HandlerBuilder {
+    label: String,
+    par_ty: Type,
+    body_ty: Type,
+    res_ty: Type,
+    eff: Effect,
+    clauses: Vec<OpClause>,
+    ret: Option<RetClause>,
+}
+
+impl HandlerBuilder {
+    /// Starts a handler for `label` with the given computation type `σ`,
+    /// result type `σ'`, and result effect `ε`. Parameter type defaults to
+    /// `()`.
+    pub fn new(label: &str, body_ty: Type, res_ty: Type, eff: Effect) -> Self {
+        HandlerBuilder {
+            label: label.to_owned(),
+            par_ty: Type::unit(),
+            body_ty,
+            res_ty,
+            eff,
+            clauses: Vec::new(),
+            ret: None,
+        }
+    }
+
+    /// Sets the parameter type (for parameterized handlers).
+    pub fn par_ty(mut self, ty: Type) -> Self {
+        self.par_ty = ty;
+        self
+    }
+
+    /// Adds an operation clause `op ↦ λ(p, x, l, k). body`.
+    pub fn on(mut self, op: &str, p: &str, x: &str, l: &str, k: &str, body: Expr) -> Self {
+        self.clauses.push(OpClause {
+            op: op.to_owned(),
+            p: p.to_owned(),
+            x: x.to_owned(),
+            l: l.to_owned(),
+            k: k.to_owned(),
+            body: body.rc(),
+        });
+        self
+    }
+
+    /// Sets the return clause `return ↦ λ(p, x). body`.
+    pub fn ret(mut self, p: &str, x: &str, body: Expr) -> Self {
+        self.ret = Some(RetClause { p: p.to_owned(), x: x.to_owned(), body: body.rc() });
+        self
+    }
+
+    /// Finishes the handler. If no return clause was given, the identity
+    /// `return ↦ λ(p, x). x` is used (the paper's default).
+    pub fn build(self) -> Handler {
+        let ret = self.ret.unwrap_or_else(|| RetClause {
+            p: "_p".to_owned(),
+            x: "_x".to_owned(),
+            body: Expr::Var("_x".to_owned()).rc(),
+        });
+        Handler {
+            label: self.label,
+            par_ty: self.par_ty,
+            body_ty: self.body_ty,
+            res_ty: self.res_ty,
+            eff: self.eff,
+            clauses: self.clauses,
+            ret,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bigstep::eval_closed;
+    use crate::sig::{OpSig, Signature};
+    use crate::typecheck::check_program;
+
+    #[test]
+    fn let_sugar_is_beta() {
+        let sig = Signature::new();
+        let e = let_(Effect::empty(), "x", Type::loss(), lc(2.0), add(v("x"), v("x")));
+        assert_eq!(check_program(&sig, &e, &Effect::empty()).unwrap(), Type::loss());
+        let out = eval_closed(&sig, e, Type::loss(), Effect::empty()).unwrap();
+        assert_eq!(out.terminal, lc(4.0));
+    }
+
+    #[test]
+    fn if_selects_branch() {
+        let sig = Signature::new();
+        let e = if_(leq(lc(1.0), lc(2.0)), ch('a'), ch('b'));
+        let out = eval_closed(&sig, e, Type::Base(crate::types::BaseTy::Char), Effect::empty())
+            .unwrap();
+        assert_eq!(out.terminal, ch('a'));
+    }
+
+    #[test]
+    fn lreset_composes() {
+        let sig = Signature::new();
+        let e = lreset(Effect::empty(), Type::unit(), loss(lc(3.0)));
+        let out = eval_closed(&sig, e, Type::unit(), Effect::empty()).unwrap();
+        assert!(out.loss.is_zero());
+    }
+
+    #[test]
+    fn handler_builder_defaults_identity_return() {
+        let mut sig = Signature::new();
+        sig.declare("amb", vec![("decide".into(), OpSig { arg: Type::unit(), ret: Type::bool() })])
+            .unwrap();
+        let h = HandlerBuilder::new("amb", Type::bool(), Type::bool(), Effect::empty())
+            .on(
+                "decide",
+                "p",
+                "x",
+                "l",
+                "k",
+                app(v("k"), pair(v("p"), Expr::tt())),
+            )
+            .build();
+        let e = handle0(h, op("decide", unit()));
+        assert_eq!(check_program(&sig, &e, &Effect::empty()).unwrap(), Type::bool());
+        let out = eval_closed(&sig, e, Type::bool(), Effect::empty()).unwrap();
+        assert_eq!(out.terminal, Expr::tt());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_names_rejected() {
+        v("%nope");
+    }
+}

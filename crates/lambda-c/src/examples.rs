@@ -1,0 +1,610 @@
+//! The paper's example programs, written in λC.
+//!
+//! Each function returns an [`ExampleProgram`] bundling the signature, the
+//! closed expression, its type, and its effect, ready for
+//! [`crate::bigstep::eval_closed`], the typechecker, or the denotational
+//! semantics. Expected results (asserted in tests and benches):
+//!
+//! | example | paper | expected |
+//! |---------|-------|----------|
+//! | [`decide_all`] | §2.2 | `[true, false, false, false]`, loss 0 |
+//! | [`pgm_with_argmin_handler`] | §2.3 | `'a'`, loss 2 |
+//! | [`counter`] | §3.1 (parameterized handlers) | loss value 3 |
+//! | [`moo_divergent`] | §3.4 | diverges; signature not well-founded |
+//! | [`minimax`] | §4.3 | `(true, false)` ≙ (Left, Right), loss 3 |
+//! | [`password`] | §4.3 | `"password is abc"`, loss 12 |
+
+use crate::build::*;
+use crate::sig::{OpSig, Signature};
+use crate::syntax::Expr;
+use crate::types::{BaseTy, Effect, Type};
+
+/// A closed λC program together with everything needed to run it.
+#[derive(Clone, Debug)]
+pub struct ExampleProgram {
+    /// The effect signature.
+    pub sig: Signature,
+    /// The closed expression.
+    pub expr: Expr,
+    /// Its type.
+    pub ty: Type,
+    /// Its effect (empty for fully handled programs).
+    pub eff: Effect,
+}
+
+fn amb_sig() -> Signature {
+    let mut sig = Signature::new();
+    sig.declare("amb", vec![("decide".into(), OpSig { arg: Type::unit(), ret: Type::bool() })])
+        .expect("fresh signature");
+    sig
+}
+
+/// §2.2: perform `decide` twice, return the conjunction, and collect *all*
+/// results with a handler that resumes the continuation with both booleans
+/// and appends the result lists. Expected value:
+/// `[true, false, false, false]`.
+pub fn decide_all() -> ExampleProgram {
+    let sig = amb_sig();
+    let e0 = Effect::empty();
+    let eamb = Effect::single("amb");
+    let bool_list = Type::List(Box::new(Type::bool()));
+
+    // f ≜ x ← decide(); y ← decide(); x && y
+    let f = let_(
+        eamb.clone(),
+        "x",
+        Type::bool(),
+        op("decide", unit()),
+        let_(
+            eamb.clone(),
+            "y",
+            Type::bool(),
+            op("decide", unit()),
+            if_(v("x"), v("y"), Expr::ff()),
+        ),
+    );
+
+    // append xs ys = fold(xs, ys, λ(h, acc). cons(h, acc))
+    let append = |xs: Expr, ys: Expr| {
+        Expr::Fold(
+            xs.rc(),
+            ys.rc(),
+            lam(
+                e0.clone(),
+                "z",
+                Type::Tuple(vec![Type::bool(), bool_list.clone()]),
+                Expr::Cons(proj(v("z"), 0).rc(), proj(v("z"), 1).rc()),
+            )
+            .rc(),
+        )
+    };
+
+    // decide ↦ λ(p,x,l,k). k(p,true) ++ k(p,false);  return ↦ λ(p,x). [x]
+    let h = HandlerBuilder::new("amb", Type::bool(), bool_list.clone(), e0.clone())
+        .on(
+            "decide",
+            "p",
+            "x",
+            "l",
+            "k",
+            append(
+                app(v("k"), pair(v("p"), Expr::tt())),
+                app(v("k"), pair(v("p"), Expr::ff())),
+            ),
+        )
+        .ret("p", "x", Expr::Cons(v("x").rc(), Expr::Nil(Type::bool()).rc()))
+        .build();
+
+    ExampleProgram { sig, expr: handle0(h, f), ty: bool_list, eff: Effect::empty() }
+}
+
+/// §2.3: the running example
+///
+/// ```text
+/// pgm ≜ b ← decide(); i ← if b then 1 else 2; loss(2*i);
+///       if b then 'a' else 'b'
+/// ```
+///
+/// handled by the argmin handler that probes both choice-continuation
+/// losses and resumes with the cheaper branch. Expected: `'a'` with loss 2.
+pub fn pgm_with_argmin_handler() -> ExampleProgram {
+    let sig = amb_sig();
+    let e0 = Effect::empty();
+    let eamb = Effect::single("amb");
+    let chr = Type::Base(BaseTy::Char);
+
+    let pgm = let_(
+        eamb.clone(),
+        "b",
+        Type::bool(),
+        op("decide", unit()),
+        let_(
+            eamb.clone(),
+            "i",
+            Type::loss(),
+            if_(v("b"), lc(1.0), lc(2.0)),
+            seq(
+                eamb.clone(),
+                Type::unit(),
+                loss(mul(lc(2.0), v("i"))),
+                if_(v("b"), ch('a'), ch('b')),
+            ),
+        ),
+    );
+
+    // decide ↦ λ(p,x,l,k). y ← l(p,true); z ← l(p,false);
+    //                      if y <= z then k(p,true) else k(p,false)
+    let h = HandlerBuilder::new("amb", chr.clone(), chr.clone(), e0.clone())
+        .on(
+            "decide",
+            "p",
+            "x",
+            "l",
+            "k",
+            let_(
+                e0.clone(),
+                "y",
+                Type::loss(),
+                app(v("l"), pair(v("p"), Expr::tt())),
+                let_(
+                    e0.clone(),
+                    "z",
+                    Type::loss(),
+                    app(v("l"), pair(v("p"), Expr::ff())),
+                    if_(
+                        leq(v("y"), v("z")),
+                        app(v("k"), pair(v("p"), Expr::tt())),
+                        app(v("k"), pair(v("p"), Expr::ff())),
+                    ),
+                ),
+            ),
+        )
+        .build();
+
+    ExampleProgram { sig, expr: handle0(h, pgm), ty: chr, eff: Effect::empty() }
+}
+
+/// A parameterized handler (§3.1 motivates them for stateful effects): a
+/// counter whose `tick` operation returns the number of previous ticks as a
+/// loss value. Three ticks yield `0 + 1 + 2 = 3`.
+pub fn counter() -> ExampleProgram {
+    let mut sig = Signature::new();
+    sig.declare("cnt", vec![("tick".into(), OpSig { arg: Type::unit(), ret: Type::loss() })])
+        .expect("fresh signature");
+    let e0 = Effect::empty();
+    let ecnt = Effect::single("cnt");
+
+    // tick ↦ λ(p,x,l,k). k(succ p, nat_to_loss p)
+    let h = HandlerBuilder::new("cnt", Type::loss(), Type::loss(), e0)
+        .par_ty(Type::Nat)
+        .on(
+            "tick",
+            "p",
+            "x",
+            "l",
+            "k",
+            app(
+                v("k"),
+                pair(Expr::Succ(v("p").rc()), prim1("nat_to_loss", v("p"))),
+            ),
+        )
+        .build();
+
+    // a ← tick(); b ← tick(); c ← tick(); a + b + c
+    let body = let_(
+        ecnt.clone(),
+        "a",
+        Type::loss(),
+        op("tick", unit()),
+        let_(
+            ecnt.clone(),
+            "b",
+            Type::loss(),
+            op("tick", unit()),
+            let_(
+                ecnt.clone(),
+                "c",
+                Type::loss(),
+                op("tick", unit()),
+                add(v("a"), add(v("b"), v("c"))),
+            ),
+        ),
+    );
+
+    ExampleProgram {
+        sig,
+        expr: handle(h, Expr::nat(0), body),
+        ty: Type::loss(),
+        eff: Effect::empty(),
+    }
+}
+
+/// §3.4's divergent program: the `cow` effect whose `moo` operation returns
+/// a `cow`-performing thunk, with the handler that feeds `moo` back to
+/// itself. Its signature fails [`Signature::check_well_founded`] and
+/// evaluation runs forever (exhausts any fuel).
+pub fn moo_divergent() -> ExampleProgram {
+    let mut sig = Signature::new();
+    let thunk_ty = Type::fun(Type::unit(), Type::unit(), Effect::single("cow"));
+    sig.declare("cow", vec![("moo".into(), OpSig { arg: Type::unit(), ret: thunk_ty.clone() })])
+        .expect("fresh signature");
+    let e0 = Effect::empty();
+    let ecow = Effect::single("cow");
+
+    // moo ↦ λ(p,x,l,k). k(p, λcow y. moo(())())
+    let h = HandlerBuilder::new("cow", Type::unit(), Type::unit(), e0)
+        .on(
+            "moo",
+            "p",
+            "x",
+            "l",
+            "k",
+            app(
+                v("k"),
+                pair(
+                    v("p"),
+                    lam(
+                        ecow.clone(),
+                        "y",
+                        Type::unit(),
+                        app(op("moo", unit()), unit()),
+                    ),
+                ),
+            ),
+        )
+        .build();
+
+    // with h handle (moo(()) ())
+    let body = app(op("moo", unit()), unit());
+    ExampleProgram { sig, expr: handle0(h, body), ty: Type::unit(), eff: Effect::empty() }
+}
+
+/// §4.3's two-player minimax game over the loss table
+///
+/// ```text
+///            B: Left   B: Right
+/// A: Left       5         3
+/// A: Right      2         9
+/// ```
+///
+/// with a maximiser handler for `A`'s move and a minimiser handler for
+/// `B`'s. Booleans encode moves (`true` = Left). Expected play:
+/// `(true, false)` — A Left, B Right — with loss 3.
+pub fn minimax() -> ExampleProgram {
+    let mut sig = Signature::new();
+    sig.declare("mx", vec![("max2".into(), OpSig { arg: Type::unit(), ret: Type::bool() })])
+        .expect("fresh signature");
+    sig.declare("mn", vec![("min2".into(), OpSig { arg: Type::unit(), ret: Type::bool() })])
+        .expect("fresh signature");
+    let e0 = Effect::empty();
+    let emx = Effect::single("mx");
+    let eboth = Effect::from_labels(["mx", "mn"]);
+    let pair_ty = Type::Tuple(vec![Type::bool(), Type::bool()]);
+
+    // a ← max2(); b ← min2(); loss(table a b); (a, b)
+    let table = if_(
+        v("a"),
+        if_(v("b"), lc(5.0), lc(3.0)),
+        if_(v("b"), lc(2.0), lc(9.0)),
+    );
+    let game = let_(
+        eboth.clone(),
+        "a",
+        Type::bool(),
+        op("max2", unit()),
+        let_(
+            eboth.clone(),
+            "b",
+            Type::bool(),
+            op("min2", unit()),
+            seq(eboth.clone(), Type::unit(), loss(table), pair(v("a"), v("b"))),
+        ),
+    );
+
+    // Chooser handler: probe both losses, pick per `pick_left_if`.
+    let chooser = |label: &str, op_name: &str, eff: Effect, maximise: bool| {
+        let cond = if maximise {
+            // pick true iff loss(true) >= loss(false)
+            leq(v("z"), v("y"))
+        } else {
+            leq(v("y"), v("z"))
+        };
+        HandlerBuilder::new(label, pair_ty.clone(), pair_ty.clone(), eff.clone())
+            .on(
+                op_name,
+                "p",
+                "x",
+                "l",
+                "k",
+                let_(
+                    eff.clone(),
+                    "y",
+                    Type::loss(),
+                    app(v("l"), pair(v("p"), Expr::tt())),
+                    let_(
+                        eff.clone(),
+                        "z",
+                        Type::loss(),
+                        app(v("l"), pair(v("p"), Expr::ff())),
+                        if_(
+                            cond,
+                            app(v("k"), pair(v("p"), Expr::tt())),
+                            app(v("k"), pair(v("p"), Expr::ff())),
+                        ),
+                    ),
+                ),
+            )
+            .build()
+    };
+
+    let hmin = chooser("mn", "min2", emx.clone(), false);
+    let hmax = chooser("mx", "max2", e0, true);
+
+    let expr = handle0(hmax, handle0(hmin, game));
+    ExampleProgram { sig, expr, ty: pair_ty, eff: Effect::empty() }
+}
+
+/// §4.3's greedy password selection: pick the candidate maximising the
+/// downstream reward `len(s) + distinct(s)²`, then return
+/// `"password is " ++ s`. Expected: `"password is abc"` with loss 12.
+pub fn password() -> ExampleProgram {
+    password_with_candidates(vec!["aaa", "aabb", "abc"])
+}
+
+/// [`password`] generalised over the candidate list (used by benches to
+/// scale the choice set).
+pub fn password_with_candidates(cands: Vec<&str>) -> ExampleProgram {
+    let mut sig = Signature::new();
+    let str_ty = Type::Base(BaseTy::Str);
+    let list_str = Type::List(Box::new(str_ty.clone()));
+    sig.declare("gr", vec![("pick".into(), OpSig { arg: list_str.clone(), ret: str_ty.clone() })])
+        .expect("fresh signature");
+    let e0 = Effect::empty();
+    let egr = Effect::single("gr");
+
+    // Handler: fold over the candidate list, probing l for each, keeping
+    // the maximum; then resume with the winner.
+    let acc_ty = Type::Tuple(vec![str_ty.clone(), Type::loss()]);
+    let fold_body = lam(
+        e0.clone(),
+        "zz",
+        Type::Tuple(vec![str_ty.clone(), acc_ty.clone()]),
+        let_(
+            e0.clone(),
+            "cand",
+            str_ty.clone(),
+            proj(v("zz"), 0),
+            let_(
+                e0.clone(),
+                "best",
+                acc_ty.clone(),
+                proj(v("zz"), 1),
+                let_(
+                    e0.clone(),
+                    "r",
+                    Type::loss(),
+                    app(v("l"), pair(v("p"), v("cand"))),
+                    if_(
+                        leq(v("r"), proj(v("best"), 1)),
+                        v("best"),
+                        pair(v("cand"), v("r")),
+                    ),
+                ),
+            ),
+        ),
+    );
+    let pick_clause = let_(
+        e0.clone(),
+        "chosen",
+        acc_ty.clone(),
+        Expr::Fold(
+            v("x").rc(),
+            pair(s(""), lc(-1.0e18)).rc(),
+            fold_body.rc(),
+        ),
+        app(v("k"), pair(v("p"), proj(v("chosen"), 0))),
+    );
+    let h = HandlerBuilder::new("gr", str_ty.clone(), str_ty.clone(), e0)
+        .on("pick", "p", "x", "l", "k", pick_clause)
+        .build();
+
+    // s ← pick(cands); loss(len s); d ← distinct s; loss(d*d);
+    // "password is " ++ s
+    let cand_list = Expr::list(str_ty.clone(), cands.into_iter().map(s).collect());
+    let body = let_(
+        egr.clone(),
+        "pw",
+        str_ty.clone(),
+        op("pick", cand_list),
+        seq(
+            egr.clone(),
+            Type::unit(),
+            loss(prim1("str_len", v("pw"))),
+            let_(
+                egr.clone(),
+                "d",
+                Type::loss(),
+                prim1("str_distinct", v("pw")),
+                seq(
+                    egr.clone(),
+                    Type::unit(),
+                    loss(mul(v("d"), v("d"))),
+                    prim2("str_append", s("password is "), v("pw")),
+                ),
+            ),
+        ),
+    );
+
+    ExampleProgram { sig, expr: handle0(h, body), ty: str_ty, eff: Effect::empty() }
+}
+
+/// §4.3's `tuneLR` in the calculus: a handler that *changes the answer
+/// type* (the handled program computes a loss value, the handler returns
+/// the chosen learning rate) and *never resumes* its continuation. The
+/// program performs `lrate()` once, then records `(3 - 6·α)²` — the
+/// squared error after one gradient step on `(p-3)²` from `p = 0` with
+/// rate `α`. Grid {1.0, 0.5}: rate 1.0 overshoots (error 9), rate 0.5
+/// lands exactly (error 0) — so the handler returns 0.5.
+pub fn tune_lr(alpha1: f64, alpha2: f64) -> ExampleProgram {
+    let mut sig = Signature::new();
+    sig.declare("lr", vec![("lrate".into(), OpSig { arg: Type::unit(), ret: Type::loss() })])
+        .expect("fresh signature");
+    let e0 = Effect::empty();
+    let elr = Effect::single("lr");
+
+    // lrate ↦ λ(p,x,l,k). e1 ← l(p,α1); e2 ← l(p,α2);
+    //                     if e1 <= e2 then α1 else α2     (no resumption!)
+    // return ↦ λ(p,x). α1
+    let h = HandlerBuilder::new("lr", Type::loss(), Type::loss(), e0.clone())
+        .on(
+            "lrate",
+            "p",
+            "x",
+            "l",
+            "k",
+            let_(
+                e0.clone(),
+                "e1",
+                Type::loss(),
+                app(v("l"), pair(v("p"), lc(alpha1))),
+                let_(
+                    e0.clone(),
+                    "e2",
+                    Type::loss(),
+                    app(v("l"), pair(v("p"), lc(alpha2))),
+                    if_(leq(v("e1"), v("e2")), lc(alpha1), lc(alpha2)),
+                ),
+            ),
+        )
+        .ret("p", "x", lc(alpha1))
+        .build();
+
+    // α ← lrate(); err ← (3 - 6·α)... as loss: e = sub(3, mul(6, α));
+    // loss(e*e); e*e
+    let body = let_(
+        elr.clone(),
+        "alpha",
+        Type::loss(),
+        op("lrate", unit()),
+        let_(
+            elr.clone(),
+            "err",
+            Type::loss(),
+            prim2("sub", lc(3.0), mul(lc(6.0), v("alpha"))),
+            let_(
+                elr.clone(),
+                "sq",
+                Type::loss(),
+                mul(v("err"), v("err")),
+                seq(elr.clone(), Type::unit(), loss(v("sq")), v("sq")),
+            ),
+        ),
+    );
+
+    ExampleProgram { sig, expr: handle0(h, body), ty: Type::loss(), eff: Effect::empty() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bigstep::{eval, eval_closed};
+    use crate::loss::LossVal;
+    use crate::prim::{value_to_ground, Ground};
+    use crate::smallstep::EvalError;
+    use crate::syntax::Const;
+    use crate::typecheck::check_program;
+
+    fn run(ex: &ExampleProgram) -> crate::bigstep::EvalOutcome {
+        check_program(&ex.sig, &ex.expr, &ex.eff).expect("example typechecks");
+        eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone()).expect("evaluates")
+    }
+
+    #[test]
+    fn decide_all_matches_paper() {
+        let ex = decide_all();
+        let out = run(&ex);
+        assert!(out.is_value());
+        let g = value_to_ground(&out.terminal).unwrap();
+        assert_eq!(
+            g,
+            Ground::List(vec![
+                Ground::bool(true),
+                Ground::bool(false),
+                Ground::bool(false),
+                Ground::bool(false),
+            ])
+        );
+    }
+
+    #[test]
+    fn pgm_selects_true_branch_with_loss_2() {
+        let ex = pgm_with_argmin_handler();
+        let out = run(&ex);
+        assert_eq!(out.terminal, Expr::Const(Const::Char('a')));
+        assert_eq!(out.loss, LossVal::scalar(2.0));
+    }
+
+    #[test]
+    fn counter_threads_parameter() {
+        let ex = counter();
+        let out = run(&ex);
+        assert_eq!(out.terminal, Expr::lossc(3.0));
+    }
+
+    #[test]
+    fn moo_is_rejected_and_diverges() {
+        let ex = moo_divergent();
+        // The signature violates well-foundedness…
+        assert!(ex.sig.check_well_founded().is_err());
+        // …the program still typechecks…
+        check_program(&ex.sig, &ex.expr, &ex.eff).unwrap();
+        // …and evaluation exhausts any fuel.
+        let g = Expr::zero_cont(ex.ty.clone(), ex.eff.clone()).rc();
+        // Each handling cycle wraps the redex in further `local` frames, so
+        // the term grows without bound; a couple of hundred steps is ample
+        // evidence of divergence while keeping the term (and the stepper's
+        // structural recursion) small.
+        let r = eval(&ex.sig, &g, &ex.eff, ex.expr.clone(), 200);
+        assert!(matches!(r, Err(EvalError::OutOfFuel { .. })));
+    }
+
+    #[test]
+    fn minimax_plays_left_right_with_loss_3() {
+        let ex = minimax();
+        let out = run(&ex);
+        let g = value_to_ground(&out.terminal).unwrap();
+        assert_eq!(g, Ground::Tuple(vec![Ground::bool(true), Ground::bool(false)]));
+        assert_eq!(out.loss, LossVal::scalar(3.0));
+    }
+
+    #[test]
+    fn password_picks_abc_with_reward_12() {
+        let ex = password();
+        let out = run(&ex);
+        assert_eq!(out.terminal, Expr::Const(Const::Str("password is abc".into())));
+        assert_eq!(out.loss, LossVal::scalar(12.0));
+    }
+
+    #[test]
+    fn tune_lr_returns_the_better_rate_without_resuming() {
+        // grid {1.0, 0.5}: one step from 0 on (p-3)² with rate α lands at
+        // 6α; error (3-6α)²: α=1 → 9, α=0.5 → 0. Handler returns 0.5.
+        let ex = tune_lr(1.0, 0.5);
+        let out = run(&ex);
+        assert_eq!(out.terminal, Expr::lossc(0.5));
+        // the continuation was never resumed, so no loss was recorded
+        assert!(out.loss.is_zero(), "loss was {}", out.loss);
+
+        // order in the grid does not matter for a strict winner
+        let ex = tune_lr(0.5, 1.0);
+        assert_eq!(run(&ex).terminal, Expr::lossc(0.5));
+    }
+
+    #[test]
+    fn password_scales_to_more_candidates() {
+        let ex = password_with_candidates(vec!["aa", "abcd", "xy", "abc"]);
+        let out = run(&ex);
+        // abcd: 4 + 16 = 20 beats abc: 3 + 9 = 12
+        assert_eq!(out.terminal, Expr::Const(Const::Str("password is abcd".into())));
+    }
+}

@@ -1,0 +1,276 @@
+//! The giant-step evaluation of Theorem 5.6: evaluate an expression "as
+//! far as effect values" — a tree whose leaves are `(loss, value)`
+//! outcomes and whose nodes are unhandled operations with one child per
+//! (sampled) operation result.
+//!
+//! The paper's `Eval : E ⇀ EV` continues stuck expressions with *every*
+//! possible operation result; here result types are sampled up to a cap
+//! for first-order `in`-types (the same discipline the adequacy harness
+//! uses), and depth is fuel-bounded. For programs with empty residual
+//! effect this is exactly big-step evaluation.
+
+use crate::bigstep::eval;
+use crate::loss::LossVal;
+use crate::sig::Signature;
+use crate::smallstep::{plug_all, split_stuck, EvalError};
+use crate::syntax::Expr;
+use crate::types::{BaseTy, Effect, Type};
+
+/// An effect value (the set `EV` of §5.4): the giant-step result tree.
+#[derive(Clone, Debug)]
+pub enum EffValue {
+    /// `(r, v)` — terminated with loss `r` and value `v`.
+    Done {
+        /// Total emitted loss along this path.
+        loss: LossVal,
+        /// The final value.
+        value: Expr,
+    },
+    /// `((ℓ, op), (v, k))` — stuck on `op(arg)`; children are the
+    /// continuations for sampled results.
+    Op {
+        /// The effect label.
+        label: String,
+        /// The operation.
+        op: String,
+        /// Its argument value.
+        arg: Expr,
+        /// Loss emitted before the operation.
+        loss: LossVal,
+        /// `(sampled result, continuation tree)` pairs; empty when the
+        /// result type is higher-order or `depth` ran out.
+        children: Vec<(Expr, EffValue)>,
+    },
+}
+
+impl EffValue {
+    /// Number of leaves in the tree.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            EffValue::Done { .. } => 1,
+            EffValue::Op { children, .. } => {
+                children.iter().map(|(_, t)| t.leaf_count()).max().unwrap_or(0).max(1)
+            }
+        }
+    }
+
+    /// Total number of operation nodes along the deepest path.
+    pub fn depth(&self) -> usize {
+        match self {
+            EffValue::Done { .. } => 0,
+            EffValue::Op { children, .. } => {
+                1 + children.iter().map(|(_, t)| t.depth()).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// Sample values of a first-order type (shared discipline with the
+/// adequacy harness). Returns `None` for higher-order types.
+pub fn sample_values(ty: &Type) -> Option<Vec<Expr>> {
+    const CAP: usize = 6;
+    let out = match ty {
+        Type::Base(BaseTy::Loss) => vec![Expr::lossc(0.0), Expr::lossc(1.0), Expr::lossc(-2.5)],
+        Type::Base(BaseTy::Char) => vec![
+            Expr::Const(crate::syntax::Const::Char('a')),
+            Expr::Const(crate::syntax::Const::Char('b')),
+        ],
+        Type::Base(BaseTy::Str) => vec![
+            Expr::Const(crate::syntax::Const::Str(String::new())),
+            Expr::Const(crate::syntax::Const::Str("ab".into())),
+        ],
+        Type::Nat => vec![Expr::nat(0), Expr::nat(1), Expr::nat(2)],
+        Type::Tuple(ts) => {
+            let mut combos: Vec<Vec<Expr>> = vec![Vec::new()];
+            for t in ts {
+                let samples = sample_values(t)?;
+                let mut next = Vec::new();
+                'outer: for c in &combos {
+                    for s in &samples {
+                        let mut c2 = c.clone();
+                        c2.push(s.clone());
+                        next.push(c2);
+                        if next.len() >= CAP {
+                            break 'outer;
+                        }
+                    }
+                }
+                combos = next;
+            }
+            combos
+                .into_iter()
+                .map(|c| Expr::Tuple(c.into_iter().map(Expr::rc).collect()))
+                .collect()
+        }
+        Type::Sum(a, b) => {
+            let mut out = Vec::new();
+            for s in sample_values(a)? {
+                out.push(Expr::Inl { lty: (**a).clone(), rty: (**b).clone(), e: s.rc() });
+            }
+            for s in sample_values(b)? {
+                out.push(Expr::Inr { lty: (**a).clone(), rty: (**b).clone(), e: s.rc() });
+            }
+            out
+        }
+        Type::List(t) => {
+            let samples = sample_values(t)?;
+            let mut out = vec![Expr::Nil((**t).clone())];
+            if let Some(s) = samples.first() {
+                out.push(Expr::Cons(s.clone().rc(), Expr::Nil((**t).clone()).rc()));
+            }
+            out
+        }
+        Type::Fun(..) => return None,
+    };
+    Some(out.into_iter().take(CAP).collect())
+}
+
+/// Giant-step evaluation of `e : ty ! eff` under the zero loss
+/// continuation, exploring stuck continuations up to `depth` operations
+/// deep.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`] from the underlying big-step evaluator.
+pub fn eval_giant(
+    sig: &Signature,
+    e: Expr,
+    ty: &Type,
+    eff: &Effect,
+    depth: usize,
+) -> Result<EffValue, EvalError> {
+    let g = Expr::zero_cont(ty.clone(), eff.clone()).rc();
+    let out = eval(sig, &g, eff, e, crate::bigstep::DEFAULT_FUEL)?;
+    match out.stuck_on {
+        None => Ok(EffValue::Done { loss: out.loss, value: out.terminal }),
+        Some(op) => {
+            let stuck = split_stuck(&out.terminal)
+                .ok_or_else(|| EvalError::Malformed("stuck terminal not decomposable".into()))?;
+            let label = sig
+                .label_of(&op)
+                .ok_or_else(|| EvalError::Malformed(format!("unknown op `{op}`")))?
+                .to_owned();
+            let mut children = Vec::new();
+            if depth > 0 {
+                if let Some(osig) = sig.op_sig(&op) {
+                    if let Some(samples) = sample_values(&osig.ret) {
+                        for w in samples {
+                            let resumed = plug_all(&stuck.path, w.clone());
+                            let child = eval_giant(sig, resumed, ty, eff, depth - 1)?;
+                            children.push((w, child));
+                        }
+                    }
+                }
+            }
+            Ok(EffValue::Op { label, op, arg: stuck.arg, loss: out.loss, children })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::sig::OpSig;
+
+    fn amb_sig() -> Signature {
+        let mut sig = Signature::new();
+        sig.declare(
+            "amb",
+            vec![("decide".into(), OpSig { arg: Type::unit(), ret: Type::bool() })],
+        )
+        .unwrap();
+        sig
+    }
+
+    #[test]
+    fn pure_program_is_a_leaf() {
+        let sig = Signature::new();
+        let t = eval_giant(&sig, add(lc(1.0), lc(2.0)), &Type::loss(), &Effect::empty(), 3)
+            .unwrap();
+        match t {
+            EffValue::Done { loss, value } => {
+                assert!(loss.is_zero());
+                assert_eq!(value, lc(3.0));
+            }
+            other => panic!("expected leaf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn residual_op_builds_a_node_with_both_branches() {
+        let sig = amb_sig();
+        let eamb = Effect::single("amb");
+        // b ← decide(); loss(if b then 1 else 2); b
+        let e = let_(
+            eamb.clone(),
+            "b",
+            Type::bool(),
+            op("decide", unit()),
+            seq(
+                eamb.clone(),
+                Type::unit(),
+                loss(if_(v("b"), lc(1.0), lc(2.0))),
+                v("b"),
+            ),
+        );
+        let t = eval_giant(&sig, e, &Type::bool(), &eamb, 2).unwrap();
+        match t {
+            EffValue::Op { label, op, children, loss, .. } => {
+                assert_eq!((label.as_str(), op.as_str()), ("amb", "decide"));
+                assert!(loss.is_zero());
+                assert_eq!(children.len(), 2);
+                for (w, child) in &children {
+                    let expected = if *w == Expr::tt() { 1.0 } else { 2.0 };
+                    match child {
+                        EffValue::Done { loss, value } => {
+                            assert_eq!(*loss, crate::LossVal::scalar(expected));
+                            assert_eq!(value, w);
+                        }
+                        other => panic!("expected leaf, got {other:?}"),
+                    }
+                }
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_and_leaf_count_metrics() {
+        let sig = amb_sig();
+        let eamb = Effect::single("amb");
+        let e = let_(
+            eamb.clone(),
+            "a",
+            Type::bool(),
+            op("decide", unit()),
+            let_(
+                eamb.clone(),
+                "b",
+                Type::bool(),
+                op("decide", unit()),
+                if_(v("a"), v("b"), Expr::ff()),
+            ),
+        );
+        let t = eval_giant(&sig, e, &Type::bool(), &eamb, 4).unwrap();
+        assert_eq!(t.depth(), 2);
+        assert!(t.leaf_count() >= 1);
+    }
+
+    #[test]
+    fn zero_depth_stops_expansion() {
+        let sig = amb_sig();
+        let t = eval_giant(
+            &sig,
+            op("decide", unit()),
+            &Type::bool(),
+            &Effect::single("amb"),
+            0,
+        )
+        .unwrap();
+        match t {
+            EffValue::Op { children, .. } => assert!(children.is_empty()),
+            other => panic!("expected node, got {other:?}"),
+        }
+    }
+}

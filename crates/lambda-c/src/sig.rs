@@ -1,0 +1,310 @@
+//! Effect signatures `Σ = { ℓ : Op(ℓ) }` and the hierarchical
+//! well-foundedness check of §3.4.
+//!
+//! A signature assigns each effect label a finite, non-empty set of
+//! operations `op : out → in` (the paper's convention: an element of `out`
+//! starts the effect, the operation returns an element of `in`). Distinct
+//! labels have disjoint operation sets, so an operation name determines its
+//! label.
+//!
+//! The termination theorem (Thm 3.5) and the denotational semantics (§5)
+//! require the signature to be *well-founded*: there must be an ordering
+//! `ℓ1, …, ℓn` of labels such that the labels appearing in the operation
+//! types of `ℓj` are all strictly earlier. [`Signature::check_well_founded`]
+//! decides this by topologically sorting the label-dependency graph and
+//! assigns each label its *effect level*.
+
+use crate::types::{Effect, Type};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The type of one operation, `op : out → in`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpSig {
+    /// Argument ("out") type — sent to start the effect.
+    pub arg: Type,
+    /// Result ("in") type — received to continue the computation.
+    pub ret: Type,
+}
+
+/// A signature: effect labels with their operations.
+#[derive(Clone, Debug, Default)]
+pub struct Signature {
+    effects: BTreeMap<String, BTreeMap<String, OpSig>>,
+    op_to_label: BTreeMap<String, String>,
+}
+
+/// Error raised when a signature declaration is malformed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SigError {
+    /// The same operation name was declared under two labels.
+    DuplicateOp(String),
+    /// A label was declared with no operations (Fig 2 requires non-empty).
+    EmptyEffect(String),
+    /// The label-dependency graph has a cycle: no well-founded ordering.
+    NotWellFounded(Vec<String>),
+}
+
+impl fmt::Display for SigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SigError::DuplicateOp(op) => write!(f, "operation `{op}` declared twice"),
+            SigError::EmptyEffect(l) => write!(f, "effect `{l}` has no operations"),
+            SigError::NotWellFounded(cycle) => {
+                write!(f, "effect labels are not well-founded (cycle through {})", cycle.join(" -> "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for SigError {}
+
+impl Signature {
+    /// An empty signature.
+    pub fn new() -> Signature {
+        Signature::default()
+    }
+
+    /// Declares an effect `ℓ` with operations `ops`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigError::EmptyEffect`] for an empty operation list and
+    /// [`SigError::DuplicateOp`] if an operation name is already taken
+    /// (operation sets of distinct labels must be disjoint).
+    pub fn declare(
+        &mut self,
+        label: impl Into<String>,
+        ops: Vec<(String, OpSig)>,
+    ) -> Result<(), SigError> {
+        let label = label.into();
+        if ops.is_empty() {
+            return Err(SigError::EmptyEffect(label));
+        }
+        let mut map = BTreeMap::new();
+        for (name, sig) in ops {
+            if self.op_to_label.contains_key(&name) || map.contains_key(&name) {
+                return Err(SigError::DuplicateOp(name));
+            }
+            map.insert(name, sig);
+        }
+        for name in map.keys() {
+            self.op_to_label.insert(name.clone(), label.clone());
+        }
+        self.effects.insert(label, map);
+        Ok(())
+    }
+
+    /// The label an operation belongs to.
+    pub fn label_of(&self, op: &str) -> Option<&str> {
+        self.op_to_label.get(op).map(String::as_str)
+    }
+
+    /// The typing of an operation.
+    pub fn op_sig(&self, op: &str) -> Option<&OpSig> {
+        let label = self.op_to_label.get(op)?;
+        self.effects.get(label)?.get(op)
+    }
+
+    /// The operations of a label (name → typing), in canonical order.
+    pub fn ops_of(&self, label: &str) -> Option<&BTreeMap<String, OpSig>> {
+        self.effects.get(label)
+    }
+
+    /// All declared labels.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.effects.keys().map(String::as_str)
+    }
+
+    /// Checks the well-foundedness assumption of §3.4 and returns the
+    /// *effect level* of every label: `level(ℓ)` strictly exceeds the level
+    /// of every label occurring in the operation types of `ℓ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigError::NotWellFounded`] with (part of) a dependency
+    /// cycle when no ordering exists — e.g. for the `moo` effect of §3.4
+    /// whose operation type mentions its own label.
+    pub fn check_well_founded(&self) -> Result<BTreeMap<String, usize>, SigError> {
+        // deps[ℓ] = labels appearing in the in/out types of ℓ's operations
+        let mut deps: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+        for (label, ops) in &self.effects {
+            let mut set = BTreeSet::new();
+            for op in ops.values() {
+                op.arg.effect_labels(&mut set);
+                op.ret.effect_labels(&mut set);
+            }
+            deps.insert(label, set);
+        }
+        let mut level: BTreeMap<String, usize> = BTreeMap::new();
+        let mut visiting: Vec<String> = Vec::new();
+
+        fn visit(
+            label: &str,
+            deps: &BTreeMap<&str, BTreeSet<String>>,
+            level: &mut BTreeMap<String, usize>,
+            visiting: &mut Vec<String>,
+        ) -> Result<usize, SigError> {
+            if let Some(l) = level.get(label) {
+                return Ok(*l);
+            }
+            if visiting.iter().any(|v| v == label) {
+                let mut cycle = visiting.clone();
+                cycle.push(label.to_owned());
+                return Err(SigError::NotWellFounded(cycle));
+            }
+            visiting.push(label.to_owned());
+            let mut max_dep = 0usize;
+            if let Some(ds) = deps.get(label) {
+                for d in ds {
+                    // Labels not declared in the signature are treated as
+                    // level 0 (they cannot be performed anyway).
+                    if deps.contains_key(d.as_str()) {
+                        let dl = visit(d, deps, level, visiting)?;
+                        max_dep = max_dep.max(dl + 1);
+                    } else {
+                        max_dep = max_dep.max(1);
+                    }
+                }
+            }
+            visiting.pop();
+            level.insert(label.to_owned(), max_dep);
+            Ok(max_dep)
+        }
+
+        for label in self.effects.keys() {
+            visit(label, &deps, &mut level, &mut visiting)?;
+        }
+        Ok(level)
+    }
+
+    /// The effect level `l(ε)` of a multiset: the maximum level of its
+    /// labels (0 for the empty effect). Requires a well-founded signature.
+    pub fn effect_level(&self, eff: &Effect, levels: &BTreeMap<String, usize>) -> usize {
+        eff.labels()
+            .map(|l| levels.get(l).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::BaseTy;
+
+    fn op(arg: Type, ret: Type) -> OpSig {
+        OpSig { arg, ret }
+    }
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut sig = Signature::new();
+        sig.declare(
+            "amb",
+            vec![("decide".into(), op(Type::unit(), Type::bool()))],
+        )
+        .unwrap();
+        assert_eq!(sig.label_of("decide"), Some("amb"));
+        assert_eq!(sig.op_sig("decide").unwrap().ret, Type::bool());
+        assert!(sig.op_sig("missing").is_none());
+    }
+
+    #[test]
+    fn duplicate_op_rejected() {
+        let mut sig = Signature::new();
+        sig.declare("a", vec![("f".into(), op(Type::unit(), Type::unit()))])
+            .unwrap();
+        let err = sig
+            .declare("b", vec![("f".into(), op(Type::unit(), Type::unit()))])
+            .unwrap_err();
+        assert_eq!(err, SigError::DuplicateOp("f".into()));
+    }
+
+    #[test]
+    fn empty_effect_rejected() {
+        let mut sig = Signature::new();
+        assert_eq!(sig.declare("e", vec![]).unwrap_err(), SigError::EmptyEffect("e".into()));
+    }
+
+    #[test]
+    fn flat_signature_is_well_founded_at_level_zero() {
+        let mut sig = Signature::new();
+        sig.declare("amb", vec![("decide".into(), op(Type::unit(), Type::bool()))])
+            .unwrap();
+        sig.declare("max", vec![("pick".into(), op(Type::List(Box::new(Type::Base(BaseTy::Char))), Type::Base(BaseTy::Char)))])
+            .unwrap();
+        let levels = sig.check_well_founded().unwrap();
+        assert_eq!(levels["amb"], 0);
+        assert_eq!(levels["max"], 0);
+    }
+
+    #[test]
+    fn hierarchical_signature_levels() {
+        // hi's operation returns a function that may perform lo.
+        let mut sig = Signature::new();
+        sig.declare("lo", vec![("l".into(), op(Type::unit(), Type::unit()))])
+            .unwrap();
+        sig.declare(
+            "hi",
+            vec![(
+                "h".into(),
+                op(Type::unit(), Type::fun(Type::unit(), Type::unit(), Effect::single("lo"))),
+            )],
+        )
+        .unwrap();
+        let levels = sig.check_well_founded().unwrap();
+        assert_eq!(levels["lo"], 0);
+        assert_eq!(levels["hi"], 1);
+    }
+
+    #[test]
+    fn moo_effect_is_rejected() {
+        // §3.4: cow = { moo : unit -> (unit -> unit ! cow) } diverges; the
+        // well-foundedness check must reject it.
+        let mut sig = Signature::new();
+        sig.declare(
+            "cow",
+            vec![(
+                "moo".into(),
+                op(Type::unit(), Type::fun(Type::unit(), Type::unit(), Effect::single("cow"))),
+            )],
+        )
+        .unwrap();
+        match sig.check_well_founded() {
+            Err(SigError::NotWellFounded(cycle)) => assert!(cycle.contains(&"cow".to_owned())),
+            other => panic!("expected NotWellFounded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutual_recursion_rejected() {
+        let mut sig = Signature::new();
+        sig.declare(
+            "a",
+            vec![("fa".into(), op(Type::unit(), Type::fun(Type::unit(), Type::unit(), Effect::single("b"))))],
+        )
+        .unwrap();
+        sig.declare(
+            "b",
+            vec![("fb".into(), op(Type::fun(Type::unit(), Type::unit(), Effect::single("a")), Type::unit()))],
+        )
+        .unwrap();
+        assert!(matches!(sig.check_well_founded(), Err(SigError::NotWellFounded(_))));
+    }
+
+    #[test]
+    fn effect_level_of_multiset() {
+        let mut sig = Signature::new();
+        sig.declare("lo", vec![("l".into(), op(Type::unit(), Type::unit()))])
+            .unwrap();
+        sig.declare(
+            "hi",
+            vec![("h".into(), op(Type::unit(), Type::fun(Type::unit(), Type::unit(), Effect::single("lo"))))],
+        )
+        .unwrap();
+        let levels = sig.check_well_founded().unwrap();
+        assert_eq!(sig.effect_level(&Effect::empty(), &levels), 0);
+        assert_eq!(sig.effect_level(&Effect::from_labels(["lo", "hi"]), &levels), 1);
+    }
+}

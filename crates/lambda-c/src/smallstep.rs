@@ -1,0 +1,909 @@
+//! The small-step operational semantics of λC (Fig 6 / Fig 11).
+//!
+//! The judgment `g ⊢ε e →r e'` says that under loss continuation `g` (a
+//! lambda of type `σ → loss ! ε'`), expression `e` steps to `e'` emitting
+//! loss `r`. The loss continuation is threaded *down* the derivation,
+//! extended at regular frames with `λε x:τ. F[x] ◮ g` (rule F) and replaced
+//! at special frames (rules S1–S4); it is consulted only when an operation
+//! is handled (rule R5), where it seeds the *choice continuation* — the key
+//! construct of the paper.
+//!
+//! Implementation notes:
+//!
+//! * Frames are implicit in the structural recursion of [`step`]; only
+//!   stuck-expression decomposition ([`split_stuck`]) materialises a
+//!   context ([`KFrame`] list) because rule R5 must rebuild `K[y]`.
+//! * Rule S2 produces `r + (e' ◮ g1)`; we elide the wrapper when `r = 0`
+//!   (the overwhelmingly common case), which is sound because `0 + x → x`
+//!   is a primitive identity and keeps terms linear in size.
+//! * Machine-built lambdas need type annotations (`λε x:τ. F[x] ◮ g`), so
+//!   the stepper computes the hole type with the typechecker; stepping is
+//!   therefore only defined on well-typed expressions, which is all the
+//!   paper's theory covers (Theorem 3.2).
+
+use crate::loss::LossVal;
+use crate::prim::{ground_to_value, prim_lookup, value_to_ground};
+use crate::sig::Signature;
+use crate::subst::{fresh, subst};
+use crate::syntax::{Const, Expr, Handler};
+use crate::typecheck::{type_of, Env, TypeError};
+use crate::types::{Effect, Type};
+use std::fmt;
+use std::rc::Rc;
+
+/// Outcome of attempting one step.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StepResult {
+    /// `e` is a value — no transition (Theorem 3.2(1)).
+    Value,
+    /// `e` is stuck on an unhandled operation — no transition.
+    Stuck {
+        /// The unhandled operation.
+        op: String,
+    },
+    /// `g ⊢ε e →loss expr`.
+    Step {
+        /// The emitted loss `r`.
+        loss: LossVal,
+        /// The successor expression.
+        expr: Expr,
+    },
+}
+
+/// A runtime error. On well-typed input none of these can occur (progress,
+/// Theorem 3.2(3)); they surface gracefully for ill-formed input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// A primitive function failed (wrong ground shape).
+    Prim(String),
+    /// The expression is malformed (e.g. projection from a non-tuple value).
+    Malformed(String),
+    /// Typechecking a subterm failed while building a loss continuation.
+    Type(TypeError),
+    /// Fuel exhausted in [`crate::bigstep::eval`].
+    OutOfFuel {
+        /// Steps taken before giving up.
+        steps: u64,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Prim(m) => write!(f, "primitive failed: {m}"),
+            EvalError::Malformed(m) => write!(f, "malformed expression: {m}"),
+            EvalError::Type(t) => write!(f, "{t}"),
+            EvalError::OutOfFuel { steps } => write!(f, "out of fuel after {steps} steps"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<TypeError> for EvalError {
+    fn from(t: TypeError) -> Self {
+        EvalError::Type(t)
+    }
+}
+
+/// One frame of a continuation context `K` (Fig 5), used only to rebuild
+/// `K[y]` when handling an operation.
+#[derive(Clone, Debug)]
+pub enum KFrame {
+    /// `f(□)`
+    Prim(String),
+    /// `(v1, …, vk, □, e_{k+2}, …, en)`
+    Tuple {
+        /// Values before the hole.
+        before: Vec<Rc<Expr>>,
+        /// Expressions after the hole.
+        after: Vec<Rc<Expr>>,
+    },
+    /// `□.i`
+    Proj(usize),
+    /// `inl(□)`
+    Inl {
+        /// Left type.
+        lty: Type,
+        /// Right type.
+        rty: Type,
+    },
+    /// `inr(□)`
+    Inr {
+        /// Left type.
+        lty: Type,
+        /// Right type.
+        rty: Type,
+    },
+    /// `cases □ of …`
+    Cases {
+        /// Left binder.
+        lvar: String,
+        /// Left type.
+        lty: Type,
+        /// Left branch.
+        lbody: Rc<Expr>,
+        /// Right binder.
+        rvar: String,
+        /// Right type.
+        rty: Type,
+        /// Right branch.
+        rbody: Rc<Expr>,
+    },
+    /// `succ(□)`
+    Succ,
+    /// `iter(□, e2, e3)`
+    Iter1(Rc<Expr>, Rc<Expr>),
+    /// `iter(v1, □, e3)`
+    Iter2(Rc<Expr>, Rc<Expr>),
+    /// `iter(v1, v2, □)`
+    Iter3(Rc<Expr>, Rc<Expr>),
+    /// `cons(□, e2)`
+    Cons1(Rc<Expr>),
+    /// `cons(v1, □)`
+    Cons2(Rc<Expr>),
+    /// `fold(□, e2, e3)`
+    Fold1(Rc<Expr>, Rc<Expr>),
+    /// `fold(v1, □, e3)`
+    Fold2(Rc<Expr>, Rc<Expr>),
+    /// `fold(v1, v2, □)`
+    Fold3(Rc<Expr>, Rc<Expr>),
+    /// `□ e`
+    AppFun(Rc<Expr>),
+    /// `v □`
+    AppArg(Rc<Expr>),
+    /// `op(□)`
+    OpArg(String),
+    /// `loss(□)`
+    LossArg,
+    /// `with h from □ handle e` (a *regular* frame)
+    HandleFrom(Rc<Handler>, Rc<Expr>),
+    /// `with h from v handle □` (a *special* frame)
+    HandleBody(Rc<Handler>, Rc<Expr>),
+    /// `□ ◮ λx. e` (special)
+    ThenLhs(Rc<Expr>),
+    /// `⟨□⟩^ε_g` (special)
+    Local {
+        /// The annotation `ε1`.
+        eff: Effect,
+        /// The loss continuation.
+        g: Rc<Expr>,
+    },
+    /// `reset □` (special)
+    Reset,
+}
+
+impl KFrame {
+    /// Plugs `e` into the frame's hole.
+    pub fn plug(&self, e: Expr) -> Expr {
+        let e = e.rc();
+        match self {
+            KFrame::Prim(name) => Expr::Prim(name.clone(), e),
+            KFrame::Tuple { before, after } => {
+                let mut es = before.clone();
+                es.push(e);
+                es.extend(after.iter().cloned());
+                Expr::Tuple(es)
+            }
+            KFrame::Proj(i) => Expr::Proj(e, *i),
+            KFrame::Inl { lty, rty } => Expr::Inl { lty: lty.clone(), rty: rty.clone(), e },
+            KFrame::Inr { lty, rty } => Expr::Inr { lty: lty.clone(), rty: rty.clone(), e },
+            KFrame::Cases { lvar, lty, lbody, rvar, rty, rbody } => Expr::Cases {
+                scrut: e,
+                lvar: lvar.clone(),
+                lty: lty.clone(),
+                lbody: Rc::clone(lbody),
+                rvar: rvar.clone(),
+                rty: rty.clone(),
+                rbody: Rc::clone(rbody),
+            },
+            KFrame::Succ => Expr::Succ(e),
+            KFrame::Iter1(e2, e3) => Expr::Iter(e, Rc::clone(e2), Rc::clone(e3)),
+            KFrame::Iter2(v1, e3) => Expr::Iter(Rc::clone(v1), e, Rc::clone(e3)),
+            KFrame::Iter3(v1, v2) => Expr::Iter(Rc::clone(v1), Rc::clone(v2), e),
+            KFrame::Cons1(e2) => Expr::Cons(e, Rc::clone(e2)),
+            KFrame::Cons2(v1) => Expr::Cons(Rc::clone(v1), e),
+            KFrame::Fold1(e2, e3) => Expr::Fold(e, Rc::clone(e2), Rc::clone(e3)),
+            KFrame::Fold2(v1, e3) => Expr::Fold(Rc::clone(v1), e, Rc::clone(e3)),
+            KFrame::Fold3(v1, v2) => Expr::Fold(Rc::clone(v1), Rc::clone(v2), e),
+            KFrame::AppFun(arg) => Expr::App(e, Rc::clone(arg)),
+            KFrame::AppArg(f) => Expr::App(Rc::clone(f), e),
+            KFrame::OpArg(op) => Expr::OpCall { op: op.clone(), arg: e },
+            KFrame::LossArg => Expr::Loss(e),
+            KFrame::HandleFrom(h, body) => {
+                Expr::Handle { handler: Rc::clone(h), from: e, body: Rc::clone(body) }
+            }
+            KFrame::HandleBody(h, from) => {
+                Expr::Handle { handler: Rc::clone(h), from: Rc::clone(from), body: e }
+            }
+            KFrame::ThenLhs(lam) => Expr::Then { e, lam: Rc::clone(lam) },
+            KFrame::Local { eff, g } => {
+                Expr::Local { eff: eff.clone(), g: Rc::clone(g), e }
+            }
+            KFrame::Reset => Expr::Reset(e),
+        }
+    }
+}
+
+/// Plugs `e` through a context given outermost-first.
+pub fn plug_all(path: &[KFrame], e: Expr) -> Expr {
+    path.iter().rev().fold(e, |acc, f| f.plug(acc))
+}
+
+/// A stuck-expression decomposition `e = K[op(v)]` with `op ∉ hop(K)`
+/// (Lemma 3.1 case 2).
+#[derive(Clone, Debug)]
+pub struct StuckOp {
+    /// The context `K`, outermost frame first.
+    pub path: Vec<KFrame>,
+    /// The unhandled operation.
+    pub op: String,
+    /// Its (value) argument.
+    pub arg: Expr,
+}
+
+/// Finds the evaluation-position child of `e` together with its frame, if
+/// evaluation descends into a proper subterm. Returns `None` when `e` is a
+/// value, a redex, or an operation call with value argument.
+fn active_split(e: &Expr) -> Option<(KFrame, Expr)> {
+    let go = |e: &Rc<Expr>| (**e).clone();
+    match e {
+        Expr::Prim(name, a) if !a.is_value() => Some((KFrame::Prim(name.clone()), go(a))),
+        Expr::Tuple(es) => {
+            let i = es.iter().position(|e| !e.is_value())?;
+            Some((
+                KFrame::Tuple { before: es[..i].to_vec(), after: es[i + 1..].to_vec() },
+                go(&es[i]),
+            ))
+        }
+        Expr::Proj(a, i) if !a.is_value() => Some((KFrame::Proj(*i), go(a))),
+        Expr::Inl { lty, rty, e } if !e.is_value() => {
+            Some((KFrame::Inl { lty: lty.clone(), rty: rty.clone() }, go(e)))
+        }
+        Expr::Inr { lty, rty, e } if !e.is_value() => {
+            Some((KFrame::Inr { lty: lty.clone(), rty: rty.clone() }, go(e)))
+        }
+        Expr::Cases { scrut, lvar, lty, lbody, rvar, rty, rbody } if !scrut.is_value() => Some((
+            KFrame::Cases {
+                lvar: lvar.clone(),
+                lty: lty.clone(),
+                lbody: Rc::clone(lbody),
+                rvar: rvar.clone(),
+                rty: rty.clone(),
+                rbody: Rc::clone(rbody),
+            },
+            go(scrut),
+        )),
+        Expr::Succ(a) if !a.is_value() => Some((KFrame::Succ, go(a))),
+        Expr::Iter(a, b, c) => {
+            if !a.is_value() {
+                Some((KFrame::Iter1(Rc::clone(b), Rc::clone(c)), go(a)))
+            } else if !b.is_value() {
+                Some((KFrame::Iter2(Rc::clone(a), Rc::clone(c)), go(b)))
+            } else if !c.is_value() {
+                Some((KFrame::Iter3(Rc::clone(a), Rc::clone(b)), go(c)))
+            } else {
+                None
+            }
+        }
+        Expr::Cons(a, b) => {
+            if !a.is_value() {
+                Some((KFrame::Cons1(Rc::clone(b)), go(a)))
+            } else if !b.is_value() {
+                Some((KFrame::Cons2(Rc::clone(a)), go(b)))
+            } else {
+                None
+            }
+        }
+        Expr::Fold(a, b, c) => {
+            if !a.is_value() {
+                Some((KFrame::Fold1(Rc::clone(b), Rc::clone(c)), go(a)))
+            } else if !b.is_value() {
+                Some((KFrame::Fold2(Rc::clone(a), Rc::clone(c)), go(b)))
+            } else if !c.is_value() {
+                Some((KFrame::Fold3(Rc::clone(a), Rc::clone(b)), go(c)))
+            } else {
+                None
+            }
+        }
+        Expr::App(a, b) => {
+            if !a.is_value() {
+                Some((KFrame::AppFun(Rc::clone(b)), go(a)))
+            } else if !b.is_value() {
+                Some((KFrame::AppArg(Rc::clone(a)), go(b)))
+            } else {
+                None
+            }
+        }
+        Expr::OpCall { op, arg } if !arg.is_value() => {
+            Some((KFrame::OpArg(op.clone()), go(arg)))
+        }
+        Expr::Loss(a) if !a.is_value() => Some((KFrame::LossArg, go(a))),
+        Expr::Handle { handler, from, body } => {
+            if !from.is_value() {
+                Some((KFrame::HandleFrom(Rc::clone(handler), Rc::clone(body)), go(from)))
+            } else if !body.is_value() {
+                Some((KFrame::HandleBody(Rc::clone(handler), Rc::clone(from)), go(body)))
+            } else {
+                None
+            }
+        }
+        Expr::Then { e, lam } if !e.is_value() => {
+            Some((KFrame::ThenLhs(Rc::clone(lam)), go(e)))
+        }
+        Expr::Local { eff, g, e } if !e.is_value() => {
+            Some((KFrame::Local { eff: eff.clone(), g: Rc::clone(g) }, go(e)))
+        }
+        Expr::Reset(a) if !a.is_value() => Some((KFrame::Reset, go(a))),
+        _ => None,
+    }
+}
+
+/// Decomposes a stuck expression as `K[op(v)]` with `op ∉ hop(K)`. Returns
+/// `None` if `e` is a value, a redex, or reducible.
+pub fn split_stuck(e: &Expr) -> Option<StuckOp> {
+    if e.is_value() {
+        return None;
+    }
+    if let Expr::OpCall { op, arg } = e {
+        if arg.is_value() {
+            return Some(StuckOp { path: Vec::new(), op: op.clone(), arg: (**arg).clone() });
+        }
+    }
+    let (frame, sub) = active_split(e)?;
+    let inner = split_stuck(&sub)?;
+    // If this frame is a handler that handles the stuck op, `e` is the R5
+    // redex, not stuck.
+    if let KFrame::HandleBody(h, _) = &frame {
+        if h.clause(&inner.op).is_some() {
+            return None;
+        }
+    }
+    let mut path = inner.path;
+    path.insert(0, frame);
+    Some(StuckOp { path, op: inner.op, arg: inner.arg })
+}
+
+fn type_of_closed(sig: &Signature, e: &Expr, eff: &Effect) -> Result<Type, EvalError> {
+    Ok(type_of(sig, &Env::new(), e, eff)?)
+}
+
+/// Builds the extended loss continuation `λε x:τ. F[x] ◮ g` of rule (F).
+fn extend_g(
+    sig: &Signature,
+    g: &Rc<Expr>,
+    eff: &Effect,
+    sub: &Expr,
+    frame: &KFrame,
+) -> Result<Rc<Expr>, EvalError> {
+    let tau = type_of_closed(sig, sub, eff)?;
+    let x = fresh("f");
+    let body = Expr::Then { e: frame.plug(Expr::Var(x.clone())).rc(), lam: Rc::clone(g) };
+    Ok(Expr::Lam { eff: eff.clone(), var: x, ty: tau, body: body.rc() }.rc())
+}
+
+/// One transition of the judgment `g ⊢ε e →r e'` (Fig 6).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] only on ill-typed or ill-formed input; on
+/// well-typed input the function is total (progress).
+pub fn step(
+    sig: &Signature,
+    g: &Rc<Expr>,
+    eff: &Effect,
+    e: &Expr,
+) -> Result<StepResult, EvalError> {
+    if e.is_value() {
+        return Ok(StepResult::Value);
+    }
+
+    // ---- redex rules --------------------------------------------------
+    match e {
+        // (R1) primitive reduction
+        Expr::Prim(name, a) if a.is_value() => {
+            let def = prim_lookup(name)
+                .ok_or_else(|| EvalError::Malformed(format!("unknown primitive `{name}`")))?;
+            let garg = value_to_ground(a)
+                .ok_or_else(|| EvalError::Malformed(format!("non-ground prim argument {a}")))?;
+            let out = (def.eval)(&garg).map_err(EvalError::Prim)?;
+            return Ok(StepResult::Step {
+                loss: LossVal::zero(),
+                expr: ground_to_value(&out, &def.ret_ty),
+            });
+        }
+        // (R2) projection
+        Expr::Proj(a, i) if a.is_value() => {
+            if let Expr::Tuple(vs) = a.as_ref() {
+                let v = vs.get(*i).ok_or_else(|| {
+                    EvalError::Malformed(format!("projection .{} out of range", i + 1))
+                })?;
+                return Ok(StepResult::Step { loss: LossVal::zero(), expr: (**v).clone() });
+            }
+            return Err(EvalError::Malformed(format!("projection from non-tuple {a}")));
+        }
+        // (R3) beta
+        Expr::App(f, a) if f.is_value() && a.is_value() => {
+            if let Expr::Lam { var, body, .. } = f.as_ref() {
+                return Ok(StepResult::Step {
+                    loss: LossVal::zero(),
+                    expr: subst(body, var, a),
+                });
+            }
+            return Err(EvalError::Malformed(format!("application of non-lambda {f}")));
+        }
+        // cases redexes
+        Expr::Cases { scrut, lvar, lbody, rvar, rbody, .. } if scrut.is_value() => {
+            let expr = match scrut.as_ref() {
+                Expr::Inl { e, .. } => subst(lbody, lvar, e),
+                Expr::Inr { e, .. } => subst(rbody, rvar, e),
+                other => {
+                    return Err(EvalError::Malformed(format!("cases on non-sum value {other}")))
+                }
+            };
+            return Ok(StepResult::Step { loss: LossVal::zero(), expr });
+        }
+        // iter redexes
+        Expr::Iter(a, b, c) if a.is_value() && b.is_value() && c.is_value() => {
+            let expr = match a.as_ref() {
+                Expr::Zero => (**b).clone(),
+                Expr::Succ(n) => Expr::App(
+                    Rc::clone(c),
+                    Expr::Iter(Rc::clone(n), Rc::clone(b), Rc::clone(c)).rc(),
+                ),
+                other => return Err(EvalError::Malformed(format!("iter on non-nat {other}"))),
+            };
+            return Ok(StepResult::Step { loss: LossVal::zero(), expr });
+        }
+        // fold redexes
+        Expr::Fold(a, b, c) if a.is_value() && b.is_value() && c.is_value() => {
+            let expr = match a.as_ref() {
+                Expr::Nil(_) => (**b).clone(),
+                Expr::Cons(h, t) => Expr::App(
+                    Rc::clone(c),
+                    Expr::Tuple(vec![
+                        Rc::clone(h),
+                        Expr::Fold(Rc::clone(t), Rc::clone(b), Rc::clone(c)).rc(),
+                    ])
+                    .rc(),
+                ),
+                other => return Err(EvalError::Malformed(format!("fold on non-list {other}"))),
+            };
+            return Ok(StepResult::Step { loss: LossVal::zero(), expr });
+        }
+        // (R4) loss emission
+        Expr::Loss(a) if a.is_value() => {
+            if let Expr::Const(Const::Loss(r)) = a.as_ref() {
+                return Ok(StepResult::Step { loss: r.clone(), expr: Expr::unit() });
+            }
+            return Err(EvalError::Malformed(format!("loss of non-loss value {a}")));
+        }
+        // (R5)/(R6) handling
+        Expr::Handle { handler, from, body } if from.is_value() => {
+            if body.is_value() {
+                // (R6): return clause
+                let e1 = subst(&handler.ret.body, &handler.ret.p, from);
+                let expr = subst(&e1, &handler.ret.x, body);
+                return Ok(StepResult::Step { loss: LossVal::zero(), expr });
+            }
+            if let Some(stuck) = split_stuck(body) {
+                if let Some(clause) = handler.clause(&stuck.op) {
+                    // (R5): build f_l and f_k and invoke the clause.
+                    let osig = sig.op_sig(&stuck.op).ok_or_else(|| {
+                        EvalError::Malformed(format!("operation `{}` not in signature", stuck.op))
+                    })?;
+                    let pair_ty =
+                        Type::Tuple(vec![handler.par_ty.clone(), osig.ret.clone()]);
+                    let mk_resume = |z: &str| -> Expr {
+                        Expr::Handle {
+                            handler: Rc::clone(handler),
+                            from: Expr::Proj(Expr::Var(z.to_owned()).rc(), 0).rc(),
+                            body: plug_all(
+                                &stuck.path,
+                                Expr::Proj(Expr::Var(z.to_owned()).rc(), 1),
+                            )
+                            .rc(),
+                        }
+                    };
+                    // f_k = λε (p,y). ⟨with h from p handle K[y]⟩^ε_g
+                    let zk = fresh("z");
+                    let f_k = Expr::Lam {
+                        eff: eff.clone(),
+                        var: zk.clone(),
+                        ty: pair_ty.clone(),
+                        body: Expr::Local {
+                            eff: eff.clone(),
+                            g: Rc::clone(g),
+                            e: mk_resume(&zk).rc(),
+                        }
+                        .rc(),
+                    };
+                    // f_l = λε (p,y). (with h from p handle K[y]) ◮ g
+                    let zl = fresh("z");
+                    let f_l = Expr::Lam {
+                        eff: eff.clone(),
+                        var: zl.clone(),
+                        ty: pair_ty,
+                        body: Expr::Then { e: mk_resume(&zl).rc(), lam: Rc::clone(g) }.rc(),
+                    };
+                    let b0 = subst(&clause.body, &clause.p, from);
+                    let b1 = subst(&b0, &clause.x, &stuck.arg);
+                    let b2 = subst(&b1, &clause.l, &f_l);
+                    let expr = subst(&b2, &clause.k, &f_k);
+                    return Ok(StepResult::Step { loss: LossVal::zero(), expr });
+                }
+                // stuck on an op this handler does not handle
+                return Ok(StepResult::Stuck { op: stuck.op });
+            }
+            // fall through to the context rules below (S1)
+        }
+        // (R7) then with value lhs
+        Expr::Then { e: lhs, lam } if lhs.is_value() => {
+            if let Expr::Lam { eff: leff, var, body, .. } = lam.as_ref() {
+                let expr = Expr::Local {
+                    eff: leff.clone(),
+                    g: Expr::zero_cont(Type::loss(), leff.clone()).rc(),
+                    e: subst(body, var, lhs).rc(),
+                };
+                return Ok(StepResult::Step { loss: LossVal::zero(), expr });
+            }
+            return Err(EvalError::Malformed(format!("then-continuation is not a lambda: {lam}")));
+        }
+        // (R8) local over a value
+        Expr::Local { e: inner, .. } if inner.is_value() => {
+            return Ok(StepResult::Step { loss: LossVal::zero(), expr: (**inner).clone() });
+        }
+        // (R9) reset over a value
+        Expr::Reset(inner) if inner.is_value() => {
+            return Ok(StepResult::Step { loss: LossVal::zero(), expr: (**inner).clone() });
+        }
+        _ => {}
+    }
+
+    // ---- context rules -------------------------------------------------
+    let Some((frame, sub)) = active_split(e) else {
+        // No redex applied and no active subterm: only op(v) remains.
+        if let Expr::OpCall { op, .. } = e {
+            return Ok(StepResult::Stuck { op: op.clone() });
+        }
+        return Err(EvalError::Malformed(format!("no rule applies to {e}")));
+    };
+
+    match &frame {
+        // (S1): evaluate the handled computation under the return-extended
+        // loss continuation, at effect εℓ.
+        KFrame::HandleBody(h, from) => {
+            let ret_body = subst(&h.ret.body, &h.ret.p, from);
+            let g1 = Expr::Lam {
+                eff: eff.clone(),
+                var: h.ret.x.clone(),
+                ty: h.body_ty.clone(),
+                body: Expr::Then { e: ret_body.rc(), lam: Rc::clone(g) }.rc(),
+            }
+            .rc();
+            let inner_eff = eff.plus(h.label.clone());
+            match step(sig, &g1, &inner_eff, &sub)? {
+                StepResult::Step { loss, expr } => {
+                    Ok(StepResult::Step { loss, expr: frame.plug(expr) })
+                }
+                StepResult::Stuck { op } => Ok(StepResult::Stuck { op }),
+                StepResult::Value => {
+                    Err(EvalError::Malformed("active subterm was a value".into()))
+                }
+            }
+        }
+        // (S2): evaluate the lhs of ◮ under its own continuation; fold the
+        // emitted loss into the result.
+        KFrame::ThenLhs(lam) => match step(sig, lam, eff, &sub)? {
+            StepResult::Step { loss, expr } => {
+                let rebuilt = frame.plug(expr);
+                let expr = if loss.is_zero() {
+                    rebuilt
+                } else {
+                    Expr::Prim(
+                        "add".into(),
+                        Expr::Tuple(vec![
+                            Expr::Const(Const::Loss(loss)).rc(),
+                            rebuilt.rc(),
+                        ])
+                        .rc(),
+                    )
+                };
+                Ok(StepResult::Step { loss: LossVal::zero(), expr })
+            }
+            StepResult::Stuck { op } => Ok(StepResult::Stuck { op }),
+            StepResult::Value => Err(EvalError::Malformed("active subterm was a value".into())),
+        },
+        // (S3): evaluate under the localised continuation at effect ε1;
+        // losses are exported.
+        KFrame::Local { eff: eff1, g: g1 } => match step(sig, g1, eff1, &sub)? {
+            StepResult::Step { loss, expr } => {
+                Ok(StepResult::Step { loss, expr: frame.plug(expr) })
+            }
+            StepResult::Stuck { op } => Ok(StepResult::Stuck { op }),
+            StepResult::Value => Err(EvalError::Malformed("active subterm was a value".into())),
+        },
+        // (S4): reset — same continuation, losses suppressed.
+        KFrame::Reset => match step(sig, g, eff, &sub)? {
+            StepResult::Step { expr, .. } => {
+                Ok(StepResult::Step { loss: LossVal::zero(), expr: frame.plug(expr) })
+            }
+            StepResult::Stuck { op } => Ok(StepResult::Stuck { op }),
+            StepResult::Value => Err(EvalError::Malformed("active subterm was a value".into())),
+        },
+        // (F): regular frames extend the loss continuation.
+        _ => {
+            let g1 = extend_g(sig, g, eff, &sub, &frame)?;
+            match step(sig, &g1, eff, &sub)? {
+                StepResult::Step { loss, expr } => {
+                    Ok(StepResult::Step { loss, expr: frame.plug(expr) })
+                }
+                StepResult::Stuck { op } => Ok(StepResult::Stuck { op }),
+                StepResult::Value => {
+                    Err(EvalError::Malformed("active subterm was a value".into()))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::OpSig;
+    use crate::syntax::{OpClause, RetClause};
+
+    fn sig_amb() -> Signature {
+        let mut sig = Signature::new();
+        sig.declare(
+            "amb",
+            vec![("decide".into(), OpSig { arg: Type::unit(), ret: Type::bool() })],
+        )
+        .unwrap();
+        sig
+    }
+
+    fn zero_g(ty: Type) -> Rc<Expr> {
+        Expr::zero_cont(ty, Effect::empty()).rc()
+    }
+
+    fn run_steps(sig: &Signature, e: Expr, ty: Type, eff: Effect) -> (LossVal, Expr) {
+        let g = Expr::zero_cont(ty, Effect::empty()).rc();
+        let mut cur = e;
+        let mut total = LossVal::zero();
+        for _ in 0..10_000 {
+            match step(sig, &g, &eff, &cur).unwrap() {
+                StepResult::Step { loss, expr } => {
+                    total = total.add(&loss);
+                    cur = expr;
+                }
+                _ => return (total, cur),
+            }
+        }
+        panic!("did not terminate");
+    }
+
+    #[test]
+    fn values_do_not_step() {
+        let sig = Signature::new();
+        let g = zero_g(Type::loss());
+        assert_eq!(
+            step(&sig, &g, &Effect::empty(), &Expr::lossc(1.0)).unwrap(),
+            StepResult::Value
+        );
+    }
+
+    #[test]
+    fn prim_step() {
+        let sig = Signature::new();
+        let e = Expr::Prim(
+            "add".into(),
+            Expr::Tuple(vec![Expr::lossc(1.0).rc(), Expr::lossc(2.0).rc()]).rc(),
+        );
+        let (loss, v) = run_steps(&sig, e, Type::loss(), Effect::empty());
+        assert!(loss.is_zero());
+        assert_eq!(v, Expr::lossc(3.0));
+    }
+
+    #[test]
+    fn loss_emits_label() {
+        let sig = Signature::new();
+        let e = Expr::Loss(Expr::lossc(2.5).rc());
+        let (loss, v) = run_steps(&sig, e, Type::unit(), Effect::empty());
+        assert_eq!(loss, LossVal::scalar(2.5));
+        assert_eq!(v, Expr::unit());
+    }
+
+    #[test]
+    fn beta_and_frames() {
+        let sig = Signature::new();
+        // (λx. x + x) (1 + 2) → 6... with loss arithmetic: (λx. add(x,x)) (add(1,2))
+        let f = Expr::Lam {
+            eff: Effect::empty(),
+            var: "x".into(),
+            ty: Type::loss(),
+            body: Expr::Prim(
+                "add".into(),
+                Expr::Tuple(vec![Expr::Var("x".into()).rc(), Expr::Var("x".into()).rc()]).rc(),
+            )
+            .rc(),
+        };
+        let arg = Expr::Prim(
+            "add".into(),
+            Expr::Tuple(vec![Expr::lossc(1.0).rc(), Expr::lossc(2.0).rc()]).rc(),
+        );
+        let e = Expr::App(f.rc(), arg.rc());
+        let (_, v) = run_steps(&sig, e, Type::loss(), Effect::empty());
+        assert_eq!(v, Expr::lossc(6.0));
+    }
+
+    #[test]
+    fn unhandled_op_is_stuck() {
+        let sig = sig_amb();
+        let g = zero_g(Type::bool());
+        let e = Expr::OpCall { op: "decide".into(), arg: Expr::unit().rc() };
+        assert_eq!(
+            step(&sig, &g, &Effect::single("amb"), &e).unwrap(),
+            StepResult::Stuck { op: "decide".into() }
+        );
+        // also stuck under a frame
+        let e2 = Expr::Loss(
+            Expr::Prim(
+                "add".into(),
+                Expr::Tuple(vec![
+                    Expr::lossc(0.0).rc(),
+                    Expr::Cases {
+                        scrut: e.rc(),
+                        lvar: "t".into(),
+                        lty: Type::unit(),
+                        lbody: Expr::lossc(1.0).rc(),
+                        rvar: "f".into(),
+                        rty: Type::unit(),
+                        rbody: Expr::lossc(2.0).rc(),
+                    }
+                    .rc(),
+                ])
+                .rc(),
+            )
+            .rc(),
+        );
+        assert!(matches!(
+            step(&sig, &zero_g(Type::unit()), &Effect::single("amb"), &e2).unwrap(),
+            StepResult::Stuck { .. }
+        ));
+    }
+
+    #[test]
+    fn split_stuck_finds_context() {
+        let e = Expr::Succ(
+            Expr::OpCall { op: "decide".into(), arg: Expr::unit().rc() }.rc(),
+        );
+        let s = split_stuck(&e).unwrap();
+        assert_eq!(s.op, "decide");
+        assert_eq!(s.path.len(), 1);
+        let rebuilt = plug_all(&s.path, Expr::OpCall { op: s.op.clone(), arg: s.arg.clone().rc() });
+        assert_eq!(rebuilt, e);
+    }
+
+    /// A handler that resumes `decide` with `true` via the delimited
+    /// continuation: `decide ↦ k (p, true)`.
+    fn h_const_true(eff: Effect) -> Rc<Handler> {
+        Rc::new(Handler {
+            label: "amb".into(),
+            par_ty: Type::unit(),
+            body_ty: Type::bool(),
+            res_ty: Type::bool(),
+            eff,
+            clauses: vec![OpClause {
+                op: "decide".into(),
+                p: "p".into(),
+                x: "x".into(),
+                l: "l".into(),
+                k: "k".into(),
+                body: Expr::App(
+                    Expr::Var("k".into()).rc(),
+                    Expr::Tuple(vec![Expr::Var("p".into()).rc(), Expr::tt().rc()]).rc(),
+                )
+                .rc(),
+            }],
+            ret: RetClause { p: "p".into(), x: "x".into(), body: Expr::Var("x".into()).rc() },
+        })
+    }
+
+    #[test]
+    fn handle_resumes_with_true() {
+        let sig = sig_amb();
+        let e = Expr::Handle {
+            handler: h_const_true(Effect::empty()),
+            from: Expr::unit().rc(),
+            body: Expr::OpCall { op: "decide".into(), arg: Expr::unit().rc() }.rc(),
+        };
+        let (loss, v) = run_steps(&sig, e, Type::bool(), Effect::empty());
+        assert!(loss.is_zero());
+        assert_eq!(v, Expr::tt());
+    }
+
+    #[test]
+    fn handle_return_clause_applies() {
+        let sig = sig_amb();
+        let e = Expr::Handle {
+            handler: h_const_true(Effect::empty()),
+            from: Expr::unit().rc(),
+            body: Expr::ff().rc(),
+        };
+        let (_, v) = run_steps(&sig, e, Type::bool(), Effect::empty());
+        assert_eq!(v, Expr::ff());
+    }
+
+    #[test]
+    fn losses_propagate_through_handlers() {
+        let sig = sig_amb();
+        // with h handle (loss(3); decide()) — loss escapes eagerly.
+        let body = Expr::App(
+            Expr::Lam {
+                eff: Effect::single("amb"),
+                var: "_".into(),
+                ty: Type::unit(),
+                body: Expr::OpCall { op: "decide".into(), arg: Expr::unit().rc() }.rc(),
+            }
+            .rc(),
+            Expr::Loss(Expr::lossc(3.0).rc()).rc(),
+        );
+        let e = Expr::Handle {
+            handler: h_const_true(Effect::empty()),
+            from: Expr::unit().rc(),
+            body: body.rc(),
+        };
+        let (loss, v) = run_steps(&sig, e, Type::bool(), Effect::empty());
+        assert_eq!(loss, LossVal::scalar(3.0));
+        assert_eq!(v, Expr::tt());
+    }
+
+    #[test]
+    fn reset_suppresses_losses() {
+        let sig = Signature::new();
+        let e = Expr::Reset(Expr::Loss(Expr::lossc(5.0).rc()).rc());
+        let (loss, v) = run_steps(&sig, e, Type::unit(), Effect::empty());
+        assert!(loss.is_zero());
+        assert_eq!(v, Expr::unit());
+    }
+
+    #[test]
+    fn local_exports_losses() {
+        let sig = Signature::new();
+        let e = Expr::Local {
+            eff: Effect::empty(),
+            g: Expr::zero_cont(Type::unit(), Effect::empty()).rc(),
+            e: Expr::Loss(Expr::lossc(5.0).rc()).rc(),
+        };
+        let (loss, v) = run_steps(&sig, e, Type::unit(), Effect::empty());
+        assert_eq!(loss, LossVal::scalar(5.0));
+        assert_eq!(v, Expr::unit());
+    }
+
+    #[test]
+    fn then_folds_losses_into_value() {
+        let sig = Signature::new();
+        // (loss(2); 7) ◮ λx. x   ⇒ value 2 + 7 = 9, ambient loss 0
+        let lhs = Expr::App(
+            Expr::Lam {
+                eff: Effect::empty(),
+                var: "_".into(),
+                ty: Type::unit(),
+                body: Expr::lossc(7.0).rc(),
+            }
+            .rc(),
+            Expr::Loss(Expr::lossc(2.0).rc()).rc(),
+        );
+        let lam = Expr::Lam {
+            eff: Effect::empty(),
+            var: "x".into(),
+            ty: Type::loss(),
+            body: Expr::Var("x".into()).rc(),
+        };
+        let e = Expr::Then { e: lhs.rc(), lam: lam.rc() };
+        let (loss, v) = run_steps(&sig, e, Type::loss(), Effect::empty());
+        assert!(loss.is_zero());
+        assert_eq!(v, Expr::lossc(9.0));
+    }
+}

@@ -1,0 +1,354 @@
+//! Capture-avoiding substitution and free-variable computation.
+//!
+//! The operational semantics only ever substitutes *closed* values, but
+//! handler bodies may mention outer variables (e.g. the hyperparameter
+//! tuner closes over its grid), so substitution must descend into handlers
+//! and rename binders when they would capture.
+
+use crate::syntax::{Expr, Handler, OpClause, RetClause};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FRESH: AtomicU64 = AtomicU64::new(0);
+
+/// Generates a fresh variable name that cannot clash with user names
+/// (user-facing builders reject `%`).
+pub fn fresh(prefix: &str) -> String {
+    let n = FRESH.fetch_add(1, Ordering::Relaxed);
+    format!("%{prefix}{n}")
+}
+
+/// The free variables of an expression.
+pub fn free_vars(e: &Expr) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    collect_free(e, &mut Vec::new(), &mut out);
+    out
+}
+
+fn collect_free(e: &Expr, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Const(_) | Expr::Zero | Expr::Nil(_) => {}
+        Expr::Var(x) => {
+            if !bound.iter().any(|b| b == x) {
+                out.insert(x.clone());
+            }
+        }
+        Expr::Prim(_, e) | Expr::Succ(e) | Expr::Loss(e) | Expr::Reset(e) | Expr::Proj(e, _) => {
+            collect_free(e, bound, out)
+        }
+        Expr::Inl { e, .. } | Expr::Inr { e, .. } => collect_free(e, bound, out),
+        Expr::Lam { var, body, .. } => {
+            bound.push(var.clone());
+            collect_free(body, bound, out);
+            bound.pop();
+        }
+        Expr::App(a, b) | Expr::Cons(a, b) => {
+            collect_free(a, bound, out);
+            collect_free(b, bound, out);
+        }
+        Expr::Tuple(es) => es.iter().for_each(|e| collect_free(e, bound, out)),
+        Expr::Cases { scrut, lvar, lbody, rvar, rbody, .. } => {
+            collect_free(scrut, bound, out);
+            bound.push(lvar.clone());
+            collect_free(lbody, bound, out);
+            bound.pop();
+            bound.push(rvar.clone());
+            collect_free(rbody, bound, out);
+            bound.pop();
+        }
+        Expr::Iter(a, b, c) | Expr::Fold(a, b, c) => {
+            collect_free(a, bound, out);
+            collect_free(b, bound, out);
+            collect_free(c, bound, out);
+        }
+        Expr::OpCall { arg, .. } => collect_free(arg, bound, out),
+        Expr::Handle { handler, from, body } => {
+            collect_free(from, bound, out);
+            collect_free(body, bound, out);
+            for c in &handler.clauses {
+                let n = bound.len();
+                bound.extend([c.p.clone(), c.x.clone(), c.l.clone(), c.k.clone()]);
+                collect_free(&c.body, bound, out);
+                bound.truncate(n);
+            }
+            let n = bound.len();
+            bound.extend([handler.ret.p.clone(), handler.ret.x.clone()]);
+            collect_free(&handler.ret.body, bound, out);
+            bound.truncate(n);
+        }
+        Expr::Then { e, lam } => {
+            collect_free(e, bound, out);
+            collect_free(lam, bound, out);
+        }
+        Expr::Local { g, e, .. } => {
+            collect_free(g, bound, out);
+            collect_free(e, bound, out);
+        }
+    }
+}
+
+/// Capture-avoiding substitution `e[v / x]`.
+pub fn subst(e: &Expr, x: &str, v: &Expr) -> Expr {
+    let fv = free_vars(v);
+    subst_in(e, x, v, &fv)
+}
+
+fn rc_subst(e: &Rc<Expr>, x: &str, v: &Expr, fv: &BTreeSet<String>) -> Rc<Expr> {
+    Rc::new(subst_in(e, x, v, fv))
+}
+
+/// Renames `old` to `new_name` in `body` (used when avoiding capture).
+fn rename(body: &Expr, old: &str, new_name: &str) -> Expr {
+    subst(body, old, &Expr::Var(new_name.to_owned()))
+}
+
+/// Substitutes under one binder, renaming it if it would capture.
+fn under_binder(
+    var: &str,
+    body: &Rc<Expr>,
+    x: &str,
+    v: &Expr,
+    fv: &BTreeSet<String>,
+) -> (String, Rc<Expr>) {
+    if var == x {
+        // x is shadowed: stop.
+        (var.to_owned(), Rc::clone(body))
+    } else if fv.contains(var) {
+        let nv = fresh(var.trim_start_matches('%'));
+        let renamed = rename(body, var, &nv);
+        (nv, Rc::new(subst_in(&renamed, x, v, fv)))
+    } else {
+        (var.to_owned(), rc_subst(body, x, v, fv))
+    }
+}
+
+/// Substitutes under several simultaneous binders (handler clauses).
+fn under_binders(
+    vars: &[&String],
+    body: &Rc<Expr>,
+    x: &str,
+    v: &Expr,
+    fv: &BTreeSet<String>,
+) -> (Vec<String>, Rc<Expr>) {
+    if vars.iter().any(|b| b.as_str() == x) {
+        return (vars.iter().map(|s| (*s).clone()).collect(), Rc::clone(body));
+    }
+    let mut names: Vec<String> = Vec::with_capacity(vars.len());
+    let mut body_cur: Expr = (**body).clone();
+    for b in vars {
+        if fv.contains(*b) {
+            let nv = fresh(b.trim_start_matches('%'));
+            body_cur = rename(&body_cur, b, &nv);
+            names.push(nv);
+        } else {
+            names.push((*b).clone());
+        }
+    }
+    (names, Rc::new(subst_in(&body_cur, x, v, fv)))
+}
+
+fn subst_in(e: &Expr, x: &str, v: &Expr, fv: &BTreeSet<String>) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::Zero | Expr::Nil(_) => e.clone(),
+        Expr::Var(y) => {
+            if y == x {
+                v.clone()
+            } else {
+                e.clone()
+            }
+        }
+        Expr::Prim(name, a) => Expr::Prim(name.clone(), rc_subst(a, x, v, fv)),
+        Expr::Lam { eff, var, ty, body } => {
+            let (var, body) = under_binder(var, body, x, v, fv);
+            Expr::Lam { eff: eff.clone(), var, ty: ty.clone(), body }
+        }
+        Expr::App(a, b) => Expr::App(rc_subst(a, x, v, fv), rc_subst(b, x, v, fv)),
+        Expr::Tuple(es) => Expr::Tuple(es.iter().map(|e| rc_subst(e, x, v, fv)).collect()),
+        Expr::Proj(a, i) => Expr::Proj(rc_subst(a, x, v, fv), *i),
+        Expr::Inl { lty, rty, e } => {
+            Expr::Inl { lty: lty.clone(), rty: rty.clone(), e: rc_subst(e, x, v, fv) }
+        }
+        Expr::Inr { lty, rty, e } => {
+            Expr::Inr { lty: lty.clone(), rty: rty.clone(), e: rc_subst(e, x, v, fv) }
+        }
+        Expr::Cases { scrut, lvar, lty, lbody, rvar, rty, rbody } => {
+            let scrut = rc_subst(scrut, x, v, fv);
+            let (lvar, lbody) = under_binder(lvar, lbody, x, v, fv);
+            let (rvar, rbody) = under_binder(rvar, rbody, x, v, fv);
+            Expr::Cases { scrut, lvar, lty: lty.clone(), lbody, rvar, rty: rty.clone(), rbody }
+        }
+        Expr::Succ(a) => Expr::Succ(rc_subst(a, x, v, fv)),
+        Expr::Iter(a, b, c) => {
+            Expr::Iter(rc_subst(a, x, v, fv), rc_subst(b, x, v, fv), rc_subst(c, x, v, fv))
+        }
+        Expr::Cons(a, b) => Expr::Cons(rc_subst(a, x, v, fv), rc_subst(b, x, v, fv)),
+        Expr::Fold(a, b, c) => {
+            Expr::Fold(rc_subst(a, x, v, fv), rc_subst(b, x, v, fv), rc_subst(c, x, v, fv))
+        }
+        Expr::OpCall { op, arg } => Expr::OpCall { op: op.clone(), arg: rc_subst(arg, x, v, fv) },
+        Expr::Loss(a) => Expr::Loss(rc_subst(a, x, v, fv)),
+        Expr::Handle { handler, from, body } => {
+            let from = rc_subst(from, x, v, fv);
+            let body = rc_subst(body, x, v, fv);
+            let clauses = handler
+                .clauses
+                .iter()
+                .map(|c| {
+                    let (names, cbody) =
+                        under_binders(&[&c.p, &c.x, &c.l, &c.k], &c.body, x, v, fv);
+                    OpClause {
+                        op: c.op.clone(),
+                        p: names[0].clone(),
+                        x: names[1].clone(),
+                        l: names[2].clone(),
+                        k: names[3].clone(),
+                        body: cbody,
+                    }
+                })
+                .collect();
+            let (rnames, rbody) =
+                under_binders(&[&handler.ret.p, &handler.ret.x], &handler.ret.body, x, v, fv);
+            let handler = Handler {
+                label: handler.label.clone(),
+                par_ty: handler.par_ty.clone(),
+                body_ty: handler.body_ty.clone(),
+                res_ty: handler.res_ty.clone(),
+                eff: handler.eff.clone(),
+                clauses,
+                ret: RetClause { p: rnames[0].clone(), x: rnames[1].clone(), body: rbody },
+            };
+            Expr::Handle { handler: Rc::new(handler), from, body }
+        }
+        Expr::Then { e, lam } => {
+            Expr::Then { e: rc_subst(e, x, v, fv), lam: rc_subst(lam, x, v, fv) }
+        }
+        Expr::Local { eff, g, e } => Expr::Local {
+            eff: eff.clone(),
+            g: rc_subst(g, x, v, fv),
+            e: rc_subst(e, x, v, fv),
+        },
+        Expr::Reset(a) => Expr::Reset(rc_subst(a, x, v, fv)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Effect, Type};
+
+    fn lam(var: &str, body: Expr) -> Expr {
+        Expr::Lam { eff: Effect::empty(), var: var.into(), ty: Type::loss(), body: body.rc() }
+    }
+
+    #[test]
+    fn subst_free_var() {
+        let e = Expr::Var("x".into());
+        assert_eq!(subst(&e, "x", &Expr::lossc(1.0)), Expr::lossc(1.0));
+        assert_eq!(subst(&e, "y", &Expr::lossc(1.0)), e);
+    }
+
+    #[test]
+    fn subst_stops_at_shadowing_binder() {
+        let e = lam("x", Expr::Var("x".into()));
+        assert_eq!(subst(&e, "x", &Expr::lossc(1.0)), e);
+    }
+
+    #[test]
+    fn subst_descends_under_non_capturing_binder() {
+        let e = lam("y", Expr::Var("x".into()));
+        let r = subst(&e, "x", &Expr::lossc(2.0));
+        assert_eq!(r, lam("y", Expr::lossc(2.0)));
+    }
+
+    #[test]
+    fn capture_is_avoided() {
+        // (λy. x)[x := y]  must rename the binder, not capture.
+        let e = lam("y", Expr::App(Expr::Var("x".into()).rc(), Expr::Var("y".into()).rc()));
+        let r = subst(&e, "x", &Expr::Var("y".into()));
+        match r {
+            Expr::Lam { var, body, .. } => {
+                assert_ne!(var, "y");
+                match body.as_ref() {
+                    Expr::App(a, b) => {
+                        assert_eq!(**a, Expr::Var("y".into()));
+                        assert_eq!(**b, Expr::Var(var.clone()));
+                    }
+                    other => panic!("unexpected body {other:?}"),
+                }
+            }
+            other => panic!("expected lambda, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_vars_of_handler_bodies() {
+        use crate::syntax::{Handler, OpClause, RetClause};
+        let h = Handler {
+            label: "amb".into(),
+            par_ty: Type::unit(),
+            body_ty: Type::bool(),
+            res_ty: Type::bool(),
+            eff: Effect::empty(),
+            clauses: vec![OpClause {
+                op: "decide".into(),
+                p: "p".into(),
+                x: "x".into(),
+                l: "l".into(),
+                k: "k".into(),
+                body: Expr::App(Expr::Var("k".into()).rc(), Expr::Var("grid".into()).rc()).rc(),
+            }],
+            ret: RetClause { p: "p".into(), x: "x".into(), body: Expr::Var("x".into()).rc() },
+        };
+        let e = Expr::Handle {
+            handler: Rc::new(h),
+            from: Expr::unit().rc(),
+            body: Expr::Var("prog".into()).rc(),
+        };
+        let fv = free_vars(&e);
+        assert!(fv.contains("grid"));
+        assert!(fv.contains("prog"));
+        assert!(!fv.contains("k"));
+    }
+
+    #[test]
+    fn subst_into_handler_clause() {
+        use crate::syntax::{Handler, OpClause, RetClause};
+        let h = Handler {
+            label: "amb".into(),
+            par_ty: Type::unit(),
+            body_ty: Type::bool(),
+            res_ty: Type::bool(),
+            eff: Effect::empty(),
+            clauses: vec![OpClause {
+                op: "decide".into(),
+                p: "p".into(),
+                x: "x".into(),
+                l: "l".into(),
+                k: "k".into(),
+                body: Expr::Var("free".into()).rc(),
+            }],
+            ret: RetClause { p: "p".into(), x: "x".into(), body: Expr::Var("x".into()).rc() },
+        };
+        let e = Expr::Handle {
+            handler: Rc::new(h),
+            from: Expr::unit().rc(),
+            body: Expr::tt().rc(),
+        };
+        let r = subst(&e, "free", &Expr::lossc(9.0));
+        match r {
+            Expr::Handle { handler, .. } => {
+                assert_eq!(*handler.clauses[0].body, Expr::lossc(9.0));
+            }
+            other => panic!("expected handle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fresh_names_are_distinct() {
+        let a = fresh("x");
+        let b = fresh("x");
+        assert_ne!(a, b);
+        assert!(a.starts_with('%'));
+    }
+}

@@ -1,0 +1,400 @@
+//! Abstract syntax of λC expressions and handlers (Fig 3, Appendix A.1).
+//!
+//! Two presentational choices differ from the paper, both standard sugar:
+//!
+//! * Handler clauses bind their four arguments `(p, x, l, k)` (parameter,
+//!   operation argument, choice continuation, delimited continuation) as
+//!   four named variables rather than one product-typed variable — the
+//!   paper itself writes `decide ↦ λx k l. …` in examples.
+//! * Loss continuations `g` are represented as ordinary lambda expressions
+//!   `λε x:σ. e` whose body has type `loss`; the grammar's
+//!   `g ::= λx.0 | λx. e ◮ g` is the subset the machine actually builds.
+//!   This keeps substitution and typing uniform.
+
+use crate::loss::LossVal;
+use crate::types::{Effect, Type};
+use std::fmt;
+use std::rc::Rc;
+
+/// Constants `c : b`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Const {
+    /// A loss constant `r : loss` (for all `r ∈ R`).
+    Loss(LossVal),
+    /// A character constant.
+    Char(char),
+    /// A string constant.
+    Str(String),
+}
+
+impl Const {
+    /// The base type of the constant.
+    pub fn ty(&self) -> Type {
+        match self {
+            Const::Loss(_) => Type::loss(),
+            Const::Char(_) => Type::Base(crate::types::BaseTy::Char),
+            Const::Str(_) => Type::Base(crate::types::BaseTy::Str),
+        }
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Loss(l) => write!(f, "{l}"),
+            Const::Char(c) => write!(f, "'{c}'"),
+            Const::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// λC expressions (Fig 3 plus the appendix's sums, naturals and lists).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A constant `c`.
+    Const(Const),
+    /// A primitive-function application `f(e)`.
+    Prim(String, Rc<Expr>),
+    /// A variable.
+    Var(String),
+    /// An abstraction `λε x:σ. e`, annotated with its result effect.
+    Lam {
+        /// Result effect of the body.
+        eff: Effect,
+        /// Bound variable.
+        var: String,
+        /// Argument type.
+        ty: Type,
+        /// Body.
+        body: Rc<Expr>,
+    },
+    /// Application `e1 e2`.
+    App(Rc<Expr>, Rc<Expr>),
+    /// Tuple `(e1, …, en)`.
+    Tuple(Vec<Rc<Expr>>),
+    /// Projection `e.i` (0-based; the paper counts from 1).
+    Proj(Rc<Expr>, usize),
+    /// Left injection `inl_{σ,τ}(e)`.
+    Inl {
+        /// Left summand type (the type of `e`).
+        lty: Type,
+        /// Right summand type.
+        rty: Type,
+        /// Payload.
+        e: Rc<Expr>,
+    },
+    /// Right injection `inr_{σ,τ}(e)`.
+    Inr {
+        /// Left summand type.
+        lty: Type,
+        /// Right summand type (the type of `e`).
+        rty: Type,
+        /// Payload.
+        e: Rc<Expr>,
+    },
+    /// Case analysis `cases e of x1:σ1. e1 ▯ x2:σ2. e2`.
+    Cases {
+        /// Scrutinee.
+        scrut: Rc<Expr>,
+        /// Left binder.
+        lvar: String,
+        /// Left binder type.
+        lty: Type,
+        /// Left branch.
+        lbody: Rc<Expr>,
+        /// Right binder.
+        rvar: String,
+        /// Right binder type.
+        rty: Type,
+        /// Right branch.
+        rbody: Rc<Expr>,
+    },
+    /// The natural number zero.
+    Zero,
+    /// Successor `succ(e)`.
+    Succ(Rc<Expr>),
+    /// Iteration `iter(e1, e2, e3)`: apply `e3` to `e2`, `e1` times.
+    Iter(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    /// The empty list `nil_σ`.
+    Nil(Type),
+    /// List cons `cons(e1, e2)`.
+    Cons(Rc<Expr>, Rc<Expr>),
+    /// List fold `fold(e1, e2, e3)`: fold `e3` over list `e1` with seed `e2`.
+    Fold(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    /// Operation call `op(e)`.
+    OpCall {
+        /// Operation name (determines the label via the signature).
+        op: String,
+        /// Argument.
+        arg: Rc<Expr>,
+    },
+    /// The built-in writer effect `loss(e)`.
+    Loss(Rc<Expr>),
+    /// Parameterized handling `with h from e1 handle e2`.
+    Handle {
+        /// The handler.
+        handler: Rc<Handler>,
+        /// Initial parameter value.
+        from: Rc<Expr>,
+        /// Handled computation.
+        body: Rc<Expr>,
+    },
+    /// The "then" construct `e1 ◮ λε x:σ. e2`, accumulating losses.
+    Then {
+        /// The computation whose losses are captured.
+        e: Rc<Expr>,
+        /// The continuation lambda `λε x:σ. e2` (body type `loss`).
+        lam: Rc<Expr>,
+    },
+    /// Loss-continuation localisation `⟨e⟩^ε1_g`.
+    Local {
+        /// The inner effect annotation `ε1`.
+        eff: Effect,
+        /// The loss continuation `g : σ → loss ! ε2` (a lambda).
+        g: Rc<Expr>,
+        /// The localised expression.
+        e: Rc<Expr>,
+    },
+    /// Loss localisation `reset e` — losses inside do not escape.
+    Reset(Rc<Expr>),
+}
+
+/// One operation clause `op ↦ λε (p, x, l, k). e` of a handler.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpClause {
+    /// Operation name.
+    pub op: String,
+    /// Parameter binder.
+    pub p: String,
+    /// Operation-argument binder.
+    pub x: String,
+    /// Choice-continuation binder (`l : (par, in) → loss ! ε`).
+    pub l: String,
+    /// Delimited-continuation binder (`k : (par, in) → σ' ! ε`).
+    pub k: String,
+    /// Clause body (type `σ' ! ε`).
+    pub body: Rc<Expr>,
+}
+
+/// The return clause `return ↦ λε (p, x). e`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetClause {
+    /// Parameter binder.
+    pub p: String,
+    /// Result binder (type `σ`).
+    pub x: String,
+    /// Clause body (type `σ' ! ε`).
+    pub body: Rc<Expr>,
+}
+
+/// A parameterized handler for one effect label (Fig 3).
+///
+/// All the typing data of the judgment
+/// `Γ ⊢ h : par, σ ! εℓ ⇒ σ' ! ε` is stored explicitly so that evaluation
+/// and the denotational semantics never need inference.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Handler {
+    /// The label `ℓ` this handler handles.
+    pub label: String,
+    /// Parameter type `par`.
+    pub par_ty: Type,
+    /// Handled-computation result type `σ`.
+    pub body_ty: Type,
+    /// Handler result type `σ'`.
+    pub res_ty: Type,
+    /// Result effect `ε`.
+    pub eff: Effect,
+    /// One clause per operation of `Op(ℓ)`.
+    pub clauses: Vec<OpClause>,
+    /// The return clause.
+    pub ret: RetClause,
+}
+
+impl Handler {
+    /// Looks up the clause for `op`.
+    pub fn clause(&self, op: &str) -> Option<&OpClause> {
+        self.clauses.iter().find(|c| c.op == op)
+    }
+}
+
+impl Expr {
+    /// Convenience: wrap in `Rc`.
+    pub fn rc(self) -> Rc<Expr> {
+        Rc::new(self)
+    }
+
+    /// Is this expression a value (Fig 5 / Appendix A.3)?
+    pub fn is_value(&self) -> bool {
+        match self {
+            Expr::Var(_) | Expr::Const(_) | Expr::Lam { .. } | Expr::Zero | Expr::Nil(_) => true,
+            Expr::Tuple(es) => es.iter().all(|e| e.is_value()),
+            Expr::Inl { e, .. } | Expr::Inr { e, .. } | Expr::Succ(e) => e.is_value(),
+            Expr::Cons(a, b) => a.is_value() && b.is_value(),
+            _ => false,
+        }
+    }
+
+    /// The unit value `()`.
+    pub fn unit() -> Expr {
+        Expr::Tuple(Vec::new())
+    }
+
+    /// The boolean `true`, i.e. `inl_{(), ()}(())`.
+    pub fn tt() -> Expr {
+        Expr::Inl { lty: Type::unit(), rty: Type::unit(), e: Expr::unit().rc() }
+    }
+
+    /// The boolean `false`, i.e. `inr_{(), ()}(())`.
+    pub fn ff() -> Expr {
+        Expr::Inr { lty: Type::unit(), rty: Type::unit(), e: Expr::unit().rc() }
+    }
+
+    /// A boolean value.
+    pub fn bool(b: bool) -> Expr {
+        if b {
+            Expr::tt()
+        } else {
+            Expr::ff()
+        }
+    }
+
+    /// A scalar loss constant.
+    pub fn lossc(x: f64) -> Expr {
+        Expr::Const(Const::Loss(LossVal::scalar(x)))
+    }
+
+    /// A loss-vector constant.
+    pub fn lossv(v: LossVal) -> Expr {
+        Expr::Const(Const::Loss(v))
+    }
+
+    /// A natural-number literal built from `succ`/`zero`.
+    pub fn nat(n: u64) -> Expr {
+        let mut e = Expr::Zero;
+        for _ in 0..n {
+            e = Expr::Succ(e.rc());
+        }
+        e
+    }
+
+    /// A list literal.
+    pub fn list(elem_ty: Type, items: Vec<Expr>) -> Expr {
+        let mut e = Expr::Nil(elem_ty);
+        for item in items.into_iter().rev() {
+            e = Expr::Cons(item.rc(), e.rc());
+        }
+        e
+    }
+
+    /// The zero loss continuation `0_{σ,ε} = λε x:σ. 0`.
+    pub fn zero_cont(ty: Type, eff: Effect) -> Expr {
+        Expr::Lam {
+            eff,
+            var: "_0".to_owned(),
+            ty,
+            body: Expr::Const(Const::Loss(LossVal::zero())).rc(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Prim(name, e) => write!(f, "{name}({e})"),
+            Expr::Var(x) => write!(f, "{x}"),
+            Expr::Lam { var, ty, body, .. } => write!(f, "(\\{var}:{ty}. {body})"),
+            Expr::App(a, b) => write!(f, "({a} {b})"),
+            Expr::Tuple(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Proj(e, i) => write!(f, "{e}.{}", i + 1),
+            Expr::Inl { e, .. } => write!(f, "inl({e})"),
+            Expr::Inr { e, .. } => write!(f, "inr({e})"),
+            Expr::Cases { scrut, lvar, lbody, rvar, rbody, .. } => {
+                write!(f, "(cases {scrut} of {lvar}. {lbody} | {rvar}. {rbody})")
+            }
+            Expr::Zero => write!(f, "zero"),
+            Expr::Succ(e) => write!(f, "succ({e})"),
+            Expr::Iter(a, b, c) => write!(f, "iter({a}, {b}, {c})"),
+            Expr::Nil(_) => write!(f, "nil"),
+            Expr::Cons(a, b) => write!(f, "cons({a}, {b})"),
+            Expr::Fold(a, b, c) => write!(f, "fold({a}, {b}, {c})"),
+            Expr::OpCall { op, arg } => write!(f, "{op}({arg})"),
+            Expr::Loss(e) => write!(f, "loss({e})"),
+            Expr::Handle { handler, from, body } => {
+                write!(f, "(with <{}-handler> from {from} handle {body})", handler.label)
+            }
+            Expr::Then { e, lam } => write!(f, "({e} |> {lam})"),
+            Expr::Local { e, .. } => write!(f, "<{e}>_g"),
+            Expr::Reset(e) => write!(f, "reset({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_recognition() {
+        assert!(Expr::unit().is_value());
+        assert!(Expr::tt().is_value());
+        assert!(Expr::nat(3).is_value());
+        assert!(Expr::lossc(1.0).is_value());
+        assert!(Expr::list(Type::bool(), vec![Expr::tt(), Expr::ff()]).is_value());
+        assert!(!Expr::Loss(Expr::lossc(1.0).rc()).is_value());
+        assert!(!Expr::App(Expr::tt().rc(), Expr::ff().rc()).is_value());
+        let half = Expr::Tuple(vec![Expr::tt().rc(), Expr::Loss(Expr::lossc(1.0).rc()).rc()]);
+        assert!(!half.is_value());
+    }
+
+    #[test]
+    fn nat_literals_unroll() {
+        assert_eq!(Expr::nat(0), Expr::Zero);
+        assert_eq!(Expr::nat(2), Expr::Succ(Expr::Succ(Expr::Zero.rc()).rc()));
+    }
+
+    #[test]
+    fn list_literals_nest_right() {
+        let l = Expr::list(Type::unit(), vec![Expr::unit(), Expr::unit()]);
+        match l {
+            Expr::Cons(_, rest) => match rest.as_ref() {
+                Expr::Cons(_, nil) => assert!(matches!(nil.as_ref(), Expr::Nil(_))),
+                other => panic!("expected cons, got {other:?}"),
+            },
+            other => panic!("expected cons, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_round_trips_sensibly() {
+        let e = Expr::App(
+            Expr::Lam {
+                eff: Effect::empty(),
+                var: "x".into(),
+                ty: Type::loss(),
+                body: Expr::Var("x".into()).rc(),
+            }
+            .rc(),
+            Expr::lossc(2.0).rc(),
+        );
+        assert_eq!(e.to_string(), "((\\x:loss. x) 2)");
+    }
+
+    #[test]
+    fn zero_cont_shape() {
+        let g = Expr::zero_cont(Type::bool(), Effect::empty());
+        match g {
+            Expr::Lam { body, .. } => assert_eq!(*body, Expr::Const(Const::Loss(LossVal::zero()))),
+            other => panic!("expected lambda, got {other:?}"),
+        }
+    }
+}

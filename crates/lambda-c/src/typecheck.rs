@@ -1,0 +1,572 @@
+//! The type-and-effect system of λC (Fig 4, Appendix A.2).
+//!
+//! The judgment `Γ ⊢ e : σ ! ε` is implemented as synthesis: given `Γ`, `e`
+//! and the ambient effect `ε`, [`type_of`] computes the unique `σ` (every
+//! binder is annotated, so no inference is needed) while checking all the
+//! side conditions — including the sub-effecting conditions of rules THEN
+//! and GLOCAL, which the paper needs to type the loss continuations built
+//! up by the operational semantics.
+
+use crate::prim::prim_lookup;
+use crate::sig::Signature;
+use crate::syntax::{Expr, Handler};
+use crate::types::{Effect, Type};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A typing environment `Γ`.
+pub type Env = HashMap<String, Type>;
+
+/// A typing error, with a human-readable message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypeError(pub String);
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, TypeError> {
+    Err(TypeError(msg.into()))
+}
+
+/// Synthesizes the type of `e` under `Γ = env` with ambient effect `ε = eff`
+/// (the judgment `Γ ⊢ e : σ ! ε`).
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] describing the first rule violation found.
+pub fn type_of(sig: &Signature, env: &Env, e: &Expr, eff: &Effect) -> Result<Type, TypeError> {
+    match e {
+        // const
+        Expr::Const(c) => Ok(c.ty()),
+        // fun
+        Expr::Prim(name, arg) => {
+            let def = prim_lookup(name)
+                .ok_or_else(|| TypeError(format!("unknown primitive `{name}`")))?;
+            let at = type_of(sig, env, arg, eff)?;
+            if at != def.arg_ty {
+                return err(format!(
+                    "primitive `{name}` expects {}, got {at}",
+                    def.arg_ty
+                ));
+            }
+            Ok(def.ret_ty)
+        }
+        // var
+        Expr::Var(x) => env
+            .get(x)
+            .cloned()
+            .ok_or_else(|| TypeError(format!("unbound variable `{x}`"))),
+        // abs — the body is checked at the annotated effect; the abstraction
+        // itself may sit at any ambient effect.
+        Expr::Lam { eff: body_eff, var, ty, body } => {
+            let mut env2 = env.clone();
+            env2.insert(var.clone(), ty.clone());
+            let bt = type_of(sig, &env2, body, body_eff)?;
+            Ok(Type::fun(ty.clone(), bt, body_eff.clone()))
+        }
+        // app — function effect must equal the ambient effect (no
+        // sub-effecting; see footnote 4 of the paper).
+        Expr::App(e1, e2) => {
+            let t1 = type_of(sig, env, e1, eff)?;
+            match t1 {
+                Type::Fun(a, b, fe) => {
+                    if fe != *eff {
+                        return err(format!(
+                            "application at effect {eff} of a function with latent effect {fe}"
+                        ));
+                    }
+                    let t2 = type_of(sig, env, e2, eff)?;
+                    if t2 != *a {
+                        return err(format!("argument type {t2} does not match parameter {a}"));
+                    }
+                    Ok(*b)
+                }
+                other => err(format!("application of a non-function of type {other}")),
+            }
+        }
+        // prd
+        Expr::Tuple(es) => {
+            let ts: Result<Vec<Type>, TypeError> =
+                es.iter().map(|e| type_of(sig, env, e, eff)).collect();
+            Ok(Type::Tuple(ts?))
+        }
+        // prj
+        Expr::Proj(e1, i) => match type_of(sig, env, e1, eff)? {
+            Type::Tuple(ts) => ts
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| TypeError(format!("projection .{} out of range", i + 1))),
+            other => err(format!("projection from non-product of type {other}")),
+        },
+        // inl / inr
+        Expr::Inl { lty, rty, e } => {
+            let t = type_of(sig, env, e, eff)?;
+            if t != *lty {
+                return err(format!("inl payload has type {t}, annotation says {lty}"));
+            }
+            Ok(Type::Sum(Box::new(lty.clone()), Box::new(rty.clone())))
+        }
+        Expr::Inr { lty, rty, e } => {
+            let t = type_of(sig, env, e, eff)?;
+            if t != *rty {
+                return err(format!("inr payload has type {t}, annotation says {rty}"));
+            }
+            Ok(Type::Sum(Box::new(lty.clone()), Box::new(rty.clone())))
+        }
+        // cases
+        Expr::Cases { scrut, lvar, lty, lbody, rvar, rty, rbody } => {
+            let st = type_of(sig, env, scrut, eff)?;
+            match st {
+                Type::Sum(a, b) => {
+                    if *a != *lty || *b != *rty {
+                        return err(format!(
+                            "cases annotations ({lty}, {rty}) do not match scrutinee ({a} + {b})"
+                        ));
+                    }
+                    let mut envl = env.clone();
+                    envl.insert(lvar.clone(), *a);
+                    let tl = type_of(sig, &envl, lbody, eff)?;
+                    let mut envr = env.clone();
+                    envr.insert(rvar.clone(), *b);
+                    let tr = type_of(sig, &envr, rbody, eff)?;
+                    if tl != tr {
+                        return err(format!("cases branches disagree: {tl} vs {tr}"));
+                    }
+                    Ok(tl)
+                }
+                other => err(format!("cases on non-sum of type {other}")),
+            }
+        }
+        // zero / succ / iter
+        Expr::Zero => Ok(Type::Nat),
+        Expr::Succ(e1) => {
+            let t = type_of(sig, env, e1, eff)?;
+            if t != Type::Nat {
+                return err(format!("succ of non-nat {t}"));
+            }
+            Ok(Type::Nat)
+        }
+        Expr::Iter(e1, e2, e3) => {
+            let t1 = type_of(sig, env, e1, eff)?;
+            if t1 != Type::Nat {
+                return err(format!("iter count must be nat, got {t1}"));
+            }
+            let t2 = type_of(sig, env, e2, eff)?;
+            let t3 = type_of(sig, env, e3, eff)?;
+            match t3 {
+                Type::Fun(a, b, fe) if *a == t2 && *b == t2 && fe == *eff => Ok(t2),
+                other => err(format!("iter body must be ({t2} -> {t2} ! {eff}), got {other}")),
+            }
+        }
+        // nil / cons / fold
+        Expr::Nil(t) => Ok(Type::List(Box::new(t.clone()))),
+        Expr::Cons(e1, e2) => {
+            let t1 = type_of(sig, env, e1, eff)?;
+            let t2 = type_of(sig, env, e2, eff)?;
+            match t2 {
+                Type::List(inner) if *inner == t1 => Ok(Type::List(inner)),
+                other => err(format!("cons of {t1} onto {other}")),
+            }
+        }
+        Expr::Fold(e1, e2, e3) => {
+            let t1 = type_of(sig, env, e1, eff)?;
+            let elem = match t1 {
+                Type::List(inner) => *inner,
+                other => return err(format!("fold over non-list {other}")),
+            };
+            let acc = type_of(sig, env, e2, eff)?;
+            let t3 = type_of(sig, env, e3, eff)?;
+            let want = Type::fun(Type::Tuple(vec![elem, acc.clone()]), acc.clone(), eff.clone());
+            if t3 != want {
+                return err(format!("fold body must be {want}, got {t3}"));
+            }
+            Ok(acc)
+        }
+        // op
+        Expr::OpCall { op, arg } => {
+            let label = sig
+                .label_of(op)
+                .ok_or_else(|| TypeError(format!("unknown operation `{op}`")))?
+                .to_owned();
+            let osig = sig.op_sig(op).expect("op with label has sig").clone();
+            if !eff.contains(&label) {
+                return err(format!("operation `{op}` of effect `{label}` not allowed in {eff}"));
+            }
+            let at = type_of(sig, env, arg, eff)?;
+            if at != osig.arg {
+                return err(format!("operation `{op}` expects {}, got {at}", osig.arg));
+            }
+            Ok(osig.ret)
+        }
+        // loss
+        Expr::Loss(e1) => {
+            let t = type_of(sig, env, e1, eff)?;
+            if t != Type::loss() {
+                return err(format!("loss of non-loss {t}"));
+            }
+            Ok(Type::unit())
+        }
+        // handle
+        Expr::Handle { handler, from, body } => {
+            check_handler(sig, env, handler)?;
+            if handler.eff != *eff {
+                return err(format!(
+                    "handler has result effect {} but ambient effect is {eff}",
+                    handler.eff
+                ));
+            }
+            let ft = type_of(sig, env, from, eff)?;
+            if ft != handler.par_ty {
+                return err(format!(
+                    "handler parameter has type {}, initial value has {ft}",
+                    handler.par_ty
+                ));
+            }
+            let body_eff = eff.plus(handler.label.clone());
+            let bt = type_of(sig, env, body, &body_eff)?;
+            if bt != handler.body_ty {
+                return err(format!(
+                    "handled computation has type {bt}, handler expects {}",
+                    handler.body_ty
+                ));
+            }
+            Ok(handler.res_ty.clone())
+        }
+        // then — Γ ⊢ e1 : σ ! ε1; Γ, x:σ ⊢ e2 : loss ! ε2 with ε2 ⊆ ε1;
+        // the whole expression sits at ε1 (the ambient effect).
+        Expr::Then { e, lam } => {
+            let t1 = type_of(sig, env, e, eff)?;
+            match lam.as_ref() {
+                Expr::Lam { eff: leff, var, ty, body } => {
+                    if *ty != t1 {
+                        return err(format!(
+                            "then-continuation expects {ty}, computation has {t1}"
+                        ));
+                    }
+                    if !leff.subset_of(eff) {
+                        return err(format!(
+                            "then-continuation effect {leff} not included in {eff}"
+                        ));
+                    }
+                    let mut env2 = env.clone();
+                    env2.insert(var.clone(), ty.clone());
+                    let bt = type_of(sig, &env2, body, leff)?;
+                    if bt != Type::loss() {
+                        return err(format!("then-continuation body must be loss, got {bt}"));
+                    }
+                    Ok(Type::loss())
+                }
+                other => err(format!("then-continuation must be a lambda, got {other}")),
+            }
+        }
+        // glocal — Γ ⊢ e : σ ! ε1; g : σ → loss ! ε2; ε2 ⊆ ε1 ⊆ ε.
+        Expr::Local { eff: eff1, g, e } => {
+            if !eff1.subset_of(eff) {
+                return err(format!("local annotation {eff1} not included in ambient {eff}"));
+            }
+            let t = type_of(sig, env, e, eff1)?;
+            let gt = type_of(sig, env, g, eff)?;
+            match gt {
+                Type::Fun(a, b, ge) => {
+                    if *a != t {
+                        return err(format!(
+                            "loss continuation domain {a} does not match computation type {t}"
+                        ));
+                    }
+                    if *b != Type::loss() {
+                        return err(format!("loss continuation must return loss, got {b}"));
+                    }
+                    if !ge.subset_of(eff1) {
+                        return err(format!(
+                            "loss continuation effect {ge} not included in {eff1}"
+                        ));
+                    }
+                    Ok(t)
+                }
+                other => err(format!("loss continuation must be a function, got {other}")),
+            }
+        }
+        // reset
+        Expr::Reset(e1) => type_of(sig, env, e1, eff),
+    }
+}
+
+/// Checks a handler against the judgment `Γ ⊢ h : par, σ ! εℓ ⇒ σ' ! ε`
+/// (rule HANDLER), where all components are read off the [`Handler`]
+/// annotations.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if the clause list does not enumerate `Op(ℓ)` or
+/// any clause body has the wrong type.
+pub fn check_handler(sig: &Signature, env: &Env, h: &Handler) -> Result<(), TypeError> {
+    let ops = sig
+        .ops_of(&h.label)
+        .ok_or_else(|| TypeError(format!("unknown effect label `{}`", h.label)))?;
+    if h.clauses.len() != ops.len() {
+        return err(format!(
+            "handler for `{}` must define exactly {} operations, found {}",
+            h.label,
+            ops.len(),
+            h.clauses.len()
+        ));
+    }
+    for clause in &h.clauses {
+        let osig = ops.get(&clause.op).ok_or_else(|| {
+            TypeError(format!("operation `{}` does not belong to effect `{}`", clause.op, h.label))
+        })?;
+        let pair_ty = Type::Tuple(vec![h.par_ty.clone(), osig.ret.clone()]);
+        let mut env2 = env.clone();
+        env2.insert(clause.p.clone(), h.par_ty.clone());
+        env2.insert(clause.x.clone(), osig.arg.clone());
+        env2.insert(clause.l.clone(), Type::fun(pair_ty.clone(), Type::loss(), h.eff.clone()));
+        env2.insert(clause.k.clone(), Type::fun(pair_ty, h.res_ty.clone(), h.eff.clone()));
+        let bt = type_of(sig, &env2, &clause.body, &h.eff)?;
+        if bt != h.res_ty {
+            return err(format!(
+                "clause for `{}` has type {bt}, handler result type is {}",
+                clause.op, h.res_ty
+            ));
+        }
+    }
+    let mut env2 = env.clone();
+    env2.insert(h.ret.p.clone(), h.par_ty.clone());
+    env2.insert(h.ret.x.clone(), h.body_ty.clone());
+    let rt = type_of(sig, &env2, &h.ret.body, &h.eff)?;
+    if rt != h.res_ty {
+        return err(format!("return clause has type {rt}, handler result type is {}", h.res_ty));
+    }
+    Ok(())
+}
+
+/// Checks a closed program: `⊢ e : σ ! ε`.
+///
+/// # Errors
+///
+/// Propagates any [`TypeError`] from [`type_of`].
+pub fn check_program(sig: &Signature, e: &Expr, eff: &Effect) -> Result<Type, TypeError> {
+    type_of(sig, &Env::new(), e, eff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::OpSig;
+    use crate::syntax::{OpClause, RetClause};
+    use std::rc::Rc;
+
+    fn amb_sig() -> Signature {
+        let mut sig = Signature::new();
+        sig.declare(
+            "amb",
+            vec![("decide".into(), OpSig { arg: Type::unit(), ret: Type::bool() })],
+        )
+        .unwrap();
+        sig
+    }
+
+    #[test]
+    fn constants_and_prims() {
+        let sig = Signature::new();
+        let e = Expr::Prim(
+            "add".into(),
+            Expr::Tuple(vec![Expr::lossc(1.0).rc(), Expr::lossc(2.0).rc()]).rc(),
+        );
+        assert_eq!(check_program(&sig, &e, &Effect::empty()).unwrap(), Type::loss());
+    }
+
+    #[test]
+    fn unknown_prim_rejected() {
+        let sig = Signature::new();
+        let e = Expr::Prim("wat".into(), Expr::unit().rc());
+        assert!(check_program(&sig, &e, &Effect::empty()).is_err());
+    }
+
+    #[test]
+    fn beta_redex_types() {
+        let sig = Signature::new();
+        let id = Expr::Lam {
+            eff: Effect::empty(),
+            var: "x".into(),
+            ty: Type::loss(),
+            body: Expr::Var("x".into()).rc(),
+        };
+        let e = Expr::App(id.rc(), Expr::lossc(3.0).rc());
+        assert_eq!(check_program(&sig, &e, &Effect::empty()).unwrap(), Type::loss());
+    }
+
+    #[test]
+    fn app_requires_matching_latent_effect() {
+        let sig = amb_sig();
+        // function with latent effect {amb} applied at ambient {}
+        let f = Expr::Lam {
+            eff: Effect::single("amb"),
+            var: "x".into(),
+            ty: Type::unit(),
+            body: Expr::OpCall { op: "decide".into(), arg: Expr::unit().rc() }.rc(),
+        };
+        let e = Expr::App(f.rc(), Expr::unit().rc());
+        assert!(check_program(&sig, &e, &Effect::empty()).is_err());
+        assert!(check_program(&sig, &e, &Effect::single("amb")).is_ok());
+    }
+
+    #[test]
+    fn op_needs_label_in_effect() {
+        let sig = amb_sig();
+        let e = Expr::OpCall { op: "decide".into(), arg: Expr::unit().rc() };
+        assert!(check_program(&sig, &e, &Effect::empty()).is_err());
+        assert_eq!(check_program(&sig, &e, &Effect::single("amb")).unwrap(), Type::bool());
+    }
+
+    #[test]
+    fn loss_types_to_unit() {
+        let sig = Signature::new();
+        let e = Expr::Loss(Expr::lossc(2.0).rc());
+        assert_eq!(check_program(&sig, &e, &Effect::empty()).unwrap(), Type::unit());
+        let bad = Expr::Loss(Expr::unit().rc());
+        assert!(check_program(&sig, &bad, &Effect::empty()).is_err());
+    }
+
+    fn trivial_amb_handler(eff: Effect) -> Handler {
+        // decide ↦ k (p, true); return x
+        Handler {
+            label: "amb".into(),
+            par_ty: Type::unit(),
+            body_ty: Type::bool(),
+            res_ty: Type::bool(),
+            eff,
+            clauses: vec![OpClause {
+                op: "decide".into(),
+                p: "p".into(),
+                x: "x".into(),
+                l: "l".into(),
+                k: "k".into(),
+                body: Expr::App(
+                    Expr::Var("k".into()).rc(),
+                    Expr::Tuple(vec![Expr::Var("p".into()).rc(), Expr::tt().rc()]).rc(),
+                )
+                .rc(),
+            }],
+            ret: RetClause { p: "p".into(), x: "x".into(), body: Expr::Var("x".into()).rc() },
+        }
+    }
+
+    #[test]
+    fn handler_judgment_accepts_well_typed_handler() {
+        let sig = amb_sig();
+        let h = trivial_amb_handler(Effect::empty());
+        check_handler(&sig, &Env::new(), &h).unwrap();
+    }
+
+    #[test]
+    fn handle_removes_one_label_occurrence() {
+        let sig = amb_sig();
+        let h = Rc::new(trivial_amb_handler(Effect::empty()));
+        let body = Expr::OpCall { op: "decide".into(), arg: Expr::unit().rc() };
+        let e = Expr::Handle { handler: h, from: Expr::unit().rc(), body: body.rc() };
+        assert_eq!(check_program(&sig, &e, &Effect::empty()).unwrap(), Type::bool());
+    }
+
+    #[test]
+    fn handler_with_wrong_clause_type_rejected() {
+        let sig = amb_sig();
+        let mut h = trivial_amb_handler(Effect::empty());
+        h.clauses[0].body = Expr::lossc(1.0).rc(); // loss, but σ' = bool
+        assert!(check_handler(&sig, &Env::new(), &h).is_err());
+    }
+
+    #[test]
+    fn then_requires_loss_body_and_subeffect() {
+        let sig = amb_sig();
+        let lam_ok = Expr::Lam {
+            eff: Effect::empty(),
+            var: "x".into(),
+            ty: Type::bool(),
+            body: Expr::lossc(0.0).rc(),
+        };
+        let scrut = Expr::OpCall { op: "decide".into(), arg: Expr::unit().rc() };
+        let e = Expr::Then { e: scrut.rc(), lam: lam_ok.rc() };
+        assert_eq!(check_program(&sig, &e, &Effect::single("amb")).unwrap(), Type::loss());
+
+        // continuation with a non-included effect
+        let lam_bad = Expr::Lam {
+            eff: Effect::single("other"),
+            var: "x".into(),
+            ty: Type::bool(),
+            body: Expr::lossc(0.0).rc(),
+        };
+        let e2 = Expr::Then {
+            e: Expr::OpCall { op: "decide".into(), arg: Expr::unit().rc() }.rc(),
+            lam: lam_bad.rc(),
+        };
+        assert!(check_program(&sig, &e2, &Effect::single("amb")).is_err());
+    }
+
+    #[test]
+    fn local_checks_domain_and_subeffects() {
+        let sig = Signature::new();
+        let g = Expr::zero_cont(Type::loss(), Effect::empty());
+        let e = Expr::Local { eff: Effect::empty(), g: g.rc(), e: Expr::lossc(1.0).rc() };
+        assert_eq!(check_program(&sig, &e, &Effect::empty()).unwrap(), Type::loss());
+
+        let g_bad = Expr::zero_cont(Type::bool(), Effect::empty());
+        let e2 = Expr::Local { eff: Effect::empty(), g: g_bad.rc(), e: Expr::lossc(1.0).rc() };
+        assert!(check_program(&sig, &e2, &Effect::empty()).is_err());
+    }
+
+    #[test]
+    fn cases_branches_must_agree() {
+        let sig = Signature::new();
+        let e = Expr::Cases {
+            scrut: Expr::tt().rc(),
+            lvar: "a".into(),
+            lty: Type::unit(),
+            lbody: Expr::lossc(1.0).rc(),
+            rvar: "b".into(),
+            rty: Type::unit(),
+            rbody: Expr::unit().rc(),
+        };
+        assert!(check_program(&sig, &e, &Effect::empty()).is_err());
+    }
+
+    #[test]
+    fn iter_and_fold_typing() {
+        let sig = Signature::new();
+        let step = Expr::Lam {
+            eff: Effect::empty(),
+            var: "x".into(),
+            ty: Type::loss(),
+            body: Expr::Prim(
+                "add".into(),
+                Expr::Tuple(vec![Expr::Var("x".into()).rc(), Expr::lossc(1.0).rc()]).rc(),
+            )
+            .rc(),
+        };
+        let e = Expr::Iter(Expr::nat(3).rc(), Expr::lossc(0.0).rc(), step.rc());
+        assert_eq!(check_program(&sig, &e, &Effect::empty()).unwrap(), Type::loss());
+
+        let fold_body = Expr::Lam {
+            eff: Effect::empty(),
+            var: "z".into(),
+            ty: Type::Tuple(vec![Type::loss(), Type::loss()]),
+            body: Expr::Prim("add".into(), Expr::Var("z".into()).rc()).rc(),
+        };
+        let e2 = Expr::Fold(
+            Expr::list(Type::loss(), vec![Expr::lossc(1.0), Expr::lossc(2.0)]).rc(),
+            Expr::lossc(0.0).rc(),
+            fold_body.rc(),
+        );
+        assert_eq!(check_program(&sig, &e2, &Effect::empty()).unwrap(), Type::loss());
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let sig = Signature::new();
+        assert!(check_program(&sig, &Expr::Var("nope".into()), &Effect::empty()).is_err());
+    }
+}

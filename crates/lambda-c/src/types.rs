@@ -1,0 +1,337 @@
+//! Types and effects of λC (Fig 2 and Appendix A.1).
+//!
+//! Types are base types, n-ary products, binary sums, naturals, lists, and
+//! effect-annotated function types. Effects are **multisets** of effect
+//! labels; multiplicity matters because handling removes one occurrence of
+//! the handled label (rule HANDLE) and the denotational semantics indexes
+//! operation nodes by handler depth.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Base types. `Loss` is the distinguished type of the loss monoid; `Char`
+/// and `Str` support the paper's character/password examples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BaseTy {
+    /// The loss monoid `R`.
+    Loss,
+    /// Characters (`'a'`, `'b'` in §2.3).
+    Char,
+    /// Strings (the password example of §4.3).
+    Str,
+}
+
+impl fmt::Display for BaseTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseTy::Loss => write!(f, "loss"),
+            BaseTy::Char => write!(f, "char"),
+            BaseTy::Str => write!(f, "str"),
+        }
+    }
+}
+
+/// A λC type (Fig 2, extended with the appendix's sums, naturals, lists).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Type {
+    /// A base type.
+    Base(BaseTy),
+    /// An n-ary product `(σ1, …, σn)`; `n = 0` is the unit type.
+    Tuple(Vec<Type>),
+    /// A binary sum `σ + τ`.
+    Sum(Box<Type>, Box<Type>),
+    /// Natural numbers.
+    Nat,
+    /// Lists `list(σ)`.
+    List(Box<Type>),
+    /// A function type `σ → τ ! ε`.
+    Fun(Box<Type>, Box<Type>, Effect),
+}
+
+impl Type {
+    /// The unit type `()` — the empty product.
+    pub fn unit() -> Type {
+        Type::Tuple(Vec::new())
+    }
+
+    /// The `loss` base type.
+    pub fn loss() -> Type {
+        Type::Base(BaseTy::Loss)
+    }
+
+    /// Booleans, encoded as `() + ()` with `inl` = true, `inr` = false.
+    pub fn bool() -> Type {
+        Type::Sum(Box::new(Type::unit()), Box::new(Type::unit()))
+    }
+
+    /// Function type constructor.
+    pub fn fun(arg: Type, res: Type, eff: Effect) -> Type {
+        Type::Fun(Box::new(arg), Box::new(res), eff)
+    }
+
+    /// Is this a first-order type (no function space anywhere)?
+    pub fn is_first_order(&self) -> bool {
+        match self {
+            Type::Base(_) | Type::Nat => true,
+            Type::Tuple(ts) => ts.iter().all(Type::is_first_order),
+            Type::Sum(a, b) => a.is_first_order() && b.is_first_order(),
+            Type::List(t) => t.is_first_order(),
+            Type::Fun(..) => false,
+        }
+    }
+
+    /// Size `|σ|` of a type, as in §3.4 (functions count their effect too).
+    pub fn size(&self) -> usize {
+        match self {
+            Type::Base(_) | Type::Nat => 1,
+            Type::Tuple(ts) => 1 + ts.iter().map(Type::size).sum::<usize>(),
+            Type::Sum(a, b) => 1 + a.size() + b.size(),
+            Type::List(t) => 1 + t.size(),
+            Type::Fun(a, b, eff) => 1 + a.size() + b.size() + eff.card(),
+        }
+    }
+
+    /// The set of effect labels appearing in the type (`e(σ)` in §3.4).
+    pub fn effect_labels(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Type::Base(_) | Type::Nat => {}
+            Type::Tuple(ts) => ts.iter().for_each(|t| t.effect_labels(out)),
+            Type::Sum(a, b) => {
+                a.effect_labels(out);
+                b.effect_labels(out);
+            }
+            Type::List(t) => t.effect_labels(out),
+            Type::Fun(a, b, eff) => {
+                a.effect_labels(out);
+                b.effect_labels(out);
+                for l in eff.labels() {
+                    out.insert(l.to_owned());
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Base(b) => write!(f, "{b}"),
+            Type::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Type::Sum(a, b) => write!(f, "({a} + {b})"),
+            Type::Nat => write!(f, "nat"),
+            Type::List(t) => write!(f, "list({t})"),
+            Type::Fun(a, b, eff) => write!(f, "({a} -> {b} ! {eff})"),
+        }
+    }
+}
+
+/// A multiset of effect labels (Fig 2: `ε ::= {} | ε ℓ`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Effect(BTreeMap<String, u32>);
+
+impl Effect {
+    /// The empty effect `{}`.
+    pub fn empty() -> Effect {
+        Effect(BTreeMap::new())
+    }
+
+    /// The singleton effect `{ℓ}`.
+    pub fn single(label: impl Into<String>) -> Effect {
+        let mut m = BTreeMap::new();
+        m.insert(label.into(), 1);
+        Effect(m)
+    }
+
+    /// Builds an effect from labels (with multiplicity: repeats count).
+    pub fn from_labels<I, S>(labels: I) -> Effect
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut e = Effect::empty();
+        for l in labels {
+            e.add(l.into());
+        }
+        e
+    }
+
+    /// Adds one occurrence of `ℓ` (multiset union with a singleton, the
+    /// juxtaposition `ε ℓ` of the paper).
+    pub fn add(&mut self, label: impl Into<String>) {
+        *self.0.entry(label.into()).or_insert(0) += 1;
+    }
+
+    /// `ε ℓ` as a new value.
+    pub fn plus(&self, label: impl Into<String>) -> Effect {
+        let mut e = self.clone();
+        e.add(label);
+        e
+    }
+
+    /// Multiset union `ε ε'`.
+    pub fn union(&self, other: &Effect) -> Effect {
+        let mut e = self.clone();
+        for (l, n) in &other.0 {
+            *e.0.entry(l.clone()).or_insert(0) += n;
+        }
+        e
+    }
+
+    /// Removes one occurrence of `ℓ`; returns `false` if absent.
+    pub fn remove_one(&mut self, label: &str) -> bool {
+        match self.0.get_mut(label) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                true
+            }
+            Some(_) => {
+                self.0.remove(label);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Multiplicity `ε(ℓ)`.
+    pub fn multiplicity(&self, label: &str) -> u32 {
+        self.0.get(label).copied().unwrap_or(0)
+    }
+
+    /// Does `ℓ ∈ ε` hold?
+    pub fn contains(&self, label: &str) -> bool {
+        self.multiplicity(label) > 0
+    }
+
+    /// Sub-multiset test `ε ⊆ ε'`.
+    pub fn subset_of(&self, other: &Effect) -> bool {
+        self.0.iter().all(|(l, n)| other.multiplicity(l) >= *n)
+    }
+
+    /// Total cardinality `|ε|` counting multiplicity.
+    pub fn card(&self) -> usize {
+        self.0.values().map(|n| *n as usize).sum()
+    }
+
+    /// Is this the empty effect?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The distinct labels of the multiset.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.0.keys().map(String::as_str)
+    }
+
+    /// Iterates over `(label, multiplicity)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.0.iter().map(|(l, n)| (l.as_str(), *n))
+    }
+}
+
+impl fmt::Display for Effect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (l, n) in &self.0 {
+            for _ in 0..*n {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_is_empty_tuple() {
+        assert_eq!(Type::unit(), Type::Tuple(vec![]));
+        assert_eq!(Type::unit().to_string(), "()");
+    }
+
+    #[test]
+    fn bool_is_unit_sum() {
+        assert_eq!(Type::bool().to_string(), "(() + ())");
+        assert!(Type::bool().is_first_order());
+    }
+
+    #[test]
+    fn fun_is_not_first_order() {
+        let t = Type::fun(Type::loss(), Type::loss(), Effect::empty());
+        assert!(!t.is_first_order());
+        assert!(!Type::Tuple(vec![Type::loss(), t.clone()]).is_first_order());
+    }
+
+    #[test]
+    fn type_size_counts_effects() {
+        let eff = Effect::from_labels(["amb", "amb", "st"]);
+        let t = Type::fun(Type::loss(), Type::loss(), eff);
+        assert_eq!(t.size(), 1 + 1 + 1 + 3);
+    }
+
+    #[test]
+    fn effect_labels_of_nested_fun() {
+        let inner = Type::fun(Type::unit(), Type::unit(), Effect::single("a"));
+        let outer = Type::fun(inner, Type::unit(), Effect::single("b"));
+        let mut s = std::collections::BTreeSet::new();
+        outer.effect_labels(&mut s);
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        let mut e = Effect::empty();
+        e.add("amb");
+        e.add("amb");
+        e.add("st");
+        assert_eq!(e.multiplicity("amb"), 2);
+        assert_eq!(e.card(), 3);
+        assert!(Effect::single("amb").subset_of(&e));
+        assert!(!e.subset_of(&Effect::single("amb")));
+        assert!(e.remove_one("amb"));
+        assert_eq!(e.multiplicity("amb"), 1);
+        assert!(e.remove_one("amb"));
+        assert!(!e.remove_one("amb"));
+        assert!(!e.contains("amb"));
+        assert!(e.contains("st"));
+    }
+
+    #[test]
+    fn union_adds_multiplicities() {
+        let a = Effect::from_labels(["x", "y"]);
+        let b = Effect::from_labels(["y", "z"]);
+        let u = a.union(&b);
+        assert_eq!(u.multiplicity("x"), 1);
+        assert_eq!(u.multiplicity("y"), 2);
+        assert_eq!(u.multiplicity("z"), 1);
+    }
+
+    #[test]
+    fn display_effect_with_multiplicity() {
+        let e = Effect::from_labels(["b", "a", "a"]);
+        assert_eq!(e.to_string(), "{a, a, b}");
+        assert_eq!(Effect::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn subset_reflexive_and_empty() {
+        let e = Effect::from_labels(["q", "q"]);
+        assert!(e.subset_of(&e));
+        assert!(Effect::empty().subset_of(&e));
+    }
+}

@@ -1,0 +1,112 @@
+//! Smoke coverage for the pretty-printer and program builders: every
+//! syntactic construct renders, renders deterministically, and the
+//! builders produce exactly the sugar the paper defines.
+
+use lambda_c::build::*;
+use lambda_c::syntax::{Const, Expr};
+use lambda_c::types::{BaseTy, Effect, Type};
+
+#[test]
+fn constants_render() {
+    assert_eq!(lc(2.0).to_string(), "2");
+    assert_eq!(ch('a').to_string(), "'a'");
+    assert_eq!(s("hi").to_string(), "\"hi\"");
+    assert_eq!(Expr::nat(2).to_string(), "succ(succ(zero))");
+    assert_eq!(
+        Expr::lossv(lambda_c::LossVal::pair(1.0, 2.0)).to_string(),
+        "(1, 2)"
+    );
+}
+
+#[test]
+fn composite_expressions_render() {
+    assert_eq!(unit().to_string(), "()");
+    assert_eq!(pair(lc(1.0), lc(2.0)).to_string(), "(1, 2)");
+    assert_eq!(proj(v("x"), 1).to_string(), "x.2");
+    assert_eq!(Expr::tt().to_string(), "inl(())");
+    assert_eq!(Expr::ff().to_string(), "inr(())");
+    assert_eq!(loss(lc(3.0)).to_string(), "loss(3)");
+    assert_eq!(op("decide", unit()).to_string(), "decide(())");
+    assert_eq!(reset(unit()).to_string(), "reset(())");
+    assert_eq!(add(v("a"), v("b")).to_string(), "add((a, b))");
+    assert_eq!(
+        Expr::list(Type::loss(), vec![lc(1.0)]).to_string(),
+        "cons(1, nil)"
+    );
+    assert_eq!(
+        Expr::Iter(Expr::nat(1).rc(), lc(0.0).rc(), v("f").rc()).to_string(),
+        "iter(succ(zero), 0, f)"
+    );
+    assert_eq!(
+        Expr::Fold(Expr::Nil(Type::loss()).rc(), lc(0.0).rc(), v("f").rc()).to_string(),
+        "fold(nil, 0, f)"
+    );
+}
+
+#[test]
+fn binders_render_with_types() {
+    let l = lam(Effect::empty(), "x", Type::loss(), v("x"));
+    assert_eq!(l.to_string(), "(\\x:loss. x)");
+    let c = Expr::Cases {
+        scrut: Expr::tt().rc(),
+        lvar: "a".into(),
+        lty: Type::unit(),
+        lbody: lc(1.0).rc(),
+        rvar: "b".into(),
+        rty: Type::unit(),
+        rbody: lc(2.0).rc(),
+    };
+    assert_eq!(c.to_string(), "(cases inl(()) of a. 1 | b. 2)");
+}
+
+#[test]
+fn scoping_constructs_render() {
+    let e = local0(Effect::empty(), Type::unit(), loss(lc(1.0)));
+    assert_eq!(e.to_string(), "<loss(1)>_g");
+    let t = then(lc(1.0), Effect::empty(), "x", Type::loss(), v("x"));
+    assert_eq!(t.to_string(), "(1 |> (\\x:loss. x))");
+}
+
+#[test]
+fn handle_renders_with_label() {
+    let h = HandlerBuilder::new("amb", Type::bool(), Type::bool(), Effect::empty())
+        .on("decide", "p", "x", "l", "k", app(v("k"), pair(v("p"), Expr::tt())))
+        .build();
+    let e = handle0(h, v("prog"));
+    assert_eq!(e.to_string(), "(with <amb-handler> from () handle prog)");
+}
+
+#[test]
+fn rendering_is_deterministic() {
+    let ex = lambda_c::examples::pgm_with_argmin_handler();
+    assert_eq!(ex.expr.to_string(), ex.expr.to_string());
+}
+
+#[test]
+fn builder_sugar_matches_paper_definitions() {
+    // x ← e1; e2 ≜ (λx. e2) e1
+    let sugar = let_(Effect::empty(), "x", Type::loss(), lc(1.0), v("x"));
+    match sugar {
+        Expr::App(f, a) => {
+            assert!(matches!(f.as_ref(), Expr::Lam { .. }));
+            assert_eq!(*a, lc(1.0));
+        }
+        other => panic!("let_ must desugar to application, got {other}"),
+    }
+    // lreset = reset ∘ local0
+    let lr = lreset(Effect::empty(), Type::unit(), unit());
+    match lr {
+        Expr::Reset(inner) => assert!(matches!(inner.as_ref(), Expr::Local { .. })),
+        other => panic!("lreset must be reset(local(..)), got {other}"),
+    }
+    // if_ desugars to cases on the boolean sum
+    let i = if_(Expr::tt(), lc(1.0), lc(2.0));
+    assert!(matches!(i, Expr::Cases { .. }));
+}
+
+#[test]
+fn const_types_are_correct() {
+    assert_eq!(Const::Loss(lambda_c::LossVal::scalar(1.0)).ty(), Type::loss());
+    assert_eq!(Const::Char('x').ty(), Type::Base(BaseTy::Char));
+    assert_eq!(Const::Str("s".into()).ty(), Type::Base(BaseTy::Str));
+}

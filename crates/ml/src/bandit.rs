@@ -1,0 +1,184 @@
+//! Bandits: the reinforcement-learning connection (§6).
+//!
+//! The related-work section observes that basic RL (multi-armed bandits à
+//! la Dal Lago et al.) "does not need choice continuations as action
+//! losses are directly given", while richer settings benefit from them.
+//! This module exhibits both sides:
+//!
+//! * [`greedy_probe_agent`] — a *full-information* agent whose handler
+//!   probes each arm's per-round loss through the choice continuation
+//!   (choice continuations as one-step lookahead);
+//! * [`epsilon_greedy`] — the classic estimate-and-explore baseline that
+//!   never looks ahead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selc::{effect, handle_with, loss, perform, Handler, Sel};
+
+effect! {
+    /// The arm-choosing effect.
+    pub effect Bandit {
+        /// Choose one of `n` arms (argument: number of arms).
+        op ChooseArm : usize => usize;
+    }
+}
+
+/// A stochastic multi-armed bandit environment with Gaussian-ish rewards.
+#[derive(Clone, Debug)]
+pub struct Arms {
+    /// Mean loss of each arm (lower is better).
+    pub means: Vec<f64>,
+    noise: f64,
+}
+
+impl Arms {
+    /// An environment with the given mean losses and noise amplitude.
+    pub fn new(means: Vec<f64>, noise: f64) -> Arms {
+        Arms { means, noise }
+    }
+
+    /// Samples the loss of pulling `arm`.
+    pub fn pull(&self, arm: usize, rng: &mut StdRng) -> f64 {
+        self.means[arm] + self.noise * (rng.gen::<f64>() - 0.5)
+    }
+
+    /// The optimal (least) mean loss.
+    pub fn best_mean(&self) -> f64 {
+        self.means.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// One round as a `Sel` program: choose an arm, incur its (pre-sampled)
+/// loss, return the arm.
+fn round_program(losses: Vec<f64>) -> Sel<f64, usize> {
+    let n = losses.len();
+    perform::<f64, ChooseArm>(n).and_then(move |arm| loss(losses[arm]).map(move |_| arm))
+}
+
+/// A greedy full-information agent: the handler probes every arm's loss
+/// for *this round* via the choice continuation and resumes with the
+/// argmin. Returns `(total loss, arms chosen)` over `rounds` rounds; each
+/// round is wrapped in `lreset` so probes see only their own round.
+pub fn greedy_probe_agent(arms: &Arms, rounds: usize, seed: u64) -> (f64, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h: Handler<f64, usize, usize> = Handler::builder::<Bandit>()
+        .on::<ChooseArm>(|n, l, k| {
+            fn go(
+                l: selc::Choice<f64, usize>,
+                k: selc::Resume<f64, usize, usize>,
+                n: usize,
+                i: usize,
+                best: (usize, f64),
+            ) -> Sel<f64, usize> {
+                if i == n {
+                    return k.resume(best.0);
+                }
+                l.at(i).and_then(move |li| {
+                    let best = if li < best.1 { (i, li) } else { best };
+                    go(l.clone(), k.clone(), n, i + 1, best)
+                })
+            }
+            go(l, k, n, 0, (0, f64::INFINITY))
+        })
+        .build_identity();
+
+    let mut total = 0.0;
+    let mut chosen = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let losses: Vec<f64> = (0..arms.means.len()).map(|a| arms.pull(a, &mut rng)).collect();
+        let (l, arm) = handle_with(&h, (), round_program(losses)).run_unwrap();
+        total += l;
+        chosen.push(arm);
+    }
+    (total, chosen)
+}
+
+/// Classic ε-greedy baseline: estimates arm means from observed pulls,
+/// explores with probability `eps`. Returns `(total loss, arms chosen)`.
+pub fn epsilon_greedy(arms: &Arms, rounds: usize, eps: f64, seed: u64) -> (f64, Vec<usize>) {
+    let n = arms.means.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sums = vec![0.0; n];
+    let mut counts = vec![0u32; n];
+    let mut total = 0.0;
+    let mut chosen = Vec::with_capacity(rounds);
+    for t in 0..rounds {
+        let arm = if t < n {
+            t // pull each arm once first
+        } else if rng.gen::<f64>() < eps {
+            rng.gen_range(0..n)
+        } else {
+            (0..n)
+                .min_by(|&a, &b| {
+                    let ea = sums[a] / counts[a] as f64;
+                    let eb = sums[b] / counts[b] as f64;
+                    ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("n > 0")
+        };
+        let l = arms.pull(arm, &mut rng);
+        sums[arm] += l;
+        counts[arm] += 1;
+        total += l;
+        chosen.push(arm);
+    }
+    (total, chosen)
+}
+
+/// Cumulative regret of a run against the best arm's mean.
+pub fn regret(arms: &Arms, total_loss: f64, rounds: usize) -> f64 {
+    total_loss - arms.best_mean() * rounds as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Arms {
+        Arms::new(vec![1.0, 0.2, 0.7], 0.0)
+    }
+
+    #[test]
+    fn probe_agent_always_finds_the_best_arm_without_noise() {
+        let (total, chosen) = greedy_probe_agent(&env(), 20, 1);
+        assert!(chosen.iter().all(|&a| a == 1), "{chosen:?}");
+        assert!((total - 0.2 * 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probe_agent_tracks_noisy_per_round_optimum() {
+        let arms = Arms::new(vec![0.5, 0.5], 2.0);
+        let (total, _) = greedy_probe_agent(&arms, 50, 3);
+        // Full information: total must not exceed any single-arm policy.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut fixed = [0.0, 0.0];
+        for _ in 0..50 {
+            let ls: Vec<f64> = (0..2).map(|a| arms.pull(a, &mut rng)).collect();
+            fixed[0] += ls[0];
+            fixed[1] += ls[1];
+        }
+        assert!(total <= fixed[0] + 1e-9);
+        assert!(total <= fixed[1] + 1e-9);
+    }
+
+    #[test]
+    fn epsilon_greedy_settles_on_the_best_arm() {
+        let (_, chosen) = epsilon_greedy(&env(), 300, 0.1, 5);
+        let tail = &chosen[250..];
+        let best = tail.iter().filter(|&&a| a == 1).count();
+        assert!(best > tail.len() / 2, "best arm picked {best}/{}", tail.len());
+    }
+
+    #[test]
+    fn probe_agent_beats_epsilon_greedy_on_noiseless_env() {
+        let (probe_total, _) = greedy_probe_agent(&env(), 100, 7);
+        let (eps_total, _) = epsilon_greedy(&env(), 100, 0.1, 7);
+        assert!(probe_total < eps_total, "probe {probe_total} vs eps {eps_total}");
+    }
+
+    #[test]
+    fn regret_of_perfect_play_is_zero() {
+        let (total, _) = greedy_probe_agent(&env(), 10, 11);
+        assert!(regret(&env(), total, 10).abs() < 1e-9);
+    }
+}

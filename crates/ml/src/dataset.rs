@@ -1,0 +1,142 @@
+//! Synthetic regression workloads.
+//!
+//! §4.3 trains "the simplest form of linear regression with only one
+//! variable" on an unspecified dataset; we generate `y = w·x + b + noise`
+//! with controllable size, ground truth, and noise so experiments are
+//! reproducible and scalable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A one-variable regression dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// `(x, y)` pairs.
+    pub points: Vec<(f64, f64)>,
+    /// Ground-truth weight.
+    pub true_w: f64,
+    /// Ground-truth bias.
+    pub true_b: f64,
+}
+
+impl Dataset {
+    /// Generates `n` points from `y = w·x + b + N(0, noise)` with `x`
+    /// uniform in `[-2, 2]`, deterministically from `seed`.
+    pub fn linear(n: usize, w: f64, b: f64, noise: f64, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = (0..n)
+            .map(|_| {
+                let x: f64 = rng.gen_range(-2.0..2.0);
+                // Box–Muller for approximately normal noise.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (x, w * x + b + noise * g)
+            })
+            .collect();
+        Dataset { points, true_w: w, true_b: b }
+    }
+
+    /// Mean squared error of the model `(w, b)` on this dataset.
+    pub fn mse(&self, w: f64, b: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points
+            .iter()
+            .map(|&(x, y)| {
+                let e = w * x + b - y;
+                e * e
+            })
+            .sum::<f64>()
+            / self.points.len() as f64
+    }
+
+    /// Closed-form least-squares fit `(w, b)` — the exact baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn least_squares(&self) -> (f64, f64) {
+        assert!(!self.points.is_empty(), "least squares of an empty dataset");
+        let n = self.points.len() as f64;
+        let sx: f64 = self.points.iter().map(|p| p.0).sum();
+        let sy: f64 = self.points.iter().map(|p| p.1).sum();
+        let sxx: f64 = self.points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = self.points.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return (0.0, sy / n);
+        }
+        let w = (n * sxy - sx * sy) / denom;
+        let b = (sy - w * sx) / n;
+        (w, b)
+    }
+
+    /// Shuffles the points (the paper notes shuffling introduces the
+    /// stochasticity of SGD), deterministically from `seed`.
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points = self.points.clone();
+        for i in (1..points.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            points.swap(i, j);
+        }
+        Dataset { points, ..*self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::linear(10, 2.0, 1.0, 0.1, 42);
+        let b = Dataset::linear(10, 2.0, 1.0, 0.1, 42);
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn noiseless_data_lies_on_the_line() {
+        let d = Dataset::linear(50, 3.0, -1.0, 0.0, 7);
+        for &(x, y) in &d.points {
+            assert!((y - (3.0 * x - 1.0)).abs() < 1e-12);
+        }
+        assert!(d.mse(3.0, -1.0) < 1e-20);
+    }
+
+    #[test]
+    fn least_squares_recovers_noiseless_truth() {
+        let d = Dataset::linear(100, -1.5, 0.75, 0.0, 3);
+        let (w, b) = d.least_squares();
+        assert!((w + 1.5).abs() < 1e-9, "w = {w}");
+        assert!((b - 0.75).abs() < 1e-9, "b = {b}");
+    }
+
+    #[test]
+    fn least_squares_is_near_truth_under_noise() {
+        let d = Dataset::linear(2000, 2.0, 1.0, 0.05, 11);
+        let (w, b) = d.least_squares();
+        assert!((w - 2.0).abs() < 0.05, "w = {w}");
+        assert!((b - 1.0).abs() < 0.05, "b = {b}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let d = Dataset::linear(100, 1.0, 0.0, 0.0, 1);
+        let s = d.shuffled(2);
+        assert_ne!(d.points, s.points);
+        let mut a = d.points.clone();
+        let mut b = s.points.clone();
+        a.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        b.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mse_of_empty_is_zero() {
+        let d = Dataset { points: vec![], true_w: 0.0, true_b: 0.0 };
+        assert_eq!(d.mse(1.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Greedy selection: the `Max` effect and the password example (§4.3).
+//!
+//! The `Max` handler probes the choice continuation for every candidate
+//! and resumes with the loss-maximising one (`maxWith l x; k b`) — losses
+//! read as *rewards* here, exactly as the paper notes.
+
+use selc::{effect, handle, loss, perform, Choice, Handler, Sel};
+
+effect! {
+    /// Greedy selection from a candidate list (§4.3's `Max`).
+    pub effect Max {
+        /// Pick a string from the candidates, maximising the reward.
+        op PickMax : Vec<String> => String;
+    }
+}
+
+/// Probes all `candidates` through the choice continuation and returns the
+/// reward-maximising one (ties towards earlier candidates). Effectful
+/// `maxWith`.
+///
+/// # Panics
+///
+/// The returned computation panics when run on an empty candidate list.
+pub fn max_with(l: &Choice<f64, String>, candidates: Vec<String>) -> Sel<f64, String> {
+    fn go(
+        l: Choice<f64, String>,
+        cands: std::rc::Rc<Vec<String>>,
+        i: usize,
+        best: Option<(String, f64)>,
+    ) -> Sel<f64, String> {
+        if i == cands.len() {
+            let (b, _) = best.expect("max_with over an empty candidate list");
+            return Sel::pure(b);
+        }
+        let cand = cands[i].clone();
+        l.at(cand.clone()).and_then(move |r| {
+            let better = match &best {
+                None => true,
+                Some((_, br)) => r > *br,
+            };
+            let next = if better { Some((cand.clone(), r)) } else { best.clone() };
+            go(l.clone(), std::rc::Rc::clone(&cands), i + 1, next)
+        })
+    }
+    go(l.clone(), std::rc::Rc::new(candidates), 0, None)
+}
+
+/// The greedy handler `hmax`: `max ↦ λx l k. b ← maxWith l x; k b`.
+pub fn hmax<B: Clone + 'static>() -> Handler<f64, B, B> {
+    Handler::builder::<Max>()
+        .on::<PickMax>(|cands, l, k| {
+            max_with(&l, cands).and_then(move |b| k.resume(b))
+        })
+        .build_identity()
+}
+
+/// Reward criterion `len s` (§4.3).
+pub fn len_reward(s: &str) -> Sel<f64, ()> {
+    loss(s.chars().count() as f64)
+}
+
+/// Reward criterion `distinct s`²: the squared number of distinct
+/// characters (§4.3).
+pub fn distinct_reward(s: &str) -> Sel<f64, ()> {
+    let d = s.chars().collect::<std::collections::BTreeSet<_>>().len() as f64;
+    loss(d * d)
+}
+
+/// The paper's `password` program over the given candidates:
+/// pick, record `len` and `distinct²` rewards, return
+/// `"password is " ++ s`.
+pub fn password_program(candidates: Vec<String>) -> Sel<f64, String> {
+    perform::<f64, PickMax>(candidates).and_then(|s| {
+        len_reward(&s)
+            .then(distinct_reward(&s))
+            .map(move |_| format!("password is {s}"))
+    })
+}
+
+/// Runs the password example end to end: `runSel $ hmax password`.
+pub fn run_password(candidates: Vec<String>) -> (f64, String) {
+    handle(&hmax(), password_program(candidates)).run_unwrap()
+}
+
+/// Baseline: direct (handler-free) greedy choice with the same criteria.
+pub fn password_baseline(candidates: &[String]) -> (f64, String) {
+    let score = |s: &str| {
+        let d = s.chars().collect::<std::collections::BTreeSet<_>>().len() as f64;
+        s.chars().count() as f64 + d * d
+    };
+    assert!(!candidates.is_empty(), "empty candidate list");
+    let mut best = &candidates[0];
+    for c in &candidates[1..] {
+        if score(c) > score(best) {
+            best = c;
+        }
+    }
+    (score(best), format!("password is {best}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn paper_example_picks_abc() {
+        let (reward, msg) = run_password(cands(&["aaa", "aabb", "abc"]));
+        assert_eq!(msg, "password is abc");
+        // len 3 + distinct 3² = 12
+        assert_eq!(reward, 12.0);
+    }
+
+    #[test]
+    fn handler_matches_baseline_on_many_inputs() {
+        let lists = [
+            cands(&["aaa", "aabb", "abc"]),
+            cands(&["x", "xy", "xyz", "xxxx"]),
+            cands(&["qqqq", "qrst"]),
+            cands(&["a"]),
+        ];
+        for cs in lists {
+            let (hr, hm) = run_password(cs.clone());
+            let (br, bm) = password_baseline(&cs);
+            assert_eq!(hm, bm, "candidates {cs:?}");
+            assert_eq!(hr, br, "candidates {cs:?}");
+        }
+    }
+
+    #[test]
+    fn ties_break_towards_earlier_candidates() {
+        let (_, msg) = run_password(cands(&["ab", "cd"]));
+        assert_eq!(msg, "password is ab");
+    }
+
+    #[test]
+    fn rewards_accumulate_only_for_chosen_candidate() {
+        // The probes of non-chosen candidates must not pollute the total.
+        let (reward, _) = run_password(cands(&["zz", "yyy"]));
+        // yyy: len 3 + distinct 1 = 4; zz: 2 + 1 = 3 → picks yyy, total 4
+        assert_eq!(reward, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty candidate list")]
+    fn empty_candidates_panic() {
+        let _ = run_password(vec![]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Polynomial regression: the §4.3 recipe beyond one variable.
+//!
+//! The paper trains `f(x) = w·x + b`; nothing in the design is specific to
+//! two parameters, so this module fits degree-`d` polynomials with the
+//! same `Opt` effect and gradient-descent handler — the choice
+//! continuation is differentiated at `d+1` points per step. The baseline
+//! is exact least squares via the normal equations (Gaussian
+//! elimination, built here from scratch).
+
+use crate::optimize::{gd_handler, Optimize};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selc::{handle, loss, perform, Sel};
+
+/// Evaluates a polynomial with coefficients in increasing degree order.
+pub fn poly_eval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, c| acc * x + c)
+}
+
+/// A polynomial-regression dataset `y = p(x) + noise`.
+#[derive(Clone, Debug)]
+pub struct PolyDataset {
+    /// `(x, y)` pairs.
+    pub points: Vec<(f64, f64)>,
+    /// Ground-truth coefficients (increasing degree).
+    pub truth: Vec<f64>,
+}
+
+impl PolyDataset {
+    /// Generates `n` points of the polynomial with the given coefficients
+    /// plus uniform noise of amplitude `noise`.
+    pub fn generate(n: usize, truth: Vec<f64>, noise: f64, seed: u64) -> PolyDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = (0..n)
+            .map(|_| {
+                let x: f64 = rng.gen_range(-1.5..1.5);
+                (x, poly_eval(&truth, x) + noise * (rng.gen::<f64>() - 0.5))
+            })
+            .collect();
+        PolyDataset { points, truth }
+    }
+
+    /// Mean squared error of the coefficients on this dataset.
+    pub fn mse(&self, coeffs: &[f64]) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points
+            .iter()
+            .map(|&(x, y)| {
+                let e = poly_eval(coeffs, x) - y;
+                e * e
+            })
+            .sum::<f64>()
+            / self.points.len() as f64
+    }
+
+    /// Exact least squares of degree `deg` via the normal equations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is singular (degenerate data).
+    pub fn least_squares(&self, deg: usize) -> Vec<f64> {
+        let m = deg + 1;
+        // A^T A and A^T y for the Vandermonde matrix A.
+        let mut ata = vec![vec![0.0; m]; m];
+        let mut aty = vec![0.0; m];
+        for &(x, y) in &self.points {
+            let mut powers = Vec::with_capacity(m);
+            let mut p = 1.0;
+            for _ in 0..m {
+                powers.push(p);
+                p *= x;
+            }
+            for i in 0..m {
+                aty[i] += powers[i] * y;
+                for j in 0..m {
+                    ata[i][j] += powers[i] * powers[j];
+                }
+            }
+        }
+        gaussian_solve(ata, aty)
+    }
+}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// # Panics
+///
+/// Panics on singular systems.
+pub fn gaussian_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // pivot
+        let mut piv = col;
+        for r in (col + 1)..n {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        assert!(a[piv][col].abs() > 1e-12, "singular system");
+        a.swap(col, piv);
+        b.swap(col, piv);
+        // eliminate
+        for r in (col + 1)..n {
+            let f = a[r][col] / a[col][col];
+            for c in col..n {
+                a[r][c] -= f * a[col][c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = b[row];
+        for c in (row + 1)..n {
+            s -= a[row][c] * x[c];
+        }
+        x[row] = s / a[row][row];
+    }
+    x
+}
+
+/// The `polyReg` program: ask the optimiser for new coefficients, record
+/// the squared error on this data point, return them.
+pub fn poly_reg(coeffs: Vec<f64>, x: f64, target: f64) -> Sel<f64, Vec<f64>> {
+    perform::<f64, Optimize>(coeffs).and_then(move |p| {
+        let y = poly_eval(&p, x);
+        loss((target - y) * (target - y)).map(move |_| p.clone())
+    })
+}
+
+/// Handler-SGD training over the dataset (epochs × points steps, each an
+/// independent `lreset` round, as in §4.3).
+pub fn train_poly_sgd(data: &PolyDataset, deg: usize, lr: f64, epochs: usize) -> Vec<f64> {
+    let mut p = vec![0.0; deg + 1];
+    let h = gd_handler(lr);
+    for _ in 0..epochs {
+        for &(x, y) in &data.points {
+            let prog = handle(&h, poly_reg(p.clone(), x, y)).lreset();
+            p = prog.run_unwrap().1;
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poly_eval_horner() {
+        // 1 + 2x + 3x² at x = 2 → 1 + 4 + 12 = 17
+        assert_eq!(poly_eval(&[1.0, 2.0, 3.0], 2.0), 17.0);
+        assert_eq!(poly_eval(&[], 5.0), 0.0);
+        assert_eq!(poly_eval(&[7.0], 5.0), 7.0);
+    }
+
+    #[test]
+    fn gaussian_solver_on_known_system() {
+        // x + y = 3; x − y = 1 → (2, 1)
+        let x = gaussian_solve(vec![vec![1.0, 1.0], vec![1.0, -1.0]], vec![3.0, 1.0]);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_system_panics() {
+        let _ = gaussian_solve(vec![vec![1.0, 1.0], vec![2.0, 2.0]], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn least_squares_recovers_noiseless_quadratic() {
+        let d = PolyDataset::generate(60, vec![1.0, -2.0, 0.5], 0.0, 3);
+        let c = d.least_squares(2);
+        assert!((c[0] - 1.0).abs() < 1e-8, "{c:?}");
+        assert!((c[1] + 2.0).abs() < 1e-8, "{c:?}");
+        assert!((c[2] - 0.5).abs() < 1e-8, "{c:?}");
+    }
+
+    #[test]
+    fn handler_sgd_fits_a_quadratic() {
+        let d = PolyDataset::generate(48, vec![0.5, 1.0, -0.8], 0.0, 9);
+        let c = train_poly_sgd(&d, 2, 0.08, 60);
+        let ls = d.least_squares(2);
+        for i in 0..3 {
+            assert!((c[i] - ls[i]).abs() < 0.15, "coef {i}: sgd {c:?} vs ls {ls:?}");
+        }
+        assert!(d.mse(&c) < 0.01, "mse {}", d.mse(&c));
+    }
+
+    #[test]
+    fn degree_mismatch_underfits() {
+        // Fitting a line to a genuine quadratic leaves residual error.
+        let d = PolyDataset::generate(48, vec![0.0, 0.0, 2.0], 0.0, 4);
+        let line = train_poly_sgd(&d, 1, 0.05, 40);
+        let quad = train_poly_sgd(&d, 2, 0.05, 40);
+        assert!(d.mse(&quad) < d.mse(&line) / 5.0, "quad {} line {}", d.mse(&quad), d.mse(&line));
+    }
+}

@@ -1,0 +1,158 @@
+//! Saddle-point (GAN-style) training: `min_G max_D V(G, D)` as *two*
+//! optimisation handlers sharing one loss channel.
+//!
+//! §4.3 observes that GAN training "is also a two-player game … the
+//! discriminator is a minimizer and the generator is a maximizer". This
+//! module realises that with the machinery of this library: a descent
+//! handler for the minimising player's `MinStep` effect, an *ascent*
+//! handler for the maximising player's `MaxStep` effect, both
+//! differentiating their choice continuations — which see the same
+//! recorded value function.
+
+use crate::optimize::probe_losses;
+use selc::{effect, handle, loss, perform, Choice, Handler, Sel};
+
+effect! {
+    /// The minimising player's parameter update.
+    pub effect MinPlayer {
+        /// Request updated parameters for the minimiser.
+        op MinStep : Vec<f64> => Vec<f64>;
+    }
+}
+
+effect! {
+    /// The maximising player's parameter update.
+    pub effect MaxPlayer {
+        /// Request updated parameters for the maximiser.
+        op MaxStep : Vec<f64> => Vec<f64>;
+    }
+}
+
+fn grad_of_choice(l: &Choice<f64, Vec<f64>>, p: &[f64]) -> Sel<f64, Vec<f64>> {
+    let h = 1e-5;
+    let dim = p.len();
+    let mut points = Vec::with_capacity(2 * dim);
+    for i in 0..dim {
+        let mut plus = p.to_vec();
+        plus[i] += h;
+        points.push(plus);
+        let mut minus = p.to_vec();
+        minus[i] -= h;
+        points.push(minus);
+    }
+    probe_losses(l, points)
+        .map(move |ls| (0..dim).map(|i| (ls[2 * i] - ls[2 * i + 1]) / (2.0 * h)).collect())
+}
+
+/// Gradient-*descent* handler for the minimising player.
+pub fn descent_handler<B: Clone + 'static>(lr: f64) -> Handler<f64, B, B> {
+    Handler::builder::<MinPlayer>()
+        .on::<MinStep>(move |p, l, k| {
+            grad_of_choice(&l, &p).and_then(move |g| {
+                let p2: Vec<f64> = p.iter().zip(&g).map(|(w, d)| w - lr * d).collect();
+                k.resume(p2)
+            })
+        })
+        .build_identity()
+}
+
+/// Gradient-*ascent* handler for the maximising player.
+pub fn ascent_handler<B: Clone + 'static>(lr: f64) -> Handler<f64, B, B> {
+    Handler::builder::<MaxPlayer>()
+        .on::<MaxStep>(move |p, l, k| {
+            grad_of_choice(&l, &p).and_then(move |g| {
+                let p2: Vec<f64> = p.iter().zip(&g).map(|(w, d)| w + lr * d).collect();
+                k.resume(p2)
+            })
+        })
+        .build_identity()
+}
+
+/// One simultaneous round of the game `V(x, y)`: both players request
+/// updated parameters, then the shared value function is recorded once.
+/// The minimiser's choice continuation sees `V` as its loss; the
+/// maximiser's sees the same recorded value and climbs it.
+pub fn round<V>(x: Vec<f64>, y: Vec<f64>, value: V) -> Sel<f64, (Vec<f64>, Vec<f64>)>
+where
+    V: Fn(&[f64], &[f64]) -> f64 + Clone + 'static,
+{
+    perform::<f64, MinStep>(x).and_then(move |x2| {
+        let value = value.clone();
+        perform::<f64, MaxStep>(y.clone()).and_then(move |y2| {
+            let v = value(&x2, &y2);
+            let x2 = x2.clone();
+            loss(v).map(move |_| (x2.clone(), y2.clone()))
+        })
+    })
+}
+
+/// Runs `iters` rounds of gradient descent-ascent on `V`, each round
+/// isolated with `lreset` (as in the paper's training loop).
+pub fn train<V>(
+    value: V,
+    mut x: Vec<f64>,
+    mut y: Vec<f64>,
+    lr: f64,
+    iters: usize,
+) -> (Vec<f64>, Vec<f64>)
+where
+    V: Fn(&[f64], &[f64]) -> f64 + Clone + 'static,
+{
+    let hmin = descent_handler(lr);
+    let hmax = ascent_handler(lr);
+    for _ in 0..iters {
+        let prog = handle(&hmin, handle(&hmax, round(x.clone(), y.clone(), value.clone())))
+            .lreset();
+        let (_, (x2, y2)) = prog.run_unwrap();
+        x = x2;
+        y = y2;
+    }
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// V(x, y) = (x − 1)² − (y − 2)²: the unique saddle is (1, 2); the
+    /// minimiser controls x, the maximiser y.
+    fn quad(x: &[f64], y: &[f64]) -> f64 {
+        (x[0] - 1.0).powi(2) - (y[0] - 2.0).powi(2)
+    }
+
+    #[test]
+    fn descent_ascent_finds_the_saddle() {
+        let (x, y) = train(quad, vec![0.0], vec![0.0], 0.2, 60);
+        assert!((x[0] - 1.0).abs() < 1e-3, "x = {x:?}");
+        assert!((y[0] - 2.0).abs() < 1e-3, "y = {y:?}");
+    }
+
+    #[test]
+    fn one_round_moves_both_players_correctly() {
+        // at (0,0): ∂V/∂x = −2 (descend ⇒ x increases), ∂V/∂y = 4 (ascend
+        // ⇒ y increases).
+        let (x, y) = train(quad, vec![0.0], vec![0.0], 0.1, 1);
+        assert!((x[0] - 0.2).abs() < 1e-3, "x = {x:?}");
+        assert!((y[0] - 0.4).abs() < 1e-3, "y = {y:?}");
+    }
+
+    #[test]
+    fn value_at_saddle_is_stationary() {
+        let (x, y) = train(quad, vec![1.0], vec![2.0], 0.3, 5);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+        assert!((y[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_dimensional_players() {
+        // V = |x − a|² − |y − b|² with vector players.
+        let v = |x: &[f64], y: &[f64]| {
+            (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2)
+                - (y[0] - 0.5).powi(2)
+                - (y[1] - 1.5).powi(2)
+        };
+        let (x, y) = train(v, vec![0.0, 0.0], vec![0.0, 0.0], 0.2, 80);
+        assert!((x[0] - 1.0).abs() < 1e-2 && (x[1] + 2.0).abs() < 1e-2, "x = {x:?}");
+        assert!((y[0] - 0.5).abs() < 1e-2 && (y[1] - 1.5).abs() < 1e-2, "y = {y:?}");
+    }
+}

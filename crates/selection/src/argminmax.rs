@@ -1,0 +1,200 @@
+//! Finite argmin/argmax selection functions.
+//!
+//! For finite candidate sets `X`, `argmin_X : (X → R) → X` is the paper's
+//! running example of a selection function (§1, §2.1). Ties are broken
+//! towards the earliest candidate so that every function here is
+//! deterministic.
+
+use crate::sel::Sel;
+
+/// Index of the first minimising element of `losses`.
+///
+/// # Panics
+///
+/// Panics if `losses` is empty.
+pub fn argmin_index(losses: &[f64]) -> usize {
+    assert!(!losses.is_empty(), "argmin over an empty candidate list");
+    let mut best = 0;
+    for (i, l) in losses.iter().enumerate().skip(1) {
+        if *l < losses[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// First element of `candidates` minimising `loss`.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn argmin_by<X, R, F>(candidates: Vec<X>, mut loss: F) -> X
+where
+    R: PartialOrd,
+    F: FnMut(&X) -> R,
+{
+    assert!(!candidates.is_empty(), "argmin over an empty candidate list");
+    let mut iter = candidates.into_iter();
+    let mut best = iter.next().expect("non-empty");
+    let mut best_loss = loss(&best);
+    for c in iter {
+        let l = loss(&c);
+        if l < best_loss {
+            best = c;
+            best_loss = l;
+        }
+    }
+    best
+}
+
+/// First element of `candidates` maximising `loss` (dually, a reward).
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn argmax_by<X, R, F>(candidates: Vec<X>, mut loss: F) -> X
+where
+    R: PartialOrd,
+    F: FnMut(&X) -> R,
+{
+    assert!(!candidates.is_empty(), "argmax over an empty candidate list");
+    let mut iter = candidates.into_iter();
+    let mut best = iter.next().expect("non-empty");
+    let mut best_loss = loss(&best);
+    for c in iter {
+        let l = loss(&c);
+        if l > best_loss {
+            best = c;
+            best_loss = l;
+        }
+    }
+    best
+}
+
+/// The selection function `argmin_X` over a finite candidate list, packaged
+/// as a [`Sel`].
+///
+/// `argmin(xs).select(γ)` is the first element of `xs` minimising `γ`, and
+/// `argmin(xs).loss(γ)` is the minimum value `γ` attains on `xs` (the
+/// paper's `R(argmin_X | γ)`).
+pub fn argmin<X>(candidates: Vec<X>) -> Sel<X, f64>
+where
+    X: Clone + 'static,
+{
+    Sel::new(move |g| argmin_by(candidates.clone(), |x| g(x)))
+}
+
+/// The selection function `argmax_X` over a finite candidate list.
+pub fn argmax<X>(candidates: Vec<X>) -> Sel<X, f64>
+where
+    X: Clone + 'static,
+{
+    Sel::new(move |g| argmax_by(candidates.clone(), |x| g(x)))
+}
+
+/// `max_with(loss, xs)`: the paper's `maxWith` helper (§4.3) — pick the
+/// candidate with the greatest loss (reward) under an *effect-free* loss
+/// function, returning both the winner and its loss.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn max_with<X, F>(mut loss: F, candidates: Vec<X>) -> (X, f64)
+where
+    F: FnMut(&X) -> f64,
+{
+    assert!(!candidates.is_empty(), "max_with over an empty candidate list");
+    let mut iter = candidates.into_iter();
+    let mut best = iter.next().expect("non-empty");
+    let mut best_loss = loss(&best);
+    for c in iter {
+        let l = loss(&c);
+        if l > best_loss {
+            best = c;
+            best_loss = l;
+        }
+    }
+    (best, best_loss)
+}
+
+/// `min_with(loss, xs)`: dual of [`max_with`].
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn min_with<X, F>(mut loss: F, candidates: Vec<X>) -> (X, f64)
+where
+    F: FnMut(&X) -> f64,
+{
+    assert!(!candidates.is_empty(), "min_with over an empty candidate list");
+    let mut iter = candidates.into_iter();
+    let mut best = iter.next().expect("non-empty");
+    let mut best_loss = loss(&best);
+    for c in iter {
+        let l = loss(&c);
+        if l < best_loss {
+            best = c;
+            best_loss = l;
+        }
+    }
+    (best, best_loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmin_index_picks_first_minimum() {
+        assert_eq!(argmin_index(&[3.0, 1.0, 1.0, 2.0]), 1);
+        assert_eq!(argmin_index(&[0.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn argmin_index_empty_panics() {
+        argmin_index(&[]);
+    }
+
+    #[test]
+    fn argmin_by_breaks_ties_left() {
+        let v = argmin_by(vec!["aa", "b", "c"], |s| s.len());
+        assert_eq!(v, "b");
+    }
+
+    #[test]
+    fn argmax_by_breaks_ties_left() {
+        let v = argmax_by(vec![1, 5, 5, 2], |x| *x);
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn argmin_sel_loss_is_minimum_value() {
+        let s = argmin(vec![0.0_f64, 1.0, 2.0, -3.0]);
+        let picked = s.select(|x| x * x);
+        assert_eq!(picked, 0.0);
+        let l = s.loss(|x: &f64| x * x);
+        assert_eq!(l, 0.0);
+    }
+
+    #[test]
+    fn argmax_sel_is_dual() {
+        let s = argmax(vec![1.0_f64, 4.0, 2.0]);
+        assert_eq!(s.select(|x| *x), 4.0);
+        assert_eq!(s.loss(|x: &f64| *x), 4.0);
+    }
+
+    #[test]
+    fn max_with_returns_value_and_loss() {
+        let (x, l) = max_with(|s: &&str| s.len() as f64, vec!["aaa", "aabb", "abc"]);
+        assert_eq!(x, "aabb");
+        assert_eq!(l, 4.0);
+    }
+
+    #[test]
+    fn min_with_returns_value_and_loss() {
+        let (x, l) = min_with(|x: &i32| (*x as f64).abs(), vec![-5, 3, -1, 8]);
+        assert_eq!(x, -1);
+        assert_eq!(l, 1.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Products of selection functions (Escardó–Oliva).
+//!
+//! The binary product combines a selection function for `X` and one for `Y`
+//! into one for `X × Y`; iterating it over a list yields backward-induction
+//! game solving ("optimal play"), bar recursion, and exhaustive search. The
+//! paper cites this line of work (§1, §2.1) as the mathematical origin of
+//! the selection monad; the games substrate uses these combinators as the
+//! *baseline* against which the handler-based implementations are compared.
+
+use crate::sel::{LossFn, Sel};
+use std::rc::Rc;
+
+/// Independent binary product `ε ⊗ δ ∈ S(X × Y)`:
+///
+/// ```text
+/// (ε ⊗ δ)(γ) = (a, b)  where  a = ε(λx. γ(x, δ(λy. γ(x, y))))
+///                             b = δ(λy. γ(a, y))
+/// ```
+///
+/// Intuitively: player 1 picks `a` assuming player 2 will respond optimally
+/// (according to `δ`), then player 2 responds to the actual `a`.
+pub fn pair<X, Y, R>(eps: Sel<X, R>, delta: Sel<Y, R>) -> Sel<(X, Y), R>
+where
+    X: Clone + 'static,
+    Y: Clone + 'static,
+    R: Clone + 'static,
+{
+    pair_dep(eps, move |_| delta.clone())
+}
+
+/// Dependent binary product: the second selection may depend on the first
+/// component's choice (the general monadic form, which is just
+/// `eps.and_then` specialised to pairs).
+pub fn pair_dep<X, Y, R, D>(eps: Sel<X, R>, delta: D) -> Sel<(X, Y), R>
+where
+    X: Clone + 'static,
+    Y: Clone + 'static,
+    R: Clone + 'static,
+    D: Fn(&X) -> Sel<Y, R> + 'static,
+{
+    let delta = Rc::new(delta);
+    Sel::new(move |g: LossFn<(X, Y), R>| {
+        let delta2 = Rc::clone(&delta);
+        let g2 = Rc::clone(&g);
+        let outer: LossFn<X, R> = Rc::new(move |x: &X| {
+            let x2 = x.clone();
+            let g3 = Rc::clone(&g2);
+            let y = delta2(x).select_rc(Rc::new(move |y: &Y| g3(&(x2.clone(), y.clone()))));
+            g2(&(x.clone(), y))
+        });
+        let a = eps.select_rc(outer);
+        let a2 = a.clone();
+        let g4 = Rc::clone(&g);
+        let b = delta(&a).select_rc(Rc::new(move |y: &Y| g4(&(a2.clone(), y.clone()))));
+        (a, b)
+    })
+}
+
+/// Iterated product of a history-dependent family of selection functions.
+///
+/// `stages[i]` receives the moves played so far and yields the selection
+/// function for move `i`. The result selects a whole play (a `Vec<X>`)
+/// optimal for every stage, by backward induction. This is the Escardó–
+/// Oliva "product of selection functions" used to solve sequential games.
+pub fn big_product_dep<X, R>(
+    stages: Vec<Rc<dyn Fn(&[X]) -> Sel<X, R>>>,
+) -> Sel<Vec<X>, R>
+where
+    X: Clone + 'static,
+    R: Clone + 'static,
+{
+    fn go<X, R>(
+        history: Vec<X>,
+        stages: Rc<Vec<Rc<dyn Fn(&[X]) -> Sel<X, R>>>>,
+        i: usize,
+    ) -> Sel<Vec<X>, R>
+    where
+        X: Clone + 'static,
+        R: Clone + 'static,
+    {
+        if i == stages.len() {
+            return Sel::pure(history);
+        }
+        let stage = stages[i](&history);
+        stage.and_then(move |x| {
+            let mut h = history.clone();
+            h.push(x);
+            go(h, Rc::clone(&stages), i + 1)
+        })
+    }
+    let stages = Rc::new(stages);
+    go(Vec::new(), stages, 0)
+}
+
+/// Iterated product of independent selection functions, one per position.
+pub fn big_product<X, R>(selections: Vec<Sel<X, R>>) -> Sel<Vec<X>, R>
+where
+    X: Clone + 'static,
+    R: Clone + 'static,
+{
+    let stages: Vec<Rc<dyn Fn(&[X]) -> Sel<X, R>>> = selections
+        .into_iter()
+        .map(|s| {
+            let s = s.clone();
+            Rc::new(move |_: &[X]| s.clone()) as Rc<dyn Fn(&[X]) -> Sel<X, R>>
+        })
+        .collect();
+    big_product_dep(stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{argmax, argmin};
+
+    #[test]
+    fn pair_solves_one_move_game() {
+        // maximiser over rows, minimiser over columns, table [[5,3],[2,9]]
+        let table = [[5.0_f64, 3.0], [2.0, 9.0]];
+        let s = pair(argmax(vec![0usize, 1]), argmin(vec![0usize, 1]));
+        let (x, y) = s.select(move |&(x, y)| table[x][y]);
+        assert_eq!((x, y), (0, 1));
+        assert_eq!(s.loss(move |&(x, y)| table[x][y]), 3.0);
+    }
+
+    #[test]
+    fn pair_dep_second_moves_depend_on_first() {
+        // If the first player picks 0, the second may only pick from {0};
+        // if 1, from {0, 1}. Maximise x + y.
+        let s = pair_dep(argmax(vec![0i32, 1]), |x: &i32| {
+            if *x == 0 {
+                argmax(vec![0i32])
+            } else {
+                argmax(vec![0i32, 1])
+            }
+        });
+        let (x, y) = s.select(|&(x, y)| (x + y) as f64);
+        assert_eq!((x, y), (1, 1));
+    }
+
+    #[test]
+    fn big_product_exhaustive_three_bits() {
+        // Three boolean choices maximising the number of trues.
+        let sels = vec![
+            argmax(vec![false, true]),
+            argmax(vec![false, true]),
+            argmax(vec![false, true]),
+        ];
+        let s = big_product(sels);
+        let bits = s.select(|bs: &Vec<bool>| bs.iter().filter(|b| **b).count() as f64);
+        assert_eq!(bits, vec![true, true, true]);
+    }
+
+    #[test]
+    fn big_product_alternating_minimax_two_rounds() {
+        // Moves m1 (max), m2 (min) over {0,1}: payoff table indexed by both.
+        let table = [[1.0_f64, 4.0], [3.0, 2.0]];
+        let stages: Vec<Rc<dyn Fn(&[usize]) -> Sel<usize, f64>>> = vec![
+            Rc::new(|_| argmax(vec![0usize, 1])),
+            Rc::new(|_| argmin(vec![0usize, 1])),
+        ];
+        let s = big_product_dep(stages);
+        let play = s.select(move |ms: &Vec<usize>| table[ms[0]][ms[1]]);
+        // max of (min row): row0 -> 1, row1 -> 2; maximiser plays row 1,
+        // minimiser replies col 1.
+        assert_eq!(play, vec![1, 1]);
+    }
+
+    #[test]
+    fn big_product_dep_history_restricts_moves() {
+        // Second move must differ from the first; maximise 10*m0 + m1.
+        let stages: Vec<Rc<dyn Fn(&[usize]) -> Sel<usize, f64>>> = vec![
+            Rc::new(|_| argmax(vec![0usize, 1, 2])),
+            Rc::new(|h: &[usize]| {
+                let prev = h[0];
+                argmax((0usize..3).filter(|m| *m != prev).collect())
+            }),
+        ];
+        let s = big_product_dep(stages);
+        let play = s.select(|ms: &Vec<usize>| (10 * ms[0] + ms[1]) as f64);
+        assert_eq!(play, vec![2, 1]);
+    }
+
+    #[test]
+    fn empty_product_is_pure_empty() {
+        let s: Sel<Vec<i32>, f64> = big_product(vec![]);
+        assert_eq!(s.select(|_| 0.0), Vec::<i32>::new());
+    }
+}

@@ -1,0 +1,108 @@
+//! The continuation ("quantifier") monad `K(X) = (X → R) → R`.
+//!
+//! §2.1 remarks that the selection monad maps into the more familiar
+//! continuation monad: given `F ∈ S(X)`, `λγ. R(F|γ)` is in `K(X)`. This
+//! module provides that target. In the game-theory literature (Escardó &
+//! Oliva) elements of `K(X)` are called *quantifiers* — `min`, `max`, `∃`,
+//! `∀` all arise this way.
+
+use crate::sel::LossFn;
+use std::rc::Rc;
+
+/// An element of the continuation monad `K(X) = (X → R) → R`.
+pub struct Quant<X, R> {
+    run: Rc<dyn Fn(LossFn<X, R>) -> R>,
+}
+
+impl<X, R> Clone for Quant<X, R> {
+    fn clone(&self) -> Self {
+        Quant { run: Rc::clone(&self.run) }
+    }
+}
+
+impl<X, R> std::fmt::Debug for Quant<X, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Quant(<quantifier>)")
+    }
+}
+
+impl<X, R> Quant<X, R>
+where
+    X: Clone + 'static,
+    R: Clone + 'static,
+{
+    /// Wraps a closure `(X → R) → R`.
+    pub fn new<F>(f: F) -> Self
+    where
+        F: Fn(LossFn<X, R>) -> R + 'static,
+    {
+        Quant { run: Rc::new(f) }
+    }
+
+    /// Unit: `η(x) = λγ. γ(x)`.
+    pub fn pure(x: X) -> Self {
+        Quant::new(move |g| g(&x))
+    }
+
+    /// Applies the quantifier to a loss function.
+    pub fn run<G>(&self, loss: G) -> R
+    where
+        G: Fn(&X) -> R + 'static,
+    {
+        (self.run)(Rc::new(loss))
+    }
+
+    /// Applies the quantifier to a shared loss function.
+    pub fn run_rc(&self, loss: LossFn<X, R>) -> R {
+        (self.run)(loss)
+    }
+
+    /// Standard continuation-monad bind.
+    pub fn and_then<Y, F>(&self, f: F) -> Quant<Y, R>
+    where
+        Y: Clone + 'static,
+        F: Fn(X) -> Quant<Y, R> + 'static,
+    {
+        let me = self.clone();
+        let f = Rc::new(f);
+        Quant::new(move |g: LossFn<Y, R>| {
+            let f2 = Rc::clone(&f);
+            me.run_rc(Rc::new(move |x: &X| f2(x.clone()).run_rc(Rc::clone(&g))))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::argmin;
+
+    #[test]
+    fn pure_applies_gamma() {
+        let q = Quant::<i32, f64>::pure(3);
+        assert_eq!(q.run(|x| (*x * *x) as f64), 9.0);
+    }
+
+    #[test]
+    fn bind_composes_quantifiers() {
+        // min over {1,2} of (min over {x, 2x} of γ)
+        let q = argmin(vec![1, 2]).to_quant();
+        let composed = q.and_then(|x| argmin(vec![x, 2 * x]).to_quant());
+        let v = composed.run(|y: &i32| (*y - 3).abs() as f64);
+        // candidates reachable: 1,2 (from x=1), 2,4 (from x=2); best is 2 or 4 -> loss 1
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn sel_to_quant_commutes_with_bind_on_samples() {
+        // (F >>= f).to_quant() == F.to_quant() >>= (f(..).to_quant()) observed at γ
+        let m = argmin(vec![0, 1, 2]);
+        let f = |x: i32| argmin(vec![x, x + 5]);
+        let lhs = m.and_then(f).to_quant();
+        let rhs = m.to_quant().and_then(move |x| f(x).to_quant());
+        for target in [-3, 1, 6] {
+            let gamma = move |x: &i32| ((*x - target) as f64).abs();
+            assert_eq!(lhs.run(gamma), rhs.run(gamma));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The plain selection monad `S(X) = (X → R) → X` (§2.1).
+
+use std::rc::Rc;
+
+/// A loss function `γ : X → R`, shared so that selection functions may
+/// consult it any number of times.
+pub type LossFn<X, R> = Rc<dyn Fn(&X) -> R>;
+
+/// A selection function: an element of `S(X) = (X → R) → X`.
+///
+/// `Sel` is a cheaply clonable handle (internally `Rc`) because the Kleisli
+/// structure re-invokes selection functions with derived loss functions.
+///
+/// The monad structure follows §2.1 of the paper exactly:
+///
+/// * unit: `η(x) = λγ. x` — [`Sel::pure`];
+/// * extension of `f : X → S(Y)`:
+///   `f†(F) = λγ. f(F(~f γ)) γ` where the *loss-continuation transformer*
+///   is `~f(γ) = λx. R(f(x) | γ)` — [`Sel::and_then`];
+/// * the loss of a selection under `γ`: `R(F|γ) = γ(F(γ))` — [`Sel::loss`].
+pub struct Sel<X, R> {
+    run: Rc<dyn Fn(LossFn<X, R>) -> X>,
+}
+
+impl<X, R> Clone for Sel<X, R> {
+    fn clone(&self) -> Self {
+        Sel { run: Rc::clone(&self.run) }
+    }
+}
+
+impl<X, R> std::fmt::Debug for Sel<X, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sel(<selection function>)")
+    }
+}
+
+impl<X, R> Sel<X, R>
+where
+    X: Clone + 'static,
+    R: Clone + 'static,
+{
+    /// Wraps a closure `(X → R) → X` as a selection function.
+    pub fn new<F>(f: F) -> Self
+    where
+        F: Fn(LossFn<X, R>) -> X + 'static,
+    {
+        Sel { run: Rc::new(f) }
+    }
+
+    /// The unit `η(x) = λγ. x`.
+    pub fn pure(x: X) -> Self {
+        Sel::new(move |_| x.clone())
+    }
+
+    /// Applies the selection function to a loss function.
+    pub fn select<G>(&self, loss: G) -> X
+    where
+        G: Fn(&X) -> R + 'static,
+    {
+        (self.run)(Rc::new(loss))
+    }
+
+    /// Applies the selection function to a shared loss function.
+    pub fn select_rc(&self, loss: LossFn<X, R>) -> X {
+        (self.run)(loss)
+    }
+
+    /// The loss associated to this selection under `γ`:
+    /// `R(F|γ) = γ(F(γ))`.
+    pub fn loss<G>(&self, loss: G) -> R
+    where
+        G: Fn(&X) -> R + 'static,
+    {
+        let g: LossFn<X, R> = Rc::new(loss);
+        let picked = (self.run)(Rc::clone(&g));
+        g(&picked)
+    }
+
+    /// Functorial action `S(f) = λγ. f(F(γ ∘ f))`.
+    pub fn map<Y, F>(&self, f: F) -> Sel<Y, R>
+    where
+        Y: Clone + 'static,
+        F: Fn(X) -> Y + 'static,
+    {
+        let me = self.clone();
+        let f = Rc::new(f);
+        Sel::new(move |g: LossFn<Y, R>| {
+            let f2 = Rc::clone(&f);
+            let picked = me.select_rc(Rc::new(move |x: &X| g(&f2(x.clone()))));
+            f(picked)
+        })
+    }
+
+    /// Kleisli extension, §2.1:
+    ///
+    /// ```text
+    /// ~f(γ) = λx ∈ X. R(f(x) | γ)          -- loss-continuation transformer
+    /// f†(F) = λγ ∈ Y→R. f(F(~f γ)) γ
+    /// ```
+    ///
+    /// First the loss function `γ` on `Y` is pulled back along `f` to a loss
+    /// function on `X`, which `F` uses to select an `x`; then `f(x)` selects
+    /// the final `y` under the original `γ`.
+    pub fn and_then<Y, F>(&self, f: F) -> Sel<Y, R>
+    where
+        Y: Clone + 'static,
+        F: Fn(X) -> Sel<Y, R> + 'static,
+    {
+        let me = self.clone();
+        let f = Rc::new(f);
+        Sel::new(move |g: LossFn<Y, R>| {
+            let f2 = Rc::clone(&f);
+            let g2 = Rc::clone(&g);
+            // ~f γ : X → R
+            let tilde: LossFn<X, R> = Rc::new(move |x: &X| {
+                let g3 = Rc::clone(&g2);
+                f2(x.clone()).loss(move |y: &Y| g3(y))
+            });
+            let x = me.select_rc(tilde);
+            f(x).select_rc(g)
+        })
+    }
+
+    /// The morphism into the continuation (quantifier) monad
+    /// `K(X) = (X → R) → R`: `λγ. R(F|γ)` (§2.1's remark).
+    pub fn to_quant(&self) -> crate::Quant<X, R> {
+        let me = self.clone();
+        crate::Quant::new(move |g: LossFn<X, R>| {
+            let picked = me.select_rc(Rc::clone(&g));
+            g(&picked)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{argmax, argmin};
+
+    #[test]
+    fn pure_ignores_loss() {
+        let s = Sel::<i32, f64>::pure(7);
+        assert_eq!(s.select(|_| 100.0), 7);
+        assert_eq!(s.loss(|x| *x as f64), 7.0);
+    }
+
+    #[test]
+    fn map_relabels_candidates() {
+        let s = argmin(vec![1.0_f64, 2.0, 3.0]).map(|x| x as i64);
+        // minimise distance to 3
+        let v = s.select(|x: &i64| (*x - 3).abs() as f64);
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn left_identity_law_on_samples() {
+        // pure(a).and_then(f) == f(a), observed through finitely many γ.
+        let f = |a: i32| argmin(vec![a, a + 1, a - 1]).map(|x| x * 2);
+        let lhs = Sel::<i32, f64>::pure(5).and_then(f);
+        let rhs = f(5);
+        for target in [-4, 0, 9, 13] {
+            let gamma = move |x: &i32| ((*x - target) as f64).abs();
+            assert_eq!(lhs.select(gamma), rhs.select(gamma));
+        }
+    }
+
+    #[test]
+    fn right_identity_law_on_samples() {
+        let m = argmax(vec![1, 2, 3, 4]);
+        let lhs = m.and_then(Sel::pure);
+        for target in [-1, 2, 5] {
+            let gamma = move |x: &i32| -((*x - target) as f64).abs();
+            assert_eq!(lhs.select(gamma), m.select(gamma));
+        }
+    }
+
+    #[test]
+    fn associativity_law_on_samples() {
+        let m = argmin(vec![0, 1, 2]);
+        let f = |x: i32| argmin(vec![x, x + 10]);
+        let g = |y: i32| argmin(vec![y, -y]);
+        let lhs = m.and_then(f).and_then(g);
+        let rhs = m.and_then(move |x| f(x).and_then(g));
+        for target in [-12, -1, 0, 3, 11] {
+            let gamma = move |x: &i32| ((*x - target) as f64).abs();
+            assert_eq!(lhs.select(gamma), rhs.select(gamma));
+        }
+    }
+
+    #[test]
+    fn one_move_game_minimax_pair() {
+        // §2.1: f(x)(γ) = (x, argmin(λy. γ(x,y))); f†(argmax)(eval) is a
+        // minimax pair for eval.
+        let eval = |x: usize, y: usize| [[5.0_f64, 3.0], [2.0, 9.0]][x][y];
+        let f = move |x: usize| {
+            Sel::new(move |g: LossFn<(usize, usize), f64>| {
+                let y = crate::argmin_by(vec![0usize, 1], |y| g(&(x, *y)));
+                (x, y)
+            })
+        };
+        let minimax = argmax(vec![0usize, 1]).and_then(f);
+        let pair = minimax.select(move |&(x, y)| eval(x, y));
+        assert_eq!(pair, (0, 1));
+        let value = minimax.loss(move |&(x, y)| eval(x, y));
+        assert_eq!(value, 3.0);
+    }
+
+    #[test]
+    fn to_quant_reports_attained_loss() {
+        let q = argmin(vec![4.0_f64, -2.0, 7.0]).to_quant();
+        assert_eq!(q.run(|x: &f64| x.abs()), 2.0);
+    }
+}

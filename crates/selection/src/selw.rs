@@ -1,0 +1,257 @@
+//! The writer-augmented selection monad `S_W(X) = (X → R) → (R × X)`
+//! (§2.1).
+//!
+//! Taking the auxiliary monad `T` to be the writer monad `W(X) = R × X`
+//! gives selection functions that additionally *record* a loss — this is
+//! the shape the paper's `loss` effect gives to programs, and the shape the
+//! library's `Sel r e a` datatype specialises to when the program performs
+//! no other effects.
+
+use std::rc::Rc;
+
+/// A commutative monoid of losses, as required of `R` in §2.1.
+pub trait Monoid: Clone + 'static {
+    /// The unit `0`.
+    fn zero() -> Self;
+    /// The (commutative) addition.
+    fn add(&self, other: &Self) -> Self;
+}
+
+impl Monoid for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+}
+
+impl Monoid for i64 {
+    fn zero() -> Self {
+        0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+}
+
+impl Monoid for () {
+    fn zero() -> Self {}
+    fn add(&self, _other: &Self) -> Self {}
+}
+
+impl<A: Monoid, B: Monoid> Monoid for (A, B) {
+    fn zero() -> Self {
+        (A::zero(), B::zero())
+    }
+    fn add(&self, other: &Self) -> Self {
+        (self.0.add(&other.0), self.1.add(&other.1))
+    }
+}
+
+/// A loss function for [`SelW`].
+pub type WLossFn<X, R> = Rc<dyn Fn(&X) -> R>;
+
+/// An element of the augmented selection monad
+/// `S_W(X) = (X → R) → (R × X)`.
+pub struct SelW<X, R> {
+    run: Rc<dyn Fn(WLossFn<X, R>) -> (R, X)>,
+}
+
+impl<X, R> Clone for SelW<X, R> {
+    fn clone(&self) -> Self {
+        SelW { run: Rc::clone(&self.run) }
+    }
+}
+
+impl<X, R> std::fmt::Debug for SelW<X, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SelW(<augmented selection function>)")
+    }
+}
+
+impl<X, R> SelW<X, R>
+where
+    X: Clone + 'static,
+    R: Monoid,
+{
+    /// Wraps a closure `(X → R) → (R × X)`.
+    pub fn new<F>(f: F) -> Self
+    where
+        F: Fn(WLossFn<X, R>) -> (R, X) + 'static,
+    {
+        SelW { run: Rc::new(f) }
+    }
+
+    /// The unit `η(x) = λγ. (0, x)`.
+    pub fn pure(x: X) -> Self {
+        SelW::new(move |_| (R::zero(), x.clone()))
+    }
+
+    /// Records a loss and returns `()`-like payload `x`: the "loss-recording"
+    /// primitive. Ignores the loss continuation, like rule (R4).
+    pub fn tell(r: R, x: X) -> Self {
+        SelW::new(move |_| (r.clone(), x.clone()))
+    }
+
+    /// Runs the augmented selection under a loss function, returning the
+    /// recorded loss and the selected element.
+    pub fn select<G>(&self, loss: G) -> (R, X)
+    where
+        G: Fn(&X) -> R + 'static,
+    {
+        (self.run)(Rc::new(loss))
+    }
+
+    /// Runs under a shared loss function.
+    pub fn select_rc(&self, loss: WLossFn<X, R>) -> (R, X) {
+        (self.run)(loss)
+    }
+
+    /// The associated loss
+    /// `R_W(F|γ) = π0(F(γ)) + γ(π1(F(γ)))` — recorded loss plus the loss
+    /// function's verdict on the selected element.
+    pub fn loss_rc(&self, loss: WLossFn<X, R>) -> R {
+        let (r, x) = (self.run)(Rc::clone(&loss));
+        r.add(&loss(&x))
+    }
+
+    /// Like [`SelW::loss_rc`] with an owned closure.
+    pub fn loss<G>(&self, loss: G) -> R
+    where
+        G: Fn(&X) -> R + 'static,
+    {
+        self.loss_rc(Rc::new(loss))
+    }
+
+    /// Kleisli extension for the writer-augmented monad (§2.1):
+    ///
+    /// ```text
+    /// f†(F) = λγ. let (r1, x) = F(~f γ) in
+    ///             let (r2, y) = f x γ   in (r1 + r2, y)
+    /// ```
+    ///
+    /// where `~f(γ)(x) = R_W(f(x)|γ)`.
+    pub fn and_then<Y, F>(&self, f: F) -> SelW<Y, R>
+    where
+        Y: Clone + 'static,
+        F: Fn(X) -> SelW<Y, R> + 'static,
+    {
+        let me = self.clone();
+        let f = Rc::new(f);
+        SelW::new(move |g: WLossFn<Y, R>| {
+            let f2 = Rc::clone(&f);
+            let g2 = Rc::clone(&g);
+            let tilde: WLossFn<X, R> = Rc::new(move |x: &X| f2(x.clone()).loss_rc(Rc::clone(&g2)));
+            let (r1, x) = me.select_rc(tilde);
+            let (r2, y) = f(x).select_rc(g);
+            (r1.add(&r2), y)
+        })
+    }
+
+    /// Functorial action `S_W(f) = λγ. W(f)(F(γ ∘ f))`.
+    pub fn map<Y, F>(&self, f: F) -> SelW<Y, R>
+    where
+        Y: Clone + 'static,
+        F: Fn(X) -> Y + 'static,
+    {
+        let me = self.clone();
+        let f = Rc::new(f);
+        SelW::new(move |g: WLossFn<Y, R>| {
+            let f2 = Rc::clone(&f);
+            let (r, x) = me.select_rc(Rc::new(move |x: &X| g(&f2(x.clone()))));
+            (r, f(x))
+        })
+    }
+}
+
+/// The "loss-recording" version of argmin from §2.1: sends `γ` to
+/// `(γ(argmin γ), argmin γ)`.
+pub fn argmin_recording<X>(candidates: Vec<X>) -> SelW<X, f64>
+where
+    X: Clone + 'static,
+{
+    SelW::new(move |g: WLossFn<X, f64>| {
+        let x = crate::argmin_by(candidates.clone(), |x| g(x));
+        (g(&x), x)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_records_zero_loss() {
+        let s = SelW::<i32, f64>::pure(4);
+        assert_eq!(s.select(|_| 9.0), (0.0, 4));
+    }
+
+    #[test]
+    fn tell_ignores_continuation() {
+        let s = SelW::<(), f64>::tell(2.5, ());
+        assert_eq!(s.select(|_| 100.0), (2.5, ()));
+    }
+
+    #[test]
+    fn loss_sums_recorded_and_continuation_loss() {
+        let s = SelW::<i32, f64>::tell(2.0, 3);
+        assert_eq!(s.loss(|x| *x as f64), 5.0);
+    }
+
+    #[test]
+    fn argmin_recording_matches_paper() {
+        // §2.1: the loss-recording argmin sends γ to (γ(argmin γ), argmin γ)
+        let s = argmin_recording(vec![1.0_f64, -2.0, 3.0]);
+        let (r, x) = s.select(|x: &f64| x.abs());
+        assert_eq!(x, 1.0);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn bind_accumulates_losses() {
+        // tell 1; tell 2 => total 3
+        let s = SelW::<(), f64>::tell(1.0, ()).and_then(|_| SelW::<(), f64>::tell(2.0, ()));
+        assert_eq!(s.select(|_| 0.0), (3.0, ()));
+    }
+
+    #[test]
+    fn bind_threads_transformed_loss_function() {
+        // First choose x in {0,1} minimising downstream total loss; then
+        // record loss 10*x and return x. Choosing x=0 is optimal.
+        let choose = argmin_recording(vec![0.0_f64, 1.0]);
+        let prog = choose.and_then(|x| SelW::tell(10.0 * x, x));
+        let (r, x) = prog.select(|_| 0.0);
+        assert_eq!(x, 0.0);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn monad_laws_on_samples() {
+        let f = |x: i32| SelW::<i32, f64>::tell(x as f64, x + 1);
+        let g = |x: i32| SelW::<i32, f64>::tell(1.0, x * 2);
+        let m = argmin_recording(vec![3.0_f64, 4.0]).map(|x| x as i32);
+
+        // left identity
+        let lhs = SelW::<i32, f64>::pure(7).and_then(f);
+        let rhs = f(7);
+        assert_eq!(lhs.select(|x| *x as f64), rhs.select(|x| *x as f64));
+
+        // right identity
+        let lhs = m.and_then(SelW::pure);
+        assert_eq!(lhs.select(|x| *x as f64), m.select(|x| *x as f64));
+
+        // associativity
+        let lhs = m.and_then(f).and_then(g);
+        let rhs = m.and_then(move |x| f(x).and_then(g));
+        assert_eq!(lhs.select(|x| *x as f64), rhs.select(|x| *x as f64));
+    }
+
+    #[test]
+    fn pair_monoid_componentwise() {
+        let a = (1.0_f64, 2.0_f64);
+        let b = (0.5, -2.0);
+        assert_eq!(a.add(&b), (1.5, 0.0));
+        assert_eq!(<(f64, f64)>::zero(), (0.0, 0.0));
+    }
+}

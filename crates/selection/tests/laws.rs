@@ -1,0 +1,118 @@
+//! Property-based laws for the pure selection monad: monad laws for `Sel`
+//! and `SelW` (observed through finitely many loss functions), agreement
+//! of products with brute force, and the `R(F|γ)` / continuation-monad
+//! relationship.
+
+use proptest::prelude::*;
+use selection::{argmax, argmin, argmin_by, product, Sel, SelW};
+
+fn gammas() -> Vec<(&'static str, fn(&i32) -> f64)> {
+    vec![
+        ("abs", |x: &i32| (*x as f64).abs()),
+        ("sq-dist-3", |x: &i32| ((*x - 3) as f64) * ((*x - 3) as f64)),
+        ("neg", |x: &i32| -(*x as f64)),
+        ("mod7", |x: &i32| (x.rem_euclid(7)) as f64),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// argmin really minimises over the candidate list.
+    #[test]
+    fn argmin_minimises(mut xs in proptest::collection::vec(-50i32..50, 1..12)) {
+        for (_, g) in gammas() {
+            let picked = argmin(xs.clone()).select(g);
+            for x in &xs {
+                prop_assert!(g(&picked) <= g(x));
+            }
+        }
+        // determinism / first-tie
+        xs.push(xs[0]);
+        let a = argmin(xs.clone()).select(|x: &i32| (*x as f64).abs());
+        let b = argmin(xs).select(|x: &i32| (*x as f64).abs());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Monad laws for Sel, observed at each γ.
+    #[test]
+    fn sel_monad_laws(xs in proptest::collection::vec(-20i32..20, 1..6), a in -20i32..20) {
+        let f = |x: i32| argmin(vec![x, x + 5, x - 5]);
+        let h = |x: i32| argmax(vec![x, 2 * x]);
+        let m = argmin(xs);
+        for (_, g) in gammas() {
+            // left identity
+            prop_assert_eq!(Sel::pure(a).and_then(f).select(g), f(a).select(g));
+            // right identity
+            prop_assert_eq!(m.and_then(Sel::pure).select(g), m.select(g));
+            // associativity
+            let lhs = m.and_then(f).and_then(h);
+            let rhs = m.and_then(move |x| f(x).and_then(h));
+            prop_assert_eq!(lhs.select(g), rhs.select(g));
+        }
+    }
+
+    /// The loss of a selection equals γ at the selected point.
+    #[test]
+    fn loss_is_gamma_of_selection(xs in proptest::collection::vec(-20i32..20, 1..8)) {
+        let m = argmin(xs);
+        for (_, g) in gammas() {
+            let picked = m.select(g);
+            prop_assert_eq!(m.loss(g), g(&picked));
+            // and the continuation-monad image agrees
+            prop_assert_eq!(m.to_quant().run(g), g(&picked));
+        }
+    }
+
+    /// The binary product solves the two-player game exactly like brute
+    /// force (maximiser × minimiser over a random table).
+    #[test]
+    fn pair_product_matches_bruteforce(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        cells in proptest::collection::vec(0u32..100, 25),
+    ) {
+        let cells2 = cells.clone();
+        let table = move |r: usize, c: usize| cells2[(r * 5 + c) % 25] as f64;
+        let s = product::pair(
+            argmax((0..rows).collect::<Vec<_>>()),
+            argmin((0..cols).collect::<Vec<_>>()),
+        );
+        let cells3 = cells.clone();
+        let (r, c) = s.select(move |&(r, c): &(usize, usize)| cells3[(r * 5 + c) % 25] as f64);
+        // brute force backward induction
+        let reply = |r: usize| argmin_by((0..cols).collect::<Vec<_>>(), |c| table(r, *c));
+        let best_r = (0..rows)
+            .max_by(|&a, &b| {
+                table(a, reply(a)).partial_cmp(&table(b, reply(b))).unwrap()
+            })
+            .unwrap();
+        // values must agree (plays may differ only on exact ties)
+        prop_assert_eq!(table(r, c), table(best_r, reply(best_r)));
+    }
+
+    /// SelW: recorded losses accumulate and the monad laws hold at γ = 0.
+    #[test]
+    fn selw_accumulation(ls in proptest::collection::vec(0u32..10, 1..6)) {
+        let mut m = SelW::<i32, f64>::pure(0);
+        let mut expected = 0.0;
+        for l in &ls {
+            let l = *l as f64;
+            expected += l;
+            m = m.and_then(move |x| SelW::tell(l, x + 1));
+        }
+        let (r, v) = m.select(|_| 0.0);
+        prop_assert!((r - expected).abs() < 1e-12);
+        prop_assert_eq!(v, ls.len() as i32);
+    }
+
+    /// big_product over argmax-selections maximises the sum coordinatewise
+    /// when the loss is separable.
+    #[test]
+    fn big_product_separable(n in 1usize..5) {
+        let sels = (0..n).map(|_| argmax(vec![0i32, 1, 2])).collect::<Vec<_>>();
+        let s = product::big_product(sels);
+        let picked = s.select(|xs: &Vec<i32>| xs.iter().map(|x| *x as f64).sum());
+        prop_assert_eq!(picked, vec![2i32; n]);
+    }
+}

@@ -1,0 +1,41 @@
+//! The §4.3 hyperparameter example: the learning rate as an effect,
+//! served either by `readLR` (a fixed rate) or by `tuneLR` (grid search
+//! through the choice continuation, never resuming).
+//!
+//! ```text
+//! cargo run --example hyperparameter
+//! ```
+
+use selc::{handle, loss, perform, Sel};
+use selc_ml::hyper::{read_lr, tune_lr};
+use selc_ml::optimize::{gd_handler_tuned, Optimize};
+
+/// One gradient step on `(p − 3)²` from `p0 = 0`, learning rate supplied
+/// by an enclosing LR handler.
+fn step_from_zero() -> Sel<f64, Vec<f64>> {
+    let prog = perform::<f64, Optimize>(vec![0.0]).and_then(|p| {
+        let e = p[0] - 3.0;
+        loss(e * e).map(move |_| p.clone())
+    });
+    handle(&gd_handler_tuned(), prog)
+}
+
+fn main() {
+    // Fixed rate 0.1: gradient at 0 is −6, so one step lands at 0.6.
+    let (final_loss, p) = handle(&read_lr(0.1), step_from_zero()).run_unwrap();
+    println!("readLR 0.1 : p' = {:.3}, squared error {final_loss:.3}", p[0]);
+    assert!((p[0] - 0.6).abs() < 1e-3);
+
+    // Grid search: 0.5 lands exactly on the minimum, 1.0 overshoots.
+    let (_, best) = handle(&tune_lr(vec![1.0, 0.5, 0.05]), step_from_zero()).run_unwrap();
+    println!("tuneLR grid {{1.0, 0.5, 0.05}} picks α = {best}");
+    assert_eq!(best, 0.5);
+
+    // A finer grid refines the choice (argmin of (3 − 6α)² over the grid).
+    let grid: Vec<f64> = (1..=10).map(|i| i as f64 * 0.1).collect();
+    let (_, best) = handle(&tune_lr(grid), step_from_zero()).run_unwrap();
+    println!("tuneLR grid 0.1..1.0 picks α = {best}");
+    assert_eq!(best, 0.5);
+
+    println!("hyperparameter OK");
+}

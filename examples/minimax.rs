@@ -1,0 +1,49 @@
+//! The §4.3 two-player minimax game, solved three ways: nested
+//! maximiser/minimiser handlers sharing one loss (the paper's way), the
+//! §2.1 selection-monad product, and direct backward induction.
+//!
+//! ```text
+//! cargo run --example minimax
+//! ```
+
+use selc_games::bimatrix::Matrix;
+use selc_games::minimax::{minimax_handler, minimax_selection};
+
+fn main() {
+    // The paper's table:      B: Left  B: Right
+    //             A: Left        5        3
+    //             A: Right       2        9
+    let m = Matrix::paper_example();
+
+    let ((hr, hc), hv) = minimax_handler(&m);
+    println!("handlers : A plays {}, B plays {}, value {hv}", name(hr), name(hc));
+    assert_eq!(((hr, hc), hv), ((0, 1), 3.0)); // (Left, Right) with loss 3
+
+    let (sp, sv) = minimax_selection(&m);
+    println!("selection: A plays {}, B plays {}, value {sv}", name(sp.0), name(sp.1));
+
+    let (br, bc, bv) = m.maximin();
+    println!("backward : A plays {}, B plays {}, value {bv}", name(br), name(bc));
+
+    assert_eq!((sp, sv), ((br, bc), bv));
+    assert_eq!(((hr, hc), hv), ((br, bc), bv));
+
+    // A larger random game: all three still agree.
+    let big = Matrix::random(8, 8, 7);
+    let (hp, hv) = minimax_handler(&big);
+    let (sp, sv) = minimax_selection(&big);
+    let (r, c, v) = big.maximin();
+    assert_eq!((hp, hv), ((r, c), v));
+    assert_eq!((sp, sv), ((r, c), v));
+    println!("8x8 random game: value {v:.3} at ({r}, {c}) — all solvers agree");
+
+    println!("minimax OK");
+}
+
+fn name(i: usize) -> &'static str {
+    if i == 0 {
+        "Left"
+    } else {
+        "Right"
+    }
+}

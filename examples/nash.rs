@@ -1,0 +1,41 @@
+//! The §4.3 prisoner's dilemma: best-response dynamics as the `hNash`
+//! handler, iterated to a Nash equilibrium.
+//!
+//! ```text
+//! cargo run --example nash
+//! ```
+
+use selc_games::bimatrix::Bimatrix;
+use selc_games::nash::{solve_nash, Step, Strategy};
+
+fn main() {
+    let game = Bimatrix::prisoners_dilemma();
+    println!("prisoner's dilemma (years of sentence):");
+    println!("                 B defects   B cooperates");
+    println!("  A defects        (3,3)        (0,5)");
+    println!("  A cooperates     (5,0)        (1,1)");
+
+    // The paper: runSel $ game (Move Right) (Move Right)
+    let ((a, b), steps) = solve_nash(&game, (Strategy::Cooperate, Strategy::Cooperate));
+    println!("from (cooperate, cooperate): reached {a:?}, {b:?} in {steps} steps");
+    assert_eq!((a, b), (Step::Stay(Strategy::Defect), Step::Stay(Strategy::Defect)));
+    assert_eq!(steps, 2);
+
+    // The fixed point is the game's unique pure Nash equilibrium.
+    let nash = game.pure_nash_equilibria();
+    assert_eq!(nash, vec![(0, 0)]);
+    println!("enumeration baseline confirms the unique pure Nash: defect/defect");
+
+    // From any start, the dynamics end at an equilibrium.
+    for start in [
+        (Strategy::Defect, Strategy::Defect),
+        (Strategy::Defect, Strategy::Cooperate),
+        (Strategy::Cooperate, Strategy::Defect),
+    ] {
+        let ((a, b), n) = solve_nash(&game, start);
+        assert!(game.is_pure_nash(a.strategy().index(), b.strategy().index()));
+        println!("from {start:?}: equilibrium after {n} steps");
+    }
+
+    println!("nash OK");
+}

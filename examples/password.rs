@@ -1,0 +1,32 @@
+//! The §4.3 greedy password example: `runSel $ hmax password`.
+//!
+//! ```text
+//! cargo run --example password
+//! ```
+
+use selc_ml::password::{password_baseline, run_password};
+
+fn main() {
+    let candidates: Vec<String> =
+        ["aaa", "aabb", "abc"].iter().map(|s| (*s).to_owned()).collect();
+
+    let (reward, message) = run_password(candidates.clone());
+    println!("{message}   (reward {reward})");
+    assert_eq!(message, "password is abc");
+    assert_eq!(reward, 12.0);
+
+    // The handler agrees with a direct greedy baseline.
+    let (breward, bmessage) = password_baseline(&candidates);
+    assert_eq!((reward, message), (breward, bmessage));
+
+    // A bigger pool: criteria are len(s) + distinct(s)².
+    let pool: Vec<String> = ["qwerty", "zz", "abcdefg", "aaaaaaaaaa", "xyzw"]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    let (r, m) = run_password(pool);
+    println!("{m}   (reward {r})");
+    assert_eq!(m, "password is abcdefg"); // 7 + 49
+
+    println!("password OK");
+}

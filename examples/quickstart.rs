@@ -1,0 +1,82 @@
+//! Quickstart: the §2.3 running example, end to end.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Declares a binary-choice effect, writes the paper's `pgm`, and handles
+//! it twice — with an argmin handler (the paper's choice) and an argmax
+//! handler — to show how the *same program* yields different computations
+//! under different selection strategies.
+
+use selc::{effect, handle, loss, perform, Handler, Sel};
+
+effect! {
+    /// Binary choice (§2.3).
+    pub effect NDet {
+        /// Choose a boolean.
+        op Decide : () => bool;
+    }
+}
+
+/// `pgm ≜ b ← decide(); i ← if b then 1 else 2; loss(2·i);
+///        if b then 'a' else 'b'`
+fn pgm() -> Sel<f64, char> {
+    perform::<f64, Decide>(()).and_then(|b| {
+        let i = if b { 1.0 } else { 2.0 };
+        loss(2.0 * i).map(move |_| if b { 'a' } else { 'b' })
+    })
+}
+
+/// A handler that probes both futures through the *choice continuation*
+/// and resumes with the one whose loss wins under `pick_first`.
+fn chooser(pick_first: fn(f64, f64) -> bool) -> Handler<f64, char, char> {
+    Handler::builder::<NDet>()
+        .on::<Decide>(move |(), l, k| {
+            l.at(true).and_then(move |y| {
+                let (l, k) = (l.clone(), k.clone());
+                l.at(false).and_then(move |z| {
+                    if pick_first(y, z) {
+                        k.resume(true)
+                    } else {
+                        k.resume(false)
+                    }
+                })
+            })
+        })
+        .build_identity()
+}
+
+fn main() {
+    let argmin = chooser(|y, z| y <= z);
+    let (cost, result) = handle(&argmin, pgm()).run_unwrap();
+    println!("argmin handler: result {result:?}, loss {cost}");
+    assert_eq!((result, cost), ('a', 2.0));
+
+    let argmax = chooser(|y, z| y >= z);
+    let (cost, result) = handle(&argmax, pgm()).run_unwrap();
+    println!("argmax handler: result {result:?}, loss {cost}");
+    assert_eq!((result, cost), ('b', 4.0));
+
+    // The §2.2 all-results handler: resume with both booleans, collect.
+    let all: Handler<f64, bool, Vec<bool>> = Handler::builder::<NDet>()
+        .on::<Decide>(|(), _l, k| {
+            k.resume(true).and_then(move |ts: Vec<bool>| {
+                let k = k.clone();
+                k.resume(false).map(move |fs| {
+                    let mut out = ts.clone();
+                    out.extend(fs);
+                    out
+                })
+            })
+        })
+        .ret(|b| Sel::pure(vec![b]))
+        .build();
+    let two_decides = perform::<f64, Decide>(())
+        .and_then(|x| perform::<f64, Decide>(()).map(move |y| x && y));
+    let (_, results) = handle(&all, two_decides).run_unwrap();
+    println!("all-results handler: {results:?}");
+    assert_eq!(results, vec![true, false, false, false]);
+
+    println!("quickstart OK");
+}

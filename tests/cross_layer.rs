@@ -1,0 +1,216 @@
+//! Cross-layer differential testing: the same *choice programs* are
+//! interpreted (a) by the λC small-step machine (`lambda-c`) and (b) by
+//! the `selc` library, and must produce identical losses and results.
+//!
+//! The program family is random binary decision trees: every internal
+//! node performs `decide()`, records a branch-dependent loss, and
+//! descends; leaves record a final loss and return a character. All
+//! trees are handled by the loss-minimising handler of §2.3, so both
+//! layers must pick the globally cheapest root-to-leaf path (the choice
+//! continuation sees the whole future).
+
+use lambda_c::build as lc;
+use lambda_c::syntax::Expr;
+use lambda_c::types::{BaseTy, Effect, Type};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selc::{handle, loss, perform, Handler, Sel};
+
+selc::effect! {
+    effect NDet {
+        op Decide : () => bool;
+    }
+}
+
+#[derive(Clone, Debug)]
+enum DTree {
+    Leaf { result: char, extra: f64 },
+    Node { on_true: f64, on_false: f64, t: Box<DTree>, f: Box<DTree> },
+}
+
+impl DTree {
+    fn random(rng: &mut StdRng, depth: u32) -> DTree {
+        if depth == 0 {
+            DTree::Leaf {
+                result: if rng.gen_bool(0.5) { 'a' } else { 'b' },
+                extra: rng.gen_range(0..8) as f64,
+            }
+        } else {
+            DTree::Node {
+                on_true: rng.gen_range(0..8) as f64,
+                on_false: rng.gen_range(0..8) as f64,
+                t: Box::new(DTree::random(rng, depth - 1)),
+                f: Box::new(DTree::random(rng, depth - 1)),
+            }
+        }
+    }
+
+    /// The cheapest root-to-leaf cost and its result (ties prefer the
+    /// `true` branch, like the `y <= z` handlers).
+    fn optimum(&self) -> (f64, char) {
+        match self {
+            DTree::Leaf { result, extra } => (*extra, *result),
+            DTree::Node { on_true, on_false, t, f } => {
+                let (ct, rt) = t.optimum();
+                let (cf, rf) = f.optimum();
+                let total_t = on_true + ct;
+                let total_f = on_false + cf;
+                if total_t <= total_f {
+                    (total_t, rt)
+                } else {
+                    (total_f, rf)
+                }
+            }
+        }
+    }
+
+    /// The tree as a λC expression of type `char ! {amb}`.
+    fn to_lambda_c(&self) -> Expr {
+        let eamb = Effect::single("amb");
+        match self {
+            DTree::Leaf { result, extra } => lc::seq(
+                eamb,
+                Type::unit(),
+                lc::loss(lc::lc(*extra)),
+                lc::ch(*result),
+            ),
+            DTree::Node { on_true, on_false, t, f } => lc::let_(
+                eamb.clone(),
+                "b",
+                Type::bool(),
+                lc::op("decide", lc::unit()),
+                lc::seq(
+                    eamb,
+                    Type::unit(),
+                    lc::loss(lc::if_(lc::v("b"), lc::lc(*on_true), lc::lc(*on_false))),
+                    lc::if_(lc::v("b"), t.to_lambda_c(), f.to_lambda_c()),
+                ),
+            ),
+        }
+    }
+
+    /// The tree as a `selc` computation.
+    fn to_sel(&self) -> Sel<f64, char> {
+        match self {
+            DTree::Leaf { result, extra } => {
+                let r = *result;
+                loss(*extra).map(move |_| r)
+            }
+            DTree::Node { on_true, on_false, t, f } => {
+                let (on_true, on_false) = (*on_true, *on_false);
+                let (t, f) = (t.clone(), f.clone());
+                perform::<f64, Decide>(()).and_then(move |b| {
+                    let cost = if b { on_true } else { on_false };
+                    let (t, f) = (t.clone(), f.clone());
+                    loss(cost)
+                        .and_then(move |_| if b { t.to_sel() } else { f.to_sel() })
+                })
+            }
+        }
+    }
+}
+
+/// λC argmin handler for `amb` at result type `char`.
+fn lc_argmin_handler() -> lambda_c::syntax::Handler {
+    use lc::*;
+    let e0 = Effect::empty();
+    let chr = Type::Base(BaseTy::Char);
+    HandlerBuilder::new("amb", chr.clone(), chr, e0.clone())
+        .on(
+            "decide",
+            "p",
+            "x",
+            "l",
+            "k",
+            let_(
+                e0.clone(),
+                "y",
+                Type::loss(),
+                app(v("l"), pair(v("p"), Expr::tt())),
+                let_(
+                    e0,
+                    "z",
+                    Type::loss(),
+                    app(v("l"), pair(v("p"), Expr::ff())),
+                    if_(
+                        leq(v("y"), v("z")),
+                        app(v("k"), pair(v("p"), Expr::tt())),
+                        app(v("k"), pair(v("p"), Expr::ff())),
+                    ),
+                ),
+            ),
+        )
+        .build()
+}
+
+/// selc argmin handler.
+fn sel_argmin_handler() -> Handler<f64, char, char> {
+    Handler::builder::<NDet>()
+        .on::<Decide>(|(), l, k| {
+            l.at(true).and_then(move |y| {
+                let (l, k) = (l.clone(), k.clone());
+                l.at(false)
+                    .and_then(move |z| if y <= z { k.resume(true) } else { k.resume(false) })
+            })
+        })
+        .build_identity()
+}
+
+fn lambda_c_run(tree: &DTree) -> (f64, char) {
+    let mut sig = lambda_c::Signature::new();
+    sig.declare(
+        "amb",
+        vec![(
+            "decide".into(),
+            lambda_c::OpSig { arg: Type::unit(), ret: Type::bool() },
+        )],
+    )
+    .unwrap();
+    let prog = lc::handle0(lc_argmin_handler(), tree.to_lambda_c());
+    lambda_c::check_program(&sig, &prog, &Effect::empty()).expect("tree program typechecks");
+    let out = lambda_c::eval_closed(&sig, prog, Type::Base(BaseTy::Char), Effect::empty())
+        .expect("tree program evaluates");
+    let c = match out.terminal {
+        Expr::Const(lambda_c::Const::Char(c)) => c,
+        other => panic!("expected a char, got {other}"),
+    };
+    (out.loss.as_scalar(), c)
+}
+
+fn selc_run(tree: &DTree) -> (f64, char) {
+    handle(&sel_argmin_handler(), tree.to_sel()).run_unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both layers pick the same (optimal) path and report the same loss —
+    /// and both match the direct dynamic-programming optimum.
+    #[test]
+    fn calculus_and_library_agree_on_decision_trees(seed in 0u64..1_000_000, depth in 1u32..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = DTree::random(&mut rng, depth);
+        let (lc_loss, lc_result) = lambda_c_run(&tree);
+        let (sel_loss, sel_result) = selc_run(&tree);
+        let (opt_loss, opt_result) = tree.optimum();
+        prop_assert_eq!(lc_result, sel_result, "results diverge on {:?}", tree);
+        prop_assert!((lc_loss - sel_loss).abs() < 1e-9, "losses diverge on {:?}", tree);
+        prop_assert_eq!(lc_result, opt_result, "calculus missed the optimum on {:?}", tree);
+        prop_assert!((lc_loss - opt_loss).abs() < 1e-9, "loss not optimal on {:?}", tree);
+    }
+}
+
+#[test]
+fn fixed_tree_sanity() {
+    // decide(); true → loss 1, leaf 'a' (+0); false → loss 0, leaf 'b' (+2)
+    let tree = DTree::Node {
+        on_true: 1.0,
+        on_false: 0.0,
+        t: Box::new(DTree::Leaf { result: 'a', extra: 0.0 }),
+        f: Box::new(DTree::Leaf { result: 'b', extra: 2.0 }),
+    };
+    assert_eq!(tree.optimum(), (1.0, 'a'));
+    assert_eq!(lambda_c_run(&tree), (1.0, 'a'));
+    assert_eq!(selc_run(&tree), (1.0, 'a'));
+}

@@ -1,0 +1,192 @@
+//! End-to-end assertions of every concrete result the paper reports,
+//! across all layers of the reproduction. This is the machine-checked
+//! version of EXPERIMENTS.md.
+
+use lambda_c::examples;
+use lambda_c::prim::{value_to_ground, Ground};
+use selc_games::bimatrix::{Bimatrix, Matrix};
+use selc_games::minimax::{minimax_handler, minimax_selection};
+use selc_games::nash::{solve_nash, Step, Strategy};
+use selc_ml::dataset::Dataset;
+use selc_ml::linreg::train_handler_sgd;
+use selc_ml::password::run_password;
+
+fn run_lc(ex: &examples::ExampleProgram) -> lambda_c::EvalOutcome {
+    lambda_c::check_program(&ex.sig, &ex.expr, &ex.eff).expect("typechecks");
+    lambda_c::eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone())
+        .expect("evaluates")
+}
+
+/// §2.2: `[True, False, False, False]`.
+#[test]
+fn e1_decide_all_results() {
+    let out = run_lc(&examples::decide_all());
+    let g = value_to_ground(&out.terminal).unwrap();
+    assert_eq!(
+        g,
+        Ground::List(vec![
+            Ground::bool(true),
+            Ground::bool(false),
+            Ground::bool(false),
+            Ground::bool(false),
+        ])
+    );
+}
+
+/// §2.3: `pgm` under the argmin handler gives `'a'` with loss 2 — in the
+/// calculus, in the library (exercised via the quickstart example code
+/// path), and denotationally (Thm 5.5).
+#[test]
+fn e2_pgm_argmin() {
+    let ex = examples::pgm_with_argmin_handler();
+    let out = run_lc(&ex);
+    assert_eq!(out.terminal.to_string(), "'a'");
+    assert_eq!(out.loss, lambda_c::LossVal::scalar(2.0));
+    selc_denote::check_adequacy(&ex.sig, &ex.expr, &ex.ty, &ex.eff, 3).unwrap();
+}
+
+/// §4.3: the password example gives `"password is abc"`, both in the λC
+/// encoding and through the library's `Max` effect.
+#[test]
+fn e3_password() {
+    let out = run_lc(&examples::password());
+    assert_eq!(out.terminal.to_string(), "\"password is abc\"");
+    assert_eq!(out.loss, lambda_c::LossVal::scalar(12.0));
+
+    let (reward, msg) =
+        run_password(["aaa", "aabb", "abc"].iter().map(|s| (*s).to_owned()).collect());
+    assert_eq!(msg, "password is abc");
+    assert_eq!(reward, 12.0);
+}
+
+/// §4.3: handler-based SGD converges to the least-squares line.
+#[test]
+fn e4_sgd_converges() {
+    let data = Dataset::linear(48, 2.0, 1.0, 0.0, 7);
+    let (w, b) = train_handler_sgd(&data, (0.0, 0.0), 0.05, 30);
+    let (lw, lb) = data.least_squares();
+    assert!((w - lw).abs() < 0.05, "w {w} vs {lw}");
+    assert!((b - lb).abs() < 0.05, "b {b} vs {lb}");
+}
+
+/// §4.3: `tuneLR` picks the rate with the smaller downstream loss — see
+/// `selc-ml`'s unit tests for the concrete grid; here we assert the
+/// integration through the optimizer.
+#[test]
+fn e5_tune_lr() {
+    use selc::{handle, loss, perform};
+    let prog = perform::<f64, selc_ml::optimize::Optimize>(vec![0.0]).and_then(|p| {
+        let e = p[0] - 3.0;
+        loss(e * e).map(move |_| p.clone())
+    });
+    let inner = handle(&selc_ml::optimize::gd_handler_tuned(), prog);
+    let (_, alpha) = handle(&selc_ml::hyper::tune_lr(vec![1.0, 0.5]), inner).run_unwrap();
+    assert_eq!(alpha, 0.5);
+}
+
+/// §4.3: `tuneLR` in the calculus agrees with the library: same grid, same
+/// winner, and the non-resuming handler records no loss in either layer.
+#[test]
+fn e5b_tune_lr_cross_layer() {
+    // λC version
+    let ex = lambda_c::examples::tune_lr(1.0, 0.5);
+    let out = run_lc(&ex);
+    assert_eq!(out.terminal, lambda_c::Expr::lossc(0.5));
+    assert!(out.loss.is_zero());
+
+    // library version on the same optimisation shape: err(α) = (3 − 6α)²
+    use selc::{handle, loss, perform, Sel};
+    let step: Sel<f64, f64> =
+        perform::<f64, selc_ml::hyper::Lrate>(()).and_then(|alpha| {
+            let err = (3.0 - 6.0 * alpha) * (3.0 - 6.0 * alpha);
+            loss(err).map(move |_| err)
+        });
+    let (l, best) = handle(&selc_ml::hyper::tune_lr(vec![1.0, 0.5]), step).run_unwrap();
+    assert_eq!(best, 0.5);
+    assert_eq!(l, 0.0);
+}
+
+/// §4.3: minimax on [[5,3],[2,9]] gives (Left, Right) with loss 3, for the
+/// handler pair, the selection product, backward induction, and the λC
+/// encoding.
+#[test]
+fn e6_minimax() {
+    let m = Matrix::paper_example();
+    assert_eq!(minimax_handler(&m), ((0, 1), 3.0));
+    assert_eq!(minimax_selection(&m), ((0, 1), 3.0));
+    assert_eq!(m.maximin(), (0, 1, 3.0));
+
+    let out = run_lc(&examples::minimax());
+    let g = value_to_ground(&out.terminal).unwrap();
+    assert_eq!(g, Ground::Tuple(vec![Ground::bool(true), Ground::bool(false)]));
+    assert_eq!(out.loss, lambda_c::LossVal::scalar(3.0));
+}
+
+/// §4.3: the prisoner's dilemma reaches (Stay Left, Stay Left) — defect/
+/// defect — in 2 steps, and it is the unique pure Nash equilibrium.
+#[test]
+fn e7_nash() {
+    let g = Bimatrix::prisoners_dilemma();
+    let ((a, b), n) = solve_nash(&g, (Strategy::Cooperate, Strategy::Cooperate));
+    assert_eq!((a, b), (Step::Stay(Strategy::Defect), Step::Stay(Strategy::Defect)));
+    assert_eq!(n, 2);
+    assert_eq!(g.pure_nash_equilibria(), vec![(0, 0)]);
+}
+
+/// §2.1: the one-move game solved by the Kleisli extension of argmax.
+#[test]
+fn e8_selection_monad_game() {
+    use selection::{argmax, argmin_by, Sel};
+    use std::rc::Rc;
+    let eval = |x: usize, y: usize| [[5.0_f64, 3.0], [2.0, 9.0]][x][y];
+    let f = move |x: usize| {
+        Sel::new(move |g: Rc<dyn Fn(&(usize, usize)) -> f64>| {
+            let y = argmin_by(vec![0usize, 1], |y| g(&(x, *y)));
+            (x, y)
+        })
+    };
+    let minimax = argmax(vec![0usize, 1]).and_then(f);
+    assert_eq!(minimax.select(move |&(x, y)| eval(x, y)), (0, 1));
+    assert_eq!(minimax.loss(move |&(x, y)| eval(x, y)), 3.0);
+}
+
+/// §3.3's worked reduction: the trace of `pgm` ends with `'a'` and the
+/// single loss-2 emission the paper computes.
+#[test]
+fn e9_worked_reduction_trace() {
+    let ex = examples::pgm_with_argmin_handler();
+    let g = lambda_c::Expr::zero_cont(ex.ty.clone(), ex.eff.clone()).rc();
+    let (trace, out) =
+        lambda_c::bigstep::eval_traced(&ex.sig, &g, &ex.eff, ex.expr.clone(), 100_000).unwrap();
+    assert_eq!(out.loss, lambda_c::LossVal::scalar(2.0));
+    // exactly one non-zero loss emission on the chosen path
+    let emissions: Vec<&lambda_c::LossVal> =
+        trace.iter().map(|s| &s.loss).filter(|l| !l.is_zero()).collect();
+    assert_eq!(emissions.len(), 1);
+    assert_eq!(*emissions[0], lambda_c::LossVal::scalar(2.0));
+}
+
+/// §3.4: `moo` is rejected by the well-foundedness check and diverges.
+#[test]
+fn e10_moo() {
+    let ex = examples::moo_divergent();
+    assert!(ex.sig.check_well_founded().is_err());
+    let g = lambda_c::Expr::zero_cont(ex.ty.clone(), ex.eff.clone()).rc();
+    let r = lambda_c::eval(&ex.sig, &g, &ex.eff, ex.expr.clone(), 200);
+    assert!(matches!(r, Err(lambda_c::EvalError::OutOfFuel { .. })));
+}
+
+/// Theorems 5.4/5.5: adequacy on every runnable paper example.
+#[test]
+fn e11_adequacy_on_all_examples() {
+    for ex in [
+        examples::pgm_with_argmin_handler(),
+        examples::decide_all(),
+        examples::counter(),
+        examples::minimax(),
+        examples::password(),
+    ] {
+        selc_denote::check_adequacy(&ex.sig, &ex.expr, &ex.ty, &ex.eff, 3)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
