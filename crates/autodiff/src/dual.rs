@@ -151,9 +151,8 @@ mod tests {
     #[test]
     fn dual_losses_accumulate_with_tangents() {
         use selc::{loss, Loss, Sel};
-        let prog: Sel<Dual, ()> = loss(Dual { v: 2.0, d: 1.0 })
-            .then(loss(Dual { v: 3.0, d: 0.5 }))
-            .map(|_| ());
+        let prog: Sel<Dual, ()> =
+            loss(Dual { v: 2.0, d: 1.0 }).then(loss(Dual { v: 3.0, d: 0.5 })).map(|_| ());
         let (l, ()) = prog.run_unwrap();
         assert_eq!(l, Dual { v: 5.0, d: 1.5 });
         assert_eq!(<Dual as Loss>::zero(), Dual::constant(0.0));

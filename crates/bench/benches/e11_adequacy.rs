@@ -12,7 +12,8 @@ fn bench(c: &mut Criterion) {
     println!("E11: S[pgm] L[0] = (2, 'a') = big-step result — adequacy holds");
 
     let sig = gen_signature();
-    let programs: Vec<_> = (200..212).map(|s| ProgramGen::new(s).gen_program(3, s % 2 == 0)).collect();
+    let programs: Vec<_> =
+        (200..212).map(|s| ProgramGen::new(s).gen_program(3, s % 2 == 0)).collect();
     c.benchmark_group("e11_adequacy")
         .bench_function("pgm", |b| {
             b.iter(|| check_adequacy(&ex.sig, &ex.expr, &ex.ty, &ex.eff, 3).unwrap())

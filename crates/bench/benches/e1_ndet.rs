@@ -26,13 +26,9 @@ fn bench(c: &mut Criterion) {
     let ex = lambda_c::examples::decide_all();
     g.bench_function("lambda_c_decide_all", |b| {
         b.iter(|| {
-            let out = lambda_c::eval_closed(
-                &ex.sig,
-                ex.expr.clone(),
-                ex.ty.clone(),
-                ex.eff.clone(),
-            )
-            .unwrap();
+            let out =
+                lambda_c::eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone())
+                    .unwrap();
             std::hint::black_box(out.steps)
         });
     });

@@ -7,14 +7,17 @@ use selc_bench::run_pgm;
 fn bench(c: &mut Criterion) {
     assert_eq!(run_pgm(), (2.0, 'a'));
     let ex = lambda_c::examples::pgm_with_argmin_handler();
-    let out = lambda_c::eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone()).unwrap();
+    let out =
+        lambda_c::eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone()).unwrap();
     println!("E2: pgm = ('a', loss 2); library OK, interpreter OK in {} steps", out.steps);
 
     c.benchmark_group("e2_pgm")
         .bench_function("selc_library", |b| b.iter(|| std::hint::black_box(run_pgm())))
         .bench_function("lambda_c_interpreter", |b| {
             b.iter(|| {
-                let out = lambda_c::eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone()).unwrap();
+                let out =
+                    lambda_c::eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone())
+                        .unwrap();
                 std::hint::black_box(out.steps)
             })
         });

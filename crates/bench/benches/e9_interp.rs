@@ -6,7 +6,8 @@ use lambda_c::testgen::{gen_signature, ProgramGen};
 
 fn bench(c: &mut Criterion) {
     let ex = lambda_c::examples::pgm_with_argmin_handler();
-    let out = lambda_c::eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone()).unwrap();
+    let out =
+        lambda_c::eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone()).unwrap();
     println!("E9: pgm reduces in {} small steps", out.steps);
 
     let sig = gen_signature();
@@ -15,7 +16,9 @@ fn bench(c: &mut Criterion) {
     c.benchmark_group("e9_interp")
         .bench_function("pgm_eval", |b| {
             b.iter(|| {
-                let out = lambda_c::eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone()).unwrap();
+                let out =
+                    lambda_c::eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone())
+                        .unwrap();
                 std::hint::black_box(out.steps)
             })
         })

@@ -21,8 +21,7 @@ pub fn argmin_handler<B: Clone + 'static>() -> Handler<f64, B, B> {
         .on::<Decide>(|(), l, k| {
             l.at(true).and_then(move |y| {
                 let (l, k) = (l.clone(), k.clone());
-                l.at(false)
-                    .and_then(move |z| if y <= z { k.resume(true) } else { k.resume(false) })
+                l.at(false).and_then(move |z| if y <= z { k.resume(true) } else { k.resume(false) })
             })
         })
         .build_identity()
@@ -101,12 +100,7 @@ pub mod nway {
     }
 
     fn min_with(l: &Choice<f64, usize>, n: usize) -> Sel<f64, usize> {
-        fn go(
-            l: Choice<f64, usize>,
-            n: usize,
-            i: usize,
-            best: (usize, f64),
-        ) -> Sel<f64, usize> {
+        fn go(l: Choice<f64, usize>, n: usize, i: usize, best: (usize, f64)) -> Sel<f64, usize> {
             if i == n {
                 return Sel::pure(best.0);
             }
@@ -129,8 +123,7 @@ pub mod nway {
     /// argmin of `costs`.
     pub fn argmin_program(costs: Rc<Vec<f64>>) -> Sel<f64, usize> {
         let n = costs.len();
-        perform::<f64, PickIdx>(n)
-            .and_then(move |i| loss(costs[i]).map(move |_| i))
+        perform::<f64, PickIdx>(n).and_then(move |i| loss(costs[i]).map(move |_| i))
     }
 
     /// Handler-based argmin over `costs`.
@@ -162,9 +155,7 @@ pub fn nested_handler_tower(depth: usize, chain: usize) -> (f64, usize) {
         }
     }
     fn aux_handler<B: Clone + 'static>() -> Handler<f64, B, B> {
-        Handler::builder::<Aux>()
-            .on::<Nop>(|(), _l, k| k.resume(()))
-            .build_identity()
+        Handler::builder::<Aux>().on::<Nop>(|(), _l, k| k.resume(())).build_identity()
     }
     let mut prog = h(&argmin_handler(), costed_decide_chain(chain));
     for _ in 0..depth {

@@ -9,6 +9,7 @@
 //! handling. See DESIGN.md for the substitution argument.
 
 use crate::effect::Operation;
+use crate::runtime::{bind_cont, node_cont, BindCont, NodeCont};
 use crate::value::Value;
 use std::any::TypeId;
 use std::rc::Rc;
@@ -82,7 +83,7 @@ pub enum Eff<A> {
     /// A finished computation.
     Pure(A),
     /// Suspended on `OpCall`; feed the operation result to continue.
-    Op(OpCall, Rc<dyn Fn(Value) -> Eff<A>>),
+    Op(OpCall, NodeCont<A>),
 }
 
 impl<A> Clone for Eff<A>
@@ -116,19 +117,16 @@ impl<A: 'static> Eff<A> {
     }
 
     /// Monadic bind with a shared continuation.
-    pub fn bind<B: 'static>(self, f: Rc<dyn Fn(A) -> Eff<B>>) -> Eff<B> {
+    pub fn bind<B: 'static>(self, f: BindCont<A, B>) -> Eff<B> {
         match self {
             Eff::Pure(a) => f(a),
-            Eff::Op(call, k) => Eff::Op(
-                call,
-                Rc::new(move |v| k(v).bind(Rc::clone(&f))),
-            ),
+            Eff::Op(call, k) => Eff::Op(call, node_cont(move |v| k(v).bind(Rc::clone(&f)))),
         }
     }
 
     /// Monadic bind with an owned closure.
     pub fn and_then<B: 'static>(self, f: impl Fn(A) -> Eff<B> + 'static) -> Eff<B> {
-        self.bind(Rc::new(f))
+        self.bind(bind_cont(f))
     }
 
     /// Functorial map.
@@ -170,10 +168,8 @@ mod tests {
 
     #[test]
     fn bind_reaches_through_op_nodes() {
-        let e: Eff<i32> = Eff::Op(
-            OpCall::user::<Ask>(Value::new(())),
-            Rc::new(|v| Eff::Pure(v.get::<i32>())),
-        );
+        let e: Eff<i32> =
+            Eff::Op(OpCall::user::<Ask>(Value::new(())), Rc::new(|v| Eff::Pure(v.get::<i32>())));
         let e2 = e.map(|x| x * 10);
         match e2 {
             Eff::Op(call, k) => {

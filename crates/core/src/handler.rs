@@ -50,6 +50,7 @@
 
 use crate::eff::{Eff, OpCall, OpKind};
 use crate::loss::Loss;
+use crate::runtime::{loss_cont, node_cont, RawChoice, RawClause, RawResume, RawRet};
 use crate::sel::{then_loss, LossCont, Sel};
 use crate::value::Value;
 use std::any::TypeId;
@@ -59,14 +60,6 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static NEXT_ACTIVATION: AtomicU64 = AtomicU64::new(1);
-
-/// Raw (dynamically-typed) choice continuation: `(param, result) → loss`.
-pub type RawChoice<L> = Rc<dyn Fn(Value, Value) -> Sel<L, L>>;
-
-/// Raw (dynamically-typed) delimited continuation: `(param, result) → B`.
-pub type RawResume<L, B> = Rc<dyn Fn(Value, Value) -> Sel<L, B>>;
-
-type RawClause<L, B> = Rc<dyn Fn(Value, Value, RawChoice<L>, RawResume<L, B>) -> Sel<L, B>>;
 
 /// The typed choice continuation handed to operation clauses.
 ///
@@ -143,7 +136,7 @@ pub struct Handler<L, A, B> {
     effect_id: TypeId,
     effect_name: &'static str,
     clauses: HashMap<TypeId, RawClause<L, B>>,
-    ret: Rc<dyn Fn(Value, A) -> Sel<L, B>>,
+    ret: RawRet<L, A, B>,
 }
 
 impl<L, A, B> std::fmt::Debug for Handler<L, A, B> {
@@ -172,7 +165,7 @@ pub struct HandlerBuilder<L, A, B> {
     effect_id: TypeId,
     effect_name: &'static str,
     clauses: HashMap<TypeId, RawClause<L, B>>,
-    ret: Option<Rc<dyn Fn(Value, A) -> Sel<L, B>>>,
+    ret: Option<RawRet<L, A, B>>,
 }
 
 impl<L: Loss, A: Clone + 'static, B: Clone + 'static> HandlerBuilder<L, A, B> {
@@ -269,7 +262,10 @@ impl<L: Loss, A: Clone + 'static> HandlerBuilder<L, A, A> {
     /// Finishes a handler whose return clause is the identity
     /// (`return ↦ λx. x`, the paper's default).
     pub fn build_identity(self) -> Handler<L, A, A> {
-        let me = HandlerBuilder { ret: self.ret.or_else(|| Some(Rc::new(|_p, a| Sel::pure(a)))), ..self };
+        let me = HandlerBuilder {
+            ret: self.ret.or_else(|| Some(Rc::new(|_p, a| Sel::pure(a)))),
+            ..self
+        };
         me.build()
     }
 }
@@ -302,10 +298,10 @@ where
         // The handled computation's loss continuation: a marker node that
         // the fold below interprets with the *current* parameter, giving
         // rule (S1)'s `λx. v_ret(v, x) ◮ g` with the live `v`.
-        let g_inner: LossCont<L, A> = Rc::new(move |a: &A| {
+        let g_inner: LossCont<L, A> = loss_cont(move |a: &A| {
             Eff::Op(
                 OpCall::marker(activation, Value::new(a.clone())),
-                Rc::new(|v: Value| Eff::Pure(v.get::<L>())),
+                node_cont(|v: Value| Eff::Pure(v.get::<L>())),
             )
         });
         let tree = body.run_with(g_inner);
@@ -318,7 +314,7 @@ struct HandlerRc<L, A, B> {
     effect_id: TypeId,
     effect_name: &'static str,
     clauses: HashMap<TypeId, RawClause<L, B>>,
-    ret: Rc<dyn Fn(Value, A) -> Sel<L, B>>,
+    ret: RawRet<L, A, B>,
 }
 
 /// The handling fold — rules (R5), (R6), (S1) over the `Eff` tree.
@@ -338,9 +334,9 @@ where
         // (R6): the computation returned a value — run the return clause;
         // the body's recorded loss is prepended (the action `r ·` in the
         // handler semantics of §5.3).
-        Eff::Pure((r_body, a)) => (h.ret)(p, a).run_with(Rc::clone(g)).map(move |(r_ret, b)| {
-            (r_body.combine(&r_ret), b)
-        }),
+        Eff::Pure((r_body, a)) => {
+            (h.ret)(p, a).run_with(Rc::clone(g)).map(move |(r_ret, b)| (r_body.combine(&r_ret), b))
+        }
         Eff::Op(call, k) => {
             if call.is_marker(activation) {
                 // Our own return-loss marker: the loss of result `a` is
@@ -402,10 +398,7 @@ where
                 // current parameter (the ψ clause of §5.3).
                 let h = Rc::clone(h);
                 let g = Rc::clone(g);
-                Eff::Op(
-                    call,
-                    Rc::new(move |v| drive(&h, p.clone(), activation, k(v), &g)),
-                )
+                Eff::Op(call, Rc::new(move |v| drive(&h, p.clone(), activation, k(v), &g)))
             }
         }
     }
@@ -435,13 +428,15 @@ mod tests {
                 l.at(true).and_then(move |y| {
                     let l = l.clone();
                     let k = k.clone();
-                    l.at(false).and_then(move |z| {
-                        if y <= z {
-                            k.resume(true)
-                        } else {
-                            k.resume(false)
-                        }
-                    })
+                    l.at(false).and_then(
+                        move |z| {
+                            if y <= z {
+                                k.resume(true)
+                            } else {
+                                k.resume(false)
+                            }
+                        },
+                    )
                 })
             })
             .build_identity()

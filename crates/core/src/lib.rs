@@ -71,6 +71,7 @@ pub mod effect;
 pub mod handler;
 pub mod loss;
 pub mod memo;
+pub mod runtime;
 pub mod sel;
 pub mod value;
 
@@ -78,5 +79,6 @@ pub use effect::{perform, Effect, Operation};
 pub use handler::{handle, handle_with, Choice, Handler, HandlerBuilder, Resume};
 pub use loss::Loss;
 pub use memo::MemoChoice;
-pub use sel::{loss, zero_cont, LossCont, Sel, UnhandledOp};
+pub use runtime::{zero_cont, BindCont, LossCont, NodeCont, RawChoice, RawResume, SelRun};
+pub use sel::{loss, Sel, UnhandledOp};
 pub use value::Value;

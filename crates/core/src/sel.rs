@@ -23,15 +23,14 @@
 
 use crate::eff::Eff;
 use crate::loss::Loss;
+use crate::runtime::{loss_cont, SelRun};
 use std::rc::Rc;
 
-/// A loss continuation `a → Eff loss`: maps a candidate result to the loss
-/// the rest of the program would incur.
-pub type LossCont<L, A> = Rc<dyn Fn(&A) -> Eff<L>>;
+pub use crate::runtime::{zero_cont, LossCont};
 
 /// The selection-with-effects monad (see [module docs](self)).
 pub struct Sel<L, A> {
-    run: Rc<dyn Fn(LossCont<L, A>) -> Eff<(L, A)>>,
+    run: SelRun<L, A>,
 }
 
 impl<L, A> Clone for Sel<L, A> {
@@ -44,13 +43,6 @@ impl<L, A> std::fmt::Debug for Sel<L, A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("Sel(<computation>)")
     }
-}
-
-/// The loss continuation that assigns zero loss to every result — how
-/// program execution starts (§3.3) and the continuation installed by
-/// [`Sel::local0`].
-pub fn zero_cont<L: Loss, A: 'static>() -> LossCont<L, A> {
-    Rc::new(|_| Eff::Pure(L::zero()))
 }
 
 /// The "then" operator `e ⊲ g` (the library form of `◮`): the total loss of
@@ -90,10 +82,7 @@ impl<L: Loss, A: Clone + 'static> Sel<L, A> {
     }
 
     /// Monadic bind (the paper's §4.2 instance).
-    pub fn and_then<B: Clone + 'static>(
-        &self,
-        f: impl Fn(A) -> Sel<L, B> + 'static,
-    ) -> Sel<L, B> {
+    pub fn and_then<B: Clone + 'static>(&self, f: impl Fn(A) -> Sel<L, B> + 'static) -> Sel<L, B> {
         let me = self.clone();
         let f = Rc::new(f);
         Sel::from_fn(move |g: LossCont<L, B>| {
@@ -101,7 +90,7 @@ impl<L: Loss, A: Clone + 'static> Sel<L, A> {
             let g1 = Rc::clone(&g);
             // Extend the loss continuation: the loss of an `a` is the loss
             // of running `f a` under g (the ⊲ of the Haskell instance).
-            let ext: LossCont<L, A> = Rc::new(move |a: &A| then_loss(&f1(a.clone()), &g1));
+            let ext: LossCont<L, A> = loss_cont(move |a: &A| then_loss(&f1(a.clone()), &g1));
             let f2 = Rc::clone(&f);
             let g2 = Rc::clone(&g);
             me.run_with(ext).bind(Rc::new(move |(r1, a): (L, A)| {
@@ -175,10 +164,7 @@ impl<L: Loss, A: Clone + 'static> Sel<L, A> {
     pub fn run(&self) -> Result<(L, A), UnhandledOp> {
         match self.run_with(zero_cont()) {
             Eff::Pure(ra) => Ok(ra),
-            Eff::Op(call, _) => Err(UnhandledOp {
-                effect: call.effect_name,
-                op: call.op_name,
-            }),
+            Eff::Op(call, _) => Err(UnhandledOp { effect: call.effect_name, op: call.op_name }),
         }
     }
 

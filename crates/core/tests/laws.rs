@@ -25,10 +25,8 @@ enum P {
 }
 
 fn arb_p() -> impl Strategy<Value = P> {
-    let leaf = prop_oneof![
-        (-10i32..10).prop_map(P::Pure),
-        (0u32..8).prop_map(|l| P::Loss(l as f64)),
-    ];
+    let leaf =
+        prop_oneof![(-10i32..10).prop_map(P::Pure), (0u32..8).prop_map(|l| P::Loss(l as f64)),];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| P::Seq(Box::new(a), Box::new(b))),
@@ -49,8 +47,7 @@ fn to_sel(p: &P) -> Sel<f64, i32> {
         }
         P::Choose(a, b) => {
             let (a, b) = (to_sel(a), to_sel(b));
-            perform::<f64, Decide>(())
-                .and_then(move |c| if c { a.clone() } else { b.clone() })
+            perform::<f64, Decide>(()).and_then(move |c| if c { a.clone() } else { b.clone() })
         }
         P::Local(a) => to_sel(a).local0(),
         P::Reset(a) => to_sel(a).reset(),
@@ -62,17 +59,14 @@ fn argmin_h() -> Handler<f64, i32, i32> {
         .on::<Decide>(|(), l, k| {
             l.at(true).and_then(move |y| {
                 let (l, k) = (l.clone(), k.clone());
-                l.at(false)
-                    .and_then(move |z| if y <= z { k.resume(true) } else { k.resume(false) })
+                l.at(false).and_then(move |z| if y <= z { k.resume(true) } else { k.resume(false) })
             })
         })
         .build_identity()
 }
 
 fn const_h(b: bool) -> Handler<f64, i32, i32> {
-    Handler::builder::<NDet>()
-        .on::<Decide>(move |(), _l, k| k.resume(b))
-        .build_identity()
+    Handler::builder::<NDet>().on::<Decide>(move |(), _l, k| k.resume(b)).build_identity()
 }
 
 /// Reference semantics of `P` under the const-`b` strategy.

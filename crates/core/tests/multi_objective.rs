@@ -37,8 +37,8 @@ fn lex_handler<B: Clone + 'static>() -> Handler<L2, B, B> {
             probe_all(&l, n).and_then(move |ls| {
                 let mut best = 0;
                 for i in 1..ls.len() {
-                    let better = ls[i].0 < ls[best].0
-                        || (ls[i].0 == ls[best].0 && ls[i].1 < ls[best].1);
+                    let better =
+                        ls[i].0 < ls[best].0 || (ls[i].0 == ls[best].0 && ls[i].1 < ls[best].1);
                     if better {
                         best = i;
                     }
@@ -113,8 +113,7 @@ fn two_stage_trip_optimises_the_whole_journey() {
 #[test]
 fn vec_losses_work_as_well() {
     // The Vec<f64> monoid supports ad-hoc objective counts.
-    let prog: Sel<Vec<f64>, ()> =
-        loss(vec![1.0]).then(loss(vec![0.0, 2.0])).map(|_| ());
+    let prog: Sel<Vec<f64>, ()> = loss(vec![1.0]).then(loss(vec![0.0, 2.0])).map(|_| ());
     assert_eq!(prog.run_unwrap().0, vec![1.0, 2.0]);
 }
 

@@ -20,8 +20,7 @@ fn argmin<B: Clone + 'static>() -> Handler<f64, B, B> {
         .on::<Decide>(|(), l, k| {
             l.at(true).and_then(move |y| {
                 let (l, k) = (l.clone(), k.clone());
-                l.at(false)
-                    .and_then(move |z| if y <= z { k.resume(true) } else { k.resume(false) })
+                l.at(false).and_then(move |z| if y <= z { k.resume(true) } else { k.resume(false) })
             })
         })
         .build_identity()

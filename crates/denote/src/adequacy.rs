@@ -77,10 +77,7 @@ pub fn sample_values(ty: &Type) -> Option<Vec<Expr>> {
                 }
                 combos = next;
             }
-            combos
-                .into_iter()
-                .map(|c| Expr::Tuple(c.into_iter().map(Expr::rc).collect()))
-                .collect()
+            combos.into_iter().map(|c| Expr::Tuple(c.into_iter().map(Expr::rc).collect())).collect()
         }
         Type::Sum(a, b) => {
             let mut out = Vec::new();
@@ -213,12 +210,12 @@ fn compare(
             }
             Ok(())
         }
-        (None, FTree::Node { op: dop, .. }) => Err(AdequacyError(format!(
-            "{path}: operational value but denotational node `{dop}`"
-        ))),
-        (Some(op), FTree::Leaf(_)) => Err(AdequacyError(format!(
-            "{path}: operational stuck on `{op}` but denotational leaf"
-        ))),
+        (None, FTree::Node { op: dop, .. }) => {
+            Err(AdequacyError(format!("{path}: operational value but denotational node `{dop}`")))
+        }
+        (Some(op), FTree::Leaf(_)) => {
+            Err(AdequacyError(format!("{path}: operational stuck on `{op}` but denotational leaf")))
+        }
     }
 }
 

@@ -19,6 +19,17 @@ use lambda_c::prim::Ground;
 use std::fmt;
 use std::rc::Rc;
 
+/// The branching continuation of an [`FTree`] node: one subtree per
+/// operation result.
+pub type FTreeCont<T> = Rc<dyn Fn(&SemVal) -> FTree<T>>;
+
+/// A Kleisli arrow `T → F_ε(U)` on leaves, as passed to [`FTree::bind`].
+pub type FTreeBind<T, U> = Rc<dyn Fn(&T) -> FTree<U>>;
+
+/// A semantic function `S[σ] → S_ε(S[τ])` (the denotation of an arrow
+/// type, and the payload of [`SemVal::Fun`]).
+pub type SemFn = Rc<dyn Fn(&SemVal) -> SelComp>;
+
 /// An interaction tree in `F_ε(T)`: a leaf, or an operation node.
 pub enum FTree<T> {
     /// A finished computation.
@@ -34,7 +45,7 @@ pub enum FTree<T> {
         /// The operation argument (an element of `S[out]`).
         arg: SemVal,
         /// One subtree per operation result (element of `S[in]`).
-        k: Rc<dyn Fn(&SemVal) -> FTree<T>>,
+        k: FTreeCont<T>,
     },
 }
 
@@ -71,10 +82,7 @@ impl<T: Clone + 'static> FTree<T> {
     }
 
     /// The free-monad bind (homomorphic extension on leaves).
-    pub fn bind<U: Clone + 'static>(
-        &self,
-        f: Rc<dyn Fn(&T) -> FTree<U>>,
-    ) -> FTree<U> {
+    pub fn bind<U: Clone + 'static>(&self, f: FTreeBind<T, U>) -> FTree<U> {
         match self {
             FTree::Leaf(t) => f(t),
             FTree::Node { label, op, depth, arg, k } => {
@@ -126,7 +134,7 @@ pub enum SemVal {
     /// A list.
     List(Vec<SemVal>),
     /// A function `S[σ] → S_ε(S[τ])`.
-    Fun(Rc<dyn Fn(&SemVal) -> SelComp>),
+    Fun(SemFn),
 }
 
 impl Clone for SemVal {

@@ -31,5 +31,5 @@ pub mod monads;
 pub mod sem;
 
 pub use adequacy::{check_adequacy, AdequacyError};
-pub use domain::{FTree, Gamma, RTree, SelComp, SemVal, WTree};
+pub use domain::{FTree, FTreeBind, FTreeCont, Gamma, RTree, SelComp, SemFn, SemVal, WTree};
 pub use sem::{empty_env, Denoter, SemEnv};

@@ -11,6 +11,10 @@ use lambda_c::types::Effect;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+/// The return clause as a semantic function of `(param, result)` — rule
+/// (S1)'s `v_ret(v, x)` at the domain level.
+type SemRet = Rc<dyn Fn(&SemVal, &SemVal) -> SelComp>;
+
 /// A semantic environment `ρ ∈ S[Γ]`.
 pub type SemEnv = Rc<HashMap<String, SemVal>>;
 
@@ -50,10 +54,9 @@ impl Denoter {
     /// Panics if `v` is not a value or mentions an unbound variable.
     pub fn sem_value(self: &Rc<Self>, env: &SemEnv, v: &Expr) -> SemVal {
         match v {
-            Expr::Var(x) => env
-                .get(x)
-                .cloned()
-                .unwrap_or_else(|| stuck_sem(&format!("unbound variable `{x}`"))),
+            Expr::Var(x) => {
+                env.get(x).cloned().unwrap_or_else(|| stuck_sem(&format!("unbound variable `{x}`")))
+            }
             Expr::Const(Const::Loss(l)) => SemVal::Loss(l.clone()),
             Expr::Const(Const::Char(c)) => SemVal::Char(*c),
             Expr::Const(Const::Str(s)) => SemVal::Str(s.clone()),
@@ -62,9 +65,7 @@ impl Denoter {
                 SemVal::Nat(n) => SemVal::Nat(n + 1),
                 other => stuck_sem(&format!("succ of {other:?}")),
             },
-            Expr::Tuple(es) => {
-                SemVal::Tuple(es.iter().map(|e| self.sem_value(env, e)).collect())
-            }
+            Expr::Tuple(es) => SemVal::Tuple(es.iter().map(|e| self.sem_value(env, e)).collect()),
             Expr::Inl { e, .. } => SemVal::Sum(false, Rc::new(self.sem_value(env, e))),
             Expr::Inr { e, .. } => SemVal::Sum(true, Rc::new(self.sem_value(env, e))),
             Expr::Nil(_) => SemVal::List(Vec::new()),
@@ -135,9 +136,8 @@ impl Denoter {
                 s_bind(
                     m,
                     Rc::new(move |a: &SemVal| {
-                        let g = a
-                            .to_ground()
-                            .unwrap_or_else(|| stuck_sem("non-ground prim argument"));
+                        let g =
+                            a.to_ground().unwrap_or_else(|| stuck_sem("non-ground prim argument"));
                         let out = (def.eval)(&g)
                             .unwrap_or_else(|e| stuck_sem(&format!("prim failed: {e}")));
                         let _ = &ret_ty;
@@ -180,18 +180,18 @@ impl Denoter {
                         Rc::new(move |a: &SemVal| {
                             let mut acc = acc.clone();
                             acc.push(a.clone());
-                            go(Rc::clone(&cx), Rc::clone(&env), Rc::clone(&es), eff.clone(), i + 1, acc)
+                            go(
+                                Rc::clone(&cx),
+                                Rc::clone(&env),
+                                Rc::clone(&es),
+                                eff.clone(),
+                                i + 1,
+                                acc,
+                            )
                         }),
                     )
                 }
-                go(
-                    Rc::clone(self),
-                    Rc::clone(env),
-                    Rc::new(es.clone()),
-                    eff.clone(),
-                    0,
-                    Vec::new(),
-                )
+                go(Rc::clone(self), Rc::clone(env), Rc::new(es.clone()), eff.clone(), 0, Vec::new())
             }
 
             Expr::Proj(e1, i) => {
@@ -490,7 +490,7 @@ impl Denoter {
             let handled_depth = eff.multiplicity(&h.label) + 1;
 
             // ret(p, a) as a SelComp
-            let sem_ret: Rc<dyn Fn(&SemVal, &SemVal) -> SelComp> = {
+            let sem_ret: SemRet = {
                 let cx = Rc::clone(&cx);
                 let env = Rc::clone(&env);
                 let h = Rc::clone(&h);
@@ -513,13 +513,16 @@ impl Denoter {
             };
 
             // The fold s† over the W_εℓ tree, producing S[par] → W_ε(S[σ']).
+            #[allow(clippy::too_many_arguments)] // the fold threads the full
+                                                 // handler context (rule-by-rule faithful to §5.3); bundling it
+                                                 // into a struct would only rename the problem.
             fn fold(
                 cx: &Rc<Denoter>,
                 env: &SemEnv,
                 h: &Rc<Handler>,
                 eff: &Effect,
                 gamma: &Gamma,
-                sem_ret: &Rc<dyn Fn(&SemVal, &SemVal) -> SelComp>,
+                sem_ret: &SemRet,
                 handled_depth: u32,
                 tree: &WTree,
                 p: &SemVal,
@@ -612,11 +615,11 @@ impl Denoter {
                                             &p2,
                                         );
                                         // δ(γ†(resumed)): probe loss as a value
-                                        crate::monads::gamma_extend(&resumed, &gamma).map(
-                                            Rc::new(|l: &LossVal| {
+                                        crate::monads::gamma_extend(&resumed, &gamma).map(Rc::new(
+                                            |l: &LossVal| {
                                                 (LossVal::zero(), SemVal::Loss(l.clone()))
-                                            }),
-                                        )
+                                            },
+                                        ))
                                     })
                                 }))
                             };

@@ -70,12 +70,7 @@ fn loss_recording() {
 #[test]
 fn reset_scopes_losses() {
     let sig = Signature::new();
-    let e = seq(
-        Effect::empty(),
-        Type::unit(),
-        reset(loss(lc(9.0))),
-        loss(lc(1.0)),
-    );
+    let e = seq(Effect::empty(), Type::unit(), reset(loss(lc(9.0))), loss(lc(1.0)));
     ok(&sig, &e, &Type::unit(), &Effect::empty());
 }
 
@@ -99,7 +94,11 @@ fn then_construct() {
 fn nested_then_and_local() {
     let sig = Signature::new();
     let inner = then(lc(1.0), Effect::empty(), "x", Type::loss(), add(v("x"), lc(1.0)));
-    let e = local0(Effect::empty(), Type::loss(), seq(Effect::empty(), Type::unit(), loss(inner), lc(0.5)));
+    let e = local0(
+        Effect::empty(),
+        Type::loss(),
+        seq(Effect::empty(), Type::unit(), loss(inner), lc(0.5)),
+    );
     ok(&sig, &e, &Type::loss(), &Effect::empty());
 }
 
@@ -158,12 +157,7 @@ fn residual_effect_stuck_program() {
 fn residual_effect_with_prefix_loss() {
     // Loss emitted before the stuck op: Thm 5.4(2)'s r-action.
     let sig = amb_sig();
-    let e = seq(
-        Effect::single("amb"),
-        Type::unit(),
-        loss(lc(5.0)),
-        op("decide", unit()),
-    );
+    let e = seq(Effect::single("amb"), Type::unit(), loss(lc(5.0)), op("decide", unit()));
     ok(&sig, &e, &Type::bool(), &Effect::single("amb"));
 }
 
@@ -305,12 +299,7 @@ fn nested_same_label_handlers() {
         "a",
         Type::bool(),
         op("decide", unit()),
-        seq(
-            e2amb.clone(),
-            Type::unit(),
-            loss(if_(v("a"), lc(1.0), lc(3.0))),
-            v("a"),
-        ),
+        seq(e2amb.clone(), Type::unit(), loss(if_(v("a"), lc(1.0), lc(3.0))), v("a")),
     );
     let const_true = |eff: Effect| {
         HandlerBuilder::new("amb", Type::bool(), Type::bool(), eff)

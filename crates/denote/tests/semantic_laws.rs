@@ -44,7 +44,7 @@ fn sample_comps() -> Vec<SelComp> {
     ]
 }
 
-fn sample_fns() -> Vec<Rc<dyn Fn(&SemVal) -> SelComp>> {
+fn sample_fns() -> Vec<selc_denote::SemFn> {
     vec![
         Rc::new(|v: &SemVal| s_unit(v.clone())),
         Rc::new(|v: &SemVal| {
@@ -93,10 +93,8 @@ fn s_monad_associativity() {
                 let g1 = Rc::clone(&g);
                 let lhs = s_bind(s_bind(Rc::clone(&m), f1), Rc::clone(&g));
                 let f2 = Rc::clone(&f);
-                let rhs = s_bind(
-                    Rc::clone(&m),
-                    Rc::new(move |v: &SemVal| s_bind(f2(v), Rc::clone(&g1))),
-                );
+                let rhs =
+                    s_bind(Rc::clone(&m), Rc::new(move |v: &SemVal| s_bind(f2(v), Rc::clone(&g1))));
                 assert!(
                     approx(&leaf_of(&lhs), &leaf_of(&rhs)),
                     "associativity failed: {:?} vs {:?}",
@@ -138,9 +136,8 @@ fn writer_action_laws() {
 fn w_bind_is_homomorphic_over_action() {
     // f†(r · u) = r · f†(u)
     let u = FTree::Leaf((LossVal::scalar(1.0), SemVal::Nat(2)));
-    let f: Rc<dyn Fn(&SemVal) -> selc_denote::WTree> = Rc::new(|v: &SemVal| {
-        FTree::Leaf((LossVal::scalar(10.0), v.clone()))
-    });
+    let f: Rc<dyn Fn(&SemVal) -> selc_denote::WTree> =
+        Rc::new(|v: &SemVal| FTree::Leaf((LossVal::scalar(10.0), v.clone())));
     let r = LossVal::scalar(5.0);
     let lhs = w_bind(&w_act(&r, &u), Rc::clone(&f));
     let rhs = w_act(&r, &w_bind(&u, f));

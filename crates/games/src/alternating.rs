@@ -88,9 +88,7 @@ macro_rules! ply_handler {
     ($name:ident, $op:ident, $maximise:expr) => {
         fn $name<B: Clone + 'static>() -> Handler<f64, B, B> {
             Handler::builder::<<$op as selc::Operation>::Effect>()
-                .on::<$op>(|n, l, k| {
-                    pick_extreme(&l, n, $maximise).and_then(move |m| k.resume(m))
-                })
+                .on::<$op>(|n, l, k| pick_extreme(&l, n, $maximise).and_then(move |m| k.resume(m)))
                 .build_identity()
         }
     };
@@ -144,7 +142,7 @@ impl GameTree {
             if path.len() == t.depth {
                 return (path.clone(), t.leaf(path));
             }
-            let maximising = path.len() % 2 == 0;
+            let maximising = path.len().is_multiple_of(2);
             let mut best: Option<(Vec<usize>, f64)> = None;
             for m in 0..t.branching {
                 path.push(m);
@@ -182,14 +180,18 @@ impl GameTree {
                 go(t, p)
             };
             match path.len() {
-                0 => perform::<f64, Move0>(b)
-                    .and_then(move |m| step(m, Rc::clone(&t), path.clone())),
-                1 => perform::<f64, Move1>(b)
-                    .and_then(move |m| step(m, Rc::clone(&t), path.clone())),
-                2 => perform::<f64, Move2>(b)
-                    .and_then(move |m| step(m, Rc::clone(&t), path.clone())),
-                _ => perform::<f64, Move3>(b)
-                    .and_then(move |m| step(m, Rc::clone(&t), path.clone())),
+                0 => {
+                    perform::<f64, Move0>(b).and_then(move |m| step(m, Rc::clone(&t), path.clone()))
+                }
+                1 => {
+                    perform::<f64, Move1>(b).and_then(move |m| step(m, Rc::clone(&t), path.clone()))
+                }
+                2 => {
+                    perform::<f64, Move2>(b).and_then(move |m| step(m, Rc::clone(&t), path.clone()))
+                }
+                _ => {
+                    perform::<f64, Move3>(b).and_then(move |m| step(m, Rc::clone(&t), path.clone()))
+                }
             }
         }
         go(Rc::new(self.clone()), Vec::new())
@@ -224,7 +226,7 @@ impl GameTree {
                 return loss(v).map(move |_| path.clone());
             }
             let b = t.branching;
-            if path.len() % 2 == 0 {
+            if path.len().is_multiple_of(2) {
                 perform::<f64, MaxMove>(b).and_then(move |m| {
                     let mut p = path.clone();
                     p.push(m);

@@ -101,10 +101,7 @@ impl Bimatrix {
     /// The §4.3 prisoner's dilemma: rows/cols are (defect, cooperate),
     /// losses are prison years `[[(3,3),(0,5)],[(5,0),(1,1)]]`.
     pub fn prisoners_dilemma() -> Bimatrix {
-        Bimatrix::new(vec![
-            vec![(3.0, 3.0), (0.0, 5.0)],
-            vec![(5.0, 0.0), (1.0, 1.0)],
-        ])
+        Bimatrix::new(vec![vec![(3.0, 3.0), (0.0, 5.0)], vec![(5.0, 0.0), (1.0, 1.0)]])
     }
 
     /// A random bimatrix with losses in `[0, 10)`.
@@ -227,10 +224,7 @@ mod tests {
     #[test]
     fn matching_pennies_has_no_pure_nash() {
         // zero-sum mismatch game
-        let g = Bimatrix::new(vec![
-            vec![(0.0, 1.0), (1.0, 0.0)],
-            vec![(1.0, 0.0), (0.0, 1.0)],
-        ]);
+        let g = Bimatrix::new(vec![vec![(0.0, 1.0), (1.0, 0.0)], vec![(1.0, 0.0), (0.0, 1.0)]]);
         assert!(g.pure_nash_equilibria().is_empty());
     }
 
@@ -247,11 +241,8 @@ mod tests {
             let m = Matrix::random(4, 5, seed);
             let (r, c, v) = m.maximin();
             // brute force
-            let reply = |r: usize| {
-                (0..m.cols())
-                    .map(|c| m.entries[r][c])
-                    .fold(f64::INFINITY, f64::min)
-            };
+            let reply =
+                |r: usize| (0..m.cols()).map(|c| m.entries[r][c]).fold(f64::INFINITY, f64::min);
             let best = (0..m.rows()).map(reply).fold(f64::NEG_INFINITY, f64::max);
             assert_eq!(v, best, "seed {seed}");
             assert_eq!(m.entries[r][c], v);

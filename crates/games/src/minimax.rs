@@ -33,11 +33,7 @@ effect! {
 
 /// Effectful argmax over `0..n` through a choice continuation
 /// (the paper's `maxWith l [moves]`).
-fn pick_extreme(
-    l: &Choice<f64, usize>,
-    n: usize,
-    maximise: bool,
-) -> Sel<f64, usize> {
+fn pick_extreme(l: &Choice<f64, usize>, n: usize, maximise: bool) -> Sel<f64, usize> {
     fn go(
         l: Choice<f64, usize>,
         n: usize,
@@ -96,8 +92,7 @@ pub fn minimax_handler(table: &Matrix) -> ((usize, usize), f64) {
     let cols = table.cols();
     let game = perform::<f64, MaxMove>(rows).and_then(move |a| {
         let t = Rc::clone(&t);
-        perform::<f64, MinMove>(cols)
-            .and_then(move |b| loss(t.entries[a][b]).map(move |_| (a, b)))
+        perform::<f64, MinMove>(cols).and_then(move |b| loss(t.entries[a][b]).map(move |_| (a, b)))
     });
     let (v, play) = handle(&hmax(), handle(&hmin(), game)).run_unwrap();
     (play, v)

@@ -122,12 +122,7 @@ pub fn round(game: Rc<Bimatrix>, a: Step, b: Step) -> Sel<PairLoss, (Step, Step)
 
 /// The paper's recursive `game`, as one monadic computation: each round is
 /// `lreset $ hNash $ round`, recursing until both players stay.
-pub fn game(
-    g: Rc<Bimatrix>,
-    a: Step,
-    b: Step,
-    fuel: usize,
-) -> Sel<PairLoss, (Step, Step)> {
+pub fn game(g: Rc<Bimatrix>, a: Step, b: Step, fuel: usize) -> Sel<PairLoss, (Step, Step)> {
     handle(&h_nash(), round(Rc::clone(&g), a, b)).lreset().and_then(move |(a1, b1)| {
         if (a1.is_stay() && b1.is_stay()) || fuel == 0 {
             Sel::pure((a1, b1))

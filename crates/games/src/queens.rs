@@ -7,7 +7,7 @@
 //! exhaustive backward induction. A classic backtracking solver serves as
 //! the baseline.
 
-use selection::{argmin, product, Sel};
+use selection::{argmin, product};
 use std::rc::Rc;
 
 /// Number of attacking queen pairs in `placement` (one column per row).
@@ -33,10 +33,10 @@ pub fn is_solution(placement: &[usize], n: usize) -> bool {
 /// functions under the global attack-count loss. Exhaustive (`n^n` loss
 /// probes) — fine for the small `n` the benchmarks sweep.
 pub fn queens_selection(n: usize) -> Vec<usize> {
-    let stages: Vec<Rc<dyn Fn(&[usize]) -> Sel<usize, f64>>> = (0..n)
+    let stages: Vec<product::Stage<usize, f64>> = (0..n)
         .map(|_| {
             Rc::new(move |_: &[usize]| argmin((0..n).collect::<Vec<usize>>()))
-                as Rc<dyn Fn(&[usize]) -> Sel<usize, f64>>
+                as product::Stage<usize, f64>
         })
         .collect();
     let s = product::big_product_dep(stages);
@@ -48,9 +48,9 @@ pub fn queens_selection(n: usize) -> Vec<usize> {
 pub fn queens_backtracking(n: usize) -> Option<Vec<usize>> {
     fn safe(p: &[usize], col: usize) -> bool {
         let row = p.len();
-        p.iter().enumerate().all(|(r, &c)| {
-            c != col && (col as i64 - c as i64).abs() != (row - r) as i64
-        })
+        p.iter()
+            .enumerate()
+            .all(|(r, &c)| c != col && (col as i64 - c as i64).abs() != (row - r) as i64)
     }
     fn go(p: &mut Vec<usize>, n: usize) -> bool {
         if p.len() == n {

@@ -78,7 +78,12 @@ pub fn eval(
 /// # Errors
 ///
 /// Propagates [`EvalError`] from [`eval`].
-pub fn eval_closed(sig: &Signature, e: Expr, ty: Type, eff: Effect) -> Result<EvalOutcome, EvalError> {
+pub fn eval_closed(
+    sig: &Signature,
+    e: Expr,
+    ty: Type,
+    eff: Effect,
+) -> Result<EvalOutcome, EvalError> {
     let g = Expr::zero_cont(ty, eff.clone()).rc();
     eval(sig, &g, &eff, e, DEFAULT_FUEL)
 }
@@ -121,13 +126,11 @@ pub fn eval_traced(
                 }
             }
             StepResult::Value => {
-                let out =
-                    EvalOutcome { loss: total, terminal: cur, stuck_on: None, steps };
+                let out = EvalOutcome { loss: total, terminal: cur, stuck_on: None, steps };
                 return Ok((trace, out));
             }
             StepResult::Stuck { op } => {
-                let out =
-                    EvalOutcome { loss: total, terminal: cur, stuck_on: Some(op), steps };
+                let out = EvalOutcome { loss: total, terminal: cur, stuck_on: Some(op), steps };
                 return Ok((trace, out));
             }
         }

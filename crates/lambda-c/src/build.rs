@@ -243,8 +243,8 @@ mod tests {
     fn if_selects_branch() {
         let sig = Signature::new();
         let e = if_(leq(lc(1.0), lc(2.0)), ch('a'), ch('b'));
-        let out = eval_closed(&sig, e, Type::Base(crate::types::BaseTy::Char), Effect::empty())
-            .unwrap();
+        let out =
+            eval_closed(&sig, e, Type::Base(crate::types::BaseTy::Char), Effect::empty()).unwrap();
         assert_eq!(out.terminal, ch('a'));
     }
 
@@ -262,14 +262,7 @@ mod tests {
         sig.declare("amb", vec![("decide".into(), OpSig { arg: Type::unit(), ret: Type::bool() })])
             .unwrap();
         let h = HandlerBuilder::new("amb", Type::bool(), Type::bool(), Effect::empty())
-            .on(
-                "decide",
-                "p",
-                "x",
-                "l",
-                "k",
-                app(v("k"), pair(v("p"), Expr::tt())),
-            )
+            .on("decide", "p", "x", "l", "k", app(v("k"), pair(v("p"), Expr::tt())))
             .build();
         let e = handle0(h, op("decide", unit()));
         assert_eq!(check_program(&sig, &e, &Effect::empty()).unwrap(), Type::bool());

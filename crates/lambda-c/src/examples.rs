@@ -87,10 +87,7 @@ pub fn decide_all() -> ExampleProgram {
             "x",
             "l",
             "k",
-            append(
-                app(v("k"), pair(v("p"), Expr::tt())),
-                app(v("k"), pair(v("p"), Expr::ff())),
-            ),
+            append(app(v("k"), pair(v("p"), Expr::tt())), app(v("k"), pair(v("p"), Expr::ff()))),
         )
         .ret("p", "x", Expr::Cons(v("x").rc(), Expr::Nil(Type::bool()).rc()))
         .build();
@@ -183,10 +180,7 @@ pub fn counter() -> ExampleProgram {
             "x",
             "l",
             "k",
-            app(
-                v("k"),
-                pair(Expr::Succ(v("p").rc()), prim1("nat_to_loss", v("p"))),
-            ),
+            app(v("k"), pair(Expr::Succ(v("p").rc()), prim1("nat_to_loss", v("p")))),
         )
         .build();
 
@@ -241,15 +235,7 @@ pub fn moo_divergent() -> ExampleProgram {
             "k",
             app(
                 v("k"),
-                pair(
-                    v("p"),
-                    lam(
-                        ecow.clone(),
-                        "y",
-                        Type::unit(),
-                        app(op("moo", unit()), unit()),
-                    ),
-                ),
+                pair(v("p"), lam(ecow.clone(), "y", Type::unit(), app(op("moo", unit()), unit()))),
             ),
         )
         .build();
@@ -282,11 +268,7 @@ pub fn minimax() -> ExampleProgram {
     let pair_ty = Type::Tuple(vec![Type::bool(), Type::bool()]);
 
     // a ← max2(); b ← min2(); loss(table a b); (a, b)
-    let table = if_(
-        v("a"),
-        if_(v("b"), lc(5.0), lc(3.0)),
-        if_(v("b"), lc(2.0), lc(9.0)),
-    );
+    let table = if_(v("a"), if_(v("b"), lc(5.0), lc(3.0)), if_(v("b"), lc(2.0), lc(9.0)));
     let game = let_(
         eboth.clone(),
         "a",
@@ -384,11 +366,7 @@ pub fn password_with_candidates(cands: Vec<&str>) -> ExampleProgram {
                     "r",
                     Type::loss(),
                     app(v("l"), pair(v("p"), v("cand"))),
-                    if_(
-                        leq(v("r"), proj(v("best"), 1)),
-                        v("best"),
-                        pair(v("cand"), v("r")),
-                    ),
+                    if_(leq(v("r"), proj(v("best"), 1)), v("best"), pair(v("cand"), v("r"))),
                 ),
             ),
         ),
@@ -397,11 +375,7 @@ pub fn password_with_candidates(cands: Vec<&str>) -> ExampleProgram {
         e0.clone(),
         "chosen",
         acc_ty.clone(),
-        Expr::Fold(
-            v("x").rc(),
-            pair(s(""), lc(-1.0e18)).rc(),
-            fold_body.rc(),
-        ),
+        Expr::Fold(v("x").rc(), pair(s(""), lc(-1.0e18)).rc(), fold_body.rc()),
         app(v("k"), pair(v("p"), proj(v("chosen"), 0))),
     );
     let h = HandlerBuilder::new("gr", str_ty.clone(), str_ty.clone(), e0)

@@ -97,10 +97,7 @@ pub fn sample_values(ty: &Type) -> Option<Vec<Expr>> {
                 }
                 combos = next;
             }
-            combos
-                .into_iter()
-                .map(|c| Expr::Tuple(c.into_iter().map(Expr::rc).collect()))
-                .collect()
+            combos.into_iter().map(|c| Expr::Tuple(c.into_iter().map(Expr::rc).collect())).collect()
         }
         Type::Sum(a, b) => {
             let mut out = Vec::new();
@@ -175,19 +172,16 @@ mod tests {
 
     fn amb_sig() -> Signature {
         let mut sig = Signature::new();
-        sig.declare(
-            "amb",
-            vec![("decide".into(), OpSig { arg: Type::unit(), ret: Type::bool() })],
-        )
-        .unwrap();
+        sig.declare("amb", vec![("decide".into(), OpSig { arg: Type::unit(), ret: Type::bool() })])
+            .unwrap();
         sig
     }
 
     #[test]
     fn pure_program_is_a_leaf() {
         let sig = Signature::new();
-        let t = eval_giant(&sig, add(lc(1.0), lc(2.0)), &Type::loss(), &Effect::empty(), 3)
-            .unwrap();
+        let t =
+            eval_giant(&sig, add(lc(1.0), lc(2.0)), &Type::loss(), &Effect::empty(), 3).unwrap();
         match t {
             EffValue::Done { loss, value } => {
                 assert!(loss.is_zero());
@@ -207,12 +201,7 @@ mod tests {
             "b",
             Type::bool(),
             op("decide", unit()),
-            seq(
-                eamb.clone(),
-                Type::unit(),
-                loss(if_(v("b"), lc(1.0), lc(2.0))),
-                v("b"),
-            ),
+            seq(eamb.clone(), Type::unit(), loss(if_(v("b"), lc(1.0), lc(2.0))), v("b")),
         );
         let t = eval_giant(&sig, e, &Type::bool(), &eamb, 2).unwrap();
         match t {
@@ -260,14 +249,8 @@ mod tests {
     #[test]
     fn zero_depth_stops_expansion() {
         let sig = amb_sig();
-        let t = eval_giant(
-            &sig,
-            op("decide", unit()),
-            &Type::bool(),
-            &Effect::single("amb"),
-            0,
-        )
-        .unwrap();
+        let t = eval_giant(&sig, op("decide", unit()), &Type::bool(), &Effect::single("amb"), 0)
+            .unwrap();
         match t {
             EffValue::Op { children, .. } => assert!(children.is_empty()),
             other => panic!("expected node, got {other:?}"),

@@ -134,19 +134,15 @@ pub fn ground_to_value(g: &Ground, ty: &Type) -> Expr {
         (Ground::Char(c), _) => Expr::Const(Const::Char(*c)),
         (Ground::Str(s), _) => Expr::Const(Const::Str(s.clone())),
         (Ground::Nat(n), _) => Expr::nat(*n),
-        (Ground::Tuple(gs), Type::Tuple(ts)) => Expr::Tuple(
-            gs.iter().zip(ts).map(|(g, t)| ground_to_value(g, t).rc()).collect(),
-        ),
-        (Ground::Sum(false, g), Type::Sum(a, b)) => Expr::Inl {
-            lty: (**a).clone(),
-            rty: (**b).clone(),
-            e: ground_to_value(g, a).rc(),
-        },
-        (Ground::Sum(true, g), Type::Sum(a, b)) => Expr::Inr {
-            lty: (**a).clone(),
-            rty: (**b).clone(),
-            e: ground_to_value(g, b).rc(),
-        },
+        (Ground::Tuple(gs), Type::Tuple(ts)) => {
+            Expr::Tuple(gs.iter().zip(ts).map(|(g, t)| ground_to_value(g, t).rc()).collect())
+        }
+        (Ground::Sum(false, g), Type::Sum(a, b)) => {
+            Expr::Inl { lty: (**a).clone(), rty: (**b).clone(), e: ground_to_value(g, a).rc() }
+        }
+        (Ground::Sum(true, g), Type::Sum(a, b)) => {
+            Expr::Inr { lty: (**a).clone(), rty: (**b).clone(), e: ground_to_value(g, b).rc() }
+        }
         (Ground::List(gs), Type::List(t)) => {
             Expr::list((**t).clone(), gs.iter().map(|g| ground_to_value(g, t)).collect())
         }
@@ -157,6 +153,9 @@ pub fn ground_to_value(g: &Ground, ty: &Type) -> Expr {
 }
 
 /// A primitive function: typing plus a total evaluator on ground values.
+/// The reduction function of a primitive: `f(v) -> v'` on ground values.
+pub type PrimEval = Rc<dyn Fn(&Ground) -> Result<Ground, String>>;
+
 #[derive(Clone)]
 pub struct PrimDef {
     /// Argument type `σ` (first-order).
@@ -164,7 +163,7 @@ pub struct PrimDef {
     /// Result type `τ` (first-order).
     pub ret_ty: Type,
     /// The reduction `f(v) → v'`.
-    pub eval: Rc<dyn Fn(&Ground) -> Result<Ground, String>>,
+    pub eval: PrimEval,
 }
 
 impl fmt::Debug for PrimDef {
@@ -205,9 +204,7 @@ fn scalar1(g: &Ground) -> Result<f64, String> {
 /// and `nat → loss` conversion.
 pub fn prim_lookup(name: &str) -> Option<PrimDef> {
     let loss2_ty = Type::Tuple(vec![Type::loss(), Type::loss()]);
-    let def = |arg_ty: Type, ret_ty: Type, f: Rc<dyn Fn(&Ground) -> Result<Ground, String>>| {
-        Some(PrimDef { arg_ty, ret_ty, eval: f })
-    };
+    let def = |arg_ty: Type, ret_ty: Type, f: PrimEval| Some(PrimDef { arg_ty, ret_ty, eval: f });
     match name {
         "add" => def(
             loss2_ty,

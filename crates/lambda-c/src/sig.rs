@@ -51,7 +51,11 @@ impl fmt::Display for SigError {
             SigError::DuplicateOp(op) => write!(f, "operation `{op}` declared twice"),
             SigError::EmptyEffect(l) => write!(f, "effect `{l}` has no operations"),
             SigError::NotWellFounded(cycle) => {
-                write!(f, "effect labels are not well-founded (cycle through {})", cycle.join(" -> "))
+                write!(
+                    f,
+                    "effect labels are not well-founded (cycle through {})",
+                    cycle.join(" -> ")
+                )
             }
         }
     }
@@ -181,10 +185,7 @@ impl Signature {
     /// The effect level `l(ε)` of a multiset: the maximum level of its
     /// labels (0 for the empty effect). Requires a well-founded signature.
     pub fn effect_level(&self, eff: &Effect, levels: &BTreeMap<String, usize>) -> usize {
-        eff.labels()
-            .map(|l| levels.get(l).copied().unwrap_or(0))
-            .max()
-            .unwrap_or(0)
+        eff.labels().map(|l| levels.get(l).copied().unwrap_or(0)).max().unwrap_or(0)
     }
 }
 
@@ -200,11 +201,7 @@ mod tests {
     #[test]
     fn declare_and_lookup() {
         let mut sig = Signature::new();
-        sig.declare(
-            "amb",
-            vec![("decide".into(), op(Type::unit(), Type::bool()))],
-        )
-        .unwrap();
+        sig.declare("amb", vec![("decide".into(), op(Type::unit(), Type::bool()))]).unwrap();
         assert_eq!(sig.label_of("decide"), Some("amb"));
         assert_eq!(sig.op_sig("decide").unwrap().ret, Type::bool());
         assert!(sig.op_sig("missing").is_none());
@@ -213,11 +210,8 @@ mod tests {
     #[test]
     fn duplicate_op_rejected() {
         let mut sig = Signature::new();
-        sig.declare("a", vec![("f".into(), op(Type::unit(), Type::unit()))])
-            .unwrap();
-        let err = sig
-            .declare("b", vec![("f".into(), op(Type::unit(), Type::unit()))])
-            .unwrap_err();
+        sig.declare("a", vec![("f".into(), op(Type::unit(), Type::unit()))]).unwrap();
+        let err = sig.declare("b", vec![("f".into(), op(Type::unit(), Type::unit()))]).unwrap_err();
         assert_eq!(err, SigError::DuplicateOp("f".into()));
     }
 
@@ -230,10 +224,15 @@ mod tests {
     #[test]
     fn flat_signature_is_well_founded_at_level_zero() {
         let mut sig = Signature::new();
-        sig.declare("amb", vec![("decide".into(), op(Type::unit(), Type::bool()))])
-            .unwrap();
-        sig.declare("max", vec![("pick".into(), op(Type::List(Box::new(Type::Base(BaseTy::Char))), Type::Base(BaseTy::Char)))])
-            .unwrap();
+        sig.declare("amb", vec![("decide".into(), op(Type::unit(), Type::bool()))]).unwrap();
+        sig.declare(
+            "max",
+            vec![(
+                "pick".into(),
+                op(Type::List(Box::new(Type::Base(BaseTy::Char))), Type::Base(BaseTy::Char)),
+            )],
+        )
+        .unwrap();
         let levels = sig.check_well_founded().unwrap();
         assert_eq!(levels["amb"], 0);
         assert_eq!(levels["max"], 0);
@@ -243,8 +242,7 @@ mod tests {
     fn hierarchical_signature_levels() {
         // hi's operation returns a function that may perform lo.
         let mut sig = Signature::new();
-        sig.declare("lo", vec![("l".into(), op(Type::unit(), Type::unit()))])
-            .unwrap();
+        sig.declare("lo", vec![("l".into(), op(Type::unit(), Type::unit()))]).unwrap();
         sig.declare(
             "hi",
             vec![(
@@ -282,12 +280,18 @@ mod tests {
         let mut sig = Signature::new();
         sig.declare(
             "a",
-            vec![("fa".into(), op(Type::unit(), Type::fun(Type::unit(), Type::unit(), Effect::single("b"))))],
+            vec![(
+                "fa".into(),
+                op(Type::unit(), Type::fun(Type::unit(), Type::unit(), Effect::single("b"))),
+            )],
         )
         .unwrap();
         sig.declare(
             "b",
-            vec![("fb".into(), op(Type::fun(Type::unit(), Type::unit(), Effect::single("a")), Type::unit()))],
+            vec![(
+                "fb".into(),
+                op(Type::fun(Type::unit(), Type::unit(), Effect::single("a")), Type::unit()),
+            )],
         )
         .unwrap();
         assert!(matches!(sig.check_well_founded(), Err(SigError::NotWellFounded(_))));
@@ -296,11 +300,13 @@ mod tests {
     #[test]
     fn effect_level_of_multiset() {
         let mut sig = Signature::new();
-        sig.declare("lo", vec![("l".into(), op(Type::unit(), Type::unit()))])
-            .unwrap();
+        sig.declare("lo", vec![("l".into(), op(Type::unit(), Type::unit()))]).unwrap();
         sig.declare(
             "hi",
-            vec![("h".into(), op(Type::unit(), Type::fun(Type::unit(), Type::unit(), Effect::single("lo"))))],
+            vec![(
+                "h".into(),
+                op(Type::unit(), Type::fun(Type::unit(), Type::unit(), Effect::single("lo"))),
+            )],
         )
         .unwrap();
         let levels = sig.check_well_founded().unwrap();

@@ -217,9 +217,7 @@ impl KFrame {
                 Expr::Handle { handler: Rc::clone(h), from: Rc::clone(from), body: e }
             }
             KFrame::ThenLhs(lam) => Expr::Then { e, lam: Rc::clone(lam) },
-            KFrame::Local { eff, g } => {
-                Expr::Local { eff: eff.clone(), g: Rc::clone(g), e }
-            }
+            KFrame::Local { eff, g } => Expr::Local { eff: eff.clone(), g: Rc::clone(g), e },
             KFrame::Reset => Expr::Reset(e),
         }
     }
@@ -315,9 +313,7 @@ fn active_split(e: &Expr) -> Option<(KFrame, Expr)> {
                 None
             }
         }
-        Expr::OpCall { op, arg } if !arg.is_value() => {
-            Some((KFrame::OpArg(op.clone()), go(arg)))
-        }
+        Expr::OpCall { op, arg } if !arg.is_value() => Some((KFrame::OpArg(op.clone()), go(arg))),
         Expr::Loss(a) if !a.is_value() => Some((KFrame::LossArg, go(a))),
         Expr::Handle { handler, from, body } => {
             if !from.is_value() {
@@ -328,9 +324,7 @@ fn active_split(e: &Expr) -> Option<(KFrame, Expr)> {
                 None
             }
         }
-        Expr::Then { e, lam } if !e.is_value() => {
-            Some((KFrame::ThenLhs(Rc::clone(lam)), go(e)))
-        }
+        Expr::Then { e, lam } if !e.is_value() => Some((KFrame::ThenLhs(Rc::clone(lam)), go(e))),
         Expr::Local { eff, g, e } if !e.is_value() => {
             Some((KFrame::Local { eff: eff.clone(), g: Rc::clone(g) }, go(e)))
         }
@@ -425,10 +419,7 @@ pub fn step(
         // (R3) beta
         Expr::App(f, a) if f.is_value() && a.is_value() => {
             if let Expr::Lam { var, body, .. } = f.as_ref() {
-                return Ok(StepResult::Step {
-                    loss: LossVal::zero(),
-                    expr: subst(body, var, a),
-                });
+                return Ok(StepResult::Step { loss: LossVal::zero(), expr: subst(body, var, a) });
             }
             return Err(EvalError::Malformed(format!("application of non-lambda {f}")));
         }
@@ -492,8 +483,7 @@ pub fn step(
                     let osig = sig.op_sig(&stuck.op).ok_or_else(|| {
                         EvalError::Malformed(format!("operation `{}` not in signature", stuck.op))
                     })?;
-                    let pair_ty =
-                        Type::Tuple(vec![handler.par_ty.clone(), osig.ret.clone()]);
+                    let pair_ty = Type::Tuple(vec![handler.par_ty.clone(), osig.ret.clone()]);
                     let mk_resume = |z: &str| -> Expr {
                         Expr::Handle {
                             handler: Rc::clone(handler),
@@ -587,9 +577,7 @@ pub fn step(
                     Ok(StepResult::Step { loss, expr: frame.plug(expr) })
                 }
                 StepResult::Stuck { op } => Ok(StepResult::Stuck { op }),
-                StepResult::Value => {
-                    Err(EvalError::Malformed("active subterm was a value".into()))
-                }
+                StepResult::Value => Err(EvalError::Malformed("active subterm was a value".into())),
             }
         }
         // (S2): evaluate the lhs of ◮ under its own continuation; fold the
@@ -602,11 +590,7 @@ pub fn step(
                 } else {
                     Expr::Prim(
                         "add".into(),
-                        Expr::Tuple(vec![
-                            Expr::Const(Const::Loss(loss)).rc(),
-                            rebuilt.rc(),
-                        ])
-                        .rc(),
+                        Expr::Tuple(vec![Expr::Const(Const::Loss(loss)).rc(), rebuilt.rc()]).rc(),
                     )
                 };
                 Ok(StepResult::Step { loss: LossVal::zero(), expr })
@@ -639,9 +623,7 @@ pub fn step(
                     Ok(StepResult::Step { loss, expr: frame.plug(expr) })
                 }
                 StepResult::Stuck { op } => Ok(StepResult::Stuck { op }),
-                StepResult::Value => {
-                    Err(EvalError::Malformed("active subterm was a value".into()))
-                }
+                StepResult::Value => Err(EvalError::Malformed("active subterm was a value".into())),
             }
         }
     }
@@ -655,11 +637,8 @@ mod tests {
 
     fn sig_amb() -> Signature {
         let mut sig = Signature::new();
-        sig.declare(
-            "amb",
-            vec![("decide".into(), OpSig { arg: Type::unit(), ret: Type::bool() })],
-        )
-        .unwrap();
+        sig.declare("amb", vec![("decide".into(), OpSig { arg: Type::unit(), ret: Type::bool() })])
+            .unwrap();
         sig
     }
 
@@ -687,10 +666,7 @@ mod tests {
     fn values_do_not_step() {
         let sig = Signature::new();
         let g = zero_g(Type::loss());
-        assert_eq!(
-            step(&sig, &g, &Effect::empty(), &Expr::lossc(1.0)).unwrap(),
-            StepResult::Value
-        );
+        assert_eq!(step(&sig, &g, &Effect::empty(), &Expr::lossc(1.0)).unwrap(), StepResult::Value);
     }
 
     #[test]
@@ -775,9 +751,7 @@ mod tests {
 
     #[test]
     fn split_stuck_finds_context() {
-        let e = Expr::Succ(
-            Expr::OpCall { op: "decide".into(), arg: Expr::unit().rc() }.rc(),
-        );
+        let e = Expr::Succ(Expr::OpCall { op: "decide".into(), arg: Expr::unit().rc() }.rc());
         let s = split_stuck(&e).unwrap();
         assert_eq!(s.op, "decide");
         assert_eq!(s.path.len(), 1);

@@ -223,11 +223,9 @@ fn subst_in(e: &Expr, x: &str, v: &Expr, fv: &BTreeSet<String>) -> Expr {
         Expr::Then { e, lam } => {
             Expr::Then { e: rc_subst(e, x, v, fv), lam: rc_subst(lam, x, v, fv) }
         }
-        Expr::Local { eff, g, e } => Expr::Local {
-            eff: eff.clone(),
-            g: rc_subst(g, x, v, fv),
-            e: rc_subst(e, x, v, fv),
-        },
+        Expr::Local { eff, g, e } => {
+            Expr::Local { eff: eff.clone(), g: rc_subst(g, x, v, fv), e: rc_subst(e, x, v, fv) }
+        }
         Expr::Reset(a) => Expr::Reset(rc_subst(a, x, v, fv)),
     }
 }
@@ -330,11 +328,8 @@ mod tests {
             }],
             ret: RetClause { p: "p".into(), x: "x".into(), body: Expr::Var("x".into()).rc() },
         };
-        let e = Expr::Handle {
-            handler: Rc::new(h),
-            from: Expr::unit().rc(),
-            body: Expr::tt().rc(),
-        };
+        let e =
+            Expr::Handle { handler: Rc::new(h), from: Expr::unit().rc(), body: Expr::tt().rc() };
         let r = subst(&e, "free", &Expr::lossc(9.0));
         match r {
             Expr::Handle { handler, .. } => {

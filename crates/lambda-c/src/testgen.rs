@@ -168,7 +168,9 @@ impl ProgramGen {
                 let e2 = self.gen_expr(&env2, &Type::loss(), eff, d);
                 build::then(e1, eff.clone(), &x, Type::loss(), e2)
             }
-            8 => build::local0(eff.clone(), Type::loss(), self.gen_expr(env, &Type::loss(), eff, d)),
+            8 => {
+                build::local0(eff.clone(), Type::loss(), self.gen_expr(env, &Type::loss(), eff, d))
+            }
             _ => self.maybe_handled(env, &Type::loss(), eff, d),
         }
     }

@@ -49,18 +49,14 @@ pub fn type_of(sig: &Signature, env: &Env, e: &Expr, eff: &Effect) -> Result<Typ
                 .ok_or_else(|| TypeError(format!("unknown primitive `{name}`")))?;
             let at = type_of(sig, env, arg, eff)?;
             if at != def.arg_ty {
-                return err(format!(
-                    "primitive `{name}` expects {}, got {at}",
-                    def.arg_ty
-                ));
+                return err(format!("primitive `{name}` expects {}, got {at}", def.arg_ty));
             }
             Ok(def.ret_ty)
         }
         // var
-        Expr::Var(x) => env
-            .get(x)
-            .cloned()
-            .ok_or_else(|| TypeError(format!("unbound variable `{x}`"))),
+        Expr::Var(x) => {
+            env.get(x).cloned().ok_or_else(|| TypeError(format!("unbound variable `{x}`")))
+        }
         // abs — the body is checked at the annotated effect; the abstraction
         // itself may sit at any ambient effect.
         Expr::Lam { eff: body_eff, var, ty, body } => {
@@ -362,11 +358,8 @@ mod tests {
 
     fn amb_sig() -> Signature {
         let mut sig = Signature::new();
-        sig.declare(
-            "amb",
-            vec![("decide".into(), OpSig { arg: Type::unit(), ret: Type::bool() })],
-        )
-        .unwrap();
+        sig.declare("amb", vec![("decide".into(), OpSig { arg: Type::unit(), ret: Type::bool() })])
+            .unwrap();
         sig
     }
 

@@ -12,10 +12,7 @@ fn constants_render() {
     assert_eq!(ch('a').to_string(), "'a'");
     assert_eq!(s("hi").to_string(), "\"hi\"");
     assert_eq!(Expr::nat(2).to_string(), "succ(succ(zero))");
-    assert_eq!(
-        Expr::lossv(lambda_c::LossVal::pair(1.0, 2.0)).to_string(),
-        "(1, 2)"
-    );
+    assert_eq!(Expr::lossv(lambda_c::LossVal::pair(1.0, 2.0)).to_string(), "(1, 2)");
 }
 
 #[test]
@@ -29,10 +26,7 @@ fn composite_expressions_render() {
     assert_eq!(op("decide", unit()).to_string(), "decide(())");
     assert_eq!(reset(unit()).to_string(), "reset(())");
     assert_eq!(add(v("a"), v("b")).to_string(), "add((a, b))");
-    assert_eq!(
-        Expr::list(Type::loss(), vec![lc(1.0)]).to_string(),
-        "cons(1, nil)"
-    );
+    assert_eq!(Expr::list(Type::loss(), vec![lc(1.0)]).to_string(), "cons(1, nil)");
     assert_eq!(
         Expr::Iter(Expr::nat(1).rc(), lc(0.0).rc(), v("f").rc()).to_string(),
         "iter(succ(zero), 0, f)"

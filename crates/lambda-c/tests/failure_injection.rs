@@ -171,13 +171,9 @@ fn fuel_error_reports_step_count() {
 #[test]
 fn unhandled_op_reported_in_big_step_outcome() {
     let sig = amb_sig();
-    let out = lambda_c::eval_closed(
-        &sig,
-        op("decide", unit()),
-        Type::bool(),
-        Effect::single("amb"),
-    )
-    .unwrap();
+    let out =
+        lambda_c::eval_closed(&sig, op("decide", unit()), Type::bool(), Effect::single("amb"))
+            .unwrap();
     assert_eq!(out.stuck_on.as_deref(), Some("decide"));
     assert!(!out.is_value());
 }

@@ -6,7 +6,7 @@ use lambda_c::bigstep::eval;
 use lambda_c::smallstep::{step, StepResult};
 use lambda_c::syntax::Expr;
 use lambda_c::testgen::{gen_signature, ProgramGen};
-use lambda_c::typecheck::{check_program, Env, type_of};
+use lambda_c::typecheck::{check_program, type_of, Env};
 use proptest::prelude::*;
 
 const DEPTH: u32 = 4;

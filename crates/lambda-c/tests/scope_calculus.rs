@@ -64,12 +64,7 @@ fn default_scope_reaches_past_the_handler() {
         "b",
         Type::bool(),
         handle0(argmin_handler(Effect::empty()), op("decide", unit())),
-        seq(
-            Effect::empty(),
-            Type::unit(),
-            loss(if_(v("b"), lc(10.0), lc(1.0))),
-            v("b"),
-        ),
+        seq(Effect::empty(), Type::unit(), loss(if_(v("b"), lc(10.0), lc(1.0))), v("b")),
     );
     let (l, b) = run(&sig, e, Type::bool());
     assert_eq!(b, Expr::ff(), "argmin sees the downstream loss and picks false");
@@ -88,12 +83,7 @@ fn local_zero_cuts_the_scope() {
             Type::bool(),
             handle0(argmin_handler(Effect::empty()), op("decide", unit())),
         ),
-        seq(
-            Effect::empty(),
-            Type::unit(),
-            loss(if_(v("b"), lc(10.0), lc(1.0))),
-            v("b"),
-        ),
+        seq(Effect::empty(), Type::unit(), loss(if_(v("b"), lc(10.0), lc(1.0))), v("b")),
     );
     let (l, b) = run(&sig, e, Type::bool());
     assert_eq!(b, Expr::tt(), "tie under the zero continuation breaks to true");
@@ -105,12 +95,7 @@ fn general_local_installs_a_custom_continuation() {
     // ⟨with h handle decide()⟩_{λb. if b then 100 else 0}: the custom
     // continuation dominates the (real) downstream loss table.
     let sig = amb_sig();
-    let g = lam(
-        Effect::empty(),
-        "b",
-        Type::bool(),
-        if_(v("b"), lc(100.0), lc(0.0)),
-    );
+    let g = lam(Effect::empty(), "b", Type::bool(), if_(v("b"), lc(100.0), lc(0.0)));
     let e = let_(
         Effect::empty(),
         "b",
@@ -120,12 +105,7 @@ fn general_local_installs_a_custom_continuation() {
             g: g.rc(),
             e: handle0(argmin_handler(Effect::empty()), op("decide", unit())).rc(),
         },
-        seq(
-            Effect::empty(),
-            Type::unit(),
-            loss(if_(v("b"), lc(1.0), lc(50.0))),
-            v("b"),
-        ),
+        seq(Effect::empty(), Type::unit(), loss(if_(v("b"), lc(1.0), lc(50.0))), v("b")),
     );
     let (l, b) = run(&sig, e, Type::bool());
     assert_eq!(b, Expr::ff(), "the installed continuation charges true 100");
@@ -147,12 +127,7 @@ fn reset_hides_losses_from_probes() {
             eamb.clone(),
             Type::unit(),
             loss(if_(v("b"), lc(5.0), lc(1.0))),
-            seq(
-                eamb.clone(),
-                Type::unit(),
-                reset(loss(if_(v("b"), lc(0.0), lc(100.0)))),
-                v("b"),
-            ),
+            seq(eamb.clone(), Type::unit(), reset(loss(if_(v("b"), lc(0.0), lc(100.0)))), v("b")),
         ),
     );
     let e = handle0(argmin_handler(Effect::empty()), body);
@@ -179,12 +154,7 @@ fn lreset_makes_sequential_choices_independent() {
                     "b",
                     Type::bool(),
                     op("decide", unit()),
-                    seq(
-                        eamb,
-                        Type::unit(),
-                        loss(if_(v("b"), lc(t), lc(f))),
-                        v("b"),
-                    ),
+                    seq(eamb, Type::unit(), loss(if_(v("b"), lc(t), lc(f))), v("b")),
                 ),
             ),
         )
@@ -194,13 +164,7 @@ fn lreset_makes_sequential_choices_independent() {
         "b1",
         Type::bool(),
         round(true),
-        let_(
-            Effect::empty(),
-            "b2",
-            Type::bool(),
-            round(false),
-            pair(v("b1"), v("b2")),
-        ),
+        let_(Effect::empty(), "b2", Type::bool(), round(false), pair(v("b1"), v("b2"))),
     );
     let (l, p) = run(&sig, e, Type::Tuple(vec![Type::bool(), Type::bool()]));
     assert!(l.is_zero(), "lreset drops every round's losses, got {l}");

@@ -19,9 +19,7 @@ effect! {
 /// A handler that always returns the fixed learning rate `alpha`
 /// (the paper's `readLR α`).
 pub fn read_lr<B: Clone + 'static>(alpha: f64) -> Handler<f64, B, B> {
-    Handler::builder::<Lr>()
-        .on::<Lrate>(move |(), _l, k| k.resume(alpha))
-        .build_identity()
+    Handler::builder::<Lr>().on::<Lrate>(move |(), _l, k| k.resume(alpha)).build_identity()
 }
 
 /// The paper's `tuneLR (α1, α2)` generalised to a grid: probes the loss of

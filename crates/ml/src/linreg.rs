@@ -49,11 +49,7 @@ pub fn train_handler_sgd(data: &Dataset, init: (f64, f64), lr: f64, epochs: usiz
 /// wrapped in `lreset` exactly as the paper's `foldM` loop body — and runs
 /// it once. Demonstrates that `lreset` makes per-point decisions
 /// independent even within a single program.
-pub fn train_handler_sgd_monadic(
-    data: &Dataset,
-    init: (f64, f64),
-    lr: f64,
-) -> (f64, f64) {
+pub fn train_handler_sgd_monadic(data: &Dataset, init: (f64, f64), lr: f64) -> (f64, f64) {
     fn go(
         points: std::rc::Rc<Vec<(f64, f64)>>,
         i: usize,

@@ -25,10 +25,7 @@ effect! {
 
 /// Sequences probes of the choice continuation at each of `points`,
 /// collecting the probed losses. (Monadic `mapM (l ·) points`.)
-pub fn probe_losses<L: Loss>(
-    l: &Choice<L, Vec<f64>>,
-    points: Vec<Vec<f64>>,
-) -> Sel<L, Vec<L>> {
+pub fn probe_losses<L: Loss>(l: &Choice<L, Vec<f64>>, points: Vec<Vec<f64>>) -> Sel<L, Vec<L>> {
     fn go<L: Loss>(
         l: Choice<L, Vec<f64>>,
         points: std::rc::Rc<Vec<Vec<f64>>>,
@@ -64,9 +61,8 @@ pub fn autodiff(l: &Choice<f64, Vec<f64>>, p: &[f64]) -> Sel<f64, Vec<f64>> {
         minus[i] -= h;
         points.push(minus);
     }
-    probe_losses(l, points).map(move |ls| {
-        (0..dim).map(|i| (ls[2 * i] - ls[2 * i + 1]) / (2.0 * steps[i])).collect()
-    })
+    probe_losses(l, points)
+        .map(move |ls| (0..dim).map(|i| (ls[2 * i] - ls[2 * i + 1]) / (2.0 * steps[i])).collect())
 }
 
 /// The gradient-descent handler `hOpt` with learning rate `lr`.
@@ -74,8 +70,7 @@ pub fn gd_handler<B: Clone + 'static>(lr: f64) -> Handler<f64, B, B> {
     Handler::builder::<Opt>()
         .on::<Optimize>(move |p, l, k| {
             autodiff(&l, &p).and_then(move |ds| {
-                let p2: Vec<f64> =
-                    p.iter().zip(&ds).map(|(w, d)| w - lr * d).collect();
+                let p2: Vec<f64> = p.iter().zip(&ds).map(|(w, d)| w - lr * d).collect();
                 k.resume(p2)
             })
         })
@@ -92,8 +87,7 @@ pub fn gd_handler_tuned<B: Clone + 'static>() -> Handler<f64, B, B> {
                 let p = p.clone();
                 let k = k.clone();
                 perform::<f64, crate::hyper::Lrate>(()).and_then(move |alpha| {
-                    let p2: Vec<f64> =
-                        p.iter().zip(&ds).map(|(w, d)| w - alpha * d).collect();
+                    let p2: Vec<f64> = p.iter().zip(&ds).map(|(w, d)| w - alpha * d).collect();
                     k.resume(p2)
                 })
             })
@@ -154,9 +148,7 @@ mod tests {
     #[test]
     fn autodiff_of_downstream_quadratic() {
         let h: Handler<f64, Vec<f64>, Vec<f64>> = Handler::builder::<Opt>()
-            .on::<Optimize>(|p, l, k| {
-                autodiff(&l, &p).and_then(move |g| k.resume(g))
-            })
+            .on::<Optimize>(|p, l, k| autodiff(&l, &p).and_then(move |g| k.resume(g)))
             .build_identity();
         // loss = (p0 − 1)² + (p1 + 2)²; at (0,0) gradient = (−2, 4)
         let prog = perform::<f64, Optimize>(vec![0.0, 0.0]).and_then(|p| {

@@ -48,9 +48,7 @@ pub fn max_with(l: &Choice<f64, String>, candidates: Vec<String>) -> Sel<f64, St
 /// The greedy handler `hmax`: `max ↦ λx l k. b ← maxWith l x; k b`.
 pub fn hmax<B: Clone + 'static>() -> Handler<f64, B, B> {
     Handler::builder::<Max>()
-        .on::<PickMax>(|cands, l, k| {
-            max_with(&l, cands).and_then(move |b| k.resume(b))
-        })
+        .on::<PickMax>(|cands, l, k| max_with(&l, cands).and_then(move |b| k.resume(b)))
         .build_identity()
 }
 
@@ -71,9 +69,7 @@ pub fn distinct_reward(s: &str) -> Sel<f64, ()> {
 /// `"password is " ++ s`.
 pub fn password_program(candidates: Vec<String>) -> Sel<f64, String> {
     perform::<f64, PickMax>(candidates).and_then(|s| {
-        len_reward(&s)
-            .then(distinct_reward(&s))
-            .map(move |_| format!("password is {s}"))
+        len_reward(&s).then(distinct_reward(&s)).map(move |_| format!("password is {s}"))
     })
 }
 

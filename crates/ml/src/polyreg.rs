@@ -102,10 +102,11 @@ pub fn gaussian_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         a.swap(col, piv);
         b.swap(col, piv);
         // eliminate
+        let pivot_row = a[col].clone();
         for r in (col + 1)..n {
-            let f = a[r][col] / a[col][col];
-            for c in col..n {
-                a[r][c] -= f * a[col][c];
+            let f = a[r][col] / pivot_row[col];
+            for (cell, pv) in a[r][col..].iter_mut().zip(&pivot_row[col..]) {
+                *cell -= f * pv;
             }
             b[r] -= f * b[col];
         }

@@ -101,8 +101,8 @@ where
     let hmin = descent_handler(lr);
     let hmax = ascent_handler(lr);
     for _ in 0..iters {
-        let prog = handle(&hmin, handle(&hmax, round(x.clone(), y.clone(), value.clone())))
-            .lreset();
+        let prog =
+            handle(&hmin, handle(&hmax, round(x.clone(), y.clone(), value.clone()))).lreset();
         let (_, (x2, y2)) = prog.run_unwrap();
         x = x2;
         y = y2;

@@ -10,6 +10,12 @@
 use crate::sel::{LossFn, Sel};
 use std::rc::Rc;
 
+/// One stage of a dependent product: given the moves played so far, the
+/// selection function for the next move. The shared currency of
+/// [`big_product_dep`], [`big_product`], and the game solvers built on
+/// them.
+pub type Stage<X, R> = Rc<dyn Fn(&[X]) -> Sel<X, R>>;
+
 /// Independent binary product `ε ⊗ δ ∈ S(X × Y)`:
 ///
 /// ```text
@@ -62,18 +68,12 @@ where
 /// function for move `i`. The result selects a whole play (a `Vec<X>`)
 /// optimal for every stage, by backward induction. This is the Escardó–
 /// Oliva "product of selection functions" used to solve sequential games.
-pub fn big_product_dep<X, R>(
-    stages: Vec<Rc<dyn Fn(&[X]) -> Sel<X, R>>>,
-) -> Sel<Vec<X>, R>
+pub fn big_product_dep<X, R>(stages: Vec<Stage<X, R>>) -> Sel<Vec<X>, R>
 where
     X: Clone + 'static,
     R: Clone + 'static,
 {
-    fn go<X, R>(
-        history: Vec<X>,
-        stages: Rc<Vec<Rc<dyn Fn(&[X]) -> Sel<X, R>>>>,
-        i: usize,
-    ) -> Sel<Vec<X>, R>
+    fn go<X, R>(history: Vec<X>, stages: Rc<Vec<Stage<X, R>>>, i: usize) -> Sel<Vec<X>, R>
     where
         X: Clone + 'static,
         R: Clone + 'static,
@@ -98,11 +98,11 @@ where
     X: Clone + 'static,
     R: Clone + 'static,
 {
-    let stages: Vec<Rc<dyn Fn(&[X]) -> Sel<X, R>>> = selections
+    let stages: Vec<Stage<X, R>> = selections
         .into_iter()
         .map(|s| {
             let s = s.clone();
-            Rc::new(move |_: &[X]| s.clone()) as Rc<dyn Fn(&[X]) -> Sel<X, R>>
+            Rc::new(move |_: &[X]| s.clone()) as Stage<X, R>
         })
         .collect();
     big_product_dep(stages)
@@ -141,11 +141,8 @@ mod tests {
     #[test]
     fn big_product_exhaustive_three_bits() {
         // Three boolean choices maximising the number of trues.
-        let sels = vec![
-            argmax(vec![false, true]),
-            argmax(vec![false, true]),
-            argmax(vec![false, true]),
-        ];
+        let sels =
+            vec![argmax(vec![false, true]), argmax(vec![false, true]), argmax(vec![false, true])];
         let s = big_product(sels);
         let bits = s.select(|bs: &Vec<bool>| bs.iter().filter(|b| **b).count() as f64);
         assert_eq!(bits, vec![true, true, true]);
@@ -155,10 +152,8 @@ mod tests {
     fn big_product_alternating_minimax_two_rounds() {
         // Moves m1 (max), m2 (min) over {0,1}: payoff table indexed by both.
         let table = [[1.0_f64, 4.0], [3.0, 2.0]];
-        let stages: Vec<Rc<dyn Fn(&[usize]) -> Sel<usize, f64>>> = vec![
-            Rc::new(|_| argmax(vec![0usize, 1])),
-            Rc::new(|_| argmin(vec![0usize, 1])),
-        ];
+        let stages: Vec<Stage<usize, f64>> =
+            vec![Rc::new(|_| argmax(vec![0usize, 1])), Rc::new(|_| argmin(vec![0usize, 1]))];
         let s = big_product_dep(stages);
         let play = s.select(move |ms: &Vec<usize>| table[ms[0]][ms[1]]);
         // max of (min row): row0 -> 1, row1 -> 2; maximiser plays row 1,
@@ -169,7 +164,7 @@ mod tests {
     #[test]
     fn big_product_dep_history_restricts_moves() {
         // Second move must differ from the first; maximise 10*m0 + m1.
-        let stages: Vec<Rc<dyn Fn(&[usize]) -> Sel<usize, f64>>> = vec![
+        let stages: Vec<Stage<usize, f64>> = vec![
             Rc::new(|_| argmax(vec![0usize, 1, 2])),
             Rc::new(|h: &[usize]| {
                 let prev = h[0];

@@ -52,10 +52,14 @@ impl<A: Monoid, B: Monoid> Monoid for (A, B) {
 /// A loss function for [`SelW`].
 pub type WLossFn<X, R> = Rc<dyn Fn(&X) -> R>;
 
+/// The payload of a [`SelW`]: run under a loss function, produce the
+/// recorded loss and the selected value.
+pub type SelWRun<X, R> = Rc<dyn Fn(WLossFn<X, R>) -> (R, X)>;
+
 /// An element of the augmented selection monad
 /// `S_W(X) = (X → R) → (R × X)`.
 pub struct SelW<X, R> {
-    run: Rc<dyn Fn(WLossFn<X, R>) -> (R, X)>,
+    run: SelWRun<X, R>,
 }
 
 impl<X, R> Clone for SelW<X, R> {

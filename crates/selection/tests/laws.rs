@@ -6,7 +6,9 @@
 use proptest::prelude::*;
 use selection::{argmax, argmin, argmin_by, product, Sel, SelW};
 
-fn gammas() -> Vec<(&'static str, fn(&i32) -> f64)> {
+type NamedGamma = (&'static str, fn(&i32) -> f64);
+
+fn gammas() -> Vec<NamedGamma> {
     vec![
         ("abs", |x: &i32| (*x as f64).abs()),
         ("sq-dist-3", |x: &i32| ((*x - 3) as f64) * ((*x - 3) as f64)),

@@ -7,8 +7,7 @@
 use selc_ml::password::{password_baseline, run_password};
 
 fn main() {
-    let candidates: Vec<String> =
-        ["aaa", "aabb", "abc"].iter().map(|s| (*s).to_owned()).collect();
+    let candidates: Vec<String> = ["aaa", "aabb", "abc"].iter().map(|s| (*s).to_owned()).collect();
 
     let (reward, message) = run_password(candidates.clone());
     println!("{message}   (reward {reward})");
@@ -20,10 +19,8 @@ fn main() {
     assert_eq!((reward, message), (breward, bmessage));
 
     // A bigger pool: criteria are len(s) + distinct(s)².
-    let pool: Vec<String> = ["qwerty", "zz", "abcdefg", "aaaaaaaaaa", "xyzw"]
-        .iter()
-        .map(|s| (*s).to_owned())
-        .collect();
+    let pool: Vec<String> =
+        ["qwerty", "zz", "abcdefg", "aaaaaaaaaa", "xyzw"].iter().map(|s| (*s).to_owned()).collect();
     let (r, m) = run_password(pool);
     println!("{m}   (reward {r})");
     assert_eq!(m, "password is abcdefg"); // 7 + 49

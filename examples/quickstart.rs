@@ -72,8 +72,8 @@ fn main() {
         })
         .ret(|b| Sel::pure(vec![b]))
         .build();
-    let two_decides = perform::<f64, Decide>(())
-        .and_then(|x| perform::<f64, Decide>(()).map(move |y| x && y));
+    let two_decides =
+        perform::<f64, Decide>(()).and_then(|x| perform::<f64, Decide>(()).map(move |y| x && y));
     let (_, results) = handle(&all, two_decides).run_unwrap();
     println!("all-results handler: {results:?}");
     assert_eq!(results, vec![true, false, false, false]);

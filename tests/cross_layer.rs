@@ -69,12 +69,9 @@ impl DTree {
     fn to_lambda_c(&self) -> Expr {
         let eamb = Effect::single("amb");
         match self {
-            DTree::Leaf { result, extra } => lc::seq(
-                eamb,
-                Type::unit(),
-                lc::loss(lc::lc(*extra)),
-                lc::ch(*result),
-            ),
+            DTree::Leaf { result, extra } => {
+                lc::seq(eamb, Type::unit(), lc::loss(lc::lc(*extra)), lc::ch(*result))
+            }
             DTree::Node { on_true, on_false, t, f } => lc::let_(
                 eamb.clone(),
                 "b",
@@ -103,8 +100,7 @@ impl DTree {
                 perform::<f64, Decide>(()).and_then(move |b| {
                     let cost = if b { on_true } else { on_false };
                     let (t, f) = (t.clone(), f.clone());
-                    loss(cost)
-                        .and_then(move |_| if b { t.to_sel() } else { f.to_sel() })
+                    loss(cost).and_then(move |_| if b { t.to_sel() } else { f.to_sel() })
                 })
             }
         }
@@ -150,8 +146,7 @@ fn sel_argmin_handler() -> Handler<f64, char, char> {
         .on::<Decide>(|(), l, k| {
             l.at(true).and_then(move |y| {
                 let (l, k) = (l.clone(), k.clone());
-                l.at(false)
-                    .and_then(move |z| if y <= z { k.resume(true) } else { k.resume(false) })
+                l.at(false).and_then(move |z| if y <= z { k.resume(true) } else { k.resume(false) })
             })
         })
         .build_identity()
@@ -161,10 +156,7 @@ fn lambda_c_run(tree: &DTree) -> (f64, char) {
     let mut sig = lambda_c::Signature::new();
     sig.declare(
         "amb",
-        vec![(
-            "decide".into(),
-            lambda_c::OpSig { arg: Type::unit(), ret: Type::bool() },
-        )],
+        vec![("decide".into(), lambda_c::OpSig { arg: Type::unit(), ret: Type::bool() })],
     )
     .unwrap();
     let prog = lc::handle0(lc_argmin_handler(), tree.to_lambda_c());

@@ -96,11 +96,10 @@ fn e5b_tune_lr_cross_layer() {
 
     // library version on the same optimisation shape: err(α) = (3 − 6α)²
     use selc::{handle, loss, perform, Sel};
-    let step: Sel<f64, f64> =
-        perform::<f64, selc_ml::hyper::Lrate>(()).and_then(|alpha| {
-            let err = (3.0 - 6.0 * alpha) * (3.0 - 6.0 * alpha);
-            loss(err).map(move |_| err)
-        });
+    let step: Sel<f64, f64> = perform::<f64, selc_ml::hyper::Lrate>(()).and_then(|alpha| {
+        let err = (3.0 - 6.0 * alpha) * (3.0 - 6.0 * alpha);
+        loss(err).map(move |_| err)
+    });
     let (l, best) = handle(&selc_ml::hyper::tune_lr(vec![1.0, 0.5]), step).run_unwrap();
     assert_eq!(best, 0.5);
     assert_eq!(l, 0.0);
@@ -136,11 +135,10 @@ fn e7_nash() {
 /// §2.1: the one-move game solved by the Kleisli extension of argmax.
 #[test]
 fn e8_selection_monad_game() {
-    use selection::{argmax, argmin_by, Sel};
-    use std::rc::Rc;
+    use selection::{argmax, argmin_by, LossFn, Sel};
     let eval = |x: usize, y: usize| [[5.0_f64, 3.0], [2.0, 9.0]][x][y];
     let f = move |x: usize| {
-        Sel::new(move |g: Rc<dyn Fn(&(usize, usize)) -> f64>| {
+        Sel::new(move |g: LossFn<(usize, usize), f64>| {
             let y = argmin_by(vec![0usize, 1], |y| g(&(x, *y)));
             (x, y)
         })

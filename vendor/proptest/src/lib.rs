@@ -1,0 +1,560 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small, deterministic property-testing harness exposing the subset of the
+//! proptest API its test suites use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(..)]` and
+//!   `pat in strategy` arguments;
+//! * strategies: ranges over primitives, [`strategy::Just`],
+//!   [`strategy::any`], tuples, [`collection::vec`],
+//!   `prop_map`, `prop_recursive`, and [`prop_oneof!`];
+//! * assertions: [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//!   and [`test_runner::TestCaseError`].
+//!
+//! Differences from real proptest: no shrinking (a failing case reports the
+//! generated inputs via the assertion message only), and generation is
+//! deterministic per test function (seeded from `file!()`/`line!()`), so
+//! failures reproduce exactly in CI.
+
+pub mod test_runner {
+    use rand::SeedableRng as _;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of accepted (non-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a test case did not pass: a genuine failure, or a
+    /// `prop_assume!` rejection (the case is skipped, not failed).
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// The RNG threaded through strategy generation.
+    pub struct TestRng {
+        pub(crate) inner: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        /// Deterministic per test function: the same test generates the
+        /// same case sequence on every run. The name is part of the seed
+        /// because `file!()`/`line!()` resolve to the `proptest!`
+        /// invocation site, which is shared by every function in a block.
+        pub fn deterministic(file: &str, line: u32, name: &str) -> TestRng {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in file.bytes().chain(line.to_le_bytes()).chain(name.bytes()) {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { inner: rand::rngs::StdRng::seed_from_u64(h) }
+        }
+
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+    use std::marker::PhantomData;
+    use std::rc::Rc;
+
+    /// A generator of values (proptest's `Strategy`, minus shrinking).
+    pub trait Strategy: Clone + 'static {
+        type Value: 'static;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erases the strategy (cheap, `Rc`-shared, cloneable).
+        fn boxed(self) -> BoxedStrategy<Self::Value> {
+            let me = self;
+            BoxedStrategy(Rc::new(move |rng| me.generate(rng)))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: 'static>(self, f: impl Fn(Self::Value) -> O + 'static) -> Map<Self, O> {
+            Map { inner: self, f: Rc::new(f) }
+        }
+
+        /// Recursive strategies: `recurse` receives a strategy for the
+        /// recursive positions; the result nests at most `depth` levels
+        /// before bottoming out at `self`. (`desired_size` and
+        /// `expected_branch_size` are accepted for API compatibility and
+        /// ignored — there is no sizing heuristic here.)
+        fn prop_recursive<S2: Strategy<Value = Self::Value>>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: impl Fn(BoxedStrategy<Self::Value>) -> S2,
+        ) -> BoxedStrategy<Self::Value> {
+            let mut s = self.clone().boxed();
+            for _ in 0..depth {
+                // Mix the leaf back in at every level so generated trees
+                // vary in depth instead of always reaching `depth`.
+                s = OneOf::new(vec![self.clone().boxed(), recurse(s).boxed()]).boxed();
+            }
+            s
+        }
+    }
+
+    /// A type-erased, shareable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+        fn boxed(self) -> BoxedStrategy<T> {
+            self
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `any::<T>()` — uniform over the type's whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    /// Types `any::<T>()` can generate.
+    pub trait Arbitrary: Sized + 'static {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.inner.gen()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.inner.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+    range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S: Strategy, O> {
+        inner: S,
+        f: Rc<dyn Fn(S::Value) -> O>,
+    }
+
+    // Manual impl: `S::Value` need not be Clone, only the strategy itself.
+    impl<S: Strategy, O> Clone for Map<S, O> {
+        fn clone(&self) -> Self {
+            Map { inner: self.inner.clone(), f: Rc::clone(&self.f) }
+        }
+    }
+
+    impl<S: Strategy, O: 'static> Strategy for Map<S, O> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among alternatives (the [`prop_oneof!`](crate::prop_oneof) macro).
+    pub struct OneOf<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for OneOf<T> {
+        fn clone(&self) -> Self {
+            OneOf { arms: self.arms.clone() }
+        }
+    }
+
+    impl<T: 'static> OneOf<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one alternative");
+            OneOf { arms }
+        }
+    }
+
+    impl<T: 'static> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() as usize) % self.arms.len();
+            self.arms[i].generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Inclusive element-count bounds for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// `Vec` of values from `elem`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy { elem: self.elem.clone(), size: self.size }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let n = self.size.lo + (rng.next_u64() as usize) % span;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    impl<S: Strategy> VecStrategy<S> {
+        pub fn boxed(self) -> BoxedStrategy<Vec<S::Value>> {
+            Strategy::boxed(self)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// The test-defining macro. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs; the body runs in a
+/// closure returning `Result<(), TestCaseError>`, so `?` and early
+/// `return Err(..)` work as in real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl!(config = $cfg; $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl!(config = $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; ) => {};
+    (
+        config = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(file!(), line!(), stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(16).max(64);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest: too many prop_assume! rejections ({} attempts for {} cases)",
+                    attempts,
+                    config.cases,
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {} failed: {}", accepted + 1, msg)
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!(config = $cfg; $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($a),
+                    stringify!($b),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Skips (does not fail) the current case when the precondition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in -10i32..10, y in 0usize..5) {
+            prop_assert!((-10..10).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_respects_size(xs in crate::collection::vec(0u32..100, 1..12)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 12);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn fixed_size_vec(xs in crate::collection::vec(0u32..10, 25)) {
+            prop_assert_eq!(xs.len(), 25);
+        }
+
+        #[test]
+        fn map_and_oneof(v in prop_oneof![
+            (0i32..5).prop_map(|x| x * 2),
+            Just(100),
+        ]) {
+            prop_assert!(v == 100 || (v % 2 == 0 && v < 10));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_any(t in (0u8..4, 0u8..4), b in any::<bool>()) {
+            prop_assert!(t.0 < 4 && t.1 < 4);
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Clone, Debug)]
+        #[allow(dead_code)] // the Leaf payload exists to exercise prop_map
+        enum T {
+            Leaf(i32),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0i32..10).prop_map(T::Leaf);
+        let tree = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::TestRng::deterministic(file!(), line!(), "recursive");
+        let mut saw_node = false;
+        for _ in 0..64 {
+            let t = tree.generate(&mut rng);
+            assert!(depth(&t) <= 3);
+            saw_node |= matches!(t, T::Node(..));
+        }
+        assert!(saw_node, "recursion never taken");
+    }
+}
