@@ -1,0 +1,96 @@
+//! `selc-bench-record`: runs the bench suite and snapshots the medians.
+//!
+//! Invokes `cargo bench -p selc-bench` (optionally a single `--bench`
+//! target), parses the vendored harness's per-bench median lines, and
+//! writes `BENCH_<n>.json` at the repo root — `<n>` auto-increments past
+//! the largest existing snapshot, so the perf trajectory accumulates one
+//! file per recording:
+//!
+//! ```sh
+//! cargo run -p selc-bench --bin selc-bench-record --release
+//! cargo run -p selc-bench --bin selc-bench-record --release -- --bench e12_parallel
+//! ```
+//!
+//! JSON schema: `{"schema": 1, "recorded_at_unix": <secs>,
+//! "benches": {"<label>": <median ns/iter>}}`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    // crates/bench/ → repo root is two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root exists")
+}
+
+/// Parses one harness output line of the form
+/// `label median 123.4 ns/iter (min …, max …, N iters x M samples)`.
+fn parse_line(line: &str) -> Option<(String, f64)> {
+    let (label, rest) = line.split_once(" median ")?;
+    let median = rest.split_whitespace().next()?.parse::<f64>().ok()?;
+    rest.contains("ns/iter").then(|| (label.trim().to_string(), median))
+}
+
+fn next_snapshot_path(root: &Path) -> PathBuf {
+    let mut max_n = 0_u64;
+    if let Ok(entries) = std::fs::read_dir(root) {
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if let Some(n) = name.strip_prefix("BENCH_").and_then(|s| s.strip_suffix(".json")) {
+                if let Ok(n) = n.parse::<u64>() {
+                    max_n = max_n.max(n);
+                }
+            }
+        }
+    }
+    root.join(format!("BENCH_{}.json", max_n + 1))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let root = repo_root();
+
+    let mut cmd = Command::new(cargo);
+    cmd.current_dir(&root).args(["bench", "-p", "selc-bench"]);
+    let mut rest = args.iter();
+    while let Some(a) = rest.next() {
+        if a == "--bench" {
+            let target = rest.next().expect("--bench needs a target name");
+            cmd.args(["--bench", target]);
+        } else {
+            panic!("unknown argument {a:?}; usage: selc-bench-record [--bench <target>]");
+        }
+    }
+    eprintln!("running {cmd:?} …");
+    let out = cmd.output().expect("cargo bench runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "cargo bench failed:\n{}\n{}",
+        stdout,
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let benches: BTreeMap<String, f64> = stdout.lines().filter_map(parse_line).collect();
+    assert!(!benches.is_empty(), "no bench medians found in output:\n{stdout}");
+
+    let recorded_at = std::time::SystemTime::UNIX_EPOCH.elapsed().map(|d| d.as_secs()).unwrap_or(0);
+    let mut json = String::from("{\n  \"schema\": 1,\n");
+    json.push_str(&format!("  \"recorded_at_unix\": {recorded_at},\n  \"benches\": {{\n"));
+    let body: Vec<String> = benches
+        .iter()
+        .map(|(label, median)| format!("    \"{}\": {median:.1}", json_escape(label)))
+        .collect();
+    json.push_str(&body.join(",\n"));
+    json.push_str("\n  }\n}\n");
+
+    let path = next_snapshot_path(&root);
+    std::fs::write(&path, json).expect("snapshot written");
+    println!("recorded {} benches to {}", benches.len(), path.display());
+}

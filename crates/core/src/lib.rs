@@ -71,6 +71,8 @@ pub mod effect;
 pub mod handler;
 pub mod loss;
 pub mod memo;
+pub mod ordered;
+pub mod replay;
 pub mod runtime;
 pub mod sel;
 pub mod value;
@@ -78,7 +80,9 @@ pub mod value;
 pub use effect::{perform, Effect, Operation};
 pub use handler::{handle, handle_with, Choice, Handler, HandlerBuilder, Resume};
 pub use loss::Loss;
-pub use memo::MemoChoice;
+pub use memo::{MemoChoice, MemoStats};
+pub use ordered::OrderedLoss;
+pub use replay::{replay_loss, Replay, ReplaySpace};
 pub use runtime::{zero_cont, BindCont, LossCont, NodeCont, RawChoice, RawResume, SelRun};
 pub use sel::{loss, Sel, UnhandledOp};
 pub use value::Value;

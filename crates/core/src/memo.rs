@@ -27,6 +27,27 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::rc::Rc;
 
+/// Probe-cache counters, readable at any point through
+/// [`MemoChoice::stats`]. `probes` counts *real* (uncached) runs of the
+/// future; `hits` counts probes answered from the cache. The search
+/// engine's telemetry (`selc-engine`'s `SearchStats`) aggregates these
+/// across candidates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Real (uncached) probes: each one ran the future.
+    pub probes: u64,
+    /// Probes answered from the cache.
+    pub hits: u64,
+}
+
+impl MemoStats {
+    /// Component-wise sum, for aggregating across several caches.
+    #[must_use]
+    pub fn merged(&self, other: &MemoStats) -> MemoStats {
+        MemoStats { probes: self.probes + other.probes, hits: self.hits + other.hits }
+    }
+}
+
 /// A memoising wrapper around a choice continuation. Create with
 /// [`MemoChoice::new`] (hashable candidates) or [`MemoChoice::with_key`]
 /// (explicit key function, e.g. for `f64`-valued candidates).
@@ -37,7 +58,7 @@ where
     inner: Choice<L, R>,
     key: Rc<dyn Fn(&R) -> K>,
     cache: Rc<RefCell<HashMap<K, L>>>,
-    probes: Rc<RefCell<u64>>,
+    stats: Rc<RefCell<MemoStats>>,
 }
 
 impl<L, R, K: Eq + Hash> Clone for MemoChoice<L, R, K> {
@@ -46,7 +67,7 @@ impl<L, R, K: Eq + Hash> Clone for MemoChoice<L, R, K> {
             inner: self.inner.clone(),
             key: Rc::clone(&self.key),
             cache: Rc::clone(&self.cache),
-            probes: Rc::clone(&self.probes),
+            stats: Rc::clone(&self.stats),
         }
     }
 }
@@ -66,7 +87,7 @@ impl<L: Loss, R: Clone + 'static, K: Clone + Eq + Hash + 'static> MemoChoice<L, 
             inner: inner.clone(),
             key: Rc::new(key),
             cache: Rc::new(RefCell::new(HashMap::new())),
-            probes: Rc::new(RefCell::new(0)),
+            stats: Rc::new(RefCell::new(MemoStats::default())),
         }
     }
 
@@ -80,14 +101,15 @@ impl<L: Loss, R: Clone + 'static, K: Clone + Eq + Hash + 'static> MemoChoice<L, 
         Sel::from_fn(move |g| {
             let k = (me.key)(&y);
             if let Some(hit) = me.cache.borrow().get(&k) {
+                me.stats.borrow_mut().hits += 1;
                 return crate::eff::Eff::Pure((L::zero(), hit.clone()));
             }
             let cache = Rc::clone(&me.cache);
-            let probes = Rc::clone(&me.probes);
+            let stats = Rc::clone(&me.stats);
             me.inner
                 .at(y.clone())
                 .map(move |l| {
-                    *probes.borrow_mut() += 1;
+                    stats.borrow_mut().probes += 1;
                     cache.borrow_mut().insert(k.clone(), l.clone());
                     l
                 })
@@ -95,9 +117,14 @@ impl<L: Loss, R: Clone + 'static, K: Clone + Eq + Hash + 'static> MemoChoice<L, 
         })
     }
 
+    /// Probe/hit counters accumulated so far.
+    pub fn stats(&self) -> MemoStats {
+        *self.stats.borrow()
+    }
+
     /// Number of *real* (uncached) probes performed so far.
     pub fn real_probes(&self) -> u64 {
-        *self.probes.borrow()
+        self.stats().probes
     }
 }
 
@@ -187,6 +214,53 @@ mod tests {
             let b = handle(&tuner(grid, true, c2.clone()), future(c2)).run_unwrap();
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn stats_count_probes_and_hits() {
+        // Grid [1, 5, 1, 5, 1, 3]: three distinct rates → 3 real probes,
+        // three repeats → 3 hits. The stats handle shares state with the
+        // clause's clone, so reading it after the run sees the totals.
+        let grid = vec![1u32, 5, 1, 5, 1, 3];
+        let counter = Rc::new(RefCell::new(0u64));
+        let stats_cell: Rc<RefCell<Option<MemoStats>>> = Rc::new(RefCell::new(None));
+        let sink = Rc::clone(&stats_cell);
+        let h: Handler<f64, f64, u32> = Handler::builder::<Grid>()
+            .on::<PickRate>(move |(), l, _k| {
+                let m = MemoChoice::new(&l);
+                let grid = grid.clone();
+                let sink = Rc::clone(&sink);
+                let probe = {
+                    let m = m.clone();
+                    move |r: u32| m.at(r)
+                };
+                fn go(
+                    probe: Rc<dyn Fn(u32) -> Sel<f64, f64>>,
+                    grid: Rc<Vec<u32>>,
+                    i: usize,
+                    best: (u32, f64),
+                ) -> Sel<f64, u32> {
+                    if i == grid.len() {
+                        return Sel::pure(best.0);
+                    }
+                    let r = grid[i];
+                    probe(r).and_then(move |e| {
+                        let best = if e < best.1 { (r, e) } else { best };
+                        go(Rc::clone(&probe), Rc::clone(&grid), i + 1, best)
+                    })
+                }
+                go(Rc::new(probe), Rc::new(grid), 0, (0, f64::INFINITY)).map(move |w| {
+                    *sink.borrow_mut() = Some(m.stats());
+                    w
+                })
+            })
+            .ret(|_| Sel::pure(0))
+            .build();
+        let (_, best) = handle(&h, future(counter)).run_unwrap();
+        assert_eq!(best, 3);
+        let stats = stats_cell.borrow().expect("clause ran");
+        assert_eq!(stats, MemoStats { probes: 3, hits: 3 });
+        assert_eq!(stats.merged(&stats), MemoStats { probes: 6, hits: 6 });
     }
 
     #[test]

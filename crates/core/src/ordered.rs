@@ -1,0 +1,138 @@
+//! Totally ordered losses — the comparison contract of the search engine.
+//!
+//! The sequential handlers compare losses with `PartialOrd` (`<` on `f64`)
+//! as they scan candidates in order. A *parallel* argmin must instead
+//! merge per-worker bests, which is only deterministic under a **total**
+//! order: [`OrderedLoss::cmp_loss`] provides one, and `selc-engine`
+//! reduces winners by `(cmp_loss, candidate index)` lexicographically so
+//! the merged result is independent of thread interleaving.
+//!
+//! For branch-and-bound pruning the engine additionally keeps the best
+//! loss seen so far in a single atomic word. [`OrderedLoss::prune_bits`]
+//! supplies the encoding: a monotone order-embedding into `u64`. Loss
+//! types without a sensible embedding return `None` and simply opt out of
+//! pruning (the search stays correct, just exhaustive).
+
+use crate::loss::Loss;
+use std::cmp::Ordering;
+
+/// A loss monoid with a total order usable for deterministic parallel
+/// argmin/argmax and an optional atomic pruning encoding.
+///
+/// # Contract
+///
+/// * `cmp_loss` is a total order **consistent with the partial `<` the
+///   sequential scans use** wherever that is defined (for floats:
+///   [`f64::total_cmp`], which agrees with `<` on all non-NaN,
+///   non-negative-zero values);
+/// * when `prune_bits` returns `Some` for two values, the `u64`s compare
+///   exactly as `cmp_loss` does (a monotone order-embedding). Returning
+///   `None` disables pruning for this type; it must then do so for
+///   *every* value.
+pub trait OrderedLoss: Loss + Send + Sync {
+    /// Total order on losses; `Ordering::Less` means "strictly better"
+    /// for a minimising search.
+    fn cmp_loss(&self, other: &Self) -> Ordering;
+
+    /// Monotone embedding into `u64` for the engine's atomic shared
+    /// bound, or `None` to opt out of pruning.
+    fn prune_bits(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Order-preserving `u64` key for an `f64` (the classic sign-flip trick):
+/// `key(a) < key(b)` iff `a.total_cmp(b) == Less`.
+fn f64_sort_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+impl OrderedLoss for f64 {
+    fn cmp_loss(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+    fn prune_bits(&self) -> Option<u64> {
+        Some(f64_sort_key(*self))
+    }
+}
+
+impl OrderedLoss for f32 {
+    fn cmp_loss(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+    fn prune_bits(&self) -> Option<u64> {
+        Some(f64_sort_key(f64::from(*self)))
+    }
+}
+
+impl OrderedLoss for i64 {
+    fn cmp_loss(&self, other: &Self) -> Ordering {
+        self.cmp(other)
+    }
+    fn prune_bits(&self) -> Option<u64> {
+        // Shift the sign so two's-complement order becomes unsigned order.
+        Some((*self as u64) ^ (1 << 63))
+    }
+}
+
+/// Lexicographic order on product losses. No pruning encoding: two words
+/// do not fit in one atomic, and a partial order on the first component
+/// alone would be unsound.
+impl<A: OrderedLoss, B: OrderedLoss> OrderedLoss for (A, B) {
+    fn cmp_loss(&self, other: &Self) -> Ordering {
+        self.0.cmp_loss(&other.0).then_with(|| self.1.cmp_loss(&other.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_total_order_matches_lt_on_ordinary_values() {
+        let xs = [-3.5_f64, -1.0, 0.0, 0.25, 2.0, 1e9];
+        for a in xs {
+            for b in xs {
+                let by_cmp = a.cmp_loss(&b) == Ordering::Less;
+                assert_eq!(by_cmp, a < b, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_prune_bits_embed_the_order() {
+        let xs = [f64::NEG_INFINITY, -7.25, -0.0, 0.0, 1.5, 1e300, f64::INFINITY];
+        for a in xs {
+            for b in xs {
+                let (ka, kb) = (a.prune_bits().unwrap(), b.prune_bits().unwrap());
+                assert_eq!(ka.cmp(&kb), a.cmp_loss(&b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn i64_prune_bits_embed_the_order() {
+        let xs = [i64::MIN, -5, 0, 3, i64::MAX];
+        for a in xs {
+            for b in xs {
+                let (ka, kb) = (a.prune_bits().unwrap(), b.prune_bits().unwrap());
+                assert_eq!(ka.cmp(&kb), a.cmp_loss(&b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_order_is_lexicographic_and_unprunable() {
+        let a = (1.0_f64, 9.0_f64);
+        let b = (1.0, 2.0);
+        assert_eq!(a.cmp_loss(&b), Ordering::Greater);
+        assert_eq!(b.cmp_loss(&a), Ordering::Less);
+        assert_eq!(a.cmp_loss(&a), Ordering::Equal);
+        assert!(a.prune_bits().is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! Replayable programs — the factory contract of the search engine.
+//!
+//! `Eff` trees and `Sel` computations are woven out of `Rc<dyn Fn>`
+//! continuations (see [`crate::runtime`]), so they are neither `Send` nor
+//! `Sync` and can never migrate between threads. What *can* cross a
+//! thread boundary is a **factory**: plain `Send + Sync` data plus a pure
+//! recipe that rebuilds the program tree locally on whichever worker
+//! needs it. Rebuilding is sound because constructing a `Sel`/`Eff` tree
+//! performs no side effects (the substitution argument in `DESIGN.md`):
+//! every replay of the same factory denotes the same computation.
+//!
+//! [`Replay`] is the nullary form (one fixed program, rebuilt per
+//! worker); [`ReplaySpace`] is the indexed form (one program per
+//! candidate in a finite search space). Both are blanket-implemented for
+//! closures, so call sites just pass `move || …` / `move |i| …`.
+
+use crate::loss::Loss;
+use crate::sel::Sel;
+
+/// A thread-shippable recipe for one `Sel` program.
+pub trait Replay<L, A>: Send + Sync {
+    /// Builds a fresh copy of the program on the calling thread.
+    fn build(&self) -> Sel<L, A>;
+}
+
+impl<L, A, F> Replay<L, A> for F
+where
+    F: Fn() -> Sel<L, A> + Send + Sync,
+{
+    fn build(&self) -> Sel<L, A> {
+        self()
+    }
+}
+
+/// A thread-shippable recipe for a finite family of `Sel` programs,
+/// indexed by candidate number.
+pub trait ReplaySpace<L, A>: Send + Sync {
+    /// Builds a fresh copy of candidate `index`'s program on the calling
+    /// thread.
+    fn build(&self, index: usize) -> Sel<L, A>;
+}
+
+impl<L, A, F> ReplaySpace<L, A> for F
+where
+    F: Fn(usize) -> Sel<L, A> + Send + Sync,
+{
+    fn build(&self, index: usize) -> Sel<L, A> {
+        self(index)
+    }
+}
+
+/// Runs a replayed program to its recorded loss, panicking on unhandled
+/// operations (factories must produce fully handled programs).
+pub fn replay_loss<L: Loss, A: Clone + 'static>(program: &Sel<L, A>) -> L {
+    program.run().expect("replayed program reached the top level with an unhandled operation").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sel::loss;
+
+    #[test]
+    fn closures_are_replay_factories() {
+        let f = || loss(2.0).map(|_| 7_i32);
+        fn assert_replay<R: Replay<f64, i32>>(r: &R) -> (f64, i32) {
+            r.build().run_unwrap()
+        }
+        assert_eq!(assert_replay(&f), (2.0, 7));
+        assert_eq!(assert_replay(&f), (2.0, 7), "replays are repeatable");
+    }
+
+    #[test]
+    fn indexed_factories_build_per_candidate() {
+        let f = |i: usize| loss(i as f64).map(move |_| i);
+        fn assert_space<R: ReplaySpace<f64, usize>>(r: &R, i: usize) -> f64 {
+            replay_loss(&r.build(i))
+        }
+        assert_eq!(assert_space(&f, 0), 0.0);
+        assert_eq!(assert_space(&f, 3), 3.0);
+    }
+
+    #[test]
+    fn factories_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let f = || Sel::<f64, i32>::pure(1);
+        assert_send_sync(&f);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| f.build().run_unwrap());
+            assert_eq!(h.join().unwrap(), (0.0, 1));
+        });
+    }
+}

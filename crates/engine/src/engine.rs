@@ -1,0 +1,438 @@
+//! The engines: candidate-space search with deterministic reduction.
+//!
+//! An [`Engine`] evaluates every candidate in a finite space `0..space`
+//! through a [`CandidateEval`] and returns the argmin under the total
+//! order [`OrderedLoss::cmp_loss`], ties broken towards the smallest
+//! index. [`SequentialEngine`] is the single-threaded reference;
+//! [`ParallelEngine`] distributes chunks of the space over a fixed pool
+//! of `std::thread` workers and merges per-worker bests by
+//! `(loss, index)` — a commutative, associative, *total* reduction, so
+//! the winner is bit-identical to the sequential scan regardless of
+//! thread interleaving. Both share the branch-and-bound machinery of
+//! [`SharedBound`].
+
+use crate::bound::SharedBound;
+use crate::threads::configured_threads;
+use selc::{MemoStats, OrderedLoss};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How an engine asks for the loss of one candidate.
+///
+/// Implementations are shared by reference across worker threads, so all
+/// interior state must be thread-safe (atomics, locks, or nothing).
+pub trait CandidateEval<L: OrderedLoss>: Send + Sync {
+    /// Evaluates candidate `index` to its loss.
+    ///
+    /// The evaluator may consult `bound` *during* evaluation and return
+    /// `None` to abandon the candidate early — but only under the pruning
+    /// soundness condition (see [`crate::bound`]): `None` is a claim that
+    /// the candidate's final loss is **strictly** worse than a loss some
+    /// other candidate already achieved. Evaluators that cannot prove
+    /// this must always return `Some`.
+    fn eval(&self, index: usize, bound: &SharedBound<L>) -> Option<L>;
+
+    /// A cheap lower bound on candidate `index`'s loss, if one is
+    /// available before evaluating; engines skip candidates whose lower
+    /// bound the shared bound strictly dominates.
+    fn lower_bound(&self, _index: usize) -> Option<L> {
+        None
+    }
+
+    /// Probe-memoisation counters accumulated by the evaluator (see
+    /// [`selc::MemoChoice::stats`]); merged into [`SearchStats::memo`]
+    /// after the search.
+    fn memo_stats(&self) -> MemoStats {
+        MemoStats::default()
+    }
+}
+
+/// A plain-function evaluator: no pruning, no telemetry.
+pub struct FnEval<F>(pub F);
+
+impl<L, F> CandidateEval<L> for FnEval<F>
+where
+    L: OrderedLoss,
+    F: Fn(usize) -> L + Send + Sync,
+{
+    fn eval(&self, index: usize, _bound: &SharedBound<L>) -> Option<L> {
+        Some((self.0)(index))
+    }
+}
+
+/// Search telemetry: what the engine actually did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Candidates evaluated to completion.
+    pub evaluated: u64,
+    /// Candidates skipped (dominated lower bound) or abandoned mid-eval.
+    pub pruned: u64,
+    /// Workers the search ran with (1 for the sequential engine).
+    pub threads: usize,
+    /// Probe-memoisation counters reported by the evaluator.
+    pub memo: MemoStats,
+}
+
+/// The result of a search: the winning candidate, its loss, and stats.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Outcome<L> {
+    /// Index of the winner in `0..space`.
+    pub index: usize,
+    /// The winner's loss.
+    pub loss: L,
+    /// Telemetry for this search.
+    pub stats: SearchStats,
+}
+
+/// A strategy for searching a finite candidate space. `search` returns
+/// `None` only for an empty space.
+pub trait Engine {
+    /// Engine name, for bench labels and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Argmin over `0..space` under `eval`, deterministic tie-breaking
+    /// towards the smallest index.
+    fn search<L: OrderedLoss, E: CandidateEval<L> + ?Sized>(
+        &self,
+        space: usize,
+        eval: &E,
+    ) -> Option<Outcome<L>>;
+}
+
+/// One worker's contribution: local best plus (evaluated, pruned) counts.
+type WorkerResult<L> = (Option<(L, usize)>, u64, u64);
+
+/// Lexicographic `(loss, index)` merge — the deterministic reduction.
+fn better<L: OrderedLoss>(a: &(L, usize), b: &(L, usize)) -> bool {
+    match a.0.cmp_loss(&b.0) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.1 < b.1,
+    }
+}
+
+/// Evaluates `indices`, maintaining a local best and the shared bound.
+/// Returns `(local best, evaluated, pruned)`.
+fn scan<L, E>(
+    eval: &E,
+    indices: std::ops::Range<usize>,
+    bound: &SharedBound<L>,
+    prune: bool,
+    best: &mut Option<(L, usize)>,
+    evaluated: &mut u64,
+    pruned: &mut u64,
+) where
+    L: OrderedLoss,
+    E: CandidateEval<L> + ?Sized,
+{
+    for i in indices {
+        if prune {
+            if let Some(lb) = eval.lower_bound(i) {
+                if bound.dominated(&lb) {
+                    *pruned += 1;
+                    continue;
+                }
+            }
+        }
+        match eval.eval(i, bound) {
+            None => *pruned += 1,
+            Some(l) => {
+                *evaluated += 1;
+                if prune {
+                    bound.observe(&l);
+                }
+                let candidate = (l, i);
+                if best.as_ref().is_none_or(|b| better(&candidate, b)) {
+                    *best = Some(candidate);
+                }
+            }
+        }
+    }
+}
+
+/// The single-threaded reference engine (and differential-test oracle).
+#[derive(Clone, Copy, Debug)]
+pub struct SequentialEngine {
+    /// Enable branch-and-bound pruning against a (thread-local) bound.
+    pub prune: bool,
+}
+
+impl SequentialEngine {
+    /// An exhaustive sequential engine (no pruning).
+    pub fn exhaustive() -> SequentialEngine {
+        SequentialEngine { prune: false }
+    }
+
+    /// A sequential engine with branch-and-bound pruning.
+    pub fn pruning() -> SequentialEngine {
+        SequentialEngine { prune: true }
+    }
+}
+
+impl Engine for SequentialEngine {
+    fn name(&self) -> &'static str {
+        if self.prune {
+            "sequential+prune"
+        } else {
+            "sequential"
+        }
+    }
+
+    fn search<L: OrderedLoss, E: CandidateEval<L> + ?Sized>(
+        &self,
+        space: usize,
+        eval: &E,
+    ) -> Option<Outcome<L>> {
+        let bound = SharedBound::new();
+        let mut best = None;
+        let (mut evaluated, mut pruned) = (0, 0);
+        scan(eval, 0..space, &bound, self.prune, &mut best, &mut evaluated, &mut pruned);
+        best.map(|(loss, index)| Outcome {
+            index,
+            loss,
+            stats: SearchStats { evaluated, pruned, threads: 1, memo: eval.memo_stats() },
+        })
+    }
+}
+
+/// The parallel engine: a fixed-size `std::thread` worker pool fed by a
+/// chunked work queue (an atomic cursor over `0..space`), with the shared
+/// branch-and-bound bound and the deterministic `(loss, index)` merge.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelEngine {
+    /// Worker count; `0` means [`configured_threads`] (`SELC_THREADS`).
+    pub threads: usize,
+    /// Indices handed to a worker per queue pop; `0` picks a chunk that
+    /// gives each worker ~4 pops over the space.
+    pub chunk: usize,
+    /// Enable branch-and-bound pruning via the shared bound.
+    pub prune: bool,
+}
+
+impl Default for ParallelEngine {
+    fn default() -> Self {
+        ParallelEngine { threads: 0, chunk: 0, prune: true }
+    }
+}
+
+impl ParallelEngine {
+    /// `SELC_THREADS` workers, auto chunking, pruning on.
+    pub fn auto() -> ParallelEngine {
+        ParallelEngine::default()
+    }
+
+    /// A pool of exactly `threads` workers, auto chunking, pruning on.
+    pub fn with_threads(threads: usize) -> ParallelEngine {
+        ParallelEngine { threads, ..ParallelEngine::default() }
+    }
+
+    /// Same pool, pruning disabled (pure exhaustive fan-out).
+    pub fn without_pruning(mut self) -> ParallelEngine {
+        self.prune = false;
+        self
+    }
+
+    fn effective_threads(&self, space: usize) -> usize {
+        let t = if self.threads == 0 { configured_threads() } else { self.threads };
+        t.max(1).min(space.max(1))
+    }
+
+    fn effective_chunk(&self, space: usize, threads: usize) -> usize {
+        if self.chunk != 0 {
+            return self.chunk;
+        }
+        (space / (threads * 4)).max(1)
+    }
+}
+
+impl Engine for ParallelEngine {
+    fn name(&self) -> &'static str {
+        if self.prune {
+            "parallel+prune"
+        } else {
+            "parallel"
+        }
+    }
+
+    fn search<L: OrderedLoss, E: CandidateEval<L> + ?Sized>(
+        &self,
+        space: usize,
+        eval: &E,
+    ) -> Option<Outcome<L>> {
+        if space == 0 {
+            return None;
+        }
+        let threads = self.effective_threads(space);
+        if threads == 1 {
+            // Same scan, no pool: keeps the 1-worker bench rows honest
+            // about not paying spawn overhead twice.
+            let mut out = SequentialEngine { prune: self.prune }.search(space, eval);
+            if let Some(o) = out.as_mut() {
+                o.stats.threads = 1;
+            }
+            return out;
+        }
+        let chunk = self.effective_chunk(space, threads);
+        let cursor = AtomicUsize::new(0);
+        let bound = SharedBound::new();
+        let prune = self.prune;
+
+        let mut results: Vec<WorkerResult<L>> = Vec::with_capacity(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let bound = &bound;
+                    s.spawn(move || {
+                        let mut best = None;
+                        let (mut evaluated, mut pruned) = (0, 0);
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= space {
+                                break;
+                            }
+                            let end = (start + chunk).min(space);
+                            scan(
+                                eval,
+                                start..end,
+                                bound,
+                                prune,
+                                &mut best,
+                                &mut evaluated,
+                                &mut pruned,
+                            );
+                        }
+                        (best, evaluated, pruned)
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("engine worker panicked"));
+            }
+        });
+
+        let mut best: Option<(L, usize)> = None;
+        let (mut evaluated, mut pruned) = (0, 0);
+        for (local, e, p) in results {
+            evaluated += e;
+            pruned += p;
+            if let Some(candidate) = local {
+                if best.as_ref().is_none_or(|b| better(&candidate, b)) {
+                    best = Some(candidate);
+                }
+            }
+        }
+        best.map(|(loss, index)| Outcome {
+            index,
+            loss,
+            stats: SearchStats { evaluated, pruned, threads, memo: eval.memo_stats() },
+        })
+    }
+}
+
+/// Argmin of `f` over `0..space` — the convenience entry point.
+pub fn minimize<L, F, G>(engine: &G, space: usize, f: F) -> Option<Outcome<L>>
+where
+    L: OrderedLoss,
+    F: Fn(usize) -> L + Send + Sync,
+    G: Engine,
+{
+    engine.search(space, &FnEval(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_space_returns_none() {
+        assert!(minimize(&SequentialEngine::exhaustive(), 0, |i| i as f64).is_none());
+        assert!(minimize(&ParallelEngine::with_threads(3), 0, |i| i as f64).is_none());
+    }
+
+    #[test]
+    fn sequential_finds_min_and_breaks_ties_left() {
+        let losses = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let out = minimize(&SequentialEngine::exhaustive(), losses.len(), |i| losses[i]).unwrap();
+        assert_eq!(out.index, 1);
+        assert_eq!(out.loss, 1.0);
+        assert_eq!(out.stats.evaluated, 5);
+        assert_eq!(out.stats.pruned, 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_across_pool_shapes() {
+        let losses: Vec<f64> = (0..57).map(|i| f64::from((i * 37 % 19) as u8)).collect();
+        let reference =
+            minimize(&SequentialEngine::exhaustive(), losses.len(), |i| losses[i]).unwrap();
+        for threads in [1, 2, 3, 8] {
+            for chunk in [0, 1, 5, 100] {
+                for prune in [false, true] {
+                    let eng = ParallelEngine { threads, chunk, prune };
+                    let out = minimize(&eng, losses.len(), |i| losses[i]).unwrap();
+                    assert_eq!(
+                        (out.index, out.loss),
+                        (reference.index, reference.loss),
+                        "threads={threads} chunk={chunk} prune={prune}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bounds_prune_but_never_change_the_winner() {
+        struct Bounded;
+        impl CandidateEval<f64> for Bounded {
+            fn eval(&self, index: usize, _b: &SharedBound<f64>) -> Option<f64> {
+                Some(f64::from(index as u32))
+            }
+            fn lower_bound(&self, index: usize) -> Option<f64> {
+                // Exact bounds: everything after index 0 is prunable once
+                // candidate 0 (loss 0) has been observed.
+                Some(f64::from(index as u32))
+            }
+        }
+        let seq = SequentialEngine::pruning().search(64, &Bounded).unwrap();
+        assert_eq!((seq.index, seq.loss), (0, 0.0));
+        assert!(seq.stats.pruned > 0, "stats: {:?}", seq.stats);
+        let par =
+            ParallelEngine { threads: 4, chunk: 4, prune: true }.search(64, &Bounded).unwrap();
+        assert_eq!((par.index, par.loss), (0, 0.0));
+        assert_eq!(par.stats.evaluated + par.stats.pruned, 64);
+    }
+
+    #[test]
+    fn self_pruning_eval_is_counted_and_harmless() {
+        struct SelfPrune;
+        impl CandidateEval<f64> for SelfPrune {
+            fn eval(&self, index: usize, bound: &SharedBound<f64>) -> Option<f64> {
+                let loss = f64::from((index % 10) as u32) + 1.0;
+                // Abandon mid-eval when strictly dominated (sound: `loss`
+                // here is also its own lower bound).
+                if bound.dominated(&loss) {
+                    return None;
+                }
+                Some(loss)
+            }
+        }
+        let out =
+            ParallelEngine { threads: 3, chunk: 2, prune: true }.search(40, &SelfPrune).unwrap();
+        assert_eq!(out.loss, 1.0);
+        assert_eq!(out.index, 0, "earliest of the loss-1 candidates");
+    }
+
+    #[test]
+    fn one_thread_pool_reports_single_worker() {
+        let out = minimize(&ParallelEngine::with_threads(1), 10, |i| i as f64).unwrap();
+        assert_eq!(out.stats.threads, 1);
+    }
+
+    #[test]
+    fn nan_losses_lose_to_finite_ones_deterministically() {
+        let losses = [f64::NAN, 2.0, f64::NAN, 1.0];
+        let seq = minimize(&SequentialEngine::exhaustive(), 4, |i| losses[i]).unwrap();
+        let par = minimize(&ParallelEngine::with_threads(4), 4, |i| losses[i]).unwrap();
+        assert_eq!(seq.index, 3);
+        assert_eq!(par.index, 3);
+    }
+}

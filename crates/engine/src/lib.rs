@@ -1,0 +1,44 @@
+//! # selc-engine — a parallel, batched selection-search engine
+//!
+//! The paper's handler semantics turns every choice point into a
+//! loss-driven search over candidates, but the `selc` runtime (like the
+//! paper's Haskell artifact) explores them strictly sequentially over a
+//! non-`Send` `Rc` free-monad tree. This crate is the execution layer
+//! that turns candidate exploration into schedulable, parallel, prunable
+//! work:
+//!
+//! * **Replay per worker** — programs cross threads as factories
+//!   ([`selc::ReplaySpace`]), never as trees: each worker rebuilds the
+//!   candidate's `Sel` program locally (building is pure) and keeps only
+//!   the recorded loss. See [`replay`].
+//! * **A fixed-size worker pool** — plain `std::thread` workers fed by a
+//!   chunked atomic work queue; no external dependencies. Pool size
+//!   defaults to the `SELC_THREADS` knob ([`threads::configured_threads`])
+//!   so CI and benches are reproducible anywhere.
+//! * **Deterministic reduction** — per-worker bests merge lexicographically
+//!   by `(loss, index)` under the *total* order [`selc::OrderedLoss`], so
+//!   parallel argmin returns bit-identical winners to the sequential scan
+//!   regardless of interleaving.
+//! * **Branch-and-bound pruning** — workers publish achieved losses into
+//!   one atomic word ([`SharedBound`]) and skip candidates whose lower
+//!   bound is *strictly* dominated; strictness is exactly what preserves
+//!   the deterministic tie-breaking (see [`bound`] for the soundness
+//!   argument).
+//! * **A sequential fallback** — [`SequentialEngine`] implements the same
+//!   [`Engine`] trait and is the oracle of the differential test suites.
+//!
+//! Downstream, `selc-games` root-splits minimax and n-queens,
+//! `selc-ml` batches hyperparameter grids, and `selection::par` exposes
+//! plain parallel argmin/product adapters — all through this engine.
+
+pub mod bound;
+pub mod engine;
+pub mod replay;
+pub mod threads;
+
+pub use bound::SharedBound;
+pub use engine::{
+    minimize, CandidateEval, Engine, FnEval, Outcome, ParallelEngine, SearchStats, SequentialEngine,
+};
+pub use replay::{search_programs, MemoStatsSink, SelEval};
+pub use threads::{configured_threads, THREADS_ENV};

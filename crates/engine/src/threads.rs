@@ -1,0 +1,36 @@
+//! Worker-count configuration: the `SELC_THREADS` knob.
+//!
+//! Every parallel entry point in the workspace sizes its pool with
+//! [`configured_threads`], so one environment variable makes runs
+//! reproducible on any machine (CI pins `SELC_THREADS=2`). Unset or
+//! unparsable values fall back to [`std::thread::available_parallelism`].
+
+/// Name of the environment variable consulted by [`configured_threads`].
+pub const THREADS_ENV: &str = "SELC_THREADS";
+
+/// Number of workers a parallel search should use when the caller did not
+/// pin one: `SELC_THREADS` if set to a positive integer, else the
+/// machine's available parallelism, else 1.
+pub fn configured_threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(s) => {
+            s.trim().parse::<usize>().ok().filter(|n| *n >= 1).unwrap_or_else(hardware_threads)
+        }
+        Err(_) => hardware_threads(),
+    }
+}
+
+/// The fallback default: what the OS reports, clamped to at least 1.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_default_is_positive() {
+        assert!(hardware_threads() >= 1);
+    }
+}

@@ -16,10 +16,14 @@
 //!   algorithm-design lineage the paper cites: Escardó–Oliva,
 //!   Hartmann–Gibbons);
 //! * [`alternating`] — multi-round alternating game trees: handler-driven
-//!   backward induction vs. an explicit negamax baseline.
+//!   backward induction vs. an explicit negamax baseline;
+//! * [`parallel`] — the same games on the `selc-engine` worker pool:
+//!   root-split minimax (with branch-and-bound row pruning) and
+//!   root-split queens, bit-identical to their sequential counterparts.
 
 pub mod alternating;
 pub mod bimatrix;
 pub mod minimax;
 pub mod nash;
+pub mod parallel;
 pub mod queens;

@@ -6,7 +6,7 @@
 //! the choice continuation and returns the best one **without resuming the
 //! computation** — the handler's result is the chosen rate.
 
-use selc::{effect, Handler, Sel};
+use selc::{effect, Handler, MemoChoice, Sel};
 
 effect! {
     /// The learning-rate hyperparameter effect.
@@ -22,11 +22,40 @@ pub fn read_lr<B: Clone + 'static>(alpha: f64) -> Handler<f64, B, B> {
     Handler::builder::<Lr>().on::<Lrate>(move |(), _l, k| k.resume(alpha)).build_identity()
 }
 
+/// Sequences memoised probes of every rate in `grid`, returning the
+/// `(rate, error)` pair that minimises the probed error (ties towards
+/// the earliest grid entry — the scan every engine adapter must match).
+/// Shared by [`tune_lr`] and the chunked parallel tuner in
+/// `crate::parallel`.
+pub fn probe_grid_argmin(memo: &MemoChoice<f64, f64, u64>, grid: Vec<f64>) -> Sel<f64, (f64, f64)> {
+    fn go(
+        m: MemoChoice<f64, f64, u64>,
+        grid: std::rc::Rc<Vec<f64>>,
+        i: usize,
+        best: (f64, f64),
+    ) -> Sel<f64, (f64, f64)> {
+        if i == grid.len() {
+            return Sel::pure(best);
+        }
+        let alpha = grid[i];
+        m.at(alpha).and_then(move |err| {
+            let best = if err < best.1 { (alpha, err) } else { best };
+            go(m.clone(), std::rc::Rc::clone(&grid), i + 1, best)
+        })
+    }
+    assert!(!grid.is_empty(), "probe_grid_argmin needs at least one candidate rate");
+    let default = grid[0];
+    go(memo.clone(), std::rc::Rc::new(grid), 0, (default, f64::INFINITY))
+}
+
 /// The paper's `tuneLR (α1, α2)` generalised to a grid: probes the loss of
 /// running the rest of the computation with each candidate rate and
 /// *returns* (rather than resumes with) the one with the least loss. The
 /// return clause returns the first candidate, matching
 /// `handlerRet (λ_ → return α1)`.
+///
+/// Probes go through a [`MemoChoice`] keyed on the rate's bits, so a grid
+/// with duplicate rates runs the future once per *distinct* rate.
 ///
 /// # Panics
 ///
@@ -37,22 +66,8 @@ pub fn tune_lr<A: Clone + 'static>(grid: Vec<f64>) -> Handler<f64, A, f64> {
     Handler::builder::<Lr>()
         .on::<Lrate>(move |(), l, _k| {
             // err_i ← l α_i for each candidate; return the argmin.
-            fn go(
-                l: selc::Choice<f64, f64>,
-                grid: std::rc::Rc<Vec<f64>>,
-                i: usize,
-                best: (f64, f64),
-            ) -> Sel<f64, f64> {
-                if i == grid.len() {
-                    return Sel::pure(best.0);
-                }
-                let alpha = grid[i];
-                l.at(alpha).and_then(move |err| {
-                    let best = if err < best.1 { (alpha, err) } else { best };
-                    go(l.clone(), std::rc::Rc::clone(&grid), i + 1, best)
-                })
-            }
-            go(l, std::rc::Rc::new(grid.clone()), 0, (default, f64::INFINITY))
+            let memo = MemoChoice::with_key(&l, |r: &f64| r.to_bits());
+            probe_grid_argmin(&memo, grid.clone()).map(|(alpha, _err)| alpha)
         })
         .ret(move |_a| Sel::pure(default))
         .build()
@@ -112,5 +127,25 @@ mod tests {
     #[should_panic(expected = "at least one candidate")]
     fn empty_grid_panics() {
         let _ = tune_lr::<f64>(vec![]);
+    }
+
+    #[test]
+    fn duplicate_rates_probe_once() {
+        // The future bumps a counter per run; with memoised probes the
+        // duplicated 0.5 and 1.0 entries cost nothing extra.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let runs = Rc::new(RefCell::new(0u64));
+        let c = Rc::clone(&runs);
+        let prog = perform::<f64, Lrate>(()).and_then(move |alpha| {
+            *c.borrow_mut() += 1;
+            let p = 0.0 - alpha * 2.0 * (0.0 - 3.0); // one gd step from 0
+            let e = p - 3.0;
+            loss(e * e).map(move |_| vec![p])
+        });
+        let h = tune_lr(vec![1.0, 0.5, 1.0, 0.5, 0.5]);
+        let (_, alpha) = handle(&h, prog).run_unwrap();
+        assert_eq!(alpha, 0.5);
+        assert_eq!(*runs.borrow(), 2, "one future run per distinct rate");
     }
 }

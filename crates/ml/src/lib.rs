@@ -17,13 +17,17 @@
 //! * [`bandit`] — greedy full-information bandit via choice continuations
 //!   vs. an ε-greedy baseline;
 //! * [`saddle`] — GAN-style min-max training: descent and ascent handlers
-//!   sharing one recorded value function (§4.3's GAN remark).
+//!   sharing one recorded value function (§4.3's GAN remark);
+//! * [`parallel`] — hyperparameter search on the `selc-engine` worker
+//!   pool: chunked parallel `tuneLR` (replay per worker, memoised batch
+//!   probes) and branch-and-bound tuning over whole training runs.
 
 pub mod bandit;
 pub mod dataset;
 pub mod hyper;
 pub mod linreg;
 pub mod optimize;
+pub mod parallel;
 pub mod password;
 pub mod polyreg;
 pub mod saddle;

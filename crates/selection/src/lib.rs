@@ -20,10 +20,12 @@
 //!   solving and are exercised by the games substrate.
 //! * [`argmin`]/[`argmax`] and friends over finite candidate lists.
 //!
-//! Everything here is deliberately dependency-free and deterministic: ties
-//! in `argmin`/`argmax` are broken towards the earliest candidate, matching
-//! the paper's "we assume available some way to choose when there is more
-//! than one such element".
+//! Everything here is deterministic: ties in `argmin`/`argmax` are broken
+//! towards the earliest candidate, matching the paper's "we assume
+//! available some way to choose when there is more than one such
+//! element". The theory modules are dependency-free; [`par`] additionally
+//! bridges candidate *evaluation* to the `selc-engine` worker pool while
+//! preserving exactly that tie-breaking.
 //!
 //! # Example
 //!
@@ -52,6 +54,7 @@ mod quantifier;
 mod sel;
 mod selw;
 
+pub mod par;
 pub mod product;
 
 pub use argminmax::{argmax, argmax_by, argmin, argmin_by, argmin_index, max_with, min_with};
