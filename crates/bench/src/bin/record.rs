@@ -11,8 +11,12 @@
 //! cargo run -p selc-bench --bin selc-bench-record --release -- --bench e12_parallel
 //! ```
 //!
-//! JSON schema: `{"schema": 1, "recorded_at_unix": <secs>,
-//! "benches": {"<label>": <median ns/iter>}}`.
+//! JSON schema: `{"schema": 2, "recorded_at_unix": <secs>,
+//! "benches": {"<label>": <median ns/iter>}, "cache": {"<label>":
+//! {"hits": …, "misses": …, "insertions": …, "evictions": …}}}` — the
+//! `cache` section collects the `<label> cache hits=… misses=…` lines
+//! cached bench families (e13) print after timing, so snapshots carry
+//! hit rates alongside medians.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -29,6 +33,27 @@ fn parse_line(line: &str) -> Option<(String, f64)> {
     let (label, rest) = line.split_once(" median ")?;
     let median = rest.split_whitespace().next()?.parse::<f64>().ok()?;
     rest.contains("ns/iter").then(|| (label.trim().to_string(), median))
+}
+
+/// Parses one cache-stats line of the form
+/// `label cache hits=1 misses=2 insertions=2 evictions=0 hit_rate=0.333`.
+fn parse_cache_line(line: &str) -> Option<(String, [u64; 4])> {
+    let (label, rest) = line.split_once(" cache ")?;
+    let mut out = [0_u64; 4];
+    let mut seen = 0;
+    for pair in rest.split_whitespace() {
+        let (k, v) = pair.split_once('=')?;
+        let slot = match k {
+            "hits" => 0,
+            "misses" => 1,
+            "insertions" => 2,
+            "evictions" => 3,
+            _ => continue, // hit_rate is derived; recompute on read
+        };
+        out[slot] = v.parse::<u64>().ok()?;
+        seen += 1;
+    }
+    (seen == 4).then(|| (label.trim().to_string(), out))
 }
 
 fn next_snapshot_path(root: &Path) -> PathBuf {
@@ -79,16 +104,33 @@ fn main() {
 
     let benches: BTreeMap<String, f64> = stdout.lines().filter_map(parse_line).collect();
     assert!(!benches.is_empty(), "no bench medians found in output:\n{stdout}");
+    let cache: BTreeMap<String, [u64; 4]> = stdout.lines().filter_map(parse_cache_line).collect();
 
     let recorded_at = std::time::SystemTime::UNIX_EPOCH.elapsed().map(|d| d.as_secs()).unwrap_or(0);
-    let mut json = String::from("{\n  \"schema\": 1,\n");
+    let mut json = String::from("{\n  \"schema\": 2,\n");
     json.push_str(&format!("  \"recorded_at_unix\": {recorded_at},\n  \"benches\": {{\n"));
     let body: Vec<String> = benches
         .iter()
         .map(|(label, median)| format!("    \"{}\": {median:.1}", json_escape(label)))
         .collect();
     json.push_str(&body.join(",\n"));
-    json.push_str("\n  }\n}\n");
+    json.push_str("\n  }");
+    if cache.is_empty() {
+        json.push_str("\n}\n");
+    } else {
+        json.push_str(",\n  \"cache\": {\n");
+        let body: Vec<String> = cache
+            .iter()
+            .map(|(label, [h, m, i, e])| {
+                format!(
+                    "    \"{}\": {{\"hits\": {h}, \"misses\": {m}, \"insertions\": {i}, \"evictions\": {e}}}",
+                    json_escape(label)
+                )
+            })
+            .collect();
+        json.push_str(&body.join(",\n"));
+        json.push_str("\n  }\n}\n");
+    }
 
     let path = next_snapshot_path(&root);
     std::fs::write(&path, json).expect("snapshot written");

@@ -1,0 +1,258 @@
+//! Per-shard storage policies: the [`CacheBackend`] trait and its two
+//! implementations, [`Unbounded`] and the bounded [`ClockLru`].
+//!
+//! A backend is plain single-threaded storage — `ShardedCache` supplies
+//! the concurrency (one backend per mutex-guarded shard) and the
+//! telemetry (the shard counts hits/misses/insertions/evictions around
+//! backend calls). Eviction is a *space* policy, never a correctness
+//! one: a selection search consulting a cache treats a miss as "compute
+//! it again", so an evicted entry can cost recomputation but can never
+//! change a winner (the soundness argument in `DESIGN.md`).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Single-shard storage: what to keep and what to drop.
+///
+/// `get` takes `&mut self` so recency-tracking backends can update their
+/// bookkeeping (the clock's referenced bits) on a hit.
+pub trait CacheBackend<K, V>: Send {
+    /// The cached value for `key`, if present.
+    fn get(&mut self, key: &K) -> Option<V>;
+
+    /// Stores `key → value`, returning `true` if an existing entry had
+    /// to be evicted to make room (never for an update in place).
+    fn insert(&mut self, key: K, value: V) -> bool;
+
+    /// Number of live entries.
+    fn len(&self) -> usize;
+
+    /// No live entries?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry, returning how many were dropped (epoch
+    /// invalidation reports these as evictions).
+    fn clear(&mut self) -> usize;
+}
+
+/// The unbounded backend: a plain hash map, nothing ever evicted.
+#[derive(Debug, Default)]
+pub struct Unbounded<K, V> {
+    map: HashMap<K, V>,
+}
+
+impl<K, V> Unbounded<K, V> {
+    /// An empty unbounded backend.
+    #[must_use]
+    pub fn new() -> Unbounded<K, V> {
+        Unbounded { map: HashMap::new() }
+    }
+}
+
+impl<K, V> CacheBackend<K, V> for Unbounded<K, V>
+where
+    K: Eq + Hash + Send,
+    V: Clone + Send,
+{
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: K, value: V) -> bool {
+        self.map.insert(key, value);
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn clear(&mut self) -> usize {
+        let n = self.map.len();
+        self.map.clear();
+        n
+    }
+}
+
+/// One clock slot: an entry plus its second-chance bit.
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    referenced: bool,
+}
+
+/// The bounded backend: CLOCK (second-chance) eviction — an LRU
+/// approximation with O(1) hits and no linked-list churn. Entries sit on
+/// a circular buffer; a hit sets the entry's referenced bit; when the
+/// cache is full, a sweeping hand clears referenced bits until it finds
+/// an unreferenced victim to replace.
+#[derive(Debug)]
+pub struct ClockLru<K, V> {
+    capacity: usize,
+    slots: Vec<Slot<K, V>>,
+    index: HashMap<K, usize>,
+    hand: usize,
+}
+
+impl<K: Clone + Eq + Hash, V> ClockLru<K, V> {
+    /// A bounded backend holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> ClockLru<K, V> {
+        assert!(capacity >= 1, "ClockLru needs capacity >= 1");
+        ClockLru {
+            capacity,
+            slots: Vec::with_capacity(capacity.min(1024)),
+            index: HashMap::new(),
+            hand: 0,
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Advances the hand to a victim slot, giving referenced entries
+    /// their second chance. Terminates: each pass clears one bit, so
+    /// after at most one full sweep some slot is unreferenced.
+    fn victim(&mut self) -> usize {
+        loop {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            if self.slots[i].referenced {
+                self.slots[i].referenced = false;
+            } else {
+                return i;
+            }
+        }
+    }
+}
+
+impl<K, V> CacheBackend<K, V> for ClockLru<K, V>
+where
+    K: Clone + Eq + Hash + Send,
+    V: Clone + Send,
+{
+    fn get(&mut self, key: &K) -> Option<V> {
+        let &i = self.index.get(key)?;
+        self.slots[i].referenced = true;
+        Some(self.slots[i].value.clone())
+    }
+
+    fn insert(&mut self, key: K, value: V) -> bool {
+        if let Some(&i) = self.index.get(&key) {
+            self.slots[i].value = value;
+            self.slots[i].referenced = true;
+            return false;
+        }
+        if self.slots.len() < self.capacity {
+            self.index.insert(key.clone(), self.slots.len());
+            self.slots.push(Slot { key, value, referenced: true });
+            return false;
+        }
+        let i = self.victim();
+        self.index.remove(&self.slots[i].key);
+        self.index.insert(key.clone(), i);
+        self.slots[i] = Slot { key, value, referenced: true };
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn clear(&mut self) -> usize {
+        let n = self.slots.len();
+        self.slots.clear();
+        self.index.clear();
+        self.hand = 0;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut b: Unbounded<u32, u32> = Unbounded::new();
+        for i in 0..1000 {
+            assert!(!b.insert(i, i * 2));
+        }
+        assert_eq!(b.len(), 1000);
+        assert_eq!(b.get(&500), Some(1000));
+        assert_eq!(b.get(&1001), None);
+        assert_eq!(b.clear(), 1000);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clock_update_in_place_is_not_an_eviction() {
+        let mut b: ClockLru<u32, u32> = ClockLru::new(2);
+        assert!(!b.insert(1, 10));
+        assert!(!b.insert(1, 11), "update in place");
+        assert_eq!(b.get(&1), Some(11));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn clock_evicts_at_capacity() {
+        let mut b: ClockLru<u32, u32> = ClockLru::new(2);
+        assert!(!b.insert(1, 1));
+        assert!(!b.insert(2, 2));
+        assert!(b.insert(3, 3), "third insert must evict");
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(&3), Some(3), "new entry is resident");
+        let residents = [1u32, 2].iter().filter(|k| b.get(k).is_some()).count();
+        assert_eq!(residents, 1, "exactly one old entry survived");
+    }
+
+    #[test]
+    fn clock_second_chance_prefers_unreferenced_victims() {
+        let mut b: ClockLru<u32, u32> = ClockLru::new(2);
+        b.insert(1, 1);
+        b.insert(2, 2);
+        // Both referenced: the sweep clears both bits and evicts slot 0
+        // (key 1), leaving [3 (referenced), 2 (unreferenced)].
+        assert!(b.insert(3, 3));
+        assert_eq!(b.get(&1), None);
+        assert_eq!(b.get(&2), Some(2));
+        // Hit 2 but not 3 … then the next insert's victim is whichever
+        // entry is unreferenced when the hand reaches it.
+        let mut b: ClockLru<u32, u32> = ClockLru::new(2);
+        b.insert(1, 1);
+        b.insert(2, 2);
+        b.insert(3, 3); // state: [3 (ref), 2 (unref)], hand on slot 1
+        assert!(b.insert(4, 4), "evicts the unreferenced 2, not the fresh 3");
+        assert_eq!(b.get(&3), Some(3));
+        assert_eq!(b.get(&2), None);
+        assert_eq!(b.get(&4), Some(4));
+    }
+
+    #[test]
+    fn clock_clear_resets_everything() {
+        let mut b: ClockLru<u32, u32> = ClockLru::new(3);
+        for i in 0..3 {
+            b.insert(i, i);
+        }
+        assert_eq!(b.clear(), 3);
+        assert!(b.is_empty());
+        assert!(!b.insert(9, 9));
+        assert_eq!(b.get(&9), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_rejected() {
+        let _ = ClockLru::<u32, u32>::new(0);
+    }
+}

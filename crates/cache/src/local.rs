@@ -1,0 +1,119 @@
+//! The per-activation cache: single-threaded, unbounded, shared by
+//! `Rc` clone — the backend `selc::MemoChoice` used to hard-wire.
+//!
+//! A [`LocalCache`] lives and dies with one handler-clause activation:
+//! probes sequenced earlier in the clause fill it, later probes of the
+//! same candidate hit it, and nothing outlives the activation. Clones
+//! share state (they are `Rc` handles onto one map), matching the way
+//! choice continuations and their memo wrappers are cloned through
+//! `and_then` chains.
+
+use crate::handle::CacheHandle;
+use crate::stats::CacheStats;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::rc::Rc;
+
+struct Inner<K, V> {
+    map: HashMap<K, V>,
+    stats: CacheStats,
+}
+
+/// A single-threaded unbounded cache handle; clones share one map.
+pub struct LocalCache<K, V> {
+    inner: Rc<RefCell<Inner<K, V>>>,
+}
+
+impl<K, V> Clone for LocalCache<K, V> {
+    fn clone(&self) -> Self {
+        LocalCache { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<K, V> Default for LocalCache<K, V> {
+    fn default() -> Self {
+        LocalCache::new()
+    }
+}
+
+impl<K, V> LocalCache<K, V> {
+    /// An empty per-activation cache.
+    #[must_use]
+    pub fn new() -> LocalCache<K, V> {
+        LocalCache {
+            inner: Rc::new(RefCell::new(Inner {
+                map: HashMap::new(),
+                stats: CacheStats::default(),
+            })),
+        }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.borrow().map.len()
+    }
+
+    /// No live entries?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> CacheHandle<K, V> for LocalCache<K, V> {
+    fn lookup(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.borrow_mut();
+        match inner.map.get(key).cloned() {
+            Some(v) => {
+                inner.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: K, value: V) {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.insertions += 1;
+        inner.map.insert(key, value);
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.inner.borrow().stats
+    }
+}
+
+impl<K, V> std::fmt::Debug for LocalCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalCache").field("len", &self.len()).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a: LocalCache<u32, u32> = LocalCache::new();
+        let b = a.clone();
+        a.store(1, 10);
+        assert_eq!(b.lookup(&1), Some(10));
+        assert_eq!(b.len(), 1);
+        let s = a.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.evictions), (1, 0, 1, 0));
+    }
+
+    #[test]
+    fn misses_are_counted() {
+        let c: LocalCache<u32, u32> = LocalCache::new();
+        assert_eq!(c.lookup(&9), None);
+        assert_eq!(c.stats().misses, 1);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,384 @@
+//! The concurrent cache: N mutex-guarded shards selected by key hash,
+//! with epoch invalidation for reusing one cache across searches.
+//!
+//! Sharding bounds contention instead of eliminating it: two workers
+//! only serialise when their keys hash to the same shard, so lock hold
+//! times stay at one backend operation and throughput scales with the
+//! shard count. The shard for a key is a pure function of the key (a
+//! deterministic SipHash), so *which* values a lookup can see never
+//! depends on thread interleaving — with an unbounded backend the cache
+//! contents are a plain function of the set of stores performed, and the
+//! differential suites exploit that to demand shard-count invariance.
+//!
+//! # Epoch invalidation
+//!
+//! [`ShardedCache::advance_epoch`] logically empties the whole cache in
+//! one atomic bump. Shards notice lazily: each shard records the epoch
+//! it last served, and the first access under a newer epoch clears the
+//! shard's backend (counting the dropped entries as evictions) before
+//! proceeding. The contract: entries stored under epoch *e* are
+//! invisible under every epoch > *e*. Use it when the meaning of the
+//! keys changes — a new program, a new loss function, a new dataset —
+//! while reusing the allocation and the handle.
+
+use crate::backend::{CacheBackend, ClockLru, Unbounded};
+use crate::stats::CacheStats;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The canonical shared handle: a [`ShardedCache`] behind an [`Arc`],
+/// cheap to clone into worker closures and handler factories.
+pub type SharedCache<K, V> = Arc<ShardedCache<K, V>>;
+
+/// One shard: a backend plus the epoch it last served and its counters.
+struct Shard<K, V> {
+    backend: Box<dyn CacheBackend<K, V>>,
+    epoch: u64,
+    stats: CacheStats,
+}
+
+/// A sharded concurrent memoisation cache (transposition table).
+///
+/// `Send + Sync` whenever `K` and `V` are `Send`; share it across
+/// workers as a [`SharedCache`]. All values are stored by clone —
+/// selection-search caches hold losses and other small copyable scores.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    epoch: AtomicU64,
+}
+
+impl<K, V> ShardedCache<K, V>
+where
+    K: Eq + Hash + Send + 'static,
+    V: Clone + Send + 'static,
+{
+    /// A cache of `shards` unbounded shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn unbounded(shards: usize) -> ShardedCache<K, V> {
+        ShardedCache::with_backends(shards, || Box::new(Unbounded::new()))
+    }
+
+    /// A cache with per-shard backends built by `factory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn with_backends(
+        shards: usize,
+        factory: impl Fn() -> Box<dyn CacheBackend<K, V>>,
+    ) -> ShardedCache<K, V> {
+        assert!(shards >= 1, "ShardedCache needs at least one shard");
+        let shards = (0..shards)
+            .map(|_| {
+                Mutex::new(Shard { backend: factory(), epoch: 0, stats: CacheStats::default() })
+            })
+            .collect();
+        ShardedCache { shards, epoch: AtomicU64::new(0) }
+    }
+
+    /// The shard a key lives in — a pure function of the key, so lookups
+    /// are deterministic and shard counts only affect contention, never
+    /// contents (for unbounded backends).
+    fn shard_index(&self, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Locks a key's shard, applying any pending epoch invalidation
+    /// first (dropped entries count as evictions).
+    fn shard(&self, key: &K) -> MutexGuard<'_, Shard<K, V>> {
+        let mut guard = self.shards[self.shard_index(key)].lock().expect("cache shard poisoned");
+        let current = self.epoch.load(Ordering::Acquire);
+        if guard.epoch != current {
+            guard.stats.evictions += guard.backend.clear() as u64;
+            guard.epoch = current;
+        }
+        guard
+    }
+
+    /// The cached value for `key`, if present under the current epoch.
+    pub fn lookup(&self, key: &K) -> Option<V> {
+        let mut shard = self.shard(key);
+        match shard.backend.get(key) {
+            Some(v) => {
+                shard.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                shard.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `key → value` under the current epoch.
+    pub fn store(&self, key: K, value: V) {
+        let mut shard = self.shard(&key);
+        shard.stats.insertions += 1;
+        if shard.backend.insert(key, value) {
+            shard.stats.evictions += 1;
+        }
+    }
+
+    /// The cached value for `key`, computing and storing it on a miss.
+    ///
+    /// The shard lock is **not** held while `compute` runs (so `compute`
+    /// may recurse into the same cache — transposition solvers do). Two
+    /// threads may therefore race to compute the same key; both stores
+    /// land and the last wins, which is harmless exactly when `compute`
+    /// is pure — the contract of every selection-search cache here.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.lookup(&key) {
+            return v;
+        }
+        let v = compute();
+        self.store(key, v.clone());
+        v
+    }
+
+    /// Logically empties the cache: entries stored under earlier epochs
+    /// become invisible, and each shard physically clears on its next
+    /// access. Returns the new epoch.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// The current epoch (starts at 0).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Live entries across all shards (after applying pending epoch
+    /// invalidation).
+    pub fn len(&self) -> usize {
+        self.for_each_shard(|s| s.backend.len()).into_iter().sum()
+    }
+
+    /// No live entries?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merged counters across all shards.
+    pub fn stats(&self) -> CacheStats {
+        self.for_each_shard(|s| s.stats)
+            .into_iter()
+            .fold(CacheStats::default(), |acc, s| acc.merged(&s))
+    }
+
+    /// Per-shard counters, in shard order — the mergeable view
+    /// [`stats`](Self::stats) folds over.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.for_each_shard(|s| s.stats)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Physically clears every shard now, without changing the epoch.
+    /// Dropped entries count as evictions.
+    pub fn clear(&self) {
+        self.for_each_shard(|s| {
+            s.stats.evictions += s.backend.clear() as u64;
+        });
+    }
+
+    /// Runs `f` under each shard's lock in shard order, applying pending
+    /// epoch invalidation first so observations are epoch-consistent.
+    fn for_each_shard<T>(&self, mut f: impl FnMut(&mut Shard<K, V>) -> T) -> Vec<T> {
+        let current = self.epoch.load(Ordering::Acquire);
+        self.shards
+            .iter()
+            .map(|m| {
+                let mut guard = m.lock().expect("cache shard poisoned");
+                if guard.epoch != current {
+                    guard.stats.evictions += guard.backend.clear() as u64;
+                    guard.epoch = current;
+                }
+                f(&mut guard)
+            })
+            .collect()
+    }
+}
+
+impl<K, V> ShardedCache<K, V>
+where
+    K: Clone + Eq + Hash + Send + 'static,
+    V: Clone + Send + 'static,
+{
+    /// A bounded cache: CLOCK backends whose capacities sum to **at
+    /// most** `total_capacity` (and to no less than
+    /// `total_capacity − shards + 1`). The shard count is clamped to
+    /// the capacity so every shard holds at least one entry — a tiny
+    /// cap therefore really is tiny, whatever `SELC_CACHE_SHARDS`
+    /// says, which is what the CI forced-eviction job relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `total_capacity` is zero.
+    #[must_use]
+    pub fn clock_lru(shards: usize, total_capacity: usize) -> ShardedCache<K, V> {
+        assert!(total_capacity >= 1, "bounded cache needs capacity >= 1");
+        assert!(shards >= 1, "ShardedCache needs at least one shard");
+        let shards = shards.min(total_capacity);
+        let per_shard = total_capacity / shards;
+        ShardedCache::with_backends(shards, move || Box::new(ClockLru::new(per_shard)))
+    }
+
+    /// The environment-configured cache: `SELC_CACHE_SHARDS` shards
+    /// (default [`crate::env::DEFAULT_SHARDS`]), bounded to
+    /// `SELC_CACHE_CAP` entries when that knob is set and positive,
+    /// unbounded otherwise. Every cached entry point that does not take
+    /// an explicit cache builds one of these, so the two knobs govern
+    /// the whole workspace just like `SELC_THREADS` does for pools.
+    #[must_use]
+    pub fn from_env() -> ShardedCache<K, V> {
+        let shards = crate::env::configured_shards();
+        match crate::env::configured_capacity() {
+            Some(cap) => ShardedCache::clock_lru(shards, cap),
+            None => ShardedCache::unbounded(shards),
+        }
+    }
+
+    /// [`from_env`](Self::from_env), already wrapped for sharing.
+    #[must_use]
+    pub fn shared_from_env() -> SharedCache<K, V> {
+        Arc::new(ShardedCache::from_env())
+    }
+}
+
+impl<K, V> std::fmt::Debug for ShardedCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_store_roundtrip_and_stats() {
+        let c: ShardedCache<u32, f64> = ShardedCache::unbounded(4);
+        assert_eq!(c.lookup(&7), None);
+        c.store(7, 0.5);
+        assert_eq!(c.lookup(&7), Some(0.5));
+        assert_eq!(c.len(), 1);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.evictions), (1, 1, 1, 0));
+        assert_eq!(
+            c.shard_stats().into_iter().fold(CacheStats::default(), |a, s| a.merged(&s)),
+            s,
+            "shard stats merge to the totals"
+        );
+    }
+
+    #[test]
+    fn get_or_insert_with_computes_once_per_key() {
+        let c: ShardedCache<u32, u64> = ShardedCache::unbounded(2);
+        let mut computed = 0;
+        for _ in 0..3 {
+            let v = c.get_or_insert_with(9, || {
+                computed += 1;
+                42
+            });
+            assert_eq!(v, 42);
+        }
+        assert_eq!(computed, 1);
+    }
+
+    #[test]
+    fn contents_are_shard_count_invariant() {
+        // Same stores → same lookups, whatever the shard count.
+        for shards in [1, 2, 3, 8, 17] {
+            let c: ShardedCache<u64, u64> = ShardedCache::unbounded(shards);
+            for k in 0..100 {
+                c.store(k, k * k);
+            }
+            for k in 0..100 {
+                assert_eq!(c.lookup(&k), Some(k * k), "shards = {shards}");
+            }
+            assert_eq!(c.lookup(&1000), None);
+            assert_eq!(c.len(), 100, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn advance_epoch_invalidates_lazily() {
+        let c: ShardedCache<u32, u32> = ShardedCache::unbounded(2);
+        c.store(1, 1);
+        c.store(2, 2);
+        assert_eq!(c.advance_epoch(), 1);
+        assert_eq!(c.lookup(&1), None, "old-epoch entries are invisible");
+        assert_eq!(c.lookup(&2), None);
+        assert!(c.is_empty());
+        // The drops were counted as evictions.
+        assert_eq!(c.stats().evictions, 2);
+        // The cache is usable under the new epoch.
+        c.store(1, 10);
+        assert_eq!(c.lookup(&1), Some(10));
+        assert_eq!(c.epoch(), 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_counts() {
+        let c: ShardedCache<u64, u64> = ShardedCache::clock_lru(2, 4);
+        for k in 0..32 {
+            c.store(k, k);
+        }
+        assert!(c.len() <= 4, "len {} exceeds total capacity", c.len());
+        assert!(c.stats().evictions >= 28, "stats: {:?}", c.stats());
+    }
+
+    #[test]
+    fn clear_empties_without_epoch_change() {
+        let c: ShardedCache<u32, u32> = ShardedCache::unbounded(3);
+        c.store(5, 5);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.epoch(), 0);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_consistent() {
+        let c: SharedCache<u64, u64> = Arc::new(ShardedCache::unbounded(4));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..250u64 {
+                        let k = (t * 250 + i) % 100;
+                        let v = c.get_or_insert_with(k, || k * 3);
+                        assert_eq!(v, k * 3, "cached value corrupted");
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 100);
+        for k in 0..100 {
+            assert_eq!(c.lookup(&k), Some(k * 3));
+        }
+        let s = c.stats();
+        assert_eq!(s.lookups(), 1000 + 100, "4×250 worker lookups + 100 checks");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedCache::<u32, u32>::unbounded(0);
+    }
+}

@@ -77,12 +77,19 @@ pub mod runtime;
 pub mod sel;
 pub mod value;
 
+/// The `SELC_*` environment knobs' shared parser and the cache knobs —
+/// re-exported from `selc-cache` so every crate reads configuration the
+/// same way (`selc::env::env_usize` backs `SELC_THREADS`,
+/// `SELC_CACHE_SHARDS`, and `SELC_CACHE_CAP` alike).
+pub use selc_cache::env;
+
 pub use effect::{perform, Effect, Operation};
 pub use handler::{handle, handle_with, Choice, Handler, HandlerBuilder, Resume};
 pub use loss::Loss;
-pub use memo::{MemoChoice, MemoStats};
+pub use memo::MemoChoice;
 pub use ordered::OrderedLoss;
 pub use replay::{replay_loss, Replay, ReplaySpace};
 pub use runtime::{zero_cont, BindCont, LossCont, NodeCont, RawChoice, RawResume, SelRun};
 pub use sel::{loss, Sel, UnhandledOp};
+pub use selc_cache::{CacheHandle, CacheStats, LocalCache, ShardedCache, SharedCache};
 pub use value::Value;

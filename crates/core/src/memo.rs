@@ -5,75 +5,69 @@
 //! that further program transformations and advanced compiler
 //! optimizations (e.g., memoization) will mitigate recomputations."
 //!
-//! [`MemoChoice`] wraps a [`Choice`] with a per-activation cache keyed by
-//! the candidate result: probing the same candidate twice costs one run.
-//! This is sound because probes are observationally pure (they advance
-//! nothing and record nothing — a property pinned down by
-//! `tests/laws.rs::probes_are_observationally_pure`) and the wrapped
-//! choice continuation is fixed for the lifetime of one clause
-//! invocation.
+//! [`MemoChoice`] wraps a [`Choice`] with a cache keyed by the candidate
+//! result: probing the same candidate twice costs one run. It is generic
+//! over the cache behind it ([`selc_cache::CacheHandle`]):
 //!
-//! What it does **not** do — and cannot do soundly at this level — is
-//! share work between a probe and the eventual *resumption*: resuming
-//! must actually perform the future's effects, so the Hartmann–Schrijvers
-//! –Gibbons generalised selection monad (which returns choice and loss
-//! together) remains the real fix for that half of the cost.
+//! * the default, a per-activation [`LocalCache`] (the seed's
+//!   `Rc<RefCell<HashMap>>`, now one backend among others) — create with
+//!   [`MemoChoice::new`] / [`MemoChoice::with_key`];
+//! * a shared, `Send + Sync` [`selc_cache::SharedCache`] handle — create
+//!   with [`MemoChoice::with_cache`] — so probe results survive the
+//!   activation and are reused across engine workers and whole runs.
+//!
+//! Per-activation memoisation is sound because probes are
+//! observationally pure (they advance nothing and record nothing — a
+//! property pinned down by `tests/laws.rs::probes_are_observationally_pure`)
+//! and the wrapped choice continuation is fixed for the lifetime of one
+//! clause invocation. *Sharing* a cache beyond the activation needs one
+//! more fact: every sharer's probed future must agree on every key (same
+//! key ⇒ bit-identical loss). Replays of one program factory
+//! (`selc::Replay`) satisfy this by purity; anything else must key-split
+//! or `advance_epoch` between programs (see `selc-cache`'s handle
+//! contract).
+//!
+//! What memoisation does **not** do — and cannot do soundly at this
+//! level — is share work between a probe and the eventual *resumption*:
+//! resuming must actually perform the future's effects, so the
+//! Hartmann–Schrijvers–Gibbons generalised selection monad (which
+//! returns choice and loss together) remains the real fix for that half
+//! of the cost.
 
 use crate::handler::Choice;
 use crate::loss::Loss;
 use crate::sel::Sel;
-use std::cell::RefCell;
-use std::collections::HashMap;
+use selc_cache::{CacheHandle, CacheStats, LocalCache};
 use std::hash::Hash;
 use std::rc::Rc;
 
-/// Probe-cache counters, readable at any point through
-/// [`MemoChoice::stats`]. `probes` counts *real* (uncached) runs of the
-/// future; `hits` counts probes answered from the cache. The search
-/// engine's telemetry (`selc-engine`'s `SearchStats`) aggregates these
-/// across candidates.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct MemoStats {
-    /// Real (uncached) probes: each one ran the future.
-    pub probes: u64,
-    /// Probes answered from the cache.
-    pub hits: u64,
-}
-
-impl MemoStats {
-    /// Component-wise sum, for aggregating across several caches.
-    #[must_use]
-    pub fn merged(&self, other: &MemoStats) -> MemoStats {
-        MemoStats { probes: self.probes + other.probes, hits: self.hits + other.hits }
-    }
-}
-
 /// A memoising wrapper around a choice continuation. Create with
-/// [`MemoChoice::new`] (hashable candidates) or [`MemoChoice::with_key`]
-/// (explicit key function, e.g. for `f64`-valued candidates).
-pub struct MemoChoice<L, R, K = R>
+/// [`MemoChoice::new`] (hashable candidates), [`MemoChoice::with_key`]
+/// (explicit key function, e.g. for `f64`-valued candidates), or
+/// [`MemoChoice::with_cache`] (explicit cache handle, e.g. a
+/// [`selc_cache::SharedCache`] shared across workers).
+pub struct MemoChoice<L, R, K = R, C = LocalCache<K, L>>
 where
     K: Eq + Hash,
 {
     inner: Choice<L, R>,
     key: Rc<dyn Fn(&R) -> K>,
-    cache: Rc<RefCell<HashMap<K, L>>>,
-    stats: Rc<RefCell<MemoStats>>,
+    cache: C,
 }
 
-impl<L, R, K: Eq + Hash> Clone for MemoChoice<L, R, K> {
+impl<L, R, K: Eq + Hash, C: Clone> Clone for MemoChoice<L, R, K, C> {
     fn clone(&self) -> Self {
         MemoChoice {
             inner: self.inner.clone(),
             key: Rc::clone(&self.key),
-            cache: Rc::clone(&self.cache),
-            stats: Rc::clone(&self.stats),
+            cache: self.cache.clone(),
         }
     }
 }
 
 impl<L: Loss, R: Clone + Eq + Hash + 'static> MemoChoice<L, R, R> {
-    /// Memoises by the candidate value itself.
+    /// Memoises by the candidate value itself, in a fresh
+    /// per-activation cache.
     pub fn new(inner: &Choice<L, R>) -> MemoChoice<L, R, R> {
         MemoChoice::with_key(inner, |r: &R| r.clone())
     }
@@ -81,14 +75,30 @@ impl<L: Loss, R: Clone + Eq + Hash + 'static> MemoChoice<L, R, R> {
 
 impl<L: Loss, R: Clone + 'static, K: Clone + Eq + Hash + 'static> MemoChoice<L, R, K> {
     /// Memoises by an explicit key (use when `R` is not hashable, e.g.
-    /// quantise `f64` candidates to bits).
+    /// quantise `f64` candidates to bits), in a fresh per-activation
+    /// cache.
     pub fn with_key(inner: &Choice<L, R>, key: impl Fn(&R) -> K + 'static) -> MemoChoice<L, R, K> {
-        MemoChoice {
-            inner: inner.clone(),
-            key: Rc::new(key),
-            cache: Rc::new(RefCell::new(HashMap::new())),
-            stats: Rc::new(RefCell::new(MemoStats::default())),
-        }
+        MemoChoice::with_cache(inner, key, LocalCache::new())
+    }
+}
+
+impl<L, R, K, C> MemoChoice<L, R, K, C>
+where
+    L: Loss,
+    R: Clone + 'static,
+    K: Clone + Eq + Hash + 'static,
+    C: CacheHandle<K, L> + Clone + 'static,
+{
+    /// Memoises through an explicit cache handle. Pass a
+    /// [`selc_cache::SharedCache`] clone to share probe results across
+    /// activations, workers, and runs — subject to the handle's sharing
+    /// contract (every sharer's future must agree on every key).
+    pub fn with_cache(
+        inner: &Choice<L, R>,
+        key: impl Fn(&R) -> K + 'static,
+        cache: C,
+    ) -> MemoChoice<L, R, K, C> {
+        MemoChoice { inner: inner.clone(), key: Rc::new(key), cache }
     }
 
     /// Probes candidate `y`, consulting the cache first.
@@ -100,31 +110,40 @@ impl<L: Loss, R: Clone + 'static, K: Clone + Eq + Hash + 'static> MemoChoice<L, 
         let me = self.clone();
         Sel::from_fn(move |g| {
             let k = (me.key)(&y);
-            if let Some(hit) = me.cache.borrow().get(&k) {
-                me.stats.borrow_mut().hits += 1;
-                return crate::eff::Eff::Pure((L::zero(), hit.clone()));
+            if let Some(hit) = me.cache.lookup(&k) {
+                return crate::eff::Eff::Pure((L::zero(), hit));
             }
-            let cache = Rc::clone(&me.cache);
-            let stats = Rc::clone(&me.stats);
+            let cache = me.cache.clone();
             me.inner
                 .at(y.clone())
                 .map(move |l| {
-                    stats.borrow_mut().probes += 1;
-                    cache.borrow_mut().insert(k.clone(), l.clone());
+                    cache.store(k.clone(), l.clone());
                     l
                 })
                 .run_with(g)
         })
     }
 
-    /// Probe/hit counters accumulated so far.
-    pub fn stats(&self) -> MemoStats {
-        *self.stats.borrow()
+    /// This memo's cache counters. For the default per-activation cache
+    /// these are exactly this activation's probes: `misses` counts real
+    /// (uncached) runs of the future, `hits` counts probes answered from
+    /// the cache. For a shared handle they are the handle's *global*
+    /// counters — use [`CacheStats::since`] against a snapshot for one
+    /// activation's share.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
-    /// Number of *real* (uncached) probes performed so far.
+    /// Number of *real* (uncached) probes performed so far — cache
+    /// misses, each of which ran the future.
     pub fn real_probes(&self) -> u64 {
-        self.stats().probes
+        self.stats().misses
+    }
+
+    /// The cache handle behind this memo (e.g. to snapshot stats before
+    /// a run).
+    pub fn cache(&self) -> &C {
+        &self.cache
     }
 }
 
@@ -132,6 +151,8 @@ impl<L: Loss, R: Clone + 'static, K: Clone + Eq + Hash + 'static> MemoChoice<L, 
 mod tests {
     use super::*;
     use crate::{effect, handle, loss, perform, Handler};
+    use std::cell::RefCell;
+    use std::sync::Arc;
 
     effect! {
         effect Grid {
@@ -218,12 +239,13 @@ mod tests {
 
     #[test]
     fn stats_count_probes_and_hits() {
-        // Grid [1, 5, 1, 5, 1, 3]: three distinct rates → 3 real probes,
-        // three repeats → 3 hits. The stats handle shares state with the
-        // clause's clone, so reading it after the run sees the totals.
+        // Grid [1, 5, 1, 5, 1, 3]: three distinct rates → 3 real probes
+        // (cache misses), three repeats → 3 hits. The stats handle shares
+        // state with the clause's clone, so reading it after the run sees
+        // the totals.
         let grid = vec![1u32, 5, 1, 5, 1, 3];
         let counter = Rc::new(RefCell::new(0u64));
-        let stats_cell: Rc<RefCell<Option<MemoStats>>> = Rc::new(RefCell::new(None));
+        let stats_cell: Rc<RefCell<Option<CacheStats>>> = Rc::new(RefCell::new(None));
         let sink = Rc::clone(&stats_cell);
         let h: Handler<f64, f64, u32> = Handler::builder::<Grid>()
             .on::<PickRate>(move |(), l, _k| {
@@ -259,8 +281,8 @@ mod tests {
         let (_, best) = handle(&h, future(counter)).run_unwrap();
         assert_eq!(best, 3);
         let stats = stats_cell.borrow().expect("clause ran");
-        assert_eq!(stats, MemoStats { probes: 3, hits: 3 });
-        assert_eq!(stats.merged(&stats), MemoStats { probes: 6, hits: 6 });
+        assert_eq!(stats, CacheStats { hits: 3, misses: 3, insertions: 3, evictions: 0 });
+        assert_eq!(stats.merged(&stats).hits, 6);
     }
 
     #[test]
@@ -288,5 +310,59 @@ mod tests {
         let prog = perform::<f64, PickF>(()).and_then(|()| loss(7.0).map(|_| 1.0));
         let (_, probed) = handle(&h, prog).run_unwrap();
         assert_eq!(probed, 7.0);
+    }
+
+    #[test]
+    fn shared_cache_survives_the_activation() {
+        // Two runs of the same tuner program against one SharedCache:
+        // the second run's probes are all hits — zero future runs.
+        let cache: selc_cache::SharedCache<u32, f64> =
+            Arc::new(selc_cache::ShardedCache::unbounded(4));
+        let mk_handler = |cache: selc_cache::SharedCache<u32, f64>,
+                          counter: Rc<RefCell<u64>>|
+         -> Handler<f64, f64, u32> {
+            let _c = counter;
+            Handler::builder::<Grid>()
+                .on::<PickRate>(move |(), l, _k| {
+                    let m = MemoChoice::with_cache(&l, |r: &u32| *r, Arc::clone(&cache));
+                    let grid = Rc::new(vec![1u32, 5, 3]);
+                    fn go(
+                        m: MemoChoice<f64, u32, u32, selc_cache::SharedCache<u32, f64>>,
+                        grid: Rc<Vec<u32>>,
+                        i: usize,
+                        best: (u32, f64),
+                    ) -> Sel<f64, u32> {
+                        if i == grid.len() {
+                            return Sel::pure(best.0);
+                        }
+                        let r = grid[i];
+                        m.at(r).and_then(move |e| {
+                            let best = if e < best.1 { (r, e) } else { best };
+                            go(m.clone(), Rc::clone(&grid), i + 1, best)
+                        })
+                    }
+                    go(m, grid, 0, (0, f64::INFINITY))
+                })
+                .ret(|_| Sel::pure(0))
+                .build()
+        };
+        let runs = Rc::new(RefCell::new(0u64));
+        let h = mk_handler(Arc::clone(&cache), Rc::clone(&runs));
+        let (_, best1) = handle(&h, future(Rc::clone(&runs))).run_unwrap();
+        assert_eq!(best1, 3);
+        assert_eq!(*runs.borrow(), 3, "first run probes every distinct rate");
+
+        let h = mk_handler(Arc::clone(&cache), Rc::clone(&runs));
+        let (_, best2) = handle(&h, future(Rc::clone(&runs))).run_unwrap();
+        assert_eq!(best2, best1, "cached run picks the identical winner");
+        assert_eq!(*runs.borrow(), 3, "second run is answered entirely from the shared cache");
+        assert_eq!(cache.stats().hits, 3);
+
+        // Epoch invalidation brings the futures back.
+        cache.advance_epoch();
+        let h = mk_handler(Arc::clone(&cache), Rc::clone(&runs));
+        let (_, best3) = handle(&h, future(Rc::clone(&runs))).run_unwrap();
+        assert_eq!(best3, best1);
+        assert_eq!(*runs.borrow(), 6, "invalidated entries are re-probed");
     }
 }

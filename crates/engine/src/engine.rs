@@ -13,7 +13,8 @@
 
 use crate::bound::SharedBound;
 use crate::threads::configured_threads;
-use selc::{MemoStats, OrderedLoss};
+use selc::OrderedLoss;
+use selc_cache::CacheStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How an engine asks for the loss of one candidate.
@@ -38,11 +39,28 @@ pub trait CandidateEval<L: OrderedLoss>: Send + Sync {
         None
     }
 
-    /// Probe-memoisation counters accumulated by the evaluator (see
-    /// [`selc::MemoChoice::stats`]); merged into [`SearchStats::memo`]
+    /// Cache counters accumulated by the evaluator — probe memoisation
+    /// (see [`selc::MemoChoice::stats`]) and/or a shared transposition
+    /// table (see [`crate::cached`]); merged into [`SearchStats::cache`]
     /// after the search.
-    fn memo_stats(&self) -> MemoStats {
-        MemoStats::default()
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+}
+
+/// References delegate, so adapters (e.g. [`crate::cached::CachedEval`])
+/// can borrow an evaluator they do not own.
+impl<L: OrderedLoss, E: CandidateEval<L>> CandidateEval<L> for &E {
+    fn eval(&self, index: usize, bound: &SharedBound<L>) -> Option<L> {
+        (**self).eval(index, bound)
+    }
+
+    fn lower_bound(&self, index: usize) -> Option<L> {
+        (**self).lower_bound(index)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        (**self).cache_stats()
     }
 }
 
@@ -68,8 +86,9 @@ pub struct SearchStats {
     pub pruned: u64,
     /// Workers the search ran with (1 for the sequential engine).
     pub threads: usize,
-    /// Probe-memoisation counters reported by the evaluator.
-    pub memo: MemoStats,
+    /// Cache counters reported by the evaluator: memoised probes and/or
+    /// shared transposition-table traffic during this search.
+    pub cache: CacheStats,
 }
 
 /// The result of a search: the winning candidate, its loss, and stats.
@@ -189,7 +208,7 @@ impl Engine for SequentialEngine {
         best.map(|(loss, index)| Outcome {
             index,
             loss,
-            stats: SearchStats { evaluated, pruned, threads: 1, memo: eval.memo_stats() },
+            stats: SearchStats { evaluated, pruned, threads: 1, cache: eval.cache_stats() },
         })
     }
 }
@@ -324,7 +343,7 @@ impl Engine for ParallelEngine {
         best.map(|(loss, index)| Outcome {
             index,
             loss,
-            stats: SearchStats { evaluated, pruned, threads, memo: eval.memo_stats() },
+            stats: SearchStats { evaluated, pruned, threads, cache: eval.cache_stats() },
         })
     }
 }

@@ -26,19 +26,27 @@
 //!   argument).
 //! * **A sequential fallback** — [`SequentialEngine`] implements the same
 //!   [`Engine`] trait and is the oracle of the differential test suites.
+//! * **Cache-through evaluation** — a shared `selc-cache` transposition
+//!   table threads through a search exactly like the bound does
+//!   ([`cached::CachedEval`]): workers stop re-evaluating candidates
+//!   another worker — or an earlier search against the same handle —
+//!   already scored, and hit/miss/eviction telemetry flows into
+//!   [`SearchStats`].
 //!
 //! Downstream, `selc-games` root-splits minimax and n-queens,
 //! `selc-ml` batches hyperparameter grids, and `selection::par` exposes
 //! plain parallel argmin/product adapters — all through this engine.
 
 pub mod bound;
+pub mod cached;
 pub mod engine;
 pub mod replay;
 pub mod threads;
 
 pub use bound::SharedBound;
+pub use cached::{search_programs_cached, CachedEval};
 pub use engine::{
     minimize, CandidateEval, Engine, FnEval, Outcome, ParallelEngine, SearchStats, SequentialEngine,
 };
-pub use replay::{search_programs, MemoStatsSink, SelEval};
+pub use replay::{search_programs, CacheStatsSink, SelEval};
 pub use threads::{configured_threads, THREADS_ENV};

@@ -9,31 +9,38 @@
 
 use crate::bound::SharedBound;
 use crate::engine::{CandidateEval, Engine, Outcome};
-use selc::{MemoStats, OrderedLoss, ReplaySpace, Sel};
+use selc::{CacheStats, OrderedLoss, ReplaySpace, Sel};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Thread-safe accumulator for [`MemoStats`] reported by per-candidate
-/// program runs (an `Rc`-free mirror of the counters in
-/// [`selc::MemoChoice`]).
+/// Thread-safe accumulator for [`CacheStats`] reported by per-candidate
+/// program runs (an `Rc`-free mirror of the counters a per-activation
+/// [`selc::MemoChoice`] collects — workers record each run's stats here
+/// and the evaluator reports the totals into `SearchStats::cache`).
 #[derive(Debug, Default)]
-pub struct MemoStatsSink {
-    probes: AtomicU64,
+pub struct CacheStatsSink {
     hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
 }
 
-impl MemoStatsSink {
+impl CacheStatsSink {
     /// Adds one run's counters.
-    pub fn record(&self, stats: &MemoStats) {
-        self.probes.fetch_add(stats.probes, Ordering::Relaxed);
+    pub fn record(&self, stats: &CacheStats) {
         self.hits.fetch_add(stats.hits, Ordering::Relaxed);
+        self.misses.fetch_add(stats.misses, Ordering::Relaxed);
+        self.insertions.fetch_add(stats.insertions, Ordering::Relaxed);
+        self.evictions.fetch_add(stats.evictions, Ordering::Relaxed);
     }
 
     /// The totals accumulated so far.
-    pub fn total(&self) -> MemoStats {
-        MemoStats {
-            probes: self.probes.load(Ordering::Relaxed),
+    pub fn total(&self) -> CacheStats {
+        CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -131,14 +138,16 @@ mod tests {
     }
 
     #[test]
-    fn memo_sink_accumulates_across_threads() {
-        let sink = MemoStatsSink::default();
+    fn cache_sink_accumulates_across_threads() {
+        let sink = CacheStatsSink::default();
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let sink = &sink;
-                s.spawn(move || sink.record(&MemoStats { probes: 3, hits: 2 }));
+                s.spawn(move || {
+                    sink.record(&CacheStats { hits: 2, misses: 3, insertions: 3, evictions: 1 });
+                });
             }
         });
-        assert_eq!(sink.total(), MemoStats { probes: 12, hits: 8 });
+        assert_eq!(sink.total(), CacheStats { hits: 8, misses: 12, insertions: 12, evictions: 4 });
     }
 }

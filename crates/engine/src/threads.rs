@@ -4,6 +4,9 @@
 //! [`configured_threads`], so one environment variable makes runs
 //! reproducible on any machine (CI pins `SELC_THREADS=2`). Unset or
 //! unparsable values fall back to [`std::thread::available_parallelism`].
+//! Parsing goes through the workspace's one env parser
+//! ([`selc::env::env_usize`]), shared with the `SELC_CACHE_SHARDS` /
+//! `SELC_CACHE_CAP` cache knobs.
 
 /// Name of the environment variable consulted by [`configured_threads`].
 pub const THREADS_ENV: &str = "SELC_THREADS";
@@ -12,12 +15,7 @@ pub const THREADS_ENV: &str = "SELC_THREADS";
 /// pin one: `SELC_THREADS` if set to a positive integer, else the
 /// machine's available parallelism, else 1.
 pub fn configured_threads() -> usize {
-    match std::env::var(THREADS_ENV) {
-        Ok(s) => {
-            s.trim().parse::<usize>().ok().filter(|n| *n >= 1).unwrap_or_else(hardware_threads)
-        }
-        Err(_) => hardware_threads(),
-    }
+    selc::env::env_usize(THREADS_ENV).unwrap_or_else(hardware_threads)
 }
 
 /// The fallback default: what the OS reports, clamped to at least 1.

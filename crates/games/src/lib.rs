@@ -19,7 +19,10 @@
 //!   backward induction vs. an explicit negamax baseline;
 //! * [`parallel`] — the same games on the `selc-engine` worker pool:
 //!   root-split minimax (with branch-and-bound row pruning) and
-//!   root-split queens, bit-identical to their sequential counterparts.
+//!   root-split queens, bit-identical to their sequential counterparts;
+//! * [`transposition`] — transposition-table minimax over `selc-cache`:
+//!   alternating games keyed on canonicalised state, repeated subtrees
+//!   answered from a cache shared across engine workers and runs.
 
 pub mod alternating;
 pub mod bimatrix;
@@ -27,3 +30,4 @@ pub mod minimax;
 pub mod nash;
 pub mod parallel;
 pub mod queens;
+pub mod transposition;

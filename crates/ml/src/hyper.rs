@@ -27,9 +27,19 @@ pub fn read_lr<B: Clone + 'static>(alpha: f64) -> Handler<f64, B, B> {
 /// the earliest grid entry — the scan every engine adapter must match).
 /// Shared by [`tune_lr`] and the chunked parallel tuner in
 /// `crate::parallel`.
-pub fn probe_grid_argmin(memo: &MemoChoice<f64, f64, u64>, grid: Vec<f64>) -> Sel<f64, (f64, f64)> {
-    fn go(
-        m: MemoChoice<f64, f64, u64>,
+/// Generic over the memo's cache handle `C`, so the same scan runs
+/// against a per-activation [`selc::LocalCache`] (the sequential tuner)
+/// or a [`selc::SharedCache`] shared across engine workers (the cached
+/// parallel tuner).
+pub fn probe_grid_argmin<C>(
+    memo: &MemoChoice<f64, f64, u64, C>,
+    grid: Vec<f64>,
+) -> Sel<f64, (f64, f64)>
+where
+    C: selc::CacheHandle<u64, f64> + Clone + 'static,
+{
+    fn go<C: selc::CacheHandle<u64, f64> + Clone + 'static>(
+        m: MemoChoice<f64, f64, u64, C>,
         grid: std::rc::Rc<Vec<f64>>,
         i: usize,
         best: (f64, f64),

@@ -27,9 +27,9 @@
 use crate::dataset::Dataset;
 use crate::hyper::{probe_grid_argmin, Lr};
 use crate::linreg::sgd_step;
-use selc::{handle, Handler, MemoChoice, Replay, Sel};
+use selc::{handle, CacheStats, Handler, MemoChoice, Replay, Sel, ShardedCache, SharedCache};
 use selc_engine::{
-    CandidateEval, Engine, MemoStatsSink, Outcome, ParallelEngine, SearchStats, SharedBound,
+    CacheStatsSink, CandidateEval, Engine, Outcome, ParallelEngine, SearchStats, SharedBound,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -72,7 +72,7 @@ where
 /// that probed.
 fn tune_batch_handler<A: Clone + 'static>(
     batch: Vec<f64>,
-    sink: Rc<RefCell<selc::MemoStats>>,
+    sink: Rc<RefCell<CacheStats>>,
 ) -> Handler<f64, A, (f64, f64)> {
     let default = batch[0];
     Handler::builder::<Lr>()
@@ -95,7 +95,7 @@ fn tune_batch_handler<A: Clone + 'static>(
 struct BatchEval<P, A> {
     batches: Vec<Vec<f64>>,
     program: P,
-    memo: MemoStatsSink,
+    sink: CacheStatsSink,
     _result: std::marker::PhantomData<fn() -> A>,
 }
 
@@ -106,8 +106,8 @@ where
 {
     /// Replays the program against one batch; pure, so rerunning the
     /// winner reproduces exactly the scored pair.
-    fn run_batch(&self, i: usize) -> (f64, f64, selc::MemoStats) {
-        let sink = Rc::new(RefCell::new(selc::MemoStats::default()));
+    fn run_batch(&self, i: usize) -> (f64, f64, CacheStats) {
+        let sink = Rc::new(RefCell::new(CacheStats::default()));
         let h = tune_batch_handler(self.batches[i].clone(), Rc::clone(&sink));
         let (_, pair) = handle(&h, self.program.build())
             .run()
@@ -124,12 +124,12 @@ where
 {
     fn eval(&self, i: usize, _bound: &SharedBound<f64>) -> Option<f64> {
         let (_alpha, err, stats) = self.run_batch(i);
-        self.memo.record(&stats);
+        self.sink.record(&stats);
         Some(err)
     }
 
-    fn memo_stats(&self) -> selc::MemoStats {
-        self.memo.total()
+    fn cache_stats(&self) -> CacheStats {
+        self.sink.total()
     }
 }
 
@@ -162,12 +162,112 @@ where
     let eval = BatchEval {
         batches,
         program,
-        memo: MemoStatsSink::default(),
+        sink: CacheStatsSink::default(),
         _result: std::marker::PhantomData,
     };
     let out: Outcome<f64> = engine.search(n, &eval).expect("non-empty grid");
     let (alpha, err, _) = eval.run_batch(out.index);
     TuneOutcome { alpha, err, stats: out.stats }
+}
+
+/// The cached batch handler: like [`tune_batch_handler`], but probes go
+/// through a [`SharedCache`] keyed on the rate's bits, so a rate any
+/// worker (or any earlier batch, or any earlier *search*) already probed
+/// is answered without running the future. Sound for replays of one
+/// program factory: probing is pure, so the cached error is
+/// bit-identical to a recomputed one.
+fn tune_batch_handler_cached<A: Clone + 'static>(
+    batch: Vec<f64>,
+    cache: SharedCache<u64, f64>,
+) -> Handler<f64, A, (f64, f64)> {
+    let default = batch[0];
+    Handler::builder::<Lr>()
+        .on::<crate::hyper::Lrate>(move |(), l, _k| {
+            let memo = MemoChoice::with_cache(&l, |r: &f64| r.to_bits(), Arc::clone(&cache));
+            probe_grid_argmin(&memo, batch.clone())
+        })
+        .ret(move |_a| Sel::pure((default, f64::INFINITY)))
+        .build()
+}
+
+/// Evaluator for [`tune_lr_parallel_cached`]: one batch per candidate,
+/// every batch probing through one shared rate cache.
+struct CachedBatchEval<P, A> {
+    batches: Vec<Vec<f64>>,
+    program: P,
+    cache: SharedCache<u64, f64>,
+    base: CacheStats,
+    _result: std::marker::PhantomData<fn() -> A>,
+}
+
+impl<P, A> CachedBatchEval<P, A>
+where
+    P: Replay<f64, A>,
+    A: Clone + 'static,
+{
+    fn run_batch(&self, i: usize) -> (f64, f64) {
+        let h = tune_batch_handler_cached(self.batches[i].clone(), Arc::clone(&self.cache));
+        let (_, pair) = handle(&h, self.program.build())
+            .run()
+            .expect("tuned program reached the top level with an unhandled operation");
+        pair
+    }
+}
+
+impl<P, A> CandidateEval<f64> for CachedBatchEval<P, A>
+where
+    P: Replay<f64, A>,
+    A: Clone + 'static,
+{
+    fn eval(&self, i: usize, _bound: &SharedBound<f64>) -> Option<f64> {
+        let (_alpha, err) = self.run_batch(i);
+        Some(err)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.stats().since(&self.base)
+    }
+}
+
+/// [`tune_lr_parallel`] with a **shared** rate cache: rate-evaluation
+/// results are shared across the batched parallel workers (and across
+/// repeated calls reusing the same handle), so a rate duplicated across
+/// batches — or across whole searches — runs the future once globally.
+/// The winning rate stays bit-identical to the sequential
+/// `handle(tune_lr(grid), program)` scan; only the amount of evaluation
+/// work changes. `stats.cache` reports this search's share of the shared
+/// handle's traffic.
+///
+/// # Panics
+///
+/// Panics if `grid` is empty or `batch_size` is zero.
+pub fn tune_lr_parallel_cached<P, A, G>(
+    engine: &G,
+    grid: Vec<f64>,
+    batch_size: usize,
+    program: P,
+    cache: &SharedCache<u64, f64>,
+) -> TuneOutcome
+where
+    P: Replay<f64, A>,
+    A: Clone + 'static,
+    G: Engine,
+{
+    assert!(!grid.is_empty(), "tune_lr_parallel_cached needs at least one candidate rate");
+    assert!(batch_size >= 1, "batch_size must be positive");
+    let batches: Vec<Vec<f64>> = grid.chunks(batch_size).map(<[f64]>::to_vec).collect();
+    let n = batches.len();
+    let eval = CachedBatchEval {
+        batches,
+        program,
+        cache: Arc::clone(cache),
+        base: cache.stats(),
+        _result: std::marker::PhantomData,
+    };
+    let out: Outcome<f64> = engine.search(n, &eval).expect("non-empty grid");
+    let stats = out.stats;
+    let (alpha, err) = eval.run_batch(out.index);
+    TuneOutcome { alpha, err, stats }
 }
 
 /// Evaluator for [`tune_training_run`]: candidate `i` is `grid[i]`; its
@@ -229,6 +329,59 @@ pub fn tune_training_run<G: Engine>(
     let eval = TrainEval { grid, data: Arc::new(data.clone()), init, epochs, prune: true };
     let out = engine.search(n, &eval).expect("non-empty grid");
     TuneOutcome { alpha: eval.grid[out.index], err: out.loss, stats: out.stats }
+}
+
+/// Evaluator for [`tune_training_run_cached`]: a [`TrainEval`] behind a
+/// shared rate→total-loss cache. Completed runs are cached; aborted
+/// (pruned) runs are not — "dominated right now" is a fact about the
+/// current bound, not a loss.
+struct CachedTrainEval<'c> {
+    inner: TrainEval,
+    cache: &'c ShardedCache<u64, f64>,
+    base: CacheStats,
+}
+
+impl CandidateEval<f64> for CachedTrainEval<'_> {
+    fn eval(&self, i: usize, bound: &SharedBound<f64>) -> Option<f64> {
+        let key = self.inner.grid[i].to_bits();
+        if let Some(total) = self.cache.lookup(&key) {
+            return Some(total);
+        }
+        let total = self.inner.train(self.inner.grid[i], self.inner.prune.then_some(bound))?;
+        self.cache.store(key, total);
+        Some(total)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.stats().since(&self.base)
+    }
+}
+
+/// [`tune_training_run`] against a shared rate→total-loss cache: a rate
+/// any earlier run (or concurrent worker) already trained to completion
+/// is answered from the cache instead of re-training. Repeated tuning
+/// over overlapping grids — the cross-run reuse pattern — pays for each
+/// distinct rate once per cache epoch. Winners stay bit-identical to the
+/// uncached search (cached totals are the totals the training loop
+/// computed).
+///
+/// # Panics
+///
+/// Panics if `grid` is empty.
+pub fn tune_training_run_cached<G: Engine>(
+    engine: &G,
+    grid: Vec<f64>,
+    data: &Dataset,
+    init: (f64, f64),
+    epochs: usize,
+    cache: &ShardedCache<u64, f64>,
+) -> TuneOutcome {
+    assert!(!grid.is_empty(), "tune_training_run_cached needs at least one candidate rate");
+    let n = grid.len();
+    let inner = TrainEval { grid, data: Arc::new(data.clone()), init, epochs, prune: true };
+    let eval = CachedTrainEval { inner, cache, base: cache.stats() };
+    let out = engine.search(n, &eval).expect("non-empty grid");
+    TuneOutcome { alpha: eval.inner.grid[out.index], err: out.loss, stats: out.stats }
 }
 
 /// The default-pool (`SELC_THREADS`) entry point for
@@ -293,8 +446,8 @@ mod tests {
             || step_prog(0.0),
         );
         assert_eq!(out.alpha, 0.5);
-        assert_eq!(out.stats.memo.probes, 2, "one real probe per distinct rate per batch");
-        assert_eq!(out.stats.memo.hits, 2, "one hit per duplicated rate");
+        assert_eq!(out.stats.cache.misses, 2, "one real probe per distinct rate per batch");
+        assert_eq!(out.stats.cache.hits, 2, "one hit per duplicated rate");
     }
 
     #[test]
@@ -322,6 +475,78 @@ mod tests {
         let pruned = tune_training_run(&SequentialEngine::pruning(), grid, &data, (0.0, 0.0), 2);
         assert_eq!(pruned.alpha, 0.05);
         assert!(pruned.stats.pruned >= 1, "diverging rates abort early: {:?}", pruned.stats);
+    }
+
+    #[test]
+    fn cached_tuner_matches_sequential_and_reuses_across_searches() {
+        let grid = vec![1.0, 0.9, 0.5, 0.25, 0.1, 0.75];
+        let (_, seq_alpha) = handle(&tune_lr(grid.clone()), step_prog(0.0)).run_unwrap();
+        let cache: SharedCache<u64, f64> = Arc::new(ShardedCache::unbounded(4));
+        for (round, eng) in engines().into_iter().enumerate() {
+            for batch in [1, 2, 3, 6] {
+                let out =
+                    tune_lr_parallel_cached(&eng, grid.clone(), batch, || step_prog(0.0), &cache);
+                assert_eq!(out.alpha, seq_alpha, "round {round} batch {batch}");
+                if round > 0 {
+                    assert_eq!(
+                        out.stats.cache.misses, 0,
+                        "later searches are answered entirely from the shared cache"
+                    );
+                }
+            }
+        }
+        // Six distinct rates were ever really probed, across all rounds.
+        assert_eq!(cache.stats().insertions, 6);
+        assert!(cache.stats().hits > 0);
+    }
+
+    #[test]
+    fn cached_tuner_survives_forced_eviction_bit_identically() {
+        let grid = vec![1.0, 0.9, 0.5, 0.25, 0.1, 0.75, 0.5, 0.9];
+        let (_, seq_alpha) = handle(&tune_lr(grid.clone()), step_prog(0.0)).run_unwrap();
+        // Capacity 2 over 6 distinct rates: heavy eviction.
+        let cache: SharedCache<u64, f64> = Arc::new(ShardedCache::clock_lru(2, 2));
+        for eng in engines() {
+            let out = tune_lr_parallel_cached(&eng, grid.clone(), 2, || step_prog(0.0), &cache);
+            assert_eq!(out.alpha, seq_alpha);
+        }
+        assert!(cache.stats().evictions > 0, "cap 2 must evict: {:?}", cache.stats());
+    }
+
+    #[test]
+    fn cached_training_run_tuner_reuses_completed_runs() {
+        let data = Dataset::linear(24, 2.0, -1.0, 0.0, 7);
+        let grid = vec![2.0, 1.5, 0.05, 1.2, 1.9];
+        let uncached =
+            tune_training_run(&SequentialEngine::exhaustive(), grid.clone(), &data, (0.0, 0.0), 2);
+        let cache: ShardedCache<u64, f64> = ShardedCache::unbounded(4);
+        let first = tune_training_run_cached(
+            &SequentialEngine::exhaustive(),
+            grid.clone(),
+            &data,
+            (0.0, 0.0),
+            2,
+            &cache,
+        );
+        assert_eq!((first.alpha, first.err), (uncached.alpha, uncached.err));
+        assert_eq!(first.stats.cache.hits, 0);
+        for eng in engines() {
+            let again = tune_training_run_cached(&eng, grid.clone(), &data, (0.0, 0.0), 2, &cache);
+            assert_eq!((again.alpha, again.err), (uncached.alpha, uncached.err));
+            assert!(again.stats.cache.hits > 0, "warm cache answers repeat runs");
+        }
+        // Epoch invalidation (new dataset, say) forces re-training.
+        cache.advance_epoch();
+        let fresh = tune_training_run_cached(
+            &SequentialEngine::exhaustive(),
+            grid,
+            &data,
+            (0.0, 0.0),
+            2,
+            &cache,
+        );
+        assert_eq!((fresh.alpha, fresh.err), (uncached.alpha, uncached.err));
+        assert_eq!(fresh.stats.cache.hits, 0, "post-epoch search recomputes");
     }
 
     #[test]

@@ -1,18 +1,20 @@
 //! The `selc-engine` execution layer, end to end: parallel root-split
 //! minimax, branch-and-bound hyperparameter tuning, batched `tuneLR`
-//! with memoised probes, and parallel n-queens.
+//! with memoised probes, the `selc-cache` shared-memoisation layer
+//! (shared-cache tuning, transposition minimax), and parallel n-queens.
 //!
 //! ```sh
-//! SELC_THREADS=4 cargo run --release --example parallel_search
+//! SELC_THREADS=4 SELC_CACHE_SHARDS=8 cargo run --release --example parallel_search
 //! ```
 
 use selc_engine::{configured_threads, ParallelEngine, SequentialEngine};
 use selc_games::bimatrix::Matrix;
 use selc_games::parallel::{minimax_root_split_stats, queens_parallel};
 use selc_games::queens::is_solution;
+use selc_games::transposition::{solve_root_split, SymTree};
 use selc_ml::dataset::Dataset;
 use selc_ml::optimize::gd_handler_tuned;
-use selc_ml::parallel::{tune_lr_parallel, tune_training_run};
+use selc_ml::parallel::{tune_lr_parallel, tune_lr_parallel_cached, tune_training_run};
 
 fn main() {
     println!("worker pool: {} threads (SELC_THREADS to override)", configured_threads());
@@ -54,8 +56,39 @@ fn main() {
     };
     let out = tune_lr_parallel(&engine, vec![1.0, 0.5, 1.0, 0.5, 0.25, 0.25], 2, program);
     println!(
-        "batched tuneLR: rate {} (err {:.3}) — memo: {} probes, {} cache hits",
-        out.alpha, out.err, out.stats.memo.probes, out.stats.memo.hits
+        "batched tuneLR: rate {} (err {:.3}) — cache: {} real probes, {} hits",
+        out.alpha, out.err, out.stats.cache.misses, out.stats.cache.hits
+    );
+
+    // 3b. The same tuner against a *shared* cache (SELC_CACHE_SHARDS /
+    //     SELC_CACHE_CAP shape it): rates duplicated across batches are
+    //     probed once globally, and a second search is answered entirely
+    //     from the cache.
+    let cache = selc::ShardedCache::shared_from_env();
+    let grid = vec![1.0, 0.5, 1.0, 0.5, 0.25, 0.25];
+    let cold = tune_lr_parallel_cached(&engine, grid.clone(), 2, program, &cache);
+    let warm = tune_lr_parallel_cached(&engine, grid, 2, program, &cache);
+    assert_eq!((cold.alpha, cold.err), (warm.alpha, warm.err));
+    println!(
+        "shared-cache tuneLR: rate {} — cold {} misses, warm {} misses / {} hits ({}% hit rate)",
+        warm.alpha,
+        cold.stats.cache.misses,
+        warm.stats.cache.misses,
+        warm.stats.cache.hits,
+        (warm.stats.cache.hit_rate() * 100.0).round()
+    );
+
+    // 3c. Transposition minimax: an alternating game whose payoffs are
+    //     move-order-invariant, solved once per *canonical state* from a
+    //     cache shared by all workers.
+    let tree = SymTree::new(4, 6, 5);
+    let tcache = selc_games::transposition::TransCache::from_env();
+    let (mv, value, outcome) = solve_root_split(&tree, &engine, &tcache);
+    assert_eq!(value, tree.value_backward());
+    println!(
+        "transposition minimax (4^6 tree): move {mv}, value {value:.2} — {} states cached, {} hits",
+        tcache.len(),
+        outcome.stats.cache.hits
     );
 
     // 4. Parallel n-queens via the root-split product of selection
