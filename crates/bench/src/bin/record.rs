@@ -19,12 +19,26 @@
 //! hit rates alongside medians.
 
 use std::collections::BTreeMap;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
+/// Prints a usage-style error and exits non-zero (no panic backtraces
+/// for operator mistakes).
+fn fail(msg: &str) -> ! {
+    eprintln!("selc-bench-record: {msg}");
+    std::process::exit(2);
+}
+
 fn repo_root() -> PathBuf {
     // crates/bench/ → repo root is two levels up.
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root exists")
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    base.canonicalize().unwrap_or_else(|e| {
+        fail(&format!(
+            "cannot resolve the repo root from {} ({e}); run from a checkout of the workspace",
+            base.display()
+        ))
+    })
 }
 
 /// Parses one harness output line of the form
@@ -56,7 +70,7 @@ fn parse_cache_line(line: &str) -> Option<(String, [u64; 4])> {
     (seen == 4).then(|| (label.trim().to_string(), out))
 }
 
-fn next_snapshot_path(root: &Path) -> PathBuf {
+fn next_snapshot_number(root: &Path) -> u64 {
     let mut max_n = 0_u64;
     if let Ok(entries) = std::fs::read_dir(root) {
         for e in entries.flatten() {
@@ -69,7 +83,27 @@ fn next_snapshot_path(root: &Path) -> PathBuf {
             }
         }
     }
-    root.join(format!("BENCH_{}.json", max_n + 1))
+    max_n
+}
+
+/// Writes the snapshot to the next free `BENCH_<n>.json`, creating the
+/// file with `create_new` so a concurrently-written snapshot (another
+/// recorder racing past the directory scan) is never clobbered — on
+/// collision the number advances and the write retries.
+fn write_snapshot(root: &Path, json: &str) -> PathBuf {
+    let mut n = next_snapshot_number(root) + 1;
+    loop {
+        let path = root.join(format!("BENCH_{n}.json"));
+        match std::fs::File::create_new(&path) {
+            Ok(mut f) => {
+                f.write_all(json.as_bytes())
+                    .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+                return path;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => n += 1,
+            Err(e) => fail(&format!("cannot create {}: {e}", path.display())),
+        }
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -86,24 +120,25 @@ fn main() {
     let mut rest = args.iter();
     while let Some(a) = rest.next() {
         if a == "--bench" {
-            let target = rest.next().expect("--bench needs a target name");
+            let Some(target) = rest.next() else {
+                fail("--bench needs a target name; usage: selc-bench-record [--bench <target>]");
+            };
             cmd.args(["--bench", target]);
         } else {
-            panic!("unknown argument {a:?}; usage: selc-bench-record [--bench <target>]");
+            fail(&format!("unknown argument {a:?}; usage: selc-bench-record [--bench <target>]"));
         }
     }
     eprintln!("running {cmd:?} …");
-    let out = cmd.output().expect("cargo bench runs");
+    let out = cmd.output().unwrap_or_else(|e| fail(&format!("cannot run cargo bench ({e})")));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(
-        out.status.success(),
-        "cargo bench failed:\n{}\n{}",
-        stdout,
-        String::from_utf8_lossy(&out.stderr)
-    );
+    if !out.status.success() {
+        fail(&format!("cargo bench failed:\n{}\n{}", stdout, String::from_utf8_lossy(&out.stderr)));
+    }
 
     let benches: BTreeMap<String, f64> = stdout.lines().filter_map(parse_line).collect();
-    assert!(!benches.is_empty(), "no bench medians found in output:\n{stdout}");
+    if benches.is_empty() {
+        fail(&format!("no bench medians found in output:\n{stdout}"));
+    }
     let cache: BTreeMap<String, [u64; 4]> = stdout.lines().filter_map(parse_cache_line).collect();
 
     let recorded_at = std::time::SystemTime::UNIX_EPOCH.elapsed().map(|d| d.as_secs()).unwrap_or(0);
@@ -132,7 +167,6 @@ fn main() {
         json.push_str("\n  }\n}\n");
     }
 
-    let path = next_snapshot_path(&root);
-    std::fs::write(&path, json).expect("snapshot written");
+    let path = write_snapshot(&root, &json);
     println!("recorded {} benches to {}", benches.len(), path.display());
 }

@@ -87,7 +87,7 @@ pub use effect::{perform, Effect, Operation};
 pub use handler::{handle, handle_with, Choice, Handler, HandlerBuilder, Resume};
 pub use loss::Loss;
 pub use memo::MemoChoice;
-pub use ordered::OrderedLoss;
+pub use ordered::{f64_sort_key, OrderedLoss};
 pub use replay::{replay_loss, Replay, ReplaySpace};
 pub use runtime::{zero_cont, BindCont, LossCont, NodeCont, RawChoice, RawResume, SelRun};
 pub use sel::{loss, Sel, UnhandledOp};

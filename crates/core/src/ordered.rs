@@ -42,8 +42,11 @@ pub trait OrderedLoss: Loss + Send + Sync {
 }
 
 /// Order-preserving `u64` key for an `f64` (the classic sign-flip trick):
-/// `key(a) < key(b)` iff `a.total_cmp(b) == Less`.
-fn f64_sort_key(x: f64) -> u64 {
+/// `key(a) < key(b)` iff `a.total_cmp(b) == Less`. Public so downstream
+/// prune encodings (e.g. the λC bridge's loss embedding) share this one
+/// definition instead of re-deriving it — the branch-and-bound soundness
+/// argument needs every encoder to agree bit for bit.
+pub fn f64_sort_key(x: f64) -> u64 {
     let bits = x.to_bits();
     if bits >> 63 == 1 {
         !bits

@@ -37,9 +37,11 @@
 
 pub mod bigstep;
 pub mod build;
+pub mod compile;
 pub mod examples;
 pub mod giantstep;
 pub mod loss;
+pub mod machine;
 pub mod prim;
 pub mod sig;
 pub mod smallstep;
@@ -50,7 +52,9 @@ pub mod typecheck;
 pub mod types;
 
 pub use bigstep::{eval, eval_closed, EvalOutcome};
+pub use compile::{compile, CompileError, CompiledProgram};
 pub use loss::LossVal;
+pub use machine::{MachError, MachineOutcome};
 pub use sig::{OpSig, SigError, Signature};
 pub use smallstep::{step, EvalError, StepResult};
 pub use syntax::{Const, Expr, Handler};

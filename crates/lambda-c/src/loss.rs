@@ -47,6 +47,18 @@ impl LossVal {
         self.0.first().copied().unwrap_or(0.0)
     }
 
+    /// The *total* order on scalar readings used by every comparison an
+    /// argmin/argmax handler can make (the `leq`/`lt` primitives) and by
+    /// the engine bridge's candidate reduction: [`f64::total_cmp`] on
+    /// [`LossVal::as_scalar`]. Unlike the partial `<=` on `f64`, this
+    /// orders NaN (above `+∞`) and `-0.0 < +0.0` deterministically, so
+    /// winners are identical across the smallstep, bigstep, and compiled
+    /// evaluators and across sequential and parallel searches — the same
+    /// contract as `selc::OrderedLoss` for `f64`.
+    pub fn cmp_scalar(&self, other: &LossVal) -> std::cmp::Ordering {
+        self.as_scalar().total_cmp(&other.as_scalar())
+    }
+
     /// Component `i`, defaulting to `0.0`.
     pub fn component(&self, i: usize) -> f64 {
         self.0.get(i).copied().unwrap_or(0.0)
@@ -131,6 +143,25 @@ mod tests {
         assert_eq!(LossVal::zero().to_string(), "0");
         assert_eq!(LossVal::scalar(2.0).to_string(), "2");
         assert_eq!(LossVal::pair(3.0, 4.0).to_string(), "(3, 4)");
+    }
+
+    #[test]
+    fn cmp_scalar_is_total_and_orders_nan_last() {
+        use std::cmp::Ordering;
+        let one = LossVal::scalar(1.0);
+        let two = LossVal::scalar(2.0);
+        let nan = LossVal::scalar(f64::NAN);
+        let inf = LossVal::scalar(f64::INFINITY);
+        assert_eq!(one.cmp_scalar(&two), Ordering::Less);
+        assert_eq!(two.cmp_scalar(&one), Ordering::Greater);
+        assert_eq!(one.cmp_scalar(&LossVal::pair(1.0, 9.0)), Ordering::Equal, "scalar reading");
+        assert_eq!(inf.cmp_scalar(&nan), Ordering::Less, "NaN sorts above +inf");
+        assert_eq!(nan.cmp_scalar(&nan), Ordering::Equal, "total: NaN equals itself");
+        assert_eq!(
+            LossVal::scalar(-0.0).cmp_scalar(&LossVal::scalar(0.0)),
+            Ordering::Less,
+            "-0.0 sorts below +0.0 under the total order"
+        );
     }
 
     #[test]

@@ -1,0 +1,1337 @@
+//! The environment machine: closure-based evaluation of compiled λC.
+//!
+//! Where [`crate::smallstep`] re-traverses and re-substitutes the whole
+//! term on every step, this machine evaluates [`crate::compile::Code`]
+//! with **persistent environments** (a β-step is one cons onto an
+//! environment list) and **reified continuations** (`Rc` closures, so the
+//! multi-shot delimited and choice continuations of rule (R5) come from
+//! cloning a pointer instead of replugging a syntactic context).
+//!
+//! The machine mirrors the Fig-6 loss-continuation semantics exactly:
+//!
+//! * **Eager loss emission** — `loss(v)` emits into the innermost loss
+//!   sink the moment it reduces, like the transition labels of Fig 6;
+//!   the ambient sink accumulates in emission order, so totals are
+//!   bit-identical to [`crate::bigstep::eval`]'s running sum.
+//! * **Capture scopes** — a `◮` left-hand side (rule S2) and a choice
+//!   probe collect their emissions into a local buffer and fold them
+//!   right-associatively around the loss continuation's verdict,
+//!   reproducing smallstep's `r1 + (r2 + (… + g(v)))` nesting including
+//!   the elision of zero losses; `reset` (S4) discards.
+//! * **Loss continuations as values** — the internal `GVal` chains
+//!   mirror the (F)/(S1)–(S4) transitions: every evaluation position
+//!   extends the chain with a frame (`λx. F[x] ◮ g`), handler bodies
+//!   get the return-clause extension with the *live* parameter (the
+//!   activation's parameter stack plays the role of smallstep's
+//!   rebuilt-from-the-term `from` value), and `then`/`local` replace it.
+//! * **Handlers** — rule (R5) builds the probe (`l`) and resume (`k`)
+//!   continuations as machine values closing over the captured
+//!   continuation; both re-run it under a fresh parameter push, so
+//!   parameterized handlers thread state exactly as the rebuilt terms
+//!   of the substitution semantics do.
+//!
+//! Two extra run modes serve the engine bridge (`lambda-rt`): **forced
+//! choices** replace the clause of selected boolean operations by a
+//! scripted decision (turning one run into one search candidate), and a
+//! **prune hook** aborts a run whose ambient partial loss is already
+//! strictly worse than a shared bound (sound for non-negative losses).
+
+use crate::compile::{Code, CodeHandler, CompiledProgram};
+use crate::loss::LossVal;
+use crate::prim::{prim_lookup, Ground};
+use crate::syntax::Const;
+use crate::types::Type;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Values and environments
+// ---------------------------------------------------------------------------
+
+/// A persistent environment: de Bruijn index 0 is the most recent push.
+#[derive(Clone, Default)]
+pub struct Env(Option<Rc<EnvNode>>);
+
+struct EnvNode {
+    val: MVal,
+    next: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// Extends with one value (O(1), shares the tail).
+    pub fn push(&self, val: MVal) -> Env {
+        Env(Some(Rc::new(EnvNode { val, next: self.clone() })))
+    }
+
+    /// Looks up de Bruijn index `i`.
+    pub fn get(&self, i: usize) -> Option<&MVal> {
+        let mut cur = self;
+        for _ in 0..i {
+            cur = &cur.0.as_ref()?.next;
+        }
+        cur.0.as_ref().map(|n| &n.val)
+    }
+}
+
+/// One-line opaque Debug impls for closure-bearing types.
+macro_rules! fmt_summary {
+    ($name:literal) => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str($name)
+        }
+    };
+}
+
+impl fmt::Debug for Env {
+    fmt_summary!("Env");
+}
+
+/// A machine value. Ground shapes carry the type annotations needed to
+/// reconstruct the same [`Ground`] values the reference interpreter
+/// produces; functional values are closures or the machine-built handler
+/// continuations of rule (R5).
+#[derive(Clone)]
+pub enum MVal {
+    /// A loss constant.
+    Loss(LossVal),
+    /// A character.
+    Char(char),
+    /// A string.
+    Str(String),
+    /// A natural number.
+    Nat(u64),
+    /// A tuple.
+    Tuple(Vec<MVal>),
+    /// An injection into a sum.
+    Sum {
+        /// Right injection?
+        right: bool,
+        /// Left summand type.
+        lty: Type,
+        /// Right summand type.
+        rty: Type,
+        /// Payload.
+        val: Box<MVal>,
+    },
+    /// A list value.
+    List {
+        /// Element type.
+        elem: Type,
+        /// Elements, head first.
+        items: Vec<MVal>,
+    },
+    /// A closure (a `λ` value).
+    Clos(Clos),
+    /// The choice continuation `l` of rule (R5): applied to `(p, y)`,
+    /// yields the loss the rest of the program would incur.
+    Probe(HandlerCtl),
+    /// The delimited continuation `k` of rule (R5): applied to `(p, y)`,
+    /// resumes the handled computation.
+    Resume(HandlerCtl),
+}
+
+impl MVal {
+    /// The unit value.
+    pub fn unit() -> MVal {
+        MVal::Tuple(Vec::new())
+    }
+
+    /// The boolean encoding (`inl () = true`), matching [`crate::syntax::Expr::bool`].
+    pub fn bool(b: bool) -> MVal {
+        MVal::Sum { right: !b, lty: Type::unit(), rty: Type::unit(), val: Box::new(MVal::unit()) }
+    }
+
+    /// Converts a first-order value to [`Ground`]; `None` for closures and
+    /// handler continuations.
+    pub fn to_ground(&self) -> Option<Ground> {
+        match self {
+            MVal::Loss(l) => Some(Ground::Loss(l.clone())),
+            MVal::Char(c) => Some(Ground::Char(*c)),
+            MVal::Str(s) => Some(Ground::Str(s.clone())),
+            MVal::Nat(n) => Some(Ground::Nat(*n)),
+            MVal::Tuple(vs) => {
+                Some(Ground::Tuple(vs.iter().map(MVal::to_ground).collect::<Option<Vec<_>>>()?))
+            }
+            MVal::Sum { right, val, .. } => Some(Ground::Sum(*right, Box::new(val.to_ground()?))),
+            MVal::List { items, .. } => {
+                Some(Ground::List(items.iter().map(MVal::to_ground).collect::<Option<Vec<_>>>()?))
+            }
+            MVal::Clos(_) | MVal::Probe(_) | MVal::Resume(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for MVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_ground() {
+            Some(g) => write!(f, "{g}"),
+            None => f.write_str("<fun>"),
+        }
+    }
+}
+
+/// A closure: compiled body plus captured environment.
+#[derive(Clone)]
+pub struct Clos {
+    body: Arc<Code>,
+    env: Env,
+}
+
+impl fmt::Debug for Clos {
+    fmt_summary!("Clos");
+}
+
+/// One handler activation: the handler, its closure environment, and the
+/// live-parameter stack consulted by the return-clause loss continuation
+/// (smallstep reads the current `from` value off the rebuilt term; the
+/// machine reads the top of this stack, pushed once per continuation run).
+struct Activation {
+    h: Arc<CodeHandler>,
+    env: Env,
+    params: RefCell<Vec<MVal>>,
+}
+
+/// What the machine-built `l`/`k` values of rule (R5) close over: the
+/// activation, the captured continuation `K`, and the loss continuation
+/// current at the handler (both `f_l = λz. (with h handle K[z.1]) ◮ g` and
+/// `f_k = λz. ⟨with h handle K[z.1]⟩_g` mention the same `g`).
+#[derive(Clone)]
+pub struct HandlerCtl {
+    act: Rc<Activation>,
+    kont: KCont,
+    g: GVal,
+}
+
+impl fmt::Debug for HandlerCtl {
+    fmt_summary!("HandlerCtl");
+}
+
+// ---------------------------------------------------------------------------
+// Loss continuations as values
+// ---------------------------------------------------------------------------
+
+/// A reified loss continuation — the `g` threaded through Fig 6, as a
+/// chain of the transitions that built it.
+#[derive(Clone)]
+enum GVal {
+    /// The zero continuation `0` (how execution starts, §3.3).
+    Zero,
+    /// An ordinary lambda installed by `◮` (S2) or `⟨·⟩_g` (S3).
+    Fun(Clos),
+    /// The (F) extension `λx. F[x] ◮ outer`: `rest` finishes the current
+    /// node's evaluation given the hole's value.
+    Frame { rest: KCont, outer: Rc<GVal> },
+    /// The (S1) extension `λx. ret(p_now, x) ◮ outer` with the live
+    /// parameter of `act`.
+    Ret { act: Rc<Activation>, outer: Rc<GVal> },
+}
+
+// ---------------------------------------------------------------------------
+// Outcomes, errors, configuration
+// ---------------------------------------------------------------------------
+
+/// A machine run's result, mirroring [`crate::bigstep::EvalOutcome`].
+#[derive(Clone, Debug)]
+pub struct MachineOutcome {
+    /// Total ambient loss, accumulated in emission order.
+    pub loss: LossVal,
+    /// The terminal value (`None` when stuck).
+    pub value: Option<MVal>,
+    /// `Some(op)` iff evaluation stuck on an unhandled operation.
+    pub stuck_on: Option<String>,
+    /// Machine steps (β-reductions and continuation runs) taken.
+    pub steps: u64,
+    /// Forced decisions consumed (0 outside forced mode).
+    pub decisions_used: u32,
+}
+
+impl MachineOutcome {
+    /// The terminal as a [`Ground`] value, when it is first-order.
+    pub fn ground_value(&self) -> Option<Ground> {
+        self.value.as_ref().and_then(MVal::to_ground)
+    }
+}
+
+/// A runtime error. On well-typed input only [`MachError::OutOfFuel`],
+/// [`MachError::Pruned`] and [`MachError::DecisionsExhausted`] can occur,
+/// mirroring the progress guarantee of the reference semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachError {
+    /// Ill-formed (ill-typed) expression reached evaluation.
+    Malformed(String),
+    /// A primitive failed.
+    Prim(String),
+    /// Fuel exhausted.
+    OutOfFuel {
+        /// Steps taken before giving up.
+        steps: u64,
+    },
+    /// The prune hook reported the partial loss strictly dominated.
+    Pruned,
+    /// Forced mode ran out of scripted decisions.
+    DecisionsExhausted,
+}
+
+impl fmt::Display for MachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachError::Malformed(m) => write!(f, "malformed expression: {m}"),
+            MachError::Prim(m) => write!(f, "primitive failed: {m}"),
+            MachError::OutOfFuel { steps } => write!(f, "out of fuel after {steps} steps"),
+            MachError::Pruned => f.write_str("run abandoned: partial loss dominated"),
+            MachError::DecisionsExhausted => f.write_str("forced run exhausted its decisions"),
+        }
+    }
+}
+
+impl std::error::Error for MachError {}
+
+/// Scripted decisions for a forced run: operations in `ops` (which must
+/// return `bool` and be handled by an argmin-style chooser for the search
+/// bridge's equivalence to hold — see `lambda-rt`) are answered from the
+/// bits of `bits` instead of their handler clause.
+///
+/// Decision `j` (0-based, in dynamic order) is `true` iff bit
+/// `max_decisions - 1 - j` of `bits` is **0**, so candidate indices
+/// enumerate decision vectors lexicographically with `true` first —
+/// matching the `leq` tie-breaking of the paper's argmin handlers.
+#[derive(Clone, Debug)]
+pub struct ForcedChoices {
+    /// Operations to force.
+    pub ops: BTreeSet<String>,
+    /// The decision word (one candidate index).
+    pub bits: u64,
+    /// How many decisions the word encodes (the search depth).
+    pub max_decisions: u32,
+}
+
+/// Mid-run pruning: abort when the encoded ambient partial loss is
+/// strictly above `threshold` (a shared mirror of the engine's best
+/// achieved loss, in the same monotone `prune_bits` encoding). Sound only
+/// when later emissions cannot decrease the total (non-negative losses).
+#[derive(Clone)]
+pub struct MachinePrune {
+    /// Best achieved loss so far, encoded; `u64::MAX` means none yet.
+    pub threshold: Arc<AtomicU64>,
+    /// The monotone order embedding (e.g. `OrdLossVal::prune_bits`).
+    pub encode: fn(&LossVal) -> u64,
+}
+
+impl fmt::Debug for MachinePrune {
+    fmt_summary!("MachinePrune");
+}
+
+/// Run configuration.
+#[derive(Clone, Debug, Default)]
+pub struct RunConfig {
+    /// Step budget; 0 means [`DEFAULT_MACHINE_FUEL`].
+    pub fuel: u64,
+    /// Forced decisions (engine-search candidates).
+    pub forced: Option<ForcedChoices>,
+    /// Mid-run pruning hook.
+    pub prune: Option<MachinePrune>,
+}
+
+/// Default step budget: ample for every paper program and test corpus.
+pub const DEFAULT_MACHINE_FUEL: u64 = 2_000_000;
+
+// ---------------------------------------------------------------------------
+// The machine
+// ---------------------------------------------------------------------------
+
+type LossBuf = Vec<LossVal>;
+type EvalR = Result<MRes, MachError>;
+/// A resumable continuation: feed an operation result, keep evaluating.
+type KCont = Rc<dyn Fn(&mut Machine, MVal, &mut LossBuf) -> EvalR>;
+/// A deferred continuation run (a handler segment's body).
+type Seg = Rc<dyn Fn(&mut Machine, &mut LossBuf) -> EvalR>;
+
+/// Either a value or a stuck operation with its resumption.
+enum MRes {
+    Done(MVal),
+    Stuck(StuckM),
+}
+
+struct StuckM {
+    op: String,
+    arg: MVal,
+    cont: KCont,
+}
+
+struct ForcedState {
+    ops: BTreeSet<String>,
+    bits: u64,
+    max: u32,
+    used: u32,
+}
+
+impl ForcedState {
+    fn next(&mut self) -> Result<bool, MachError> {
+        if self.used >= self.max {
+            return Err(MachError::DecisionsExhausted);
+        }
+        let shift = self.max - 1 - self.used;
+        self.used += 1;
+        Ok((self.bits >> shift) & 1 == 0)
+    }
+}
+
+/// The mutable run state threaded through evaluation.
+struct Machine {
+    fuel_left: u64,
+    steps: u64,
+    /// Depth of enclosing capture/discard loss scopes (0 = ambient).
+    capture_depth: u32,
+    forced: Option<ForcedState>,
+    prune: Option<MachinePrune>,
+    prune_partial: LossVal,
+}
+
+impl Machine {
+    fn tick(&mut self) -> Result<(), MachError> {
+        self.steps += 1;
+        if self.fuel_left == 0 {
+            return Err(MachError::OutOfFuel { steps: self.steps });
+        }
+        self.fuel_left -= 1;
+        Ok(())
+    }
+
+    /// Emits a loss into `buf`, mirroring smallstep exactly: ambient
+    /// emissions keep every loss (the bigstep total adds them all, in
+    /// order), capture scopes elide zeros (S2 skips the `add` wrapper for
+    /// `r = 0`).
+    fn emit(&mut self, buf: &mut LossBuf, l: LossVal) -> Result<(), MachError> {
+        if self.capture_depth == 0 {
+            if let Some(p) = &self.prune {
+                self.prune_partial = self.prune_partial.add(&l);
+                if (p.encode)(&self.prune_partial) > p.threshold.load(Ordering::Relaxed) {
+                    return Err(MachError::Pruned);
+                }
+            }
+            buf.push(l);
+        } else if !l.is_zero() {
+            buf.push(l);
+        }
+        Ok(())
+    }
+}
+
+/// Runs a compiled program under the zero loss continuation with default
+/// fuel — the machine counterpart of [`crate::bigstep::eval_closed`].
+///
+/// # Errors
+///
+/// See [`MachError`]; on well-typed, fully handled input only fuel
+/// exhaustion is possible.
+pub fn run(p: &CompiledProgram) -> Result<MachineOutcome, MachError> {
+    run_with(p, RunConfig::default())
+}
+
+/// Runs a compiled program with explicit configuration.
+///
+/// # Errors
+///
+/// See [`MachError`].
+pub fn run_with(p: &CompiledProgram, cfg: RunConfig) -> Result<MachineOutcome, MachError> {
+    let fuel = if cfg.fuel == 0 { DEFAULT_MACHINE_FUEL } else { cfg.fuel };
+    let mut m = Machine {
+        fuel_left: fuel,
+        steps: 0,
+        capture_depth: 0,
+        forced: cfg.forced.map(|f| ForcedState {
+            ops: f.ops,
+            bits: f.bits,
+            max: f.max_decisions,
+            used: 0,
+        }),
+        prune: cfg.prune,
+        prune_partial: LossVal::zero(),
+    };
+    let mut ambient: LossBuf = Vec::new();
+    let r = eval(&mut m, &p.code, &Env::empty(), &GVal::Zero, &mut ambient)?;
+    let mut loss = LossVal::zero();
+    for l in &ambient {
+        loss = loss.add(l);
+    }
+    let decisions_used = m.forced.as_ref().map_or(0, |f| f.used);
+    Ok(match r {
+        MRes::Done(v) => {
+            MachineOutcome { loss, value: Some(v), stuck_on: None, steps: m.steps, decisions_used }
+        }
+        MRes::Stuck(s) => MachineOutcome {
+            loss,
+            value: None,
+            stuck_on: Some(s.op),
+            steps: m.steps,
+            decisions_used,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Core evaluation
+// ---------------------------------------------------------------------------
+
+/// Sequences `rest` after a possibly-stuck result, re-wrapping the
+/// resumption so later sticks keep composing (the CPS analogue of
+/// plugging frames back around `K[y]`).
+fn bind(m: &mut Machine, r: MRes, buf: &mut LossBuf, rest: KCont) -> EvalR {
+    match r {
+        MRes::Done(v) => rest(m, v, buf),
+        MRes::Stuck(s) => {
+            let inner = s.cont;
+            let cont: KCont = Rc::new(move |m, y, buf| {
+                let r = inner(m, y, buf)?;
+                bind(m, r, buf, rest.clone())
+            });
+            Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont }))
+        }
+    }
+}
+
+/// State for evaluating a node's children left to right; `finish`
+/// completes the node once all children are values.
+struct SeqState {
+    children: Rc<Vec<Arc<Code>>>,
+    idx: usize,
+    done: Vec<MVal>,
+    env: Env,
+    g: GVal,
+    finish: Finish,
+}
+
+type Finish = Rc<dyn Fn(&mut Machine, Vec<MVal>, &mut LossBuf) -> EvalR>;
+
+fn eval_seq(m: &mut Machine, st: SeqState, buf: &mut LossBuf) -> EvalR {
+    if st.idx == st.children.len() {
+        return (st.finish)(m, st.done, buf);
+    }
+    let child = Arc::clone(&st.children[st.idx]);
+    let env = st.env.clone();
+    let g_node = st.g.clone();
+    // The continuation after this child: it both resumes evaluation on
+    // `bind` and *is* the `F[x]` of the loss-continuation extension
+    // `λx. F[x] ◮ g` (rule F) — one coarse frame per remaining node,
+    // which folds identically to smallstep's one frame per constructor.
+    let rest: KCont = Rc::new(move |m, v, buf| {
+        let mut done = st.done.clone();
+        done.push(v);
+        eval_seq(
+            m,
+            SeqState {
+                children: Rc::clone(&st.children),
+                idx: st.idx + 1,
+                done,
+                env: st.env.clone(),
+                g: st.g.clone(),
+                finish: Rc::clone(&st.finish),
+            },
+            buf,
+        )
+    });
+    let g_child = GVal::Frame { rest: Rc::clone(&rest), outer: Rc::new(g_node) };
+    let r = eval(m, &child, &env, &g_child, buf)?;
+    bind(m, r, buf, rest)
+}
+
+/// Convenience: evaluates `children` in `env`, then `finish`.
+fn seq(
+    m: &mut Machine,
+    children: Vec<Arc<Code>>,
+    env: &Env,
+    g: &GVal,
+    buf: &mut LossBuf,
+    finish: Finish,
+) -> EvalR {
+    eval_seq(
+        m,
+        SeqState {
+            children: Rc::new(children),
+            idx: 0,
+            done: Vec::new(),
+            env: env.clone(),
+            g: g.clone(),
+            finish,
+        },
+        buf,
+    )
+}
+
+/// Evaluates `code` in `env` under loss continuation `g`, emitting into
+/// `buf` — the machine's analogue of the judgment `g ⊢ε e →* w`.
+fn eval(m: &mut Machine, code: &Arc<Code>, env: &Env, g: &GVal, buf: &mut LossBuf) -> EvalR {
+    match code.as_ref() {
+        Code::Const(c) => Ok(MRes::Done(const_val(c))),
+        Code::Var(i) => match env.get(*i) {
+            Some(v) => Ok(MRes::Done(v.clone())),
+            None => Err(MachError::Malformed(format!("unbound de Bruijn index {i}"))),
+        },
+        Code::Lam(body) => {
+            Ok(MRes::Done(MVal::Clos(Clos { body: Arc::clone(body), env: env.clone() })))
+        }
+        Code::Zero => Ok(MRes::Done(MVal::Nat(0))),
+        Code::Nil(t) => Ok(MRes::Done(MVal::List { elem: t.clone(), items: Vec::new() })),
+        Code::Prim(name, a) => {
+            let name = name.clone();
+            seq(
+                m,
+                vec![Arc::clone(a)],
+                env,
+                g,
+                buf,
+                Rc::new(move |_m, done, _buf| prim_apply(&name, &done[0])),
+            )
+        }
+        Code::Tuple(es) => seq(
+            m,
+            es.clone(),
+            env,
+            g,
+            buf,
+            Rc::new(|_m, done, _buf| Ok(MRes::Done(MVal::Tuple(done)))),
+        ),
+        Code::Proj(a, i) => {
+            let i = *i;
+            seq(
+                m,
+                vec![Arc::clone(a)],
+                env,
+                g,
+                buf,
+                Rc::new(move |_m, done, _buf| match &done[0] {
+                    MVal::Tuple(vs) => vs.get(i).cloned().map(MRes::Done).ok_or_else(|| {
+                        MachError::Malformed(format!("projection .{} out of range", i + 1))
+                    }),
+                    other => {
+                        Err(MachError::Malformed(format!("projection from non-tuple {other:?}")))
+                    }
+                }),
+            )
+        }
+        Code::Inl { lty, rty, e } => inj(m, (false, lty, rty, e), env, g, buf),
+        Code::Inr { lty, rty, e } => inj(m, (true, lty, rty, e), env, g, buf),
+        Code::Succ(a) => seq(
+            m,
+            vec![Arc::clone(a)],
+            env,
+            g,
+            buf,
+            Rc::new(|_m, done, _buf| match &done[0] {
+                MVal::Nat(n) => Ok(MRes::Done(MVal::Nat(n + 1))),
+                other => Err(MachError::Malformed(format!("succ of non-nat {other:?}"))),
+            }),
+        ),
+        Code::Cons(a, b) => seq(
+            m,
+            vec![Arc::clone(a), Arc::clone(b)],
+            env,
+            g,
+            buf,
+            Rc::new(|_m, mut done, _buf| {
+                let tail = done.pop().expect("two children");
+                let head = done.pop().expect("two children");
+                match tail {
+                    MVal::List { elem, mut items } => {
+                        items.insert(0, head);
+                        Ok(MRes::Done(MVal::List { elem, items }))
+                    }
+                    other => Err(MachError::Malformed(format!("cons onto non-list {other:?}"))),
+                }
+            }),
+        ),
+        Code::Cases { scrut, lbody, rbody } => {
+            let (lbody, rbody) = (Arc::clone(lbody), Arc::clone(rbody));
+            let (env2, g2) = (env.clone(), g.clone());
+            seq(
+                m,
+                vec![Arc::clone(scrut)],
+                env,
+                g,
+                buf,
+                Rc::new(move |m, mut done, buf| match done.pop().expect("one child") {
+                    // The chosen branch replaces the node: same g.
+                    MVal::Sum { right, val, .. } => {
+                        let body = if right { &rbody } else { &lbody };
+                        eval(m, body, &env2.push(*val), &g2, buf)
+                    }
+                    other => Err(MachError::Malformed(format!("cases on non-sum {other:?}"))),
+                }),
+            )
+        }
+        Code::App(f, a) => {
+            let g2 = g.clone();
+            seq(
+                m,
+                vec![Arc::clone(f), Arc::clone(a)],
+                env,
+                g,
+                buf,
+                Rc::new(move |m, mut done, buf| {
+                    let a = done.pop().expect("two children");
+                    let f = done.pop().expect("two children");
+                    apply(m, f, a, &g2, buf)
+                }),
+            )
+        }
+        Code::Iter(a, b, c) => {
+            let g2 = g.clone();
+            seq(
+                m,
+                vec![Arc::clone(a), Arc::clone(b), Arc::clone(c)],
+                env,
+                g,
+                buf,
+                Rc::new(move |m, mut done, buf| {
+                    let cv = done.pop().expect("three children");
+                    let bv = done.pop().expect("three children");
+                    match done.pop().expect("three children") {
+                        MVal::Nat(n) => iter_apply(m, n, bv, &cv, &g2, buf, |_d, v| v),
+                        other => Err(MachError::Malformed(format!("iter on non-nat {other:?}"))),
+                    }
+                }),
+            )
+        }
+        Code::Fold(a, b, c) => {
+            let g2 = g.clone();
+            seq(
+                m,
+                vec![Arc::clone(a), Arc::clone(b), Arc::clone(c)],
+                env,
+                g,
+                buf,
+                Rc::new(move |m, mut done, buf| {
+                    let cv = done.pop().expect("three children");
+                    let bv = done.pop().expect("three children");
+                    match done.pop().expect("three children") {
+                        MVal::List { items, .. } => {
+                            let len = items.len() as u64;
+                            let items = Rc::new(items);
+                            let pick =
+                                move |d: usize, v: MVal| MVal::Tuple(vec![items[d].clone(), v]);
+                            iter_apply(m, len, bv, &cv, &g2, buf, pick)
+                        }
+                        other => Err(MachError::Malformed(format!("fold on non-list {other:?}"))),
+                    }
+                }),
+            )
+        }
+        Code::OpCall { op, arg } => {
+            let op = op.clone();
+            seq(
+                m,
+                vec![Arc::clone(arg)],
+                env,
+                g,
+                buf,
+                Rc::new(move |_m, mut done, _buf| {
+                    Ok(MRes::Stuck(StuckM {
+                        op: op.clone(),
+                        arg: done.pop().expect("one child"),
+                        cont: Rc::new(|_m, y, _buf| Ok(MRes::Done(y))),
+                    }))
+                }),
+            )
+        }
+        Code::Loss(a) => seq(
+            m,
+            vec![Arc::clone(a)],
+            env,
+            g,
+            buf,
+            Rc::new(|m, mut done, buf| match done.pop().expect("one child") {
+                MVal::Loss(l) => {
+                    m.emit(buf, l)?;
+                    Ok(MRes::Done(MVal::unit()))
+                }
+                other => Err(MachError::Malformed(format!("loss of non-loss {other:?}"))),
+            }),
+        ),
+        Code::Handle { handler, from, body } => {
+            let act_proto = (Arc::clone(handler), env.clone());
+            let body = Arc::clone(body);
+            let g2 = g.clone();
+            seq(
+                m,
+                vec![Arc::clone(from)],
+                env,
+                g,
+                buf,
+                Rc::new(move |m, mut done, buf| {
+                    let p0 = done.pop().expect("one child");
+                    let act = Rc::new(Activation {
+                        h: Arc::clone(&act_proto.0),
+                        env: act_proto.1.clone(),
+                        params: RefCell::new(Vec::new()),
+                    });
+                    // (S1): the handled body runs under the return-clause
+                    // extension with the live parameter.
+                    let g1 = GVal::Ret { act: Rc::clone(&act), outer: Rc::new(g2.clone()) };
+                    let (body, benv) = (Arc::clone(&body), act_proto.1.clone());
+                    let start: Seg = Rc::new(move |m, buf| eval(m, &body, &benv, &g1, buf));
+                    run_seg(m, &act, p0, start, &g2, buf)
+                }),
+            )
+        }
+        Code::Then { e, lam_body } => {
+            // (S2): capture the lhs's losses under g := the lambda.
+            let lam = GVal::Fun(Clos { body: Arc::clone(lam_body), env: env.clone() });
+            let mut cap = Vec::new();
+            m.capture_depth += 1;
+            let r = eval(m, e, env, &lam, &mut cap);
+            m.capture_depth -= 1;
+            then_finish(m, r?, cap, lam, buf)
+        }
+        Code::Local { g_body, e } => {
+            // (S3): evaluate under the localised continuation; losses are
+            // exported, stuck resumptions keep the baked-in chain.
+            let g1 = GVal::Fun(Clos { body: Arc::clone(g_body), env: env.clone() });
+            eval(m, e, env, &g1, buf)
+        }
+        Code::Reset(e) => {
+            m.capture_depth += 1;
+            let mut junk = Vec::new();
+            let r = eval(m, e, env, g, &mut junk);
+            m.capture_depth -= 1;
+            reset_finish(m, r?)
+        }
+    }
+}
+
+/// (S4) continued: losses inside `reset` stay suppressed across
+/// resumptions, and the value passes through untouched (R9).
+fn reset_finish(_m: &mut Machine, r: MRes) -> EvalR {
+    match r {
+        MRes::Done(v) => Ok(MRes::Done(v)),
+        MRes::Stuck(s) => {
+            let inner = s.cont;
+            let cont: KCont = Rc::new(move |m, y, _buf| {
+                m.capture_depth += 1;
+                let mut junk = Vec::new();
+                let r = inner(m, y, &mut junk);
+                m.capture_depth -= 1;
+                reset_finish(m, r?)
+            });
+            Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont }))
+        }
+    }
+}
+
+/// Completes a `◮` (or a choice probe, which is one): the captured losses
+/// `cap` fold right-associatively around the continuation's verdict on
+/// the value — smallstep's `r1 + (r2 + (… + g(v)))` nesting.
+fn then_finish(m: &mut Machine, r: MRes, cap: Vec<LossVal>, lam: GVal, buf: &mut LossBuf) -> EvalR {
+    match r {
+        MRes::Done(v) => {
+            let gr = apply_g(m, &lam, v, buf)?;
+            fold_finish(m, gr, cap)
+        }
+        MRes::Stuck(s) => {
+            let inner = s.cont;
+            let cont: KCont = Rc::new(move |m, y, buf| {
+                let mut cap2 = cap.clone();
+                m.capture_depth += 1;
+                let r = inner(m, y, &mut cap2);
+                m.capture_depth -= 1;
+                then_finish(m, r?, cap2, lam.clone(), buf)
+            });
+            Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont }))
+        }
+    }
+}
+
+/// Folds captured losses around the (possibly still suspended) verdict.
+fn fold_finish(_m: &mut Machine, gr: MRes, cap: Vec<LossVal>) -> EvalR {
+    match gr {
+        MRes::Done(MVal::Loss(mut l)) => {
+            for r in cap.iter().rev() {
+                l = r.add(&l);
+            }
+            Ok(MRes::Done(MVal::Loss(l)))
+        }
+        MRes::Done(other) => {
+            Err(MachError::Malformed(format!("loss continuation returned non-loss {other:?}")))
+        }
+        MRes::Stuck(s) => {
+            let inner = s.cont;
+            let cont: KCont = Rc::new(move |m, y, buf| {
+                let r = inner(m, y, buf)?;
+                fold_finish(m, r, cap.clone())
+            });
+            Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont }))
+        }
+    }
+}
+
+/// Applies a reified loss continuation to a value (always in `◮`
+/// position, so rule (R7) applies: lambda bodies run under the zero
+/// continuation, their ambient emissions escaping to `buf`).
+fn apply_g(m: &mut Machine, g: &GVal, v: MVal, buf: &mut LossBuf) -> EvalR {
+    match g {
+        GVal::Zero => Ok(MRes::Done(MVal::Loss(LossVal::zero()))),
+        GVal::Fun(clos) => {
+            m.tick()?;
+            eval(m, &clos.body, &clos.env.push(v), &GVal::Zero, buf)
+        }
+        GVal::Frame { rest, outer } => {
+            // λx. F[x] ◮ outer.
+            let mut cap = Vec::new();
+            m.capture_depth += 1;
+            let r = rest(m, v, &mut cap);
+            m.capture_depth -= 1;
+            then_finish(m, r?, cap, (**outer).clone(), buf)
+        }
+        GVal::Ret { act, outer } => {
+            // (S1): λx. ret(p_now, x) ◮ outer, with the live parameter.
+            let p = act.params.borrow().last().cloned().ok_or_else(|| {
+                MachError::Malformed(
+                    "return-clause loss continuation escaped its handler activation".into(),
+                )
+            })?;
+            let env = act.env.push(p).push(v);
+            let ret_body = Arc::clone(&act.h.ret_body);
+            let outer_g = (**outer).clone();
+            let mut cap = Vec::new();
+            m.capture_depth += 1;
+            let r = eval(m, &ret_body, &env, &outer_g, &mut cap);
+            m.capture_depth -= 1;
+            then_finish(m, r?, cap, outer_g, buf)
+        }
+    }
+}
+
+/// Runs one handler segment (the initial body, a resumption, or the
+/// resumed part of a probe): pushes the segment's parameter, drives the
+/// body to a value (R6), a handled operation (R5), or an unhandled one
+/// (forwarding), popping the parameter on the way out.
+fn run_seg(
+    m: &mut Machine,
+    act: &Rc<Activation>,
+    p: MVal,
+    start: Seg,
+    g: &GVal,
+    buf: &mut LossBuf,
+) -> EvalR {
+    m.tick()?;
+    act.params.borrow_mut().push(p.clone());
+    let r = start(m, buf);
+    act.params.borrow_mut().pop();
+    match r? {
+        MRes::Done(v) => {
+            // (R6): the return clause runs in place of the handle node.
+            let env = act.env.push(p).push(v);
+            let ret_body = Arc::clone(&act.h.ret_body);
+            eval(m, &ret_body, &env, g, buf)
+        }
+        MRes::Stuck(s) => {
+            if act.h.clause(&s.op).is_some() {
+                // Forced-choice interception: answer scripted decisions
+                // directly (`k(p, d)`), skipping the clause body.
+                let decision = match &mut m.forced {
+                    Some(f) if f.ops.contains(&s.op) => Some(f.next()?),
+                    _ => None,
+                };
+                if let Some(d) = decision {
+                    let inner = s.cont;
+                    let y = MVal::bool(d);
+                    let start2: Seg = Rc::new(move |m, buf| inner(m, y.clone(), buf));
+                    return run_seg(m, act, p, start2, g, buf);
+                }
+                // (R5): bind p, x, l, k and run the clause body in place
+                // of the handle node (same g).
+                let clause = act.h.clause(&s.op).expect("checked above");
+                let ctl =
+                    HandlerCtl { act: Rc::clone(act), kont: Rc::clone(&s.cont), g: g.clone() };
+                let env = act
+                    .env
+                    .push(p)
+                    .push(s.arg)
+                    .push(MVal::Probe(ctl.clone()))
+                    .push(MVal::Resume(ctl));
+                let body = Arc::clone(&clause.body);
+                eval(m, &body, &env, g, buf)
+            } else {
+                // Not ours: forward, re-entering this segment (with the
+                // parameter current at the stick) on resumption.
+                let (act2, g2, inner) = (Rc::clone(act), g.clone(), s.cont);
+                let cont: KCont = Rc::new(move |m, y, buf| {
+                    let inner = Rc::clone(&inner);
+                    let y2 = y;
+                    let start2: Seg = Rc::new(move |m, buf| inner(m, y2.clone(), buf));
+                    run_seg(m, &act2, p.clone(), start2, &g2, buf)
+                });
+                Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont }))
+            }
+        }
+    }
+}
+
+/// Function application — β for closures, rule (R5)'s `k`/`l` for the
+/// machine-built handler continuations.
+fn apply(m: &mut Machine, f: MVal, a: MVal, g: &GVal, buf: &mut LossBuf) -> EvalR {
+    match f {
+        MVal::Clos(c) => {
+            m.tick()?;
+            eval(m, &c.body, &c.env.push(a), g, buf)
+        }
+        MVal::Resume(ctl) => {
+            // f_k(p₂, y) = ⟨with h from p₂ handle K[y]⟩_g.
+            let (p2, y) = split_pair(a)?;
+            let inner = Rc::clone(&ctl.kont);
+            let start: Seg = Rc::new(move |m, buf| inner(m, y.clone(), buf));
+            run_seg(m, &ctl.act, p2, start, &ctl.g, buf)
+        }
+        MVal::Probe(ctl) => {
+            // f_l(p₂, y) = (with h from p₂ handle K[y]) ◮ g.
+            let (p2, y) = split_pair(a)?;
+            let inner = Rc::clone(&ctl.kont);
+            let start: Seg = Rc::new(move |m, buf| inner(m, y.clone(), buf));
+            let mut cap = Vec::new();
+            m.capture_depth += 1;
+            let r = run_seg(m, &ctl.act, p2, start, &ctl.g, &mut cap);
+            m.capture_depth -= 1;
+            then_finish(m, r?, cap, ctl.g.clone(), buf)
+        }
+        other => Err(MachError::Malformed(format!("application of non-function {other:?}"))),
+    }
+}
+
+/// The shared engine of `iter`/`fold`: `n` applications of `cv` from the
+/// innermost out, with the loss-continuation chain the unfolded
+/// `c (c (… b))` spine would build. `pick` shapes level `d`'s argument
+/// (`fold` pairs it with the list element).
+fn iter_apply(
+    m: &mut Machine,
+    n: u64,
+    bv: MVal,
+    cv: &MVal,
+    g: &GVal,
+    buf: &mut LossBuf,
+    pick: impl Fn(usize, MVal) -> MVal + 'static,
+) -> EvalR {
+    if n > m.fuel_left {
+        return Err(MachError::OutOfFuel { steps: m.steps });
+    }
+    let n = usize::try_from(n).map_err(|_| MachError::OutOfFuel { steps: m.steps })?;
+    let pick = Rc::new(pick);
+    // gs[d] is the loss continuation at unfolding depth d (0 = outermost).
+    let mut gs: Vec<GVal> = Vec::with_capacity(n);
+    gs.push(g.clone());
+    for d in 1..n {
+        let (cv2, gd, pick2) = (cv.clone(), gs[d - 1].clone(), Rc::clone(&pick));
+        let rest: KCont =
+            Rc::new(move |m, v, buf| apply(m, cv2.clone(), pick2(d - 1, v), &gd, buf));
+        gs.push(GVal::Frame { rest, outer: Rc::new(gs[d - 1].clone()) });
+    }
+    let mut cur = MRes::Done(bv);
+    for d in (0..n).rev() {
+        let (cv2, gd, pick2) = (cv.clone(), gs[d].clone(), Rc::clone(&pick));
+        let rest: KCont = Rc::new(move |m, v, buf| apply(m, cv2.clone(), pick2(d, v), &gd, buf));
+        cur = bind(m, cur, buf, rest)?;
+    }
+    Ok(cur)
+}
+
+// ---------------------------------------------------------------------------
+// Leaf helpers
+// ---------------------------------------------------------------------------
+
+fn const_val(c: &Const) -> MVal {
+    match c {
+        Const::Loss(l) => MVal::Loss(l.clone()),
+        Const::Char(c) => MVal::Char(*c),
+        Const::Str(s) => MVal::Str(s.clone()),
+    }
+}
+
+fn inj(
+    m: &mut Machine,
+    (right, lty, rty, e): (bool, &Type, &Type, &Arc<Code>),
+    env: &Env,
+    g: &GVal,
+    buf: &mut LossBuf,
+) -> EvalR {
+    let (lty, rty) = (lty.clone(), rty.clone());
+    seq(
+        m,
+        vec![Arc::clone(e)],
+        env,
+        g,
+        buf,
+        Rc::new(move |_m, mut done, _buf| {
+            Ok(MRes::Done(MVal::Sum {
+                right,
+                lty: lty.clone(),
+                rty: rty.clone(),
+                val: Box::new(done.pop().expect("one child")),
+            }))
+        }),
+    )
+}
+
+fn split_pair(v: MVal) -> Result<(MVal, MVal), MachError> {
+    match v {
+        MVal::Tuple(mut vs) if vs.len() == 2 => {
+            let y = vs.pop().expect("two");
+            let p = vs.pop().expect("two");
+            Ok((p, y))
+        }
+        other => {
+            Err(MachError::Malformed(format!("handler continuation applied to non-pair {other:?}")))
+        }
+    }
+}
+
+/// Applies primitive `name` — the same [`prim_lookup`] table as the
+/// reference interpreter, so both agree bit-for-bit by construction.
+fn prim_apply(name: &str, arg: &MVal) -> EvalR {
+    let def = prim_lookup(name)
+        .ok_or_else(|| MachError::Malformed(format!("unknown primitive `{name}`")))?;
+    let garg = arg
+        .to_ground()
+        .ok_or_else(|| MachError::Malformed(format!("non-ground prim argument {arg:?}")))?;
+    let out = (def.eval)(&garg).map_err(MachError::Prim)?;
+    Ok(MRes::Done(ground_to_mval(&out, &def.ret_ty)))
+}
+
+/// Ground → machine value, with the type supplying sum/list annotations
+/// (the mirror of [`crate::prim::ground_to_value`], including its inert
+/// fallback on shape mismatches).
+pub fn ground_to_mval(g: &Ground, ty: &Type) -> MVal {
+    match (g, ty) {
+        (Ground::Loss(l), _) => MVal::Loss(l.clone()),
+        (Ground::Char(c), _) => MVal::Char(*c),
+        (Ground::Str(s), _) => MVal::Str(s.clone()),
+        (Ground::Nat(n), _) => MVal::Nat(*n),
+        (Ground::Tuple(gs), Type::Tuple(ts)) => {
+            MVal::Tuple(gs.iter().zip(ts).map(|(g, t)| ground_to_mval(g, t)).collect())
+        }
+        (Ground::Sum(right, g), Type::Sum(a, b)) => MVal::Sum {
+            right: *right,
+            lty: (**a).clone(),
+            rty: (**b).clone(),
+            val: Box::new(ground_to_mval(g, if *right { b } else { a })),
+        },
+        (Ground::List(gs), Type::List(t)) => MVal::List {
+            elem: (**t).clone(),
+            items: gs.iter().map(|g| ground_to_mval(g, t)).collect(),
+        },
+        _ => MVal::unit(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bigstep::eval_closed;
+    use crate::compile::compile;
+    use crate::examples;
+    use crate::prim::value_to_ground;
+    use crate::syntax::Expr;
+
+    /// Runs one example through both evaluators and demands bit-identical
+    /// loss and (ground) terminal.
+    fn differential(ex: &examples::ExampleProgram) -> MachineOutcome {
+        let reference =
+            eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone()).unwrap();
+        let compiled = compile(&ex.expr).unwrap();
+        let out = run(&compiled).unwrap();
+        assert_eq!(out.loss, reference.loss, "losses must be bit-identical");
+        assert_eq!(out.stuck_on, reference.stuck_on);
+        if reference.stuck_on.is_none() {
+            assert_eq!(
+                out.ground_value(),
+                value_to_ground(&reference.terminal),
+                "terminals must agree"
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn machine_matches_reference_on_decide_all() {
+        differential(&examples::decide_all());
+    }
+
+    #[test]
+    fn machine_matches_reference_on_pgm_argmin() {
+        let out = differential(&examples::pgm_with_argmin_handler());
+        assert_eq!(out.loss, LossVal::scalar(2.0));
+    }
+
+    #[test]
+    fn machine_matches_reference_on_counter() {
+        differential(&examples::counter());
+    }
+
+    #[test]
+    fn machine_matches_reference_on_minimax() {
+        let out = differential(&examples::minimax());
+        assert_eq!(out.loss, LossVal::scalar(3.0));
+    }
+
+    #[test]
+    fn machine_matches_reference_on_password() {
+        let out = differential(&examples::password());
+        assert_eq!(out.loss, LossVal::scalar(12.0));
+    }
+
+    #[test]
+    fn machine_matches_reference_on_tune_lr() {
+        let out = differential(&examples::tune_lr(1.0, 0.5));
+        assert!(out.loss.is_zero());
+    }
+
+    #[test]
+    fn moo_exhausts_fuel_like_the_reference() {
+        // Divergent handling nests machine frames, so keep the budget
+        // small (the reference test uses 200 steps for the same reason).
+        let ex = examples::moo_divergent();
+        let compiled = compile(&ex.expr).unwrap();
+        let r = run_with(&compiled, RunConfig { fuel: 60, ..RunConfig::default() });
+        assert!(matches!(r.unwrap_err(), MachError::OutOfFuel { .. }));
+    }
+
+    #[test]
+    fn unhandled_op_reports_stuck() {
+        use crate::build::*;
+        let e = op("decide", unit());
+        let out = run(&compile(&e).unwrap()).unwrap();
+        assert_eq!(out.stuck_on.as_deref(), Some("decide"));
+        assert!(out.value.is_none());
+    }
+
+    #[test]
+    fn then_reset_local_loss_scoping() {
+        use crate::build::*;
+        use crate::types::Effect;
+        let e0 = Effect::empty();
+        // (loss(2); 7) ◮ λx. x  ⇒  value 9, ambient 0 (S2/R7).
+        let lhs = let_(e0.clone(), "_u", Type::unit(), loss(lc(2.0)), lc(7.0));
+        let e = then(lhs, e0.clone(), "x", Type::loss(), v("x"));
+        let out = run(&compile(&e).unwrap()).unwrap();
+        assert!(out.loss.is_zero());
+        assert_eq!(out.ground_value(), Some(Ground::Loss(LossVal::scalar(9.0))));
+        // reset suppresses (S4), local exports (S3).
+        let out = run(&compile(&reset(loss(lc(5.0)))).unwrap()).unwrap();
+        assert!(out.loss.is_zero());
+        let out = run(&compile(&local0(e0.clone(), Type::unit(), loss(lc(5.0)))).unwrap()).unwrap();
+        assert_eq!(out.loss, LossVal::scalar(5.0));
+    }
+
+    #[test]
+    fn iter_and_fold_match_reference() {
+        use crate::build::*;
+        use crate::types::Effect;
+        let e0 = Effect::empty();
+        // iter(3, 1.0, λx. x + x) = 8
+        let dbl = lam(e0.clone(), "x", Type::loss(), add(v("x"), v("x")));
+        let e = Expr::Iter(Expr::nat(3).rc(), lc(1.0).rc(), dbl.rc());
+        let out = run(&compile(&e).unwrap()).unwrap();
+        assert_eq!(out.ground_value(), Some(Ground::Loss(LossVal::scalar(8.0))));
+        // fold([1,2,3], 0, λ(h,acc). h + acc) = 6
+        let f = lam(
+            e0.clone(),
+            "z",
+            Type::Tuple(vec![Type::loss(), Type::loss()]),
+            add(proj(v("z"), 0), proj(v("z"), 1)),
+        );
+        let list = Expr::list(Type::loss(), vec![lc(1.0), lc(2.0), lc(3.0)]);
+        let e = Expr::Fold(list.rc(), lc(0.0).rc(), f.rc());
+        let out = run(&compile(&e).unwrap()).unwrap();
+        assert_eq!(out.ground_value(), Some(Ground::Loss(LossVal::scalar(6.0))));
+    }
+
+    /// Forcing the decision of §2.3's `pgm` replays exactly one branch:
+    /// forcing `true` gives loss 2 / 'a', forcing `false` loss 4 / 'b',
+    /// and the candidate-0 (all-true) run equals the argmin handler's
+    /// actual choice.
+    #[test]
+    fn forced_runs_enumerate_pgm_branches() {
+        let ex = examples::pgm_with_argmin_handler();
+        let compiled = compile(&ex.expr).unwrap();
+        let forced = |bits: u64| {
+            run_with(
+                &compiled,
+                RunConfig {
+                    forced: Some(ForcedChoices {
+                        ops: BTreeSet::from(["decide".to_owned()]),
+                        bits,
+                        max_decisions: 1,
+                    }),
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let t = forced(0); // bit 0 ⇒ true
+        assert_eq!(t.loss, LossVal::scalar(2.0));
+        assert_eq!(t.ground_value(), Some(Ground::Char('a')));
+        assert_eq!(t.decisions_used, 1);
+        let f = forced(1);
+        assert_eq!(f.loss, LossVal::scalar(4.0));
+        assert_eq!(f.ground_value(), Some(Ground::Char('b')));
+        // The argmin handler picks the loss-2 branch — candidate 0.
+        let real = run(&compiled).unwrap();
+        assert_eq!(real.loss, t.loss);
+        assert_eq!(real.ground_value(), t.ground_value());
+    }
+
+    #[test]
+    fn forced_run_prunes_on_dominated_partial() {
+        let ex = examples::pgm_with_argmin_handler();
+        let compiled = compile(&ex.expr).unwrap();
+        let threshold = Arc::new(AtomicU64::new(u64::MAX));
+        let encode = |l: &LossVal| {
+            // The f64 sort-key embedding (sign-flip trick) on the scalar.
+            let bits = l.as_scalar().to_bits();
+            if bits >> 63 == 1 {
+                !bits
+            } else {
+                bits | (1 << 63)
+            }
+        };
+        // Publish an achieved loss of 3.0: the loss-4 branch must abort.
+        threshold.store(encode(&LossVal::scalar(3.0)), Ordering::Relaxed);
+        let cfg = |bits| RunConfig {
+            forced: Some(ForcedChoices {
+                ops: BTreeSet::from(["decide".to_owned()]),
+                bits,
+                max_decisions: 1,
+            }),
+            prune: Some(MachinePrune { threshold: Arc::clone(&threshold), encode }),
+            fuel: 0,
+        };
+        assert_eq!(run_with(&compiled, cfg(1)).unwrap_err(), MachError::Pruned);
+        // The loss-2 branch survives.
+        let ok = run_with(&compiled, cfg(0)).unwrap();
+        assert_eq!(ok.loss, LossVal::scalar(2.0));
+    }
+
+    #[test]
+    fn forced_run_rejects_too_few_decisions() {
+        let ex = examples::pgm_with_argmin_handler();
+        let compiled = compile(&ex.expr).unwrap();
+        let r = run_with(
+            &compiled,
+            RunConfig {
+                forced: Some(ForcedChoices {
+                    ops: BTreeSet::from(["decide".to_owned()]),
+                    bits: 0,
+                    max_decisions: 0,
+                }),
+                ..RunConfig::default()
+            },
+        );
+        assert_eq!(r.unwrap_err(), MachError::DecisionsExhausted);
+    }
+}

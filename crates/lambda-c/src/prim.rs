@@ -235,20 +235,25 @@ pub fn prim_lookup(name: &str) -> Option<PrimDef> {
             Type::loss(),
             Rc::new(|g| Ok(Ground::Loss(LossVal::scalar(-scalar1(g)?)))),
         ),
+        // Comparisons use the workspace's total order (`f64::total_cmp` on
+        // the scalar reading, see `LossVal::cmp_scalar`), not the partial
+        // `<`/`<=`: argmin/argmax handler paths built from these must pick
+        // deterministic NaN/tie winners, identical across the smallstep,
+        // bigstep, and compiled evaluators and across engine reductions.
         "leq" => def(
             loss2_ty,
             Type::bool(),
             Rc::new(|g| {
-                let (a, b) = scalar2(g)?;
-                Ok(Ground::bool(a <= b))
+                let (a, b) = loss2(g)?;
+                Ok(Ground::bool(a.cmp_scalar(&b) != std::cmp::Ordering::Greater))
             }),
         ),
         "lt" => def(
             loss2_ty,
             Type::bool(),
             Rc::new(|g| {
-                let (a, b) = scalar2(g)?;
-                Ok(Ground::bool(a < b))
+                let (a, b) = loss2(g)?;
+                Ok(Ground::bool(a.cmp_scalar(&b) == std::cmp::Ordering::Less))
             }),
         ),
         "pair_loss" => def(
@@ -370,6 +375,21 @@ mod tests {
         assert_eq!(run("leq", p(2.0, 2.0)).as_bool(), Some(true));
         assert_eq!(run("lt", p(2.0, 2.0)).as_bool(), Some(false));
         assert_eq!(run("lt", p(1.0, 2.0)).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn comparisons_are_total_on_nan_and_signed_zero() {
+        let p = |a: f64, b: f64| {
+            Ground::Tuple(vec![Ground::Loss(LossVal::scalar(a)), Ground::Loss(LossVal::scalar(b))])
+        };
+        // NaN sorts above +inf under total_cmp, so these are deterministic
+        // (plain `<=` would answer false for every NaN comparison).
+        assert_eq!(run("leq", p(f64::NAN, f64::INFINITY)).as_bool(), Some(false));
+        assert_eq!(run("leq", p(f64::INFINITY, f64::NAN)).as_bool(), Some(true));
+        assert_eq!(run("leq", p(f64::NAN, f64::NAN)).as_bool(), Some(true));
+        assert_eq!(run("lt", p(f64::NAN, f64::NAN)).as_bool(), Some(false));
+        assert_eq!(run("leq", p(-0.0, 0.0)).as_bool(), Some(true));
+        assert_eq!(run("leq", p(0.0, -0.0)).as_bool(), Some(false), "total order: +0 > -0");
     }
 
     #[test]

@@ -88,115 +88,123 @@ fn collect_free(e: &Expr, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
     }
 }
 
+/// One pending replacement `from ↦ to` of a simultaneous substitution,
+/// with the free variables of `to` cached for the capture test.
+#[derive(Clone)]
+struct Binding {
+    from: String,
+    to: Expr,
+    fv: BTreeSet<String>,
+}
+
 /// Capture-avoiding substitution `e[v / x]`.
+///
+/// Binder renaming is *fused* into the substitution itself: when a binder
+/// would capture a free variable of `v`, the rename of that binder is
+/// added to the simultaneous substitution and carried along in the same
+/// traversal, instead of rewriting the whole body once per renamed binder
+/// and then substituting in a second pass.
 pub fn subst(e: &Expr, x: &str, v: &Expr) -> Expr {
     let fv = free_vars(v);
-    subst_in(e, x, v, &fv)
+    subst_in(e, &[Binding { from: x.to_owned(), to: v.clone(), fv }])
 }
 
-fn rc_subst(e: &Rc<Expr>, x: &str, v: &Expr, fv: &BTreeSet<String>) -> Rc<Expr> {
-    Rc::new(subst_in(e, x, v, fv))
+fn rc_subst(e: &Rc<Expr>, subs: &[Binding]) -> Rc<Expr> {
+    Rc::new(subst_in(e, subs))
 }
 
-/// Renames `old` to `new_name` in `body` (used when avoiding capture).
-fn rename(body: &Expr, old: &str, new_name: &str) -> Expr {
-    subst(body, old, &Expr::Var(new_name.to_owned()))
-}
-
-/// Substitutes under one binder, renaming it if it would capture.
-fn under_binder(
-    var: &str,
-    body: &Rc<Expr>,
-    x: &str,
-    v: &Expr,
-    fv: &BTreeSet<String>,
-) -> (String, Rc<Expr>) {
-    if var == x {
-        // x is shadowed: stop.
-        (var.to_owned(), Rc::clone(body))
-    } else if fv.contains(var) {
+/// Substitutes under one binder: drops bindings the binder shadows and, if
+/// the binder would capture, renames it by *extending* the substitution
+/// with `var ↦ nv` — one traversal of the body regardless of renames.
+fn under_binder(var: &str, body: &Rc<Expr>, subs: &[Binding]) -> (String, Rc<Expr>) {
+    let shadows = subs.iter().any(|s| s.from == var);
+    let captures = subs.iter().any(|s| s.from != var && s.fv.contains(var));
+    if !shadows && !captures {
+        // Common case (closed replacements): no shadowing, no capture.
+        return (var.to_owned(), rc_subst(body, subs));
+    }
+    let mut active: Vec<Binding> = subs.iter().filter(|s| s.from != var).cloned().collect();
+    let name = if captures {
         let nv = fresh(var.trim_start_matches('%'));
-        let renamed = rename(body, var, &nv);
-        (nv, Rc::new(subst_in(&renamed, x, v, fv)))
+        let fv = BTreeSet::from([nv.clone()]);
+        active.push(Binding { from: var.to_owned(), to: Expr::Var(nv.clone()), fv });
+        nv
     } else {
-        (var.to_owned(), rc_subst(body, x, v, fv))
+        var.to_owned()
+    };
+    if active.is_empty() {
+        return (name, Rc::clone(body));
     }
+    (name, rc_subst(body, &active))
 }
 
-/// Substitutes under several simultaneous binders (handler clauses).
-fn under_binders(
-    vars: &[&String],
-    body: &Rc<Expr>,
-    x: &str,
-    v: &Expr,
-    fv: &BTreeSet<String>,
-) -> (Vec<String>, Rc<Expr>) {
-    if vars.iter().any(|b| b.as_str() == x) {
-        return (vars.iter().map(|s| (*s).clone()).collect(), Rc::clone(body));
-    }
+/// Substitutes under several simultaneous binders (handler clauses), with
+/// the same single-pass rename fusion as [`under_binder`].
+fn under_binders(vars: &[&String], body: &Rc<Expr>, subs: &[Binding]) -> (Vec<String>, Rc<Expr>) {
+    // Bindings shadowed by one of the binders stop here.
+    let mut active: Vec<Binding> =
+        subs.iter().filter(|s| !vars.iter().any(|b| **b == s.from)).cloned().collect();
     let mut names: Vec<String> = Vec::with_capacity(vars.len());
-    let mut body_cur: Expr = (**body).clone();
     for b in vars {
-        if fv.contains(*b) {
+        if active.iter().any(|s| s.fv.contains(*b)) {
+            // `b` would capture a free variable of some replacement:
+            // rename it via the same simultaneous substitution.
             let nv = fresh(b.trim_start_matches('%'));
-            body_cur = rename(&body_cur, b, &nv);
+            let fv = BTreeSet::from([nv.clone()]);
+            active.push(Binding { from: (*b).clone(), to: Expr::Var(nv.clone()), fv });
             names.push(nv);
         } else {
             names.push((*b).clone());
         }
     }
-    (names, Rc::new(subst_in(&body_cur, x, v, fv)))
+    if active.is_empty() {
+        // Everything shadowed: the body is untouched.
+        return (names, Rc::clone(body));
+    }
+    (names, rc_subst(body, &active))
 }
 
-fn subst_in(e: &Expr, x: &str, v: &Expr, fv: &BTreeSet<String>) -> Expr {
+fn subst_in(e: &Expr, subs: &[Binding]) -> Expr {
     match e {
         Expr::Const(_) | Expr::Zero | Expr::Nil(_) => e.clone(),
-        Expr::Var(y) => {
-            if y == x {
-                v.clone()
-            } else {
-                e.clone()
-            }
-        }
-        Expr::Prim(name, a) => Expr::Prim(name.clone(), rc_subst(a, x, v, fv)),
+        Expr::Var(y) => match subs.iter().find(|s| s.from == *y) {
+            Some(s) => s.to.clone(),
+            None => e.clone(),
+        },
+        Expr::Prim(name, a) => Expr::Prim(name.clone(), rc_subst(a, subs)),
         Expr::Lam { eff, var, ty, body } => {
-            let (var, body) = under_binder(var, body, x, v, fv);
+            let (var, body) = under_binder(var, body, subs);
             Expr::Lam { eff: eff.clone(), var, ty: ty.clone(), body }
         }
-        Expr::App(a, b) => Expr::App(rc_subst(a, x, v, fv), rc_subst(b, x, v, fv)),
-        Expr::Tuple(es) => Expr::Tuple(es.iter().map(|e| rc_subst(e, x, v, fv)).collect()),
-        Expr::Proj(a, i) => Expr::Proj(rc_subst(a, x, v, fv), *i),
+        Expr::App(a, b) => Expr::App(rc_subst(a, subs), rc_subst(b, subs)),
+        Expr::Tuple(es) => Expr::Tuple(es.iter().map(|e| rc_subst(e, subs)).collect()),
+        Expr::Proj(a, i) => Expr::Proj(rc_subst(a, subs), *i),
         Expr::Inl { lty, rty, e } => {
-            Expr::Inl { lty: lty.clone(), rty: rty.clone(), e: rc_subst(e, x, v, fv) }
+            Expr::Inl { lty: lty.clone(), rty: rty.clone(), e: rc_subst(e, subs) }
         }
         Expr::Inr { lty, rty, e } => {
-            Expr::Inr { lty: lty.clone(), rty: rty.clone(), e: rc_subst(e, x, v, fv) }
+            Expr::Inr { lty: lty.clone(), rty: rty.clone(), e: rc_subst(e, subs) }
         }
         Expr::Cases { scrut, lvar, lty, lbody, rvar, rty, rbody } => {
-            let scrut = rc_subst(scrut, x, v, fv);
-            let (lvar, lbody) = under_binder(lvar, lbody, x, v, fv);
-            let (rvar, rbody) = under_binder(rvar, rbody, x, v, fv);
+            let scrut = rc_subst(scrut, subs);
+            let (lvar, lbody) = under_binder(lvar, lbody, subs);
+            let (rvar, rbody) = under_binder(rvar, rbody, subs);
             Expr::Cases { scrut, lvar, lty: lty.clone(), lbody, rvar, rty: rty.clone(), rbody }
         }
-        Expr::Succ(a) => Expr::Succ(rc_subst(a, x, v, fv)),
-        Expr::Iter(a, b, c) => {
-            Expr::Iter(rc_subst(a, x, v, fv), rc_subst(b, x, v, fv), rc_subst(c, x, v, fv))
-        }
-        Expr::Cons(a, b) => Expr::Cons(rc_subst(a, x, v, fv), rc_subst(b, x, v, fv)),
-        Expr::Fold(a, b, c) => {
-            Expr::Fold(rc_subst(a, x, v, fv), rc_subst(b, x, v, fv), rc_subst(c, x, v, fv))
-        }
-        Expr::OpCall { op, arg } => Expr::OpCall { op: op.clone(), arg: rc_subst(arg, x, v, fv) },
-        Expr::Loss(a) => Expr::Loss(rc_subst(a, x, v, fv)),
+        Expr::Succ(a) => Expr::Succ(rc_subst(a, subs)),
+        Expr::Iter(a, b, c) => Expr::Iter(rc_subst(a, subs), rc_subst(b, subs), rc_subst(c, subs)),
+        Expr::Cons(a, b) => Expr::Cons(rc_subst(a, subs), rc_subst(b, subs)),
+        Expr::Fold(a, b, c) => Expr::Fold(rc_subst(a, subs), rc_subst(b, subs), rc_subst(c, subs)),
+        Expr::OpCall { op, arg } => Expr::OpCall { op: op.clone(), arg: rc_subst(arg, subs) },
+        Expr::Loss(a) => Expr::Loss(rc_subst(a, subs)),
         Expr::Handle { handler, from, body } => {
-            let from = rc_subst(from, x, v, fv);
-            let body = rc_subst(body, x, v, fv);
+            let from = rc_subst(from, subs);
+            let body = rc_subst(body, subs);
             let clauses = handler
                 .clauses
                 .iter()
                 .map(|c| {
-                    let (names, cbody) =
-                        under_binders(&[&c.p, &c.x, &c.l, &c.k], &c.body, x, v, fv);
+                    let (names, cbody) = under_binders(&[&c.p, &c.x, &c.l, &c.k], &c.body, subs);
                     OpClause {
                         op: c.op.clone(),
                         p: names[0].clone(),
@@ -208,7 +216,7 @@ fn subst_in(e: &Expr, x: &str, v: &Expr, fv: &BTreeSet<String>) -> Expr {
                 })
                 .collect();
             let (rnames, rbody) =
-                under_binders(&[&handler.ret.p, &handler.ret.x], &handler.ret.body, x, v, fv);
+                under_binders(&[&handler.ret.p, &handler.ret.x], &handler.ret.body, subs);
             let handler = Handler {
                 label: handler.label.clone(),
                 par_ty: handler.par_ty.clone(),
@@ -220,13 +228,11 @@ fn subst_in(e: &Expr, x: &str, v: &Expr, fv: &BTreeSet<String>) -> Expr {
             };
             Expr::Handle { handler: Rc::new(handler), from, body }
         }
-        Expr::Then { e, lam } => {
-            Expr::Then { e: rc_subst(e, x, v, fv), lam: rc_subst(lam, x, v, fv) }
-        }
+        Expr::Then { e, lam } => Expr::Then { e: rc_subst(e, subs), lam: rc_subst(lam, subs) },
         Expr::Local { eff, g, e } => {
-            Expr::Local { eff: eff.clone(), g: rc_subst(g, x, v, fv), e: rc_subst(e, x, v, fv) }
+            Expr::Local { eff: eff.clone(), g: rc_subst(g, subs), e: rc_subst(e, subs) }
         }
-        Expr::Reset(a) => Expr::Reset(rc_subst(a, x, v, fv)),
+        Expr::Reset(a) => Expr::Reset(rc_subst(a, subs)),
     }
 }
 
@@ -345,5 +351,65 @@ mod tests {
         let b = fresh("x");
         assert_ne!(a, b);
         assert!(a.starts_with('%'));
+    }
+
+    /// Regression test for the fused rename+subst pass: a deep tower of
+    /// binders that *all* capture the substituted value's free variable
+    /// must rename every level exactly once, capture nothing, and leave
+    /// the variable occurrences pointing at the right binders.
+    #[test]
+    fn deep_capturing_nesting_renames_every_level() {
+        const DEPTH: usize = 400;
+        // e = λy. λy. … λy. add(x, y)   (DEPTH nested binders, all "y")
+        let mut e = Expr::Prim(
+            "add".into(),
+            Expr::Tuple(vec![Expr::Var("x".into()).rc(), Expr::Var("y".into()).rc()]).rc(),
+        );
+        for _ in 0..DEPTH {
+            e = lam("y", e);
+        }
+        let r = subst(&e, "x", &Expr::Var("y".into()));
+        // No capture: the substituted `y` is still free afterwards…
+        let fv = free_vars(&r);
+        assert_eq!(fv, BTreeSet::from(["y".to_owned()]));
+        // …every binder on the spine was renamed away from "y"…
+        let mut cur = &r;
+        let mut innermost = String::new();
+        for level in 0..DEPTH {
+            match cur {
+                Expr::Lam { var, body, .. } => {
+                    assert_ne!(var, "y", "binder at level {level} would capture");
+                    innermost = var.clone();
+                    cur = body;
+                }
+                other => panic!("expected lambda at level {level}, got {other:?}"),
+            }
+        }
+        // …and the body references the free `y` plus the innermost binder.
+        match cur {
+            Expr::Prim(_, arg) => match arg.as_ref() {
+                Expr::Tuple(es) => {
+                    assert_eq!(*es[0], Expr::Var("y".into()));
+                    assert_eq!(*es[1], Expr::Var(innermost));
+                }
+                other => panic!("expected tuple, got {other:?}"),
+            },
+            other => panic!("expected prim, got {other:?}"),
+        }
+    }
+
+    /// The shadow/no-capture fast paths of the fused pass must keep the
+    /// old semantics on a deep tower where only the *innermost* binder
+    /// shadows.
+    #[test]
+    fn deep_nesting_with_inner_shadowing_stops_at_the_shadow() {
+        const DEPTH: usize = 200;
+        // e = λa1. λa2. … λa_DEPTH. λx. x  — substituting for x is a no-op.
+        let mut e = lam("x", Expr::Var("x".into()));
+        for i in (0..DEPTH).rev() {
+            e = lam(&format!("a{i}"), e);
+        }
+        let r = subst(&e, "x", &Expr::lossc(1.0));
+        assert_eq!(r, e, "shadowed substitution must leave the term alone");
     }
 }

@@ -312,6 +312,136 @@ impl ProgramGen {
     }
 }
 
+/// The argmin chooser for `decide`: probe both losses, resume with the
+/// cheaper branch, ties to `true` — the λC form of the paper's §2.3
+/// handler and the semantics the engine bridge's forced-path search
+/// reproduces.
+pub fn argmin_handler(ty: &Type, eff: &Effect) -> Handler {
+    use build::*;
+    HandlerBuilder::new("amb", ty.clone(), ty.clone(), eff.clone())
+        .on(
+            "decide",
+            "p",
+            "x",
+            "l",
+            "k",
+            let_(
+                eff.clone(),
+                "y",
+                Type::loss(),
+                app(v("l"), pair(v("p"), Expr::tt())),
+                let_(
+                    eff.clone(),
+                    "z",
+                    Type::loss(),
+                    app(v("l"), pair(v("p"), Expr::ff())),
+                    if_(
+                        leq(v("y"), v("z")),
+                        app(v("k"), pair(v("p"), Expr::tt())),
+                        app(v("k"), pair(v("p"), Expr::ff())),
+                    ),
+                ),
+            ),
+        )
+        .build()
+}
+
+/// A deterministic deep `let` chain — no effects, every binder referenced
+/// by the next one, so the substitution interpreter pays a full-body
+/// clone per β-step while the environment machine pays one cons:
+/// `x1 ← 1; x2 ← x1 + 1; …; xn`.
+pub fn deep_let_chain(depth: u32) -> GenProgram {
+    use build::*;
+    let e0 = Effect::empty();
+    let mut e = v(&format!("x{depth}"));
+    for i in (1..=depth).rev() {
+        let rhs = if i == 1 { lc(1.0) } else { add(v(&format!("x{}", i - 1)), lc(1.0)) };
+        e = let_(e0.clone(), &format!("x{i}"), Type::loss(), rhs, e);
+    }
+    GenProgram { expr: e, ty: Type::loss(), eff: Effect::empty() }
+}
+
+/// A deterministic deep decide chain under one top-level argmin handler:
+/// `choices` nested decisions, each emitting a non-negative loss that
+/// depends on the decision (`true` costs `(7i mod 5)`, `false`
+/// `(3i + 2 mod 5)`), returning the total. The probing handler evaluates
+/// `O(2^choices)` futures — the workload where the compiled forced-path
+/// search shines.
+pub fn deep_decide_chain(choices: u32) -> GenProgram {
+    use build::*;
+    let eamb = Effect::single("amb");
+    let mut body = lc(0.0);
+    for i in (0..choices).rev() {
+        let t = f64::from((7 * i) % 5);
+        let f = f64::from((3 * i + 2) % 5);
+        body = let_(
+            eamb.clone(),
+            &format!("b{i}"),
+            Type::bool(),
+            op("decide", unit()),
+            seq(eamb.clone(), Type::unit(), loss(if_(v(&format!("b{i}")), lc(t), lc(f))), body),
+        );
+    }
+    let expr = handle0(argmin_handler(&Type::loss(), &Effect::empty()), body);
+    GenProgram { expr, ty: Type::loss(), eff: Effect::empty() }
+}
+
+impl ProgramGen {
+    /// Generates a *search program*: a fully handled chain of `choices`
+    /// decides under one top-level argmin handler, each decision followed
+    /// by a random **non-negative** loss depending on the decisions so
+    /// far, returning `0`. The fragment deliberately avoids
+    /// `local`/`reset`/nested choosers so that minimising total emitted
+    /// loss over forced decision paths coincides with the handler
+    /// semantics — the corpus for the engine bridge's differential suite.
+    pub fn gen_search_program(&mut self, choices: u32) -> GenProgram {
+        use build::*;
+        let eamb = Effect::single("amb");
+        let mut bound: Vec<String> = Vec::new();
+        let mut steps: Vec<(String, Expr)> = Vec::new();
+        for i in 0..choices {
+            let b = format!("b{i}");
+            // Loss for this step: a sum of 1–2 decision-dependent
+            // non-negative contributions over the variables bound so far.
+            let mut contrib = self.nonneg_contrib(&b);
+            for _ in 0..self.rng.gen_range(0..2_u32) {
+                if let Some(prev) = self.pick_var(&bound) {
+                    contrib = add(contrib, self.nonneg_contrib(&prev));
+                }
+            }
+            bound.push(b.clone());
+            steps.push((b, contrib));
+        }
+        let mut body: Expr = lc(0.0);
+        for (b, contrib) in steps.into_iter().rev() {
+            body = let_(
+                eamb.clone(),
+                &b,
+                Type::bool(),
+                op("decide", unit()),
+                seq(eamb.clone(), Type::unit(), loss(contrib), body),
+            );
+        }
+        let expr = handle0(argmin_handler(&Type::loss(), &Effect::empty()), body);
+        GenProgram { expr, ty: Type::loss(), eff: Effect::empty() }
+    }
+
+    fn nonneg_contrib(&mut self, var: &str) -> Expr {
+        use build::*;
+        let t = f64::from(self.rng.gen_range(0..=5_u32));
+        let f = f64::from(self.rng.gen_range(0..=5_u32));
+        if_(v(var), lc(t), lc(f))
+    }
+
+    fn pick_var(&mut self, bound: &[String]) -> Option<String> {
+        if bound.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..bound.len());
+        Some(bound[i].clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,5 +469,38 @@ mod tests {
     #[test]
     fn signature_is_well_founded() {
         assert!(gen_signature().check_well_founded().is_ok());
+    }
+
+    #[test]
+    fn search_programs_typecheck_and_are_deterministic() {
+        let sig = gen_signature();
+        for seed in 0..40 {
+            let mut g = ProgramGen::new(seed);
+            let p = g.gen_search_program(1 + (seed % 5) as u32);
+            let ty = check_program(&sig, &p.expr, &p.eff)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", p.expr));
+            assert_eq!(ty, Type::loss());
+        }
+        let a = ProgramGen::new(3).gen_search_program(4);
+        let b = ProgramGen::new(3).gen_search_program(4);
+        assert_eq!(a.expr, b.expr);
+    }
+
+    #[test]
+    fn deep_chains_typecheck_and_evaluate() {
+        let sig = gen_signature();
+        let p = deep_let_chain(40);
+        assert_eq!(check_program(&sig, &p.expr, &p.eff).unwrap(), Type::loss());
+        let out = crate::bigstep::eval_closed(&sig, p.expr, p.ty, p.eff).unwrap();
+        assert_eq!(out.terminal, Expr::lossc(40.0));
+
+        let p = deep_decide_chain(4);
+        assert_eq!(check_program(&sig, &p.expr, &p.eff).unwrap(), Type::loss());
+        let out = crate::bigstep::eval_closed(&sig, p.expr, p.ty, p.eff).unwrap();
+        assert!(out.is_value());
+        // Per-step minimum of {true-cost, false-cost}: min contributions
+        // are independent here, so the argmin total is their sum.
+        let expected: f64 = (0..4).map(|i| f64::from(((7 * i) % 5).min((3 * i + 2) % 5))).sum();
+        assert_eq!(out.loss, crate::LossVal::scalar(expected));
     }
 }

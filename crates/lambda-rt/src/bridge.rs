@@ -1,0 +1,252 @@
+//! Compiled λC programs as engine candidate spaces.
+//!
+//! Following Hedges' observation that selection computations *are* CPS
+//! terms, a compiled λC program with `depth` argmin choice points is a
+//! family of `2^depth` straight-line programs: candidate `i` replays the
+//! machine with its choices scripted from the bits of `i` (most
+//! significant bit = first decision, `0` = `true`), so candidate indices
+//! enumerate decision vectors lexicographically with `true` first —
+//! exactly the order in which the paper's `leq`-based argmin handlers
+//! break ties. [`LcCandidates`] packages that family as a
+//! `selc::ReplaySpace` of [`Sel`] programs built from `selc::runtime`
+//! continuations, so compiled λC runs on any `selc_engine::Engine`
+//! unchanged.
+//!
+//! ## Soundness scope
+//!
+//! Equivalence with the handler semantics (forced-path argmin ==
+//! handler's choice, bit-identically) requires the forced operations to
+//! be handled by **argmin choosers over the program's single ambient
+//! loss** — probe both branches, compare with `leq`, resume the cheaper —
+//! with no `local`/`reset` rescoping between the choice points (the
+//! [`lambda_c::testgen::gen_search_program`] fragment, and the paper's
+//! §2.3 program family). Handlers that aggregate (`decide_all`), never
+//! resume (`tuneLR`), or maximise are still *evaluated* faithfully by the
+//! machine — they just aren't a minimisation the engine can fan out.
+
+use crate::loss::OrdLossVal;
+use lambda_c::machine::{self, ForcedChoices, MachineOutcome, MachinePrune, RunConfig};
+use lambda_c::prim::Ground;
+use lambda_c::{CompiledProgram, MachError};
+use selc::{ReplaySpace, Sel};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_SPACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The terminal a candidate reports next to its loss: the ground reading
+/// of the machine's value (`None` for higher-order results).
+pub type LcValue = Option<Ground>;
+
+/// A compiled λC program viewed as a finite candidate space: one
+/// candidate per assignment of the forced operations' `2^depth` decision
+/// vectors. Plain `Send + Sync` data — the engine ships it to workers and
+/// each rebuilds the machine locally (replay-per-worker).
+#[derive(Clone, Debug)]
+pub struct LcCandidates {
+    program: Arc<CompiledProgram>,
+    ops: BTreeSet<String>,
+    depth: u32,
+    fuel: u64,
+    /// Process-unique space identity, part of every transposition key:
+    /// a shared cache may serve many *different* programs without their
+    /// decision prefixes colliding. Clones (including the engine's
+    /// replay-per-worker rebuilds) keep the identity — same program,
+    /// same entries.
+    id: u64,
+    /// Bit `u` set ⇔ some candidate of this space has completed using
+    /// exactly `u` decisions. Shared by all clones; cache lookups probe
+    /// only these depths (most programs use one fixed depth, so the
+    /// probe is usually a single lookup and hit/miss telemetry stays
+    /// honest).
+    used_depths: Arc<AtomicU64>,
+}
+
+impl LcCandidates {
+    /// Wraps a compiled program whose operations `ops` are forced over
+    /// `depth` decisions (candidates `0..2^depth`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > 62` (candidate indices are `usize`/`u64` bit
+    /// vectors; practical searches are far smaller).
+    pub fn new(
+        program: CompiledProgram,
+        ops: impl IntoIterator<Item = String>,
+        depth: u32,
+    ) -> LcCandidates {
+        assert!(depth <= 62, "decision depth {depth} exceeds the 62-bit candidate encoding");
+        LcCandidates {
+            program: Arc::new(program),
+            ops: ops.into_iter().collect(),
+            depth,
+            fuel: 0,
+            id: NEXT_SPACE_ID.fetch_add(1, Ordering::Relaxed),
+            used_depths: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Overrides the per-candidate machine fuel (0 = machine default).
+    pub fn with_fuel(mut self, fuel: u64) -> LcCandidates {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Number of candidates, `2^depth`.
+    pub fn space(&self) -> usize {
+        1_usize << self.depth
+    }
+
+    /// The decision depth.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The candidate space's process-unique identity (the transposition
+    /// key's program component).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Records that a candidate completed using exactly `used` decisions.
+    pub(crate) fn note_used_depth(&self, used: u32) {
+        self.used_depths.fetch_or(1 << used, Ordering::Relaxed);
+    }
+
+    /// The bitmask of decision counts candidates have been observed to
+    /// use (monotone, shared across clones and searches).
+    pub(crate) fn used_depths_mask(&self) -> u64 {
+        self.used_depths.load(Ordering::Relaxed)
+    }
+
+    /// Runs candidate `index`'s forced machine, with an optional prune
+    /// hook.
+    ///
+    /// # Errors
+    ///
+    /// Machine errors, including [`MachError::Pruned`] when the hook
+    /// fires.
+    pub fn try_run(
+        &self,
+        index: usize,
+        prune: Option<MachinePrune>,
+    ) -> Result<MachineOutcome, MachError> {
+        machine::run_with(
+            &self.program,
+            RunConfig {
+                fuel: self.fuel,
+                forced: Some(ForcedChoices {
+                    ops: self.ops.clone(),
+                    bits: index as u64,
+                    max_decisions: self.depth,
+                }),
+                prune,
+            },
+        )
+    }
+
+    /// Runs candidate `index` with an optional prune hook, enforcing the
+    /// replay contract: any machine failure other than a prune
+    /// abandonment, or a stuck (unhandled) operation, is a panic —
+    /// factories must produce fully handled, terminating programs.
+    ///
+    /// # Errors
+    ///
+    /// Only [`MachError::Pruned`], when the hook fires.
+    ///
+    /// # Panics
+    ///
+    /// On other machine errors or a stuck operation.
+    pub fn run_candidate_pruned(
+        &self,
+        index: usize,
+        prune: Option<MachinePrune>,
+    ) -> Result<MachineOutcome, MachError> {
+        match self.try_run(index, prune) {
+            Err(MachError::Pruned) => Err(MachError::Pruned),
+            Err(e) => panic!("compiled λC candidate {index} failed: {e}"),
+            Ok(out) => {
+                assert!(
+                    out.stuck_on.is_none(),
+                    "compiled λC candidate {index} stuck on unhandled operation {:?}",
+                    out.stuck_on
+                );
+                Ok(out)
+            }
+        }
+    }
+
+    /// Runs candidate `index` under the replay contract (see
+    /// [`LcCandidates::run_candidate_pruned`]).
+    ///
+    /// # Panics
+    ///
+    /// On machine errors or a stuck (unhandled) operation.
+    pub fn run_candidate(&self, index: usize) -> MachineOutcome {
+        self.run_candidate_pruned(index, None).expect("no prune hook was installed")
+    }
+}
+
+impl ReplaySpace<OrdLossVal, LcValue> for LcCandidates {
+    /// Candidate `index` as a `Sel` program: a `selc::runtime`
+    /// continuation closure that replays the forced machine and reports
+    /// `(recorded loss, ground terminal)` — the shape `Engine::search`
+    /// scores through `selc_engine::search_programs`.
+    fn build(&self, index: usize) -> Sel<OrdLossVal, LcValue> {
+        let me = self.clone();
+        Sel::from_fn(move |_g| {
+            let out = me.run_candidate(index);
+            selc::eff::Eff::Pure((OrdLossVal(out.loss.clone()), out.ground_value()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_c::testgen;
+    use selc_engine::{search_programs, ParallelEngine, SequentialEngine};
+
+    fn pgm_candidates() -> LcCandidates {
+        let ex = lambda_c::examples::pgm_with_argmin_handler();
+        LcCandidates::new(lambda_c::compile(&ex.expr).unwrap(), ["decide".to_owned()], 1)
+    }
+
+    #[test]
+    fn candidates_enumerate_true_first() {
+        let c = pgm_candidates();
+        assert_eq!(c.space(), 2);
+        let t = c.run_candidate(0);
+        let f = c.run_candidate(1);
+        assert_eq!(t.ground_value(), Some(Ground::Char('a')));
+        assert_eq!(f.ground_value(), Some(Ground::Char('b')));
+    }
+
+    #[test]
+    fn replay_space_search_matches_the_handler() {
+        let ex = lambda_c::examples::pgm_with_argmin_handler();
+        let reference =
+            lambda_c::eval_closed(&ex.sig, ex.expr.clone(), ex.ty.clone(), ex.eff.clone()).unwrap();
+        let c = pgm_candidates();
+        let (out, value) =
+            search_programs(&SequentialEngine::exhaustive(), c.space(), c.clone()).unwrap();
+        assert_eq!(out.loss.0, reference.loss);
+        assert_eq!(value, lambda_c::prim::value_to_ground(&reference.terminal));
+        let (par, pvalue) =
+            search_programs(&ParallelEngine::with_threads(2), c.space(), c).unwrap();
+        assert_eq!((par.index, par.loss), (out.index, out.loss));
+        assert_eq!(pvalue, value);
+    }
+
+    #[test]
+    fn deep_chain_search_matches_bigstep() {
+        let p = testgen::deep_decide_chain(5);
+        let sig = testgen::gen_signature();
+        let reference =
+            lambda_c::eval_closed(&sig, p.expr.clone(), p.ty.clone(), p.eff.clone()).unwrap();
+        let c = LcCandidates::new(lambda_c::compile(&p.expr).unwrap(), ["decide".to_owned()], 5);
+        let (out, _) = search_programs(&SequentialEngine::exhaustive(), c.space(), c).unwrap();
+        assert_eq!(out.loss.0, reference.loss, "engine argmin == handler semantics");
+    }
+}

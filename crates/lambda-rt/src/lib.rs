@@ -1,0 +1,46 @@
+//! # lambda-rt — the λC → runtime bridge
+//!
+//! PRs 2–3 built a parallel, prunable, cached execution layer
+//! (`selc-engine`, `selc-cache`) for the *library* form of the selection
+//! monad; the paper's own calculus λC (`lambda-c`) still ran only on its
+//! single-threaded substitution interpreter. This crate closes that gap:
+//!
+//! 1. **Compile** — `lambda_c::compile` lowers a well-typed λC
+//!    expression to `Arc`-shared de Bruijn code, and
+//!    `lambda_c::machine` evaluates it with closures and persistent
+//!    environments, bit-identical to the Fig-6 smallstep reference
+//!    (losses *and* terminals) at a fraction of the cost of
+//!    clone-and-rename substitution.
+//! 2. **Bridge** — [`LcCandidates`] turns the compiled program's argmin
+//!    choice points into a `selc::ReplaySpace` of `2^depth` forced-path
+//!    `Sel` programs (Hedges: selection computations are CPS terms), so
+//!    λC programs run on any `selc_engine::Engine` — parallel workers,
+//!    deterministic `(loss, index)` reduction, `SharedBound`
+//!    branch-and-bound.
+//! 3. **Cache** — [`search_compiled_cached`] threads a `selc-cache`
+//!    transposition table keyed by *decision prefixes* through the
+//!    search, collapsing duplicate candidates within a search and
+//!    replaying nothing across searches.
+//!
+//! ```
+//! use lambda_rt::{search_compiled, LcCandidates};
+//! use selc_engine::SequentialEngine;
+//!
+//! let ex = lambda_c::examples::pgm_with_argmin_handler();
+//! let cands = LcCandidates::new(
+//!     lambda_c::compile(&ex.expr).unwrap(),
+//!     ["decide".to_owned()],
+//!     1,
+//! );
+//! let (outcome, value) = search_compiled(&SequentialEngine::exhaustive(), &cands).unwrap();
+//! assert_eq!(outcome.loss.0, lambda_c::LossVal::scalar(2.0));
+//! assert_eq!(value, Some(lambda_c::prim::Ground::Char('a')));
+//! ```
+
+pub mod bridge;
+pub mod loss;
+pub mod search;
+
+pub use bridge::{LcCandidates, LcValue};
+pub use loss::{encode_scalar, OrdLossVal};
+pub use search::{search_compiled, search_compiled_cached, CompiledEval, LcTransCache};

@@ -6,6 +6,7 @@
 //! the system inventory.
 
 pub use lambda_c;
+pub use lambda_rt;
 pub use selc;
 pub use selc_autodiff as autodiff;
 pub use selc_denote as denote;
