@@ -62,6 +62,12 @@ impl Neg for Dual {
     }
 }
 
+/// **Intentionally partial** (the one `partial_cmp` the workspace's
+/// determinism sweep keeps): `Dual` mirrors `f64`'s own comparison
+/// semantics so generic numeric code behaves identically over duals and
+/// plain floats — NaN compares as unordered, `-0.0 == 0.0`. Search-side
+/// comparisons never use this; they go through the `selc::OrderedLoss`
+/// total order.
 impl PartialOrd for Dual {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         self.v.partial_cmp(&other.v)

@@ -20,7 +20,7 @@ use lambda_c::smallstep::{step, StepResult};
 use lambda_c::syntax::Expr;
 use lambda_c::testgen::{deep_decide_chain, deep_let_chain, gen_signature, GenProgram};
 use lambda_c::{compile, machine, CompiledProgram, LossVal, Signature};
-use lambda_rt::{search_compiled, search_compiled_cached, LcCandidates, LcTransCache};
+use lambda_rt::{search_compiled_flat, search_compiled_flat_cached, LcCandidates, LcTransCache};
 use selc_cache::CacheStats;
 use selc_engine::{ParallelEngine, SequentialEngine};
 
@@ -111,7 +111,7 @@ fn bench_decide_chain(c: &mut Criterion) {
         LcCandidates::new(compile(&p.expr).expect("compiles"), ["decide".to_owned()], choices);
     let seq = SequentialEngine::exhaustive();
     let par = ParallelEngine { threads: 4, chunk: 1, prune: true };
-    let (out, _) = search_compiled(&seq, &cands).unwrap();
+    let (out, _) = search_compiled_flat(&seq, &cands).unwrap();
     assert_eq!(out.loss.0, reference, "engine argmin == handler semantics");
 
     let mut g = c.benchmark_group("e14_lambda/decide_search");
@@ -119,31 +119,31 @@ fn bench_decide_chain(c: &mut Criterion) {
         let compiled = compile(&p.expr).expect("compiles");
         b.iter(|| black_box(machine_loss(&compiled)))
     });
-    g.bench_function("search_seq", |b| b.iter(|| black_box(search_compiled(&seq, &cands))));
+    g.bench_function("search_seq", |b| b.iter(|| black_box(search_compiled_flat(&seq, &cands))));
     g.bench_function("search_par_cached_cold", |b| {
         b.iter(|| {
             let cache = LcTransCache::unbounded(4);
-            black_box(search_compiled_cached(&par, &cands, &cache, true))
+            black_box(search_compiled_flat_cached(&par, &cands, &cache, true))
         })
     });
     let warm = LcTransCache::unbounded(4);
-    let _ = search_compiled_cached(&seq, &cands, &warm, false);
+    let _ = search_compiled_flat_cached(&seq, &cands, &warm, false);
     g.bench_function("search_par_cached_warm", |b| {
-        b.iter(|| black_box(search_compiled_cached(&par, &cands, &warm, false)))
+        b.iter(|| black_box(search_compiled_flat_cached(&par, &cands, &warm, false)))
     });
     g.finish();
 
     // Representative stats for the snapshot recorder (no abandonment, so
     // cold fills the whole space and warm hits every candidate).
     let cache = LcTransCache::unbounded(4);
-    let (cold, _) = search_compiled_cached(&par, &cands, &cache, false).unwrap();
+    let (cold, _) = search_compiled_flat_cached(&par, &cands, &cache, false).unwrap();
     assert_eq!(cold.loss.0, reference);
     report("e14_lambda/decide_search/par_cached_cold", &cold.stats.cache);
-    let (warm_out, _) = search_compiled_cached(&par, &cands, &cache, false).unwrap();
+    let (warm_out, _) = search_compiled_flat_cached(&par, &cands, &cache, false).unwrap();
     assert_eq!(warm_out.loss.0, reference);
     report("e14_lambda/decide_search/par_cached_warm", &warm_out.stats.cache);
     let (pruned, _) =
-        search_compiled_cached(&par, &cands, &LcTransCache::unbounded(4), true).unwrap();
+        search_compiled_flat_cached(&par, &cands, &LcTransCache::unbounded(4), true).unwrap();
     assert_eq!(pruned.loss.0, reference);
     println!(
         "e14_lambda/decide_search/pruning evaluated={} pruned={}",

@@ -1,0 +1,105 @@
+//! E15: prefix-sharing tree search vs the flat forced-path scan.
+//!
+//! PR 4's bridge fans a depth-`d` compiled program out as `2^d` forced
+//! paths, each replayed from the root — O(2^d · d) machine segments. The
+//! tree search suspends the machine at each choice point and resumes
+//! both branches from the shared prefix snapshot — O(2^d) segments, one
+//! per tree node. This family measures that gap on a deep probing chain
+//! (the workload of E14's `decide_search`, at three times the depth),
+//! cold and warm, plus the flat scan's own cached path for reference.
+//!
+//! After timing, cache-stat lines print for `selc-bench-record`.
+//! `SELC_BENCH_SMOKE=1` shrinks the chain for CI.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lambda_c::testgen::deep_decide_chain;
+use lambda_rt::{
+    search_compiled, search_compiled_cached, search_compiled_flat_cached, LcCandidates,
+    LcTransCache,
+};
+use selc_cache::CacheStats;
+use selc_engine::{ParallelEngine, TreeEngine};
+use std::time::Duration;
+
+fn smoke() -> bool {
+    std::env::var("SELC_BENCH_SMOKE").is_ok()
+}
+
+fn report(label: &str, stats: &CacheStats) {
+    println!(
+        "{label} cache hits={} misses={} insertions={} evictions={} hit_rate={:.3}",
+        stats.hits,
+        stats.misses,
+        stats.insertions,
+        stats.evictions,
+        stats.hit_rate()
+    );
+}
+
+fn bench_tree_vs_flat(c: &mut Criterion) {
+    let choices = if smoke() { 10 } else { 18 };
+    let p = deep_decide_chain(choices);
+    let cands = LcCandidates::new(
+        lambda_c::compile(&p.expr).expect("compiles"),
+        ["decide".to_owned()],
+        choices,
+    );
+    // The PR-4 production configuration (parallel + branch-and-bound +
+    // transposition table) against the tree engine at the same worker
+    // count.
+    let flat_eng = ParallelEngine { threads: 4, chunk: 0, prune: true };
+    let tree_eng = TreeEngine::with_threads(4);
+
+    // Bit-identical winners, asserted once before timing.
+    let (tree_ref, tree_val) = search_compiled(&TreeEngine::sequential(), &cands).unwrap();
+    let fresh = LcTransCache::unbounded(8);
+    let (flat_ref, flat_val) =
+        search_compiled_flat_cached(&flat_eng, &cands, &fresh, true).unwrap();
+    assert_eq!((tree_ref.index, tree_ref.loss.clone()), (flat_ref.index, flat_ref.loss));
+    assert_eq!(tree_val, flat_val);
+
+    let mut g = c.benchmark_group(format!("e15_tree/probing{choices}"));
+    g.bench_function("flat_cached_cold", |b| {
+        b.iter(|| {
+            let cache = LcTransCache::unbounded(8);
+            black_box(search_compiled_flat_cached(&flat_eng, &cands, &cache, true))
+        })
+    });
+    g.bench_function("tree_cold", |b| b.iter(|| black_box(search_compiled(&tree_eng, &cands))));
+    g.bench_function("tree_cached_cold", |b| {
+        b.iter(|| {
+            let cache = LcTransCache::unbounded(8);
+            black_box(search_compiled_cached(&tree_eng, &cands, &cache, true))
+        })
+    });
+    let warm = LcTransCache::unbounded(8);
+    let _ = search_compiled_cached(&tree_eng, &cands, &warm, false);
+    g.bench_function("tree_cached_warm", |b| {
+        b.iter(|| black_box(search_compiled_cached(&tree_eng, &cands, &warm, false)))
+    });
+    g.finish();
+
+    // Representative stats for the snapshot recorder: a cold pruned fill
+    // on a fresh table, and a repeat search over the fully-warm one.
+    let cache = LcTransCache::unbounded(8);
+    let (cold, _) = search_compiled_cached(&tree_eng, &cands, &cache, true).unwrap();
+    assert_eq!(cold.index, tree_ref.index);
+    report(&format!("e15_tree/probing{choices}/tree_cached_cold"), &cold.stats.cache);
+    println!(
+        "e15_tree/probing{choices}/tree_cached_cold search evaluated={} pruned={}",
+        cold.stats.evaluated, cold.stats.pruned
+    );
+    let (warm_out, _) = search_compiled_cached(&tree_eng, &cands, &warm, false).unwrap();
+    assert_eq!(warm_out.index, tree_ref.index);
+    report(&format!("e15_tree/probing{choices}/tree_cached_warm"), &warm_out.stats.cache);
+}
+
+criterion_group! {
+    name = benches;
+    // The flat cold scan replays 2^18 paths per iteration; two samples
+    // of one iteration each keep the recording honest without an
+    // hour-long run.
+    config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(200)).warm_up_time(Duration::from_millis(50));
+    targets = bench_tree_vs_flat
+}
+criterion_main!(benches);

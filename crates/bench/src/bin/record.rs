@@ -11,12 +11,20 @@
 //! cargo run -p selc-bench --bin selc-bench-record --release -- --bench e12_parallel
 //! ```
 //!
-//! JSON schema: `{"schema": 2, "recorded_at_unix": <secs>,
-//! "benches": {"<label>": <median ns/iter>}, "cache": {"<label>":
-//! {"hits": …, "misses": …, "insertions": …, "evictions": …}}}` — the
-//! `cache` section collects the `<label> cache hits=… misses=…` lines
-//! cached bench families (e13) print after timing, so snapshots carry
-//! hit rates alongside medians.
+//! JSON schema 3: `{"schema": 3, "recorded_at_unix": <secs>,
+//! "selc_threads": <resolved worker count>, "host_parallelism": <what
+//! the OS reports>, "benches": {"<label>": <median ns/iter>}, "cache":
+//! {"<label>": {"hits": …, "misses": …, "insertions": …,
+//! "evictions": …}}}` — the `cache` section collects the
+//! `<label> cache hits=… misses=…` lines cached bench families (e13+)
+//! print after timing, so snapshots carry hit rates alongside medians.
+//! The two parallelism fields (schema 3) record the recording *host*:
+//! `host_parallelism` is what the OS could actually run concurrently,
+//! and `selc_threads` is the `SELC_THREADS` knob resolved exactly as the
+//! engine resolves it (it governs `::auto()`-sized pools; bench families
+//! that pin an explicit pool — e12–e15 mostly pin 4 workers — say so in
+//! their labels). The point is interpretability: a "4-worker" row next
+//! to `host_parallelism: 1` measured thread *interleaving*, not scaling.
 
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -142,8 +150,14 @@ fn main() {
     let cache: BTreeMap<String, [u64; 4]> = stdout.lines().filter_map(parse_cache_line).collect();
 
     let recorded_at = std::time::SystemTime::UNIX_EPOCH.elapsed().map(|d| d.as_secs()).unwrap_or(0);
-    let mut json = String::from("{\n  \"schema\": 2,\n");
-    json.push_str(&format!("  \"recorded_at_unix\": {recorded_at},\n  \"benches\": {{\n"));
+    // The engine's own worker-count resolution (`SELC_THREADS`, else the
+    // hardware), without linking the engine into the recorder.
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let threads = selc::env::env_usize("SELC_THREADS").unwrap_or(host);
+    let mut json = String::from("{\n  \"schema\": 3,\n");
+    json.push_str(&format!("  \"recorded_at_unix\": {recorded_at},\n"));
+    json.push_str(&format!("  \"selc_threads\": {threads},\n"));
+    json.push_str(&format!("  \"host_parallelism\": {host},\n  \"benches\": {{\n"));
     let body: Vec<String> = benches
         .iter()
         .map(|(label, median)| format!("    \"{}\": {median:.1}", json_escape(label)))

@@ -12,10 +12,10 @@
 //! [`SharedBound`].
 
 use crate::bound::SharedBound;
+use crate::queue::WorkQueue;
 use crate::threads::configured_threads;
 use selc::OrderedLoss;
 use selc_cache::CacheStats;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How an engine asks for the loss of one candidate.
 ///
@@ -121,7 +121,10 @@ pub trait Engine {
 type WorkerResult<L> = (Option<(L, usize)>, u64, u64);
 
 /// Lexicographic `(loss, index)` merge — the deterministic reduction.
-fn better<L: OrderedLoss>(a: &(L, usize), b: &(L, usize)) -> bool {
+/// One definition for every engine (the flat scans here, the tree walk
+/// in [`crate::tree`]): the bit-identical-winners contract depends on
+/// all of them folding with exactly this comparison.
+pub(crate) fn better<L: OrderedLoss>(a: &(L, usize), b: &(L, usize)) -> bool {
     match a.0.cmp_loss(&b.0) {
         std::cmp::Ordering::Less => true,
         std::cmp::Ordering::Greater => false,
@@ -291,7 +294,7 @@ impl Engine for ParallelEngine {
             return out;
         }
         let chunk = self.effective_chunk(space, threads);
-        let cursor = AtomicUsize::new(0);
+        let queue = WorkQueue::new(space);
         let bound = SharedBound::new();
         let prune = self.prune;
 
@@ -299,17 +302,12 @@ impl Engine for ParallelEngine {
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
-                    let cursor = &cursor;
+                    let queue = &queue;
                     let bound = &bound;
                     s.spawn(move || {
                         let mut best = None;
                         let (mut evaluated, mut pruned) = (0, 0);
-                        loop {
-                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                            if start >= space {
-                                break;
-                            }
-                            let end = (start + chunk).min(space);
+                        while let Some((start, end)) = queue.claim(chunk) {
                             scan(
                                 eval,
                                 start..end,

@@ -32,6 +32,12 @@
 //!   another worker — or an earlier search against the same handle —
 //!   already scored, and hit/miss/eviction telemetry flows into
 //!   [`SearchStats`].
+//! * **Prefix-sharing tree search** — spaces that are really decision
+//!   *trees* (compiled λC choice points, deep games) run on
+//!   [`tree::TreeEngine`]: DFS with the bound consulted at every
+//!   interior node, best-first child ordering, and subtree-granularity
+//!   work distribution over the saturating [`queue::WorkQueue`] —
+//!   bit-identical winners to the flat scan at O(tree nodes) cost.
 //!
 //! Downstream, `selc-games` root-splits minimax and n-queens,
 //! `selc-ml` batches hyperparameter grids, and `selection::par` exposes
@@ -40,13 +46,17 @@
 pub mod bound;
 pub mod cached;
 pub mod engine;
+pub mod queue;
 pub mod replay;
 pub mod threads;
+pub mod tree;
 
 pub use bound::SharedBound;
 pub use cached::{search_programs_cached, CachedEval};
 pub use engine::{
     minimize, CandidateEval, Engine, FnEval, Outcome, ParallelEngine, SearchStats, SequentialEngine,
 };
+pub use queue::WorkQueue;
 pub use replay::{search_programs, CacheStatsSink, SelEval};
 pub use threads::{configured_threads, THREADS_ENV};
+pub use tree::{parallel_subtrees, TreeEngine, TreeEval, TreeStep};

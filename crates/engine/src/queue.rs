@@ -1,0 +1,106 @@
+//! The shared work queue: a saturating atomic cursor over a finite index
+//! space.
+//!
+//! Workers claim half-open chunks `[start, end)` of `0..space` from one
+//! atomic cursor. The claim is a `fetch_update` that **saturates at
+//! `space`** instead of incrementing forever: a bare `fetch_add` keeps
+//! growing after exhaustion, and for spaces near `usize::MAX` the cursor
+//! can wrap around and hand already-scanned indices out a second time —
+//! double-counting stats at best, breaking the deterministic reduction's
+//! "every index exactly once" invariant at worst. Saturation makes
+//! exhaustion absorbing: once the cursor reaches `space` every later
+//! claim returns `None`, forever, on any thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A chunked work queue over the index space `0..space`.
+#[derive(Debug)]
+pub struct WorkQueue {
+    cursor: AtomicUsize,
+    space: usize,
+}
+
+impl WorkQueue {
+    /// A fresh queue over `0..space`.
+    pub fn new(space: usize) -> WorkQueue {
+        WorkQueue { cursor: AtomicUsize::new(0), space }
+    }
+
+    /// Claims the next up-to-`chunk` indices, or `None` when the space is
+    /// exhausted. Relaxed ordering suffices: the queue only partitions
+    /// indices, it carries no data between threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0` (a zero-width claim would spin forever).
+    pub fn claim(&self, chunk: usize) -> Option<(usize, usize)> {
+        assert!(chunk > 0, "work-queue chunks must be non-empty");
+        let start = self
+            .cursor
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                (cur < self.space).then(|| cur.saturating_add(chunk).min(self.space))
+            })
+            .ok()?;
+        Some((start, start.saturating_add(chunk).min(self.space)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_partition_the_space_in_order() {
+        let q = WorkQueue::new(10);
+        assert_eq!(q.claim(4), Some((0, 4)));
+        assert_eq!(q.claim(4), Some((4, 8)));
+        assert_eq!(q.claim(4), Some((8, 10)), "the tail chunk is clipped");
+        assert_eq!(q.claim(4), None);
+        assert_eq!(q.claim(1), None, "exhaustion is absorbing");
+    }
+
+    #[test]
+    fn empty_space_yields_nothing() {
+        let q = WorkQueue::new(0);
+        assert_eq!(q.claim(1), None);
+    }
+
+    #[test]
+    fn claims_near_usize_max_saturate_instead_of_wrapping() {
+        // A bare `fetch_add` cursor would wrap here and hand out index 0
+        // again; the saturating claim must return the clipped tail once
+        // and then `None` forever.
+        let q = WorkQueue::new(usize::MAX);
+        q.cursor.store(usize::MAX - 3, Ordering::Relaxed);
+        assert_eq!(q.claim(usize::MAX / 2), Some((usize::MAX - 3, usize::MAX)));
+        for _ in 0..4 {
+            assert_eq!(q.claim(usize::MAX / 2), None, "no wrap-around re-issue");
+        }
+        assert_eq!(q.cursor.load(Ordering::Relaxed), usize::MAX);
+    }
+
+    #[test]
+    fn concurrent_claims_cover_every_index_exactly_once() {
+        let q = WorkQueue::new(1000);
+        let counts: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (q, counts) = (&q, &counts);
+                s.spawn(move || {
+                    while let Some((start, end)) = q.claim(7) {
+                        for c in &counts[start..end] {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_chunks_are_rejected() {
+        let _ = WorkQueue::new(5).claim(0);
+    }
+}

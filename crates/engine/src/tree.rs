@@ -1,0 +1,574 @@
+//! Prefix-sharing tree search: DFS over decision subtrees with the
+//! shared branch-and-bound bound, beside the flat candidate scan.
+//!
+//! The flat engines treat a depth-`d` decision space as `2^d` independent
+//! candidates, each evaluated from scratch — `O(2^d · d)` work even
+//! though all candidates share prefixes. A [`TreeEval`] exposes the space
+//! as the *tree* it really is (the backtracking-search shape of Hedges'
+//! selection-monad transformers): interior nodes are shared prefix
+//! states, `child` extends a prefix by one decision, and a leaf reports
+//! the final loss of one complete path — `O(tree nodes)` work total.
+//!
+//! [`TreeEngine::search`] drives the DFS:
+//!
+//! * **The bound at every interior node** — completed leaves feed the
+//!   same [`SharedBound`] the flat engines use; a subtree whose
+//!   lower-bound hint is *strictly* dominated is skipped whole.
+//! * **Best-first child ordering** — children are visited cheapest
+//!   hint first (ties toward the `true` branch), so small losses are
+//!   found early and the bound tightens before the expensive siblings
+//!   run. This pays even on one core — it is an evaluation-order
+//!   improvement, not a parallelism trick.
+//! * **Subtree-granularity distribution** — workers claim decision
+//!   *prefixes* of a fixed split depth from the saturating
+//!   [`WorkQueue`] (not fixed index chunks), rebuild the subtree root
+//!   locally (`enter`), and DFS it; node handles never cross threads,
+//!   so non-`Send` evaluator state (e.g. machine continuations) is fine.
+//!
+//! # Determinism
+//!
+//! The reduction is the engine's usual `(loss, index)` lexicographic
+//! merge, where a leaf that used only `u ≤ depth` decisions represents
+//! the *smallest* flat index sharing its path (`path << (depth - u)`) —
+//! exactly the index the flat scan's left-to-right tie-breaking would
+//! credit. Exploration *order* therefore cannot change the winner: every
+//! canonical leaf is either visited (and merged under the total order)
+//! or skipped only when strictly dominated, so tree, flat, sequential,
+//! and parallel searches return bit-identical `(loss, index)` winners,
+//! ties included.
+
+use crate::bound::SharedBound;
+use crate::engine::{Outcome, SearchStats};
+use crate::queue::WorkQueue;
+use crate::threads::configured_threads;
+use selc::OrderedLoss;
+use selc_cache::CacheStats;
+use std::sync::Mutex;
+
+/// One step of tree exploration: what lies at (or just past) a decision
+/// prefix.
+#[derive(Debug)]
+pub enum TreeStep<N, L> {
+    /// The path terminated after `used` decisions with final loss `loss`
+    /// (`used` may be smaller than the position's length when the
+    /// program finishes inside a scripted prefix).
+    Leaf {
+        /// Total loss of the completed path.
+        loss: L,
+        /// Decisions the path actually consumed.
+        used: u32,
+    },
+    /// An interior node: a shared prefix state to descend into.
+    Node {
+        /// The evaluator's node handle (thread-local; never crosses
+        /// workers).
+        node: N,
+        /// A cheap partial-loss estimate for best-first ordering; a true
+        /// lower bound on every leaf beneath when
+        /// [`TreeEval::hint_is_lower_bound`] holds, enabling subtree
+        /// pruning against the shared bound.
+        hint: Option<L>,
+    },
+    /// The evaluator abandoned the subtree mid-expansion (its own
+    /// strict-domination check fired — same soundness contract as
+    /// [`crate::engine::CandidateEval::eval`] returning `None`).
+    Pruned,
+}
+
+/// A tree-shaped candidate space over binary decisions.
+///
+/// Positions are `(path, len)` pairs: `len` decisions taken, decision `j`
+/// at bit `len - 1 - j` of `path`, `0` meaning `true` — the flat
+/// engines' candidate encoding restricted to a prefix. `depth` is
+/// bounded by 62 (indices are `u64`/`usize` bit vectors).
+pub trait TreeEval<L: OrderedLoss>: Send + Sync {
+    /// A materialised interior node. Need not be `Send`: nodes live and
+    /// die on the worker that entered the subtree.
+    type Node;
+
+    /// The decision depth of the space (`2^depth` flat candidates).
+    fn depth(&self) -> u32;
+
+    /// Materialises the subtree root at `(prefix, len)`, replaying the
+    /// `len` scripted decisions. A run that terminates inside the prefix
+    /// yields `Leaf { used < len }`.
+    fn enter(&self, prefix: u64, len: u32) -> TreeStep<Self::Node, L>;
+
+    /// Takes `decision` at `node`; `(path, len)` is the **child**
+    /// position (the parent's path extended by the decision), so
+    /// cache-keyed evaluators can probe/store without their own
+    /// bookkeeping.
+    fn child(
+        &self,
+        node: &Self::Node,
+        decision: bool,
+        path: u64,
+        len: u32,
+    ) -> TreeStep<Self::Node, L>;
+
+    /// Whether node hints are true lower bounds on every leaf beneath
+    /// them (e.g. accumulated non-negative losses). When `false`, hints
+    /// still order children but never prune.
+    fn hint_is_lower_bound(&self) -> bool {
+        false
+    }
+
+    /// Cache counters accumulated by the evaluator (merged into
+    /// [`SearchStats::cache`] after the search).
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+}
+
+/// The tree engine: DFS over decision subtrees with deterministic
+/// `(loss, index)` reduction, parallelised at subtree granularity.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeEngine {
+    /// Worker count; 0 means [`configured_threads`] (`SELC_THREADS`).
+    pub threads: usize,
+    /// Enable branch-and-bound pruning (shared bound + dominated-hint
+    /// subtree skips).
+    pub prune: bool,
+    /// Decision depth at which the tree is split into parallel subtree
+    /// work items; 0 picks one that gives each worker ~4 subtrees.
+    pub split: u32,
+}
+
+impl Default for TreeEngine {
+    fn default() -> Self {
+        TreeEngine { threads: 0, prune: true, split: 0 }
+    }
+}
+
+impl TreeEngine {
+    /// `SELC_THREADS` workers, auto split, pruning on.
+    pub fn auto() -> TreeEngine {
+        TreeEngine::default()
+    }
+
+    /// A pool of exactly `threads` workers, auto split, pruning on.
+    pub fn with_threads(threads: usize) -> TreeEngine {
+        TreeEngine { threads, ..TreeEngine::default() }
+    }
+
+    /// The single-worker exhaustive tree walk — the differential oracle
+    /// for everything parallel/pruned/cached above it.
+    pub fn sequential() -> TreeEngine {
+        TreeEngine { threads: 1, prune: false, split: 0 }
+    }
+
+    /// Same engine, pruning disabled (exhaustive fan-out).
+    pub fn without_pruning(mut self) -> TreeEngine {
+        self.prune = false;
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        let t = if self.threads == 0 { configured_threads() } else { self.threads };
+        t.max(1)
+    }
+
+    /// Argmin over the tree's leaves under the deterministic
+    /// `(loss, representative index)` reduction. `None` only when the
+    /// evaluator prunes every path (a violation of the strict-domination
+    /// contract, but kept non-panicking like the flat engines).
+    pub fn search<L, T>(&self, eval: &T) -> Option<Outcome<L>>
+    where
+        L: OrderedLoss,
+        T: TreeEval<L>,
+    {
+        let depth = eval.depth();
+        assert!(depth <= 62, "decision depth {depth} exceeds the 62-bit index encoding");
+        let threads = self.effective_threads().min(1_usize << depth.min(20));
+        let split = if threads == 1 {
+            0
+        } else if self.split == 0 {
+            // ~4 subtrees per worker, at least one decision of split.
+            let want = (threads * 4).next_power_of_two().trailing_zeros();
+            want.clamp(1, depth)
+        } else {
+            self.split.min(depth)
+        };
+        let bound = SharedBound::new();
+        let walker = Walker { eval, bound: &bound, prune: self.prune, depth };
+
+        let mut parts: Vec<Partial<L>> = if threads == 1 {
+            let mut part = Partial::default();
+            walker.dfs(eval.enter(0, 0), 0, 0, &mut part);
+            vec![part]
+        } else {
+            let queue = WorkQueue::new(1_usize << split);
+            let mut parts = Vec::with_capacity(threads);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let (queue, walker) = (&queue, &walker);
+                        s.spawn(move || {
+                            let mut part = Partial::default();
+                            while let Some((start, end)) = queue.claim(1) {
+                                debug_assert_eq!(end, start + 1);
+                                walker.dfs(
+                                    walker.eval.enter(start as u64, split),
+                                    start as u64,
+                                    split,
+                                    &mut part,
+                                );
+                            }
+                            part
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    parts.push(h.join().expect("tree worker panicked"));
+                }
+            });
+            parts
+        };
+
+        let mut merged = Partial::default();
+        for part in parts.drain(..) {
+            merged.evaluated += part.evaluated;
+            merged.pruned += part.pruned;
+            if let Some(candidate) = part.best {
+                merged.merge(candidate);
+            }
+        }
+        merged.best.map(|(loss, index)| Outcome {
+            index,
+            loss,
+            stats: SearchStats {
+                evaluated: merged.evaluated,
+                pruned: merged.pruned,
+                threads,
+                cache: eval.cache_stats(),
+            },
+        })
+    }
+}
+
+/// One worker's accumulator: local best plus counters (`evaluated` =
+/// canonical leaves scored, `pruned` = subtrees or leaves skipped).
+struct Partial<L> {
+    best: Option<(L, usize)>,
+    evaluated: u64,
+    pruned: u64,
+}
+
+impl<L> Default for Partial<L> {
+    fn default() -> Self {
+        Partial { best: None, evaluated: 0, pruned: 0 }
+    }
+}
+
+impl<L: OrderedLoss> Partial<L> {
+    fn merge(&mut self, candidate: (L, usize)) {
+        if self.best.as_ref().is_none_or(|best| crate::engine::better(&candidate, best)) {
+            self.best = Some(candidate);
+        }
+    }
+}
+
+struct Walker<'a, L, T> {
+    eval: &'a T,
+    bound: &'a SharedBound<L>,
+    prune: bool,
+    depth: u32,
+}
+
+impl<L: OrderedLoss, T: TreeEval<L>> Walker<'_, L, T> {
+    /// DFS from `step`, which sits at position `(bits, len)`.
+    fn dfs(&self, step: TreeStep<T::Node, L>, bits: u64, len: u32, part: &mut Partial<L>) {
+        match step {
+            TreeStep::Pruned => part.pruned += 1,
+            TreeStep::Leaf { loss, used } => {
+                debug_assert!(used <= len, "leaves cannot overshoot their position");
+                let tail = len - used;
+                // A path that terminated inside a scripted prefix is
+                // reachable from every prefix extending it; only the
+                // canonical (all-`true` remainder) position counts it.
+                if bits & ((1_u64 << tail) - 1) != 0 {
+                    return;
+                }
+                part.evaluated += 1;
+                if self.prune {
+                    self.bound.observe(&loss);
+                }
+                let index = ((bits >> tail) << (self.depth - used)) as usize;
+                part.merge((loss, index));
+            }
+            TreeStep::Node { node, hint } => {
+                if self.prune && self.eval.hint_is_lower_bound() {
+                    if let Some(h) = &hint {
+                        if self.bound.dominated(h) {
+                            part.pruned += 1;
+                            return;
+                        }
+                    }
+                }
+                // Expand both children (one shared-prefix step each),
+                // then descend cheapest estimate first so the bound is
+                // tight before the expensive sibling runs; ties keep the
+                // `true` branch first. No allocation: this runs once per
+                // interior node of the hot walk.
+                let t_bits = bits << 1;
+                let f_bits = (bits << 1) | 1;
+                let t_step = self.eval.child(&node, true, t_bits, len + 1);
+                let f_step = self.eval.child(&node, false, f_bits, len + 1);
+                let false_first =
+                    matches!(
+                        (estimate(&t_step), estimate(&f_step)),
+                        (Some(et), Some(ef)) if ef.cmp_loss(et) == std::cmp::Ordering::Less
+                    ) || matches!((estimate(&t_step), estimate(&f_step)), (None, Some(_)));
+                let [(first, first_bits), (second, second_bits)] = if false_first {
+                    [(f_step, f_bits), (t_step, t_bits)]
+                } else {
+                    [(t_step, t_bits), (f_step, f_bits)]
+                };
+                self.dfs(first, first_bits, len + 1, part);
+                self.dfs(second, second_bits, len + 1, part);
+            }
+        }
+    }
+}
+
+/// The ordering estimate of a child step: a leaf's final loss, a node's
+/// hint.
+fn estimate<N, L>(step: &TreeStep<N, L>) -> Option<&L> {
+    match step {
+        TreeStep::Leaf { loss, .. } => Some(loss),
+        TreeStep::Node { hint, .. } => hint.as_ref(),
+        TreeStep::Pruned => None,
+    }
+}
+
+/// Distributes `count` independent subtree tasks over a worker pool
+/// (saturating claim queue, one subtree per claim) and returns the
+/// results **in task-index order** — so any merge the caller folds over
+/// them is deterministic regardless of which worker ran what.
+/// `threads == 0` means [`configured_threads`]. Used by the tree engine's
+/// cousins that are not leaf-argmins (e.g. parallel alpha-beta in
+/// `selc-games`, where interior nodes alternate min/max).
+///
+/// # Panics
+///
+/// Panics if a task panics.
+pub fn parallel_subtrees<R, F>(threads: usize, count: usize, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    let threads =
+        (if threads == 0 { configured_threads() } else { threads }).max(1).min(count.max(1));
+    if threads <= 1 {
+        return (0..count).map(&task).collect();
+    }
+    let queue = WorkQueue::new(count);
+    let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let (queue, slots, task) = (&queue, &slots, &task);
+            s.spawn(move || {
+                while let Some((i, _)) = queue.claim(1) {
+                    let r = task(i);
+                    *slots[i].lock().expect("subtree slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("subtree slot poisoned").expect("every subtree ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{minimize, SequentialEngine};
+
+    /// A synthetic full-depth tree over a flat loss table: node = prefix,
+    /// leaf loss = table[path], hints = prefix minimum (a true lower
+    /// bound).
+    struct TableTree {
+        losses: Vec<f64>,
+        depth: u32,
+        hints: bool,
+    }
+
+    impl TableTree {
+        fn new(losses: Vec<f64>, hints: bool) -> TableTree {
+            let depth = losses.len().trailing_zeros();
+            assert_eq!(1 << depth, losses.len(), "table must be a power of two");
+            TableTree { losses, depth, hints }
+        }
+
+        fn step(&self, path: u64, len: u32) -> TreeStep<(u64, u32), f64> {
+            if len == self.depth {
+                return TreeStep::Leaf { loss: self.losses[path as usize], used: len };
+            }
+            let hint = self.hints.then(|| {
+                let width = self.depth - len;
+                let lo = (path << width) as usize;
+                self.losses[lo..lo + (1 << width)].iter().copied().fold(f64::INFINITY, f64::min)
+            });
+            TreeStep::Node { node: (path, len), hint }
+        }
+    }
+
+    impl TreeEval<f64> for TableTree {
+        type Node = (u64, u32);
+        fn depth(&self) -> u32 {
+            self.depth
+        }
+        fn enter(&self, prefix: u64, len: u32) -> TreeStep<(u64, u32), f64> {
+            self.step(prefix, len)
+        }
+        fn child(
+            &self,
+            _node: &(u64, u32),
+            _decision: bool,
+            path: u64,
+            len: u32,
+        ) -> TreeStep<(u64, u32), f64> {
+            self.step(path, len)
+        }
+        fn hint_is_lower_bound(&self) -> bool {
+            self.hints
+        }
+    }
+
+    fn table(seed: u64, n: usize) -> Vec<f64> {
+        // Small integer-valued losses force plenty of exact ties.
+        (0..n).map(|i| f64::from(((i as u64).wrapping_mul(seed * 2 + 7) % 11) as u32)).collect()
+    }
+
+    #[test]
+    fn tree_search_matches_the_flat_scan_including_ties() {
+        for seed in 0..12 {
+            let losses = table(seed, 64);
+            let flat =
+                minimize(&SequentialEngine::exhaustive(), losses.len(), |i| losses[i]).unwrap();
+            for hints in [false, true] {
+                for engine in [
+                    TreeEngine::sequential(),
+                    TreeEngine::with_threads(1),
+                    TreeEngine::with_threads(2),
+                    TreeEngine { threads: 3, prune: true, split: 4 },
+                    TreeEngine::with_threads(4).without_pruning(),
+                ] {
+                    let eval = TableTree::new(losses.clone(), hints);
+                    let out = engine.search(&eval).unwrap();
+                    assert_eq!(
+                        (out.index, out.loss),
+                        (flat.index, flat.loss),
+                        "seed {seed} hints {hints} engine {engine:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominated_subtrees_are_pruned_but_never_change_the_winner() {
+        // Losses descend towards index 0, so with best-first ordering the
+        // `true`-most subtree sets a tight bound early.
+        let losses: Vec<f64> = (0..64).map(f64::from).collect();
+        let eval = TableTree::new(losses.clone(), true);
+        let out = TreeEngine { threads: 1, prune: true, split: 0 }.search(&eval).unwrap();
+        assert_eq!((out.index, out.loss), (0, 0.0));
+        assert!(out.stats.pruned > 0, "stats: {:?}", out.stats);
+        assert!(out.stats.evaluated < 64, "stats: {:?}", out.stats);
+    }
+
+    /// A space where every path starting `false` terminates after one
+    /// decision: the early leaf must be counted exactly once, as the
+    /// smallest flat index it represents.
+    struct ShortFalse;
+
+    impl TreeEval<f64> for ShortFalse {
+        type Node = (u64, u32);
+        fn depth(&self) -> u32 {
+            3
+        }
+        fn enter(&self, prefix: u64, len: u32) -> TreeStep<(u64, u32), f64> {
+            // Positions are only entered at the split depth; replay the
+            // decisions one by one like a real scripted machine would.
+            let mut step = self.start();
+            for j in (0..len).rev() {
+                let d = (prefix >> j) & 1 == 0;
+                match step {
+                    TreeStep::Node { node, .. } => {
+                        step = self.child(&node, d, prefix >> j, len - j);
+                    }
+                    leaf => return leaf,
+                }
+            }
+            step
+        }
+        fn child(
+            &self,
+            node: &(u64, u32),
+            decision: bool,
+            path: u64,
+            len: u32,
+        ) -> TreeStep<(u64, u32), f64> {
+            let (_, nlen) = *node;
+            debug_assert_eq!(nlen + 1, len);
+            if len == 1 && !decision {
+                return TreeStep::Leaf { loss: 0.5, used: 1 };
+            }
+            if len == 3 {
+                return TreeStep::Leaf { loss: f64::from(path as u32), used: 3 };
+            }
+            TreeStep::Node { node: (path, len), hint: None }
+        }
+    }
+
+    impl ShortFalse {
+        fn start(&self) -> TreeStep<(u64, u32), f64> {
+            TreeStep::Node { node: (0, 0), hint: None }
+        }
+    }
+
+    #[test]
+    fn early_leaves_count_once_with_their_representative_index() {
+        // Flat view: indices 4..8 share the `false` leaf (loss 0.5, repr
+        // index 4); indices 0..4 have losses 0..4. Winner: index 0.
+        let flat_losses = [0.0, 1.0, 2.0, 3.0, 0.5, 0.5, 0.5, 0.5];
+        let flat = minimize(&SequentialEngine::exhaustive(), 8, |i| flat_losses[i]).unwrap();
+        for engine in [TreeEngine::sequential(), TreeEngine { threads: 4, prune: false, split: 2 }]
+        {
+            let out = engine.search(&ShortFalse).unwrap();
+            assert_eq!((out.index, out.loss), (flat.index, flat.loss), "{engine:?}");
+            assert_eq!(out.stats.evaluated, 5, "4 deep leaves + 1 early leaf: {engine:?}");
+        }
+    }
+
+    #[test]
+    fn depth_zero_spaces_have_one_leaf() {
+        struct One;
+        impl TreeEval<f64> for One {
+            type Node = ();
+            fn depth(&self) -> u32 {
+                0
+            }
+            fn enter(&self, _p: u64, _l: u32) -> TreeStep<(), f64> {
+                TreeStep::Leaf { loss: 7.0, used: 0 }
+            }
+            fn child(&self, _n: &(), _d: bool, _p: u64, _l: u32) -> TreeStep<(), f64> {
+                unreachable!("no interior nodes at depth 0")
+            }
+        }
+        let out = TreeEngine::auto().search(&One).unwrap();
+        assert_eq!((out.index, out.loss), (0, 7.0));
+    }
+
+    #[test]
+    fn parallel_subtrees_returns_results_in_index_order() {
+        for threads in [0, 1, 2, 5] {
+            let out = parallel_subtrees(threads, 23, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>(), "threads {threads}");
+        }
+        assert!(parallel_subtrees(3, 0, |i| i).is_empty());
+    }
+}

@@ -167,6 +167,88 @@ impl GameTree {
         go(self, &mut Vec::new())
     }
 
+    /// Strict-cutoff alpha–beta: backward induction that skips a
+    /// subtree only when its value falls *strictly* outside the
+    /// `(alpha, beta)` window — the minimax analogue of the engine's
+    /// strict-domination pruning. A node cut at `v > beta` (maximiser)
+    /// strictly loses at the minimising ancestor that achieved `beta`,
+    /// so it can neither win nor *tie* there; nodes on a tie boundary
+    /// are never cut. The returned play and value are therefore
+    /// bit-identical to [`GameTree::solve_backward`], leftmost
+    /// tie-breaking included. Works at any depth (no handler-effect
+    /// limit).
+    pub fn solve_alphabeta(&self) -> (Vec<usize>, f64) {
+        let (play, value, _) = self.solve_alphabeta_stats();
+        (play, value)
+    }
+
+    /// [`GameTree::solve_alphabeta`] plus the number of leaves actually
+    /// evaluated (what the window cuts saved).
+    pub fn solve_alphabeta_stats(&self) -> (Vec<usize>, f64, u64) {
+        let mut path = Vec::new();
+        let mut leaves = 0;
+        let (play, value) =
+            self.alphabeta(&mut path, f64::NEG_INFINITY, f64::INFINITY, &mut leaves);
+        (play, value, leaves)
+    }
+
+    /// Solves the subgame below the fixed move `prefix` with local
+    /// strict-cutoff alpha–beta (a fresh window — cross-subtree bounds
+    /// would make the cut set depend on sibling timing). Building block
+    /// of the parallel full-tree solver in [`crate::parallel`].
+    pub fn solve_alphabeta_from(&self, prefix: &[usize]) -> (Vec<usize>, f64) {
+        let mut path = prefix.to_vec();
+        let mut leaves = 0;
+        self.alphabeta(&mut path, f64::NEG_INFINITY, f64::INFINITY, &mut leaves)
+    }
+
+    fn alphabeta(
+        &self,
+        path: &mut Vec<usize>,
+        alpha: f64,
+        beta: f64,
+        leaves: &mut u64,
+    ) -> (Vec<usize>, f64) {
+        if path.len() == self.depth {
+            *leaves += 1;
+            return (path.clone(), self.leaf(path));
+        }
+        let maximising = path.len().is_multiple_of(2);
+        let (mut alpha, mut beta) = (alpha, beta);
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        for m in 0..self.branching {
+            path.push(m);
+            let (p, v) = self.alphabeta(path, alpha, beta, leaves);
+            path.pop();
+            let better = match &best {
+                None => true,
+                Some((_, bv)) => {
+                    if maximising {
+                        v > *bv
+                    } else {
+                        v < *bv
+                    }
+                }
+            };
+            if better {
+                best = Some((p, v));
+            }
+            let bv = best.as_ref().expect("just set").1;
+            if maximising {
+                alpha = alpha.max(bv);
+                if bv > beta {
+                    break; // strictly loses at the min ancestor achieving beta
+                }
+            } else {
+                beta = beta.min(bv);
+                if bv < alpha {
+                    break; // strictly loses at the max ancestor achieving alpha
+                }
+            }
+        }
+        best.expect("branching > 0")
+    }
+
     /// The game as a `Sel` program over the per-ply effects.
     fn program(&self) -> Sel<f64, Vec<usize>> {
         fn go(t: Rc<GameTree>, path: Vec<usize>) -> Sel<f64, Vec<usize>> {
@@ -294,6 +376,75 @@ mod tests {
             }
         }
         assert!(diverged, "expected at least one divergence across seeds");
+    }
+
+    /// A tree with leaves drawn from a tiny integer set, so ties abound
+    /// at every level.
+    fn tied_tree(branching: usize, depth: usize, seed: u64) -> GameTree {
+        let mut t = GameTree::random(branching, depth, seed);
+        for leaf in &mut t.leaves {
+            *leaf = (*leaf / 20.0).floor(); // values in {0..4}: heavy ties
+        }
+        t
+    }
+
+    #[test]
+    fn alphabeta_matches_backward_induction_value_and_play() {
+        for seed in 0..15 {
+            for (branching, depth) in [(2, 3), (2, 5), (3, 4), (4, 2), (2, 8)] {
+                let t = GameTree::random(branching, depth, seed);
+                assert_eq!(
+                    t.solve_alphabeta(),
+                    t.solve_backward(),
+                    "seed {seed} b {branching} d {depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alphabeta_breaks_ties_leftmost_like_backward_induction() {
+        for seed in 0..20 {
+            let t = tied_tree(3, 5, seed);
+            assert_eq!(t.solve_alphabeta(), t.solve_backward(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn alphabeta_actually_cuts() {
+        let t = GameTree::random(4, 6, 9);
+        let (_, _, leaves) = t.solve_alphabeta_stats();
+        let total = t.leaves.len() as u64;
+        assert!(leaves < total, "window cuts must skip leaves: {leaves}/{total}");
+        // And a depth-1 tree degenerates to a full scan.
+        let t1 = GameTree::random(5, 1, 0);
+        let (_, _, l1) = t1.solve_alphabeta_stats();
+        assert_eq!(l1, 5);
+    }
+
+    #[test]
+    fn alphabeta_from_a_prefix_solves_the_subgame() {
+        let t = GameTree::random(2, 4, 3);
+        let (play, value) = t.solve_alphabeta_from(&[1, 0]);
+        assert_eq!(&play[..2], &[1, 0], "the prefix is kept");
+        // The subgame below [1, 0] restarts with the maximiser (ply 2):
+        // check against a brute-force scan of the 4 completions.
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        for m2 in 0..2 {
+            let mut worst: Option<(Vec<usize>, f64)> = None;
+            for m3 in 0..2 {
+                let p = vec![1, 0, m2, m3];
+                let v = t.leaf(&p);
+                if worst.as_ref().is_none_or(|(_, wv)| v < *wv) {
+                    worst = Some((p, v));
+                }
+            }
+            let w = worst.expect("two moves");
+            if best.as_ref().is_none_or(|(_, bv)| w.1 > *bv) {
+                best = Some(w);
+            }
+        }
+        assert_eq!((play, value), best.expect("two moves"));
     }
 
     #[test]

@@ -11,10 +11,13 @@
 //! branch-and-bound bound prunes rows whose best conceivable value
 //! (the row maximum) cannot beat a value some worker already achieved.
 
+use crate::alternating::GameTree;
 use crate::bimatrix::Matrix;
 use crate::minimax::{hmin, MinMove};
 use selc::{handle, loss, perform, Sel};
-use selc_engine::{search_programs, CandidateEval, Engine, Outcome, ParallelEngine, SharedBound};
+use selc_engine::{
+    parallel_subtrees, search_programs, CandidateEval, Engine, Outcome, ParallelEngine, SharedBound,
+};
 use std::sync::Arc;
 
 /// The subgame after the maximiser fixes row `a`: the minimiser moves,
@@ -104,6 +107,62 @@ pub fn queens_parallel_with(engine: &impl Engine, n: usize) -> Vec<usize> {
     })
 }
 
+/// Full-tree parallel alpha–beta: where [`minimax_root_split`] stops at
+/// the first mover's moves, this distributes *every* subtree at `split`
+/// plies — `branching^split` independent work items claimed from the
+/// engine's saturating subtree queue ([`parallel_subtrees`], the same
+/// distribution the λC tree search uses) — and solves each with local
+/// strict-cutoff alpha–beta ([`GameTree::solve_alphabeta_from`]).
+/// Subtree results come back in lexicographic move order and the shared
+/// top plies fold by backward induction over that fixed order, so the
+/// play and value are bit-identical to [`GameTree::solve_backward`]
+/// regardless of worker timing. `threads == 0` means `SELC_THREADS`.
+///
+/// # Panics
+///
+/// Panics on a degenerate tree (`solve_backward` panics identically).
+pub fn alphabeta_parallel(t: &GameTree, threads: usize, split: usize) -> (Vec<usize>, f64) {
+    let split = split.min(t.depth);
+    let count = t.branching.pow(split as u32);
+    let results = parallel_subtrees(threads, count, |i| {
+        // Decode work item `i` into its move prefix, most significant
+        // ply first (lexicographic order = move order at every level).
+        let mut prefix = vec![0_usize; split];
+        let mut rem = i;
+        for slot in prefix.iter_mut().rev() {
+            *slot = rem % t.branching;
+            rem /= t.branching;
+        }
+        t.solve_alphabeta_from(&prefix)
+    });
+    // Fold the shared top plies: at ply `p` the maximiser moves iff `p`
+    // is even, ties towards the smaller move index — the in-order scan
+    // below keeps the first of equals, which *is* the smaller move.
+    let mut level = results;
+    for p in (0..split).rev() {
+        let maximising = p % 2 == 0;
+        level = level
+            .chunks(t.branching)
+            .map(|group| {
+                group
+                    .iter()
+                    .fold(None::<&(Vec<usize>, f64)>, |best, cand| match best {
+                        None => Some(cand),
+                        Some(b)
+                            if (maximising && cand.1 > b.1) || (!maximising && cand.1 < b.1) =>
+                        {
+                            Some(cand)
+                        }
+                        keep => keep,
+                    })
+                    .expect("branching > 0")
+                    .clone()
+            })
+            .collect();
+    }
+    level.into_iter().next().expect("one root result")
+}
+
 /// Demonstration wrapper used by the example and benches: replays a
 /// whole minimax table search as a family of `Sel` programs through
 /// [`selc_engine::search_programs`], returning the winning row's value.
@@ -180,6 +239,43 @@ mod tests {
         // Unsolvable boards still minimise attacks identically.
         assert_eq!(attacks(&queens_parallel(3)), 1);
         assert_eq!(queens_parallel(3), queens_selection(3));
+    }
+
+    #[test]
+    fn parallel_alphabeta_matches_backward_induction_across_splits() {
+        for seed in 0..8 {
+            for (branching, depth) in [(2, 5), (3, 4)] {
+                let t = GameTree::random(branching, depth, seed);
+                let expected = t.solve_backward();
+                for threads in [1, 2, 4] {
+                    for split in [0, 1, 2, 3] {
+                        assert_eq!(
+                            alphabeta_parallel(&t, threads, split),
+                            expected,
+                            "seed {seed} b {branching} d {depth} threads {threads} split {split}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_alphabeta_keeps_leftmost_ties_under_contention() {
+        // All-equal leaves: every play ties, and the leftmost must win
+        // no matter how workers interleave.
+        let t = GameTree { branching: 3, depth: 4, leaves: vec![1.0; 81] };
+        let expected = t.solve_backward();
+        assert_eq!(expected.0, vec![0, 0, 0, 0]);
+        for _ in 0..5 {
+            assert_eq!(alphabeta_parallel(&t, 4, 2), expected);
+        }
+    }
+
+    #[test]
+    fn parallel_alphabeta_split_deeper_than_the_tree_is_clamped() {
+        let t = GameTree::random(2, 2, 1);
+        assert_eq!(alphabeta_parallel(&t, 2, 9), t.solve_backward());
     }
 
     #[test]

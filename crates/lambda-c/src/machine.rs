@@ -365,27 +365,52 @@ struct StuckM {
     op: String,
     arg: MVal,
     cont: KCont,
+    /// `true` for a *choice yield* (tree mode): the operation was already
+    /// claimed by its innermost handler and `cont` expects the decision
+    /// (`MVal::bool`), so every enclosing frame — handlers included —
+    /// must forward it untouched to the top of the run.
+    choice: bool,
 }
 
+#[derive(Clone)]
 struct ForcedState {
     ops: BTreeSet<String>,
     bits: u64,
+    /// Decisions `0..scripted` are answered from `bits`; decisions
+    /// `scripted..max` yield [`ChoicePoint`]s (tree mode). Plain forced
+    /// runs script everything (`scripted == max`).
+    scripted: u32,
     max: u32,
     used: u32,
 }
 
+/// What a forced operation should do next.
+enum Decision {
+    /// Answer from the scripted bits.
+    Scripted(bool),
+    /// Suspend: surface a [`ChoicePoint`] to the caller.
+    Yield,
+}
+
 impl ForcedState {
-    fn next(&mut self) -> Result<bool, MachError> {
+    fn next(&mut self) -> Result<Decision, MachError> {
         if self.used >= self.max {
             return Err(MachError::DecisionsExhausted);
         }
-        let shift = self.max - 1 - self.used;
+        if self.used < self.scripted {
+            let shift = self.scripted - 1 - self.used;
+            self.used += 1;
+            return Ok(Decision::Scripted((self.bits >> shift) & 1 == 0));
+        }
         self.used += 1;
-        Ok((self.bits >> shift) & 1 == 0)
+        Ok(Decision::Yield)
     }
 }
 
-/// The mutable run state threaded through evaluation.
+/// The mutable run state threaded through evaluation. `Clone` is the
+/// snapshot operation of tree mode: a [`ChoicePoint`] captures the state
+/// at a suspension and every resume works on its own copy.
+#[derive(Clone)]
 struct Machine {
     fuel_left: u64,
     steps: u64,
@@ -451,6 +476,7 @@ pub fn run_with(p: &CompiledProgram, cfg: RunConfig) -> Result<MachineOutcome, M
         forced: cfg.forced.map(|f| ForcedState {
             ops: f.ops,
             bits: f.bits,
+            scripted: f.max_decisions,
             max: f.max_decisions,
             used: 0,
         }),
@@ -459,23 +485,174 @@ pub fn run_with(p: &CompiledProgram, cfg: RunConfig) -> Result<MachineOutcome, M
     };
     let mut ambient: LossBuf = Vec::new();
     let r = eval(&mut m, &p.code, &Env::empty(), &GVal::Zero, &mut ambient)?;
+    // Scripted forced runs never yield (`scripted == max`), so `r` is a
+    // plain value or genuinely-stuck operation here.
+    Ok(outcome_of(&m, r, &ambient))
+}
+
+/// Folds a finished run (value or stuck, never a choice yield) into a
+/// [`MachineOutcome`].
+fn outcome_of(m: &Machine, r: MRes, ambient: &LossBuf) -> MachineOutcome {
     let mut loss = LossVal::zero();
-    for l in &ambient {
+    for l in ambient {
         loss = loss.add(l);
     }
     let decisions_used = m.forced.as_ref().map_or(0, |f| f.used);
-    Ok(match r {
+    match r {
         MRes::Done(v) => {
             MachineOutcome { loss, value: Some(v), stuck_on: None, steps: m.steps, decisions_used }
         }
-        MRes::Stuck(s) => MachineOutcome {
-            loss,
-            value: None,
-            stuck_on: Some(s.op),
-            steps: m.steps,
-            decisions_used,
-        },
-    })
+        MRes::Stuck(s) => {
+            debug_assert!(!s.choice, "choice yield outside tree mode");
+            MachineOutcome {
+                loss,
+                value: None,
+                stuck_on: Some(s.op),
+                steps: m.steps,
+                decisions_used,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tree mode: snapshot/resume at forced choice points
+// ---------------------------------------------------------------------------
+
+/// Tree-mode decisions: the first `prefix_len` decisions of operations in
+/// `ops` are scripted from `prefix_bits` (decision `j` is `true` iff bit
+/// `prefix_len - 1 - j` is **0**, the [`ForcedChoices`] encoding); every
+/// further decision up to `max_decisions` suspends the run as a
+/// [`ChoicePoint`] instead, so a search can explore both branches from
+/// the shared prefix without replaying it.
+#[derive(Clone, Debug)]
+pub struct TreeChoices {
+    /// Operations to force (must return `bool`, see [`ForcedChoices`]).
+    pub ops: BTreeSet<String>,
+    /// The scripted prefix word.
+    pub prefix_bits: u64,
+    /// How many decisions the prefix scripts.
+    pub prefix_len: u32,
+    /// Total decision budget (the search depth).
+    pub max_decisions: u32,
+}
+
+/// Tree-mode run configuration.
+#[derive(Clone, Debug)]
+pub struct TreeRunConfig {
+    /// Step budget; 0 means [`DEFAULT_MACHINE_FUEL`]. Each root-to-leaf
+    /// path consumes at most this much, exactly like one forced run.
+    pub fuel: u64,
+    /// Which operations are forced, and how.
+    pub choices: TreeChoices,
+    /// Mid-run pruning hook (see [`MachinePrune`]); the accumulated
+    /// partial loss snapshots with the machine, so each branch prunes
+    /// against its own path total.
+    pub prune: Option<MachinePrune>,
+}
+
+/// Where a tree-mode run stopped: a finished outcome, or a suspension at
+/// a forced choice point.
+#[derive(Debug)]
+pub enum Explored {
+    /// The run finished (terminal value or genuinely-stuck operation).
+    Done(MachineOutcome),
+    /// The run reached a forced decision; resume with either branch.
+    Choice(ChoicePoint),
+}
+
+/// A run suspended at a forced choice point. The captured continuation is
+/// **multi-shot** — the machine's environments are persistent, handler
+/// parameter stacks are balanced at a suspension, and every mutable
+/// scrap of run state (fuel, loss scopes, the pruning partial) lives in a
+/// snapshot cloned per [`ChoicePoint::resume`] — so both decisions can be
+/// explored from one shared prefix evaluation. Not `Send`: points stay on
+/// the worker that created them; parallel searches ship decision
+/// *prefixes* and rebuild points locally.
+pub struct ChoicePoint {
+    cont: KCont,
+    state: Machine,
+    ambient: LossBuf,
+    partial: LossVal,
+}
+
+impl fmt::Debug for ChoicePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChoicePoint(depth = {}, partial = {:?})", self.depth(), self.partial)
+    }
+}
+
+impl ChoicePoint {
+    /// Decisions completed before this choice — the node's depth in the
+    /// decision tree (path bits have this many digits).
+    pub fn depth(&self) -> u32 {
+        let f = self.state.forced.as_ref().expect("a choice point implies forced mode");
+        f.used - 1
+    }
+
+    /// The ambient loss emitted so far along this path — a lower bound on
+    /// every completion's total when emissions are non-negative, and a
+    /// cheap best-first ordering estimate regardless.
+    pub fn partial_loss(&self) -> &LossVal {
+        &self.partial
+    }
+
+    /// Resumes the run with `decision`, on a fresh copy of the suspended
+    /// state (call as many times as you like, in any order).
+    ///
+    /// # Errors
+    ///
+    /// See [`MachError`]; [`MachError::Pruned`] when the hook abandons
+    /// the branch.
+    pub fn resume(&self, decision: bool) -> Result<Explored, MachError> {
+        let mut m = self.state.clone();
+        let mut ambient = self.ambient.clone();
+        let r = (self.cont)(&mut m, MVal::bool(decision), &mut ambient)?;
+        Ok(finish_explored(m, r, ambient))
+    }
+}
+
+fn finish_explored(m: Machine, r: MRes, ambient: LossBuf) -> Explored {
+    match r {
+        MRes::Stuck(s) if s.choice => {
+            let mut partial = LossVal::zero();
+            for l in &ambient {
+                partial = partial.add(l);
+            }
+            Explored::Choice(ChoicePoint { cont: s.cont, state: m, ambient, partial })
+        }
+        r => Explored::Done(outcome_of(&m, r, &ambient)),
+    }
+}
+
+/// Starts a tree-mode run: evaluates under the scripted prefix to the
+/// first unscripted forced decision (or straight to an outcome, when the
+/// path terminates inside the prefix). The tree search built on this does
+/// O(tree nodes) machine work for a depth-`d` space instead of the
+/// O(2^d · d) of replaying every forced path from the root.
+///
+/// # Errors
+///
+/// See [`MachError`].
+pub fn explore(p: &CompiledProgram, cfg: TreeRunConfig) -> Result<Explored, MachError> {
+    let fuel = if cfg.fuel == 0 { DEFAULT_MACHINE_FUEL } else { cfg.fuel };
+    let mut m = Machine {
+        fuel_left: fuel,
+        steps: 0,
+        capture_depth: 0,
+        forced: Some(ForcedState {
+            ops: cfg.choices.ops,
+            bits: cfg.choices.prefix_bits,
+            scripted: cfg.choices.prefix_len,
+            max: cfg.choices.max_decisions,
+            used: 0,
+        }),
+        prune: cfg.prune,
+        prune_partial: LossVal::zero(),
+    };
+    let mut ambient: LossBuf = Vec::new();
+    let r = eval(&mut m, &p.code, &Env::empty(), &GVal::Zero, &mut ambient)?;
+    Ok(finish_explored(m, r, ambient))
 }
 
 // ---------------------------------------------------------------------------
@@ -494,7 +671,7 @@ fn bind(m: &mut Machine, r: MRes, buf: &mut LossBuf, rest: KCont) -> EvalR {
                 let r = inner(m, y, buf)?;
                 bind(m, r, buf, rest.clone())
             });
-            Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont }))
+            Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont, choice: s.choice }))
         }
     }
 }
@@ -738,6 +915,7 @@ fn eval(m: &mut Machine, code: &Arc<Code>, env: &Env, g: &GVal, buf: &mut LossBu
                         op: op.clone(),
                         arg: done.pop().expect("one child"),
                         cont: Rc::new(|_m, y, _buf| Ok(MRes::Done(y))),
+                        choice: false,
                     }))
                 }),
             )
@@ -821,7 +999,7 @@ fn reset_finish(_m: &mut Machine, r: MRes) -> EvalR {
                 m.capture_depth -= 1;
                 reset_finish(m, r?)
             });
-            Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont }))
+            Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont, choice: s.choice }))
         }
     }
 }
@@ -844,7 +1022,7 @@ fn then_finish(m: &mut Machine, r: MRes, cap: Vec<LossVal>, lam: GVal, buf: &mut
                 m.capture_depth -= 1;
                 then_finish(m, r?, cap2, lam.clone(), buf)
             });
-            Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont }))
+            Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont, choice: s.choice }))
         }
     }
 }
@@ -867,7 +1045,7 @@ fn fold_finish(_m: &mut Machine, gr: MRes, cap: Vec<LossVal>) -> EvalR {
                 let r = inner(m, y, buf)?;
                 fold_finish(m, r, cap.clone())
             });
-            Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont }))
+            Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont, choice: s.choice }))
         }
     }
 }
@@ -933,18 +1111,41 @@ fn run_seg(
             eval(m, &ret_body, &env, g, buf)
         }
         MRes::Stuck(s) => {
-            if act.h.clause(&s.op).is_some() {
+            if !s.choice && act.h.clause(&s.op).is_some() {
                 // Forced-choice interception: answer scripted decisions
-                // directly (`k(p, d)`), skipping the clause body.
+                // directly (`k(p, d)`), skipping the clause body; in tree
+                // mode, decisions past the scripted prefix suspend the
+                // whole run instead.
                 let decision = match &mut m.forced {
                     Some(f) if f.ops.contains(&s.op) => Some(f.next()?),
                     _ => None,
                 };
-                if let Some(d) = decision {
-                    let inner = s.cont;
-                    let y = MVal::bool(d);
-                    let start2: Seg = Rc::new(move |m, buf| inner(m, y.clone(), buf));
-                    return run_seg(m, act, p, start2, g, buf);
+                match decision {
+                    Some(Decision::Scripted(d)) => {
+                        let inner = s.cont;
+                        let y = MVal::bool(d);
+                        let start2: Seg = Rc::new(move |m, buf| inner(m, y.clone(), buf));
+                        return run_seg(m, act, p, start2, g, buf);
+                    }
+                    Some(Decision::Yield) => {
+                        // Suspend exactly where the scripted path would
+                        // resume: the choice continuation re-enters this
+                        // segment with the (later-supplied) decision, and
+                        // propagates out past every enclosing handler.
+                        let (act2, g2, inner) = (Rc::clone(act), g.clone(), s.cont);
+                        let cont: KCont = Rc::new(move |m, y, buf| {
+                            let inner = Rc::clone(&inner);
+                            let start2: Seg = Rc::new(move |m, buf| inner(m, y.clone(), buf));
+                            run_seg(m, &act2, p.clone(), start2, &g2, buf)
+                        });
+                        return Ok(MRes::Stuck(StuckM {
+                            op: s.op,
+                            arg: s.arg,
+                            cont,
+                            choice: true,
+                        }));
+                    }
+                    None => {}
                 }
                 // (R5): bind p, x, l, k and run the clause body in place
                 // of the handle node (same g).
@@ -960,8 +1161,9 @@ fn run_seg(
                 let body = Arc::clone(&clause.body);
                 eval(m, &body, &env, g, buf)
             } else {
-                // Not ours: forward, re-entering this segment (with the
-                // parameter current at the stick) on resumption.
+                // Not ours (or an already-claimed choice yield): forward,
+                // re-entering this segment (with the parameter current at
+                // the stick) on resumption.
                 let (act2, g2, inner) = (Rc::clone(act), g.clone(), s.cont);
                 let cont: KCont = Rc::new(move |m, y, buf| {
                     let inner = Rc::clone(&inner);
@@ -969,7 +1171,7 @@ fn run_seg(
                     let start2: Seg = Rc::new(move |m, buf| inner(m, y2.clone(), buf));
                     run_seg(m, &act2, p.clone(), start2, &g2, buf)
                 });
-                Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont }))
+                Ok(MRes::Stuck(StuckM { op: s.op, arg: s.arg, cont, choice: s.choice }))
             }
         }
     }
@@ -1315,6 +1517,182 @@ mod tests {
         // The loss-2 branch survives.
         let ok = run_with(&compiled, cfg(0)).unwrap();
         assert_eq!(ok.loss, LossVal::scalar(2.0));
+    }
+
+    fn tree_cfg(ops: &[&str], prefix_bits: u64, prefix_len: u32, max: u32) -> TreeRunConfig {
+        TreeRunConfig {
+            fuel: 0,
+            choices: TreeChoices {
+                ops: ops.iter().map(|s| (*s).to_owned()).collect(),
+                prefix_bits,
+                prefix_len,
+                max_decisions: max,
+            },
+            prune: None,
+        }
+    }
+
+    #[test]
+    fn explore_suspends_at_the_first_decision_and_resumes_multi_shot() {
+        let ex = examples::pgm_with_argmin_handler();
+        let compiled = compile(&ex.expr).unwrap();
+        let Explored::Choice(point) = explore(&compiled, tree_cfg(&["decide"], 0, 0, 1)).unwrap()
+        else {
+            panic!("pgm must suspend at its decide");
+        };
+        assert_eq!(point.depth(), 0);
+        assert!(point.partial_loss().is_zero());
+        let run = |d: bool| match point.resume(d).unwrap() {
+            Explored::Done(out) => out,
+            Explored::Choice(_) => panic!("depth-1 program cannot suspend twice"),
+        };
+        let t = run(true);
+        assert_eq!(t.loss, LossVal::scalar(2.0));
+        assert_eq!(t.ground_value(), Some(Ground::Char('a')));
+        assert_eq!(t.decisions_used, 1);
+        let f = run(false);
+        assert_eq!(f.loss, LossVal::scalar(4.0));
+        assert_eq!(f.ground_value(), Some(Ground::Char('b')));
+        // Multi-shot: a second resume of the same branch is bit-identical.
+        let t2 = run(true);
+        assert_eq!((t2.loss.clone(), t2.ground_value()), (t.loss.clone(), t.ground_value()));
+    }
+
+    /// Full-tree DFS through explore/resume must reproduce every forced
+    /// path bit-identically (loss, terminal, decisions used).
+    #[test]
+    fn tree_leaves_match_replayed_forced_runs() {
+        let p = crate::testgen::deep_decide_chain(4);
+        let compiled = compile(&p.expr).unwrap();
+        let ops = BTreeSet::from(["decide".to_owned()]);
+        let mut leaves: Vec<(u64, MachineOutcome)> = Vec::new();
+        fn dfs(r: Explored, bits: u64, depth: u32, leaves: &mut Vec<(u64, MachineOutcome)>) {
+            match r {
+                Explored::Done(out) => {
+                    assert_eq!(out.decisions_used, depth, "chain paths use every decision");
+                    leaves.push((bits, out));
+                }
+                Explored::Choice(point) => {
+                    assert_eq!(point.depth(), depth);
+                    // `true` is bit 0, appended at the low end as the
+                    // candidate encoding prescribes.
+                    dfs(point.resume(true).unwrap(), bits << 1, depth + 1, leaves);
+                    dfs(point.resume(false).unwrap(), (bits << 1) | 1, depth + 1, leaves);
+                }
+            }
+        }
+        dfs(explore(&compiled, tree_cfg(&["decide"], 0, 0, 4)).unwrap(), 0, 0, &mut leaves);
+        assert_eq!(leaves.len(), 16);
+        for (bits, out) in leaves {
+            let forced = run_with(
+                &compiled,
+                RunConfig {
+                    forced: Some(ForcedChoices { ops: ops.clone(), bits, max_decisions: 4 }),
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.loss, forced.loss, "bits {bits:#b}");
+            assert_eq!(out.ground_value(), forced.ground_value(), "bits {bits:#b}");
+            assert_eq!(out.decisions_used, forced.decisions_used, "bits {bits:#b}");
+        }
+    }
+
+    #[test]
+    fn scripted_prefix_fast_forwards_to_the_subtree() {
+        let p = crate::testgen::deep_decide_chain(3);
+        let compiled = compile(&p.expr).unwrap();
+        // Script the first two decisions as (false, true) = bits 0b10.
+        let Explored::Choice(point) =
+            explore(&compiled, tree_cfg(&["decide"], 0b10, 2, 3)).unwrap()
+        else {
+            panic!("one decision must remain");
+        };
+        assert_eq!(point.depth(), 2);
+        for d in [true, false] {
+            let Explored::Done(out) = point.resume(d).unwrap() else {
+                panic!("three decisions exhaust the chain");
+            };
+            let forced = run_with(
+                &compiled,
+                RunConfig {
+                    forced: Some(ForcedChoices {
+                        ops: BTreeSet::from(["decide".to_owned()]),
+                        bits: 0b100 | u64::from(!d),
+                        max_decisions: 3,
+                    }),
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.loss, forced.loss, "decision {d}");
+        }
+    }
+
+    #[test]
+    fn tree_mode_rejects_exhausted_decision_budgets() {
+        let ex = examples::pgm_with_argmin_handler();
+        let compiled = compile(&ex.expr).unwrap();
+        let r = explore(&compiled, tree_cfg(&["decide"], 0, 0, 0));
+        assert_eq!(r.unwrap_err(), MachError::DecisionsExhausted);
+    }
+
+    #[test]
+    fn tree_branches_prune_against_their_own_path_total() {
+        // Chain: decide; loss(2 | 4); decide; loss(2 | 4); 0 — with an
+        // achieved bound of 7, the (false, false) path (4 + 4) must abort
+        // while every other path survives: the partial snapshots per
+        // branch, so the abort does not leak into (false, true).
+        use crate::build::*;
+        use crate::types::{Effect, Type};
+        let eamb = Effect::single("amb");
+        let mut body = lc(0.0);
+        for i in (0..2).rev() {
+            body = let_(
+                eamb.clone(),
+                &format!("b{i}"),
+                Type::bool(),
+                op("decide", unit()),
+                seq(
+                    eamb.clone(),
+                    Type::unit(),
+                    loss(if_(v(&format!("b{i}")), lc(2.0), lc(4.0))),
+                    body,
+                ),
+            );
+        }
+        let e = handle0(crate::testgen::argmin_handler(&Type::loss(), &Effect::empty()), body);
+        let compiled = compile(&e).unwrap();
+        let threshold = Arc::new(AtomicU64::new(u64::MAX));
+        let encode = |l: &LossVal| {
+            let bits = l.as_scalar().to_bits();
+            if bits >> 63 == 1 {
+                !bits
+            } else {
+                bits | (1 << 63)
+            }
+        };
+        threshold.store(encode(&LossVal::scalar(7.0)), Ordering::Relaxed);
+        let cfg = TreeRunConfig {
+            prune: Some(MachinePrune { threshold: Arc::clone(&threshold), encode }),
+            ..tree_cfg(&["decide"], 0, 0, 2)
+        };
+        let Explored::Choice(root) = explore(&compiled, cfg).unwrap() else {
+            panic!("suspends at the first decide");
+        };
+        let Explored::Choice(after_false) = root.resume(false).unwrap() else {
+            panic!("suspends at the second decide");
+        };
+        assert_eq!(after_false.partial_loss(), &LossVal::scalar(4.0));
+        assert_eq!(after_false.resume(false).unwrap_err(), MachError::Pruned);
+        let Explored::Done(out) = after_false.resume(true).unwrap() else {
+            panic!("two decisions exhaust the chain");
+        };
+        assert_eq!(out.loss, LossVal::scalar(6.0));
+        let Explored::Choice(after_true) = root.resume(true).unwrap() else {
+            panic!("suspends at the second decide");
+        };
+        assert_eq!(after_true.partial_loss(), &LossVal::scalar(2.0));
     }
 
     #[test]

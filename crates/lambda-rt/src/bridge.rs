@@ -25,7 +25,10 @@
 //! machine — they just aren't a minimisation the engine can fan out.
 
 use crate::loss::OrdLossVal;
-use lambda_c::machine::{self, ForcedChoices, MachineOutcome, MachinePrune, RunConfig};
+use lambda_c::machine::{
+    self, Explored, ForcedChoices, MachineOutcome, MachinePrune, RunConfig, TreeChoices,
+    TreeRunConfig,
+};
 use lambda_c::prim::Ground;
 use lambda_c::{CompiledProgram, MachError};
 use selc::{ReplaySpace, Sel};
@@ -185,6 +188,64 @@ impl LcCandidates {
     /// On machine errors or a stuck (unhandled) operation.
     pub fn run_candidate(&self, index: usize) -> MachineOutcome {
         self.run_candidate_pruned(index, None).expect("no prune hook was installed")
+    }
+
+    /// Starts (or fast-forwards) a tree-mode run: scripts the `len`
+    /// decisions of `prefix` and suspends at the next choice point, under
+    /// the replay contract — any failure other than a prune abandonment,
+    /// and any stuck (unhandled) operation, is a panic.
+    ///
+    /// # Errors
+    ///
+    /// Only [`MachError::Pruned`], when `prune` fires.
+    ///
+    /// # Panics
+    ///
+    /// On other machine errors or a stuck operation.
+    pub fn explore_prefix(
+        &self,
+        prefix: u64,
+        len: u32,
+        prune: Option<MachinePrune>,
+    ) -> Result<Explored, MachError> {
+        let r = machine::explore(
+            &self.program,
+            TreeRunConfig {
+                fuel: self.fuel,
+                choices: TreeChoices {
+                    ops: self.ops.clone(),
+                    prefix_bits: prefix,
+                    prefix_len: len,
+                    max_decisions: self.depth,
+                },
+                prune,
+            },
+        );
+        enforce_replay_contract(r, prefix, len)
+    }
+}
+
+/// The tree-mode replay contract (the [`Explored`] mirror of
+/// [`LcCandidates::run_candidate_pruned`]): factories must produce fully
+/// handled, terminating programs, so only prune abandonments survive as
+/// errors.
+pub(crate) fn enforce_replay_contract(
+    r: Result<Explored, MachError>,
+    prefix: u64,
+    len: u32,
+) -> Result<Explored, MachError> {
+    match r {
+        Err(MachError::Pruned) => Err(MachError::Pruned),
+        Err(e) => panic!("compiled λC subtree {prefix:#b}/{len} failed: {e}"),
+        Ok(Explored::Done(out)) => {
+            assert!(
+                out.stuck_on.is_none(),
+                "compiled λC subtree {prefix:#b}/{len} stuck on unhandled operation {:?}",
+                out.stuck_on
+            );
+            Ok(Explored::Done(out))
+        }
+        ok => ok,
     }
 }
 

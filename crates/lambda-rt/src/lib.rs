@@ -17,14 +17,21 @@
 //!    λC programs run on any `selc_engine::Engine` — parallel workers,
 //!    deterministic `(loss, index)` reduction, `SharedBound`
 //!    branch-and-bound.
-//! 3. **Cache** — [`search_compiled_cached`] threads a `selc-cache`
+//! 3. **Tree search** — [`search_compiled`] walks the decision *tree*
+//!    instead of the flat path family: the machine suspends at each
+//!    choice point ([`lambda_c::machine::ChoicePoint`]) and both
+//!    branches resume from the shared prefix snapshot, O(tree nodes)
+//!    machine work instead of O(2^depth · depth) replay-from-root, with
+//!    subtree-granularity parallelism. The flat scan stays as the
+//!    differential reference ([`search_compiled_flat`]).
+//! 4. **Cache** — [`search_compiled_cached`] threads a `selc-cache`
 //!    transposition table keyed by *decision prefixes* through the
-//!    search, collapsing duplicate candidates within a search and
-//!    replaying nothing across searches.
+//!    search (tree and flat share one table), collapsing duplicate
+//!    candidates within a search and replaying nothing across searches.
 //!
 //! ```
 //! use lambda_rt::{search_compiled, LcCandidates};
-//! use selc_engine::SequentialEngine;
+//! use selc_engine::TreeEngine;
 //!
 //! let ex = lambda_c::examples::pgm_with_argmin_handler();
 //! let cands = LcCandidates::new(
@@ -32,7 +39,7 @@
 //!     ["decide".to_owned()],
 //!     1,
 //! );
-//! let (outcome, value) = search_compiled(&SequentialEngine::exhaustive(), &cands).unwrap();
+//! let (outcome, value) = search_compiled(&TreeEngine::sequential(), &cands).unwrap();
 //! assert_eq!(outcome.loss.0, lambda_c::LossVal::scalar(2.0));
 //! assert_eq!(value, Some(lambda_c::prim::Ground::Char('a')));
 //! ```
@@ -40,7 +47,9 @@
 pub mod bridge;
 pub mod loss;
 pub mod search;
+pub mod tree;
 
 pub use bridge::{LcCandidates, LcValue};
 pub use loss::{encode_scalar, OrdLossVal};
-pub use search::{search_compiled, search_compiled_cached, CompiledEval, LcTransCache};
+pub use search::{search_compiled_flat, search_compiled_flat_cached, CompiledEval, LcTransCache};
+pub use tree::{search_compiled, search_compiled_cached, LcTreeEval};

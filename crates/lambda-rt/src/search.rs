@@ -140,12 +140,18 @@ impl CandidateEval<OrdLossVal> for CompiledEval<'_> {
     }
 }
 
-/// Searches a compiled candidate space on `engine`: argmin by recorded
-/// loss, ties to the lexicographically-first decision vector (`true`
-/// first) — the winner an argmin-chooser handler picks. One extra replay
-/// recovers the winner's terminal. Returns `None` for an empty space
-/// (depth 0 still has one candidate, so only for `space == 0` engines).
-pub fn search_compiled<G: Engine>(
+/// Searches a compiled candidate space by the **flat** scan: every one
+/// of the `2^depth` forced paths replayed from the root on `engine` —
+/// argmin by recorded loss, ties to the lexicographically-first decision
+/// vector (`true` first), the winner an argmin-chooser handler picks.
+/// One extra replay recovers the winner's terminal. Returns `None` for
+/// an empty space (depth 0 still has one candidate, so only for
+/// `space == 0` engines).
+///
+/// The production path is the prefix-sharing
+/// [`crate::tree::search_compiled`]; the flat scan stays as the
+/// differential reference it is proven against.
+pub fn search_compiled_flat<G: Engine>(
     engine: &G,
     cands: &LcCandidates,
 ) -> Option<(Outcome<OrdLossVal>, LcValue)> {
@@ -155,9 +161,10 @@ pub fn search_compiled<G: Engine>(
     Some((outcome, value))
 }
 
-/// [`search_compiled`] through a shared transposition table, optionally
-/// with mid-run abandonment (`nonneg` asserts non-negative losses).
-pub fn search_compiled_cached<G: Engine>(
+/// [`search_compiled_flat`] through a shared transposition table,
+/// optionally with mid-run abandonment (`nonneg` asserts non-negative
+/// losses).
+pub fn search_compiled_flat_cached<G: Engine>(
     engine: &G,
     cands: &LcCandidates,
     cache: &LcTransCache,
@@ -186,16 +193,17 @@ mod tests {
     #[test]
     fn cached_and_pruned_searches_agree_with_plain() {
         let cands = chain_candidates(6);
-        let (plain, value) = search_compiled(&SequentialEngine::exhaustive(), &cands).unwrap();
+        let (plain, value) = search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
         // Cold fill without abandonment: every candidate runs and stores.
         let cache = LcTransCache::unbounded(4);
         let (cold, _) =
-            search_compiled_cached(&SequentialEngine::exhaustive(), &cands, &cache, false).unwrap();
+            search_compiled_flat_cached(&SequentialEngine::exhaustive(), &cands, &cache, false)
+                .unwrap();
         assert_eq!((cold.index, cold.loss.clone()), (plain.index, plain.loss.clone()));
         assert_eq!(cold.stats.cache.insertions, cands.space() as u64);
         // Fully warm: the repeat search replays nothing.
         let (warm, wv) =
-            search_compiled_cached(&ParallelEngine::with_threads(3), &cands, &cache, false)
+            search_compiled_flat_cached(&ParallelEngine::with_threads(3), &cands, &cache, false)
                 .unwrap();
         assert_eq!((warm.index, warm.loss.clone()), (plain.index, plain.loss.clone()));
         assert_eq!(wv, value);
@@ -204,7 +212,7 @@ mod tests {
         for engine_prune in [false, true] {
             let fresh = LcTransCache::unbounded(4);
             let eng = ParallelEngine { threads: 3, chunk: 2, prune: engine_prune };
-            let (out, v) = search_compiled_cached(&eng, &cands, &fresh, true).unwrap();
+            let (out, v) = search_compiled_flat_cached(&eng, &cands, &fresh, true).unwrap();
             assert_eq!((out.index, out.loss.clone()), (plain.index, plain.loss.clone()));
             assert_eq!(v, value);
         }
@@ -219,7 +227,8 @@ mod tests {
             LcCandidates::new(lambda_c::compile(&ex.expr).unwrap(), ["decide".to_owned()], 3);
         let cache = LcTransCache::unbounded(2);
         let (out, _) =
-            search_compiled_cached(&SequentialEngine::exhaustive(), &cands, &cache, false).unwrap();
+            search_compiled_flat_cached(&SequentialEngine::exhaustive(), &cands, &cache, false)
+                .unwrap();
         assert_eq!(cache.len(), 2, "one entry per used prefix, not per index");
         assert_eq!(out.loss.0, lambda_c::LossVal::scalar(2.0));
         let stats = out.stats.cache;
@@ -236,7 +245,8 @@ mod tests {
             LcCandidates::new(lambda_c::compile(&ex.expr).unwrap(), ["decide".to_owned()], 3);
         let cache = LcTransCache::unbounded(2);
         let (out, _) =
-            search_compiled_cached(&SequentialEngine::exhaustive(), &cands, &cache, true).unwrap();
+            search_compiled_flat_cached(&SequentialEngine::exhaustive(), &cands, &cache, true)
+                .unwrap();
         assert_eq!(out.loss.0, lambda_c::LossVal::scalar(2.0));
         assert_eq!(cache.len(), 1, "only the winning prefix is stored");
         assert_eq!(out.stats.pruned, 4, "the four false-prefix candidates abort");
@@ -245,10 +255,11 @@ mod tests {
     #[test]
     fn mid_run_pruning_abandons_but_never_changes_the_winner() {
         let cands = chain_candidates(7);
-        let (plain, _) = search_compiled(&SequentialEngine::exhaustive(), &cands).unwrap();
+        let (plain, _) = search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
         let cache = LcTransCache::unbounded(2);
         let (pruned, _) =
-            search_compiled_cached(&SequentialEngine::pruning(), &cands, &cache, true).unwrap();
+            search_compiled_flat_cached(&SequentialEngine::pruning(), &cands, &cache, true)
+                .unwrap();
         assert_eq!((pruned.index, pruned.loss.clone()), (plain.index, plain.loss));
         assert!(
             pruned.stats.pruned > 0,

@@ -1,0 +1,291 @@
+//! Compiled λC on the engine's prefix-sharing tree search.
+//!
+//! Where [`crate::search::CompiledEval`] replays every one of the
+//! `2^depth` forced decision paths from the root — O(2^depth · depth)
+//! machine segments — [`LcTreeEval`] walks the decision *tree*: one
+//! [`lambda_c::machine::ChoicePoint`] per interior node, each branch
+//! resumed from the suspended prefix state, O(tree nodes) segments total.
+//! The transposition keys are unchanged — `(space id, used, prefix)` is
+//! already prefix-shaped — so tree and flat searches share one
+//! [`LcTransCache`] handle, and a table warmed by either answers the
+//! other.
+//!
+//! * **Hints.** A choice point's accumulated ambient loss orders its
+//!   children best-first, and (for non-negative programs, the
+//!   [`search_compiled_cached`] `nonneg` assertion) doubles as a true
+//!   lower bound the engine checks against its `SharedBound` at every
+//!   interior node — a dominated subtree is skipped *whole*, where the
+//!   flat scan could only abandon its paths one replay at a time.
+//! * **Mid-segment abandonment.** The same [`MachinePrune`] hook as the
+//!   flat path threads through `explore`/`resume`; its accumulated
+//!   partial snapshots with the machine, so each branch prunes against
+//!   its own path total (see `lambda_c::machine`).
+//! * **Determinism.** Leaves report `(total loss, decisions used)` and
+//!   the engine credits each to its smallest flat index, so the tree
+//!   winner is bit-identical — loss *and* index, ties included — to the
+//!   flat exhaustive scan (proven by the differential suites).
+
+use crate::bridge::{enforce_replay_contract, LcCandidates, LcValue};
+use crate::loss::{encode_scalar, OrdLossVal};
+use crate::search::LcTransCache;
+use lambda_c::machine::{ChoicePoint, Explored, MachinePrune};
+use lambda_c::MachError;
+use selc_cache::CacheStats;
+use selc_engine::tree::{TreeEngine, TreeEval, TreeStep};
+use selc_engine::Outcome;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A [`TreeEval`] that walks a compiled program's decision tree through
+/// machine snapshots, with the optional shared transposition table and
+/// mid-segment abandonment of the flat evaluator.
+pub struct LcTreeEval<'c> {
+    cands: LcCandidates,
+    cache: Option<&'c LcTransCache>,
+    base: CacheStats,
+    nonneg: bool,
+    best_bits: Arc<AtomicU64>,
+}
+
+impl<'c> LcTreeEval<'c> {
+    /// A plain tree evaluator: no cache, no mid-segment abandonment.
+    pub fn new(cands: LcCandidates) -> LcTreeEval<'c> {
+        LcTreeEval {
+            cands,
+            cache: None,
+            base: CacheStats::default(),
+            nonneg: false,
+            best_bits: Arc::new(AtomicU64::new(u64::MAX)),
+        }
+    }
+
+    /// Attaches a shared transposition table; stats reported through
+    /// [`TreeEval::cache_stats`] are the delta against wrap time.
+    pub fn with_cache(mut self, cache: &'c LcTransCache) -> LcTreeEval<'c> {
+        self.base = cache.stats();
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Enables mid-segment abandonment and subtree pruning on partial
+    /// losses. **Caller asserts the program's emitted losses are
+    /// non-negative** (otherwise a partial sum is not a lower bound and
+    /// pruning would be unsound).
+    pub fn assuming_nonneg_losses(mut self) -> LcTreeEval<'c> {
+        self.nonneg = true;
+        self
+    }
+
+    fn hook(&self) -> Option<MachinePrune> {
+        self.nonneg
+            .then(|| MachinePrune { threshold: Arc::clone(&self.best_bits), encode: encode_scalar })
+    }
+
+    /// Folds a machine step into a tree step, publishing and caching
+    /// completed leaves.
+    fn advance(
+        &self,
+        r: Result<Explored, MachError>,
+        path: u64,
+        len: u32,
+    ) -> TreeStep<ChoicePoint, OrdLossVal> {
+        match r {
+            Err(_) => TreeStep::Pruned, // only `Pruned` survives the contract
+            Ok(Explored::Choice(point)) => {
+                debug_assert_eq!(point.depth(), len, "choice points sit at their position");
+                let hint = Some(OrdLossVal(point.partial_loss().clone()));
+                TreeStep::Node { node: point, hint }
+            }
+            Ok(Explored::Done(out)) => {
+                let used = out.decisions_used;
+                debug_assert!(used <= len, "paths cannot use unvisited decisions");
+                let loss = OrdLossVal(out.loss);
+                self.best_bits.fetch_min(encode_scalar(&loss.0), Ordering::Relaxed);
+                if let Some(cache) = self.cache {
+                    cache.store((self.cands.id(), used, path >> (len - used)), loss.clone());
+                    self.cands.note_used_depth(used);
+                }
+                TreeStep::Leaf { loss, used }
+            }
+        }
+    }
+}
+
+impl TreeEval<OrdLossVal> for LcTreeEval<'_> {
+    type Node = ChoicePoint;
+
+    fn depth(&self) -> u32 {
+        self.cands.depth()
+    }
+
+    fn enter(&self, prefix: u64, len: u32) -> TreeStep<ChoicePoint, OrdLossVal> {
+        // A terminated run is keyed by the decisions it consumed; probe
+        // the observed depths ≤ len (ascending — at most one can hit, by
+        // machine determinism) before paying for the replay.
+        if let Some(cache) = self.cache {
+            let mut mask = self.cands.used_depths_mask();
+            while mask != 0 {
+                let used = mask.trailing_zeros();
+                mask &= mask - 1;
+                if used > len {
+                    break;
+                }
+                if let Some(loss) = cache.lookup(&(self.cands.id(), used, prefix >> (len - used))) {
+                    self.best_bits.fetch_min(encode_scalar(&loss.0), Ordering::Relaxed);
+                    return TreeStep::Leaf { loss, used };
+                }
+            }
+        }
+        self.advance(self.cands.explore_prefix(prefix, len, self.hook()), prefix, len)
+    }
+
+    fn child(
+        &self,
+        node: &ChoicePoint,
+        decision: bool,
+        path: u64,
+        len: u32,
+    ) -> TreeStep<ChoicePoint, OrdLossVal> {
+        // The only entry a child position can answer from is one keyed at
+        // exactly `(len, path)` — a shallower hit would have resolved at
+        // an ancestor, a deeper one is not determined yet.
+        if let Some(cache) = self.cache {
+            if let Some(loss) = cache.lookup(&(self.cands.id(), len, path)) {
+                self.best_bits.fetch_min(encode_scalar(&loss.0), Ordering::Relaxed);
+                return TreeStep::Leaf { loss, used: len };
+            }
+        }
+        self.advance(enforce_replay_contract(node.resume(decision), path, len), path, len)
+    }
+
+    fn hint_is_lower_bound(&self) -> bool {
+        self.nonneg
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.map(|c| c.stats().since(&self.base)).unwrap_or_default()
+    }
+}
+
+/// Searches a compiled candidate space on the prefix-sharing tree walk:
+/// argmin by recorded loss, ties to the lexicographically-first decision
+/// vector (`true` first) — bit-identical to
+/// [`crate::search::search_compiled_flat`]. One extra forced replay
+/// recovers the winner's terminal.
+pub fn search_compiled(
+    engine: &TreeEngine,
+    cands: &LcCandidates,
+) -> Option<(Outcome<OrdLossVal>, LcValue)> {
+    let eval = LcTreeEval::new(cands.clone());
+    let outcome = engine.search(&eval)?;
+    let value = cands.run_candidate(outcome.index).ground_value();
+    Some((outcome, value))
+}
+
+/// [`search_compiled`] through a shared transposition table, optionally
+/// with mid-segment abandonment and subtree pruning (`nonneg` asserts
+/// non-negative losses).
+pub fn search_compiled_cached(
+    engine: &TreeEngine,
+    cands: &LcCandidates,
+    cache: &LcTransCache,
+    nonneg: bool,
+) -> Option<(Outcome<OrdLossVal>, LcValue)> {
+    let mut eval = LcTreeEval::new(cands.clone()).with_cache(cache);
+    if nonneg {
+        eval = eval.assuming_nonneg_losses();
+    }
+    let outcome = engine.search(&eval)?;
+    let value = cands.run_candidate(outcome.index).ground_value();
+    Some((outcome, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{search_compiled_flat, search_compiled_flat_cached};
+    use lambda_c::testgen;
+    use selc_engine::SequentialEngine;
+
+    fn chain_candidates(choices: u32) -> LcCandidates {
+        let p = testgen::deep_decide_chain(choices);
+        LcCandidates::new(lambda_c::compile(&p.expr).unwrap(), ["decide".to_owned()], choices)
+    }
+
+    #[test]
+    fn tree_search_matches_the_flat_scan() {
+        let cands = chain_candidates(7);
+        let (flat, value) = search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
+        for engine in [
+            TreeEngine::sequential(),
+            TreeEngine::with_threads(2),
+            TreeEngine { threads: 3, prune: false, split: 3 },
+        ] {
+            let (out, v) = search_compiled(&engine, &cands).unwrap();
+            assert_eq!(
+                (out.index, out.loss.clone()),
+                (flat.index, flat.loss.clone()),
+                "{engine:?}"
+            );
+            assert_eq!(v, value, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn tree_does_linear_machine_work_on_shallow_spaces() {
+        // pgm has one real decision; declaring depth 6 gives the flat
+        // scan 64 replays but the tree just two leaves.
+        let ex = lambda_c::examples::pgm_with_argmin_handler();
+        let cands =
+            LcCandidates::new(lambda_c::compile(&ex.expr).unwrap(), ["decide".to_owned()], 6);
+        let (flat, _) = search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
+        let out = TreeEngine::sequential().search(&LcTreeEval::new(cands.clone())).unwrap();
+        assert_eq!((out.index, out.loss.clone()), (flat.index, flat.loss));
+        assert_eq!(out.stats.evaluated, 2, "one leaf per real decision path: {:?}", out.stats);
+    }
+
+    #[test]
+    fn tree_and_flat_searches_share_one_transposition_table() {
+        let cands = chain_candidates(6);
+        let (reference, value) =
+            search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
+        // Tree-cold fill…
+        let cache = LcTransCache::unbounded(4);
+        let (cold, _) =
+            search_compiled_cached(&TreeEngine::sequential(), &cands, &cache, false).unwrap();
+        assert_eq!((cold.index, cold.loss.clone()), (reference.index, reference.loss.clone()));
+        assert_eq!(cold.stats.cache.insertions, 64, "every leaf stored");
+        // …answers the *flat* warm search without a single replay…
+        let (warm_flat, wv) =
+            search_compiled_flat_cached(&SequentialEngine::exhaustive(), &cands, &cache, false)
+                .unwrap();
+        assert_eq!((warm_flat.index, warm_flat.loss.clone()), (cold.index, cold.loss.clone()));
+        assert_eq!(wv, value);
+        assert_eq!(warm_flat.stats.cache.hits, 64, "fully warm from the tree fill");
+        // …and the warm tree repeat answers from the root probes alone.
+        let (warm_tree, tv) =
+            search_compiled_cached(&TreeEngine::with_threads(2), &cands, &cache, false).unwrap();
+        assert_eq!((warm_tree.index, warm_tree.loss.clone()), (cold.index, cold.loss));
+        assert_eq!(tv, value);
+        assert!(warm_tree.stats.cache.hits > 0, "stats: {:?}", warm_tree.stats);
+    }
+
+    #[test]
+    fn pruned_tree_searches_keep_the_winner_bit_identical() {
+        let cands = chain_candidates(8);
+        let (flat, value) = search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
+        for engine in
+            [TreeEngine { threads: 1, prune: true, split: 0 }, TreeEngine::with_threads(3)]
+        {
+            let cache = LcTransCache::unbounded(4);
+            let (out, v) = search_compiled_cached(&engine, &cands, &cache, true).unwrap();
+            assert_eq!(
+                (out.index, out.loss.clone()),
+                (flat.index, flat.loss.clone()),
+                "{engine:?}"
+            );
+            assert_eq!(v, value, "{engine:?}");
+            assert!(out.stats.pruned > 0, "deep chains must prune: {:?}", out.stats);
+        }
+    }
+}

@@ -14,7 +14,7 @@ use lambda_c::syntax::Expr;
 use lambda_c::testgen::{self, ProgramGen};
 use lambda_c::types::{Effect, Type};
 use lambda_c::{compile, machine, Signature};
-use lambda_rt::{search_compiled, search_compiled_cached, LcCandidates, LcTransCache};
+use lambda_rt::{search_compiled_flat, search_compiled_flat_cached, LcCandidates, LcTransCache};
 use selc_engine::{search_programs, ParallelEngine, SequentialEngine};
 
 /// Runs the explicit Fig-6 smallstep loop (not via bigstep, so the two
@@ -134,17 +134,17 @@ fn engine_search_reproduces_the_argmin_handler_bit_identically() {
             LcCandidates::new(compile(&p.expr).expect("compiles"), ["decide".to_owned()], choices);
 
         // Plain sequential search.
-        let (seq, seq_v) = search_compiled(&SequentialEngine::exhaustive(), &cands).unwrap();
+        let (seq, seq_v) = search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
         assert_eq!(seq.loss.0, reference.loss, "seed {seed}: engine argmin == handler loss");
         assert_eq!(seq_v, ref_ground, "seed {seed}: engine winner == handler terminal");
 
         // Parallel, pruned, with the shared (possibly tiny, evicting)
         // transposition table; plus a per-seed fresh cache warm repeat.
         let par = ParallelEngine::auto();
-        let (pout, pv) = search_compiled_cached(&par, &cands, &shared_cache, true).unwrap();
+        let (pout, pv) = search_compiled_flat_cached(&par, &cands, &shared_cache, true).unwrap();
         assert_eq!((pout.index, pout.loss.0.clone()), (seq.index, reference.loss.clone()));
         assert_eq!(pv, ref_ground);
-        let (warm, wv) = search_compiled_cached(&par, &cands, &shared_cache, true).unwrap();
+        let (warm, wv) = search_compiled_flat_cached(&par, &cands, &shared_cache, true).unwrap();
         assert_eq!((warm.index, warm.loss.0.clone()), (seq.index, reference.loss.clone()));
         assert_eq!(wv, ref_ground);
 
@@ -178,7 +178,7 @@ fn tie_breaking_matches_the_handler() {
     let e = handle0(testgen::argmin_handler(&Type::loss(), &Effect::empty()), body);
     let reference = eval_closed(&sig, e.clone(), Type::loss(), Effect::empty()).unwrap();
     let cands = LcCandidates::new(compile(&e).unwrap(), ["decide".to_owned()], 2);
-    let (out, _) = search_compiled(&ParallelEngine::auto(), &cands).unwrap();
+    let (out, _) = search_compiled_flat(&ParallelEngine::auto(), &cands).unwrap();
     assert_eq!(out.index, 0, "all-true is the lexicographically first minimal path");
     assert_eq!(out.loss.0, reference.loss);
 }

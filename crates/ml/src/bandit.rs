@@ -110,9 +110,15 @@ pub fn epsilon_greedy(arms: &Arms, rounds: usize, eps: f64, seed: u64) -> (f64, 
         } else {
             (0..n)
                 .min_by(|&a, &b| {
-                    let ea = sums[a] / counts[a] as f64;
-                    let eb = sums[b] / counts[b] as f64;
-                    ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal)
+                    // The workspace total order (`total_cmp`, the policy
+                    // every loss comparison follows since the λC bridge):
+                    // a NaN estimate ranks above every real one, so the
+                    // argmin is independent of arm order — `partial_cmp
+                    // → Equal` here used to make the exploit pick depend
+                    // on which arm happened to be enumerated first.
+                    let ea = sums[a] / f64::from(counts[a]);
+                    let eb = sums[b] / f64::from(counts[b]);
+                    ea.total_cmp(&eb)
                 })
                 .expect("n > 0")
         };
@@ -174,6 +180,26 @@ mod tests {
         let (probe_total, _) = greedy_probe_agent(&env(), 100, 7);
         let (eps_total, _) = epsilon_greedy(&env(), 100, 0.1, 7);
         assert!(probe_total < eps_total, "probe {probe_total} vs eps {eps_total}");
+    }
+
+    /// A NaN arm estimate must lose to every real one, wherever the NaN
+    /// arm sits — the argmin used to collapse NaN comparisons to
+    /// `Equal`, making the exploited arm depend on arm order.
+    #[test]
+    fn nan_estimates_never_win_regardless_of_arm_order() {
+        for (means, best) in [
+            (vec![f64::NAN, 0.5, f64::NAN], 1),
+            (vec![0.5, f64::NAN, f64::NAN], 0),
+            (vec![f64::NAN, f64::NAN, 0.5], 2),
+        ] {
+            let arms = Arms::new(means, 0.0);
+            // eps = 0: pure exploitation after the one forced pull each.
+            let (_, chosen) = epsilon_greedy(&arms, 30, 0.0, 13);
+            assert!(
+                chosen[arms.means.len()..].iter().all(|&a| a == best),
+                "NaN arms exploited: {chosen:?} (best {best})"
+            );
+        }
     }
 
     #[test]

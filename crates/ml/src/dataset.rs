@@ -122,6 +122,13 @@ mod tests {
         assert!((b - 1.0).abs() < 0.05, "b = {b}");
     }
 
+    /// Point sort under the workspace total order (`total_cmp` per
+    /// component — `partial_cmp(..).unwrap()` here panicked outright on
+    /// NaN data).
+    fn sort_points(points: &mut [(f64, f64)]) {
+        points.sort_by(|p, q| p.0.total_cmp(&q.0).then(p.1.total_cmp(&q.1)));
+    }
+
     #[test]
     fn shuffle_permutes() {
         let d = Dataset::linear(100, 1.0, 0.0, 0.0, 1);
@@ -129,9 +136,27 @@ mod tests {
         assert_ne!(d.points, s.points);
         let mut a = d.points.clone();
         let mut b = s.points.clone();
-        a.sort_by(|p, q| p.partial_cmp(q).unwrap());
-        b.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        sort_points(&mut a);
+        sort_points(&mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_of_nan_and_signed_zero_data_does_not_panic() {
+        let d = Dataset {
+            points: vec![(f64::NAN, 1.0), (0.0, -0.0), (-0.0, f64::NAN), (2.0, 3.0)],
+            true_w: 0.0,
+            true_b: 0.0,
+        };
+        let s = d.shuffled(5);
+        let (mut a, mut b) = (d.points.clone(), s.points.clone());
+        sort_points(&mut a);
+        sort_points(&mut b);
+        // Bit-level multiset equality: total_cmp separates -0.0 from 0.0
+        // and orders NaNs, so the sorted sequences must match bitwise.
+        let bits =
+            |v: &[(f64, f64)]| v.iter().map(|p| (p.0.to_bits(), p.1.to_bits())).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
     }
 
     #[test]
