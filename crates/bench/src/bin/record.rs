@@ -11,13 +11,18 @@
 //! cargo run -p selc-bench --bin selc-bench-record --release -- --bench e12_parallel
 //! ```
 //!
-//! JSON schema 3: `{"schema": 3, "recorded_at_unix": <secs>,
+//! JSON schema 4: `{"schema": 4, "recorded_at_unix": <secs>,
 //! "selc_threads": <resolved worker count>, "host_parallelism": <what
 //! the OS reports>, "benches": {"<label>": <median ns/iter>}, "cache":
 //! {"<label>": {"hits": …, "misses": …, "insertions": …,
-//! "evictions": …}}}` — the `cache` section collects the
+//! "evictions": …}}, "summary": {"<label>": {"exact_hits": …,
+//! "bound_hits": …, "misses": …, "exact_installs": …,
+//! "bound_installs": …}}}` — the `cache` section collects the
 //! `<label> cache hits=… misses=…` lines cached bench families (e13+)
-//! print after timing, so snapshots carry hit rates alongside medians.
+//! print after timing, so snapshots carry hit rates alongside medians,
+//! and the `summary` section (schema 4) collects the
+//! `<label> summary exact_hits=…` lines the subtree-summary family
+//! (e16) prints, so warm-path O(depth) claims stay auditable.
 //! The two parallelism fields (schema 3) record the recording *host*:
 //! `host_parallelism` is what the OS could actually run concurrently,
 //! and `selc_threads` is the `SELC_THREADS` knob resolved exactly as the
@@ -76,6 +81,29 @@ fn parse_cache_line(line: &str) -> Option<(String, [u64; 4])> {
         seen += 1;
     }
     (seen == 4).then(|| (label.trim().to_string(), out))
+}
+
+/// Parses one summary-stats line of the form
+/// `label summary exact_hits=1 bound_hits=0 misses=0 exact_installs=0
+/// bound_installs=0`.
+fn parse_summary_line(line: &str) -> Option<(String, [u64; 5])> {
+    let (label, rest) = line.split_once(" summary ")?;
+    let mut out = [0_u64; 5];
+    let mut seen = 0;
+    for pair in rest.split_whitespace() {
+        let (k, v) = pair.split_once('=')?;
+        let slot = match k {
+            "exact_hits" => 0,
+            "bound_hits" => 1,
+            "misses" => 2,
+            "exact_installs" => 3,
+            "bound_installs" => 4,
+            _ => continue,
+        };
+        out[slot] = v.parse::<u64>().ok()?;
+        seen += 1;
+    }
+    (seen == 5).then(|| (label.trim().to_string(), out))
 }
 
 fn next_snapshot_number(root: &Path) -> u64 {
@@ -148,13 +176,15 @@ fn main() {
         fail(&format!("no bench medians found in output:\n{stdout}"));
     }
     let cache: BTreeMap<String, [u64; 4]> = stdout.lines().filter_map(parse_cache_line).collect();
+    let summary: BTreeMap<String, [u64; 5]> =
+        stdout.lines().filter_map(parse_summary_line).collect();
 
     let recorded_at = std::time::SystemTime::UNIX_EPOCH.elapsed().map(|d| d.as_secs()).unwrap_or(0);
     // The engine's own worker-count resolution (`SELC_THREADS`, else the
     // hardware), without linking the engine into the recorder.
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let threads = selc::env::env_usize("SELC_THREADS").unwrap_or(host);
-    let mut json = String::from("{\n  \"schema\": 3,\n");
+    let mut json = String::from("{\n  \"schema\": 4,\n");
     json.push_str(&format!("  \"recorded_at_unix\": {recorded_at},\n"));
     json.push_str(&format!("  \"selc_threads\": {threads},\n"));
     json.push_str(&format!("  \"host_parallelism\": {host},\n  \"benches\": {{\n"));
@@ -164,9 +194,7 @@ fn main() {
         .collect();
     json.push_str(&body.join(",\n"));
     json.push_str("\n  }");
-    if cache.is_empty() {
-        json.push_str("\n}\n");
-    } else {
+    if !cache.is_empty() {
         json.push_str(",\n  \"cache\": {\n");
         let body: Vec<String> = cache
             .iter()
@@ -178,8 +206,23 @@ fn main() {
             })
             .collect();
         json.push_str(&body.join(",\n"));
-        json.push_str("\n  }\n}\n");
+        json.push_str("\n  }");
     }
+    if !summary.is_empty() {
+        json.push_str(",\n  \"summary\": {\n");
+        let body: Vec<String> = summary
+            .iter()
+            .map(|(label, [eh, bh, m, ei, bi])| {
+                format!(
+                    "    \"{}\": {{\"exact_hits\": {eh}, \"bound_hits\": {bh}, \"misses\": {m}, \"exact_installs\": {ei}, \"bound_installs\": {bi}}}",
+                    json_escape(label)
+                )
+            })
+            .collect();
+        json.push_str(&body.join(",\n"));
+        json.push_str("\n  }");
+    }
+    json.push_str("\n}\n");
 
     let path = write_snapshot(&root, &json);
     println!("recorded {} benches to {}", benches.len(), path.display());

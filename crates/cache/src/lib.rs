@@ -27,8 +27,12 @@
 //!   single-threaded per-activation [`LocalCache`].
 //! * [`CacheStats`] — hits/misses/insertions/evictions, mergeable per
 //!   shard and per worker; flows into `selc-engine::SearchStats`.
-//! * [`env`] — the `SELC_CACHE_SHARDS` / `SELC_CACHE_CAP` knobs and the
-//!   one environment parser (`env_usize`) shared with `SELC_THREADS`.
+//! * [`SubtreeSummary`] / [`SummaryStats`] — interior-node subtree
+//!   summaries for tree search: exact entries carry a subtree's argmin,
+//!   bound entries a lower bound from a pruned walk (see [`summary`]).
+//! * [`env`] — the `SELC_CACHE_SHARDS` / `SELC_CACHE_CAP` /
+//!   `SELC_SUMMARIES` knobs and the one environment parser
+//!   (`env_usize`) shared with `SELC_THREADS`.
 //!
 //! This crate has no dependencies (not even on `selc`); `selc` builds
 //! its probe memoisation on top of it.
@@ -39,9 +43,11 @@ pub mod handle;
 pub mod local;
 pub mod sharded;
 pub mod stats;
+pub mod summary;
 
 pub use backend::{CacheBackend, ClockLru, Unbounded};
 pub use handle::CacheHandle;
 pub use local::LocalCache;
 pub use sharded::{ShardedCache, SharedCache};
 pub use stats::CacheStats;
+pub use summary::{SubtreeSummary, SummaryStats};

@@ -53,8 +53,21 @@ impl<L: OrderedLoss> SharedBound<L> {
     /// Publishes an *achieved* loss, tightening the bound if it improves.
     pub fn observe(&self, achieved: &L) {
         if let Some(bits) = achieved.prune_bits() {
-            self.bits.fetch_min(bits, Ordering::Relaxed);
+            self.observe_bits(bits);
         }
+    }
+
+    /// Publishes an already-encoded *achieved* loss (the
+    /// [`OrderedLoss::prune_bits`] encoding). The soundness condition is
+    /// the same as [`SharedBound::observe`]'s: `bits` must encode a loss
+    /// some candidate of **this** space actually attains — e.g. the best
+    /// cached value from a previous search over the same immutable
+    /// program, which is how warm searches seed the bound before the
+    /// first batch. Never seed with a lower bound: domination is checked
+    /// against achieved losses, and an unattained value could prune the
+    /// true winner.
+    pub fn observe_bits(&self, bits: u64) {
+        self.bits.fetch_min(bits, Ordering::Relaxed);
     }
 
     /// Is a candidate with lower bound `lb` strictly dominated by an
@@ -104,6 +117,18 @@ mod tests {
         b.observe(&2.0);
         assert!(b.dominated(&3.0));
         assert!(!b.dominated(&2.0));
+    }
+
+    #[test]
+    fn seeding_encoded_bits_matches_observing_the_loss() {
+        use selc::OrderedLoss as _;
+        let b: SharedBound<f64> = SharedBound::new();
+        b.observe_bits(5.0f64.prune_bits().unwrap());
+        assert!(b.is_set());
+        assert!(b.dominated(&6.0));
+        assert!(!b.dominated(&5.0), "seeding keeps strict domination");
+        b.observe_bits(u64::MAX); // the UNSET sentinel: a no-op seed
+        assert!(b.dominated(&6.0));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::bound::SharedBound;
 use crate::queue::WorkQueue;
 use crate::threads::configured_threads;
 use selc::OrderedLoss;
-use selc_cache::CacheStats;
+use selc_cache::{CacheStats, SummaryStats};
 
 /// How an engine asks for the loss of one candidate.
 ///
@@ -46,6 +46,17 @@ pub trait CandidateEval<L: OrderedLoss>: Send + Sync {
     fn cache_stats(&self) -> CacheStats {
         CacheStats::default()
     }
+
+    /// The best *achieved* loss already known for this space, in the
+    /// [`OrderedLoss::prune_bits`] encoding — e.g. the best cached value
+    /// from a previous search over the same immutable program. Pruning
+    /// engines seed their [`SharedBound`] with it before the first
+    /// candidate runs, so warm repeats prune from the first batch.
+    /// Soundness: only report losses some candidate of this space
+    /// actually attains, never a lower bound.
+    fn seed_bits(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// References delegate, so adapters (e.g. [`crate::cached::CachedEval`])
@@ -61,6 +72,10 @@ impl<L: OrderedLoss, E: CandidateEval<L>> CandidateEval<L> for &E {
 
     fn cache_stats(&self) -> CacheStats {
         (**self).cache_stats()
+    }
+
+    fn seed_bits(&self) -> Option<u64> {
+        (**self).seed_bits()
     }
 }
 
@@ -89,6 +104,11 @@ pub struct SearchStats {
     /// Cache counters reported by the evaluator: memoised probes and/or
     /// shared transposition-table traffic during this search.
     pub cache: CacheStats,
+    /// Subtree-summary traffic (tree searches only; all-zero for the
+    /// flat engines): interior-node probes and installs, counted by the
+    /// engine itself so warm-path savings are visible separately from
+    /// the leaf cache counters.
+    pub summary: SummaryStats,
 }
 
 /// The result of a search: the winning candidate, its loss, and stats.
@@ -205,13 +225,24 @@ impl Engine for SequentialEngine {
         eval: &E,
     ) -> Option<Outcome<L>> {
         let bound = SharedBound::new();
+        if self.prune {
+            if let Some(bits) = eval.seed_bits() {
+                bound.observe_bits(bits);
+            }
+        }
         let mut best = None;
         let (mut evaluated, mut pruned) = (0, 0);
         scan(eval, 0..space, &bound, self.prune, &mut best, &mut evaluated, &mut pruned);
         best.map(|(loss, index)| Outcome {
             index,
             loss,
-            stats: SearchStats { evaluated, pruned, threads: 1, cache: eval.cache_stats() },
+            stats: SearchStats {
+                evaluated,
+                pruned,
+                threads: 1,
+                cache: eval.cache_stats(),
+                summary: SummaryStats::default(),
+            },
         })
     }
 }
@@ -297,6 +328,11 @@ impl Engine for ParallelEngine {
         let queue = WorkQueue::new(space);
         let bound = SharedBound::new();
         let prune = self.prune;
+        if prune {
+            if let Some(bits) = eval.seed_bits() {
+                bound.observe_bits(bits);
+            }
+        }
 
         let mut results: Vec<WorkerResult<L>> = Vec::with_capacity(threads);
         std::thread::scope(|s| {
@@ -341,7 +377,13 @@ impl Engine for ParallelEngine {
         best.map(|(loss, index)| Outcome {
             index,
             loss,
-            stats: SearchStats { evaluated, pruned, threads, cache: eval.cache_stats() },
+            stats: SearchStats {
+                evaluated,
+                pruned,
+                threads,
+                cache: eval.cache_stats(),
+                summary: SummaryStats::default(),
+            },
         })
     }
 }

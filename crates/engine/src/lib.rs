@@ -59,4 +59,4 @@ pub use engine::{
 pub use queue::WorkQueue;
 pub use replay::{search_programs, CacheStatsSink, SelEval};
 pub use threads::{configured_threads, THREADS_ENV};
-pub use tree::{parallel_subtrees, TreeEngine, TreeEval, TreeStep};
+pub use tree::{parallel_subtrees, SummaryProbe, TreeEngine, TreeEval, TreeStep};

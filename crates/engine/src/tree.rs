@@ -24,6 +24,17 @@
 //!   [`WorkQueue`] (not fixed index chunks), rebuild the subtree root
 //!   locally (`enter`), and DFS it; node handles never cross threads,
 //!   so non-`Send` evaluator state (e.g. machine continuations) is fine.
+//! * **Subtree summaries at every interior node** — evaluators with a
+//!   summary table ([`TreeEval::probe_summary`]) answer whole subtrees
+//!   from cache: an *exact* entry returns the subtree's argmin in O(1)
+//!   (warm repeats become O(depth) walks instead of O(leaves) rescans),
+//!   a *bound* entry skips the subtree when strictly dominated by an
+//!   achieved loss. Fully-evaluated subtrees install exact entries on
+//!   the way back up, pruned ones install bound entries
+//!   ([`TreeEval::install_summary`]), and [`TreeEval::seed_bits`] warm-
+//!   starts the shared bound from the best previously-achieved loss so
+//!   repeats prune from the first node. `SELC_SUMMARIES=0` turns all of
+//!   it off (see [`selc_cache::env::summaries_enabled`]).
 //!
 //! # Determinism
 //!
@@ -42,7 +53,7 @@ use crate::engine::{Outcome, SearchStats};
 use crate::queue::WorkQueue;
 use crate::threads::configured_threads;
 use selc::OrderedLoss;
-use selc_cache::CacheStats;
+use selc_cache::{CacheStats, SubtreeSummary, SummaryStats};
 use std::sync::Mutex;
 
 /// One step of tree exploration: what lies at (or just past) a decision
@@ -73,6 +84,42 @@ pub enum TreeStep<N, L> {
     /// strict-domination check fired — same soundness contract as
     /// [`crate::engine::CandidateEval::eval`] returning `None`).
     Pruned,
+}
+
+/// What an evaluator's summary table answered for an interior position —
+/// the probe-side view of a [`SubtreeSummary`].
+#[derive(Clone, Debug)]
+pub enum SummaryProbe<L> {
+    /// An exact entry: the subtree beneath the position was fully
+    /// evaluated when it was installed, and `(loss, index)` is its true
+    /// argmin under the deterministic `(loss, index)` reduction. The
+    /// engine returns it as the subtree's answer without descending.
+    Exact {
+        /// The subtree's argmin loss.
+        loss: L,
+        /// Flat index of the subtree's winner (canonical crediting).
+        index: u64,
+    },
+    /// A bound entry: `loss` is only a **lower bound** on every candidate
+    /// credited beneath the position (the subtree was pruned when it was
+    /// installed). Never an answer; the engine may skip the subtree when
+    /// the bound is strictly dominated by an achieved loss.
+    Bound {
+        /// The lower bound.
+        loss: L,
+    },
+    /// Nothing cached for this position.
+    Miss,
+}
+
+impl<L> From<SubtreeSummary<L>> for SummaryProbe<L> {
+    fn from(s: SubtreeSummary<L>) -> SummaryProbe<L> {
+        if s.exact {
+            SummaryProbe::Exact { loss: s.loss, index: s.index }
+        } else {
+            SummaryProbe::Bound { loss: s.loss }
+        }
+    }
 }
 
 /// A tree-shaped candidate space over binary decisions.
@@ -118,6 +165,32 @@ pub trait TreeEval<L: OrderedLoss>: Send + Sync {
     fn cache_stats(&self) -> CacheStats {
         CacheStats::default()
     }
+
+    /// Probes the evaluator's subtree-summary table at interior position
+    /// `(bits, len)`. Evaluators without a table (the default) always
+    /// miss. An implementation must only surface entries installed
+    /// against the **same** space state — epoch-bump the table whenever
+    /// the program behind the space changes.
+    fn probe_summary(&self, _bits: u64, _len: u32) -> SummaryProbe<L> {
+        SummaryProbe::Miss
+    }
+
+    /// Installs `summary` for interior position `(bits, len)` as the DFS
+    /// returns through it: an exact entry when the subtree was fully
+    /// evaluated, a bound entry when pruning cut it. Default: no table,
+    /// no-op.
+    fn install_summary(&self, _bits: u64, _len: u32, _summary: SubtreeSummary<L>) {}
+
+    /// The best *achieved* loss already known for this space, in the
+    /// [`OrderedLoss::prune_bits`] encoding — e.g. the best cached leaf
+    /// value from a previous search over the same immutable program.
+    /// Seeds the [`SharedBound`] before the first leaf completes, so a
+    /// warm search prunes from its very first subtree. Soundness: only
+    /// report losses some candidate of this space actually attains
+    /// (never a lower bound), or pruning could drop the true winner.
+    fn seed_bits(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// The tree engine: DFS over decision subtrees with deterministic
@@ -132,11 +205,21 @@ pub struct TreeEngine {
     /// Decision depth at which the tree is split into parallel subtree
     /// work items; 0 picks one that gives each worker ~4 subtrees.
     pub split: u32,
+    /// Probe/install interior-node subtree summaries through the
+    /// evaluator's [`TreeEval::probe_summary`] / [`TreeEval::install_summary`]
+    /// hooks (a no-op for evaluators without a table). Defaults to the
+    /// `SELC_SUMMARIES` knob (on unless explicitly disabled).
+    pub summaries: bool,
 }
 
 impl Default for TreeEngine {
     fn default() -> Self {
-        TreeEngine { threads: 0, prune: true, split: 0 }
+        TreeEngine {
+            threads: 0,
+            prune: true,
+            split: 0,
+            summaries: selc_cache::env::summaries_enabled(),
+        }
     }
 }
 
@@ -152,14 +235,22 @@ impl TreeEngine {
     }
 
     /// The single-worker exhaustive tree walk — the differential oracle
-    /// for everything parallel/pruned/cached above it.
+    /// for everything parallel/pruned/cached/summarised above it, so it
+    /// keeps both pruning and summaries off.
     pub fn sequential() -> TreeEngine {
-        TreeEngine { threads: 1, prune: false, split: 0 }
+        TreeEngine { threads: 1, prune: false, split: 0, summaries: false }
     }
 
     /// Same engine, pruning disabled (exhaustive fan-out).
     pub fn without_pruning(mut self) -> TreeEngine {
         self.prune = false;
+        self
+    }
+
+    /// Same engine, subtree summaries disabled (leaf cache only) —
+    /// the differential-test and bisection switch.
+    pub fn without_summaries(mut self) -> TreeEngine {
+        self.summaries = false;
         self
     }
 
@@ -190,11 +281,23 @@ impl TreeEngine {
             self.split.min(depth)
         };
         let bound = SharedBound::new();
-        let walker = Walker { eval, bound: &bound, prune: self.prune, depth };
+        if self.prune {
+            // Warm-start: the best loss a previous search over the same
+            // space achieved dominates subtrees before the first leaf of
+            // this one completes.
+            if let Some(bits) = eval.seed_bits() {
+                bound.observe_bits(bits);
+            }
+        }
+        let walker =
+            Walker { eval, bound: &bound, prune: self.prune, summaries: self.summaries, depth };
 
         let mut parts: Vec<Partial<L>> = if threads == 1 {
             let mut part = Partial::default();
-            walker.dfs(eval.enter(0, 0), 0, 0, &mut part);
+            let sub = walker.dfs(eval.enter(0, 0), 0, 0, &mut part);
+            if let Some(candidate) = sub.best {
+                part.merge(candidate);
+            }
             vec![part]
         } else {
             let queue = WorkQueue::new(1_usize << split);
@@ -207,12 +310,15 @@ impl TreeEngine {
                             let mut part = Partial::default();
                             while let Some((start, end)) = queue.claim(1) {
                                 debug_assert_eq!(end, start + 1);
-                                walker.dfs(
+                                let sub = walker.dfs(
                                     walker.eval.enter(start as u64, split),
                                     start as u64,
                                     split,
                                     &mut part,
                                 );
+                                if let Some(candidate) = sub.best {
+                                    part.merge(candidate);
+                                }
                             }
                             part
                         })
@@ -229,6 +335,7 @@ impl TreeEngine {
         for part in parts.drain(..) {
             merged.evaluated += part.evaluated;
             merged.pruned += part.pruned;
+            merged.summary = merged.summary.merged(&part.summary);
             if let Some(candidate) = part.best {
                 merged.merge(candidate);
             }
@@ -241,22 +348,25 @@ impl TreeEngine {
                 pruned: merged.pruned,
                 threads,
                 cache: eval.cache_stats(),
+                summary: merged.summary,
             },
         })
     }
 }
 
 /// One worker's accumulator: local best plus counters (`evaluated` =
-/// canonical leaves scored, `pruned` = subtrees or leaves skipped).
+/// canonical leaves scored, `pruned` = subtrees or leaves skipped,
+/// `summary` = interior-node summary traffic).
 struct Partial<L> {
     best: Option<(L, usize)>,
     evaluated: u64,
     pruned: u64,
+    summary: SummaryStats,
 }
 
 impl<L> Default for Partial<L> {
     fn default() -> Self {
-        Partial { best: None, evaluated: 0, pruned: 0 }
+        Partial { best: None, evaluated: 0, pruned: 0, summary: SummaryStats::default() }
     }
 }
 
@@ -272,14 +382,45 @@ struct Walker<'a, L, T> {
     eval: &'a T,
     bound: &'a SharedBound<L>,
     prune: bool,
+    summaries: bool,
     depth: u32,
 }
 
+/// What one subtree reduced to, threaded back up the DFS so every parent
+/// can install its own summary.
+struct Sub<L> {
+    /// The subtree's canonical contribution: the best `(loss, index)`
+    /// among leaves credited inside it. `None` when it credits nothing
+    /// (non-canonical early leaves) or pruning cut it before anything
+    /// scored. Merged into the worker's [`Partial`] by the DFS caller.
+    best: Option<(L, usize)>,
+    /// A lower bound on every candidate credited beneath the position,
+    /// when one is known: the min of visited losses and skipped
+    /// subtrees' own bounds. `None` when an evaluator-side prune left no
+    /// value to bound with.
+    lb: Option<L>,
+    /// Whether the subtree was fully evaluated — no pruning cut any part
+    /// of it, so `best` is its true argmin (ties included).
+    exact: bool,
+}
+
 impl<L: OrderedLoss, T: TreeEval<L>> Walker<'_, L, T> {
-    /// DFS from `step`, which sits at position `(bits, len)`.
-    fn dfs(&self, step: TreeStep<T::Node, L>, bits: u64, len: u32, part: &mut Partial<L>) {
+    /// DFS from `step`, which sits at position `(bits, len)`; returns
+    /// the subtree's reduction (the caller merges `best` upward).
+    fn dfs(
+        &self,
+        step: TreeStep<T::Node, L>,
+        bits: u64,
+        len: u32,
+        part: &mut Partial<L>,
+    ) -> Sub<L> {
         match step {
-            TreeStep::Pruned => part.pruned += 1,
+            TreeStep::Pruned => {
+                part.pruned += 1;
+                // The evaluator proved strict domination but reported no
+                // value, so the parent has nothing to bound with.
+                Sub { best: None, lb: None, exact: false }
+            }
             TreeStep::Leaf { loss, used } => {
                 debug_assert!(used <= len, "leaves cannot overshoot their position");
                 let tail = len - used;
@@ -287,21 +428,54 @@ impl<L: OrderedLoss, T: TreeEval<L>> Walker<'_, L, T> {
                 // reachable from every prefix extending it; only the
                 // canonical (all-`true` remainder) position counts it.
                 if bits & ((1_u64 << tail) - 1) != 0 {
-                    return;
+                    // Credited elsewhere, but the loss still lower-bounds
+                    // this (single-leaf) subtree, and nothing was cut.
+                    return Sub { best: None, lb: Some(loss), exact: true };
                 }
                 part.evaluated += 1;
                 if self.prune {
                     self.bound.observe(&loss);
                 }
                 let index = ((bits >> tail) << (self.depth - used)) as usize;
-                part.merge((loss, index));
+                Sub { best: Some((loss.clone(), index)), lb: Some(loss), exact: true }
             }
             TreeStep::Node { node, hint } => {
+                if self.summaries {
+                    match self.eval.probe_summary(bits, len) {
+                        SummaryProbe::Exact { loss, index } => {
+                            // The whole subtree in O(1): its cached argmin
+                            // is an achieved loss, so it also tightens the
+                            // bound like the leaves it stands for would.
+                            part.summary.exact_hits += 1;
+                            if self.prune {
+                                self.bound.observe(&loss);
+                            }
+                            return Sub {
+                                best: Some((loss.clone(), index as usize)),
+                                lb: Some(loss),
+                                exact: true,
+                            };
+                        }
+                        SummaryProbe::Bound { loss } => {
+                            part.summary.bound_hits += 1;
+                            // A bound entry is never an answer — but when
+                            // strictly dominated by an achieved loss, no
+                            // candidate beneath can win or tie, and the
+                            // subtree is skipped whole. (It must NOT feed
+                            // `bound.observe`: nothing attained it.)
+                            if self.prune && self.bound.dominated(&loss) {
+                                part.pruned += 1;
+                                return Sub { best: None, lb: Some(loss), exact: false };
+                            }
+                        }
+                        SummaryProbe::Miss => part.summary.misses += 1,
+                    }
+                }
                 if self.prune && self.eval.hint_is_lower_bound() {
                     if let Some(h) = &hint {
                         if self.bound.dominated(h) {
                             part.pruned += 1;
-                            return;
+                            return Sub { best: None, lb: hint, exact: false };
                         }
                     }
                 }
@@ -324,8 +498,51 @@ impl<L: OrderedLoss, T: TreeEval<L>> Walker<'_, L, T> {
                 } else {
                     [(t_step, t_bits), (f_step, f_bits)]
                 };
-                self.dfs(first, first_bits, len + 1, part);
-                self.dfs(second, second_bits, len + 1, part);
+                let a = self.dfs(first, first_bits, len + 1, part);
+                let b = self.dfs(second, second_bits, len + 1, part);
+
+                let mut best = a.best;
+                if let Some(candidate) = b.best {
+                    if best
+                        .as_ref()
+                        .is_none_or(|current| crate::engine::better(&candidate, current))
+                    {
+                        best = Some(candidate);
+                    }
+                }
+                let exact = a.exact && b.exact;
+                let lb = match (a.lb, b.lb) {
+                    (Some(x), Some(y)) => {
+                        Some(if y.cmp_loss(&x) == std::cmp::Ordering::Less { y } else { x })
+                    }
+                    _ => None,
+                };
+                if self.summaries {
+                    if exact {
+                        // Fully evaluated: the subtree's true argmin, ties
+                        // included — answerable on the next visit.
+                        if let Some((loss, index)) = &best {
+                            self.eval.install_summary(
+                                bits,
+                                len,
+                                SubtreeSummary::exact(loss.clone(), *index as u64),
+                            );
+                            part.summary.exact_installs += 1;
+                        }
+                    } else if let Some(lb) = &lb {
+                        // Pruning cut the subtree: the min of what was
+                        // seen (losses and skipped subtrees' bounds) is a
+                        // lower bound on everything beneath, nothing more.
+                        let index = best.as_ref().map_or(0, |(_, i)| *i as u64);
+                        self.eval.install_summary(
+                            bits,
+                            len,
+                            SubtreeSummary::bound(lb.clone(), index),
+                        );
+                        part.summary.bound_installs += 1;
+                    }
+                }
+                Sub { best, lb, exact }
             }
         }
     }
@@ -453,7 +670,7 @@ mod tests {
                     TreeEngine::sequential(),
                     TreeEngine::with_threads(1),
                     TreeEngine::with_threads(2),
-                    TreeEngine { threads: 3, prune: true, split: 4 },
+                    TreeEngine { threads: 3, prune: true, split: 4, summaries: false },
                     TreeEngine::with_threads(4).without_pruning(),
                 ] {
                     let eval = TableTree::new(losses.clone(), hints);
@@ -474,7 +691,9 @@ mod tests {
         // `true`-most subtree sets a tight bound early.
         let losses: Vec<f64> = (0..64).map(f64::from).collect();
         let eval = TableTree::new(losses.clone(), true);
-        let out = TreeEngine { threads: 1, prune: true, split: 0 }.search(&eval).unwrap();
+        let out = TreeEngine { threads: 1, prune: true, split: 0, summaries: false }
+            .search(&eval)
+            .unwrap();
         assert_eq!((out.index, out.loss), (0, 0.0));
         assert!(out.stats.pruned > 0, "stats: {:?}", out.stats);
         assert!(out.stats.evaluated < 64, "stats: {:?}", out.stats);
@@ -536,8 +755,10 @@ mod tests {
         // index 4); indices 0..4 have losses 0..4. Winner: index 0.
         let flat_losses = [0.0, 1.0, 2.0, 3.0, 0.5, 0.5, 0.5, 0.5];
         let flat = minimize(&SequentialEngine::exhaustive(), 8, |i| flat_losses[i]).unwrap();
-        for engine in [TreeEngine::sequential(), TreeEngine { threads: 4, prune: false, split: 2 }]
-        {
+        for engine in [
+            TreeEngine::sequential(),
+            TreeEngine { threads: 4, prune: false, split: 2, summaries: false },
+        ] {
             let out = engine.search(&ShortFalse).unwrap();
             assert_eq!((out.index, out.loss), (flat.index, flat.loss), "{engine:?}");
             assert_eq!(out.stats.evaluated, 5, "4 deep leaves + 1 early leaf: {engine:?}");
@@ -561,6 +782,155 @@ mod tests {
         }
         let out = TreeEngine::auto().search(&One).unwrap();
         assert_eq!((out.index, out.loss), (0, 7.0));
+    }
+
+    /// A [`TableTree`] with a real summary table (plain mutexed map — the
+    /// engine contract, not the sharded cache, is under test here) and an
+    /// achieved-loss seed for the shared bound.
+    struct SummaryTree {
+        inner: TableTree,
+        table: Mutex<std::collections::HashMap<(u64, u32), SubtreeSummary<f64>>>,
+        seed: Mutex<Option<u64>>,
+    }
+
+    impl SummaryTree {
+        fn new(losses: Vec<f64>, hints: bool) -> SummaryTree {
+            SummaryTree {
+                inner: TableTree::new(losses, hints),
+                table: Mutex::new(std::collections::HashMap::new()),
+                seed: Mutex::new(None),
+            }
+        }
+    }
+
+    impl TreeEval<f64> for SummaryTree {
+        type Node = (u64, u32);
+        fn depth(&self) -> u32 {
+            self.inner.depth()
+        }
+        fn enter(&self, prefix: u64, len: u32) -> TreeStep<(u64, u32), f64> {
+            self.inner.enter(prefix, len)
+        }
+        fn child(
+            &self,
+            node: &(u64, u32),
+            decision: bool,
+            path: u64,
+            len: u32,
+        ) -> TreeStep<(u64, u32), f64> {
+            self.inner.child(node, decision, path, len)
+        }
+        fn hint_is_lower_bound(&self) -> bool {
+            self.inner.hint_is_lower_bound()
+        }
+        fn probe_summary(&self, bits: u64, len: u32) -> SummaryProbe<f64> {
+            match self.table.lock().unwrap().get(&(bits, len)) {
+                Some(s) => SummaryProbe::from(*s),
+                None => SummaryProbe::Miss,
+            }
+        }
+        fn install_summary(&self, bits: u64, len: u32, summary: SubtreeSummary<f64>) {
+            self.table.lock().unwrap().insert((bits, len), summary);
+        }
+        fn seed_bits(&self) -> Option<u64> {
+            *self.seed.lock().unwrap()
+        }
+    }
+
+    #[test]
+    fn warm_exhaustive_repeat_answers_at_the_root() {
+        let losses = table(5, 64);
+        let flat = minimize(&SequentialEngine::exhaustive(), losses.len(), |i| losses[i]).unwrap();
+        let eval = SummaryTree::new(losses, false);
+        let engine = TreeEngine { threads: 1, prune: false, split: 0, summaries: true };
+        let cold = engine.search(&eval).unwrap();
+        assert_eq!((cold.index, cold.loss), (flat.index, flat.loss));
+        assert_eq!(cold.stats.summary.exact_hits, 0);
+        assert_eq!(cold.stats.summary.exact_installs, 63, "every interior node installs");
+        assert_eq!(cold.stats.summary.bound_installs, 0, "no pruning, no bound entries");
+        let warm = engine.search(&eval).unwrap();
+        assert_eq!((warm.index, warm.loss), (flat.index, flat.loss));
+        assert_eq!(warm.stats.summary.exact_hits, 1, "one probe, at the root");
+        assert_eq!(warm.stats.evaluated, 0, "no leaf re-walked: {:?}", warm.stats);
+    }
+
+    #[test]
+    fn pruned_runs_install_bound_entries_and_stay_bit_identical() {
+        for seed in 0..8 {
+            let losses = table(seed, 128);
+            let flat =
+                minimize(&SequentialEngine::exhaustive(), losses.len(), |i| losses[i]).unwrap();
+            let eval = SummaryTree::new(losses, true);
+            for round in 0..3 {
+                for engine in [
+                    TreeEngine { threads: 1, prune: true, split: 0, summaries: true },
+                    TreeEngine { threads: 3, prune: true, split: 2, summaries: true },
+                    TreeEngine { threads: 2, prune: false, split: 3, summaries: true },
+                ] {
+                    let out = engine.search(&eval).unwrap();
+                    assert_eq!(
+                        (out.index, out.loss),
+                        (flat.index, flat.loss),
+                        "seed {seed} round {round} engine {engine:?}"
+                    );
+                }
+            }
+            let installs: Vec<bool> =
+                eval.table.lock().unwrap().values().map(|s| s.exact).collect();
+            assert!(installs.iter().any(|e| *e), "seed {seed}: some subtree fully evaluated");
+        }
+    }
+
+    #[test]
+    fn seeded_bound_prunes_from_the_first_subtree() {
+        // Losses descend towards index 0; seed the bound with the known
+        // winner's loss (achieved by candidate 0) and the whole `false`
+        // half of the tree is dominated before any leaf completes.
+        let losses: Vec<f64> = (0..64).map(f64::from).collect();
+        let eval = SummaryTree::new(losses, true);
+        *eval.seed.lock().unwrap() = selc::OrderedLoss::prune_bits(&0.0f64);
+        let out = TreeEngine { threads: 1, prune: true, split: 0, summaries: false }
+            .search(&eval)
+            .unwrap();
+        assert_eq!((out.index, out.loss), (0, 0.0), "seeding never changes the winner");
+        // Only the winner's own path survives: the winner, its sibling
+        // leaf (single leaves are never hint-pruned), and one dominated
+        // subtree skip per level above them.
+        assert_eq!(out.stats.evaluated, 2, "stats: {:?}", out.stats);
+        assert_eq!(out.stats.pruned, 5, "stats: {:?}", out.stats);
+    }
+
+    #[test]
+    fn bound_entries_are_never_returned_as_answers() {
+        // Round 1 prunes hard, installing bound entries everywhere the
+        // cut fell. Round 2 runs exhaustively (pruning off): it may not
+        // trust any bound entry, so it must re-walk those subtrees and
+        // still produce the exhaustive winner.
+        let losses = table(9, 64);
+        let flat = minimize(&SequentialEngine::exhaustive(), losses.len(), |i| losses[i]).unwrap();
+        let eval = SummaryTree::new(losses, true);
+        let pruned = TreeEngine { threads: 1, prune: true, split: 0, summaries: true }
+            .search(&eval)
+            .unwrap();
+        assert_eq!((pruned.index, pruned.loss), (flat.index, flat.loss));
+        assert!(pruned.stats.summary.bound_installs > 0, "stats: {:?}", pruned.stats);
+        let exhaustive = TreeEngine { threads: 1, prune: false, split: 0, summaries: true }
+            .search(&eval)
+            .unwrap();
+        assert_eq!((exhaustive.index, exhaustive.loss), (flat.index, flat.loss));
+        assert!(
+            exhaustive.stats.summary.bound_hits > 0,
+            "the pruned run's bound entries were probed (root included) but not trusted: {:?}",
+            exhaustive.stats
+        );
+        // The exhaustive re-walk upgrades the cut subtrees: a third run
+        // now answers at the root without touching a leaf.
+        let third = TreeEngine { threads: 1, prune: false, split: 0, summaries: true }
+            .search(&eval)
+            .unwrap();
+        assert_eq!((third.index, third.loss), (flat.index, flat.loss));
+        assert_eq!(third.stats.summary.exact_hits, 1, "stats: {:?}", third.stats);
+        assert_eq!(third.stats.evaluated, 0);
     }
 
     #[test]

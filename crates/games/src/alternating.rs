@@ -20,7 +20,50 @@ use crate::minimax::{hmax, hmin, MaxMove, MinMove};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selc::{effect, handle, loss, perform, Choice, Handler, Sel};
+use selc_cache::ShardedCache;
 use std::rc::Rc;
+
+/// How much a stored alpha–beta resolution can be trusted on a later
+/// visit — the minimax mirror of the engine's exact/bound subtree
+/// summaries (`selc_cache::SubtreeSummary`).
+///
+/// Classification is against the node's *original* window `(α₀, β₀)`
+/// under the strict-cutoff discipline: values inside the **closed**
+/// window `[α₀, β₀]` are exact (a strict cutoff only ever skips
+/// subtrees that strictly lose, so boundary values are still resolved
+/// in full, ties included), values strictly outside it are one-sided
+/// bounds produced by a cut somewhere below.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbFlag {
+    /// `value` is the true minimax value and `play` the backward-
+    /// induction play (leftmost ties). Reusable under any window.
+    Exact,
+    /// The node was cut from below: the true value is `>= value`.
+    /// Reusable only to re-trigger a cut, when `value > beta`.
+    Lower,
+    /// Symmetric: the true value is `<= value`. Reusable only when
+    /// `value < alpha`.
+    Upper,
+}
+
+/// One transposition entry: a node's resolved `(play, value)` and how
+/// far it can be trusted ([`AbFlag`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AbEntry {
+    /// The best full root-to-leaf move path found below the node.
+    pub play: Vec<usize>,
+    /// The node's minimax value (exact or a one-sided bound, per `flag`).
+    pub value: f64,
+    /// How much of the window search the entry replaces.
+    pub flag: AbFlag,
+}
+
+/// A transposition table for [`GameTree::solve_alphabeta_tt`], keyed by
+/// the move path that names the node. Paths carry no tree identity, so
+/// one handle serves **one tree per epoch**: call
+/// [`ShardedCache::advance_epoch`] before pointing it at a different
+/// tree (entries then lazily die, exactly like the engine caches).
+pub type AbCache = ShardedCache<Vec<usize>, AbEntry>;
 
 effect! {
     /// Ply-0 move (maximiser).
@@ -249,6 +292,107 @@ impl GameTree {
         best.expect("branching > 0")
     }
 
+    /// [`GameTree::solve_alphabeta`] through a flagged transposition
+    /// table: every interior resolution is stored as an [`AbEntry`] and
+    /// later visits probe before searching — `Exact` entries answer
+    /// outright, `Lower`/`Upper` entries re-trigger the cut they came
+    /// from when they still clear the live window. The root's window is
+    /// infinite, so the root always stores `Exact` and a warm repeat is
+    /// O(1): one probe, zero leaves.
+    ///
+    /// Bit-identity with [`GameTree::solve_backward`] (play *and*
+    /// value, leftmost ties) is preserved because bound entries are
+    /// reused only strictly outside the live window — positions the
+    /// strict-cutoff search discards or cuts on anyway — while values
+    /// inside the closed window always come from `Exact` entries or a
+    /// full sub-search.
+    pub fn solve_alphabeta_tt(&self, cache: &AbCache) -> (Vec<usize>, f64) {
+        let (play, value, _) = self.solve_alphabeta_tt_stats(cache);
+        (play, value)
+    }
+
+    /// [`GameTree::solve_alphabeta_tt`] plus the number of leaves
+    /// actually evaluated (0 on a warm repeat).
+    pub fn solve_alphabeta_tt_stats(&self, cache: &AbCache) -> (Vec<usize>, f64, u64) {
+        let mut path = Vec::new();
+        let mut leaves = 0;
+        let (play, value) =
+            self.alphabeta_tt(&mut path, f64::NEG_INFINITY, f64::INFINITY, &mut leaves, cache);
+        (play, value, leaves)
+    }
+
+    fn alphabeta_tt(
+        &self,
+        path: &mut Vec<usize>,
+        alpha0: f64,
+        beta0: f64,
+        leaves: &mut u64,
+        cache: &AbCache,
+    ) -> (Vec<usize>, f64) {
+        if path.len() == self.depth {
+            *leaves += 1;
+            return (path.clone(), self.leaf(path));
+        }
+        if let Some(e) = cache.lookup(path) {
+            // An `Exact` hit substitutes the true resolution wherever
+            // the fresh search would have produced one; a bound hit is
+            // honoured only when it clears the *live* window strictly,
+            // i.e. exactly when the fresh search's fail-soft value
+            // would land on the same side and trigger the same cut.
+            let usable = match e.flag {
+                AbFlag::Exact => true,
+                AbFlag::Lower => e.value > beta0,
+                AbFlag::Upper => e.value < alpha0,
+            };
+            if usable {
+                return (e.play, e.value);
+            }
+        }
+        let maximising = path.len().is_multiple_of(2);
+        let (mut alpha, mut beta) = (alpha0, beta0);
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        for m in 0..self.branching {
+            path.push(m);
+            let (p, v) = self.alphabeta_tt(path, alpha, beta, leaves, cache);
+            path.pop();
+            let better = match &best {
+                None => true,
+                Some((_, bv)) => {
+                    if maximising {
+                        v > *bv
+                    } else {
+                        v < *bv
+                    }
+                }
+            };
+            if better {
+                best = Some((p, v));
+            }
+            let bv = best.as_ref().expect("just set").1;
+            if maximising {
+                alpha = alpha.max(bv);
+                if bv > beta {
+                    break;
+                }
+            } else {
+                beta = beta.min(bv);
+                if bv < alpha {
+                    break;
+                }
+            }
+        }
+        let (play, value) = best.expect("branching > 0");
+        let flag = if value > beta0 {
+            AbFlag::Lower
+        } else if value < alpha0 {
+            AbFlag::Upper
+        } else {
+            AbFlag::Exact
+        };
+        cache.store(path.clone(), AbEntry { play: play.clone(), value, flag });
+        (play, value)
+    }
+
     /// The game as a `Sel` program over the per-ply effects.
     fn program(&self) -> Sel<f64, Vec<usize>> {
         fn go(t: Rc<GameTree>, path: Vec<usize>) -> Sel<f64, Vec<usize>> {
@@ -445,6 +589,85 @@ mod tests {
             }
         }
         assert_eq!((play, value), best.expect("two moves"));
+    }
+
+    #[test]
+    fn flagged_table_matches_backward_induction_cold_and_warm() {
+        for seed in 0..15 {
+            for (branching, depth) in [(2, 3), (2, 5), (3, 4), (4, 2), (2, 8)] {
+                let t = GameTree::random(branching, depth, seed);
+                let reference = t.solve_backward();
+                let cache = AbCache::unbounded(4);
+                assert_eq!(
+                    t.solve_alphabeta_tt(&cache),
+                    reference,
+                    "cold, seed {seed} b {branching} d {depth}"
+                );
+                assert_eq!(
+                    t.solve_alphabeta_tt(&cache),
+                    reference,
+                    "warm, seed {seed} b {branching} d {depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flagged_table_breaks_ties_leftmost_like_backward_induction() {
+        for seed in 0..20 {
+            let t = tied_tree(3, 5, seed);
+            let reference = t.solve_backward();
+            let cache = AbCache::unbounded(4);
+            assert_eq!(t.solve_alphabeta_tt(&cache), reference, "cold, seed {seed}");
+            assert_eq!(t.solve_alphabeta_tt(&cache), reference, "warm, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn warm_repeat_answers_from_the_root_entry() {
+        let t = GameTree::random(3, 6, 7);
+        let cache = AbCache::unbounded(4);
+        let (play, value, cold_leaves) = t.solve_alphabeta_tt_stats(&cache);
+        assert!(cold_leaves > 0);
+        // The root window is infinite, so the root entry is Exact and a
+        // warm repeat resolves at the root: zero leaves evaluated.
+        let (wplay, wvalue, warm_leaves) = t.solve_alphabeta_tt_stats(&cache);
+        assert_eq!((wplay, wvalue), (play, value));
+        assert_eq!(warm_leaves, 0, "warm repeat must be answered from the root entry");
+    }
+
+    #[test]
+    fn epoch_bump_retires_entries_for_the_next_tree() {
+        // One handle serves one tree per epoch: bump it and the same
+        // keys must resolve the *new* tree from scratch.
+        let a = GameTree::random(2, 6, 11);
+        let b = GameTree::random(2, 6, 12);
+        let cache = AbCache::unbounded(4);
+        assert_eq!(t_solve(&a, &cache), a.solve_backward());
+        cache.advance_epoch();
+        let (play, value, leaves) = b.solve_alphabeta_tt_stats(&cache);
+        assert!(leaves > 0, "stale entries must not answer the new tree");
+        assert_eq!((play, value), b.solve_backward());
+        let (_, _, warm) = b.solve_alphabeta_tt_stats(&cache);
+        assert_eq!(warm, 0);
+    }
+
+    fn t_solve(t: &GameTree, cache: &AbCache) -> (Vec<usize>, f64) {
+        t.solve_alphabeta_tt(cache)
+    }
+
+    #[test]
+    fn tiny_capacity_eviction_stays_bit_identical() {
+        // A capacity-8 table churns constantly on a 4^4 tree; evictions
+        // may cost warmth but never correctness.
+        for seed in 0..10 {
+            let t = GameTree::random(4, 4, seed);
+            let reference = t.solve_backward();
+            let cache = AbCache::clock_lru(2, 8);
+            for round in 0..3 {
+                assert_eq!(t.solve_alphabeta_tt(&cache), reference, "seed {seed} round {round}");
+            }
+        }
     }
 
     #[test]

@@ -64,6 +64,13 @@ pub struct LcCandidates {
     /// probe is usually a single lookup and hit/miss telemetry stays
     /// honest).
     used_depths: Arc<AtomicU64>,
+    /// The best loss any candidate of this space has been observed to
+    /// *achieve* (monotone `prune_bits` encoding; `u64::MAX` until one
+    /// completes). Shared across clones and searches: the program is
+    /// immutable and evaluation pure, so an achieved loss stays achieved
+    /// — which is what makes seeding mid-run abandonment thresholds and
+    /// the engine's `SharedBound` from it sound on warm repeats.
+    best_seen: Arc<AtomicU64>,
 }
 
 impl LcCandidates {
@@ -87,6 +94,7 @@ impl LcCandidates {
             fuel: 0,
             id: NEXT_SPACE_ID.fetch_add(1, Ordering::Relaxed),
             used_depths: Arc::new(AtomicU64::new(0)),
+            best_seen: Arc::new(AtomicU64::new(u64::MAX)),
         }
     }
 
@@ -121,6 +129,13 @@ impl LcCandidates {
     /// use (monotone, shared across clones and searches).
     pub(crate) fn used_depths_mask(&self) -> u64 {
         self.used_depths.load(Ordering::Relaxed)
+    }
+
+    /// The shared best-achieved-loss cell (see the field docs):
+    /// evaluators feed it from completed runs, cache hits, and exact
+    /// summaries, and seed their searches from it.
+    pub(crate) fn best_seen_cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.best_seen)
     }
 
     /// Runs candidate `index`'s forced machine, with an optional prune

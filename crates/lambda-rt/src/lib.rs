@@ -51,5 +51,8 @@ pub mod tree;
 
 pub use bridge::{LcCandidates, LcValue};
 pub use loss::{encode_scalar, OrdLossVal};
-pub use search::{search_compiled_flat, search_compiled_flat_cached, CompiledEval, LcTransCache};
+pub use search::{
+    search_compiled_flat, search_compiled_flat_cached, CompiledEval, LcEntry, LcTransCache,
+    SUMMARY_TAG,
+};
 pub use tree::{search_compiled, search_compiled_cached, LcTreeEval};

@@ -32,18 +32,41 @@
 use crate::bridge::{LcCandidates, LcValue};
 use crate::loss::{encode_scalar, OrdLossVal};
 use lambda_c::machine::MachinePrune;
-use selc_cache::{CacheStats, ShardedCache};
+use selc_cache::{CacheStats, ShardedCache, SubtreeSummary};
 use selc_engine::bound::SharedBound;
 use selc_engine::engine::CandidateEval;
 use selc_engine::{Engine, Outcome};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Tag bit set in the middle (`u32`) key slot of every subtree-summary
+/// entry. Leaf keys carry a plain decision count there (`≤ 62`, see
+/// [`LcCandidates::new`]), so tagged and untagged keys can never
+/// collide: one shared [`LcTransCache`] handle holds both populations,
+/// key-disjointly, under one epoch.
+pub const SUMMARY_TAG: u32 = 1 << 31;
+
+/// One transposition-table entry: a completed path's loss, or an
+/// interior-node subtree summary. The two populations live under
+/// disjoint keys (see [`SUMMARY_TAG`]), so a leaf lookup only ever sees
+/// [`LcEntry::Leaf`] and a summary probe only [`LcEntry::Summary`] —
+/// the enum exists so both share one cache, one capacity budget, and
+/// one epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LcEntry {
+    /// Loss of the completed path keyed by `(id, used, prefix)`.
+    Leaf(OrdLossVal),
+    /// Summary of the subtree keyed by `(id, len | SUMMARY_TAG, bits)`.
+    Summary(SubtreeSummary<OrdLossVal>),
+}
+
 /// The transposition table for compiled searches: keys are
-/// `(space identity, decisions used, prefix bits)` — the identity
-/// component (see [`LcCandidates::id`]) lets one shared handle serve
-/// many different programs without prefix collisions.
-pub type LcTransCache = ShardedCache<(u64, u32, u64), OrdLossVal>;
+/// `(space identity, decisions used, prefix bits)` for leaves and
+/// `(space identity, prefix length | SUMMARY_TAG, prefix bits)` for
+/// subtree summaries — the identity component (see [`LcCandidates::id`])
+/// lets one shared handle serve many different programs without prefix
+/// collisions.
+pub type LcTransCache = ShardedCache<(u64, u32, u64), LcEntry>;
 
 /// A `CandidateEval` that replays forced machine runs, consults an
 /// optional shared transposition table, and optionally abandons runs
@@ -57,14 +80,19 @@ pub struct CompiledEval<'c> {
 }
 
 impl<'c> CompiledEval<'c> {
-    /// A plain evaluator: no cache, no mid-run abandonment.
+    /// A plain evaluator: no cache, no mid-run abandonment. The
+    /// achieved-loss mirror is the space's shared [`LcCandidates`] cell,
+    /// so it persists across searches (warm repeats seed their bound and
+    /// abandonment threshold from it — sound because the program is
+    /// immutable, see [`CandidateEval::seed_bits`]).
     pub fn new(cands: LcCandidates) -> CompiledEval<'c> {
+        let best_bits = cands.best_seen_cell();
         CompiledEval {
             cands,
             cache: None,
             base: CacheStats::default(),
             prune_mid_run: false,
-            best_bits: Arc::new(AtomicU64::new(u64::MAX)),
+            best_bits,
         }
     }
 
@@ -104,7 +132,8 @@ impl CandidateEval<OrdLossVal> for CompiledEval<'_> {
             while mask != 0 {
                 let used = mask.trailing_zeros();
                 mask &= mask - 1;
-                if let Some(loss) = cache.lookup(&(self.cands.id(), used, self.prefix(index, used)))
+                if let Some(LcEntry::Leaf(loss)) =
+                    cache.lookup(&(self.cands.id(), used, self.prefix(index, used)))
                 {
                     // A hit is an achieved loss too: keep the mid-run
                     // abandonment mirror tight on warm searches.
@@ -128,7 +157,7 @@ impl CandidateEval<OrdLossVal> for CompiledEval<'_> {
         if let Some(cache) = self.cache {
             cache.store(
                 (self.cands.id(), out.decisions_used, self.prefix(index, out.decisions_used)),
-                loss.clone(),
+                LcEntry::Leaf(loss.clone()),
             );
             self.cands.note_used_depth(out.decisions_used);
         }
@@ -137,6 +166,11 @@ impl CandidateEval<OrdLossVal> for CompiledEval<'_> {
 
     fn cache_stats(&self) -> CacheStats {
         self.cache.map(|c| c.stats().since(&self.base)).unwrap_or_default()
+    }
+
+    fn seed_bits(&self) -> Option<u64> {
+        let bits = self.best_bits.load(Ordering::Relaxed);
+        (bits != u64::MAX).then_some(bits)
     }
 }
 

@@ -8,7 +8,13 @@
 //! The transposition keys are unchanged — `(space id, used, prefix)` is
 //! already prefix-shaped — so tree and flat searches share one
 //! [`LcTransCache`] handle, and a table warmed by either answers the
-//! other.
+//! other. The same handle also holds **subtree summaries** under
+//! key-disjoint tagged keys (`(space id, len | SUMMARY_TAG, bits)`, see
+//! [`crate::search::LcEntry`]): the engine probes them at every interior
+//! node, so a warm tree repeat answers whole subtrees in O(1) — an
+//! O(depth) walk instead of an O(leaves) rescan — and seeds its
+//! `SharedBound` from the space's best previously-achieved loss
+//! ([`TreeEval::seed_bits`]) before the first segment runs.
 //!
 //! * **Hints.** A choice point's accumulated ambient loss orders its
 //!   children best-first, and (for non-negative programs, the
@@ -27,11 +33,11 @@
 
 use crate::bridge::{enforce_replay_contract, LcCandidates, LcValue};
 use crate::loss::{encode_scalar, OrdLossVal};
-use crate::search::LcTransCache;
+use crate::search::{LcEntry, LcTransCache, SUMMARY_TAG};
 use lambda_c::machine::{ChoicePoint, Explored, MachinePrune};
 use lambda_c::MachError;
-use selc_cache::CacheStats;
-use selc_engine::tree::{TreeEngine, TreeEval, TreeStep};
+use selc_cache::{CacheStats, SubtreeSummary};
+use selc_engine::tree::{SummaryProbe, TreeEngine, TreeEval, TreeStep};
 use selc_engine::Outcome;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -48,15 +54,13 @@ pub struct LcTreeEval<'c> {
 }
 
 impl<'c> LcTreeEval<'c> {
-    /// A plain tree evaluator: no cache, no mid-segment abandonment.
+    /// A plain tree evaluator: no cache, no mid-segment abandonment. The
+    /// achieved-loss mirror is the space's shared [`LcCandidates`] cell,
+    /// so it persists across searches and seeds warm repeats (sound:
+    /// the program is immutable, see [`TreeEval::seed_bits`]).
     pub fn new(cands: LcCandidates) -> LcTreeEval<'c> {
-        LcTreeEval {
-            cands,
-            cache: None,
-            base: CacheStats::default(),
-            nonneg: false,
-            best_bits: Arc::new(AtomicU64::new(u64::MAX)),
-        }
+        let best_bits = cands.best_seen_cell();
+        LcTreeEval { cands, cache: None, base: CacheStats::default(), nonneg: false, best_bits }
     }
 
     /// Attaches a shared transposition table; stats reported through
@@ -102,7 +106,10 @@ impl<'c> LcTreeEval<'c> {
                 let loss = OrdLossVal(out.loss);
                 self.best_bits.fetch_min(encode_scalar(&loss.0), Ordering::Relaxed);
                 if let Some(cache) = self.cache {
-                    cache.store((self.cands.id(), used, path >> (len - used)), loss.clone());
+                    cache.store(
+                        (self.cands.id(), used, path >> (len - used)),
+                        LcEntry::Leaf(loss.clone()),
+                    );
                     self.cands.note_used_depth(used);
                 }
                 TreeStep::Leaf { loss, used }
@@ -130,7 +137,9 @@ impl TreeEval<OrdLossVal> for LcTreeEval<'_> {
                 if used > len {
                     break;
                 }
-                if let Some(loss) = cache.lookup(&(self.cands.id(), used, prefix >> (len - used))) {
+                if let Some(LcEntry::Leaf(loss)) =
+                    cache.lookup(&(self.cands.id(), used, prefix >> (len - used)))
+                {
                     self.best_bits.fetch_min(encode_scalar(&loss.0), Ordering::Relaxed);
                     return TreeStep::Leaf { loss, used };
                 }
@@ -148,11 +157,17 @@ impl TreeEval<OrdLossVal> for LcTreeEval<'_> {
     ) -> TreeStep<ChoicePoint, OrdLossVal> {
         // The only entry a child position can answer from is one keyed at
         // exactly `(len, path)` — a shallower hit would have resolved at
-        // an ancestor, a deeper one is not determined yet.
+        // an ancestor, a deeper one is not determined yet. Probe only
+        // when some candidate was actually observed to terminate after
+        // `len` decisions: interior positions of a full-depth space would
+        // otherwise pay one guaranteed miss per node (the warm path's
+        // two-probes-per-leaf pathology).
         if let Some(cache) = self.cache {
-            if let Some(loss) = cache.lookup(&(self.cands.id(), len, path)) {
-                self.best_bits.fetch_min(encode_scalar(&loss.0), Ordering::Relaxed);
-                return TreeStep::Leaf { loss, used: len };
+            if self.cands.used_depths_mask() & (1_u64 << len) != 0 {
+                if let Some(LcEntry::Leaf(loss)) = cache.lookup(&(self.cands.id(), len, path)) {
+                    self.best_bits.fetch_min(encode_scalar(&loss.0), Ordering::Relaxed);
+                    return TreeStep::Leaf { loss, used: len };
+                }
             }
         }
         self.advance(enforce_replay_contract(node.resume(decision), path, len), path, len)
@@ -164,6 +179,34 @@ impl TreeEval<OrdLossVal> for LcTreeEval<'_> {
 
     fn cache_stats(&self) -> CacheStats {
         self.cache.map(|c| c.stats().since(&self.base)).unwrap_or_default()
+    }
+
+    fn probe_summary(&self, bits: u64, len: u32) -> SummaryProbe<OrdLossVal> {
+        let Some(cache) = self.cache else { return SummaryProbe::Miss };
+        match cache.lookup(&(self.cands.id(), len | SUMMARY_TAG, bits)) {
+            Some(LcEntry::Summary(s)) => {
+                if s.exact {
+                    // An exact summary's loss was achieved by its winning
+                    // leaf: it tightens the mid-segment abandonment
+                    // mirror like the leaf itself would. (A bound entry
+                    // must NOT: nothing attained it.)
+                    self.best_bits.fetch_min(encode_scalar(&s.loss.0), Ordering::Relaxed);
+                }
+                SummaryProbe::from(s)
+            }
+            _ => SummaryProbe::Miss,
+        }
+    }
+
+    fn install_summary(&self, bits: u64, len: u32, summary: SubtreeSummary<OrdLossVal>) {
+        if let Some(cache) = self.cache {
+            cache.store((self.cands.id(), len | SUMMARY_TAG, bits), LcEntry::Summary(summary));
+        }
+    }
+
+    fn seed_bits(&self) -> Option<u64> {
+        let bits = self.best_bits.load(Ordering::Relaxed);
+        (bits != u64::MAX).then_some(bits)
     }
 }
 
@@ -219,7 +262,7 @@ mod tests {
         for engine in [
             TreeEngine::sequential(),
             TreeEngine::with_threads(2),
-            TreeEngine { threads: 3, prune: false, split: 3 },
+            TreeEngine { threads: 3, prune: false, split: 3, summaries: false },
         ] {
             let (out, v) = search_compiled(&engine, &cands).unwrap();
             assert_eq!(
@@ -274,9 +317,10 @@ mod tests {
     fn pruned_tree_searches_keep_the_winner_bit_identical() {
         let cands = chain_candidates(8);
         let (flat, value) = search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
-        for engine in
-            [TreeEngine { threads: 1, prune: true, split: 0 }, TreeEngine::with_threads(3)]
-        {
+        for engine in [
+            TreeEngine { threads: 1, prune: true, split: 0, summaries: true },
+            TreeEngine::with_threads(3),
+        ] {
             let cache = LcTransCache::unbounded(4);
             let (out, v) = search_compiled_cached(&engine, &cands, &cache, true).unwrap();
             assert_eq!(
