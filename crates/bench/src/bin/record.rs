@@ -11,18 +11,26 @@
 //! cargo run -p selc-bench --bin selc-bench-record --release -- --bench e12_parallel
 //! ```
 //!
-//! JSON schema 4: `{"schema": 4, "recorded_at_unix": <secs>,
+//! JSON schema 5: `{"schema": 5, "recorded_at_unix": <secs>,
 //! "selc_threads": <resolved worker count>, "host_parallelism": <what
 //! the OS reports>, "benches": {"<label>": <median ns/iter>}, "cache":
 //! {"<label>": {"hits": …, "misses": …, "insertions": …,
 //! "evictions": …}}, "summary": {"<label>": {"exact_hits": …,
 //! "bound_hits": …, "misses": …, "exact_installs": …,
-//! "bound_installs": …}}}` — the `cache` section collects the
+//! "bound_installs": …}}, "serve": {"<label>":
+//! {"searches_per_sec": …, "requests": …, "elapsed_ms": …,
+//! "p50_us": …, "p99_us": …}}}` — the `cache` section collects the
 //! `<label> cache hits=… misses=…` lines cached bench families (e13+)
-//! print after timing, so snapshots carry hit rates alongside medians,
-//! and the `summary` section (schema 4) collects the
+//! print after timing, so snapshots carry hit rates alongside medians;
+//! the `summary` section (schema 4) collects the
 //! `<label> summary exact_hits=…` lines the subtree-summary family
-//! (e16) prints, so warm-path O(depth) claims stay auditable.
+//! (e16) prints, so warm-path O(depth) claims stay auditable; and the
+//! `serve` section (schema 5) collects the `<label> serve
+//! searches_per_sec=…` throughput lines the service family (e17)
+//! prints. Stat lines the recorder does *not* recognise — an unknown
+//! section word, or a known section whose pairs fail to parse (schema
+//! drift) — are called out on stderr instead of silently dropped, so a
+//! renamed counter can never vanish from snapshots unnoticed.
 //! The two parallelism fields (schema 3) record the recording *host*:
 //! `host_parallelism` is what the OS could actually run concurrently,
 //! and `selc_threads` is the `SELC_THREADS` knob resolved exactly as the
@@ -106,6 +114,73 @@ fn parse_summary_line(line: &str) -> Option<(String, [u64; 5])> {
     (seen == 5).then(|| (label.trim().to_string(), out))
 }
 
+/// Parses one serve-throughput line of the form
+/// `label serve searches_per_sec=142.1 requests=24 elapsed_ms=168.9
+/// p50_us=7012 p99_us=7311`. Rates and times are floats; counts are
+/// integers but parse through `f64` uniformly (they are small enough
+/// to be exact).
+fn parse_serve_line(line: &str) -> Option<(String, [f64; 5])> {
+    let (label, rest) = line.split_once(" serve ")?;
+    let mut out = [0_f64; 5];
+    let mut seen = 0;
+    for pair in rest.split_whitespace() {
+        let (k, v) = pair.split_once('=')?;
+        let slot = match k {
+            "searches_per_sec" => 0,
+            "requests" => 1,
+            "elapsed_ms" => 2,
+            "p50_us" => 3,
+            "p99_us" => 4,
+            _ => continue,
+        };
+        out[slot] = v.parse::<f64>().ok()?;
+        seen += 1;
+    }
+    (seen == 5).then(|| (label.trim().to_string(), out))
+}
+
+/// Recognises the *shape* of a stats line — `<label…> <section> k=v
+/// [k=v …]` — and returns its section word. Bench labels never contain
+/// `=`, so the first `k=v` token marks where the pairs start and the
+/// token before it is the section. Median lines (`… median 1.2
+/// ns/iter (…)`) have no `k=v` run and fall through to `None`.
+fn stat_section(line: &str) -> Option<&str> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let first_kv =
+        tokens.iter().position(|t| t.split_once('=').is_some_and(|(k, _)| !k.is_empty()))?;
+    // Need a label (≥1 token), a section token, and all-pairs after it.
+    if first_kv < 2 || !tokens[first_kv..].iter().all(|t| t.contains('=')) {
+        return None;
+    }
+    Some(tokens[first_kv - 1])
+}
+
+/// Flags every stats-shaped line the typed parsers will not pick up:
+/// unknown sections, and known sections that no longer parse (schema
+/// drift). Returns the warnings so `main` can print them and tests can
+/// assert them.
+fn unparsed_stat_warnings(stdout: &str) -> Vec<String> {
+    let mut warnings = Vec::new();
+    for line in stdout.lines() {
+        let Some(section) = stat_section(line) else { continue };
+        let parsed = match section {
+            "cache" => parse_cache_line(line).is_some(),
+            "summary" => parse_summary_line(line).is_some(),
+            "serve" => parse_serve_line(line).is_some(),
+            _ => {
+                warnings.push(format!("unknown stat section {section:?} — not recorded: {line}"));
+                continue;
+            }
+        };
+        if !parsed {
+            warnings.push(format!(
+                "stat line in section {section:?} failed to parse (schema drift?) — not recorded: {line}"
+            ));
+        }
+    }
+    warnings
+}
+
 fn next_snapshot_number(root: &Path) -> u64 {
     let mut max_n = 0_u64;
     if let Ok(entries) = std::fs::read_dir(root) {
@@ -178,13 +253,17 @@ fn main() {
     let cache: BTreeMap<String, [u64; 4]> = stdout.lines().filter_map(parse_cache_line).collect();
     let summary: BTreeMap<String, [u64; 5]> =
         stdout.lines().filter_map(parse_summary_line).collect();
+    let serve: BTreeMap<String, [f64; 5]> = stdout.lines().filter_map(parse_serve_line).collect();
+    for warning in unparsed_stat_warnings(&stdout) {
+        eprintln!("selc-bench-record: warning: {warning}");
+    }
 
     let recorded_at = std::time::SystemTime::UNIX_EPOCH.elapsed().map(|d| d.as_secs()).unwrap_or(0);
     // The engine's own worker-count resolution (`SELC_THREADS`, else the
     // hardware), without linking the engine into the recorder.
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let threads = selc::env::env_usize("SELC_THREADS").unwrap_or(host);
-    let mut json = String::from("{\n  \"schema\": 4,\n");
+    let mut json = String::from("{\n  \"schema\": 5,\n");
     json.push_str(&format!("  \"recorded_at_unix\": {recorded_at},\n"));
     json.push_str(&format!("  \"selc_threads\": {threads},\n"));
     json.push_str(&format!("  \"host_parallelism\": {host},\n  \"benches\": {{\n"));
@@ -222,8 +301,77 @@ fn main() {
         json.push_str(&body.join(",\n"));
         json.push_str("\n  }");
     }
+    if !serve.is_empty() {
+        json.push_str(",\n  \"serve\": {\n");
+        let body: Vec<String> = serve
+            .iter()
+            .map(|(label, [sps, req, ms, p50, p99])| {
+                format!(
+                    "    \"{}\": {{\"searches_per_sec\": {sps:.1}, \"requests\": {req:.0}, \"elapsed_ms\": {ms:.1}, \"p50_us\": {p50:.0}, \"p99_us\": {p99:.0}}}",
+                    json_escape(label)
+                )
+            })
+            .collect();
+        json.push_str(&body.join(",\n"));
+        json.push_str("\n  }");
+    }
     json.push_str("\n}\n");
 
     let path = write_snapshot(&root, &json);
     println!("recorded {} benches to {}", benches.len(), path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CACHE_LINE: &str =
+        "e13_cache/warm cache hits=10 misses=2 insertions=2 evictions=0 hit_rate=0.833";
+    const SUMMARY_LINE: &str = "e16_summaries/probing18/tree_cached_warm summary \
+         exact_hits=4 bound_hits=0 misses=1 exact_installs=0 bound_installs=0";
+    const SERVE_LINE: &str = "e17_serve/clients4/warm serve \
+         searches_per_sec=1423.5 requests=256 elapsed_ms=179.8 p50_us=680 p99_us=2410";
+
+    #[test]
+    fn serve_lines_parse_into_the_five_metrics() {
+        let (label, [sps, req, ms, p50, p99]) = parse_serve_line(SERVE_LINE).expect("parses");
+        assert_eq!(label, "e17_serve/clients4/warm");
+        assert_eq!((sps, req, ms), (1423.5, 256.0, 179.8));
+        assert_eq!((p50, p99), (680.0, 2410.0));
+        assert_eq!(parse_serve_line("x serve searches_per_sec=1"), None, "missing fields");
+        assert_eq!(parse_serve_line(CACHE_LINE), None, "wrong section");
+    }
+
+    #[test]
+    fn known_stat_lines_produce_no_warnings() {
+        let stdout = format!("{CACHE_LINE}\n{SUMMARY_LINE}\n{SERVE_LINE}\nsome prose\n");
+        assert_eq!(unparsed_stat_warnings(&stdout), Vec::<String>::new());
+    }
+
+    #[test]
+    fn unknown_stat_sections_are_warned_about_not_silently_dropped() {
+        // The regression: a bench printing a new section (here `memo`)
+        // used to vanish without a trace.
+        let stdout = "e18_future/foo memo probes=9 hits=3\n";
+        let warnings = unparsed_stat_warnings(stdout);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("unknown stat section \"memo\""), "{warnings:?}");
+    }
+
+    #[test]
+    fn schema_drift_in_a_known_section_is_warned_about() {
+        // A renamed counter makes the typed parser miss: flag it.
+        let stdout = "e13_cache/warm cache hitz=10 misses=2 insertions=2 evictions=0\n";
+        let warnings = unparsed_stat_warnings(stdout);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("schema drift"), "{warnings:?}");
+    }
+
+    #[test]
+    fn non_stat_lines_are_not_mistaken_for_stat_lines() {
+        // Median lines, prose, and `k=v`-less chatter must not warn.
+        let stdout = "e16_summaries/probing18/tree_cached_warm median 1816.0 ns/iter (min 1716.0, max 1916.0, 2 iters x 2 samples)\n\
+             running 5 tests\nusing seed=42\n";
+        assert_eq!(unparsed_stat_warnings(stdout), Vec::<String>::new());
+    }
 }

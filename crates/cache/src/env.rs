@@ -12,9 +12,13 @@
 //!   differential suites).
 //!
 //! [`env_usize`] is the shared parsing helper: `selc-engine`'s
-//! `configured_threads` (via the `selc::env` re-export) and the two
-//! knobs above all go through it, so "positive integer, trimmed,
-//! anything else is as-if-unset" is decided in exactly one place.
+//! `configured_threads` (via the `selc::env` re-export), the two knobs
+//! above, and `selc-serve`'s `SELC_SERVE_{PORT,WORKERS,MAX_SESSIONS}`
+//! all go through it, so "positive integer, trimmed, anything else is
+//! as-if-unset" is decided in exactly one place. The serve knob *names*
+//! live here too ([`SERVE_PORT_ENV`] and friends) so every `SELC_*`
+//! variable the workspace reads is greppable from one module; their
+//! defaults are the serve crate's business.
 
 /// Name of the shard-count variable.
 pub const CACHE_SHARDS_ENV: &str = "SELC_CACHE_SHARDS";
@@ -24,6 +28,15 @@ pub const CACHE_CAP_ENV: &str = "SELC_CACHE_CAP";
 
 /// Name of the subtree-summary toggle.
 pub const SUMMARIES_ENV: &str = "SELC_SUMMARIES";
+
+/// Name of the `selc-serve` listen-port variable.
+pub const SERVE_PORT_ENV: &str = "SELC_SERVE_PORT";
+
+/// Name of the `selc-serve` worker-count variable.
+pub const SERVE_WORKERS_ENV: &str = "SELC_SERVE_WORKERS";
+
+/// Name of the `selc-serve` admission-limit variable.
+pub const SERVE_MAX_SESSIONS_ENV: &str = "SELC_SERVE_MAX_SESSIONS";
 
 /// Shard count when `SELC_CACHE_SHARDS` is unset: enough to keep a
 /// handful of workers from serialising, small enough to stay cheap to

@@ -12,6 +12,7 @@
 //! [`SharedBound`].
 
 use crate::bound::SharedBound;
+use crate::cancel::CancelToken;
 use crate::queue::WorkQueue;
 use crate::threads::configured_threads;
 use selc::OrderedLoss;
@@ -122,6 +123,37 @@ pub struct Outcome<L> {
     pub stats: SearchStats,
 }
 
+/// What a cancellable search came back with: either the completed argmin
+/// or whatever was best when the [`CancelToken`] fired.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SearchResult<L> {
+    /// The space was fully decided (modulo sound pruning): the outcome
+    /// is the deterministic argmin, `None` only for an empty space.
+    Complete(Option<Outcome<L>>),
+    /// The token fired mid-search. The outcome is the best candidate
+    /// *seen so far* — a valid achieved loss, but not necessarily the
+    /// argmin — or `None` when nothing had scored yet. Stats count only
+    /// the work actually done.
+    Cancelled(Option<Outcome<L>>),
+}
+
+impl<L> SearchResult<L> {
+    /// Whether the token fired before the search decided the space.
+    #[must_use]
+    pub fn was_cancelled(&self) -> bool {
+        matches!(self, SearchResult::Cancelled(_))
+    }
+
+    /// The outcome either way: the argmin when complete, the partial
+    /// best when cancelled.
+    #[must_use]
+    pub fn into_outcome(self) -> Option<Outcome<L>> {
+        match self {
+            SearchResult::Complete(o) | SearchResult::Cancelled(o) => o,
+        }
+    }
+}
+
 /// A strategy for searching a finite candidate space. `search` returns
 /// `None` only for an empty space.
 pub trait Engine {
@@ -129,16 +161,33 @@ pub trait Engine {
     fn name(&self) -> &'static str;
 
     /// Argmin over `0..space` under `eval`, deterministic tie-breaking
-    /// towards the smallest index.
+    /// towards the smallest index, aborting (with the best seen so far)
+    /// as soon as `cancel` fires — checked per candidate, alongside the
+    /// shared bound, so deadline and disconnect aborts take effect
+    /// within one evaluation.
+    fn search_with<L: OrderedLoss, E: CandidateEval<L> + ?Sized>(
+        &self,
+        space: usize,
+        eval: &E,
+        cancel: &CancelToken,
+    ) -> SearchResult<L>;
+
+    /// Argmin over `0..space` under `eval`, deterministic tie-breaking
+    /// towards the smallest index. Runs under a token that can never
+    /// fire, so the result is always complete.
     fn search<L: OrderedLoss, E: CandidateEval<L> + ?Sized>(
         &self,
         space: usize,
         eval: &E,
-    ) -> Option<Outcome<L>>;
+    ) -> Option<Outcome<L>> {
+        self.search_with(space, eval, &CancelToken::never()).into_outcome()
+    }
 }
 
-/// One worker's contribution: local best plus (evaluated, pruned) counts.
-type WorkerResult<L> = (Option<(L, usize)>, u64, u64);
+/// One worker's contribution: local best, (evaluated, pruned) counts,
+/// and whether it ran to completion (`false` when the cancel token
+/// stopped it mid-scan).
+type WorkerResult<L> = (Option<(L, usize)>, u64, u64, bool);
 
 /// Lexicographic `(loss, index)` merge — the deterministic reduction.
 /// One definition for every engine (the flat scans here, the tree walk
@@ -152,43 +201,63 @@ pub(crate) fn better<L: OrderedLoss>(a: &(L, usize), b: &(L, usize)) -> bool {
     }
 }
 
+/// One scanner's running state: the local best plus evaluated/pruned
+/// tallies, accumulated across every range the scanner processes.
+#[derive(Debug)]
+struct ScanState<L> {
+    best: Option<(L, usize)>,
+    evaluated: u64,
+    pruned: u64,
+}
+
+impl<L> ScanState<L> {
+    fn new() -> ScanState<L> {
+        ScanState { best: None, evaluated: 0, pruned: 0 }
+    }
+}
+
 /// Evaluates `indices`, maintaining a local best and the shared bound.
-/// Returns `(local best, evaluated, pruned)`.
+/// Returns `false` when `cancel` fired mid-range (the remaining indices
+/// were not touched), `true` when the whole range was processed.
 fn scan<L, E>(
     eval: &E,
     indices: std::ops::Range<usize>,
     bound: &SharedBound<L>,
     prune: bool,
-    best: &mut Option<(L, usize)>,
-    evaluated: &mut u64,
-    pruned: &mut u64,
-) where
+    cancel: &CancelToken,
+    state: &mut ScanState<L>,
+) -> bool
+where
     L: OrderedLoss,
     E: CandidateEval<L> + ?Sized,
 {
     for i in indices {
+        if cancel.is_cancelled() {
+            return false;
+        }
         if prune {
             if let Some(lb) = eval.lower_bound(i) {
                 if bound.dominated(&lb) {
-                    *pruned += 1;
+                    state.pruned += 1;
                     continue;
                 }
             }
         }
         match eval.eval(i, bound) {
-            None => *pruned += 1,
+            None => state.pruned += 1,
             Some(l) => {
-                *evaluated += 1;
+                state.evaluated += 1;
                 if prune {
                     bound.observe(&l);
                 }
                 let candidate = (l, i);
-                if best.as_ref().is_none_or(|b| better(&candidate, b)) {
-                    *best = Some(candidate);
+                if state.best.as_ref().is_none_or(|b| better(&candidate, b)) {
+                    state.best = Some(candidate);
                 }
             }
         }
     }
+    true
 }
 
 /// The single-threaded reference engine (and differential-test oracle).
@@ -219,31 +288,36 @@ impl Engine for SequentialEngine {
         }
     }
 
-    fn search<L: OrderedLoss, E: CandidateEval<L> + ?Sized>(
+    fn search_with<L: OrderedLoss, E: CandidateEval<L> + ?Sized>(
         &self,
         space: usize,
         eval: &E,
-    ) -> Option<Outcome<L>> {
+        cancel: &CancelToken,
+    ) -> SearchResult<L> {
         let bound = SharedBound::new();
         if self.prune {
             if let Some(bits) = eval.seed_bits() {
                 bound.observe_bits(bits);
             }
         }
-        let mut best = None;
-        let (mut evaluated, mut pruned) = (0, 0);
-        scan(eval, 0..space, &bound, self.prune, &mut best, &mut evaluated, &mut pruned);
-        best.map(|(loss, index)| Outcome {
+        let mut state = ScanState::new();
+        let completed = scan(eval, 0..space, &bound, self.prune, cancel, &mut state);
+        let outcome = state.best.map(|(loss, index)| Outcome {
             index,
             loss,
             stats: SearchStats {
-                evaluated,
-                pruned,
+                evaluated: state.evaluated,
+                pruned: state.pruned,
                 threads: 1,
                 cache: eval.cache_stats(),
                 summary: SummaryStats::default(),
             },
-        })
+        });
+        if completed {
+            SearchResult::Complete(outcome)
+        } else {
+            SearchResult::Cancelled(outcome)
+        }
     }
 }
 
@@ -306,23 +380,20 @@ impl Engine for ParallelEngine {
         }
     }
 
-    fn search<L: OrderedLoss, E: CandidateEval<L> + ?Sized>(
+    fn search_with<L: OrderedLoss, E: CandidateEval<L> + ?Sized>(
         &self,
         space: usize,
         eval: &E,
-    ) -> Option<Outcome<L>> {
+        cancel: &CancelToken,
+    ) -> SearchResult<L> {
         if space == 0 {
-            return None;
+            return SearchResult::Complete(None);
         }
         let threads = self.effective_threads(space);
         if threads == 1 {
             // Same scan, no pool: keeps the 1-worker bench rows honest
             // about not paying spawn overhead twice.
-            let mut out = SequentialEngine { prune: self.prune }.search(space, eval);
-            if let Some(o) = out.as_mut() {
-                o.stats.threads = 1;
-            }
-            return out;
+            return SequentialEngine { prune: self.prune }.search_with(space, eval, cancel);
         }
         let chunk = self.effective_chunk(space, threads);
         let queue = WorkQueue::new(space);
@@ -341,20 +412,18 @@ impl Engine for ParallelEngine {
                     let queue = &queue;
                     let bound = &bound;
                     s.spawn(move || {
-                        let mut best = None;
-                        let (mut evaluated, mut pruned) = (0, 0);
-                        while let Some((start, end)) = queue.claim(chunk) {
-                            scan(
-                                eval,
-                                start..end,
-                                bound,
-                                prune,
-                                &mut best,
-                                &mut evaluated,
-                                &mut pruned,
-                            );
+                        let mut state = ScanState::new();
+                        let mut completed = true;
+                        // The claim itself honours the token, so a worker
+                        // stops within one chunk of cancellation instead
+                        // of spinning the queue to exhaustion.
+                        while let Some((start, end)) = queue.claim_unless(chunk, cancel) {
+                            if !scan(eval, start..end, bound, prune, cancel, &mut state) {
+                                completed = false;
+                                break;
+                            }
                         }
-                        (best, evaluated, pruned)
+                        (state.best, state.evaluated, state.pruned, completed)
                     })
                 })
                 .collect();
@@ -365,16 +434,22 @@ impl Engine for ParallelEngine {
 
         let mut best: Option<(L, usize)> = None;
         let (mut evaluated, mut pruned) = (0, 0);
-        for (local, e, p) in results {
+        let mut aborted = false;
+        for (local, e, p, completed) in results {
             evaluated += e;
             pruned += p;
+            aborted |= !completed;
             if let Some(candidate) = local {
                 if best.as_ref().is_none_or(|b| better(&candidate, b)) {
                     best = Some(candidate);
                 }
             }
         }
-        best.map(|(loss, index)| Outcome {
+        // A worker that saw the token mid-scan proves candidates were
+        // skipped; claims refused at the loop head leave the queue
+        // cursor short of the space, which the same check catches.
+        aborted |= cancel.is_cancelled() && evaluated + pruned < space as u64;
+        let outcome = best.map(|(loss, index)| Outcome {
             index,
             loss,
             stats: SearchStats {
@@ -384,7 +459,12 @@ impl Engine for ParallelEngine {
                 cache: eval.cache_stats(),
                 summary: SummaryStats::default(),
             },
-        })
+        });
+        if aborted {
+            SearchResult::Cancelled(outcome)
+        } else {
+            SearchResult::Complete(outcome)
+        }
     }
 }
 
@@ -493,5 +573,85 @@ mod tests {
         let par = minimize(&ParallelEngine::with_threads(4), 4, |i| losses[i]).unwrap();
         assert_eq!(seq.index, 3);
         assert_eq!(par.index, 3);
+    }
+
+    /// An evaluator that fires the shared token after `trip` evaluations
+    /// — the in-band stand-in for a client hanging up mid-search.
+    struct TripWire {
+        cancel: CancelToken,
+        trip: u64,
+        count: std::sync::atomic::AtomicU64,
+    }
+
+    impl CandidateEval<f64> for TripWire {
+        fn eval(&self, index: usize, _b: &SharedBound<f64>) -> Option<f64> {
+            let n = self.count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if n + 1 >= self.trip {
+                self.cancel.cancel();
+            }
+            Some(f64::from(index as u32) + 1.0)
+        }
+    }
+
+    #[test]
+    fn cancelled_searches_return_a_partial_best_without_draining_the_space() {
+        let space = 100_000;
+        for threads in [1, 3] {
+            let cancel = CancelToken::new();
+            let eval = TripWire { cancel: cancel.clone(), trip: 5, count: Default::default() };
+            let result = ParallelEngine { threads, chunk: 2, prune: false }
+                .search_with(space, &eval, &cancel);
+            assert!(result.was_cancelled(), "threads {threads}");
+            let out = result.into_outcome().expect("five candidates scored");
+            assert!(out.loss >= 1.0, "partial best is a really-achieved loss");
+            assert!(
+                out.stats.evaluated + out.stats.pruned < space as u64 / 2,
+                "threads {threads}: workers must stop claiming, stats {:?}",
+                out.stats
+            );
+        }
+    }
+
+    #[test]
+    fn a_pre_cancelled_token_stops_the_search_before_any_evaluation() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let eval = TripWire { cancel: cancel.clone(), trip: u64::MAX, count: Default::default() };
+        for result in [
+            SequentialEngine::exhaustive().search_with(64, &eval, &cancel),
+            ParallelEngine::with_threads(4).search_with(64, &eval, &cancel),
+        ] {
+            assert!(result.was_cancelled());
+            assert!(result.into_outcome().is_none(), "nothing was evaluated");
+        }
+        assert_eq!(eval.count.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn never_tokens_leave_results_complete_and_bit_identical() {
+        let losses: Vec<f64> = (0..33).map(|i| f64::from((i * 13 % 7) as u8)).collect();
+        let reference =
+            minimize(&SequentialEngine::exhaustive(), losses.len(), |i| losses[i]).unwrap();
+        let result = ParallelEngine::with_threads(3).search_with(
+            losses.len(),
+            &FnEval(|i: usize| losses[i]),
+            &CancelToken::never(),
+        );
+        assert!(!result.was_cancelled());
+        let out = result.into_outcome().unwrap();
+        assert_eq!((out.index, out.loss), (reference.index, reference.loss));
+    }
+
+    #[test]
+    fn expired_deadlines_cancel_flat_searches() {
+        let cancel = CancelToken::with_deadline(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        );
+        let result = SequentialEngine::exhaustive().search_with(
+            1_000,
+            &FnEval(|i: usize| i as f64),
+            &cancel,
+        );
+        assert!(result.was_cancelled());
     }
 }

@@ -45,6 +45,7 @@
 
 pub mod bound;
 pub mod cached;
+pub mod cancel;
 pub mod engine;
 pub mod queue;
 pub mod replay;
@@ -53,10 +54,14 @@ pub mod tree;
 
 pub use bound::SharedBound;
 pub use cached::{search_programs_cached, CachedEval};
+pub use cancel::CancelToken;
 pub use engine::{
-    minimize, CandidateEval, Engine, FnEval, Outcome, ParallelEngine, SearchStats, SequentialEngine,
+    minimize, CandidateEval, Engine, FnEval, Outcome, ParallelEngine, SearchResult, SearchStats,
+    SequentialEngine,
 };
 pub use queue::WorkQueue;
 pub use replay::{search_programs, CacheStatsSink, SelEval};
 pub use threads::{configured_threads, THREADS_ENV};
-pub use tree::{parallel_subtrees, SummaryProbe, TreeEngine, TreeEval, TreeStep};
+pub use tree::{
+    parallel_subtrees, parallel_subtrees_with, SummaryProbe, TreeEngine, TreeEval, TreeStep,
+};

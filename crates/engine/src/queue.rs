@@ -11,6 +11,7 @@
 //! exhaustion absorbing: once the cursor reaches `space` every later
 //! claim returns `None`, forever, on any thread.
 
+use crate::cancel::CancelToken;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A chunked work queue over the index space `0..space`.
@@ -42,6 +43,23 @@ impl WorkQueue {
             })
             .ok()?;
         Some((start, start.saturating_add(chunk).min(self.space)))
+    }
+
+    /// [`WorkQueue::claim`], refused once `cancel` has fired: a worker
+    /// loop driven by this claim stops within one chunk of cancellation
+    /// instead of spinning the queue to exhaustion for a caller that is
+    /// no longer listening. Work left unclaimed stays claimable (the
+    /// cursor is untouched), so counters and any later drain remain
+    /// consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`, like [`WorkQueue::claim`].
+    pub fn claim_unless(&self, chunk: usize, cancel: &CancelToken) -> Option<(usize, usize)> {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        self.claim(chunk)
     }
 }
 
@@ -102,5 +120,37 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn zero_chunks_are_rejected() {
         let _ = WorkQueue::new(5).claim(0);
+    }
+
+    #[test]
+    fn cancelled_tokens_stop_claims_with_work_remaining() {
+        let q = WorkQueue::new(1000);
+        let cancel = CancelToken::new();
+        assert_eq!(q.claim_unless(7, &cancel), Some((0, 7)));
+        cancel.cancel();
+        assert_eq!(q.claim_unless(7, &cancel), None, "cancellation refuses the claim");
+        assert_eq!(q.claim_unless(1, &cancel), None, "…permanently");
+        // The refused work was not consumed: an un-cancelled claimant
+        // resumes exactly where the cursor stopped.
+        assert_eq!(q.claim_unless(7, &CancelToken::never()), Some((7, 14)));
+    }
+
+    #[test]
+    fn worker_loops_exit_promptly_on_cancel_instead_of_draining_the_queue() {
+        // A worker loop over a 10k-index queue whose very first work item
+        // fires the token (e.g. the caller hung up). The loop must stop
+        // at its next claim — a pre-fix loop would spin all 10k indices
+        // to exhaustion for a caller that is no longer listening.
+        let q = WorkQueue::new(10_000);
+        let cancel = CancelToken::new();
+        let mut claimed = 0;
+        while let Some((start, end)) = q.claim_unless(3, &cancel) {
+            claimed += end - start;
+            if start == 0 {
+                cancel.cancel(); // the caller disappears mid-queue
+            }
+        }
+        assert_eq!(claimed, 3, "exactly one chunk ran; the rest was abandoned");
+        assert_eq!(q.claim(1), Some((3, 4)), "abandoned work was never claimed");
     }
 }

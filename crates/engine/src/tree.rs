@@ -49,7 +49,8 @@
 //! ties included.
 
 use crate::bound::SharedBound;
-use crate::engine::{Outcome, SearchStats};
+use crate::cancel::CancelToken;
+use crate::engine::{Outcome, SearchResult, SearchStats};
 use crate::queue::WorkQueue;
 use crate::threads::configured_threads;
 use selc::OrderedLoss;
@@ -262,8 +263,25 @@ impl TreeEngine {
     /// Argmin over the tree's leaves under the deterministic
     /// `(loss, representative index)` reduction. `None` only when the
     /// evaluator prunes every path (a violation of the strict-domination
-    /// contract, but kept non-panicking like the flat engines).
+    /// contract, but kept non-panicking like the flat engines). Runs
+    /// under a token that can never fire; see [`TreeEngine::search_with`]
+    /// for deadline/disconnect cancellation.
     pub fn search<L, T>(&self, eval: &T) -> Option<Outcome<L>>
+    where
+        L: OrderedLoss,
+        T: TreeEval<L>,
+    {
+        self.search_with(eval, &CancelToken::never()).into_outcome()
+    }
+
+    /// [`TreeEngine::search`] under a [`CancelToken`], checked at every
+    /// interior node alongside the shared bound. When the token fires
+    /// the walk unwinds with the best leaf seen so far
+    /// ([`SearchResult::Cancelled`]); aborted subtrees return as inexact
+    /// with no lower bound, so **no summary is installed along the abort
+    /// path** — a cancelled search can tighten caches (its completed
+    /// leaves and subtrees are real) but never poison them.
+    pub fn search_with<L, T>(&self, eval: &T, cancel: &CancelToken) -> SearchResult<L>
     where
         L: OrderedLoss,
         T: TreeEval<L>,
@@ -289,8 +307,14 @@ impl TreeEngine {
                 bound.observe_bits(bits);
             }
         }
-        let walker =
-            Walker { eval, bound: &bound, prune: self.prune, summaries: self.summaries, depth };
+        let walker = Walker {
+            eval,
+            bound: &bound,
+            prune: self.prune,
+            summaries: self.summaries,
+            depth,
+            cancel,
+        };
 
         let mut parts: Vec<Partial<L>> = if threads == 1 {
             let mut part = Partial::default();
@@ -308,7 +332,10 @@ impl TreeEngine {
                         let (queue, walker) = (&queue, &walker);
                         s.spawn(move || {
                             let mut part = Partial::default();
-                            while let Some((start, end)) = queue.claim(1) {
+                            // The claim honours the token: a cancelled
+                            // worker stops after its current subtree
+                            // instead of draining the prefix queue.
+                            while let Some((start, end)) = queue.claim_unless(1, cancel) {
                                 debug_assert_eq!(end, start + 1);
                                 let sub = walker.dfs(
                                     walker.eval.enter(start as u64, split),
@@ -319,6 +346,9 @@ impl TreeEngine {
                                 if let Some(candidate) = sub.best {
                                     part.merge(candidate);
                                 }
+                                if part.aborted {
+                                    break;
+                                }
                             }
                             part
                         })
@@ -328,6 +358,15 @@ impl TreeEngine {
                     parts.push(h.join().expect("tree worker panicked"));
                 }
             });
+            // Subtrees never claimed because the token fired at the
+            // queue are aborted work too, even if no walker saw the
+            // flag mid-DFS; an undrained queue after the pool exits
+            // proves claims were refused.
+            if queue.claim(1).is_some() {
+                if let Some(p) = parts.first_mut() {
+                    p.aborted = true;
+                }
+            }
             parts
         };
 
@@ -335,12 +374,13 @@ impl TreeEngine {
         for part in parts.drain(..) {
             merged.evaluated += part.evaluated;
             merged.pruned += part.pruned;
+            merged.aborted |= part.aborted;
             merged.summary = merged.summary.merged(&part.summary);
             if let Some(candidate) = part.best {
                 merged.merge(candidate);
             }
         }
-        merged.best.map(|(loss, index)| Outcome {
+        let outcome = merged.best.map(|(loss, index)| Outcome {
             index,
             loss,
             stats: SearchStats {
@@ -350,23 +390,36 @@ impl TreeEngine {
                 cache: eval.cache_stats(),
                 summary: merged.summary,
             },
-        })
+        });
+        if merged.aborted {
+            SearchResult::Cancelled(outcome)
+        } else {
+            SearchResult::Complete(outcome)
+        }
     }
 }
 
 /// One worker's accumulator: local best plus counters (`evaluated` =
 /// canonical leaves scored, `pruned` = subtrees or leaves skipped,
-/// `summary` = interior-node summary traffic).
+/// `summary` = interior-node summary traffic, `aborted` = the cancel
+/// token fired mid-walk and some subtree was left unexplored).
 struct Partial<L> {
     best: Option<(L, usize)>,
     evaluated: u64,
     pruned: u64,
     summary: SummaryStats,
+    aborted: bool,
 }
 
 impl<L> Default for Partial<L> {
     fn default() -> Self {
-        Partial { best: None, evaluated: 0, pruned: 0, summary: SummaryStats::default() }
+        Partial {
+            best: None,
+            evaluated: 0,
+            pruned: 0,
+            summary: SummaryStats::default(),
+            aborted: false,
+        }
     }
 }
 
@@ -384,6 +437,7 @@ struct Walker<'a, L, T> {
     prune: bool,
     summaries: bool,
     depth: u32,
+    cancel: &'a CancelToken,
 }
 
 /// What one subtree reduced to, threaded back up the DFS so every parent
@@ -440,6 +494,15 @@ impl<L: OrderedLoss, T: TreeEval<L>> Walker<'_, L, T> {
                 Sub { best: Some((loss.clone(), index)), lb: Some(loss), exact: true }
             }
             TreeStep::Node { node, hint } => {
+                // The cancellation check sits where the bound checks do:
+                // once per interior node. An aborted subtree reports
+                // itself inexact with no lower bound, so no ancestor can
+                // install a summary over the hole it leaves — the
+                // cancellation-soundness half of the install rules.
+                if self.cancel.is_cancelled() {
+                    part.aborted = true;
+                    return Sub { best: None, lb: None, exact: false };
+                }
                 if self.summaries {
                     match self.eval.probe_summary(bits, len) {
                         SummaryProbe::Exact { loss, index } => {
@@ -499,7 +562,13 @@ impl<L: OrderedLoss, T: TreeEval<L>> Walker<'_, L, T> {
                     [(t_step, t_bits), (f_step, f_bits)]
                 };
                 let a = self.dfs(first, first_bits, len + 1, part);
-                let b = self.dfs(second, second_bits, len + 1, part);
+                let b = if part.aborted {
+                    // Unwind without touching the sibling: its expansion
+                    // already happened (cheap), but its subtree has not.
+                    Sub { best: None, lb: None, exact: false }
+                } else {
+                    self.dfs(second, second_bits, len + 1, part)
+                };
 
                 let mut best = a.best;
                 if let Some(candidate) = b.best {
@@ -574,10 +643,40 @@ where
     R: Send,
     F: Fn(usize) -> R + Send + Sync,
 {
+    parallel_subtrees_with(threads, count, &CancelToken::never(), task)
+        .expect("a never token cannot cancel")
+}
+
+/// [`parallel_subtrees`] under a [`CancelToken`]: workers stop claiming
+/// subtrees once the token fires (within one task of cancellation) and
+/// the call returns `None` — an incomplete task-result vector has no
+/// deterministic merge, so cancellation yields nothing rather than a
+/// silently partial fold. `Some` results are always complete.
+///
+/// # Panics
+///
+/// Panics if a task panics.
+pub fn parallel_subtrees_with<R, F>(
+    threads: usize,
+    count: usize,
+    cancel: &CancelToken,
+    task: F,
+) -> Option<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
     let threads =
         (if threads == 0 { configured_threads() } else { threads }).max(1).min(count.max(1));
     if threads <= 1 {
-        return (0..count).map(&task).collect();
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            if cancel.is_cancelled() {
+                return None;
+            }
+            out.push(task(i));
+        }
+        return Some(out);
     }
     let queue = WorkQueue::new(count);
     let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
@@ -585,17 +684,18 @@ where
         for _ in 0..threads {
             let (queue, slots, task) = (&queue, &slots, &task);
             s.spawn(move || {
-                while let Some((i, _)) = queue.claim(1) {
+                while let Some((i, _)) = queue.claim_unless(1, cancel) {
                     let r = task(i);
                     *slots[i].lock().expect("subtree slot poisoned") = Some(r);
                 }
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("subtree slot poisoned").expect("every subtree ran"))
-        .collect()
+    let mut out = Vec::with_capacity(count);
+    for slot in slots {
+        out.push(slot.into_inner().expect("subtree slot poisoned")?);
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -940,5 +1040,98 @@ mod tests {
             assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>(), "threads {threads}");
         }
         assert!(parallel_subtrees(3, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn cancelled_parallel_subtrees_return_none_instead_of_a_partial_fold() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        for threads in [1, 3] {
+            assert!(
+                parallel_subtrees_with(threads, 10, &cancel, |i| i).is_none(),
+                "threads {threads}"
+            );
+        }
+        assert_eq!(
+            parallel_subtrees_with(2, 4, &CancelToken::never(), |i| i + 1),
+            Some(vec![1, 2, 3, 4])
+        );
+    }
+
+    #[test]
+    fn cancelled_tree_searches_unwind_without_installing_summaries() {
+        // The token fires before the walk starts: every interior node
+        // aborts, nothing is evaluated, and — the soundness half — not
+        // one summary is installed over the unexplored holes.
+        let eval = SummaryTree::new(table(3, 64), false);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        for engine in [
+            TreeEngine { threads: 1, prune: true, split: 0, summaries: true },
+            TreeEngine { threads: 3, prune: true, split: 2, summaries: true },
+        ] {
+            let result = engine.search_with(&eval, &cancel);
+            assert!(result.was_cancelled(), "{engine:?}");
+            assert!(eval.table.lock().unwrap().is_empty(), "no summary installed: {engine:?}");
+        }
+        // A later, un-cancelled search over the same evaluator is
+        // bit-identical to a cold run — nothing was poisoned.
+        let flat = minimize(&SequentialEngine::exhaustive(), 64, |i| eval.inner.losses[i]).unwrap();
+        let out = TreeEngine { threads: 2, prune: true, split: 2, summaries: true }
+            .search(&eval)
+            .unwrap();
+        assert_eq!((out.index, out.loss), (flat.index, flat.loss));
+    }
+
+    #[test]
+    fn mid_walk_cancellation_returns_a_partial_best_and_skips_the_rest() {
+        /// Fires the shared token after `trip` leaf evaluations.
+        struct Tripping {
+            inner: TableTree,
+            cancel: CancelToken,
+            trip: u64,
+            count: std::sync::atomic::AtomicU64,
+        }
+        impl TreeEval<f64> for Tripping {
+            type Node = (u64, u32);
+            fn depth(&self) -> u32 {
+                self.inner.depth()
+            }
+            fn enter(&self, prefix: u64, len: u32) -> TreeStep<(u64, u32), f64> {
+                self.inner.enter(prefix, len)
+            }
+            fn child(
+                &self,
+                node: &(u64, u32),
+                decision: bool,
+                path: u64,
+                len: u32,
+            ) -> TreeStep<(u64, u32), f64> {
+                let step = self.inner.child(node, decision, path, len);
+                if matches!(step, TreeStep::Leaf { .. }) {
+                    let n = self.count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if n + 1 >= self.trip {
+                        self.cancel.cancel();
+                    }
+                }
+                step
+            }
+        }
+        let cancel = CancelToken::new();
+        let eval = Tripping {
+            inner: TableTree::new(table(7, 1 << 12), false),
+            cancel: cancel.clone(),
+            trip: 4,
+            count: Default::default(),
+        };
+        let result = TreeEngine { threads: 1, prune: false, split: 0, summaries: false }
+            .search_with(&eval, &cancel);
+        assert!(result.was_cancelled());
+        let out = result.into_outcome().expect("some leaves scored before the trip");
+        assert!(
+            out.stats.evaluated < 64,
+            "the 4096-leaf walk stopped near the trip: {:?}",
+            out.stats
+        );
     }
 }

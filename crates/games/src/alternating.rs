@@ -321,6 +321,107 @@ impl GameTree {
         (play, value, leaves)
     }
 
+    /// [`GameTree::solve_alphabeta_tt_stats`] under a
+    /// `selc_engine::CancelToken`, checked at every interior node like
+    /// the tree engine's walker. Returns `None` when the token fired
+    /// mid-solve: minimax has no sound "best seen so far" (an unexplored
+    /// sibling can change every ancestor's value), so a cancelled solve
+    /// yields nothing rather than a wrong play. Soundness against the
+    /// table: an aborted node returns **before** computing or storing a
+    /// value, and the abort propagates straight up, so no entry derived
+    /// from a partially-searched node is ever stored — entries written
+    /// by completed siblings earlier in the solve are real resolutions
+    /// and stay valid for the next request.
+    pub fn solve_alphabeta_tt_cancellable(
+        &self,
+        cache: &AbCache,
+        cancel: &selc_engine::CancelToken,
+    ) -> Option<(Vec<usize>, f64, u64)> {
+        let mut path = Vec::new();
+        let mut leaves = 0;
+        let (play, value) = self.alphabeta_tt_cancellable_at(
+            &mut path,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            &mut leaves,
+            cache,
+            cancel,
+        )?;
+        Some((play, value, leaves))
+    }
+
+    fn alphabeta_tt_cancellable_at(
+        &self,
+        path: &mut Vec<usize>,
+        alpha0: f64,
+        beta0: f64,
+        leaves: &mut u64,
+        cache: &AbCache,
+        cancel: &selc_engine::CancelToken,
+    ) -> Option<(Vec<usize>, f64)> {
+        if path.len() == self.depth {
+            *leaves += 1;
+            return Some((path.clone(), self.leaf(path)));
+        }
+        if cancel.is_cancelled() {
+            return None; // nothing computed here, nothing stored
+        }
+        if let Some(e) = cache.lookup(path) {
+            let usable = match e.flag {
+                AbFlag::Exact => true,
+                AbFlag::Lower => e.value > beta0,
+                AbFlag::Upper => e.value < alpha0,
+            };
+            if usable {
+                return Some((e.play, e.value));
+            }
+        }
+        let maximising = path.len().is_multiple_of(2);
+        let (mut alpha, mut beta) = (alpha0, beta0);
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        for m in 0..self.branching {
+            path.push(m);
+            let r = self.alphabeta_tt_cancellable_at(path, alpha, beta, leaves, cache, cancel);
+            path.pop();
+            let (p, v) = r?; // a cancelled child unwinds the whole solve
+            let better = match &best {
+                None => true,
+                Some((_, bv)) => {
+                    if maximising {
+                        v > *bv
+                    } else {
+                        v < *bv
+                    }
+                }
+            };
+            if better {
+                best = Some((p, v));
+            }
+            let bv = best.as_ref().expect("just set").1;
+            if maximising {
+                alpha = alpha.max(bv);
+                if bv > beta {
+                    break;
+                }
+            } else {
+                beta = beta.min(bv);
+                if bv < alpha {
+                    break;
+                }
+            }
+        }
+        let (play, value) = best.expect("branching > 0");
+        let flag = if value > beta0 {
+            AbFlag::Lower
+        } else if value < alpha0 {
+            AbFlag::Upper
+        } else {
+            AbFlag::Exact
+        };
+        cache.store(path.clone(), AbEntry { play: play.clone(), value, flag });
+        Some((play, value))
+    }
+
     fn alphabeta_tt(
         &self,
         path: &mut Vec<usize>,
@@ -654,6 +755,44 @@ mod tests {
 
     fn t_solve(t: &GameTree, cache: &AbCache) -> (Vec<usize>, f64) {
         t.solve_alphabeta_tt(cache)
+    }
+
+    #[test]
+    fn cancellable_solver_matches_the_plain_one_under_a_never_token() {
+        for seed in 0..10 {
+            let t = GameTree::random(3, 5, seed);
+            let reference = t.solve_backward();
+            let cache = AbCache::unbounded(4);
+            let (play, value, _) = t
+                .solve_alphabeta_tt_cancellable(&cache, &selc_engine::CancelToken::never())
+                .expect("never token cannot cancel");
+            assert_eq!((play, value), reference, "seed {seed}");
+            // And the entries it stored warm the plain solver.
+            let (_, _, warm) = t.solve_alphabeta_tt_stats(&cache);
+            assert_eq!(warm, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cancelled_solves_return_none_without_poisoning_the_table() {
+        let t = GameTree::random(3, 6, 5);
+        let reference = t.solve_backward();
+        let cache = AbCache::unbounded(4);
+        let dead = selc_engine::CancelToken::never();
+        dead.cancel();
+        assert_eq!(t.solve_alphabeta_tt_cancellable(&cache, &dead), None);
+        // A token that fires mid-solve (after some entries are stored)
+        // must also abort without a wrong answer or a poisoned entry:
+        // simulate by cancelling between two solves of sibling subgames.
+        let mid = selc_engine::CancelToken::never();
+        let warmup = GameTree::random(3, 6, 5);
+        let _ = warmup.solve_alphabeta_tt_cancellable(&cache, &mid);
+        mid.cancel();
+        assert_eq!(t.solve_alphabeta_tt_cancellable(&cache, &mid), None);
+        // Whatever the aborted runs left behind, an un-cancelled solve
+        // on the same handle is still bit-identical to the reference.
+        let (play, value, _) = t.solve_alphabeta_tt_stats(&cache);
+        assert_eq!((play, value), reference);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use lambda_c::machine::{ChoicePoint, Explored, MachinePrune};
 use lambda_c::MachError;
 use selc_cache::{CacheStats, SubtreeSummary};
 use selc_engine::tree::{SummaryProbe, TreeEngine, TreeEval, TreeStep};
-use selc_engine::Outcome;
+use selc_engine::{CancelToken, Outcome, SearchResult};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -243,6 +243,29 @@ pub fn search_compiled_cached(
     Some((outcome, value))
 }
 
+/// [`search_compiled_cached`] under a [`CancelToken`]: the request-budget
+/// entry point of the serve layer. The token is checked at every
+/// interior node of the walk, so a deadline or disconnect aborts within
+/// one machine segment; a cancelled search returns
+/// [`SearchResult::Cancelled`] with the best leaf seen so far (a really
+/// achieved loss, not the argmin). Everything a cancelled run stored —
+/// completed leaves, fully-evaluated subtree summaries, the best-seen
+/// mirror — is sound, so the table stays warm and unpoisoned for the
+/// next request (see `selc_engine::cancel`).
+pub fn search_compiled_cached_with(
+    engine: &TreeEngine,
+    cands: &LcCandidates,
+    cache: &LcTransCache,
+    nonneg: bool,
+    cancel: &CancelToken,
+) -> SearchResult<OrdLossVal> {
+    let mut eval = LcTreeEval::new(cands.clone()).with_cache(cache);
+    if nonneg {
+        eval = eval.assuming_nonneg_losses();
+    }
+    engine.search_with(&eval, cancel)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +334,31 @@ mod tests {
         assert_eq!((warm_tree.index, warm_tree.loss.clone()), (cold.index, cold.loss));
         assert_eq!(tv, value);
         assert!(warm_tree.stats.cache.hits > 0, "stats: {:?}", warm_tree.stats);
+    }
+
+    #[test]
+    fn cancelled_compiled_searches_time_out_without_poisoning_the_table() {
+        let cands = chain_candidates(10);
+        let (reference, _) = search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
+        let cache = LcTransCache::unbounded(4);
+        // A pre-expired deadline: the walk aborts at its first interior
+        // node, so (at most) a stray leaf scores and no summary lands.
+        let expired = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let engine = TreeEngine::with_threads(2);
+        let result = search_compiled_cached_with(&engine, &cands, &cache, true, &expired);
+        assert!(result.was_cancelled());
+        // The very next un-cancelled search over the same warm handle is
+        // bit-identical to the sequential cold reference — whatever the
+        // aborted run cached was sound.
+        let (out, _) = search_compiled_cached(&engine, &cands, &cache, true).unwrap();
+        assert_eq!((out.index, out.loss.clone()), (reference.index, reference.loss.clone()));
+        // And an explicitly complete run through the cancellable entry
+        // reports Complete with the same winner.
+        let again =
+            search_compiled_cached_with(&engine, &cands, &cache, true, &CancelToken::never());
+        assert!(!again.was_cancelled());
+        let out = again.into_outcome().unwrap();
+        assert_eq!((out.index, out.loss), (reference.index, reference.loss));
     }
 
     #[test]

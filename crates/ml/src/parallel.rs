@@ -29,7 +29,8 @@ use crate::hyper::{probe_grid_argmin, Lr};
 use crate::linreg::sgd_step;
 use selc::{handle, CacheStats, Handler, MemoChoice, Replay, Sel, ShardedCache, SharedCache};
 use selc_engine::{
-    CacheStatsSink, CandidateEval, Engine, Outcome, ParallelEngine, SearchStats, SharedBound,
+    CacheStatsSink, CancelToken, CandidateEval, Engine, Outcome, ParallelEngine, SearchResult,
+    SearchStats, SharedBound,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -384,6 +385,37 @@ pub fn tune_training_run_cached<G: Engine>(
     TuneOutcome { alpha: eval.inner.grid[out.index], err: out.loss, stats: out.stats }
 }
 
+/// [`tune_training_run`] under a deadline: the engine checks `cancel`
+/// candidate-by-candidate alongside the shared bound. A completed search
+/// returns `Some` with the usual bit-identical winner; a cancelled one
+/// returns `None` — a partial grid scan has no deterministic winner (the
+/// true minimiser may sit among the unevaluated rates), so a timed-out
+/// tune yields nothing rather than a rate that depends on where the
+/// clock fired.
+///
+/// # Panics
+///
+/// Panics if `grid` is empty.
+pub fn tune_training_run_with<G: Engine>(
+    engine: &G,
+    grid: Vec<f64>,
+    data: &Dataset,
+    init: (f64, f64),
+    epochs: usize,
+    cancel: &CancelToken,
+) -> Option<TuneOutcome> {
+    assert!(!grid.is_empty(), "tune_training_run_with needs at least one candidate rate");
+    let n = grid.len();
+    let eval = TrainEval { grid, data: Arc::new(data.clone()), init, epochs, prune: true };
+    match engine.search_with(n, &eval, cancel) {
+        SearchResult::Complete(out) => {
+            let out = out.expect("non-empty grid");
+            Some(TuneOutcome { alpha: eval.grid[out.index], err: out.loss, stats: out.stats })
+        }
+        SearchResult::Cancelled(_) => None,
+    }
+}
+
 /// The default-pool (`SELC_THREADS`) entry point for
 /// [`tune_training_run`].
 pub fn tune_training_run_parallel(
@@ -547,6 +579,33 @@ mod tests {
         );
         assert_eq!((fresh.alpha, fresh.err), (uncached.alpha, uncached.err));
         assert_eq!(fresh.stats.cache.hits, 0, "post-epoch search recomputes");
+    }
+
+    #[test]
+    fn deadline_tuner_completes_bit_identically_or_returns_none() {
+        let data = Dataset::linear(24, 2.0, -1.0, 0.0, 7);
+        let grid = vec![2.0, 1.5, 0.05, 1.2, 1.9];
+        let reference =
+            tune_training_run(&SequentialEngine::exhaustive(), grid.clone(), &data, (0.0, 0.0), 2);
+        for eng in engines() {
+            let done = tune_training_run_with(
+                &eng,
+                grid.clone(),
+                &data,
+                (0.0, 0.0),
+                2,
+                &CancelToken::never(),
+            )
+            .expect("never token cannot cancel");
+            assert_eq!((done.alpha, done.err), (reference.alpha, reference.err));
+            let dead = CancelToken::never();
+            dead.cancel();
+            assert_eq!(
+                tune_training_run_with(&eng, grid.clone(), &data, (0.0, 0.0), 2, &dead),
+                None,
+                "a pre-cancelled tune must not report a winner"
+            );
+        }
     }
 
     #[test]

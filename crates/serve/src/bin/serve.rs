@@ -1,0 +1,30 @@
+//! `selc-serve` — run the search service from the command line.
+//!
+//! Configuration is entirely environmental (the workspace's knob
+//! style): `SELC_SERVE_PORT`, `SELC_SERVE_WORKERS`,
+//! `SELC_SERVE_MAX_SESSIONS` shape the server; `SELC_THREADS` and
+//! `SELC_CACHE_{SHARDS,CAP}` shape each search and tenant cache, as
+//! everywhere else. The process serves until killed.
+
+use selc_serve::{ServeConfig, Server};
+
+fn main() {
+    let config = ServeConfig::from_env();
+    let server = match Server::spawn(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("selc-serve: cannot bind 127.0.0.1:{}: {e}", config.port);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "selc-serve listening on {} ({} workers, {} max sessions)",
+        server.addr(),
+        config.workers,
+        config.max_sessions
+    );
+    // Serve until the process is killed; the threads do all the work.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,520 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message — request or response — travels as one **frame**: a
+//! 4-byte big-endian payload length followed by the payload, capped at
+//! [`MAX_FRAME`] bytes. All multi-byte integers are big-endian; losses
+//! cross the wire as IEEE-754 bit patterns (`f64::to_bits`), so a
+//! served winner is comparable *bit-for-bit* against a direct engine
+//! call — the protocol never rounds through text.
+//!
+//! Request payload:
+//!
+//! ```text
+//! opcode:u8
+//!   1 = Search    tenant:u64  deadline_ms:u32 (0 = none)  workload
+//!   2 = BumpEpoch tenant:u64
+//! workload: tag:u8
+//!   1 = Chain  choices:u8                      (compiled λC decide chain)
+//!   2 = Game   branching:u8 depth:u8 seed:u64  (alternating game tree)
+//! ```
+//!
+//! Response payload:
+//!
+//! ```text
+//! status:u8
+//!   0 = Ok          index:u64  loss:u64 (f64 bits)  stats:12×u64
+//!   1 = Timeout     has_partial:u8  [index:u64  loss:u64]
+//!   2 = Busy
+//!   3 = Malformed   len:u16  msg:utf8
+//!   4 = Error       len:u16  msg:utf8
+//!   5 = EpochBumped epoch:u64
+//! ```
+//!
+//! Decoding is total: every error path is a `Result`, never a panic, so
+//! a malformed frame costs the client an error response — not the
+//! server its accept loop.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame payload. Every legal message fits in a fraction
+/// of this; a larger announced length is rejected *before* allocation,
+/// so a hostile header cannot balloon server memory.
+pub const MAX_FRAME: usize = 4096;
+
+/// A search workload the server can run against a tenant's caches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// `lambda_c::testgen::deep_decide_chain(choices)` compiled and
+    /// searched on the tree engine (space `2^choices`).
+    Chain {
+        /// Nested decisions; validated to `1..=24`.
+        choices: u8,
+    },
+    /// `selc_games::GameTree::random(branching, depth, seed)` solved by
+    /// flagged-table alpha-beta.
+    Game {
+        /// Moves per ply; validated to `1..=8`.
+        branching: u8,
+        /// Plies; validated so `branching^depth <= 2^20`.
+        depth: u8,
+        /// Leaf-generation seed (part of the tenant's game key).
+        seed: u64,
+    },
+}
+
+/// A client request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Run `workload` for `tenant`, cancelling after `deadline_ms`
+    /// milliseconds (0 = no deadline).
+    Search {
+        /// Tenant whose warm caches serve this search.
+        tenant: u64,
+        /// Milliseconds until the search's `CancelToken` fires; 0 never.
+        deadline_ms: u32,
+        /// What to search.
+        workload: Workload,
+    },
+    /// Invalidate every cache of `tenant` (and only `tenant`).
+    BumpEpoch {
+        /// Tenant to invalidate.
+        tenant: u64,
+    },
+}
+
+/// Engine telemetry on the wire: [`selc_engine::SearchStats`] flattened
+/// to twelve `u64`s (threads widened) so the frame layout is fixed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field names mirror SearchStats/CacheStats/SummaryStats
+pub struct WireStats {
+    pub evaluated: u64,
+    pub pruned: u64,
+    pub threads: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_insertions: u64,
+    pub cache_evictions: u64,
+    pub summary_exact_hits: u64,
+    pub summary_bound_hits: u64,
+    pub summary_misses: u64,
+    pub summary_exact_installs: u64,
+    pub summary_bound_installs: u64,
+}
+
+impl WireStats {
+    fn fields(&self) -> [u64; 12] {
+        [
+            self.evaluated,
+            self.pruned,
+            self.threads,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_insertions,
+            self.cache_evictions,
+            self.summary_exact_hits,
+            self.summary_bound_hits,
+            self.summary_misses,
+            self.summary_exact_installs,
+            self.summary_bound_installs,
+        ]
+    }
+
+    fn from_fields(f: [u64; 12]) -> WireStats {
+        WireStats {
+            evaluated: f[0],
+            pruned: f[1],
+            threads: f[2],
+            cache_hits: f[3],
+            cache_misses: f[4],
+            cache_insertions: f[5],
+            cache_evictions: f[6],
+            summary_exact_hits: f[7],
+            summary_bound_hits: f[8],
+            summary_misses: f[9],
+            summary_exact_installs: f[10],
+            summary_bound_installs: f[11],
+        }
+    }
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The search completed; winner and telemetry.
+    Ok {
+        /// Winning candidate index (leaf index for game trees).
+        index: u64,
+        /// Winner's loss (game value for trees), bit-exact.
+        loss: f64,
+        /// This search's telemetry, including the tenant-cache deltas.
+        stats: WireStats,
+    },
+    /// The deadline fired first. Flat/tree searches may carry the best
+    /// candidate seen before the abort; minimax never does (a partial
+    /// solve has no sound best — see
+    /// `GameTree::solve_alphabeta_tt_cancellable`).
+    Timeout {
+        /// Best `(index, loss)` observed before cancellation, if sound.
+        partial: Option<(u64, f64)>,
+    },
+    /// Admission control refused the connection (too many sessions).
+    Busy,
+    /// The request frame did not decode or failed validation; the
+    /// session stays open.
+    Malformed(String),
+    /// The request was well-formed but the server could not run it.
+    Error(String),
+    /// Epoch bump acknowledged with the tenant's new leaf-cache epoch.
+    EpochBumped {
+        /// The tenant's new epoch.
+        epoch: u64,
+    },
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` is a clean EOF *between*
+/// frames (the peer hung up); EOF mid-frame, an oversized announced
+/// length, or any transport error is `Err`.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut hdr = [0u8; 4];
+    match r.read_exact(&mut hdr) {
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        other => other?,
+    }
+    let len = u32::from_be_bytes(hdr) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+/// Writes one length-prefixed frame. Header and payload go out in a
+/// *single* write: split across two, Nagle holds the second tiny write
+/// hostage to the peer's delayed ACK of the first, turning every
+/// microsecond-scale warm request into a ~40ms round-trip.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME`] — server- and client-built
+/// payloads are all far smaller, so an oversized one is a logic error.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME, "oversized outgoing frame");
+    let mut wire = Vec::with_capacity(4 + payload.len());
+    wire.extend_from_slice(&u32::try_from(payload.len()).expect("<= MAX_FRAME").to_be_bytes());
+    wire.extend_from_slice(payload);
+    w.write_all(&wire)?;
+    w.flush()
+}
+
+/// A little-decoder over a payload: every read is bounds-checked and
+/// reports *what* was missing, so truncation errors are diagnosable
+/// from the client side.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take<const N: usize>(&mut self, what: &str) -> Result<[u8; N], String> {
+        let end = self.at.checked_add(N).filter(|e| *e <= self.buf.len());
+        let end = end.ok_or_else(|| format!("truncated payload: missing {what}"))?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[self.at..end]);
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take::<1>(what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, String> {
+        Ok(u16::from_be_bytes(self.take(what)?))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        Ok(u32::from_be_bytes(self.take(what)?))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        Ok(u64::from_be_bytes(self.take(what)?))
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes after the message", self.buf.len() - self.at))
+        }
+    }
+}
+
+impl Workload {
+    fn encode_into(self, out: &mut Vec<u8>) {
+        match self {
+            Workload::Chain { choices } => {
+                out.push(1);
+                out.push(choices);
+            }
+            Workload::Game { branching, depth, seed } => {
+                out.push(2);
+                out.push(branching);
+                out.push(depth);
+                out.extend_from_slice(&seed.to_be_bytes());
+            }
+        }
+    }
+
+    fn decode_from(c: &mut Cursor<'_>) -> Result<Workload, String> {
+        match c.u8("workload tag")? {
+            1 => Ok(Workload::Chain { choices: c.u8("chain choices")? }),
+            2 => Ok(Workload::Game {
+                branching: c.u8("game branching")?,
+                depth: c.u8("game depth")?,
+                seed: c.u64("game seed")?,
+            }),
+            t => Err(format!("unknown workload tag {t}")),
+        }
+    }
+}
+
+impl Request {
+    /// Serialises the request payload (no length prefix).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match *self {
+            Request::Search { tenant, deadline_ms, workload } => {
+                out.push(1);
+                out.extend_from_slice(&tenant.to_be_bytes());
+                out.extend_from_slice(&deadline_ms.to_be_bytes());
+                workload.encode_into(&mut out);
+            }
+            Request::BumpEpoch { tenant } => {
+                out.push(2);
+                out.extend_from_slice(&tenant.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a request payload; the error string is what the server
+    /// echoes back in a [`Response::Malformed`].
+    pub fn decode(payload: &[u8]) -> Result<Request, String> {
+        let mut c = Cursor { buf: payload, at: 0 };
+        let req = match c.u8("opcode")? {
+            1 => Request::Search {
+                tenant: c.u64("tenant id")?,
+                deadline_ms: c.u32("deadline")?,
+                workload: Workload::decode_from(&mut c)?,
+            },
+            2 => Request::BumpEpoch { tenant: c.u64("tenant id")? },
+            op => return Err(format!("unknown opcode {op}")),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+fn encode_msg(out: &mut Vec<u8>, msg: &str) {
+    let bytes = msg.as_bytes();
+    let take = bytes.len().min(512); // keep even hostile echoes frame-safe
+    let mut end = take;
+    while end > 0 && !msg.is_char_boundary(end) {
+        end -= 1;
+    }
+    out.extend_from_slice(&u16::try_from(end).expect("<= 512").to_be_bytes());
+    out.extend_from_slice(&bytes[..end]);
+}
+
+impl Response {
+    /// Serialises the response payload (no length prefix).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        match self {
+            Response::Ok { index, loss, stats } => {
+                out.push(0);
+                out.extend_from_slice(&index.to_be_bytes());
+                out.extend_from_slice(&loss.to_bits().to_be_bytes());
+                for f in stats.fields() {
+                    out.extend_from_slice(&f.to_be_bytes());
+                }
+            }
+            Response::Timeout { partial } => {
+                out.push(1);
+                match partial {
+                    None => out.push(0),
+                    Some((index, loss)) => {
+                        out.push(1);
+                        out.extend_from_slice(&index.to_be_bytes());
+                        out.extend_from_slice(&loss.to_bits().to_be_bytes());
+                    }
+                }
+            }
+            Response::Busy => out.push(2),
+            Response::Malformed(msg) => {
+                out.push(3);
+                encode_msg(&mut out, msg);
+            }
+            Response::Error(msg) => {
+                out.push(4);
+                encode_msg(&mut out, msg);
+            }
+            Response::EpochBumped { epoch } => {
+                out.push(5);
+                out.extend_from_slice(&epoch.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a response payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, String> {
+        let mut c = Cursor { buf: payload, at: 0 };
+        let resp = match c.u8("status")? {
+            0 => {
+                let index = c.u64("winner index")?;
+                let loss = f64::from_bits(c.u64("winner loss")?);
+                let mut f = [0u64; 12];
+                for (i, slot) in f.iter_mut().enumerate() {
+                    *slot = c.u64(&format!("stats field {i}"))?;
+                }
+                Response::Ok { index, loss, stats: WireStats::from_fields(f) }
+            }
+            1 => {
+                let partial = match c.u8("partial flag")? {
+                    0 => None,
+                    1 => Some((c.u64("partial index")?, f64::from_bits(c.u64("partial loss")?))),
+                    b => return Err(format!("bad partial flag {b}")),
+                };
+                Response::Timeout { partial }
+            }
+            2 => Response::Busy,
+            s @ (3 | 4) => {
+                let len = c.u16("message length")? as usize;
+                let mut msg = Vec::with_capacity(len);
+                for i in 0..len {
+                    msg.push(c.u8(&format!("message byte {i}"))?);
+                }
+                let msg = String::from_utf8(msg).map_err(|_| "non-utf8 message".to_owned())?;
+                if s == 3 {
+                    Response::Malformed(msg)
+                } else {
+                    Response::Error(msg)
+                }
+            }
+            5 => Response::EpochBumped { epoch: c.u64("epoch")? },
+            s => return Err(format!("unknown status {s}")),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        assert_eq!(Request::decode(&req.encode()), Ok(req));
+    }
+
+    fn roundtrip_response(resp: Response) {
+        assert_eq!(Response::decode(&resp.encode()), Ok(resp));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Search {
+            tenant: 7,
+            deadline_ms: 0,
+            workload: Workload::Chain { choices: 12 },
+        });
+        roundtrip_request(Request::Search {
+            tenant: u64::MAX,
+            deadline_ms: 1,
+            workload: Workload::Game { branching: 3, depth: 5, seed: 42 },
+        });
+        roundtrip_request(Request::BumpEpoch { tenant: 0 });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Ok {
+            index: 3,
+            loss: -0.0, // sign bit must survive: losses travel as bits
+            stats: WireStats { evaluated: 9, summary_exact_hits: 2, ..WireStats::default() },
+        });
+        roundtrip_response(Response::Timeout { partial: None });
+        roundtrip_response(Response::Timeout { partial: Some((5, f64::INFINITY)) });
+        roundtrip_response(Response::Busy);
+        roundtrip_response(Response::Malformed("bad".to_owned()));
+        roundtrip_response(Response::Error("worse".to_owned()));
+        roundtrip_response(Response::EpochBumped { epoch: 2 });
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_rejected_with_reasons() {
+        let full = Request::Search {
+            tenant: 1,
+            deadline_ms: 5,
+            workload: Workload::Game { branching: 2, depth: 3, seed: 9 },
+        }
+        .encode();
+        for cut in 0..full.len() {
+            let err = Request::decode(&full[..cut]).expect_err("truncation must fail");
+            assert!(err.contains("missing") || err.contains("opcode"), "cut {cut}: {err}");
+        }
+        let mut padded = full;
+        padded.push(0);
+        assert!(Request::decode(&padded).expect_err("trailing").contains("trailing"));
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(Request::decode(&[9]).expect_err("opcode").contains("unknown opcode"));
+        let mut bad_workload = vec![1];
+        bad_workload.extend_from_slice(&1u64.to_be_bytes());
+        bad_workload.extend_from_slice(&0u32.to_be_bytes());
+        bad_workload.push(7);
+        assert!(Request::decode(&bad_workload).expect_err("tag").contains("workload tag"));
+        assert!(Response::decode(&[9]).expect_err("status").contains("unknown status"));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_oversized_lengths_are_refused_before_allocation() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF between frames");
+
+        let huge = u32::MAX.to_be_bytes();
+        let err = read_frame(&mut &huge[..]).expect_err("oversized header");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut truncated = Vec::new();
+        truncated.extend_from_slice(&100u32.to_be_bytes());
+        truncated.extend_from_slice(&[0u8; 10]);
+        let err = read_frame(&mut &truncated[..]).expect_err("mid-frame EOF");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn long_error_messages_are_clipped_to_fit_the_frame() {
+        let msg = "x".repeat(5000);
+        let enc = Response::Error(msg).encode();
+        assert!(enc.len() <= MAX_FRAME);
+        match Response::decode(&enc).unwrap() {
+            Response::Error(m) => assert_eq!(m.len(), 512),
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The server: accept loop, admission control, session workers.
+//!
+//! Anatomy of a running server:
+//!
+//! * **Accept loop** (one thread) — accepts connections and applies
+//!   *admission control*: while [`ServeConfig::max_sessions`] sessions
+//!   are live, a new connection is answered `Busy` and closed without
+//!   ever reaching a worker, so overload degrades to fast refusals
+//!   instead of unbounded queueing.
+//! * **Session queue** — admitted connections wait in a `VecDeque`
+//!   under a condvar.
+//! * **Worker pool** ([`ServeConfig::workers`] threads) — each worker
+//!   owns one session at a time and serves its requests sequentially;
+//!   a session holds its worker until the client hangs up, so
+//!   `workers` bounds *concurrent searches* and `max_sessions` bounds
+//!   *open connections*.
+//!
+//! Deadlines and disconnects both flow through one `CancelToken` per
+//! search: the token's deadline is the request's `deadline_ms`, and a
+//! per-request watcher thread peeks the socket while the search runs,
+//! firing the same token if the client vanishes — the fix for workers
+//! grinding through a search whose caller is gone. Cancellation is
+//! safe to trigger at any moment: the engines guarantee a cancelled
+//! walk installs no cache summaries (see `DESIGN.md`), so a timed-out
+//! request leaves its tenant's warmth exactly as it found it.
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::tenants::Tenants;
+use crate::workload::{self, Ran};
+use selc::env::{env_usize, SERVE_MAX_SESSIONS_ENV, SERVE_PORT_ENV, SERVE_WORKERS_ENV};
+use selc_engine::{configured_threads, CancelToken};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Default listen port (loopback only): "SELC" on a phone keypad, mod
+/// the registered range.
+pub const DEFAULT_PORT: u16 = 7352;
+
+/// Default admission limit when `SELC_SERVE_MAX_SESSIONS` is unset.
+pub const DEFAULT_MAX_SESSIONS: usize = 32;
+
+/// How often a request's disconnect watcher polls the socket.
+const WATCH_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server configuration, defaulted from the `SELC_SERVE_*` knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Listen port on `127.0.0.1`; `0` asks the OS for an ephemeral
+    /// port (tests and benches do this and read it back from
+    /// [`ServerHandle::addr`]).
+    pub port: u16,
+    /// Session-worker threads — the number of *concurrent sessions
+    /// being served*; each search inside a session parallelises
+    /// further via `SELC_THREADS`.
+    pub workers: usize,
+    /// Admission limit: connections beyond this many live sessions are
+    /// refused with `Busy`.
+    pub max_sessions: usize,
+}
+
+impl ServeConfig {
+    /// Reads `SELC_SERVE_PORT`, `SELC_SERVE_WORKERS` (default: the
+    /// `SELC_THREADS` pool width), and `SELC_SERVE_MAX_SESSIONS`, under
+    /// the workspace's usual "anything but a positive integer is
+    /// as-if-unset" rule.
+    #[must_use]
+    pub fn from_env() -> ServeConfig {
+        let port =
+            env_usize(SERVE_PORT_ENV).and_then(|p| u16::try_from(p).ok()).unwrap_or(DEFAULT_PORT);
+        ServeConfig {
+            port,
+            workers: env_usize(SERVE_WORKERS_ENV).unwrap_or_else(configured_threads),
+            max_sessions: env_usize(SERVE_MAX_SESSIONS_ENV).unwrap_or(DEFAULT_MAX_SESSIONS),
+        }
+    }
+
+    /// An ephemeral-port config for in-process use (tests, benches).
+    #[must_use]
+    pub fn loopback(workers: usize, max_sessions: usize) -> ServeConfig {
+        ServeConfig { port: 0, workers, max_sessions }
+    }
+}
+
+/// State shared by the accept loop, the workers, and the handle.
+struct Shared {
+    tenants: Tenants,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    /// Sessions admitted and not yet finished (counted from the accept
+    /// loop's enqueue to the worker's hang-up).
+    active: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Clones of live session sockets, so shutdown can force-close
+    /// them and unblock workers parked in `read_frame`.
+    open: Mutex<HashMap<u64, TcpStream>>,
+    next_session: AtomicU64,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A running server; dropping the handle shuts it down.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+/// Alias kept for readers scanning the crate root: the handle *is* the
+/// server object.
+pub type ServerHandle = Server;
+
+impl Server {
+    /// Binds `127.0.0.1:{config.port}` and spawns the accept loop and
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the port cannot be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` or `config.max_sessions` is zero.
+    pub fn spawn(config: ServeConfig) -> io::Result<Server> {
+        assert!(config.workers >= 1, "a server needs at least one worker");
+        assert!(config.max_sessions >= 1, "a server must admit at least one session");
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            tenants: Tenants::default(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            active: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            open: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let max = config.max_sessions;
+            thread::spawn(move || accept_loop(&listener, &shared, max))
+        };
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Server { addr, shared, accept: Some(accept), workers })
+    }
+
+    /// The bound address (read this when spawning on port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sessions admitted and not yet hung up.
+    #[must_use]
+    pub fn active_sessions(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting, force-closes live sessions, and joins every
+    /// thread. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection; it
+        // checks the flag before handling anything it accepts.
+        let _ = TcpStream::connect(self.addr);
+        // Force-close live sessions so workers parked in read_frame
+        // wake with an error instead of waiting for their client.
+        for (_, stream) in self.shared.open.lock().expect("open map poisoned").drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        self.shared.available.notify_all();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared, max_sessions: usize) {
+    for stream in listener.incoming() {
+        if shared.shutting_down() {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_nodelay(true); // tiny frames must not wait out Nagle
+        if shared.active.load(Ordering::Acquire) >= max_sessions {
+            let _ = write_frame(&mut stream, &Response::Busy.encode());
+            continue; // drop: refused, never counted
+        }
+        shared.active.fetch_add(1, Ordering::AcqRel);
+        shared.queue.lock().expect("session queue poisoned").push_back(stream);
+        shared.available.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("session queue poisoned");
+            loop {
+                if shared.shutting_down() {
+                    return;
+                }
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                queue = shared.available.wait(queue).expect("session queue poisoned");
+            }
+        };
+        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.open.lock().expect("open map poisoned").insert(id, clone);
+        }
+        // A shutdown that raced our registration has already drained
+        // the open map; re-checking the flag after inserting closes
+        // the gap either way, so no worker blocks past shutdown.
+        if shared.shutting_down() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        serve_session(stream, shared);
+        shared.open.lock().expect("open map poisoned").remove(&id);
+        shared.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Serves one session until the client hangs up or the transport
+/// fails. Malformed *payloads* are survivable (the frame was consumed;
+/// answer and continue); malformed *frames* are not (the stream can no
+/// longer be resynchronised), so those answer and close.
+fn serve_session(mut stream: TcpStream, shared: &Shared) {
+    loop {
+        // A previous request's (detached) watcher set a short read
+        // timeout on the shared fd; idle reads must block indefinitely.
+        let _ = stream.set_read_timeout(None);
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean hang-up
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let resp = Response::Malformed(e.to_string());
+                let _ = write_frame(&mut stream, &resp.encode());
+                return; // desynchronised: cannot keep the session
+            }
+            Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Err(msg) => Response::Malformed(msg),
+            Ok(Request::BumpEpoch { tenant }) => {
+                Response::EpochBumped { epoch: shared.tenants.bump(tenant) }
+            }
+            Ok(Request::Search { tenant, deadline_ms, workload }) => {
+                match workload::validate(&workload) {
+                    Err(msg) => Response::Malformed(msg),
+                    Ok(()) => {
+                        let tenant = shared.tenants.get_or_create(tenant);
+                        let cancel = if deadline_ms > 0 {
+                            CancelToken::with_timeout(Duration::from_millis(u64::from(deadline_ms)))
+                        } else {
+                            CancelToken::never()
+                        };
+                        let done = Arc::new(AtomicBool::new(false));
+                        spawn_watcher(&stream, cancel.clone(), Arc::clone(&done));
+                        let ran = workload::run(&tenant, &workload, &cancel);
+                        // Detach, never join: the watcher notices the
+                        // flag within one poll interval and exits on
+                        // its own — joining would tax every request's
+                        // tail latency with the watcher's poll cadence.
+                        done.store(true, Ordering::Release);
+                        match ran {
+                            Ran::Done { index, loss, stats } => Response::Ok { index, loss, stats },
+                            Ran::TimedOut { partial } => Response::Timeout { partial },
+                        }
+                    }
+                }
+            }
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return; // client gone mid-response
+        }
+    }
+}
+
+/// Watches the session socket while a search runs: if the client hangs
+/// up (peek sees EOF) or the transport dies, the search's token fires
+/// and the workers stop claiming — the queue-drain fix made
+/// end-to-end. The watcher borrows the socket via `try_clone`, which
+/// shares the fd; its short read timeout leaks past the request, so
+/// the session clears it before each blocking `read_frame`. The
+/// thread is detached: it exits within one poll interval of the
+/// done flag flipping, and a straggler only peeks a shared fd.
+fn spawn_watcher(stream: &TcpStream, cancel: CancelToken, done: Arc<AtomicBool>) {
+    let Ok(peer) = stream.try_clone() else {
+        return;
+    };
+    if peer.set_read_timeout(Some(WATCH_INTERVAL)).is_err() {
+        return;
+    }
+    thread::spawn(move || {
+        let mut probe = [0u8; 1];
+        while !done.load(Ordering::Acquire) {
+            match peer.peek(&mut probe) {
+                Ok(0) => {
+                    cancel.cancel(); // EOF: the caller is gone
+                    break;
+                }
+                // Bytes waiting (a pipelined request): still alive.
+                Ok(_) => thread::sleep(WATCH_INTERVAL),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(_) => {
+                    cancel.cancel(); // transport dead: same as gone
+                    break;
+                }
+            }
+        }
+    });
+}

@@ -1,0 +1,246 @@
+//! Running a validated workload against a tenant's warm state.
+//!
+//! This is the seam between the wire and the engines: requests are
+//! validated *before* any compilation or allocation (a hostile depth
+//! cannot make the server build a `2^60`-leaf tree), and execution
+//! threads the session's `CancelToken` into the same entry points the
+//! direct (library) callers use — `search_compiled_cached_with` for
+//! chains, `solve_alphabeta_tt_cancellable` for games — so a served
+//! winner is the *same computation* as a direct one, bit for bit.
+
+use crate::protocol::{WireStats, Workload};
+use crate::tenants::Tenant;
+use lambda_rt::search_compiled_cached_with;
+use selc_engine::{CancelToken, SearchResult, SearchStats, TreeEngine};
+
+/// Largest decide chain the server will compile (space `2^24`).
+pub const MAX_CHAIN_CHOICES: u8 = 24;
+
+/// Largest per-ply branching factor for game workloads.
+pub const MAX_GAME_BRANCHING: u8 = 8;
+
+/// Deepest game tree the server will generate.
+pub const MAX_GAME_DEPTH: u8 = 12;
+
+/// Cap on `branching^depth` (the leaf count actually allocated).
+pub const MAX_GAME_LEAVES: u64 = 1 << 20;
+
+/// Checks a workload's parameters against the resource caps. The error
+/// string goes back to the client verbatim (as `Response::Malformed`).
+pub fn validate(w: &Workload) -> Result<(), String> {
+    match *w {
+        Workload::Chain { choices } => {
+            if choices == 0 || choices > MAX_CHAIN_CHOICES {
+                return Err(format!(
+                    "chain choices must be 1..={MAX_CHAIN_CHOICES}, got {choices}"
+                ));
+            }
+        }
+        Workload::Game { branching, depth, seed: _ } => {
+            if branching == 0 || branching > MAX_GAME_BRANCHING {
+                return Err(format!(
+                    "game branching must be 1..={MAX_GAME_BRANCHING}, got {branching}"
+                ));
+            }
+            if depth == 0 || depth > MAX_GAME_DEPTH {
+                return Err(format!("game depth must be 1..={MAX_GAME_DEPTH}, got {depth}"));
+            }
+            let leaves = (u64::from(branching)).pow(u32::from(depth));
+            if leaves > MAX_GAME_LEAVES {
+                return Err(format!(
+                    "game size {branching}^{depth} = {leaves} leaves exceeds {MAX_GAME_LEAVES}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// What running a workload produced.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Ran {
+    /// Completed within the deadline.
+    Done {
+        /// Winning candidate / leaf index.
+        index: u64,
+        /// Its loss (game value for trees).
+        loss: f64,
+        /// Telemetry, including the tenant-cache deltas for this run.
+        stats: WireStats,
+    },
+    /// The token fired first.
+    TimedOut {
+        /// Sound partial best, when the search model has one.
+        partial: Option<(u64, f64)>,
+    },
+}
+
+fn wire_stats(s: &SearchStats) -> WireStats {
+    WireStats {
+        evaluated: s.evaluated,
+        pruned: s.pruned,
+        threads: s.threads as u64,
+        cache_hits: s.cache.hits,
+        cache_misses: s.cache.misses,
+        cache_insertions: s.cache.insertions,
+        cache_evictions: s.cache.evictions,
+        summary_exact_hits: s.summary.exact_hits,
+        summary_bound_hits: s.summary.bound_hits,
+        summary_misses: s.summary.misses,
+        summary_exact_installs: s.summary.exact_installs,
+        summary_bound_installs: s.summary.bound_installs,
+    }
+}
+
+/// Runs a **validated** workload for `tenant` under `cancel`.
+///
+/// # Panics
+///
+/// Panics if the workload was not [`validate`]d (e.g. a zero-choice
+/// chain would make the engines' non-empty-space invariants fire).
+pub fn run(tenant: &Tenant, w: &Workload, cancel: &CancelToken) -> Ran {
+    match *w {
+        Workload::Chain { choices } => {
+            let cands = tenant.chain(choices);
+            let engine = TreeEngine::auto();
+            // `nonneg = false`: no pruning means every interior node
+            // resolves *exactly*, so the cold pass installs exact
+            // subtree summaries all the way to the root — that is what
+            // lets a warm repeat answer in O(depth) instead of merely
+            // pruning fast, and warmth is this server's whole point.
+            match search_compiled_cached_with(&engine, &cands, &tenant.lc, false, cancel) {
+                SearchResult::Complete(out) => {
+                    let out = out.expect("validated chains have non-empty spaces");
+                    Ran::Done {
+                        index: out.index as u64,
+                        loss: out.loss.0.as_scalar(),
+                        stats: wire_stats(&out.stats),
+                    }
+                }
+                SearchResult::Cancelled(partial) => Ran::TimedOut {
+                    partial: partial.map(|o| (o.index as u64, o.loss.0.as_scalar())),
+                },
+            }
+        }
+        Workload::Game { branching, depth, seed } => {
+            let entry = tenant.game(branching, depth, seed);
+            let base = entry.cache.stats();
+            match entry.tree.solve_alphabeta_tt_cancellable(&entry.cache, cancel) {
+                Some((play, value, leaves)) => {
+                    let index =
+                        play.iter().fold(0u64, |acc, &m| acc * u64::from(branching) + m as u64);
+                    let delta = entry.cache.stats().since(&base);
+                    let stats = WireStats {
+                        evaluated: leaves,
+                        threads: 1,
+                        cache_hits: delta.hits,
+                        cache_misses: delta.misses,
+                        cache_insertions: delta.insertions,
+                        cache_evictions: delta.evictions,
+                        ..WireStats::default()
+                    };
+                    Ran::Done { index, loss: value, stats }
+                }
+                // Minimax has no sound partial best (see the solver's
+                // docs), so a timed-out game reports none.
+                None => Ran::TimedOut { partial: None },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenants::Tenants;
+    use selc_engine::SequentialEngine;
+
+    #[test]
+    fn validation_rejects_degenerate_and_oversized_workloads() {
+        assert!(validate(&Workload::Chain { choices: 0 }).is_err());
+        assert!(validate(&Workload::Chain { choices: 25 }).is_err());
+        assert!(validate(&Workload::Chain { choices: 24 }).is_ok());
+        assert!(validate(&Workload::Game { branching: 0, depth: 3, seed: 0 }).is_err());
+        assert!(validate(&Workload::Game { branching: 2, depth: 0, seed: 0 }).is_err());
+        assert!(validate(&Workload::Game { branching: 9, depth: 2, seed: 0 }).is_err());
+        assert!(validate(&Workload::Game { branching: 8, depth: 12, seed: 0 }).is_err());
+        assert!(validate(&Workload::Game { branching: 2, depth: 12, seed: 0 }).is_ok());
+    }
+
+    #[test]
+    fn served_chain_winners_match_a_direct_flat_scan() {
+        let tenants = Tenants::default();
+        let tenant = tenants.get_or_create(1);
+        let w = Workload::Chain { choices: 7 };
+        let Ran::Done { index, loss, stats } = run(&tenant, &w, &CancelToken::never()) else {
+            panic!("never token cannot time out");
+        };
+        let cands = tenant.chain(7);
+        let (reference, _) =
+            lambda_rt::search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
+        assert_eq!(index, reference.index as u64);
+        assert_eq!(loss.to_bits(), reference.loss.0.as_scalar().to_bits());
+        assert!(stats.cache_insertions > 0, "cold run fills the tenant table");
+        // Warm repeat: answered from the tenant's summaries.
+        let Ran::Done { index: i2, loss: l2, stats: warm } =
+            run(&tenant, &w, &CancelToken::never())
+        else {
+            panic!("warm repeat cannot time out");
+        };
+        assert_eq!((i2, l2.to_bits()), (index, loss.to_bits()));
+        // Tiny-capacity CI runs churn the summaries out; retention
+        // claims only hold when the table can hold a search.
+        if selc::env::configured_capacity().is_none_or(|cap| cap >= 4096) {
+            assert!(warm.summary_exact_hits > 0, "repeat answers from summaries: {warm:?}");
+            assert_eq!(warm.evaluated, 0, "warm repeat replays nothing: {warm:?}");
+        }
+    }
+
+    #[test]
+    fn served_game_winners_match_backward_induction() {
+        let tenants = Tenants::default();
+        let tenant = tenants.get_or_create(2);
+        let w = Workload::Game { branching: 3, depth: 5, seed: 11 };
+        let Ran::Done { index, loss, stats } = run(&tenant, &w, &CancelToken::never()) else {
+            panic!("never token cannot time out");
+        };
+        let tree = selc_games::alternating::GameTree::random(3, 5, 11);
+        let (play, value) = tree.solve_backward();
+        let expect = play.iter().fold(0u64, |acc, &m| acc * 3 + m as u64);
+        assert_eq!((index, loss.to_bits()), (expect, value.to_bits()));
+        assert!(stats.evaluated > 0);
+        // Warm repeat resolves at the root entry: zero leaves.
+        let Ran::Done { stats: warm, .. } = run(&tenant, &w, &CancelToken::never()) else {
+            panic!("warm repeat cannot time out");
+        };
+        assert_eq!(warm.evaluated, 0, "warm game answered from the root Exact entry");
+        assert!(warm.cache_hits > 0);
+    }
+
+    #[test]
+    fn expired_tokens_time_out_both_workload_kinds() {
+        let tenants = Tenants::default();
+        let tenant = tenants.get_or_create(3);
+        let dead = CancelToken::never();
+        dead.cancel();
+        assert!(matches!(
+            run(&tenant, &Workload::Chain { choices: 6 }, &dead),
+            Ran::TimedOut { .. }
+        ));
+        assert_eq!(
+            run(&tenant, &Workload::Game { branching: 2, depth: 6, seed: 1 }, &dead),
+            Ran::TimedOut { partial: None }
+        );
+        // The timeouts must not have poisoned the tenant: a real run
+        // still matches the direct reference.
+        let Ran::Done { index, .. } =
+            run(&tenant, &Workload::Chain { choices: 6 }, &CancelToken::never())
+        else {
+            panic!("never token cannot time out");
+        };
+        let cands = tenant.chain(6);
+        let (reference, _) =
+            lambda_rt::search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
+        assert_eq!(index, reference.index as u64);
+    }
+}
