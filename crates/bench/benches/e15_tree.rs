@@ -92,6 +92,16 @@ fn bench_tree_vs_flat(c: &mut Criterion) {
     let (warm_out, _) = search_compiled_cached(&tree_eng, &cands, &warm, false).unwrap();
     assert_eq!(warm_out.index, tree_ref.index);
     report(&format!("e15_tree/probing{choices}/tree_cached_warm"), &warm_out.stats.cache);
+
+    // With `SELC_TRACE=<path>` set, every engine worker recorded
+    // claim/eval/subtree spans into its ring during the runs above;
+    // dump them as chrome://tracing JSON (the CI smoke parses the file
+    // back to prove it is well-formed).
+    match selc_obs::trace::flush_if_configured() {
+        Ok(Some((path, events))) => println!("e15_tree trace: flushed {events} events to {path}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("e15_tree trace: flush failed: {e}"),
+    }
 }
 
 criterion_group! {

@@ -18,7 +18,10 @@
 //! After timing, `<label> serve searches_per_sec=… requests=…
 //! elapsed_ms=… p50_us=… p99_us=…` lines print for `selc-bench-record`
 //! (schema 5), plus the usual criterion median for the warm
-//! single-request path. `SELC_BENCH_SMOKE=1` shrinks the workload.
+//! single-request path, plus a `<label> metrics p50_us=…` line
+//! (schema 6) scraped from the *server's* latency histogram over the
+//! protocol — the registry's view next to the client's in the same
+//! snapshot. `SELC_BENCH_SMOKE=1` shrinks the workload.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use selc_serve::{Client, Response, ServeConfig, Server, Workload};
@@ -161,6 +164,20 @@ fn bench_serve(c: &mut Criterion) {
         b.iter(|| black_box(client.search(WARM_TENANT, w, 0).expect("warm request")))
     });
     g.finish();
+
+    // The server's own view of the same traffic: scrape the registry
+    // over the protocol and print the chain-latency percentiles as a
+    // schema-6 `metrics` line. The server records unless
+    // `SELC_METRICS=0` (overhead runs) asked it not to, in which case
+    // the histogram is empty and there is nothing to print.
+    let resp = client.metrics().expect("metrics scrape");
+    let Response::Metrics(wire) = resp else { panic!("expected Metrics, got {resp:?}") };
+    let hist = wire.to_snapshot().histogram("serve.latency_us.chain");
+    if let (Some(p50), Some(p90), Some(p99)) =
+        (hist.percentile(50), hist.percentile(90), hist.percentile(99))
+    {
+        println!("e17_serve/chain{choices}/scraped metrics p50_us={p50} p90_us={p90} p99_us={p99}");
+    }
 }
 
 criterion_group! {

@@ -11,7 +11,7 @@
 //! cargo run -p selc-bench --bin selc-bench-record --release -- --bench e12_parallel
 //! ```
 //!
-//! JSON schema 5: `{"schema": 5, "recorded_at_unix": <secs>,
+//! JSON schema 6: `{"schema": 6, "recorded_at_unix": <secs>,
 //! "selc_threads": <resolved worker count>, "host_parallelism": <what
 //! the OS reports>, "benches": {"<label>": <median ns/iter>}, "cache":
 //! {"<label>": {"hits": …, "misses": …, "insertions": …,
@@ -27,7 +27,11 @@
 //! (e16) prints, so warm-path O(depth) claims stay auditable; and the
 //! `serve` section (schema 5) collects the `<label> serve
 //! searches_per_sec=…` throughput lines the service family (e17)
-//! prints. Stat lines the recorder does *not* recognise — an unknown
+//! prints; and the `metrics` section (schema 6) collects the `<label>
+//! metrics p50_us=… p90_us=… p99_us=…` lines e17 derives from a
+//! scraped server-side latency histogram, so the registry's view of
+//! the service sits next to the client-measured one in the same
+//! snapshot. Stat lines the recorder does *not* recognise — an unknown
 //! section word, or a known section whose pairs fail to parse (schema
 //! drift) — are called out on stderr instead of silently dropped, so a
 //! renamed counter can never vanish from snapshots unnoticed.
@@ -139,6 +143,29 @@ fn parse_serve_line(line: &str) -> Option<(String, [f64; 5])> {
     (seen == 5).then(|| (label.trim().to_string(), out))
 }
 
+/// Parses one scraped-metrics line of the form
+/// `label metrics p50_us=42 p90_us=90 p99_us=130` — bucket-floor
+/// percentiles of the server's own latency histogram. Integers on the
+/// wire, but `f64` uniformly like the serve section (small enough to
+/// be exact).
+fn parse_metrics_line(line: &str) -> Option<(String, [f64; 3])> {
+    let (label, rest) = line.split_once(" metrics ")?;
+    let mut out = [0_f64; 3];
+    let mut seen = 0;
+    for pair in rest.split_whitespace() {
+        let (k, v) = pair.split_once('=')?;
+        let slot = match k {
+            "p50_us" => 0,
+            "p90_us" => 1,
+            "p99_us" => 2,
+            _ => continue,
+        };
+        out[slot] = v.parse::<f64>().ok()?;
+        seen += 1;
+    }
+    (seen == 3).then(|| (label.trim().to_string(), out))
+}
+
 /// Recognises the *shape* of a stats line — `<label…> <section> k=v
 /// [k=v …]` — and returns its section word. Bench labels never contain
 /// `=`, so the first `k=v` token marks where the pairs start and the
@@ -167,6 +194,7 @@ fn unparsed_stat_warnings(stdout: &str) -> Vec<String> {
             "cache" => parse_cache_line(line).is_some(),
             "summary" => parse_summary_line(line).is_some(),
             "serve" => parse_serve_line(line).is_some(),
+            "metrics" => parse_metrics_line(line).is_some(),
             _ => {
                 warnings.push(format!("unknown stat section {section:?} — not recorded: {line}"));
                 continue;
@@ -254,6 +282,8 @@ fn main() {
     let summary: BTreeMap<String, [u64; 5]> =
         stdout.lines().filter_map(parse_summary_line).collect();
     let serve: BTreeMap<String, [f64; 5]> = stdout.lines().filter_map(parse_serve_line).collect();
+    let scraped: BTreeMap<String, [f64; 3]> =
+        stdout.lines().filter_map(parse_metrics_line).collect();
     for warning in unparsed_stat_warnings(&stdout) {
         eprintln!("selc-bench-record: warning: {warning}");
     }
@@ -263,7 +293,7 @@ fn main() {
     // hardware), without linking the engine into the recorder.
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let threads = selc::env::env_usize("SELC_THREADS").unwrap_or(host);
-    let mut json = String::from("{\n  \"schema\": 5,\n");
+    let mut json = String::from("{\n  \"schema\": 6,\n");
     json.push_str(&format!("  \"recorded_at_unix\": {recorded_at},\n"));
     json.push_str(&format!("  \"selc_threads\": {threads},\n"));
     json.push_str(&format!("  \"host_parallelism\": {host},\n  \"benches\": {{\n"));
@@ -315,6 +345,20 @@ fn main() {
         json.push_str(&body.join(",\n"));
         json.push_str("\n  }");
     }
+    if !scraped.is_empty() {
+        json.push_str(",\n  \"metrics\": {\n");
+        let body: Vec<String> = scraped
+            .iter()
+            .map(|(label, [p50, p90, p99])| {
+                format!(
+                    "    \"{}\": {{\"p50_us\": {p50:.0}, \"p90_us\": {p90:.0}, \"p99_us\": {p99:.0}}}",
+                    json_escape(label)
+                )
+            })
+            .collect();
+        json.push_str(&body.join(",\n"));
+        json.push_str("\n  }");
+    }
     json.push_str("\n}\n");
 
     let path = write_snapshot(&root, &json);
@@ -331,6 +375,7 @@ mod tests {
          exact_hits=4 bound_hits=0 misses=1 exact_installs=0 bound_installs=0";
     const SERVE_LINE: &str = "e17_serve/clients4/warm serve \
          searches_per_sec=1423.5 requests=256 elapsed_ms=179.8 p50_us=680 p99_us=2410";
+    const METRICS_LINE: &str = "e17_serve/clients4/warm metrics p50_us=42 p90_us=90 p99_us=130";
 
     #[test]
     fn serve_lines_parse_into_the_five_metrics() {
@@ -343,8 +388,25 @@ mod tests {
     }
 
     #[test]
+    fn metrics_lines_parse_into_the_three_percentiles() {
+        let (label, [p50, p90, p99]) = parse_metrics_line(METRICS_LINE).expect("parses");
+        assert_eq!(label, "e17_serve/clients4/warm");
+        assert_eq!((p50, p90, p99), (42.0, 90.0, 130.0));
+        assert_eq!(parse_metrics_line("x metrics p50_us=1"), None, "missing fields");
+        assert_eq!(parse_metrics_line(SERVE_LINE), None, "wrong section");
+        // The regression the section exists to catch: a renamed
+        // percentile key must surface as a schema-drift warning, not
+        // vanish from snapshots.
+        let drifted = "e17_serve/clients4/warm metrics p50_us=42 p95_us=90 p99_us=130\n";
+        let warnings = unparsed_stat_warnings(drifted);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("schema drift"), "{warnings:?}");
+    }
+
+    #[test]
     fn known_stat_lines_produce_no_warnings() {
-        let stdout = format!("{CACHE_LINE}\n{SUMMARY_LINE}\n{SERVE_LINE}\nsome prose\n");
+        let stdout =
+            format!("{CACHE_LINE}\n{SUMMARY_LINE}\n{SERVE_LINE}\n{METRICS_LINE}\nsome prose\n");
         assert_eq!(unparsed_stat_warnings(&stdout), Vec::<String>::new());
     }
 

@@ -20,6 +20,13 @@
 //! variable the workspace reads is greppable from one module; their
 //! defaults are the serve crate's business.
 
+/// Names of the observability knobs — owned by `selc_obs` (the one
+/// crate below this one), re-exported here so every `SELC_*` variable
+/// the workspace reads stays greppable from this module: `SELC_METRICS`
+/// toggles metric recording, `SELC_TRACE=<path>` enables span tracing
+/// and names the chrome://tracing flush target.
+pub use selc_obs::{METRICS_ENV, TRACE_ENV};
+
 /// Name of the shard-count variable.
 pub const CACHE_SHARDS_ENV: &str = "SELC_CACHE_SHARDS";
 

@@ -26,7 +26,59 @@ use crate::stats::CacheStats;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, TryLockError};
+use std::time::Instant;
+
+/// Process-global mirrors of the per-cache [`CacheStats`] counters,
+/// plus the shard-lock contention telemetry no per-cache view can
+/// express (a wait is a property of the *moment*, not of any one
+/// handle). Registered lazily, recorded only when `selc_obs` metrics
+/// are enabled — the disabled path never touches this struct.
+struct CacheMetrics {
+    hits: selc_obs::Counter,
+    misses: selc_obs::Counter,
+    insertions: selc_obs::Counter,
+    evictions: selc_obs::Counter,
+    lock_contended: selc_obs::Counter,
+    lock_wait_ns: selc_obs::Histogram,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CacheMetrics {
+        hits: selc_obs::metrics::counter("cache.hits"),
+        misses: selc_obs::metrics::counter("cache.misses"),
+        insertions: selc_obs::metrics::counter("cache.insertions"),
+        evictions: selc_obs::metrics::counter("cache.evictions"),
+        lock_contended: selc_obs::metrics::counter("cache.shard_lock_contended"),
+        lock_wait_ns: selc_obs::metrics::histogram("cache.shard_lock_wait_ns"),
+    })
+}
+
+/// Locks a shard, timing the wait when the lock was contended. The
+/// uncontended path (metrics on or off) stays one atomic acquire: with
+/// metrics on it is a `try_lock` that usually succeeds, and only the
+/// `WouldBlock` slow path pays for an `Instant` pair and a histogram
+/// record — per-shard lock-wait telemetry priced entirely on the
+/// contended moments it exists to expose.
+fn lock_shard<S>(m: &Mutex<S>) -> MutexGuard<'_, S> {
+    if selc_obs::metrics_enabled() {
+        match m.try_lock() {
+            Ok(guard) => return guard,
+            Err(TryLockError::WouldBlock) => {
+                let start = Instant::now();
+                let guard = m.lock().expect("cache shard poisoned");
+                let waited = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let metrics = cache_metrics();
+                metrics.lock_contended.inc();
+                metrics.lock_wait_ns.record(waited);
+                return guard;
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("cache shard poisoned"),
+        }
+    }
+    m.lock().expect("cache shard poisoned")
+}
 
 /// The canonical shared handle: a [`ShardedCache`] behind an [`Arc`],
 /// cheap to clone into worker closures and handler factories.
@@ -37,6 +89,27 @@ struct Shard<K, V> {
     backend: Box<dyn CacheBackend<K, V>>,
     epoch: u64,
     stats: CacheStats,
+}
+
+impl<K, V> Shard<K, V> {
+    /// Clears the backend, counting the drops as evictions in both the
+    /// per-cache stats and the process-global metrics mirror.
+    fn drop_all(&mut self) {
+        let dropped = self.backend.clear() as u64;
+        self.stats.evictions += dropped;
+        if dropped > 0 && selc_obs::metrics_enabled() {
+            cache_metrics().evictions.add(dropped);
+        }
+    }
+
+    /// Applies a pending epoch bump: entries from older epochs vanish
+    /// (counted as evictions) before the shard serves anything.
+    fn sync_epoch(&mut self, current: u64) {
+        if self.epoch != current {
+            self.drop_all();
+            self.epoch = current;
+        }
+    }
 }
 
 /// A sharded concurrent memoisation cache (transposition table).
@@ -95,36 +168,45 @@ where
     /// Locks a key's shard, applying any pending epoch invalidation
     /// first (dropped entries count as evictions).
     fn shard(&self, key: &K) -> MutexGuard<'_, Shard<K, V>> {
-        let mut guard = self.shards[self.shard_index(key)].lock().expect("cache shard poisoned");
-        let current = self.epoch.load(Ordering::Acquire);
-        if guard.epoch != current {
-            guard.stats.evictions += guard.backend.clear() as u64;
-            guard.epoch = current;
-        }
+        let mut guard = lock_shard(&self.shards[self.shard_index(key)]);
+        guard.sync_epoch(self.epoch.load(Ordering::Acquire));
         guard
     }
 
     /// The cached value for `key`, if present under the current epoch.
     pub fn lookup(&self, key: &K) -> Option<V> {
         let mut shard = self.shard(key);
-        match shard.backend.get(key) {
-            Some(v) => {
-                shard.stats.hits += 1;
-                Some(v)
-            }
-            None => {
-                shard.stats.misses += 1;
-                None
+        let found = shard.backend.get(key);
+        match &found {
+            Some(_) => shard.stats.hits += 1,
+            None => shard.stats.misses += 1,
+        }
+        drop(shard);
+        if selc_obs::metrics_enabled() {
+            let metrics = cache_metrics();
+            match &found {
+                Some(_) => metrics.hits.inc(),
+                None => metrics.misses.inc(),
             }
         }
+        found
     }
 
     /// Stores `key → value` under the current epoch.
     pub fn store(&self, key: K, value: V) {
         let mut shard = self.shard(&key);
         shard.stats.insertions += 1;
-        if shard.backend.insert(key, value) {
+        let evicted = shard.backend.insert(key, value);
+        if evicted {
             shard.stats.evictions += 1;
+        }
+        drop(shard);
+        if selc_obs::metrics_enabled() {
+            let metrics = cache_metrics();
+            metrics.insertions.inc();
+            if evicted {
+                metrics.evictions.inc();
+            }
         }
     }
 
@@ -188,9 +270,7 @@ where
     /// Physically clears every shard now, without changing the epoch.
     /// Dropped entries count as evictions.
     pub fn clear(&self) {
-        self.for_each_shard(|s| {
-            s.stats.evictions += s.backend.clear() as u64;
-        });
+        self.for_each_shard(Shard::drop_all);
     }
 
     /// Runs `f` under each shard's lock in shard order, applying pending
@@ -200,11 +280,8 @@ where
         self.shards
             .iter()
             .map(|m| {
-                let mut guard = m.lock().expect("cache shard poisoned");
-                if guard.epoch != current {
-                    guard.stats.evictions += guard.backend.clear() as u64;
-                    guard.epoch = current;
-                }
+                let mut guard = lock_shard(m);
+                guard.sync_epoch(current);
                 f(&mut guard)
             })
             .collect()

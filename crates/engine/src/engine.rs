@@ -17,6 +17,57 @@ use crate::queue::WorkQueue;
 use crate::threads::configured_threads;
 use selc::OrderedLoss;
 use selc_cache::{CacheStats, SummaryStats};
+use selc_obs::{trace, SpanLabel};
+use std::sync::LazyLock;
+
+/// Span labels for the engine hot paths: a queue claim (the wait for
+/// work), one flat candidate evaluation, one claimed subtree descent.
+/// All three are inert one-branch checks unless `SELC_TRACE` is set.
+pub(crate) static CLAIM_SPAN: SpanLabel = SpanLabel::new("engine.claim");
+static EVAL_SPAN: SpanLabel = SpanLabel::new("engine.eval");
+
+/// Process-global engine counters, folded in **once per search** from
+/// the already-merged [`SearchStats`] rather than incremented per
+/// candidate — the per-event cost lands on code that runs a handful of
+/// times per request, and the per-candidate loop stays exactly as the
+/// bench baselines measured it. This is also what makes the counters
+/// deterministic where the underlying stat is: `engine.evaluated`
+/// under an exhaustive search is the same number whatever
+/// `SELC_THREADS` says, which the metrics differential suite pins.
+struct EngineMetrics {
+    searches: selc_obs::Counter,
+    evaluated: selc_obs::Counter,
+    pruned: selc_obs::Counter,
+    cancelled: selc_obs::Counter,
+    summary_exact_installs: selc_obs::Counter,
+    summary_bound_installs: selc_obs::Counter,
+}
+
+static ENGINE_METRICS: LazyLock<EngineMetrics> = LazyLock::new(|| EngineMetrics {
+    searches: selc_obs::metrics::counter("engine.searches"),
+    evaluated: selc_obs::metrics::counter("engine.evaluated"),
+    pruned: selc_obs::metrics::counter("engine.pruned"),
+    cancelled: selc_obs::metrics::counter("engine.cancelled"),
+    summary_exact_installs: selc_obs::metrics::counter("engine.summary_exact_installs"),
+    summary_bound_installs: selc_obs::metrics::counter("engine.summary_bound_installs"),
+});
+
+/// Folds one finished search into the global counters; no-op when
+/// metrics are disabled.
+pub(crate) fn record_search_metrics(stats: &SearchStats, aborted: bool) {
+    if !selc_obs::metrics_enabled() {
+        return;
+    }
+    let m = &*ENGINE_METRICS;
+    m.searches.inc();
+    m.evaluated.add(stats.evaluated);
+    m.pruned.add(stats.pruned);
+    if aborted {
+        m.cancelled.inc();
+    }
+    m.summary_exact_installs.add(stats.summary.exact_installs);
+    m.summary_bound_installs.add(stats.summary.bound_installs);
+}
 
 /// How an engine asks for the loss of one candidate.
 ///
@@ -243,7 +294,11 @@ where
                 }
             }
         }
-        match eval.eval(i, bound) {
+        let scored = {
+            let _span = trace::span(&EVAL_SPAN, i as u64);
+            eval.eval(i, bound)
+        };
+        match scored {
             None => state.pruned += 1,
             Some(l) => {
                 state.evaluated += 1;
@@ -302,17 +357,15 @@ impl Engine for SequentialEngine {
         }
         let mut state = ScanState::new();
         let completed = scan(eval, 0..space, &bound, self.prune, cancel, &mut state);
-        let outcome = state.best.map(|(loss, index)| Outcome {
-            index,
-            loss,
-            stats: SearchStats {
-                evaluated: state.evaluated,
-                pruned: state.pruned,
-                threads: 1,
-                cache: eval.cache_stats(),
-                summary: SummaryStats::default(),
-            },
-        });
+        let stats = SearchStats {
+            evaluated: state.evaluated,
+            pruned: state.pruned,
+            threads: 1,
+            cache: eval.cache_stats(),
+            summary: SummaryStats::default(),
+        };
+        record_search_metrics(&stats, !completed);
+        let outcome = state.best.map(|(loss, index)| Outcome { index, loss, stats });
         if completed {
             SearchResult::Complete(outcome)
         } else {
@@ -417,7 +470,12 @@ impl Engine for ParallelEngine {
                         // The claim itself honours the token, so a worker
                         // stops within one chunk of cancellation instead
                         // of spinning the queue to exhaustion.
-                        while let Some((start, end)) = queue.claim_unless(chunk, cancel) {
+                        loop {
+                            let claimed = {
+                                let _span = trace::span(&CLAIM_SPAN, chunk as u64);
+                                queue.claim_unless(chunk, cancel)
+                            };
+                            let Some((start, end)) = claimed else { break };
                             if !scan(eval, start..end, bound, prune, cancel, &mut state) {
                                 completed = false;
                                 break;
@@ -449,17 +507,15 @@ impl Engine for ParallelEngine {
         // skipped; claims refused at the loop head leave the queue
         // cursor short of the space, which the same check catches.
         aborted |= cancel.is_cancelled() && evaluated + pruned < space as u64;
-        let outcome = best.map(|(loss, index)| Outcome {
-            index,
-            loss,
-            stats: SearchStats {
-                evaluated,
-                pruned,
-                threads,
-                cache: eval.cache_stats(),
-                summary: SummaryStats::default(),
-            },
-        });
+        let stats = SearchStats {
+            evaluated,
+            pruned,
+            threads,
+            cache: eval.cache_stats(),
+            summary: SummaryStats::default(),
+        };
+        record_search_metrics(&stats, aborted);
+        let outcome = best.map(|(loss, index)| Outcome { index, loss, stats });
         if aborted {
             SearchResult::Cancelled(outcome)
         } else {

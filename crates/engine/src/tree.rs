@@ -50,12 +50,18 @@
 
 use crate::bound::SharedBound;
 use crate::cancel::CancelToken;
-use crate::engine::{Outcome, SearchResult, SearchStats};
+use crate::engine::{record_search_metrics, Outcome, SearchResult, SearchStats, CLAIM_SPAN};
 use crate::queue::WorkQueue;
 use crate::threads::configured_threads;
 use selc::OrderedLoss;
 use selc_cache::{CacheStats, SubtreeSummary, SummaryStats};
+use selc_obs::{trace, SpanLabel};
 use std::sync::Mutex;
+
+/// Span label for one claimed subtree's depth-first descent; the span
+/// argument is the subtree's prefix bits, so a trace row shows *which*
+/// part of the space each worker was walking.
+static SUBTREE_SPAN: SpanLabel = SpanLabel::new("tree.subtree");
 
 /// One step of tree exploration: what lies at (or just past) a decision
 /// prefix.
@@ -318,6 +324,7 @@ impl TreeEngine {
 
         let mut parts: Vec<Partial<L>> = if threads == 1 {
             let mut part = Partial::default();
+            let _span = trace::span(&SUBTREE_SPAN, 0);
             let sub = walker.dfs(eval.enter(0, 0), 0, 0, &mut part);
             if let Some(candidate) = sub.best {
                 part.merge(candidate);
@@ -335,8 +342,14 @@ impl TreeEngine {
                             // The claim honours the token: a cancelled
                             // worker stops after its current subtree
                             // instead of draining the prefix queue.
-                            while let Some((start, end)) = queue.claim_unless(1, cancel) {
+                            loop {
+                                let claimed = {
+                                    let _span = trace::span(&CLAIM_SPAN, 1);
+                                    queue.claim_unless(1, cancel)
+                                };
+                                let Some((start, end)) = claimed else { break };
                                 debug_assert_eq!(end, start + 1);
+                                let _span = trace::span(&SUBTREE_SPAN, start as u64);
                                 let sub = walker.dfs(
                                     walker.eval.enter(start as u64, split),
                                     start as u64,
@@ -380,17 +393,15 @@ impl TreeEngine {
                 merged.merge(candidate);
             }
         }
-        let outcome = merged.best.map(|(loss, index)| Outcome {
-            index,
-            loss,
-            stats: SearchStats {
-                evaluated: merged.evaluated,
-                pruned: merged.pruned,
-                threads,
-                cache: eval.cache_stats(),
-                summary: merged.summary,
-            },
-        });
+        let stats = SearchStats {
+            evaluated: merged.evaluated,
+            pruned: merged.pruned,
+            threads,
+            cache: eval.cache_stats(),
+            summary: merged.summary,
+        };
+        record_search_metrics(&stats, merged.aborted);
+        let outcome = merged.best.map(|(loss, index)| Outcome { index, loss, stats });
         if merged.aborted {
             SearchResult::Cancelled(outcome)
         } else {

@@ -21,7 +21,23 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selc::{effect, handle, loss, perform, Choice, Handler, Sel};
 use selc_cache::ShardedCache;
+use selc_obs::{trace, SpanLabel};
 use std::rc::Rc;
+use std::sync::LazyLock;
+
+/// One flagged-table alpha-beta solve, root to resolution; the span
+/// argument is the tree depth.
+static AB_SOLVE_SPAN: SpanLabel = SpanLabel::new("games.ab_solve");
+
+/// Leaves the flagged-table solvers actually evaluated (0 on a warm
+/// repeat — the gap between this and `games.ab_solves` is the served
+/// game path's warmth, end to end).
+static AB_LEAVES: LazyLock<selc_obs::Counter> =
+    LazyLock::new(|| selc_obs::metrics::counter("games.ab_leaves"));
+static AB_SOLVES: LazyLock<selc_obs::Counter> =
+    LazyLock::new(|| selc_obs::metrics::counter("games.ab_solves"));
+static AB_CANCELLED: LazyLock<selc_obs::Counter> =
+    LazyLock::new(|| selc_obs::metrics::counter("games.ab_cancelled"));
 
 /// How much a stored alpha–beta resolution can be trusted on a later
 /// visit — the minimax mirror of the engine's exact/bound subtree
@@ -314,10 +330,13 @@ impl GameTree {
     /// [`GameTree::solve_alphabeta_tt`] plus the number of leaves
     /// actually evaluated (0 on a warm repeat).
     pub fn solve_alphabeta_tt_stats(&self, cache: &AbCache) -> (Vec<usize>, f64, u64) {
+        let _span = trace::span(&AB_SOLVE_SPAN, self.depth as u64);
         let mut path = Vec::new();
         let mut leaves = 0;
         let (play, value) =
             self.alphabeta_tt(&mut path, f64::NEG_INFINITY, f64::INFINITY, &mut leaves, cache);
+        AB_SOLVES.inc();
+        AB_LEAVES.add(leaves);
         (play, value, leaves)
     }
 
@@ -337,17 +356,28 @@ impl GameTree {
         cache: &AbCache,
         cancel: &selc_engine::CancelToken,
     ) -> Option<(Vec<usize>, f64, u64)> {
+        let _span = trace::span(&AB_SOLVE_SPAN, self.depth as u64);
         let mut path = Vec::new();
         let mut leaves = 0;
-        let (play, value) = self.alphabeta_tt_cancellable_at(
+        let solved = self.alphabeta_tt_cancellable_at(
             &mut path,
             f64::NEG_INFINITY,
             f64::INFINITY,
             &mut leaves,
             cache,
             cancel,
-        )?;
-        Some((play, value, leaves))
+        );
+        AB_LEAVES.add(leaves);
+        match solved {
+            Some((play, value)) => {
+                AB_SOLVES.inc();
+                Some((play, value, leaves))
+            }
+            None => {
+                AB_CANCELLED.inc();
+                None
+            }
+        }
     }
 
     fn alphabeta_tt_cancellable_at(

@@ -40,7 +40,16 @@ use selc_cache::{CacheStats, SubtreeSummary};
 use selc_engine::tree::{SummaryProbe, TreeEngine, TreeEval, TreeStep};
 use selc_engine::{CancelToken, Outcome, SearchResult};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, LazyLock};
+
+/// Machine-replay counters: paths that actually ran the compiled
+/// machine to termination vs. paths answered from a cached leaf — the
+/// observable form of the Hedges CPS-cost argument (the machine is the
+/// hot path; warmth is what keeps it off it).
+static MACHINE_LEAVES: LazyLock<selc_obs::Counter> =
+    LazyLock::new(|| selc_obs::metrics::counter("lc.machine_leaves"));
+static LEAF_CACHE_HITS: LazyLock<selc_obs::Counter> =
+    LazyLock::new(|| selc_obs::metrics::counter("lc.leaf_cache_hits"));
 
 /// A [`TreeEval`] that walks a compiled program's decision tree through
 /// machine snapshots, with the optional shared transposition table and
@@ -101,6 +110,7 @@ impl<'c> LcTreeEval<'c> {
                 TreeStep::Node { node: point, hint }
             }
             Ok(Explored::Done(out)) => {
+                MACHINE_LEAVES.inc();
                 let used = out.decisions_used;
                 debug_assert!(used <= len, "paths cannot use unvisited decisions");
                 let loss = OrdLossVal(out.loss);
@@ -140,6 +150,7 @@ impl TreeEval<OrdLossVal> for LcTreeEval<'_> {
                 if let Some(LcEntry::Leaf(loss)) =
                     cache.lookup(&(self.cands.id(), used, prefix >> (len - used)))
                 {
+                    LEAF_CACHE_HITS.inc();
                     self.best_bits.fetch_min(encode_scalar(&loss.0), Ordering::Relaxed);
                     return TreeStep::Leaf { loss, used };
                 }
@@ -165,6 +176,7 @@ impl TreeEval<OrdLossVal> for LcTreeEval<'_> {
         if let Some(cache) = self.cache {
             if self.cands.used_depths_mask() & (1_u64 << len) != 0 {
                 if let Some(LcEntry::Leaf(loss)) = cache.lookup(&(self.cands.id(), len, path)) {
+                    LEAF_CACHE_HITS.inc();
                     self.best_bits.fetch_min(encode_scalar(&loss.0), Ordering::Relaxed);
                     return TreeStep::Leaf { loss, used: len };
                 }

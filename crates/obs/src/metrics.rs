@@ -1,0 +1,677 @@
+//! The metrics half: process-global named counters, gauges, and
+//! log2-bucketed histograms.
+//!
+//! # Model
+//!
+//! A metric is a name (dotted, lower-case: `engine.evaluated`,
+//! `serve.latency_us.chain`) bound once to a kind in a process-global
+//! registry. Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap
+//! `Arc` clones of the registered cell; call sites cache them in
+//! `LazyLock` statics so the registry lock is taken once per site, not
+//! per event. Recording is a relaxed atomic op — and when metrics are
+//! disabled (the default), it is one relaxed load and a taken branch,
+//! which is the whole "near-zero when off" story.
+//!
+//! # Snapshots
+//!
+//! [`snapshot`] reads every registered metric into a
+//! [`MetricsSnapshot`]: names sorted, values plain data. Snapshots are
+//! subtractable ([`MetricsSnapshot::since`]) exactly like
+//! `selc_cache::CacheStats`, so "what did *this* request do" falls out
+//! of two scrapes, and histograms merge componentwise
+//! ([`HistogramSnapshot::merged`]) — merging is associative and
+//! commutative (it is bucketwise `+`), which the proptests pin down.
+//!
+//! # The knob
+//!
+//! `SELC_METRICS` follows the workspace polarity rules: `0`, `false`,
+//! `off`, `no` (case-insensitive) mean off, any other set value means
+//! on, unset means *default* — off for library use, but `selc-serve`
+//! flips the default to on when it spawns (a daemon without telemetry
+//! is the thing this crate exists to prevent). Tests and embedders use
+//! [`set_metrics_enabled`] directly.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Name of the metrics toggle variable.
+pub const METRICS_ENV: &str = "SELC_METRICS";
+
+/// Buckets in a histogram: one for zero, one per power of two up to
+/// `u64::MAX` (bucket `i >= 1` covers `2^(i-1) ..= 2^i - 1`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The explicit `SELC_METRICS` setting, if any: `Some(false)` for the
+/// off spellings (`0`/`false`/`off`/`no`, case-insensitive),
+/// `Some(true)` for anything else set, `None` when unset. Callers pick
+/// their own default for `None` — libraries default off, the serve
+/// daemon defaults on.
+#[must_use]
+pub fn configured_metrics() -> Option<bool> {
+    match std::env::var(METRICS_ENV) {
+        Ok(v) => {
+            Some(!matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "false" | "off" | "no"))
+        }
+        Err(_) => None,
+    }
+}
+
+fn enabled_cell() -> &'static AtomicBool {
+    static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+    ENABLED.get_or_init(|| AtomicBool::new(configured_metrics().unwrap_or(false)))
+}
+
+/// Whether metric recording is live. One relaxed load: this is the
+/// entire disabled-path cost of every `add`/`record` below.
+#[inline]
+#[must_use]
+pub fn metrics_enabled() -> bool {
+    enabled_cell().load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off at runtime, overriding `SELC_METRICS`.
+/// Registered metrics and their accumulated values survive a toggle;
+/// only *new* events are gated.
+pub fn set_metrics_enabled(on: bool) {
+    enabled_cell().store(on, Ordering::Relaxed);
+}
+
+/// A monotonically increasing event count.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` events (a relaxed `fetch_add`; no-op when disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if metrics_enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total (reads even when recording is disabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A level that can move both ways (queue depths, live thread counts).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Moves the level by `delta` (no-op when disabled).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if metrics_enabled() {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the level by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Lowers the level by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Sets the level outright (no-op when disabled).
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if metrics_enabled() {
+            self.0.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// The current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+/// A mergeable log2-bucketed value distribution (latencies, wait
+/// times). Values land in the bucket of their bit length, so the whole
+/// `u64` range fits in [`HISTOGRAM_BUCKETS`] cells and a percentile
+/// read-out is exact to within one power of two — plenty to tell a
+/// 40µs warm hit from a 4ms cold walk, at the cost of one relaxed
+/// `fetch_add` per sample.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+/// The bucket a value lands in: 0 for 0, else `64 - leading_zeros` (the
+/// value's bit length), so bucket `i >= 1` covers `2^(i-1) ..= 2^i - 1`.
+#[inline]
+#[must_use]
+pub fn histogram_bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The smallest value that lands in bucket `i` — the lower bound a
+/// percentile read-out reports.
+///
+/// # Panics
+///
+/// Panics if `i >= HISTOGRAM_BUCKETS`.
+#[inline]
+#[must_use]
+pub fn histogram_bucket_floor(i: usize) -> u64 {
+    assert!(i < HISTOGRAM_BUCKETS, "bucket {i} out of range");
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one sample (no-op when disabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if metrics_enabled() {
+            self.0.buckets[histogram_bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The current bucket counts as plain data.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, cell) in buckets.iter_mut().zip(self.0.buckets.iter()) {
+            *out = cell.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram(count = {})", self.snapshot().count())
+    }
+}
+
+/// A histogram read out as plain bucket counts: mergeable (bucketwise
+/// `+`, associative and commutative) and subtractable (bucketwise
+/// saturating `-`), like every other counter set in the workspace.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Count per log2 bucket; see [`histogram_bucket_of`].
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot { buckets: [0; HISTOGRAM_BUCKETS] }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Bucketwise sum — the merge the proptests pin as associative and
+    /// commutative, so per-thread or per-shard histograms can be
+    /// combined in any grouping without changing the read-out.
+    #[must_use]
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = *self;
+        for (o, b) in out.buckets.iter_mut().zip(other.buckets.iter()) {
+            *o += b;
+        }
+        out
+    }
+
+    /// Bucketwise saturating difference: what landed after `earlier`
+    /// was taken, assuming `earlier` was scraped from the same (only
+    /// ever growing) histogram.
+    #[must_use]
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = *self;
+        for (o, b) in out.buckets.iter_mut().zip(earlier.buckets.iter()) {
+            *o = o.saturating_sub(*b);
+        }
+        out
+    }
+
+    /// The lower bound of the bucket holding the `p`-th percentile
+    /// sample (rank `(count - 1) * p / 100`, the same nearest-rank rule
+    /// the bench harness uses), or `None` for an empty histogram.
+    /// Deterministic for a given set of recorded values, exact to
+    /// within one power of two.
+    #[must_use]
+    pub fn percentile(&self, p: u8) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = (count - 1).saturating_mul(u64::from(p.min(100))) / 100;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen > rank {
+                return Some(histogram_bucket_floor(i));
+            }
+        }
+        unreachable!("rank < count, so some bucket crosses it")
+    }
+}
+
+impl std::fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let nonzero: Vec<(usize, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b > 0)
+            .map(|(i, b)| (i, *b))
+            .collect();
+        f.debug_struct("HistogramSnapshot")
+            .field("count", &self.count())
+            .field("nonzero", &nonzero)
+            .finish()
+    }
+}
+
+/// One metric's value in a snapshot.
+///
+/// The histogram variant carries its 65 buckets inline — snapshots are
+/// scrape-path objects built a handful at a time, so the size skew the
+/// lint dislikes costs kilobytes once per scrape, while boxing would
+/// cost an allocation per entry and a `Box` at every construction
+/// site.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A counter's running total.
+    Counter(u64),
+    /// A gauge's current level.
+    Gauge(i64),
+    /// A histogram's bucket counts.
+    Histogram(HistogramSnapshot),
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+
+    fn value(&self) -> MetricValue {
+        match self {
+            Metric::Counter(c) => MetricValue::Counter(c.get()),
+            Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+            Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn register(name: &str, make: impl FnOnce() -> Metric, want: &'static str) -> Metric {
+    // Clone out before the kind check so a mismatch panic (a programming
+    // error) cannot poison the registry for the rest of the process.
+    let metric = {
+        let mut reg = registry().lock().expect("metrics registry poisoned");
+        reg.entry(name.to_owned()).or_insert_with(make).clone()
+    };
+    assert!(
+        metric.kind() == want,
+        "metric {name:?} already registered as a {}, requested as a {want}",
+        metric.kind()
+    );
+    metric
+}
+
+/// The counter named `name`, registering it on first use. Cache the
+/// handle (a `LazyLock` static at the call site) — this takes the
+/// registry lock.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different kind: one
+/// name, one kind, for the life of the process.
+#[must_use]
+pub fn counter(name: &str) -> Counter {
+    match register(name, || Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))), "counter") {
+        Metric::Counter(c) => c,
+        _ => unreachable!("register checked the kind"),
+    }
+}
+
+/// The gauge named `name`, registering it on first use.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different kind.
+#[must_use]
+pub fn gauge(name: &str) -> Gauge {
+    match register(name, || Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0)))), "gauge") {
+        Metric::Gauge(g) => g,
+        _ => unreachable!("register checked the kind"),
+    }
+}
+
+/// The histogram named `name`, registering it on first use.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different kind.
+#[must_use]
+pub fn histogram(name: &str) -> Histogram {
+    match register(
+        name,
+        || {
+            Metric::Histogram(Histogram(Arc::new(HistogramCells {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            })))
+        },
+        "histogram",
+    ) {
+        Metric::Histogram(h) => h,
+        _ => unreachable!("register checked the kind"),
+    }
+}
+
+/// Every registered metric, read at one point in time, names sorted.
+///
+/// "Deterministic" here is a layered contract. The *shape* — which
+/// names appear, in what order, with what kind — depends only on which
+/// call sites have run, never on thread interleaving (the registry is
+/// a `BTreeMap`). The *values* are deterministic exactly when the
+/// underlying quantity is: `engine.evaluated` under an exhaustive
+/// search is (the differential suite demands it), queue-depth gauges
+/// and lock-wait histograms are timing-born and are not.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, strictly sorted by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+/// Reads every registered metric into a [`MetricsSnapshot`].
+#[must_use]
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry().lock().expect("metrics registry poisoned");
+    MetricsSnapshot {
+        entries: reg.iter().map(|(name, metric)| (name.clone(), metric.value())).collect(),
+    }
+}
+
+impl MetricsSnapshot {
+    /// The value recorded under `name`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// The counter named `name`, or 0 when absent (a metric nobody
+    /// registered is a metric nobody incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(n)) => *n,
+            _ => 0,
+        }
+    }
+
+    /// The gauge named `name`, or 0 when absent.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The histogram named `name`, or the empty histogram when absent.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => *h,
+            _ => HistogramSnapshot::default(),
+        }
+    }
+
+    /// What happened between `earlier` and `self`: counters and
+    /// histograms subtract (saturating — both scraped from the same
+    /// monotone cells), gauges keep their *later* level (a gauge is a
+    /// level, not a rate, so "since" cannot difference it). Names
+    /// present only in `self` pass through; names only in `earlier`
+    /// are dropped (they no longer exist to report on).
+    #[must_use]
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(name, value)| {
+                let delta = match (value, earlier.get(name)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.saturating_sub(*then))
+                    }
+                    (MetricValue::Histogram(now), Some(MetricValue::Histogram(then))) => {
+                        MetricValue::Histogram(now.since(then))
+                    }
+                    // Gauges, kind changes (impossible in one process),
+                    // and names new since `earlier` all report as-is.
+                    (v, _) => v.clone(),
+                };
+                (name.clone(), delta)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+
+    /// Plain-text exposition: one `name value` line per metric, sorted;
+    /// histograms expose their count and nearest-rank p50/p90/p99 (the
+    /// bucket floors). This is what `selc-serve metrics <addr>` prints.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(n) => {
+                    let _ = writeln!(out, "{name} {n}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let (p50, p90, p99) = (
+                        h.percentile(50).unwrap_or(0),
+                        h.percentile(90).unwrap_or(0),
+                        h.percentile(99).unwrap_or(0),
+                    );
+                    let _ =
+                        writeln!(out, "{name} count={} p50={p50} p90={p90} p99={p99}", h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Registry and enable flag are process-global; every test that
+    /// toggles them runs under this lock so they cannot interleave.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().expect("serial lock poisoned")
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(histogram_bucket_of(0), 0);
+        assert_eq!(histogram_bucket_of(1), 1);
+        assert_eq!(histogram_bucket_of(2), 2);
+        assert_eq!(histogram_bucket_of(3), 2);
+        assert_eq!(histogram_bucket_of(4), 3);
+        assert_eq!(histogram_bucket_of(u64::MAX), 64);
+        for i in 1..HISTOGRAM_BUCKETS {
+            let floor = histogram_bucket_floor(i);
+            // The floor is the first value in its bucket and the value
+            // just below it is in the previous bucket.
+            assert_eq!(histogram_bucket_of(floor), i, "floor of bucket {i}");
+            assert_eq!(histogram_bucket_of(floor - 1), i - 1, "below bucket {i}");
+            // The bucket's last value is 2*floor - 1 (except bucket 64,
+            // which is capped by the type).
+            if i < 64 {
+                assert_eq!(histogram_bucket_of(2 * floor - 1), i, "ceiling of bucket {i}");
+                assert_eq!(histogram_bucket_of(2 * floor), i + 1, "above bucket {i}");
+            }
+        }
+        assert_eq!(histogram_bucket_floor(0), 0);
+        assert_eq!(histogram_bucket_floor(1), 1);
+        assert_eq!(histogram_bucket_floor(64), 1 << 63);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_bucket_floors() {
+        let mut h = HistogramSnapshot::default();
+        assert_eq!(h.percentile(50), None, "empty histogram has no percentile");
+        // 10 samples of 3 (bucket 2, floor 2), 1 sample of 1000
+        // (bucket 10, floor 512).
+        h.buckets[histogram_bucket_of(3)] = 10;
+        h.buckets[histogram_bucket_of(1000)] = 1;
+        assert_eq!(h.count(), 11);
+        assert_eq!(h.percentile(0), Some(2));
+        assert_eq!(h.percentile(50), Some(2));
+        assert_eq!(h.percentile(90), Some(2), "rank 9 of 11 is still a 3");
+        assert_eq!(h.percentile(99), Some(2), "rank 9 of 11: only the max reaches the outlier");
+        assert_eq!(h.percentile(100), Some(512));
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_record_only_when_enabled() {
+        let _guard = serial();
+        let was = metrics_enabled();
+        let c = counter("test.metrics.toggle_counter");
+        let g = gauge("test.metrics.toggle_gauge");
+        let h = histogram("test.metrics.toggle_histogram");
+        set_metrics_enabled(false);
+        c.inc();
+        g.set(7);
+        h.record(42);
+        assert_eq!(c.get(), 0, "disabled counter must not move");
+        assert_eq!(g.get(), 0, "disabled gauge must not move");
+        assert_eq!(h.snapshot().count(), 0, "disabled histogram must not move");
+        set_metrics_enabled(true);
+        c.add(3);
+        g.inc();
+        g.add(4);
+        g.dec();
+        h.record(42);
+        h.record(0);
+        assert_eq!(c.get(), 3);
+        assert_eq!(g.get(), 4);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.buckets[0], 1, "zero lands in bucket 0");
+        assert_eq!(snap.buckets[histogram_bucket_of(42)], 1);
+        set_metrics_enabled(was);
+    }
+
+    #[test]
+    fn registry_snapshots_are_sorted_and_subtractable() {
+        let _guard = serial();
+        let was = metrics_enabled();
+        set_metrics_enabled(true);
+        let c = counter("test.snapshot.requests");
+        let g = gauge("test.snapshot.depth");
+        let h = histogram("test.snapshot.latency");
+        let before = snapshot();
+        assert!(
+            before.entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "snapshot names must be strictly sorted"
+        );
+        c.add(5);
+        g.set(3);
+        h.record(100);
+        let after = snapshot();
+        let delta = after.since(&before);
+        assert_eq!(delta.counter("test.snapshot.requests"), 5);
+        assert_eq!(delta.gauge("test.snapshot.depth"), 3, "gauges report the later level");
+        assert_eq!(delta.histogram("test.snapshot.latency").count(), 1);
+        assert_eq!(delta.counter("test.snapshot.never_registered"), 0);
+        // Same handle from a second registration call: same cell.
+        counter("test.snapshot.requests").inc();
+        assert_eq!(c.get(), 6);
+        set_metrics_enabled(was);
+    }
+
+    #[test]
+    fn render_text_exposes_one_line_per_metric() {
+        let _guard = serial();
+        let was = metrics_enabled();
+        set_metrics_enabled(true);
+        counter("test.render.count").add(2);
+        histogram("test.render.hist").record(9);
+        let text = snapshot().render_text();
+        assert!(text.contains("test.render.count 2"), "text:\n{text}");
+        let hist_line = text
+            .lines()
+            .find(|l| l.starts_with("test.render.hist"))
+            .expect("histogram line present");
+        assert!(hist_line.contains("count=1"), "line: {hist_line}");
+        assert!(hist_line.contains("p50=8"), "9 reports its bucket floor 8: {hist_line}");
+        set_metrics_enabled(was);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn one_name_one_kind() {
+        let _ = counter("test.kinds.clash");
+        let _ = gauge("test.kinds.clash");
+    }
+
+    #[test]
+    fn configured_metrics_parses_the_off_spellings() {
+        // Parse-rule check without touching the process env: the rule
+        // itself lives in one match we can exercise via set/get.
+        for (v, want) in
+            [("0", false), ("false", false), ("OFF", false), ("no", false), ("1", true)]
+        {
+            let parsed =
+                !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "false" | "off" | "no");
+            assert_eq!(parsed, want, "spelling {v:?}");
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! The tracing half: per-thread lock-free span rings, flushed to
+//! chrome://tracing JSON.
+//!
+//! # Recording
+//!
+//! A [`Span`] guard records a *begin* event when created and an *end*
+//! event when dropped. Events land in a per-thread ring buffer — each
+//! ring has exactly one writer (its owning thread), so recording takes
+//! no lock and contends with nobody: it is a handful of relaxed/release
+//! stores into pre-allocated slots. Labels are `&'static str`s interned
+//! once per call site through a [`SpanLabel`] static, so an event
+//! carries a `u32`, not a pointer the flusher has to chase. Each event
+//! also carries one caller-chosen `u64` argument (a subtree prefix, a
+//! candidate index) and a monotonic nanosecond timestamp from a shared
+//! process epoch.
+//!
+//! Rings are bounded ([`RING_CAPACITY`] events); a thread that records
+//! more wraps and overwrites its own oldest events. Tracing favours the
+//! *recent* past — for a bounded-memory always-on facility that is the
+//! right loss mode.
+//!
+//! # Flushing
+//!
+//! [`flush_to_path`] (or [`flush_if_configured`], keyed on
+//! `SELC_TRACE=<path>`) walks every ring, validates each slot with its
+//! sequence word (a single-writer seqlock: odd while a write is in
+//! flight, even and generation-stamped once complete — a reader that
+//! races a wrapping writer skips the slot instead of reporting a torn
+//! event), sorts by timestamp, and writes one chrome://tracing JSON
+//! object (`{"traceEvents": [...]}`). Load it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>; each ring appears as its own `tid` row.
+
+use std::cell::OnceCell;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Name of the trace-path variable. Setting it to a writable path turns
+/// span recording on; the bench harnesses and the serve binary flush to
+/// that path on exit.
+pub const TRACE_ENV: &str = "SELC_TRACE";
+
+/// Events one thread's ring holds before wrapping (32 B per slot).
+pub const RING_CAPACITY: usize = 8192;
+
+/// The configured trace output path, when `SELC_TRACE` is set to a
+/// non-empty value.
+#[must_use]
+pub fn configured_trace_path() -> Option<String> {
+    std::env::var(TRACE_ENV).ok().filter(|p| !p.trim().is_empty())
+}
+
+fn enabled_cell() -> &'static AtomicBool {
+    static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+    ENABLED.get_or_init(|| AtomicBool::new(configured_trace_path().is_some()))
+}
+
+/// Whether span recording is live (one relaxed load — the entire cost
+/// of a [`span`] call when tracing is off).
+#[inline]
+#[must_use]
+pub fn trace_enabled() -> bool {
+    enabled_cell().load(Ordering::Relaxed)
+}
+
+/// Turns span recording on or off at runtime, overriding `SELC_TRACE`.
+pub fn set_trace_enabled(on: bool) {
+    enabled_cell().store(on, Ordering::Relaxed);
+}
+
+/// Nanoseconds since the process's first trace event (a shared
+/// monotonic epoch, so timestamps from different threads order).
+fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn label_table() -> &'static Mutex<Vec<&'static str>> {
+    static LABELS: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    LABELS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// A span label interned once per call site:
+///
+/// ```
+/// use selc_obs::trace::{self, SpanLabel};
+/// static CLAIM: SpanLabel = SpanLabel::new("engine.claim");
+/// let _span = trace::span(&CLAIM, 7);
+/// ```
+///
+/// The first `span` through a label takes the intern lock; every later
+/// one reads a `OnceLock<u32>`.
+pub struct SpanLabel {
+    name: &'static str,
+    id: OnceLock<u32>,
+}
+
+impl SpanLabel {
+    /// A label for `name` (not yet interned — that happens on first
+    /// use, and only if tracing is enabled by then).
+    #[must_use]
+    pub const fn new(name: &'static str) -> SpanLabel {
+        SpanLabel { name, id: OnceLock::new() }
+    }
+
+    fn id(&'static self) -> u32 {
+        *self.id.get_or_init(|| {
+            let mut table = label_table().lock().expect("trace label table poisoned");
+            table.push(self.name);
+            u32::try_from(table.len() - 1).expect("fewer than 2^32 span labels")
+        })
+    }
+}
+
+/// One event slot, written by exactly one thread and validated by
+/// readers through `seq`: odd = write in flight, `2 * generation` =
+/// complete. `word` packs the label id (low 32 bits) and the end flag
+/// (bit 32).
+struct Slot {
+    seq: AtomicU64,
+    word: AtomicU64,
+    ts: AtomicU64,
+    arg: AtomicU64,
+}
+
+struct Ring {
+    /// Worker id (registration order) — the chrome `tid` row.
+    tid: u64,
+    /// Events ever pushed by the owning thread; slot = `head % CAP`.
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    fn new(tid: u64) -> Ring {
+        let slots = (0..RING_CAPACITY)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                word: AtomicU64::new(0),
+                ts: AtomicU64::new(0),
+                arg: AtomicU64::new(0),
+            })
+            .collect();
+        Ring { tid, head: AtomicU64::new(0), slots }
+    }
+
+    /// Owner-thread-only push (the single-writer half of the seqlock).
+    fn push(&self, label: u32, is_end: bool, arg: u64) {
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h % RING_CAPACITY as u64) as usize];
+        let generation = h / RING_CAPACITY as u64 + 1;
+        slot.seq.store(2 * generation - 1, Ordering::Release); // writing
+        slot.word.store(u64::from(label) | (u64::from(is_end) << 32), Ordering::Relaxed);
+        slot.ts.store(now_ns(), Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+        slot.seq.store(2 * generation, Ordering::Release); // complete
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Reader half: every completed event still resident, oldest first.
+    /// Slots a concurrent writer is overwriting fail their sequence
+    /// check and are skipped — a torn event is never reported.
+    fn collect_into(&self, out: &mut Vec<RawEvent>) {
+        let h = self.head.load(Ordering::Acquire);
+        let resident = h.min(RING_CAPACITY as u64);
+        for i in (h - resident)..h {
+            let slot = &self.slots[(i % RING_CAPACITY as u64) as usize];
+            let expected = 2 * (i / RING_CAPACITY as u64 + 1);
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 != expected {
+                continue;
+            }
+            let word = slot.word.load(Ordering::Acquire);
+            let ts = slot.ts.load(Ordering::Acquire);
+            let arg = slot.arg.load(Ordering::Acquire);
+            if slot.seq.load(Ordering::Acquire) != s1 {
+                continue;
+            }
+            out.push(RawEvent {
+                tid: self.tid,
+                ts_ns: ts,
+                label: (word & u32::MAX as u64) as u32,
+                is_end: word >> 32 != 0,
+                arg,
+            });
+        }
+    }
+}
+
+struct RawEvent {
+    tid: u64,
+    ts_ns: u64,
+    label: u32,
+    is_end: bool,
+    arg: u64,
+}
+
+fn rings() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static MY_RING: OnceCell<Arc<Ring>> = const { OnceCell::new() };
+}
+
+fn with_ring(f: impl FnOnce(&Ring)) {
+    MY_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let mut all = rings().lock().expect("trace ring registry poisoned");
+            let ring = Arc::new(Ring::new(all.len() as u64));
+            all.push(Arc::clone(&ring));
+            ring
+        });
+        f(ring);
+    });
+}
+
+/// An in-flight span: records a begin event on creation (when tracing
+/// is enabled) and the matching end event on drop.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing"]
+pub struct Span {
+    /// `Some` only when the begin event was actually recorded, so an
+    /// end is never emitted without its begin (e.g. tracing toggled on
+    /// mid-span).
+    live: Option<(u32, u64)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((label, arg)) = self.live {
+            with_ring(|r| r.push(label, true, arg));
+        }
+    }
+}
+
+/// Opens a span under `label` carrying `arg`. When tracing is disabled
+/// this is a relaxed load, a branch, and an inert guard.
+#[inline]
+pub fn span(label: &'static SpanLabel, arg: u64) -> Span {
+    if !trace_enabled() {
+        return Span { live: None };
+    }
+    let id = label.id();
+    with_ring(|r| r.push(id, false, arg));
+    Span { live: Some((id, arg)) }
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialises every resident span event as one chrome://tracing JSON
+/// object and writes it to `w`. Returns the number of events written.
+/// Rings are left intact (a later flush re-reports what still fits in
+/// the rings); the output is a whole JSON document either way.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn flush_to_writer<W: Write>(w: &mut W) -> io::Result<usize> {
+    let mut events = Vec::new();
+    for ring in rings().lock().expect("trace ring registry poisoned").iter() {
+        ring.collect_into(&mut events);
+    }
+    // Begin-before-end at equal timestamps keeps chrome's stack
+    // builder happy on zero-length spans.
+    events.sort_by_key(|e| (e.ts_ns, e.tid, e.is_end));
+    let labels = label_table().lock().expect("trace label table poisoned").clone();
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let name = labels.get(e.label as usize).copied().unwrap_or("?");
+        out.push_str("\n{\"name\":\"");
+        json_escape(name, &mut out);
+        let ph = if e.is_end { "E" } else { "B" };
+        let ts_us = e.ts_ns as f64 / 1000.0;
+        out.push_str(&format!(
+            "\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{},\"ts\":{ts_us:.3},\"args\":{{\"arg\":{}}}}}",
+            e.tid, e.arg
+        ));
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    w.write_all(out.as_bytes())?;
+    Ok(events.len())
+}
+
+/// [`flush_to_writer`] into a freshly created (or truncated) file.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn flush_to_path<P: AsRef<Path>>(path: P) -> io::Result<usize> {
+    let mut file = std::fs::File::create(path)?;
+    let n = flush_to_writer(&mut file)?;
+    file.flush()?;
+    Ok(n)
+}
+
+/// Flushes to the `SELC_TRACE` path when that knob is set: the one call
+/// benches and binaries make at exit. Returns the path and event count
+/// when a flush happened.
+///
+/// # Errors
+///
+/// Propagates failures from [`flush_to_path`].
+pub fn flush_if_configured() -> io::Result<Option<(String, usize)>> {
+    match configured_trace_path() {
+        Some(path) => {
+            let n = flush_to_path(&path)?;
+            Ok(Some((path, n)))
+        }
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().expect("serial lock poisoned")
+    }
+
+    static TEST_SPAN: SpanLabel = SpanLabel::new("test.trace.work");
+    static TEST_INNER: SpanLabel = SpanLabel::new("test.trace.inner");
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let _guard = serial();
+        let was = trace_enabled();
+        set_trace_enabled(false);
+        let before = {
+            let mut v = Vec::new();
+            for r in rings().lock().unwrap().iter() {
+                r.collect_into(&mut v);
+            }
+            v.len()
+        };
+        {
+            let _s = span(&TEST_SPAN, 1);
+        }
+        let after = {
+            let mut v = Vec::new();
+            for r in rings().lock().unwrap().iter() {
+                r.collect_into(&mut v);
+            }
+            v.len()
+        };
+        assert_eq!(before, after, "disabled spans must not land in any ring");
+        set_trace_enabled(was);
+    }
+
+    #[test]
+    fn spans_nest_and_flush_in_timestamp_order() {
+        let _guard = serial();
+        let was = trace_enabled();
+        set_trace_enabled(true);
+        {
+            let _outer = span(&TEST_SPAN, 7);
+            let _inner = span(&TEST_INNER, 8);
+        }
+        set_trace_enabled(was);
+        let mut buf = Vec::new();
+        let n = flush_to_writer(&mut buf).expect("in-memory flush cannot fail");
+        assert!(n >= 4, "two spans = four events, got {n}");
+        let text = String::from_utf8(buf).expect("trace output is utf-8");
+        assert!(text.contains("\"name\":\"test.trace.work\""), "output: {text}");
+        assert!(text.contains("\"name\":\"test.trace.inner\""), "output: {text}");
+        assert!(text.contains("\"ph\":\"B\"") && text.contains("\"ph\":\"E\""));
+        assert!(text.contains("\"args\":{\"arg\":7}"), "output: {text}");
+        // Begins precede their ends for the recording thread.
+        let begin = text.find("test.trace.work").expect("begin present");
+        let end = text.rfind("test.trace.work").expect("end present");
+        assert!(begin < end, "begin and end both present");
+    }
+
+    #[test]
+    fn rings_wrap_without_panicking_and_keep_the_recent_past() {
+        let _guard = serial();
+        let was = trace_enabled();
+        set_trace_enabled(true);
+        for i in 0..(RING_CAPACITY as u64 + 100) {
+            let _s = span(&TEST_SPAN, i);
+        }
+        set_trace_enabled(was);
+        let mut events = Vec::new();
+        // Only this thread's ring is guaranteed to have wrapped; global
+        // collection still bounds at capacity per ring.
+        for r in rings().lock().unwrap().iter() {
+            r.collect_into(&mut events);
+        }
+        let mine: Vec<&RawEvent> =
+            events.iter().filter(|e| e.arg > RING_CAPACITY as u64 / 2).collect();
+        assert!(!mine.is_empty(), "recent events survive the wrap");
+        assert!(
+            events.iter().all(|e| e.ts_ns > 0 || e.arg == 0),
+            "completed slots carry real timestamps"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Property suite for histogram algebra: merging per-thread or
+//! per-shard histograms must be a commutative monoid, or the read-out
+//! would depend on which worker's counts folded in first — the same
+//! "reduction order must not matter" discipline the engines hold their
+//! `(loss, index)` merge to.
+
+use proptest::prelude::*;
+use selc_obs::{histogram_bucket_of, HistogramSnapshot, HISTOGRAM_BUCKETS};
+
+fn from_samples(samples: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::default();
+    for s in samples {
+        h.buckets[histogram_bucket_of(*s)] += 1;
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..64),
+        b in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (ha, hb) = (from_samples(&a), from_samples(&b));
+        prop_assert_eq!(ha.merged(&hb), hb.merged(&ha));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..48),
+        b in proptest::collection::vec(any::<u64>(), 0..48),
+        c in proptest::collection::vec(any::<u64>(), 0..48),
+    ) {
+        let (ha, hb, hc) = (from_samples(&a), from_samples(&b), from_samples(&c));
+        prop_assert_eq!(ha.merged(&hb).merged(&hc), ha.merged(&hb.merged(&hc)));
+    }
+
+    #[test]
+    fn empty_is_the_merge_identity_and_since_inverts_merge(
+        a in proptest::collection::vec(any::<u64>(), 0..64),
+        b in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (ha, hb) = (from_samples(&a), from_samples(&b));
+        let empty = HistogramSnapshot::default();
+        prop_assert_eq!(ha.merged(&empty), ha);
+        prop_assert_eq!(empty.merged(&ha), ha);
+        // A later scrape minus an earlier one recovers the interval:
+        // merge then since round-trips.
+        prop_assert_eq!(ha.merged(&hb).since(&ha), hb);
+        prop_assert_eq!(ha.merged(&hb).count(), ha.count() + hb.count());
+    }
+
+    #[test]
+    fn every_sample_lands_in_exactly_one_bucket(v in any::<u64>()) {
+        let bucket = histogram_bucket_of(v);
+        prop_assert!(bucket < HISTOGRAM_BUCKETS);
+        // The bucket's floor really is a lower bound on the value.
+        prop_assert!(selc_obs::histogram_bucket_floor(bucket) <= v);
+        // And the next bucket's floor (when there is one) is above it.
+        if bucket + 1 < HISTOGRAM_BUCKETS {
+            prop_assert!(v < selc_obs::histogram_bucket_floor(bucket + 1));
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded_by_the_extremes(
+        samples in proptest::collection::vec(0_u64..1_000_000, 1..128),
+    ) {
+        let h = from_samples(&samples);
+        let (min, max) = (
+            *samples.iter().min().expect("non-empty"),
+            *samples.iter().max().expect("non-empty"),
+        );
+        let mut last = 0;
+        for p in [0u8, 10, 25, 50, 75, 90, 99, 100] {
+            let v = h.percentile(p).expect("non-empty histogram");
+            prop_assert!(v >= last, "p{p}: {v} < previous {last}");
+            // Bucket floors under-report by at most 2x, never overshoot.
+            prop_assert!(v <= max, "p{p}: floor {v} above the max sample {max}");
+            last = v;
+        }
+        prop_assert!(h.percentile(0).expect("non-empty") <= min);
+    }
+}

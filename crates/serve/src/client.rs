@@ -59,6 +59,17 @@ impl Client {
         self.request(&Request::BumpEpoch { tenant })
     }
 
+    /// Scrapes the server's metrics snapshot (a
+    /// [`Response::Metrics`][crate::protocol::Response::Metrics] on
+    /// success).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn metrics(&mut self) -> io::Result<Response> {
+        self.request(&Request::Metrics)
+    }
+
     /// Reads one response without having sent anything — how a `Busy`
     /// refusal (written unsolicited by the accept loop) is observed.
     ///

@@ -13,7 +13,9 @@
 //! * [`protocol`] — length-prefixed binary frames; requests name a
 //!   tenant, a workload (compiled λC decide chains or alternating game
 //!   trees), and a deadline; responses carry the winner `(loss,
-//!   index)` bit-exactly plus the engine/cache telemetry deltas.
+//!   index)` bit-exactly plus the engine/cache telemetry deltas. A
+//!   `Metrics` request scrapes the server's `selc-obs` registry
+//!   snapshot over the same wire.
 //! * [`tenants`] — the per-tenant registry: transposition tables *and*
 //!   the candidates handles they are keyed under, with epoch-bump
 //!   invalidation as a management request.
@@ -22,7 +24,10 @@
 //!   callers use, so served winners are bit-identical to direct ones.
 //! * [`server`] — accept loop, `Busy` admission control, a fixed
 //!   session-worker pool, and a per-request disconnect watcher that
-//!   fires the search's `CancelToken` when the caller vanishes.
+//!   fires the search's `CancelToken` when the caller vanishes
+//!   (tracked and joined, never leaked). The server is also where
+//!   metrics recording defaults on, so a fresh daemon is scrapeable
+//!   without any environment setup.
 //! * [`client`] — the blocking loopback client the tests and the
 //!   `e17_serve` throughput bench drive.
 //!
@@ -48,7 +53,10 @@ pub mod tenants;
 pub mod workload;
 
 pub use client::Client;
-pub use protocol::{Request, Response, WireStats, Workload, MAX_FRAME};
+pub use protocol::{
+    Request, Response, WireMetricValue, WireMetrics, WireStats, Workload, MAX_FRAME,
+    MAX_METRIC_NAME, WIRE_STATS_FIELDS,
+};
 pub use server::{ServeConfig, Server, ServerHandle, DEFAULT_MAX_SESSIONS, DEFAULT_PORT};
 pub use tenants::{Tenant, Tenants};
 pub use workload::{validate, Ran};

@@ -13,6 +13,7 @@
 //! opcode:u8
 //!   1 = Search    tenant:u64  deadline_ms:u32 (0 = none)  workload
 //!   2 = BumpEpoch tenant:u64
+//!   3 = Metrics                                 (scrape a snapshot)
 //! workload: tag:u8
 //!   1 = Chain  choices:u8                      (compiled λC decide chain)
 //!   2 = Game   branching:u8 depth:u8 seed:u64  (alternating game tree)
@@ -22,24 +23,44 @@
 //!
 //! ```text
 //! status:u8
-//!   0 = Ok          index:u64  loss:u64 (f64 bits)  stats:12×u64
+//!   0 = Ok          index:u64  loss:u64 (f64 bits)  stats:WIRE_STATS_FIELDS×u64
 //!   1 = Timeout     has_partial:u8  [index:u64  loss:u64]
 //!   2 = Busy
 //!   3 = Malformed   len:u16  msg:utf8
 //!   4 = Error       len:u16  msg:utf8
 //!   5 = EpochBumped epoch:u64
+//!   6 = Metrics     truncated:u8  count:u16  count × metric
+//! metric: kind:u8  name_len:u8  name:utf8
+//!   0 = counter    value:u64
+//!   1 = gauge      value:u64 (i64 two's complement)
+//!   2 = histogram  nonzero:u8  nonzero × (bucket:u8  count:u64)
 //! ```
+//!
+//! A `Metrics` response is built under the frame budget: whole metric
+//! entries are emitted in snapshot (name) order until the next one
+//! would overflow [`MAX_FRAME`], and `truncated` records whether any
+//! were dropped. Histogram buckets travel sparse (nonzero only) and
+//! must be strictly ascending — the decoder rejects anything else, so
+//! a hostile peer cannot smuggle duplicate buckets past the
+//! reassembly adds.
 //!
 //! Decoding is total: every error path is a `Result`, never a panic, so
 //! a malformed frame costs the client an error response — not the
 //! server its accept loop.
 
+use selc_obs::{HistogramSnapshot, MetricValue, MetricsSnapshot, HISTOGRAM_BUCKETS};
 use std::io::{self, Read, Write};
 
 /// Hard cap on a frame payload. Every legal message fits in a fraction
 /// of this; a larger announced length is rejected *before* allocation,
 /// so a hostile header cannot balloon server memory.
 pub const MAX_FRAME: usize = 4096;
+
+/// Longest metric name a [`Response::Metrics`] frame carries. The
+/// registry's names are short dotted paths (`cache.shard_lock_wait_ns`
+/// is about the ceiling); anything longer is dropped at encode time
+/// and rejected at decode time.
+pub const MAX_METRIC_NAME: usize = 128;
 
 /// A search workload the server can run against a tenant's caches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,10 +101,26 @@ pub enum Request {
         /// Tenant to invalidate.
         tenant: u64,
     },
+    /// Scrape the server's process-wide metrics snapshot.
+    Metrics,
 }
 
+/// Number of `u64` fields a [`WireStats`] occupies on the wire.
+///
+/// Kept in compile-time agreement with the struct itself: every field
+/// is a `u64` and `#[repr(Rust)]` has nothing to pad, so the assert
+/// below trips the build the moment someone adds a field without
+/// revisiting `fields`/`from_fields` and this count.
+pub const WIRE_STATS_FIELDS: usize = 12;
+
+const _: () = assert!(
+    WIRE_STATS_FIELDS * 8 == std::mem::size_of::<WireStats>(),
+    "WIRE_STATS_FIELDS disagrees with the WireStats field count"
+);
+
 /// Engine telemetry on the wire: [`selc_engine::SearchStats`] flattened
-/// to twelve `u64`s (threads widened) so the frame layout is fixed.
+/// to [`WIRE_STATS_FIELDS`] `u64`s (threads widened) so the frame
+/// layout is fixed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 #[allow(missing_docs)] // field names mirror SearchStats/CacheStats/SummaryStats
 pub struct WireStats {
@@ -102,7 +139,7 @@ pub struct WireStats {
 }
 
 impl WireStats {
-    fn fields(&self) -> [u64; 12] {
+    fn fields(&self) -> [u64; WIRE_STATS_FIELDS] {
         [
             self.evaluated,
             self.pruned,
@@ -119,7 +156,7 @@ impl WireStats {
         ]
     }
 
-    fn from_fields(f: [u64; 12]) -> WireStats {
+    fn from_fields(f: [u64; WIRE_STATS_FIELDS]) -> WireStats {
         WireStats {
             evaluated: f[0],
             pruned: f[1],
@@ -134,6 +171,197 @@ impl WireStats {
             summary_exact_installs: f[10],
             summary_bound_installs: f[11],
         }
+    }
+}
+
+/// One metric's value on the wire. Histograms travel sparse: only the
+/// nonzero log2 buckets, as strictly ascending `(bucket, count)`
+/// pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireMetricValue {
+    /// Monotone event count.
+    Counter(u64),
+    /// Signed level (queue depth, live watchers).
+    Gauge(i64),
+    /// Sparse log2 histogram: `(bucket index, count)`, ascending,
+    /// counts nonzero, indices `< HISTOGRAM_BUCKETS`.
+    Histogram(Vec<(u8, u64)>),
+}
+
+/// A metrics snapshot shaped for the wire: name-sorted entries, whole
+/// metrics only, and a flag recording whether the frame budget forced
+/// any to be dropped. Build one with [`WireMetrics::from_snapshot`] —
+/// that constructor owns the budget arithmetic, which is what lets
+/// `Response::encode` promise the result fits a frame.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireMetrics {
+    /// True when the snapshot did not fit [`MAX_FRAME`] whole and the
+    /// tail (in name order) was dropped.
+    pub truncated: bool,
+    /// `(name, value)` in ascending name order, like the snapshot it
+    /// came from.
+    pub entries: Vec<(String, WireMetricValue)>,
+}
+
+/// Encoded size of one metric entry; `None` if it can never go on the
+/// wire (name too long for the `u8` length or the [`MAX_METRIC_NAME`]
+/// cap).
+fn metric_wire_size(name: &str, value: &WireMetricValue) -> Option<usize> {
+    if name.is_empty() || name.len() > MAX_METRIC_NAME {
+        return None;
+    }
+    let body = match value {
+        WireMetricValue::Counter(_) | WireMetricValue::Gauge(_) => 8,
+        WireMetricValue::Histogram(buckets) => 1 + 9 * buckets.len(),
+    };
+    Some(2 + name.len() + body)
+}
+
+impl WireMetrics {
+    /// Shapes a [`MetricsSnapshot`] for the wire. Entries are taken in
+    /// snapshot (name) order until the next whole one would overflow
+    /// the frame; `truncated` records whether anything was dropped.
+    /// Stable prefix-of-sorted-order truncation means two scrapes of
+    /// the same registry disagree only in values, never in which
+    /// metrics they carry.
+    #[must_use]
+    pub fn from_snapshot(snap: &MetricsSnapshot) -> WireMetrics {
+        // status + truncated + count, then whole entries while they fit.
+        let mut budget = MAX_FRAME - (1 + 1 + 2);
+        let mut out = WireMetrics::default();
+        for (name, value) in &snap.entries {
+            let value = match value {
+                MetricValue::Counter(n) => WireMetricValue::Counter(*n),
+                MetricValue::Gauge(level) => WireMetricValue::Gauge(*level),
+                MetricValue::Histogram(h) => {
+                    let sparse = h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, n)| **n > 0)
+                        .map(|(i, n)| (u8::try_from(i).expect("bucket index < 65"), *n))
+                        .collect();
+                    WireMetricValue::Histogram(sparse)
+                }
+            };
+            let Some(size) = metric_wire_size(name, &value).filter(|s| *s <= budget) else {
+                out.truncated = true;
+                break;
+            };
+            budget -= size;
+            out.entries.push((name.clone(), value));
+        }
+        out
+    }
+
+    /// Reassembles a [`MetricsSnapshot`] so the caller gets the full
+    /// accessor surface back (`counter`, `histogram`, `percentile`,
+    /// `render_text`) instead of a wire shape.
+    #[must_use]
+    pub fn to_snapshot(&self) -> MetricsSnapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(name, value)| {
+                let value = match value {
+                    WireMetricValue::Counter(n) => MetricValue::Counter(*n),
+                    WireMetricValue::Gauge(level) => MetricValue::Gauge(*level),
+                    WireMetricValue::Histogram(sparse) => {
+                        let mut h = HistogramSnapshot::default();
+                        for (bucket, count) in sparse {
+                            h.buckets[*bucket as usize] = *count;
+                        }
+                        MetricValue::Histogram(h)
+                    }
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(self.truncated));
+        let count = u16::try_from(self.entries.len()).expect("from_snapshot fits a frame");
+        out.extend_from_slice(&count.to_be_bytes());
+        for (name, value) in &self.entries {
+            let (kind, _) = match value {
+                WireMetricValue::Counter(_) => (0u8, ()),
+                WireMetricValue::Gauge(_) => (1, ()),
+                WireMetricValue::Histogram(_) => (2, ()),
+            };
+            out.push(kind);
+            out.push(u8::try_from(name.len()).expect("<= MAX_METRIC_NAME"));
+            out.extend_from_slice(name.as_bytes());
+            match value {
+                WireMetricValue::Counter(n) => out.extend_from_slice(&n.to_be_bytes()),
+                WireMetricValue::Gauge(level) => {
+                    out.extend_from_slice(&level.to_be_bytes());
+                }
+                WireMetricValue::Histogram(sparse) => {
+                    out.push(u8::try_from(sparse.len()).expect("<= 65 buckets"));
+                    for (bucket, n) in sparse {
+                        out.push(*bucket);
+                        out.extend_from_slice(&n.to_be_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode_from(c: &mut Cursor<'_>) -> Result<WireMetrics, String> {
+        let truncated = match c.u8("truncated flag")? {
+            0 => false,
+            1 => true,
+            b => return Err(format!("bad truncated flag {b}")),
+        };
+        let count = c.u16("metric count")? as usize;
+        let mut entries = Vec::new(); // sized by the cursor, not the header
+        for i in 0..count {
+            let kind = c.u8("metric kind")?;
+            let name_len = c.u8("metric name length")? as usize;
+            if name_len == 0 || name_len > MAX_METRIC_NAME {
+                return Err(format!(
+                    "metric {i} name length {name_len} out of 1..={MAX_METRIC_NAME}"
+                ));
+            }
+            let mut name = Vec::with_capacity(name_len);
+            for _ in 0..name_len {
+                name.push(c.u8("metric name byte")?);
+            }
+            let name = String::from_utf8(name).map_err(|_| format!("metric {i}: non-utf8 name"))?;
+            let value = match kind {
+                0 => WireMetricValue::Counter(c.u64("counter value")?),
+                1 => WireMetricValue::Gauge(i64::from_be_bytes(c.take("gauge value")?)),
+                2 => {
+                    let nonzero = c.u8("histogram bucket count")? as usize;
+                    if nonzero > HISTOGRAM_BUCKETS {
+                        return Err(format!(
+                            "{name}: {nonzero} buckets exceeds {HISTOGRAM_BUCKETS}"
+                        ));
+                    }
+                    let mut sparse: Vec<(u8, u64)> = Vec::with_capacity(nonzero);
+                    for _ in 0..nonzero {
+                        let bucket = c.u8("histogram bucket index")?;
+                        if bucket as usize >= HISTOGRAM_BUCKETS {
+                            return Err(format!("{name}: bucket {bucket} out of range"));
+                        }
+                        if sparse.last().is_some_and(|(prev, _)| *prev >= bucket) {
+                            return Err(format!("{name}: buckets not strictly ascending"));
+                        }
+                        let n = c.u64("histogram bucket value")?;
+                        if n == 0 {
+                            return Err(format!("{name}: zero count in sparse histogram"));
+                        }
+                        sparse.push((bucket, n));
+                    }
+                    WireMetricValue::Histogram(sparse)
+                }
+                k => return Err(format!("{name}: unknown metric kind {k}")),
+            };
+            entries.push((name, value));
+        }
+        Ok(WireMetrics { truncated, entries })
     }
 }
 
@@ -169,6 +397,8 @@ pub enum Response {
         /// The tenant's new epoch.
         epoch: u64,
     },
+    /// A metrics scrape: the server's registry snapshot, frame-budgeted.
+    Metrics(WireMetrics),
 }
 
 /// Reads one length-prefixed frame. `Ok(None)` is a clean EOF *between*
@@ -298,6 +528,7 @@ impl Request {
                 out.push(2);
                 out.extend_from_slice(&tenant.to_be_bytes());
             }
+            Request::Metrics => out.push(3),
         }
         out
     }
@@ -313,6 +544,7 @@ impl Request {
                 workload: Workload::decode_from(&mut c)?,
             },
             2 => Request::BumpEpoch { tenant: c.u64("tenant id")? },
+            3 => Request::Metrics,
             op => return Err(format!("unknown opcode {op}")),
         };
         c.finish()?;
@@ -369,6 +601,10 @@ impl Response {
                 out.push(5);
                 out.extend_from_slice(&epoch.to_be_bytes());
             }
+            Response::Metrics(metrics) => {
+                out.push(6);
+                metrics.encode_into(&mut out);
+            }
         }
         out
     }
@@ -409,6 +645,7 @@ impl Response {
                 }
             }
             5 => Response::EpochBumped { epoch: c.u64("epoch")? },
+            6 => Response::Metrics(WireMetrics::decode_from(&mut c)?),
             s => return Err(format!("unknown status {s}")),
         };
         c.finish()?;
@@ -441,6 +678,7 @@ mod tests {
             workload: Workload::Game { branching: 3, depth: 5, seed: 42 },
         });
         roundtrip_request(Request::BumpEpoch { tenant: 0 });
+        roundtrip_request(Request::Metrics);
     }
 
     #[test]
@@ -456,6 +694,108 @@ mod tests {
         roundtrip_response(Response::Malformed("bad".to_owned()));
         roundtrip_response(Response::Error("worse".to_owned()));
         roundtrip_response(Response::EpochBumped { epoch: 2 });
+        roundtrip_response(Response::Metrics(WireMetrics {
+            truncated: true,
+            entries: vec![
+                ("cache.hits".to_owned(), WireMetricValue::Counter(u64::MAX)),
+                ("serve.queue_depth".to_owned(), WireMetricValue::Gauge(-3)),
+                (
+                    "serve.latency_us.chain".to_owned(),
+                    WireMetricValue::Histogram(vec![(0, 1), (7, 2), (64, u64::MAX)]),
+                ),
+            ],
+        }));
+        roundtrip_response(Response::Metrics(WireMetrics::default()));
+    }
+
+    #[test]
+    fn metrics_snapshot_survives_the_wire_and_respects_the_frame_budget() {
+        // A realistic snapshot: counter, negative gauge, and a histogram
+        // whose sparse wire form must rebuild the same dense buckets.
+        let mut hist = HistogramSnapshot::default();
+        hist.buckets[0] = 4;
+        hist.buckets[6] = 9;
+        hist.buckets[64] = 1;
+        let snap = MetricsSnapshot {
+            entries: vec![
+                ("a.count".to_owned(), MetricValue::Counter(17)),
+                ("b.level".to_owned(), MetricValue::Gauge(-42)),
+                ("c.lat".to_owned(), MetricValue::Histogram(hist)),
+            ],
+        };
+        let wire = WireMetrics::from_snapshot(&snap);
+        assert!(!wire.truncated);
+        let enc = Response::Metrics(wire.clone()).encode();
+        assert!(enc.len() <= MAX_FRAME);
+        match Response::decode(&enc).unwrap() {
+            Response::Metrics(back) => {
+                assert_eq!(back, wire);
+                assert_eq!(back.to_snapshot().entries, snap.entries);
+            }
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+
+        // Too many metrics to fit one frame: a whole-entry prefix in
+        // name order goes out, the flag records the loss, and the
+        // encoding still fits.
+        let big = MetricsSnapshot {
+            entries: (0..400).map(|i| (format!("m.{i:04}"), MetricValue::Counter(i))).collect(),
+        };
+        let wire = WireMetrics::from_snapshot(&big);
+        assert!(wire.truncated);
+        assert!(!wire.entries.is_empty());
+        let kept: Vec<&str> = wire.entries.iter().map(|(n, _)| n.as_str()).collect();
+        let expected: Vec<&str> =
+            big.entries[..kept.len()].iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(kept, expected, "truncation keeps a prefix of name order");
+        let enc = Response::Metrics(wire).encode();
+        assert!(enc.len() <= MAX_FRAME);
+        assert!(matches!(Response::decode(&enc), Ok(Response::Metrics(w)) if w.truncated));
+    }
+
+    #[test]
+    fn hostile_metrics_payloads_are_rejected() {
+        fn decode_metric(entry: &[u8]) -> Result<Response, String> {
+            let mut payload = vec![6, 0, 0, 1]; // status, truncated=0, count=1
+            payload.extend_from_slice(entry);
+            Response::decode(&payload)
+        }
+
+        // Empty name.
+        let err = decode_metric(&[0, 0]).expect_err("empty name");
+        assert!(err.contains("name length"), "{err}");
+
+        // Unknown kind.
+        let mut entry = vec![9, 1, b'x'];
+        entry.extend_from_slice(&0u64.to_be_bytes());
+        let err = decode_metric(&entry).expect_err("kind");
+        assert!(err.contains("unknown metric kind"), "{err}");
+
+        // Histogram bucket out of range.
+        let mut entry = vec![2, 1, b'x', 1, 65];
+        entry.extend_from_slice(&1u64.to_be_bytes());
+        let err = decode_metric(&entry).expect_err("bucket range");
+        assert!(err.contains("out of range"), "{err}");
+
+        // Buckets not strictly ascending (duplicate could double-add on
+        // reassembly).
+        let mut entry = vec![2, 1, b'x', 2, 3];
+        entry.extend_from_slice(&1u64.to_be_bytes());
+        entry.push(3);
+        entry.extend_from_slice(&1u64.to_be_bytes());
+        let err = decode_metric(&entry).expect_err("ascending");
+        assert!(err.contains("strictly ascending"), "{err}");
+
+        // Zero count in the sparse form: not canonical, refuse it.
+        let mut entry = vec![2, 1, b'x', 1, 3];
+        entry.extend_from_slice(&0u64.to_be_bytes());
+        let err = decode_metric(&entry).expect_err("zero count");
+        assert!(err.contains("zero count"), "{err}");
+
+        // A hostile count with no bytes behind it dies in the cursor,
+        // not in an allocation.
+        let err = Response::decode(&[6, 0, 0xff, 0xff]).expect_err("count");
+        assert!(err.contains("missing"), "{err}");
     }
 
     #[test]

@@ -22,20 +22,33 @@
 //! grinding through a search whose caller is gone. Cancellation is
 //! safe to trigger at any moment: the engines guarantee a cancelled
 //! walk installs no cache summaries (see `DESIGN.md`), so a timed-out
-//! request leaves its tenant's warmth exactly as it found it.
+//! request leaves its tenant's warmth exactly as it found it. Watcher
+//! threads are *tracked*: the session signals them done (they wake
+//! immediately off a condvar, not a poll), finished handles are reaped
+//! as new ones spawn, and shutdown joins every straggler — the server
+//! never accumulates detached threads.
+//!
+//! The server is also where the workspace's metrics default flips
+//! **on**: a daemon you cannot scrape is blind, so `Server::spawn`
+//! enables recording unless `SELC_METRICS=0` explicitly asks for the
+//! zero-overhead path (overhead benches do). Live state travels as
+//! gauges (`serve.queue_depth`, `serve.active_watchers`), refusals and
+//! aborts as counters, and per-op end-to-end latency as log2
+//! histograms, all scrapeable via a `Metrics` request.
 
-use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::protocol::{read_frame, write_frame, Request, Response, WireMetrics, Workload};
 use crate::tenants::Tenants;
 use crate::workload::{self, Ran};
 use selc::env::{env_usize, SERVE_MAX_SESSIONS_ENV, SERVE_PORT_ENV, SERVE_WORKERS_ENV};
 use selc_engine::{configured_threads, CancelToken};
+use selc_obs::{metrics, Counter, Gauge, Histogram};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, LazyLock, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default listen port (loopback only): "SELC" on a phone keypad, mod
 /// the registered range.
@@ -46,6 +59,35 @@ pub const DEFAULT_MAX_SESSIONS: usize = 32;
 
 /// How often a request's disconnect watcher polls the socket.
 const WATCH_INTERVAL: Duration = Duration::from_millis(25);
+
+/// The serve layer's registry handles, resolved once. Every member is
+/// an `Arc` clone of the registry's metric, so recording is an atomic
+/// op (or a no-op while metrics are disabled).
+struct ServeMetrics {
+    queue_depth: Gauge,
+    active_watchers: Gauge,
+    admission_rejects: Counter,
+    deadline_timeouts: Counter,
+    disconnect_cancels: Counter,
+    requests: Counter,
+    latency_chain: Histogram,
+    latency_game: Histogram,
+    latency_bump_epoch: Histogram,
+    latency_metrics: Histogram,
+}
+
+static SERVE_METRICS: LazyLock<ServeMetrics> = LazyLock::new(|| ServeMetrics {
+    queue_depth: metrics::gauge("serve.queue_depth"),
+    active_watchers: metrics::gauge("serve.active_watchers"),
+    admission_rejects: metrics::counter("serve.admission_rejects"),
+    deadline_timeouts: metrics::counter("serve.deadline_timeouts"),
+    disconnect_cancels: metrics::counter("serve.disconnect_cancels"),
+    requests: metrics::counter("serve.requests"),
+    latency_chain: metrics::histogram("serve.latency_us.chain"),
+    latency_game: metrics::histogram("serve.latency_us.game"),
+    latency_bump_epoch: metrics::histogram("serve.latency_us.bump_epoch"),
+    latency_metrics: metrics::histogram("serve.latency_us.metrics"),
+});
 
 /// Server configuration, defaulted from the `SELC_SERVE_*` knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,11 +141,69 @@ struct Shared {
     /// them and unblock workers parked in `read_frame`.
     open: Mutex<HashMap<u64, TcpStream>>,
     next_session: AtomicU64,
+    /// Handles of the per-request disconnect watchers, reaped as new
+    /// ones register and joined at shutdown — bounded by in-flight
+    /// requests, not request count.
+    watchers: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn track_watcher(&self, handle: thread::JoinHandle<()>) {
+        let mut watchers = self.watchers.lock().expect("watcher registry poisoned");
+        reap_finished(&mut watchers);
+        watchers.push(handle);
+    }
+}
+
+/// Joins (not just drops) every finished handle in place: a joined
+/// watcher is provably gone, which is what [`Server::active_watchers`]
+/// counts and the leak test asserts on.
+fn reap_finished(watchers: &mut Vec<thread::JoinHandle<()>>) {
+    let mut i = 0;
+    while i < watchers.len() {
+        if watchers[i].is_finished() {
+            let _ = watchers.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Completion handshake between a session worker and its request's
+/// disconnect watcher: the worker flips `done` and rings the bell, so
+/// a watcher waiting out a poll interval wakes immediately instead of
+/// sleeping the interval to its end.
+struct WatchSignal {
+    done: Mutex<bool>,
+    bell: Condvar,
+}
+
+impl WatchSignal {
+    fn new() -> WatchSignal {
+        WatchSignal { done: Mutex::new(false), bell: Condvar::new() }
+    }
+
+    fn finish(&self) {
+        *self.done.lock().expect("watch signal poisoned") = true;
+        self.bell.notify_all();
+    }
+
+    fn is_done(&self) -> bool {
+        *self.done.lock().expect("watch signal poisoned")
+    }
+
+    /// Waits up to `timeout` for the request to finish; true once done.
+    fn wait_done(&self, timeout: Duration) -> bool {
+        let guard = self.done.lock().expect("watch signal poisoned");
+        let (done, _) = self
+            .bell
+            .wait_timeout_while(guard, timeout, |done| !*done)
+            .expect("watch signal poisoned");
+        *done
     }
 }
 
@@ -133,6 +233,9 @@ impl Server {
     pub fn spawn(config: ServeConfig) -> io::Result<Server> {
         assert!(config.workers >= 1, "a server needs at least one worker");
         assert!(config.max_sessions >= 1, "a server must admit at least one session");
+        // A service you cannot scrape is blind: the daemon defaults
+        // metrics ON, and `SELC_METRICS=0` still wins (overhead runs).
+        selc_obs::set_metrics_enabled(metrics::configured_metrics().unwrap_or(true));
         let listener = TcpListener::bind(("127.0.0.1", config.port))?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -143,6 +246,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             open: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(0),
+            watchers: Mutex::new(Vec::new()),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -170,6 +274,17 @@ impl Server {
         self.shared.active.load(Ordering::Acquire)
     }
 
+    /// Disconnect-watcher threads spawned for requests and not yet
+    /// exited. Joins finished handles as a side effect, so the count is
+    /// of provably-live threads — the no-leak test asserts this returns
+    /// to zero once requests settle.
+    #[must_use]
+    pub fn active_watchers(&self) -> usize {
+        let mut watchers = self.shared.watchers.lock().expect("watcher registry poisoned");
+        reap_finished(&mut watchers);
+        watchers.len()
+    }
+
     /// Stops accepting, force-closes live sessions, and joins every
     /// thread. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
@@ -191,6 +306,15 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Workers gone ⇒ every request signalled its watcher done;
+        // each exits within one poll interval, so these joins are
+        // bounded — and afterwards no thread of ours survives the
+        // handle.
+        let handles: Vec<_> =
+            self.shared.watchers.lock().expect("watcher registry poisoned").drain(..).collect();
+        for watcher in handles {
+            let _ = watcher.join();
+        }
     }
 }
 
@@ -208,11 +332,13 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, max_sessions: usize) {
         let Ok(mut stream) = stream else { continue };
         let _ = stream.set_nodelay(true); // tiny frames must not wait out Nagle
         if shared.active.load(Ordering::Acquire) >= max_sessions {
+            SERVE_METRICS.admission_rejects.inc();
             let _ = write_frame(&mut stream, &Response::Busy.encode());
             continue; // drop: refused, never counted
         }
         shared.active.fetch_add(1, Ordering::AcqRel);
         shared.queue.lock().expect("session queue poisoned").push_back(stream);
+        SERVE_METRICS.queue_depth.inc();
         shared.available.notify_one();
     }
 }
@@ -226,6 +352,7 @@ fn worker_loop(shared: &Shared) {
                     return;
                 }
                 if let Some(stream) = queue.pop_front() {
+                    SERVE_METRICS.queue_depth.dec();
                     break stream;
                 }
                 queue = shared.available.wait(queue).expect("session queue poisoned");
@@ -266,13 +393,24 @@ fn serve_session(mut stream: TcpStream, shared: &Shared) {
             }
             Err(_) => return,
         };
-        let response = match Request::decode(&payload) {
-            Err(msg) => Response::Malformed(msg),
-            Ok(Request::BumpEpoch { tenant }) => {
-                Response::EpochBumped { epoch: shared.tenants.bump(tenant) }
-            }
+        let started = Instant::now();
+        SERVE_METRICS.requests.inc();
+        let (response, latency) = match Request::decode(&payload) {
+            Err(msg) => (Response::Malformed(msg), None),
+            Ok(Request::BumpEpoch { tenant }) => (
+                Response::EpochBumped { epoch: shared.tenants.bump(tenant) },
+                Some(&SERVE_METRICS.latency_bump_epoch),
+            ),
+            Ok(Request::Metrics) => (
+                Response::Metrics(WireMetrics::from_snapshot(&metrics::snapshot())),
+                Some(&SERVE_METRICS.latency_metrics),
+            ),
             Ok(Request::Search { tenant, deadline_ms, workload }) => {
-                match workload::validate(&workload) {
+                let latency = match workload {
+                    Workload::Chain { .. } => &SERVE_METRICS.latency_chain,
+                    Workload::Game { .. } => &SERVE_METRICS.latency_game,
+                };
+                let response = match workload::validate(&workload) {
                     Err(msg) => Response::Malformed(msg),
                     Ok(()) => {
                         let tenant = shared.tenants.get_or_create(tenant);
@@ -281,23 +419,35 @@ fn serve_session(mut stream: TcpStream, shared: &Shared) {
                         } else {
                             CancelToken::never()
                         };
-                        let done = Arc::new(AtomicBool::new(false));
-                        spawn_watcher(&stream, cancel.clone(), Arc::clone(&done));
+                        let signal = Arc::new(WatchSignal::new());
+                        let watcher = spawn_watcher(&stream, cancel.clone(), Arc::clone(&signal));
+                        if let Some(handle) = watcher {
+                            shared.track_watcher(handle);
+                        }
                         let ran = workload::run(&tenant, &workload, &cancel);
-                        // Detach, never join: the watcher notices the
-                        // flag within one poll interval and exits on
-                        // its own — joining would tax every request's
-                        // tail latency with the watcher's poll cadence.
-                        done.store(true, Ordering::Release);
+                        // The watcher wakes off the bell (or within one
+                        // poll interval if it is mid-peek) and exits;
+                        // its tracked handle is reaped later, off this
+                        // request's latency path.
+                        signal.finish();
                         match ran {
                             Ran::Done { index, loss, stats } => Response::Ok { index, loss, stats },
-                            Ran::TimedOut { partial } => Response::Timeout { partial },
+                            Ran::TimedOut { partial } => {
+                                SERVE_METRICS.deadline_timeouts.inc();
+                                Response::Timeout { partial }
+                            }
                         }
                     }
-                }
+                };
+                (response, Some(latency))
             }
         };
-        if write_frame(&mut stream, &response.encode()).is_err() {
+        let wrote = write_frame(&mut stream, &response.encode());
+        if let Some(latency) = latency {
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            latency.record(micros);
+        }
+        if wrote.is_err() {
             return; // client gone mid-response
         }
     }
@@ -309,33 +459,48 @@ fn serve_session(mut stream: TcpStream, shared: &Shared) {
 /// end-to-end. The watcher borrows the socket via `try_clone`, which
 /// shares the fd; its short read timeout leaks past the request, so
 /// the session clears it before each blocking `read_frame`. The
-/// thread is detached: it exits within one poll interval of the
-/// done flag flipping, and a straggler only peeks a shared fd.
-fn spawn_watcher(stream: &TcpStream, cancel: CancelToken, done: Arc<AtomicBool>) {
-    let Ok(peer) = stream.try_clone() else {
-        return;
-    };
-    if peer.set_read_timeout(Some(WATCH_INTERVAL)).is_err() {
-        return;
-    }
-    thread::spawn(move || {
+/// returned handle is tracked by the caller and joined at shutdown;
+/// the thread itself exits within one poll interval of the signal
+/// finishing (immediately, when it is waiting on the bell rather than
+/// mid-peek).
+fn spawn_watcher(
+    stream: &TcpStream,
+    cancel: CancelToken,
+    signal: Arc<WatchSignal>,
+) -> Option<thread::JoinHandle<()>> {
+    let peer = stream.try_clone().ok()?;
+    peer.set_read_timeout(Some(WATCH_INTERVAL)).ok()?;
+    Some(thread::spawn(move || {
+        SERVE_METRICS.active_watchers.inc();
         let mut probe = [0u8; 1];
-        while !done.load(Ordering::Acquire) {
+        loop {
+            if signal.is_done() {
+                break;
+            }
             match peer.peek(&mut probe) {
                 Ok(0) => {
+                    SERVE_METRICS.disconnect_cancels.inc();
                     cancel.cancel(); // EOF: the caller is gone
                     break;
                 }
                 // Bytes waiting (a pipelined request): still alive.
-                Ok(_) => thread::sleep(WATCH_INTERVAL),
+                // Wait out a poll interval or the completion bell,
+                // whichever comes first.
+                Ok(_) => {
+                    if signal.wait_done(WATCH_INTERVAL) {
+                        break;
+                    }
+                }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut => {}
                 Err(_) => {
+                    SERVE_METRICS.disconnect_cancels.inc();
                     cancel.cancel(); // transport dead: same as gone
                     break;
                 }
             }
         }
-    });
+        SERVE_METRICS.active_watchers.dec();
+    }))
 }

@@ -295,6 +295,74 @@ fn disconnected_callers_stop_their_searches() {
 }
 
 #[test]
+fn metrics_scrape_reports_live_telemetry() {
+    let server = spawn(2, 4);
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    // A mixed workload: a cold chain, its warm repeat, and a game
+    // solve — enough to light up the serve histograms, the engine
+    // counters, and the cache counters all at once.
+    expect_ok(client.search(31, Workload::Chain { choices: 8 }, 0).expect("cold chain"));
+    expect_ok(client.search(31, Workload::Chain { choices: 8 }, 0).expect("warm chain"));
+    expect_ok(
+        client.search(31, Workload::Game { branching: 3, depth: 4, seed: 5 }, 0).expect("game"),
+    );
+    let resp = client.metrics().expect("scrape");
+    let Response::Metrics(wire) = resp else {
+        panic!("expected Metrics, got {resp:?}");
+    };
+    let snap = wire.to_snapshot();
+    if selc_obs::metrics::configured_metrics() == Some(false) {
+        // An explicit SELC_METRICS=0 run records nothing; the scrape
+        // path itself (above) is still exercised.
+        return;
+    }
+    // Per-op latency histograms saw our requests (metrics are
+    // process-global, so other tests only ever add counts).
+    assert!(snap.histogram("serve.latency_us.chain").count() >= 2, "chain latencies recorded");
+    assert!(snap.histogram("serve.latency_us.game").count() >= 1, "game latency recorded");
+    // Live-state gauges and refusal/abort counters are registered and
+    // travel the wire even at their resting values.
+    assert!(snap.get("serve.queue_depth").is_some(), "queue-depth gauge scrapeable");
+    assert!(snap.get("serve.active_watchers").is_some(), "watcher gauge scrapeable");
+    assert!(snap.get("serve.admission_rejects").is_some(), "reject counter scrapeable");
+    // Engine, cache, and game-solver telemetry flows through the same
+    // scrape: searches ran, the tenant caches were consulted, and the
+    // prune counter exists for when bounds do fire.
+    assert!(snap.counter("engine.searches") >= 3, "engine searches counted");
+    assert!(snap.counter("cache.hits") + snap.counter("cache.misses") > 0, "caches consulted");
+    assert!(snap.get("engine.pruned").is_some(), "prune counter scrapeable");
+    assert!(snap.counter("games.ab_solves") >= 1, "game solves counted");
+    // And the snapshot renders: one line per metric, usable as a
+    // plain-text exposition format.
+    let text = snap.render_text();
+    assert!(text.lines().count() == snap.entries.len());
+    assert!(text.contains("serve.latency_us.chain"));
+}
+
+#[test]
+fn disconnect_watchers_are_reaped_not_leaked() {
+    let mut server = spawn(2, 4);
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    for _ in 0..5 {
+        expect_ok(client.search(9, Workload::Chain { choices: 6 }, 0).expect("search"));
+    }
+    drop(client);
+    // Each request spawned one watcher; each was signalled done when
+    // its request finished and must exit within a poll interval —
+    // `active_watchers` joins the finished ones, so reaching zero
+    // proves no thread leaked.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.active_watchers() > 0 {
+        assert!(Instant::now() < deadline, "watcher threads leaked");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+    assert_eq!(server.active_watchers(), 0, "shutdown joins every watcher");
+}
+
+#[test]
 fn shutdown_is_clean_and_idempotent() {
     let mut server = spawn(2, 4);
     let mut client = Client::connect(server.addr()).expect("connect");
