@@ -23,10 +23,11 @@
 
 use crate::backend::{CacheBackend, ClockLru, Unbounded};
 use crate::stats::CacheStats;
+use selc_check::sync::atomic::{AtomicU64, Ordering};
+use selc_check::sync::{Mutex, MutexGuard, TryLockError};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, TryLockError};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Process-global mirrors of the per-cache [`CacheStats`] counters,
@@ -169,6 +170,11 @@ where
     /// first (dropped entries count as evictions).
     fn shard(&self, key: &K) -> MutexGuard<'_, Shard<K, V>> {
         let mut guard = lock_shard(&self.shards[self.shard_index(key)]);
+        // ordering: Acquire — pairs with the Release in `advance_epoch`:
+        // a shard that observes the bumped epoch also observes everything
+        // the bumping thread did before invalidating (e.g. the new
+        // program being installed), so it never clears and then serves a
+        // stale value that was stored after the bump it missed.
         guard.sync_epoch(self.epoch.load(Ordering::Acquire));
         guard
     }
@@ -230,11 +236,16 @@ where
     /// become invisible, and each shard physically clears on its next
     /// access. Returns the new epoch.
     pub fn advance_epoch(&self) -> u64 {
+        // ordering: Release — publishes everything the bumping thread
+        // wrote before invalidating; pairs with the Acquire loads in
+        // `shard` and `for_each_shard` (see the comment in `shard`).
         self.epoch.fetch_add(1, Ordering::Release) + 1
     }
 
     /// The current epoch (starts at 0).
     pub fn epoch(&self) -> u64 {
+        // ordering: Acquire — callers compare epochs across handles and
+        // expect the writes that preceded an observed bump to be visible.
         self.epoch.load(Ordering::Acquire)
     }
 
@@ -276,6 +287,7 @@ where
     /// Runs `f` under each shard's lock in shard order, applying pending
     /// epoch invalidation first so observations are epoch-consistent.
     fn for_each_shard<T>(&self, mut f: impl FnMut(&mut Shard<K, V>) -> T) -> Vec<T> {
+        // ordering: Acquire — same pairing as the load in `shard`.
         let current = self.epoch.load(Ordering::Acquire);
         self.shards
             .iter()
@@ -338,6 +350,7 @@ impl<K, V> std::fmt::Debug for ShardedCache<K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedCache")
             .field("shards", &self.shards.len())
+            // ordering: Relaxed — diagnostic snapshot only.
             .field("epoch", &self.epoch.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
@@ -457,5 +470,45 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardedCache::<u32, u32>::unbounded(0);
+    }
+}
+
+/// Exhaustive small-schedule verification under the `selc_check` model
+/// checker (`RUSTFLAGS="--cfg selc_model" cargo test -p selc-cache`).
+#[cfg(all(test, selc_model))]
+mod model_tests {
+    use super::*;
+    use selc_check::model::{check, spawn, Options};
+
+    /// Epoch-bump tenant isolation on every interleaving: once a reader
+    /// *observes* the bumped epoch, no lookup through any handle can
+    /// return a value stored under the old epoch — the tenant that
+    /// triggered the bump never sees the previous tenant's entries.
+    #[test]
+    fn model_epoch_bump_isolates_old_entries_on_every_schedule() {
+        check("cache-epoch-isolation", Options::default(), || {
+            let c: SharedCache<u32, u32> = Arc::new(ShardedCache::unbounded(1));
+            c.store(7, 100); // the previous tenant's entry, epoch 0
+            let bumper = {
+                let c = Arc::clone(&c);
+                spawn(move || c.advance_epoch())
+            };
+            let reader = {
+                let c = Arc::clone(&c);
+                spawn(move || {
+                    let epoch_seen = c.epoch();
+                    let v = c.lookup(&7);
+                    assert!(
+                        !(epoch_seen >= 1 && v == Some(100)),
+                        "a reader that observed the bump saw an old-epoch value"
+                    );
+                })
+            };
+            bumper.join();
+            reader.join();
+            // The bump is joined: the old entry is gone unconditionally.
+            assert_eq!(c.epoch(), 1);
+            assert_eq!(c.lookup(&7), None, "old-epoch entries are invisible after the bump");
+        });
     }
 }

@@ -1,0 +1,60 @@
+//! `selc-lint` — the workspace invariant linter.
+//!
+//! Usage: `selc-lint [workspace-root]` (default: the current directory).
+//! Walks every `.rs` file outside `target/`, `vendor/`, and
+//! test/bench/example trees, applies the rules in [`selc_check::lint`],
+//! prints one line per finding, and exits non-zero if any fired.
+
+use selc_check::lint::{lint_source, Finding, SKIP_DIRS};
+use std::path::{Path, PathBuf};
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    // Deterministic walk order → deterministic report order.
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rust_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let root = PathBuf::from(root);
+    let mut files = Vec::new();
+    if let Err(e) = collect_rust_files(&root, &mut files) {
+        eprintln!("selc-lint: cannot walk {}: {e}", root.display());
+        return std::process::ExitCode::from(2);
+    }
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut checked = 0usize;
+    for path in &files {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue; // non-UTF-8 or unreadable: not lintable source
+        };
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        let label = rel.to_string_lossy().replace('\\', "/");
+        findings.extend(lint_source(&label, &text));
+        checked += 1;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("selc-lint: {checked} files clean");
+        std::process::ExitCode::SUCCESS
+    } else {
+        println!("selc-lint: {} finding(s) across {checked} files", findings.len());
+        std::process::ExitCode::FAILURE
+    }
+}

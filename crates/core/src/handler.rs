@@ -294,6 +294,8 @@ where
     });
     let p0 = Value::new(p);
     Sel::from_fn(move |g: LossCont<L, B>| {
+        // ordering: Relaxed — activation ids only need uniqueness,
+        // which the RMW guarantees under any ordering.
         let activation = NEXT_ACTIVATION.fetch_add(1, Ordering::Relaxed);
         // The handled computation's loss continuation: a marker node that
         // the fold below interprets with the *current* parameter, giving

@@ -18,8 +18,8 @@
 //! though the sequential scan would have kept it.
 
 use selc::OrderedLoss;
+use selc_check::sync::atomic::{AtomicU64, Ordering};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Sentinel meaning "no loss achieved yet" — larger than every encoding.
 ///
@@ -67,6 +67,10 @@ impl<L: OrderedLoss> SharedBound<L> {
     /// against achieved losses, and an unattained value could prune the
     /// true winner.
     pub fn observe_bits(&self, bits: u64) {
+        // ordering: Relaxed — the bound is a monotone hint. fetch_min
+        // never loosens it, and a reader seeing a stale (larger) value
+        // only misses a pruning opportunity; no data is published
+        // through this word.
         self.bits.fetch_min(bits, Ordering::Relaxed);
     }
 
@@ -75,6 +79,10 @@ impl<L: OrderedLoss> SharedBound<L> {
     /// has no pruning encoding — pruning degrades to exhaustive search.
     pub fn dominated(&self, lb: &L) -> bool {
         match lb.prune_bits() {
+            // ordering: Relaxed — staleness is safe in one direction
+            // only: a stale *larger* value under-prunes. The strict `>`
+            // against an achieved loss is what keeps pruning sound (see
+            // the module docs); no ordering strengthens or weakens that.
             Some(bits) => bits > self.bits.load(Ordering::Relaxed),
             None => false,
         }
@@ -82,12 +90,14 @@ impl<L: OrderedLoss> SharedBound<L> {
 
     /// Has any loss been published?
     pub fn is_set(&self) -> bool {
+        // ordering: Relaxed — same monotone-hint argument as `dominated`.
         self.bits.load(Ordering::Relaxed) != UNSET
     }
 }
 
 impl<L: OrderedLoss> std::fmt::Debug for SharedBound<L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // ordering: Relaxed — diagnostic snapshot only.
         write!(f, "SharedBound(bits = {:#x})", self.bits.load(Ordering::Relaxed))
     }
 }
@@ -150,5 +160,58 @@ mod tests {
         });
         assert!(b.dominated(&8.0));
         assert!(!b.dominated(&7.0));
+    }
+}
+
+/// Exhaustive small-schedule verification under the `selc_check` model
+/// checker (`RUSTFLAGS="--cfg selc_model" cargo test -p selc-engine`).
+#[cfg(all(test, selc_model))]
+mod model_tests {
+    use super::*;
+    use selc_check::model::{check, spawn, Options};
+    use std::sync::Arc;
+
+    /// Racing publishers and a racing reader: on every interleaving the
+    /// bound tightens monotonically, ends at the minimum of everything
+    /// published, and domination stays *strict* (an equal loss is never
+    /// dominated, preserving the deterministic tie-break).
+    #[test]
+    fn model_bound_is_monotone_and_strictly_dominating() {
+        check("bound-monotone", Options::default(), || {
+            let b: Arc<SharedBound<f64>> = Arc::new(SharedBound::new());
+            let p1 = {
+                let b = Arc::clone(&b);
+                spawn(move || {
+                    b.observe(&5.0);
+                    b.observe(&3.0);
+                })
+            };
+            let p2 = {
+                let b = Arc::clone(&b);
+                spawn(move || b.observe(&4.0))
+            };
+            let reader = {
+                let b = Arc::clone(&b);
+                spawn(move || {
+                    let first = b.bits.load(Ordering::Relaxed); // ordering: model fixture probe
+                    let second = b.bits.load(Ordering::Relaxed); // ordering: model fixture probe
+                    assert!(second <= first, "the bound only ever tightens");
+                })
+            };
+            p1.join();
+            p2.join();
+            reader.join();
+            let best = 3.0f64.prune_bits().expect("finite losses encode");
+            assert_eq!(
+                b.bits.load(Ordering::Relaxed),
+                best,
+                "final bound is the min of all published"
+            ); // ordering: post-join
+            assert!(b.dominated(&3.5));
+            assert!(
+                !b.dominated(&3.0),
+                "ties are never dominated — strictness survives every schedule"
+            );
+        });
     }
 }

@@ -32,7 +32,7 @@
 //! un-cancelled search over the same space recomputes what the abort
 //! skipped and remains bit-identical to a cold run.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use selc_check::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -79,6 +79,11 @@ impl CancelToken {
 
     /// Cancels every clone of this token, immediately and permanently.
     pub fn cancel(&self) {
+        // ordering: Release — pairs with nothing the flag itself needs
+        // (it carries one monotone bit), but orders everything the
+        // canceller did before hanging up ahead of the flag becoming
+        // visible, so a worker that observes the cancel also observes
+        // the caller's final writes (e.g. a result sink being closed).
         self.flag.store(true, Ordering::Release);
     }
 
@@ -87,6 +92,10 @@ impl CancelToken {
     /// only when a deadline was set.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
+        // ordering: Relaxed — polled on the hot claim path. The flag is
+        // monotone (false → true, never back), so a stale read only
+        // delays the stop by one poll; nothing is read on the strength
+        // of observing `true` that would need Acquire here.
         self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
@@ -123,5 +132,44 @@ mod tests {
     fn saturating_budgets_mean_no_deadline() {
         let t = CancelToken::with_timeout(Duration::from_secs(u64::MAX));
         assert!(!t.is_cancelled());
+    }
+}
+
+/// Exhaustive small-schedule verification under the `selc_check` model
+/// checker (`RUSTFLAGS="--cfg selc_model" cargo test -p selc-engine`).
+#[cfg(all(test, selc_model))]
+mod model_tests {
+    use super::*;
+    use crate::queue::WorkQueue;
+    use selc_check::model::{check, spawn, Options};
+
+    /// Stop visibility on every schedule: once any thread *observes* the
+    /// token as cancelled, every later `claim_unless` through any clone
+    /// refuses — cancellation is permanent and never un-observes.
+    #[test]
+    fn model_observed_cancellation_permanently_refuses_claims() {
+        check("cancel-visibility", Options::default(), || {
+            let q = std::sync::Arc::new(WorkQueue::new(8));
+            let tok = CancelToken::new();
+            let canceller = {
+                let tok = tok.clone();
+                spawn(move || tok.cancel())
+            };
+            let worker = {
+                let (q, tok) = (std::sync::Arc::clone(&q), tok.clone());
+                spawn(move || {
+                    let saw = tok.is_cancelled();
+                    let claim = q.claim_unless(2, &tok);
+                    if saw {
+                        assert_eq!(claim, None, "a claim after an observed cancel must refuse");
+                    }
+                })
+            };
+            canceller.join();
+            worker.join();
+            // The cancel has been joined: visibility is unconditional now.
+            assert!(tok.is_cancelled());
+            assert_eq!(q.claim_unless(2, &tok), None);
+        });
     }
 }

@@ -12,7 +12,7 @@
 //! claim returns `None`, forever, on any thread.
 
 use crate::cancel::CancelToken;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use selc_check::sync::atomic::{AtomicUsize, Ordering};
 
 /// A chunked work queue over the index space `0..space`.
 #[derive(Debug)]
@@ -38,6 +38,9 @@ impl WorkQueue {
         assert!(chunk > 0, "work-queue chunks must be non-empty");
         let start = self
             .cursor
+            // ordering: Relaxed suffices — the cursor only partitions
+            // indices between workers; it publishes no data, and each
+            // worker touches only the indices its own RMW returned.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
                 (cur < self.space).then(|| cur.saturating_add(chunk).min(self.space))
             })
@@ -152,5 +155,79 @@ mod tests {
         }
         assert_eq!(claimed, 3, "exactly one chunk ran; the rest was abandoned");
         assert_eq!(q.claim(1), Some((3, 4)), "abandoned work was never claimed");
+    }
+}
+
+/// Exhaustive small-schedule verification under the `selc_check` model
+/// checker (`RUSTFLAGS="--cfg selc_model" cargo test -p selc-engine`).
+#[cfg(all(test, selc_model))]
+mod model_tests {
+    use super::*;
+    use selc_check::model::{check, spawn, Options};
+    use std::sync::Arc;
+
+    /// Two workers draining a small space: across *every* interleaving
+    /// (up to the preemption bound), each index is claimed exactly once
+    /// and the claims are in-order half-open chunks.
+    #[test]
+    fn model_claims_partition_the_space_exactly_once() {
+        check("queue-partition", Options::default(), || {
+            let q = Arc::new(WorkQueue::new(3));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(c) = q.claim(2) {
+                            mine.push(c);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            let mut all: Vec<(usize, usize)> =
+                workers.into_iter().flat_map(selc_check::model::JoinHandle::join).collect();
+            all.sort_unstable();
+            let mut covered = 0usize;
+            for (start, end) in all {
+                assert_eq!(start, covered, "claims tile the space with no gap or overlap");
+                assert!(end > start && end <= 3);
+                covered = end;
+            }
+            assert_eq!(covered, 3, "every index was claimed");
+        });
+    }
+
+    /// The PR 5 regression, exhaustively: with the cursor a few indices
+    /// short of `usize::MAX`, racing claimants get the clipped tail
+    /// exactly once and every later claim refuses — no schedule lets
+    /// the cursor wrap and re-issue index 0.
+    #[test]
+    fn model_near_max_claims_saturate_on_every_schedule() {
+        check("queue-saturate", Options::default(), || {
+            let q = Arc::new(WorkQueue::new(usize::MAX));
+            q.cursor.store(usize::MAX - 3, Ordering::Relaxed); // ordering: model fixture setup before spawning
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    spawn(move || {
+                        let first = q.claim(usize::MAX / 2);
+                        let second = q.claim(usize::MAX / 2);
+                        (first, second)
+                    })
+                })
+                .collect();
+            let claims: Vec<_> =
+                workers.into_iter().map(selc_check::model::JoinHandle::join).collect();
+            let tails: Vec<_> =
+                claims.iter().flat_map(|(a, b)| [a, b]).filter_map(|c| *c).collect();
+            assert_eq!(
+                tails,
+                vec![(usize::MAX - 3, usize::MAX)],
+                "exactly one claimant got the tail, once"
+            );
+            assert_eq!(q.cursor.load(Ordering::Relaxed), usize::MAX); // ordering: post-join, publication via join
+            assert_eq!(q.claim(1), None, "exhaustion is absorbing on every schedule");
+        });
     }
 }

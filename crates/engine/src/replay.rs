@@ -28,6 +28,9 @@ pub struct CacheStatsSink {
 impl CacheStatsSink {
     /// Adds one run's counters.
     pub fn record(&self, stats: &CacheStats) {
+        // ordering: Relaxed — independent statistics cells; RMW
+        // atomicity keeps each total exact, and nothing is published
+        // through them.
         self.hits.fetch_add(stats.hits, Ordering::Relaxed);
         self.misses.fetch_add(stats.misses, Ordering::Relaxed);
         self.insertions.fetch_add(stats.insertions, Ordering::Relaxed);
@@ -37,6 +40,9 @@ impl CacheStatsSink {
     /// The totals accumulated so far.
     pub fn total(&self) -> CacheStats {
         CacheStats {
+            // ordering: Relaxed — a statistical scrape; the four loads
+            // are not a consistent snapshot under concurrent recorders
+            // anyway.
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),

@@ -439,6 +439,9 @@ impl Machine {
         if self.capture_depth == 0 {
             if let Some(p) = &self.prune {
                 self.prune_partial = self.prune_partial.add(&l);
+                // ordering: Relaxed — the threshold mirrors the shared
+                // bound's monotone hint: a stale (larger) value only
+                // under-prunes, it can never wrongly abort a run.
                 if (p.encode)(&self.prune_partial) > p.threshold.load(Ordering::Relaxed) {
                     return Err(MachError::Pruned);
                 }

@@ -15,6 +15,8 @@ static FRESH: AtomicU64 = AtomicU64::new(0);
 /// Generates a fresh variable name that cannot clash with user names
 /// (user-facing builders reject `%`).
 pub fn fresh(prefix: &str) -> String {
+    // ordering: Relaxed — fresh names only need uniqueness, which the
+    // RMW guarantees under any ordering.
     let n = FRESH.fetch_add(1, Ordering::Relaxed);
     format!("%{prefix}{n}")
 }

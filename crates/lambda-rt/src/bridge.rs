@@ -92,6 +92,8 @@ impl LcCandidates {
             ops: ops.into_iter().collect(),
             depth,
             fuel: 0,
+            // ordering: Relaxed — space ids only need uniqueness, which
+            // the RMW guarantees under any ordering.
             id: NEXT_SPACE_ID.fetch_add(1, Ordering::Relaxed),
             used_depths: Arc::new(AtomicU64::new(0)),
             best_seen: Arc::new(AtomicU64::new(u64::MAX)),
@@ -122,12 +124,16 @@ impl LcCandidates {
 
     /// Records that a candidate completed using exactly `used` decisions.
     pub(crate) fn note_used_depth(&self, used: u32) {
+        // ordering: Relaxed — a monotone hint bitmask: a reader that
+        // misses a freshly-set bit only skips a cache probe it could
+        // have made; it never reads data through the mask.
         self.used_depths.fetch_or(1 << used, Ordering::Relaxed);
     }
 
     /// The bitmask of decision counts candidates have been observed to
     /// use (monotone, shared across clones and searches).
     pub(crate) fn used_depths_mask(&self) -> u64 {
+        // ordering: Relaxed — see `note_used_depth`.
         self.used_depths.load(Ordering::Relaxed)
     }
 

@@ -137,6 +137,9 @@ impl CandidateEval<OrdLossVal> for CompiledEval<'_> {
                 {
                     // A hit is an achieved loss too: keep the mid-run
                     // abandonment mirror tight on warm searches.
+                    // ordering: Relaxed — same monotone-hint argument as
+                    // `SharedBound::observe_bits`: a stale (larger)
+                    // value only under-prunes.
                     self.best_bits.fetch_min(encode_scalar(&loss.0), Ordering::Relaxed);
                     return Some(loss);
                 }
@@ -153,6 +156,7 @@ impl CandidateEval<OrdLossVal> for CompiledEval<'_> {
         let loss = OrdLossVal(out.loss);
         // Publish the achieved loss to the machine-visible mirror (the
         // engine's own scan observes its SharedBound separately).
+        // ordering: Relaxed — monotone hint; see the fetch_min above.
         self.best_bits.fetch_min(encode_scalar(&loss.0), Ordering::Relaxed);
         if let Some(cache) = self.cache {
             cache.store(
@@ -169,6 +173,8 @@ impl CandidateEval<OrdLossVal> for CompiledEval<'_> {
     }
 
     fn seed_bits(&self) -> Option<u64> {
+        // ordering: Relaxed — a stale (larger) seed only forgoes some
+        // warm-start pruning; it can never prune unsoundly.
         let bits = self.best_bits.load(Ordering::Relaxed);
         (bits != u64::MAX).then_some(bits)
     }

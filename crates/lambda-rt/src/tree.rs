@@ -114,6 +114,9 @@ impl<'c> LcTreeEval<'c> {
                 let used = out.decisions_used;
                 debug_assert!(used <= len, "paths cannot use unvisited decisions");
                 let loss = OrdLossVal(out.loss);
+                // ordering: Relaxed — the abandonment mirror is a
+                // monotone hint, like `SharedBound`: a stale (larger)
+                // value only under-prunes, never unsoundly.
                 self.best_bits.fetch_min(encode_scalar(&loss.0), Ordering::Relaxed);
                 if let Some(cache) = self.cache {
                     cache.store(
@@ -151,6 +154,7 @@ impl TreeEval<OrdLossVal> for LcTreeEval<'_> {
                     cache.lookup(&(self.cands.id(), used, prefix >> (len - used)))
                 {
                     LEAF_CACHE_HITS.inc();
+                    // ordering: Relaxed — monotone hint; see `advance`.
                     self.best_bits.fetch_min(encode_scalar(&loss.0), Ordering::Relaxed);
                     return TreeStep::Leaf { loss, used };
                 }
@@ -177,6 +181,7 @@ impl TreeEval<OrdLossVal> for LcTreeEval<'_> {
             if self.cands.used_depths_mask() & (1_u64 << len) != 0 {
                 if let Some(LcEntry::Leaf(loss)) = cache.lookup(&(self.cands.id(), len, path)) {
                     LEAF_CACHE_HITS.inc();
+                    // ordering: Relaxed — monotone hint; see `advance`.
                     self.best_bits.fetch_min(encode_scalar(&loss.0), Ordering::Relaxed);
                     return TreeStep::Leaf { loss, used: len };
                 }
@@ -202,6 +207,7 @@ impl TreeEval<OrdLossVal> for LcTreeEval<'_> {
                     // leaf: it tightens the mid-segment abandonment
                     // mirror like the leaf itself would. (A bound entry
                     // must NOT: nothing attained it.)
+                    // ordering: Relaxed — monotone hint; see `advance`.
                     self.best_bits.fetch_min(encode_scalar(&s.loss.0), Ordering::Relaxed);
                 }
                 SummaryProbe::from(s)
@@ -217,6 +223,8 @@ impl TreeEval<OrdLossVal> for LcTreeEval<'_> {
     }
 
     fn seed_bits(&self) -> Option<u64> {
+        // ordering: Relaxed — a stale (larger) seed only forgoes some
+        // warm-start pruning; it can never prune unsoundly.
         let bits = self.best_bits.load(Ordering::Relaxed);
         (bits != u64::MAX).then_some(bits)
     }

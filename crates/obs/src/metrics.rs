@@ -31,8 +31,8 @@
 //! is the thing this crate exists to prevent). Tests and embedders use
 //! [`set_metrics_enabled`] directly.
 
+use selc_check::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Name of the metrics toggle variable.
@@ -67,6 +67,8 @@ fn enabled_cell() -> &'static AtomicBool {
 #[inline]
 #[must_use]
 pub fn metrics_enabled() -> bool {
+    // ordering: Relaxed — an advisory on/off bit; an event racing a
+    // toggle may be counted or not, and either outcome is acceptable.
     enabled_cell().load(Ordering::Relaxed)
 }
 
@@ -74,6 +76,7 @@ pub fn metrics_enabled() -> bool {
 /// Registered metrics and their accumulated values survive a toggle;
 /// only *new* events are gated.
 pub fn set_metrics_enabled(on: bool) {
+    // ordering: Relaxed — see `metrics_enabled`.
     enabled_cell().store(on, Ordering::Relaxed);
 }
 
@@ -86,6 +89,8 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if metrics_enabled() {
+            // ordering: Relaxed — an independent event count; atomicity
+            // of the RMW is all a counter needs, it publishes no data.
             self.0.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -99,6 +104,8 @@ impl Counter {
     /// The current total (reads even when recording is disabled).
     #[must_use]
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — a statistical read-out; scrapes tolerate
+        // any momentary value and impose no ordering on recorders.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -112,6 +119,8 @@ impl Gauge {
     #[inline]
     pub fn add(&self, delta: i64) {
         if metrics_enabled() {
+            // ordering: Relaxed — same statistical-cell argument as
+            // `Counter::add`.
             self.0.fetch_add(delta, Ordering::Relaxed);
         }
     }
@@ -132,6 +141,7 @@ impl Gauge {
     #[inline]
     pub fn set(&self, value: i64) {
         if metrics_enabled() {
+            // ordering: Relaxed — see `Counter::add`.
             self.0.store(value, Ordering::Relaxed);
         }
     }
@@ -139,6 +149,7 @@ impl Gauge {
     /// The current level.
     #[must_use]
     pub fn get(&self) -> i64 {
+        // ordering: Relaxed — see `Counter::get`.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -186,6 +197,7 @@ impl Histogram {
     #[inline]
     pub fn record(&self, value: u64) {
         if metrics_enabled() {
+            // ordering: Relaxed — see `Counter::add`.
             self.0.buckets[histogram_bucket_of(value)].fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -195,6 +207,9 @@ impl Histogram {
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = [0u64; HISTOGRAM_BUCKETS];
         for (out, cell) in buckets.iter_mut().zip(self.0.buckets.iter()) {
+            // ordering: Relaxed — a scrape, not a barrier: buckets are
+            // read one by one, so a snapshot racing recorders is already
+            // only bucketwise-consistent; no ordering changes that.
             *out = cell.load(Ordering::Relaxed);
         }
         HistogramSnapshot { buckets }

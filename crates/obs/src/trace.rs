@@ -30,10 +30,10 @@
 //! object (`{"traceEvents": [...]}`). Load it at `chrome://tracing` or
 //! <https://ui.perfetto.dev>; each ring appears as its own `tid` row.
 
+use selc_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::cell::OnceCell;
 use std::io::{self, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -62,11 +62,14 @@ fn enabled_cell() -> &'static AtomicBool {
 #[inline]
 #[must_use]
 pub fn trace_enabled() -> bool {
+    // ordering: Relaxed — an advisory on/off bit with no data behind
+    // it; a span racing a toggle may record or not, both acceptable.
     enabled_cell().load(Ordering::Relaxed)
 }
 
 /// Turns span recording on or off at runtime, overriding `SELC_TRACE`.
 pub fn set_trace_enabled(on: bool) {
+    // ordering: Relaxed — see `trace_enabled`.
     enabled_cell().store(on, Ordering::Relaxed);
 }
 
@@ -136,7 +139,13 @@ struct Ring {
 
 impl Ring {
     fn new(tid: u64) -> Ring {
-        let slots = (0..RING_CAPACITY)
+        Ring::with_capacity(tid, RING_CAPACITY)
+    }
+
+    /// A ring over `capacity` slots — the model suites use tiny rings
+    /// so wrap races are reachable within a bounded schedule search.
+    fn with_capacity(tid: u64, capacity: usize) -> Ring {
+        let slots = (0..capacity)
             .map(|_| Slot {
                 seq: AtomicU64::new(0),
                 word: AtomicU64::new(0),
@@ -147,16 +156,42 @@ impl Ring {
         Ring { tid, head: AtomicU64::new(0), slots }
     }
 
+    fn capacity(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
     /// Owner-thread-only push (the single-writer half of the seqlock).
     fn push(&self, label: u32, is_end: bool, arg: u64) {
+        let cap = self.capacity();
+        // ordering: Relaxed — `head` is only ever written by this
+        // thread; the load is a self-read.
         let h = self.head.load(Ordering::Relaxed);
-        let slot = &self.slots[(h % RING_CAPACITY as u64) as usize];
-        let generation = h / RING_CAPACITY as u64 + 1;
+        let slot = &self.slots[(h % cap) as usize];
+        let generation = h / cap + 1;
+        // ordering: Release — the odd "write in flight" marker. Release
+        // here orders the *previous* record's stores before the marker;
+        // the data stores below each carry their own Release so no data
+        // store can become visible while `seq` still reads as the old
+        // even generation (see the data-store comment).
         slot.seq.store(2 * generation - 1, Ordering::Release); // writing
-        slot.word.store(u64::from(label) | (u64::from(is_end) << 32), Ordering::Relaxed);
-        slot.ts.store(now_ns(), Ordering::Relaxed);
-        slot.arg.store(arg, Ordering::Relaxed);
+                                                               // ordering: Release on each data store — a Release store makes
+                                                               // every prior write (including the odd `seq` above) visible
+                                                               // before it. A reader whose Acquire load observes any *new*
+                                                               // datum therefore also observes the odd sequence word and
+                                                               // discards the slot on its re-check; with Relaxed data stores
+                                                               // the new datum could surface ahead of the odd marker and a
+                                                               // reader could accept a torn record. (The SC-only model checker
+                                                               // cannot distinguish these: this line is justified here, not by
+                                                               // a model suite.)
+        slot.word.store(u64::from(label) | (u64::from(is_end) << 32), Ordering::Release);
+        slot.ts.store(now_ns(), Ordering::Release); // ordering: Release — see the data-store comment above
+        slot.arg.store(arg, Ordering::Release); // ordering: Release — see the data-store comment above
+                                                // ordering: Release — the even "complete" marker publishes the
+                                                // data stores above: a reader that Acquire-loads this value is
+                                                // guaranteed to read the full record.
         slot.seq.store(2 * generation, Ordering::Release); // complete
+                                                           // ordering: Release — publishes the completed slot before the
+                                                           // new head; the reader's Acquire head load pairs with it.
         self.head.store(h + 1, Ordering::Release);
     }
 
@@ -164,18 +199,30 @@ impl Ring {
     /// Slots a concurrent writer is overwriting fail their sequence
     /// check and are skipped — a torn event is never reported.
     fn collect_into(&self, out: &mut Vec<RawEvent>) {
+        let cap = self.capacity();
+        // ordering: Acquire — pairs with the writer's Release head
+        // store: every slot at index < h is fully published.
         let h = self.head.load(Ordering::Acquire);
-        let resident = h.min(RING_CAPACITY as u64);
+        let resident = h.min(cap);
         for i in (h - resident)..h {
-            let slot = &self.slots[(i % RING_CAPACITY as u64) as usize];
-            let expected = 2 * (i / RING_CAPACITY as u64 + 1);
+            let slot = &self.slots[(i % cap) as usize];
+            let expected = 2 * (i / cap + 1);
+            // ordering: Acquire — pairs with the writer's Release even
+            // store; seeing `expected` guarantees the record's data is
+            // visible to the loads below.
             let s1 = slot.seq.load(Ordering::Acquire);
             if s1 != expected {
                 continue;
             }
+            // ordering: Acquire on the data loads keeps the re-check
+            // load below ordered after them — with Relaxed loads the
+            // re-check could be satisfied early and a wrapping writer's
+            // torn record accepted.
             let word = slot.word.load(Ordering::Acquire);
             let ts = slot.ts.load(Ordering::Acquire);
             let arg = slot.arg.load(Ordering::Acquire);
+            // ordering: Acquire — the seqlock re-check: any concurrent
+            // overwrite flipped `seq` odd (or onward) and is caught here.
             if slot.seq.load(Ordering::Acquire) != s1 {
                 continue;
             }
@@ -413,5 +460,62 @@ mod tests {
             events.iter().all(|e| e.ts_ns > 0 || e.arg == 0),
             "completed slots carry real timestamps"
         );
+    }
+}
+
+/// Exhaustive small-schedule verification under the `selc_check` model
+/// checker (`RUSTFLAGS="--cfg selc_model" cargo test -p selc-obs`).
+#[cfg(all(test, selc_model))]
+mod model_tests {
+    use super::*;
+    use selc_check::model::{check, spawn, Options};
+
+    /// A writer wrapping a two-slot ring while a reader collects: on
+    /// every interleaving, each event the reader reports is internally
+    /// consistent (its fields all come from the same push — `arg` is a
+    /// function of `label` that a torn record would violate). This
+    /// proves the seqlock *protocol* (odd marker, re-check, skip) under
+    /// sequential consistency; the Release/Acquire strength of each
+    /// access is justified by the `// ordering:` comments instead,
+    /// which the SC-only checker cannot distinguish.
+    #[test]
+    fn model_seqlock_readers_never_observe_torn_records() {
+        check("seqlock-no-tear", Options::default(), || {
+            let ring = std::sync::Arc::new(Ring::with_capacity(0, 2));
+            let writer = {
+                let ring = std::sync::Arc::clone(&ring);
+                spawn(move || {
+                    for label in 1u32..=3 {
+                        ring.push(label, false, u64::from(label) * 7);
+                    }
+                })
+            };
+            let reader = {
+                let ring = std::sync::Arc::clone(&ring);
+                spawn(move || {
+                    let mut events = Vec::new();
+                    ring.collect_into(&mut events);
+                    for e in &events {
+                        assert_eq!(
+                            e.arg,
+                            u64::from(e.label) * 7,
+                            "a reported event mixes fields from two pushes"
+                        );
+                        assert!((1..=3).contains(&e.label));
+                        assert!(!e.is_end);
+                    }
+                    events.len()
+                })
+            };
+            writer.join();
+            let seen = reader.join();
+            assert!(seen <= 2, "a two-slot ring never reports more than two events");
+            // After the writer is joined, a quiescent read sees exactly
+            // the resident suffix: labels 2 and 3.
+            let mut settled = Vec::new();
+            ring.collect_into(&mut settled);
+            let labels: Vec<u32> = settled.iter().map(|e| e.label).collect();
+            assert_eq!(labels, vec![2, 3], "the ring keeps the recent past after wrapping");
+        });
     }
 }

@@ -239,7 +239,10 @@ impl WireMetrics {
                         .iter()
                         .enumerate()
                         .filter(|(_, n)| **n > 0)
-                        .map(|(i, n)| (u8::try_from(i).expect("bucket index < 65"), *n))
+                        // Bucket indices are < HISTOGRAM_BUCKETS = 65;
+                        // clamping (instead of panicking) folds an
+                        // impossible overflow into the top bucket.
+                        .map(|(i, n)| (u8::try_from(i).unwrap_or(64), *n))
                         .collect();
                     WireMetricValue::Histogram(sparse)
                 }
@@ -282,16 +285,26 @@ impl WireMetrics {
 
     fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(u8::from(self.truncated));
-        let count = u16::try_from(self.entries.len()).expect("from_snapshot fits a frame");
+        // `from_snapshot` budgets entries far below these caps; for a
+        // hand-built value the encode degrades by dropping the excess
+        // (keeping count and body consistent) rather than panicking.
+        let encodable: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|(name, _)| u8::try_from(name.len()).is_ok())
+            .take(usize::from(u16::MAX))
+            .collect();
+        let count = u16::try_from(encodable.len()).unwrap_or(u16::MAX);
         out.extend_from_slice(&count.to_be_bytes());
-        for (name, value) in &self.entries {
-            let (kind, _) = match value {
-                WireMetricValue::Counter(_) => (0u8, ()),
-                WireMetricValue::Gauge(_) => (1, ()),
-                WireMetricValue::Histogram(_) => (2, ()),
+        for (name, value) in encodable {
+            let name_len = u8::try_from(name.len()).unwrap_or(u8::MAX);
+            let kind = match value {
+                WireMetricValue::Counter(_) => 0u8,
+                WireMetricValue::Gauge(_) => 1,
+                WireMetricValue::Histogram(_) => 2,
             };
             out.push(kind);
-            out.push(u8::try_from(name.len()).expect("<= MAX_METRIC_NAME"));
+            out.push(name_len);
             out.extend_from_slice(name.as_bytes());
             match value {
                 WireMetricValue::Counter(n) => out.extend_from_slice(&n.to_be_bytes()),
@@ -299,8 +312,9 @@ impl WireMetrics {
                     out.extend_from_slice(&level.to_be_bytes());
                 }
                 WireMetricValue::Histogram(sparse) => {
-                    out.push(u8::try_from(sparse.len()).expect("<= 65 buckets"));
-                    for (bucket, n) in sparse {
+                    let buckets = u8::try_from(sparse.len()).unwrap_or(u8::MAX);
+                    out.push(buckets);
+                    for (bucket, n) in sparse.iter().take(usize::from(buckets)) {
                         out.push(*bucket);
                         out.extend_from_slice(&n.to_be_bytes());
                     }
@@ -427,14 +441,26 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
 /// hostage to the peer's delayed ACK of the first, turning every
 /// microsecond-scale warm request into a ~40ms round-trip.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `payload` exceeds [`MAX_FRAME`] — server- and client-built
-/// payloads are all far smaller, so an oversized one is a logic error.
+/// Fails with `InvalidInput` if `payload` exceeds [`MAX_FRAME`] —
+/// server- and client-built payloads are all far smaller, so an
+/// oversized one is a logic error, but the server's no-panic policy
+/// reports it as an error instead of killing the worker.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
-    assert!(payload.len() <= MAX_FRAME, "oversized outgoing frame");
+    let len = u32::try_from(payload.len()).ok().filter(|_| payload.len() <= MAX_FRAME).ok_or_else(
+        || {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "outgoing frame of {} bytes exceeds the {MAX_FRAME}-byte cap",
+                    payload.len()
+                ),
+            )
+        },
+    )?;
     let mut wire = Vec::with_capacity(4 + payload.len());
-    wire.extend_from_slice(&u32::try_from(payload.len()).expect("<= MAX_FRAME").to_be_bytes());
+    wire.extend_from_slice(&len.to_be_bytes());
     wire.extend_from_slice(payload);
     w.write_all(&wire)?;
     w.flush()
@@ -559,7 +585,9 @@ fn encode_msg(out: &mut Vec<u8>, msg: &str) {
     while end > 0 && !msg.is_char_boundary(end) {
         end -= 1;
     }
-    out.extend_from_slice(&u16::try_from(end).expect("<= 512").to_be_bytes());
+    // `end <= take <= 512` by construction, so the conversion cannot
+    // actually clamp.
+    out.extend_from_slice(&u16::try_from(end).unwrap_or(512).to_be_bytes());
     out.extend_from_slice(&bytes[..end]);
 }
 

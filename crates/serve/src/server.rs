@@ -149,14 +149,26 @@ struct Shared {
 
 impl Shared {
     fn shutting_down(&self) -> bool {
+        // ordering: Acquire — pairs with the AcqRel swap in `shutdown`:
+        // a thread that observes the flag also observes everything the
+        // shutting-down thread published before raising it.
         self.shutdown.load(Ordering::Acquire)
     }
 
     fn track_watcher(&self, handle: thread::JoinHandle<()>) {
-        let mut watchers = self.watchers.lock().expect("watcher registry poisoned");
+        let mut watchers = lock_clean(&self.watchers);
         reap_finished(&mut watchers);
         watchers.push(handle);
     }
+}
+
+/// Locks `m`, continuing through poison: a panicking worker must not
+/// cascade into every sibling that touches the same queue or map. The
+/// guarded structures stay structurally valid mid-panic (pushes and
+/// removes are not interruptible by Rust panics at observable points),
+/// and a daemon's job is to keep serving.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Joins (not just drops) every finished handle in place: a joined
@@ -188,21 +200,21 @@ impl WatchSignal {
     }
 
     fn finish(&self) {
-        *self.done.lock().expect("watch signal poisoned") = true;
+        *lock_clean(&self.done) = true;
         self.bell.notify_all();
     }
 
     fn is_done(&self) -> bool {
-        *self.done.lock().expect("watch signal poisoned")
+        *lock_clean(&self.done)
     }
 
     /// Waits up to `timeout` for the request to finish; true once done.
     fn wait_done(&self, timeout: Duration) -> bool {
-        let guard = self.done.lock().expect("watch signal poisoned");
+        let guard = lock_clean(&self.done);
         let (done, _) = self
             .bell
             .wait_timeout_while(guard, timeout, |done| !*done)
-            .expect("watch signal poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *done
     }
 }
@@ -271,7 +283,9 @@ impl Server {
     /// Sessions admitted and not yet hung up.
     #[must_use]
     pub fn active_sessions(&self) -> usize {
-        self.shared.active.load(Ordering::Acquire)
+        // ordering: Relaxed — the count is exact through RMW atomicity
+        // alone; it carries no data, so the old Acquire bought nothing.
+        self.shared.active.load(Ordering::Relaxed)
     }
 
     /// Disconnect-watcher threads spawned for requests and not yet
@@ -280,7 +294,7 @@ impl Server {
     /// to zero once requests settle.
     #[must_use]
     pub fn active_watchers(&self) -> usize {
-        let mut watchers = self.shared.watchers.lock().expect("watcher registry poisoned");
+        let mut watchers = lock_clean(&self.shared.watchers);
         reap_finished(&mut watchers);
         watchers.len()
     }
@@ -288,6 +302,10 @@ impl Server {
     /// Stops accepting, force-closes live sessions, and joins every
     /// thread. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
+        // ordering: AcqRel — Release publishes everything this thread
+        // did before shutting down to threads that observe the flag
+        // (see `shutting_down`); Acquire makes the losing caller of an
+        // idempotent double-shutdown see the winner's prior work.
         if self.shared.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
@@ -296,7 +314,7 @@ impl Server {
         let _ = TcpStream::connect(self.addr);
         // Force-close live sessions so workers parked in read_frame
         // wake with an error instead of waiting for their client.
-        for (_, stream) in self.shared.open.lock().expect("open map poisoned").drain() {
+        for (_, stream) in lock_clean(&self.shared.open).drain() {
             let _ = stream.shutdown(Shutdown::Both);
         }
         self.shared.available.notify_all();
@@ -310,8 +328,7 @@ impl Server {
         // each exits within one poll interval, so these joins are
         // bounded — and afterwards no thread of ours survives the
         // handle.
-        let handles: Vec<_> =
-            self.shared.watchers.lock().expect("watcher registry poisoned").drain(..).collect();
+        let handles: Vec<_> = lock_clean(&self.shared.watchers).drain(..).collect();
         for watcher in handles {
             let _ = watcher.join();
         }
@@ -331,13 +348,16 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, max_sessions: usize) {
         }
         let Ok(mut stream) = stream else { continue };
         let _ = stream.set_nodelay(true); // tiny frames must not wait out Nagle
-        if shared.active.load(Ordering::Acquire) >= max_sessions {
+                                          // ordering: Relaxed — admission control needs only an exact
+                                          // count (RMW atomicity gives it); the load/add pair publishes
+                                          // nothing, so the old Acquire/AcqRel were needless strength.
+        if shared.active.load(Ordering::Relaxed) >= max_sessions {
             SERVE_METRICS.admission_rejects.inc();
             let _ = write_frame(&mut stream, &Response::Busy.encode());
             continue; // drop: refused, never counted
         }
-        shared.active.fetch_add(1, Ordering::AcqRel);
-        shared.queue.lock().expect("session queue poisoned").push_back(stream);
+        shared.active.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — see the admission comment
+        lock_clean(&shared.queue).push_back(stream);
         SERVE_METRICS.queue_depth.inc();
         shared.available.notify_one();
     }
@@ -346,7 +366,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, max_sessions: usize) {
 fn worker_loop(shared: &Shared) {
     loop {
         let stream = {
-            let mut queue = shared.queue.lock().expect("session queue poisoned");
+            let mut queue = lock_clean(&shared.queue);
             loop {
                 if shared.shutting_down() {
                     return;
@@ -355,12 +375,15 @@ fn worker_loop(shared: &Shared) {
                     SERVE_METRICS.queue_depth.dec();
                     break stream;
                 }
-                queue = shared.available.wait(queue).expect("session queue poisoned");
+                queue =
+                    shared.available.wait(queue).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
+        // ordering: Relaxed — session ids only need uniqueness, which
+        // the RMW guarantees under any ordering.
         let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            shared.open.lock().expect("open map poisoned").insert(id, clone);
+            lock_clean(&shared.open).insert(id, clone);
         }
         // A shutdown that raced our registration has already drained
         // the open map; re-checking the flag after inserting closes
@@ -369,8 +392,9 @@ fn worker_loop(shared: &Shared) {
             let _ = stream.shutdown(Shutdown::Both);
         }
         serve_session(stream, shared);
-        shared.open.lock().expect("open map poisoned").remove(&id);
-        shared.active.fetch_sub(1, Ordering::AcqRel);
+        lock_clean(&shared.open).remove(&id);
+        // ordering: Relaxed — see the admission-control comment.
+        shared.active.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

@@ -21,6 +21,7 @@
 //! tenant's entries — the invalidation the epoch mechanism was built
 //! for — and cannot cool a neighbour.
 
+use crate::server::lock_clean;
 use lambda_c::testgen::deep_decide_chain;
 use lambda_rt::{LcCandidates, LcTransCache};
 use selc_games::alternating::{AbCache, GameTree};
@@ -62,11 +63,15 @@ impl Tenant {
     /// The tenant's candidates handle for a `choices`-deep decide
     /// chain, compiled on first use.
     pub fn chain(&self, choices: u8) -> LcCandidates {
-        let mut chains = self.chains.lock().expect("chain map poisoned");
+        let mut chains = lock_clean(&self.chains);
         chains
             .entry(choices)
             .or_insert_with(|| {
                 let p = deep_decide_chain(u32::from(choices));
+                // Compiling our own generated chain cannot fail on
+                // client input — a failure is a workspace bug worth a
+                // crash, not a survivable request error.
+                // selc-lint: allow(serve-no-panic)
                 let compiled = lambda_c::compile(&p.expr).expect("testgen chains compile");
                 LcCandidates::new(compiled, ["decide".to_owned()], u32::from(choices))
             })
@@ -76,7 +81,7 @@ impl Tenant {
     /// The tenant's tree and table for a game descriptor, generated on
     /// first use.
     pub fn game(&self, branching: u8, depth: u8, seed: u64) -> GameEntry {
-        let mut games = self.games.lock().expect("game map poisoned");
+        let mut games = lock_clean(&self.games);
         games
             .entry((branching, depth, seed))
             .or_insert_with(|| GameEntry {
@@ -91,7 +96,7 @@ impl Tenant {
     /// new epoch (the value acknowledged on the wire).
     pub fn bump(&self) -> u64 {
         let epoch = self.lc.advance_epoch();
-        let games = self.games.lock().expect("game map poisoned");
+        let games = lock_clean(&self.games);
         for entry in games.values() {
             entry.cache.advance_epoch();
         }
@@ -108,7 +113,7 @@ pub struct Tenants {
 impl Tenants {
     /// Looks up (or creates) a tenant.
     pub fn get_or_create(&self, id: u64) -> Arc<Tenant> {
-        let mut map = self.map.lock().expect("tenant map poisoned");
+        let mut map = lock_clean(&self.map);
         Arc::clone(map.entry(id).or_insert_with(|| Arc::new(Tenant::new())))
     }
 
