@@ -113,6 +113,7 @@ fn bench_decide_chain(c: &mut Criterion) {
     let par = ParallelEngine { threads: 4, chunk: 1, prune: true };
     let (out, _) = search_compiled_flat(&seq, &cands).unwrap();
     assert_eq!(out.loss.0, reference, "engine argmin == handler semantics");
+    let cert = cands.certificate().expect("chain corpus is flow-certifiable");
 
     let mut g = c.benchmark_group("e14_lambda/decide_search");
     g.bench_function("machine_probing", |b| {
@@ -123,27 +124,27 @@ fn bench_decide_chain(c: &mut Criterion) {
     g.bench_function("search_par_cached_cold", |b| {
         b.iter(|| {
             let cache = LcTransCache::unbounded(4);
-            black_box(search_compiled_flat_cached(&par, &cands, &cache, true))
+            black_box(search_compiled_flat_cached(&par, &cands, &cache, Some(cert)))
         })
     });
     let warm = LcTransCache::unbounded(4);
-    let _ = search_compiled_flat_cached(&seq, &cands, &warm, false);
+    let _ = search_compiled_flat_cached(&seq, &cands, &warm, None);
     g.bench_function("search_par_cached_warm", |b| {
-        b.iter(|| black_box(search_compiled_flat_cached(&par, &cands, &warm, false)))
+        b.iter(|| black_box(search_compiled_flat_cached(&par, &cands, &warm, None)))
     });
     g.finish();
 
     // Representative stats for the snapshot recorder (no abandonment, so
     // cold fills the whole space and warm hits every candidate).
     let cache = LcTransCache::unbounded(4);
-    let (cold, _) = search_compiled_flat_cached(&par, &cands, &cache, false).unwrap();
+    let (cold, _) = search_compiled_flat_cached(&par, &cands, &cache, None).unwrap();
     assert_eq!(cold.loss.0, reference);
     report("e14_lambda/decide_search/par_cached_cold", &cold.stats.cache);
-    let (warm_out, _) = search_compiled_flat_cached(&par, &cands, &cache, false).unwrap();
+    let (warm_out, _) = search_compiled_flat_cached(&par, &cands, &cache, None).unwrap();
     assert_eq!(warm_out.loss.0, reference);
     report("e14_lambda/decide_search/par_cached_warm", &warm_out.stats.cache);
     let (pruned, _) =
-        search_compiled_flat_cached(&par, &cands, &LcTransCache::unbounded(4), true).unwrap();
+        search_compiled_flat_cached(&par, &cands, &LcTransCache::unbounded(4), Some(cert)).unwrap();
     assert_eq!(pruned.loss.0, reference);
     println!(
         "e14_lambda/decide_search/pruning evaluated={} pruned={}",

@@ -14,8 +14,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lambda_c::testgen::deep_decide_chain;
 use lambda_rt::{
-    search_compiled, search_compiled_cached, search_compiled_flat_cached, LcCandidates,
-    LcTransCache,
+    search_compiled, search_compiled_cached, search_compiled_cached_unchecked,
+    search_compiled_flat_cached, LcCandidates, LcTransCache,
 };
 use selc_cache::CacheStats;
 use selc_engine::{ParallelEngine, TreeEngine};
@@ -50,46 +50,71 @@ fn bench_tree_vs_flat(c: &mut Criterion) {
     let flat_eng = ParallelEngine { threads: 4, chunk: 0, prune: true };
     let tree_eng = TreeEngine::with_threads(4);
 
-    // Bit-identical winners, asserted once before timing.
+    // Bit-identical winners, asserted once before timing. Pruning runs
+    // under the flow certificate, which the chain corpus always earns.
+    let cert = cands.certificate().expect("chain corpus is flow-certifiable");
     let (tree_ref, tree_val) = search_compiled(&TreeEngine::sequential(), &cands).unwrap();
     let fresh = LcTransCache::unbounded(8);
     let (flat_ref, flat_val) =
-        search_compiled_flat_cached(&flat_eng, &cands, &fresh, true).unwrap();
+        search_compiled_flat_cached(&flat_eng, &cands, &fresh, Some(cert)).unwrap();
     assert_eq!((tree_ref.index, tree_ref.loss.clone()), (flat_ref.index, flat_ref.loss));
     assert_eq!(tree_val, flat_val);
+    // Certificate-driven pruning against the raw-boolean escape hatch:
+    // the two entry points must stay bit-identical.
+    // flow: certified (chain corpus, asserted above)
+    let (unchecked_ref, unchecked_val) = search_compiled_cached_unchecked(
+        &TreeEngine::with_threads(2),
+        &cands,
+        &LcTransCache::unbounded(8),
+        true,
+    )
+    .unwrap();
+    let (cert_ref, cert_val) = search_compiled_cached(
+        &TreeEngine::with_threads(2),
+        &cands,
+        &LcTransCache::unbounded(8),
+        Some(cert),
+    )
+    .unwrap();
+    assert_eq!(
+        (cert_ref.index, cert_ref.loss),
+        (unchecked_ref.index, unchecked_ref.loss),
+        "certified and unchecked pruning must agree bit-for-bit"
+    );
+    assert_eq!(cert_val, unchecked_val);
 
     let mut g = c.benchmark_group(format!("e15_tree/probing{choices}"));
     g.bench_function("flat_cached_cold", |b| {
         b.iter(|| {
             let cache = LcTransCache::unbounded(8);
-            black_box(search_compiled_flat_cached(&flat_eng, &cands, &cache, true))
+            black_box(search_compiled_flat_cached(&flat_eng, &cands, &cache, Some(cert)))
         })
     });
     g.bench_function("tree_cold", |b| b.iter(|| black_box(search_compiled(&tree_eng, &cands))));
     g.bench_function("tree_cached_cold", |b| {
         b.iter(|| {
             let cache = LcTransCache::unbounded(8);
-            black_box(search_compiled_cached(&tree_eng, &cands, &cache, true))
+            black_box(search_compiled_cached(&tree_eng, &cands, &cache, Some(cert)))
         })
     });
     let warm = LcTransCache::unbounded(8);
-    let _ = search_compiled_cached(&tree_eng, &cands, &warm, false);
+    let _ = search_compiled_cached(&tree_eng, &cands, &warm, None);
     g.bench_function("tree_cached_warm", |b| {
-        b.iter(|| black_box(search_compiled_cached(&tree_eng, &cands, &warm, false)))
+        b.iter(|| black_box(search_compiled_cached(&tree_eng, &cands, &warm, None)))
     });
     g.finish();
 
     // Representative stats for the snapshot recorder: a cold pruned fill
     // on a fresh table, and a repeat search over the fully-warm one.
     let cache = LcTransCache::unbounded(8);
-    let (cold, _) = search_compiled_cached(&tree_eng, &cands, &cache, true).unwrap();
+    let (cold, _) = search_compiled_cached(&tree_eng, &cands, &cache, Some(cert)).unwrap();
     assert_eq!(cold.index, tree_ref.index);
     report(&format!("e15_tree/probing{choices}/tree_cached_cold"), &cold.stats.cache);
     println!(
         "e15_tree/probing{choices}/tree_cached_cold search evaluated={} pruned={}",
         cold.stats.evaluated, cold.stats.pruned
     );
-    let (warm_out, _) = search_compiled_cached(&tree_eng, &cands, &warm, false).unwrap();
+    let (warm_out, _) = search_compiled_cached(&tree_eng, &cands, &warm, None).unwrap();
     assert_eq!(warm_out.index, tree_ref.index);
     report(&format!("e15_tree/probing{choices}/tree_cached_warm"), &warm_out.stats.cache);
 

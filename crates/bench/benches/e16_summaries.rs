@@ -64,10 +64,11 @@ fn bench_summaries(c: &mut Criterion) {
     // Bit-identity gate: summarised == plain == sequential, over cold
     // and warm tables alike, before anything is timed.
     let (reference, ref_val) = search_compiled(&TreeEngine::sequential(), &cands).unwrap();
+    let cert = cands.certificate().expect("chain corpus is flow-certifiable");
     let warm = LcTransCache::unbounded(8);
     for (engine, what) in [(&summarised, "summarised"), (&plain, "plain")] {
         for round in ["cold", "warm"] {
-            let (out, v) = search_compiled_cached(engine, &cands, &warm, false).unwrap();
+            let (out, v) = search_compiled_cached(engine, &cands, &warm, None).unwrap();
             assert_eq!(
                 (out.index, out.loss.clone()),
                 (reference.index, reference.loss.clone()),
@@ -81,7 +82,7 @@ fn bench_summaries(c: &mut Criterion) {
     // repeat must run ≥50× under BENCH_4's 1.05s warm path (21ms) — it
     // is an O(depth) walk, so the margin is enormous.
     let t0 = Instant::now();
-    let _ = black_box(search_compiled_cached(&summarised, &cands, &warm, false));
+    let _ = black_box(search_compiled_cached(&summarised, &cands, &warm, None));
     let elapsed = t0.elapsed();
     assert!(
         elapsed < Duration::from_millis(21),
@@ -92,17 +93,17 @@ fn bench_summaries(c: &mut Criterion) {
     g.bench_function("tree_cached_cold", |b| {
         b.iter(|| {
             let cache = LcTransCache::unbounded(8);
-            black_box(search_compiled_cached(&summarised, &cands, &cache, true))
+            black_box(search_compiled_cached(&summarised, &cands, &cache, Some(cert)))
         })
     });
     // The BENCH_4 pathology, reproduced for the before/after spread: a
     // warm repeat that may only use leaf entries…
     g.bench_function("tree_cached_warm_plain", |b| {
-        b.iter(|| black_box(search_compiled_cached(&plain, &cands, &warm, false)))
+        b.iter(|| black_box(search_compiled_cached(&plain, &cands, &warm, None)))
     });
     // …against the same table answered through its subtree summaries.
     g.bench_function("tree_cached_warm", |b| {
-        b.iter(|| black_box(search_compiled_cached(&summarised, &cands, &warm, false)))
+        b.iter(|| black_box(search_compiled_cached(&summarised, &cands, &warm, None)))
     });
     g.finish();
 
@@ -111,14 +112,14 @@ fn bench_summaries(c: &mut Criterion) {
     // so the pruned fill is itself seeded) and the fully-warm summarised
     // repeat.
     let cache = LcTransCache::unbounded(8);
-    let (cold, _) = search_compiled_cached(&summarised, &cands, &cache, true).unwrap();
+    let (cold, _) = search_compiled_cached(&summarised, &cands, &cache, Some(cert)).unwrap();
     assert_eq!(cold.index, reference.index);
     report_cache(&format!("e16_summaries/probing{choices}/tree_cached_cold"), &cold.stats.cache);
     report_summary(
         &format!("e16_summaries/probing{choices}/tree_cached_cold"),
         &cold.stats.summary,
     );
-    let (warm_out, _) = search_compiled_cached(&summarised, &cands, &warm, false).unwrap();
+    let (warm_out, _) = search_compiled_cached(&summarised, &cands, &warm, None).unwrap();
     assert_eq!(warm_out.index, reference.index);
     report_cache(
         &format!("e16_summaries/probing{choices}/tree_cached_warm"),

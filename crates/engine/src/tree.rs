@@ -167,6 +167,17 @@ pub trait TreeEval<L: OrderedLoss>: Send + Sync {
         false
     }
 
+    /// The shallowest depth at which a leaf can occur — a work-partition
+    /// hint (e.g. from a static decision-shape analysis). The parallel
+    /// walk caps its split depth here: fanning out below the shallowest
+    /// leaf makes sibling tasks replay the same shallow leaves instead
+    /// of dividing work. Purely a partitioning matter — any value is
+    /// winner-safe (canonical-index crediting already deduplicates) —
+    /// so the default claims no information.
+    fn min_leaf_depth(&self) -> u32 {
+        self.depth()
+    }
+
     /// Cache counters accumulated by the evaluator (merged into
     /// [`SearchStats::cache`] after the search).
     fn cache_stats(&self) -> CacheStats {
@@ -295,14 +306,17 @@ impl TreeEngine {
         let depth = eval.depth();
         assert!(depth <= 62, "decision depth {depth} exceeds the 62-bit index encoding");
         let threads = self.effective_threads().min(1_usize << depth.min(20));
+        // Never split below the shallowest possible leaf: subtrees rooted
+        // under a leaf all replay that same leaf.
+        let split_cap = eval.min_leaf_depth().min(depth);
         let split = if threads == 1 {
             0
         } else if self.split == 0 {
             // ~4 subtrees per worker, at least one decision of split.
             let want = (threads * 4).next_power_of_two().trailing_zeros();
-            want.clamp(1, depth)
+            want.clamp(1, depth).min(split_cap)
         } else {
-            self.split.min(depth)
+            self.split.min(depth).min(split_cap)
         };
         let bound = SharedBound::new();
         if self.prune {
@@ -794,6 +808,67 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Delegates to a [`TableTree`] while claiming a shallow
+    /// `min_leaf_depth`, counting how many subtree roots the parallel
+    /// walk actually enters.
+    struct ShallowLeafTable {
+        inner: TableTree,
+        min_leaf: u32,
+        enters: std::sync::atomic::AtomicUsize,
+    }
+
+    impl TreeEval<f64> for ShallowLeafTable {
+        type Node = (u64, u32);
+        fn depth(&self) -> u32 {
+            self.inner.depth()
+        }
+        fn enter(&self, prefix: u64, len: u32) -> TreeStep<(u64, u32), f64> {
+            // ordering: Relaxed — a test counter, no data guarded.
+            self.enters.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.enter(prefix, len)
+        }
+        fn child(
+            &self,
+            node: &(u64, u32),
+            decision: bool,
+            path: u64,
+            len: u32,
+        ) -> TreeStep<(u64, u32), f64> {
+            self.inner.child(node, decision, path, len)
+        }
+        fn min_leaf_depth(&self) -> u32 {
+            self.min_leaf
+        }
+    }
+
+    #[test]
+    fn min_leaf_depth_caps_the_parallel_split() {
+        let losses = table(5, 64);
+        let flat = minimize(&SequentialEngine::exhaustive(), losses.len(), |i| losses[i]).unwrap();
+        let engine = TreeEngine::with_threads(4).without_pruning().without_summaries();
+        // Unconstrained: ~4 subtrees per worker → a split of 4 → 16 roots.
+        let wide = ShallowLeafTable {
+            inner: TableTree::new(losses.clone(), false),
+            min_leaf: 6,
+            enters: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let out = engine.search(&wide).unwrap();
+        assert_eq!((out.index, out.loss), (flat.index, flat.loss));
+        // ordering: Relaxed — test counter.
+        assert_eq!(wide.enters.load(std::sync::atomic::Ordering::Relaxed), 16);
+        // A shape hint of "leaves can occur at depth 1" caps the fan-out
+        // at 2 subtree roots, same winner.
+        let capped = ShallowLeafTable {
+            inner: TableTree::new(losses, false),
+            min_leaf: 1,
+            enters: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let out = engine.search(&capped).unwrap();
+        assert_eq!((out.index, out.loss), (flat.index, flat.loss));
+        // ordering: Relaxed — test counter.
+        assert_eq!(capped.enters.load(std::sync::atomic::Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -135,6 +135,38 @@ pub struct CodeHandler {
     pub ret_body: Arc<Code>,
 }
 
+impl Code {
+    /// Number of subterms (handler clauses included), used to scale
+    /// analysis budgets in `lambda_c::flow` proportionally to the program.
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Code::Const(_) | Code::Var(_) | Code::Zero | Code::Nil(_) => 0,
+            Code::Prim(_, e)
+            | Code::Lam(e)
+            | Code::Proj(e, _)
+            | Code::Inl { e, .. }
+            | Code::Inr { e, .. }
+            | Code::Succ(e)
+            | Code::Loss(e)
+            | Code::OpCall { arg: e, .. }
+            | Code::Reset(e) => e.size(),
+            Code::App(a, b)
+            | Code::Cons(a, b)
+            | Code::Then { e: a, lam_body: b }
+            | Code::Local { g_body: a, e: b } => a.size() + b.size(),
+            Code::Tuple(es) => es.iter().map(|e| e.size()).sum(),
+            Code::Cases { scrut, lbody, rbody } => scrut.size() + lbody.size() + rbody.size(),
+            Code::Iter(a, b, c) | Code::Fold(a, b, c) => a.size() + b.size() + c.size(),
+            Code::Handle { handler, from, body } => {
+                from.size()
+                    + body.size()
+                    + handler.ret_body.size()
+                    + handler.clauses.iter().map(|c| c.body.size()).sum::<usize>()
+            }
+        }
+    }
+}
+
 impl CodeHandler {
     /// Looks up the clause for `op` (first match, mirroring
     /// [`Handler::clause`]).

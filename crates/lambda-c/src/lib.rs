@@ -39,6 +39,7 @@ pub mod bigstep;
 pub mod build;
 pub mod compile;
 pub mod examples;
+pub mod flow;
 pub mod giantstep;
 pub mod loss;
 pub mod machine;
@@ -53,6 +54,7 @@ pub mod types;
 
 pub use bigstep::{eval, eval_closed, EvalOutcome};
 pub use compile::{compile, CompileError, CompiledProgram};
+pub use flow::{DecisionShape, FlowReport, LossAbs, NonNegLosses, Purity};
 pub use loss::LossVal;
 pub use machine::{MachError, MachineOutcome};
 pub use sig::{OpSig, SigError, Signature};

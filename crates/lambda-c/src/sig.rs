@@ -110,6 +110,20 @@ impl Signature {
         self.effects.get(label)?.get(op)
     }
 
+    /// The *decision* operations of the signature, in canonical order:
+    /// operations returning `bool`, the shape a forced-choice search can
+    /// script (each call consumes one decision bit). This is the operation
+    /// set `lambda_c::flow` treats as intercepted-at-the-handler and the
+    /// engine bridge replays.
+    pub fn decision_ops(&self) -> Vec<String> {
+        self.effects
+            .values()
+            .flat_map(|ops| ops.iter())
+            .filter(|(_, sig)| sig.ret == crate::types::Type::bool())
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
     /// The operations of a label (name → typing), in canonical order.
     pub fn ops_of(&self, label: &str) -> Option<&BTreeMap<String, OpSig>> {
         self.effects.get(label)

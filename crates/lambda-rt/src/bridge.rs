@@ -25,6 +25,7 @@
 //! machine — they just aren't a minimisation the engine can fan out.
 
 use crate::loss::OrdLossVal;
+use lambda_c::flow::{self, FlowReport, NonNegLosses};
 use lambda_c::machine::{
     self, Explored, ForcedChoices, MachineOutcome, MachinePrune, RunConfig, TreeChoices,
     TreeRunConfig,
@@ -34,7 +35,7 @@ use lambda_c::{CompiledProgram, MachError};
 use selc::{ReplaySpace, Sel};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 static NEXT_SPACE_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -71,6 +72,10 @@ pub struct LcCandidates {
     /// — which is what makes seeding mid-run abandonment thresholds and
     /// the engine's `SharedBound` from it sound on warm repeats.
     best_seen: Arc<AtomicU64>,
+    /// The flow analysis of the program over the forced operations,
+    /// computed on first demand and shared across clones (the program is
+    /// immutable, so the verdict is too).
+    flow: Arc<OnceLock<FlowReport>>,
 }
 
 impl LcCandidates {
@@ -97,7 +102,31 @@ impl LcCandidates {
             id: NEXT_SPACE_ID.fetch_add(1, Ordering::Relaxed),
             used_depths: Arc::new(AtomicU64::new(0)),
             best_seen: Arc::new(AtomicU64::new(u64::MAX)),
+            flow: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// The compiled program backing this space (what a
+    /// [`NonNegLosses`] certificate must cover).
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// The [`lambda_c::flow`] verdict for this space: the program
+    /// analysed with the forced operations as decision ops. Computed once
+    /// per space (clones share the result through the space handle).
+    pub fn flow_report(&self) -> &FlowReport {
+        self.flow.get_or_init(|| {
+            let ops: Vec<&str> = self.ops.iter().map(String::as_str).collect();
+            flow::analyze(&self.program, &ops)
+        })
+    }
+
+    /// The non-negative-losses certificate, if the flow analysis can
+    /// prove one for this program — the value that unlocks mid-run
+    /// abandonment without an unchecked caller promise.
+    pub fn certificate(&self) -> Option<&NonNegLosses> {
+        self.flow_report().certificate()
     }
 
     /// Overrides the per-candidate machine fuel (0 = machine default).

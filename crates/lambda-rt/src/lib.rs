@@ -52,7 +52,10 @@ pub mod tree;
 pub use bridge::{LcCandidates, LcValue};
 pub use loss::{encode_scalar, OrdLossVal};
 pub use search::{
-    search_compiled_flat, search_compiled_flat_cached, CompiledEval, LcEntry, LcTransCache,
-    SUMMARY_TAG,
+    search_compiled_flat, search_compiled_flat_cached, search_compiled_flat_cached_unchecked,
+    CompiledEval, LcEntry, LcTransCache, SUMMARY_TAG,
 };
-pub use tree::{search_compiled, search_compiled_cached, search_compiled_cached_with, LcTreeEval};
+pub use tree::{
+    search_compiled, search_compiled_cached, search_compiled_cached_unchecked,
+    search_compiled_cached_with, LcTreeEval,
+};

@@ -31,6 +31,7 @@
 
 use crate::bridge::{LcCandidates, LcValue};
 use crate::loss::{encode_scalar, OrdLossVal};
+use lambda_c::flow::NonNegLosses;
 use lambda_c::machine::MachinePrune;
 use selc_cache::{CacheStats, ShardedCache, SubtreeSummary};
 use selc_engine::bound::SharedBound;
@@ -104,11 +105,25 @@ impl<'c> CompiledEval<'c> {
         self
     }
 
-    /// Enables mid-run abandonment of strictly dominated candidates.
-    /// **Caller asserts the program's emitted losses are non-negative**
-    /// (otherwise a partial sum is not a lower bound and pruning would be
-    /// unsound).
-    pub fn assuming_nonneg_losses(mut self) -> CompiledEval<'c> {
+    /// Enables mid-run abandonment of strictly dominated candidates,
+    /// backed by a [`lambda_c::flow`] certificate. A certificate that
+    /// does not cover this evaluator's program is ignored (sound — the
+    /// search just runs without abandonment), so a stale handle can never
+    /// smuggle pruning onto the wrong program.
+    pub fn with_nonneg_certificate(mut self, cert: &NonNegLosses) -> CompiledEval<'c> {
+        if cert.covers(self.cands.program()) {
+            self.prune_mid_run = true;
+        }
+        self
+    }
+
+    /// Enables mid-run abandonment of strictly dominated candidates
+    /// **without** a certificate: the caller asserts the program's
+    /// emitted losses are non-negative (otherwise a partial sum is not a
+    /// lower bound and pruning would be unsound — and could silently
+    /// change winners). Prefer [`CompiledEval::with_nonneg_certificate`];
+    /// the `flow-uncertified-nonneg` lint flags unexplained uses.
+    pub fn assuming_nonneg_losses_unchecked(mut self) -> CompiledEval<'c> {
         self.prune_mid_run = true;
         self
     }
@@ -202,9 +217,30 @@ pub fn search_compiled_flat<G: Engine>(
 }
 
 /// [`search_compiled_flat`] through a shared transposition table,
-/// optionally with mid-run abandonment (`nonneg` asserts non-negative
-/// losses).
+/// with mid-run abandonment iff `cert` is a covering
+/// [`lambda_c::flow`] certificate (pass
+/// [`LcCandidates::certificate`]).
 pub fn search_compiled_flat_cached<G: Engine>(
+    engine: &G,
+    cands: &LcCandidates,
+    cache: &LcTransCache,
+    cert: Option<&NonNegLosses>,
+) -> Option<(Outcome<OrdLossVal>, LcValue)> {
+    let mut eval = CompiledEval::new(cands.clone()).with_cache(cache);
+    if let Some(cert) = cert {
+        eval = eval.with_nonneg_certificate(cert);
+    }
+    let outcome = engine.search(cands.space(), &eval)?;
+    let value = cands.run_candidate(outcome.index).ground_value();
+    Some((outcome, value))
+}
+
+/// [`search_compiled_flat_cached`] with the pruning decision as a raw
+/// boolean: `nonneg = true` asserts non-negative emitted losses without
+/// a certificate (see
+/// [`CompiledEval::assuming_nonneg_losses_unchecked`]). Kept for
+/// differential tests that deliberately force both settings.
+pub fn search_compiled_flat_cached_unchecked<G: Engine>(
     engine: &G,
     cands: &LcCandidates,
     cache: &LcTransCache,
@@ -212,7 +248,10 @@ pub fn search_compiled_flat_cached<G: Engine>(
 ) -> Option<(Outcome<OrdLossVal>, LcValue)> {
     let mut eval = CompiledEval::new(cands.clone()).with_cache(cache);
     if nonneg {
-        eval = eval.assuming_nonneg_losses();
+        // The wrapper *is* the lint-gated escape hatch; the claim is the
+        // caller's, made at their call site.
+        // selc-lint: allow(flow-uncertified-nonneg)
+        eval = eval.assuming_nonneg_losses_unchecked();
     }
     let outcome = engine.search(cands.space(), &eval)?;
     let value = cands.run_candidate(outcome.index).ground_value();
@@ -237,25 +276,40 @@ mod tests {
         // Cold fill without abandonment: every candidate runs and stores.
         let cache = LcTransCache::unbounded(4);
         let (cold, _) =
-            search_compiled_flat_cached(&SequentialEngine::exhaustive(), &cands, &cache, false)
+            search_compiled_flat_cached(&SequentialEngine::exhaustive(), &cands, &cache, None)
                 .unwrap();
         assert_eq!((cold.index, cold.loss.clone()), (plain.index, plain.loss.clone()));
         assert_eq!(cold.stats.cache.insertions, cands.space() as u64);
         // Fully warm: the repeat search replays nothing.
         let (warm, wv) =
-            search_compiled_flat_cached(&ParallelEngine::with_threads(3), &cands, &cache, false)
+            search_compiled_flat_cached(&ParallelEngine::with_threads(3), &cands, &cache, None)
                 .unwrap();
         assert_eq!((warm.index, warm.loss.clone()), (plain.index, plain.loss.clone()));
         assert_eq!(wv, value);
         assert_eq!(warm.stats.cache.hits, cands.space() as u64, "fully warm");
         // Abandonment on a fresh cache: same winner, bit-identically.
+        let cert = cands.certificate().expect("chain losses are certifiably non-negative");
         for engine_prune in [false, true] {
             let fresh = LcTransCache::unbounded(4);
             let eng = ParallelEngine { threads: 3, chunk: 2, prune: engine_prune };
-            let (out, v) = search_compiled_flat_cached(&eng, &cands, &fresh, true).unwrap();
+            let (out, v) = search_compiled_flat_cached(&eng, &cands, &fresh, Some(cert)).unwrap();
             assert_eq!((out.index, out.loss.clone()), (plain.index, plain.loss.clone()));
             assert_eq!(v, value);
         }
+    }
+
+    #[test]
+    fn foreign_certificate_does_not_enable_pruning() {
+        // A certificate from a different compilation of the *same* syntax
+        // must not unlock abandonment: coverage is pointer identity.
+        let cands = chain_candidates(5);
+        let other = chain_candidates(5);
+        let foreign = other.certificate().unwrap();
+        let eval = CompiledEval::new(cands.clone()).with_nonneg_certificate(foreign);
+        assert!(!eval.prune_mid_run, "foreign certificate silently ignored");
+        let own = cands.certificate().unwrap();
+        let eval = CompiledEval::new(cands.clone()).with_nonneg_certificate(own);
+        assert!(eval.prune_mid_run);
     }
 
     #[test]
@@ -267,7 +321,7 @@ mod tests {
             LcCandidates::new(lambda_c::compile(&ex.expr).unwrap(), ["decide".to_owned()], 3);
         let cache = LcTransCache::unbounded(2);
         let (out, _) =
-            search_compiled_flat_cached(&SequentialEngine::exhaustive(), &cands, &cache, false)
+            search_compiled_flat_cached(&SequentialEngine::exhaustive(), &cands, &cache, None)
                 .unwrap();
         assert_eq!(cache.len(), 2, "one entry per used prefix, not per index");
         assert_eq!(out.loss.0, lambda_c::LossVal::scalar(2.0));
@@ -284,9 +338,14 @@ mod tests {
         let cands =
             LcCandidates::new(lambda_c::compile(&ex.expr).unwrap(), ["decide".to_owned()], 3);
         let cache = LcTransCache::unbounded(2);
-        let (out, _) =
-            search_compiled_flat_cached(&SequentialEngine::exhaustive(), &cands, &cache, true)
-                .unwrap();
+        let cert = cands.certificate().expect("pgm's 2*i losses are non-negative");
+        let (out, _) = search_compiled_flat_cached(
+            &SequentialEngine::exhaustive(),
+            &cands,
+            &cache,
+            Some(cert),
+        )
+        .unwrap();
         assert_eq!(out.loss.0, lambda_c::LossVal::scalar(2.0));
         assert_eq!(cache.len(), 1, "only the winning prefix is stored");
         assert_eq!(out.stats.pruned, 4, "the four false-prefix candidates abort");
@@ -297,9 +356,15 @@ mod tests {
         let cands = chain_candidates(7);
         let (plain, _) = search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
         let cache = LcTransCache::unbounded(2);
-        let (pruned, _) =
-            search_compiled_flat_cached(&SequentialEngine::pruning(), &cands, &cache, true)
-                .unwrap();
+        // The unchecked entry point must stay bit-identical to the
+        // certified one. // flow: certified (chain corpus, asserted above)
+        let (pruned, _) = search_compiled_flat_cached_unchecked(
+            &SequentialEngine::pruning(),
+            &cands,
+            &cache,
+            true,
+        )
+        .unwrap();
         assert_eq!((pruned.index, pruned.loss.clone()), (plain.index, plain.loss));
         assert!(
             pruned.stats.pruned > 0,

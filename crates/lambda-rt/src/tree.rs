@@ -17,8 +17,8 @@
 //! ([`TreeEval::seed_bits`]) before the first segment runs.
 //!
 //! * **Hints.** A choice point's accumulated ambient loss orders its
-//!   children best-first, and (for non-negative programs, the
-//!   [`search_compiled_cached`] `nonneg` assertion) doubles as a true
+//!   children best-first, and (for certified non-negative programs, the
+//!   [`search_compiled_cached`] certificate argument) doubles as a true
 //!   lower bound the engine checks against its `SharedBound` at every
 //!   interior node — a dominated subtree is skipped *whole*, where the
 //!   flat scan could only abandon its paths one replay at a time.
@@ -34,6 +34,7 @@
 use crate::bridge::{enforce_replay_contract, LcCandidates, LcValue};
 use crate::loss::{encode_scalar, OrdLossVal};
 use crate::search::{LcEntry, LcTransCache, SUMMARY_TAG};
+use lambda_c::flow::NonNegLosses;
 use lambda_c::machine::{ChoicePoint, Explored, MachinePrune};
 use lambda_c::MachError;
 use selc_cache::{CacheStats, SubtreeSummary};
@@ -81,10 +82,23 @@ impl<'c> LcTreeEval<'c> {
     }
 
     /// Enables mid-segment abandonment and subtree pruning on partial
-    /// losses. **Caller asserts the program's emitted losses are
-    /// non-negative** (otherwise a partial sum is not a lower bound and
-    /// pruning would be unsound).
-    pub fn assuming_nonneg_losses(mut self) -> LcTreeEval<'c> {
+    /// losses, backed by a [`lambda_c::flow`] certificate. A certificate
+    /// that does not cover this evaluator's program is ignored (sound —
+    /// the search just runs without pruning).
+    pub fn with_nonneg_certificate(mut self, cert: &NonNegLosses) -> LcTreeEval<'c> {
+        if cert.covers(self.cands.program()) {
+            self.nonneg = true;
+        }
+        self
+    }
+
+    /// Enables mid-segment abandonment and subtree pruning on partial
+    /// losses **without** a certificate: the caller asserts the
+    /// program's emitted losses are non-negative (otherwise a partial
+    /// sum is not a lower bound and pruning would be unsound). Prefer
+    /// [`LcTreeEval::with_nonneg_certificate`]; the
+    /// `flow-uncertified-nonneg` lint flags unexplained uses.
+    pub fn assuming_nonneg_losses_unchecked(mut self) -> LcTreeEval<'c> {
         self.nonneg = true;
         self
     }
@@ -194,6 +208,16 @@ impl TreeEval<OrdLossVal> for LcTreeEval<'_> {
         self.nonneg
     }
 
+    fn min_leaf_depth(&self) -> u32 {
+        // The flow shape's shortest-path decision count is the shallowest
+        // depth a leaf can occur at: splitting the parallel walk deeper
+        // than that makes sibling tasks replay the same shallow leaves.
+        // Purely a partitioning hint — an imprecise (small) bound costs
+        // parallelism, never correctness.
+        (u32::try_from(self.cands.flow_report().shape.min).unwrap_or(self.cands.depth()))
+            .min(self.cands.depth())
+    }
+
     fn cache_stats(&self) -> CacheStats {
         self.cache.map(|c| c.stats().since(&self.base)).unwrap_or_default()
     }
@@ -245,10 +269,30 @@ pub fn search_compiled(
     Some((outcome, value))
 }
 
-/// [`search_compiled`] through a shared transposition table, optionally
-/// with mid-segment abandonment and subtree pruning (`nonneg` asserts
-/// non-negative losses).
+/// [`search_compiled`] through a shared transposition table, with
+/// mid-segment abandonment and subtree pruning iff `cert` is a covering
+/// [`lambda_c::flow`] certificate (pass [`LcCandidates::certificate`]).
 pub fn search_compiled_cached(
+    engine: &TreeEngine,
+    cands: &LcCandidates,
+    cache: &LcTransCache,
+    cert: Option<&NonNegLosses>,
+) -> Option<(Outcome<OrdLossVal>, LcValue)> {
+    let mut eval = LcTreeEval::new(cands.clone()).with_cache(cache);
+    if let Some(cert) = cert {
+        eval = eval.with_nonneg_certificate(cert);
+    }
+    let outcome = engine.search(&eval)?;
+    let value = cands.run_candidate(outcome.index).ground_value();
+    Some((outcome, value))
+}
+
+/// [`search_compiled_cached`] with the pruning decision as a raw
+/// boolean: `nonneg = true` asserts non-negative emitted losses without
+/// a certificate (see
+/// [`LcTreeEval::assuming_nonneg_losses_unchecked`]). Kept for
+/// differential tests that deliberately force both settings.
+pub fn search_compiled_cached_unchecked(
     engine: &TreeEngine,
     cands: &LcCandidates,
     cache: &LcTransCache,
@@ -256,7 +300,10 @@ pub fn search_compiled_cached(
 ) -> Option<(Outcome<OrdLossVal>, LcValue)> {
     let mut eval = LcTreeEval::new(cands.clone()).with_cache(cache);
     if nonneg {
-        eval = eval.assuming_nonneg_losses();
+        // The wrapper *is* the lint-gated escape hatch; the claim is the
+        // caller's, made at their call site.
+        // selc-lint: allow(flow-uncertified-nonneg)
+        eval = eval.assuming_nonneg_losses_unchecked();
     }
     let outcome = engine.search(&eval)?;
     let value = cands.run_candidate(outcome.index).ground_value();
@@ -276,12 +323,12 @@ pub fn search_compiled_cached_with(
     engine: &TreeEngine,
     cands: &LcCandidates,
     cache: &LcTransCache,
-    nonneg: bool,
+    cert: Option<&NonNegLosses>,
     cancel: &CancelToken,
 ) -> SearchResult<OrdLossVal> {
     let mut eval = LcTreeEval::new(cands.clone()).with_cache(cache);
-    if nonneg {
-        eval = eval.assuming_nonneg_losses();
+    if let Some(cert) = cert {
+        eval = eval.with_nonneg_certificate(cert);
     }
     engine.search_with(&eval, cancel)
 }
@@ -338,19 +385,19 @@ mod tests {
         // Tree-cold fill…
         let cache = LcTransCache::unbounded(4);
         let (cold, _) =
-            search_compiled_cached(&TreeEngine::sequential(), &cands, &cache, false).unwrap();
+            search_compiled_cached(&TreeEngine::sequential(), &cands, &cache, None).unwrap();
         assert_eq!((cold.index, cold.loss.clone()), (reference.index, reference.loss.clone()));
         assert_eq!(cold.stats.cache.insertions, 64, "every leaf stored");
         // …answers the *flat* warm search without a single replay…
         let (warm_flat, wv) =
-            search_compiled_flat_cached(&SequentialEngine::exhaustive(), &cands, &cache, false)
+            search_compiled_flat_cached(&SequentialEngine::exhaustive(), &cands, &cache, None)
                 .unwrap();
         assert_eq!((warm_flat.index, warm_flat.loss.clone()), (cold.index, cold.loss.clone()));
         assert_eq!(wv, value);
         assert_eq!(warm_flat.stats.cache.hits, 64, "fully warm from the tree fill");
         // …and the warm tree repeat answers from the root probes alone.
         let (warm_tree, tv) =
-            search_compiled_cached(&TreeEngine::with_threads(2), &cands, &cache, false).unwrap();
+            search_compiled_cached(&TreeEngine::with_threads(2), &cands, &cache, None).unwrap();
         assert_eq!((warm_tree.index, warm_tree.loss.clone()), (cold.index, cold.loss));
         assert_eq!(tv, value);
         assert!(warm_tree.stats.cache.hits > 0, "stats: {:?}", warm_tree.stats);
@@ -361,21 +408,22 @@ mod tests {
         let cands = chain_candidates(10);
         let (reference, _) = search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
         let cache = LcTransCache::unbounded(4);
+        let cert = cands.certificate().expect("chain corpus is certified");
         // A pre-expired deadline: the walk aborts at its first interior
         // node, so (at most) a stray leaf scores and no summary lands.
         let expired = CancelToken::with_timeout(std::time::Duration::ZERO);
         let engine = TreeEngine::with_threads(2);
-        let result = search_compiled_cached_with(&engine, &cands, &cache, true, &expired);
+        let result = search_compiled_cached_with(&engine, &cands, &cache, Some(cert), &expired);
         assert!(result.was_cancelled());
         // The very next un-cancelled search over the same warm handle is
         // bit-identical to the sequential cold reference — whatever the
         // aborted run cached was sound.
-        let (out, _) = search_compiled_cached(&engine, &cands, &cache, true).unwrap();
+        let (out, _) = search_compiled_cached(&engine, &cands, &cache, Some(cert)).unwrap();
         assert_eq!((out.index, out.loss.clone()), (reference.index, reference.loss.clone()));
         // And an explicitly complete run through the cancellable entry
         // reports Complete with the same winner.
         let again =
-            search_compiled_cached_with(&engine, &cands, &cache, true, &CancelToken::never());
+            search_compiled_cached_with(&engine, &cands, &cache, Some(cert), &CancelToken::never());
         assert!(!again.was_cancelled());
         let out = again.into_outcome().unwrap();
         assert_eq!((out.index, out.loss), (reference.index, reference.loss));
@@ -385,12 +433,13 @@ mod tests {
     fn pruned_tree_searches_keep_the_winner_bit_identical() {
         let cands = chain_candidates(8);
         let (flat, value) = search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
+        let cert = cands.certificate().expect("chain corpus is certified");
         for engine in [
             TreeEngine { threads: 1, prune: true, split: 0, summaries: true },
             TreeEngine::with_threads(3),
         ] {
             let cache = LcTransCache::unbounded(4);
-            let (out, v) = search_compiled_cached(&engine, &cands, &cache, true).unwrap();
+            let (out, v) = search_compiled_cached(&engine, &cands, &cache, Some(cert)).unwrap();
             assert_eq!(
                 (out.index, out.loss.clone()),
                 (flat.index, flat.loss.clone()),

@@ -140,11 +140,16 @@ fn engine_search_reproduces_the_argmin_handler_bit_identically() {
 
         // Parallel, pruned, with the shared (possibly tiny, evicting)
         // transposition table; plus a per-seed fresh cache warm repeat.
+        // Pruning runs under the flow certificate, which the search
+        // corpus (non-negative constant losses) must always earn.
         let par = ParallelEngine::auto();
-        let (pout, pv) = search_compiled_flat_cached(&par, &cands, &shared_cache, true).unwrap();
+        let cert = cands.certificate().expect("search corpus is flow-certifiable");
+        let (pout, pv) =
+            search_compiled_flat_cached(&par, &cands, &shared_cache, Some(cert)).unwrap();
         assert_eq!((pout.index, pout.loss.0.clone()), (seq.index, reference.loss.clone()));
         assert_eq!(pv, ref_ground);
-        let (warm, wv) = search_compiled_flat_cached(&par, &cands, &shared_cache, true).unwrap();
+        let (warm, wv) =
+            search_compiled_flat_cached(&par, &cands, &shared_cache, Some(cert)).unwrap();
         assert_eq!((warm.index, warm.loss.0.clone()), (seq.index, reference.loss.clone()));
         assert_eq!(wv, ref_ground);
 

@@ -36,6 +36,11 @@ fn engine_pairs() -> Vec<(TreeEngine, TreeEngine)> {
 /// tables alike.
 fn assert_summaries_are_invisible(cands: &LcCandidates, label: &str) {
     let (flat, value) = search_compiled_flat(&SequentialEngine::exhaustive(), cands).unwrap();
+    // The whole corpus is built from non-negative constant losses, so
+    // the flow analysis must certify every program — pruned rounds run
+    // under the certificate, exactly like production callers.
+    let cert = cands.certificate();
+    assert!(cert.is_some(), "{label}: corpus programs are flow-certifiable");
     for (summarised, plain) in engine_pairs() {
         // A capacity-8 table under `deep_decide_chain`-sized spaces
         // churns constantly: summaries are installed and evicted within
@@ -48,8 +53,8 @@ fn assert_summaries_are_invisible(cands: &LcCandidates, label: &str) {
                     cache.advance_epoch();
                 }
                 let what = |k: &str| format!("{label}: {k} round {round} {summarised:?}");
-                let (s, sv) = search_compiled_cached(&summarised, cands, &cache, true).unwrap();
-                let (p, pv) = search_compiled_cached(&plain, cands, &cache, true).unwrap();
+                let (s, sv) = search_compiled_cached(&summarised, cands, &cache, cert).unwrap();
+                let (p, pv) = search_compiled_cached(&plain, cands, &cache, cert).unwrap();
                 assert_eq!(
                     (s.index, s.loss.clone()),
                     (flat.index, flat.loss.clone()),
@@ -102,9 +107,9 @@ fn warm_repeat_probes_each_leaf_once_and_misses_nothing() {
         TreeEngine { threads: 2, prune: false, split: 1, summaries: false },
     ] {
         let cache = LcTransCache::unbounded(4);
-        let (cold, _) = search_compiled_cached(&engine, &cands, &cache, false).unwrap();
+        let (cold, _) = search_compiled_cached(&engine, &cands, &cache, None).unwrap();
         assert!(cold.stats.cache.insertions >= leaves, "cold fill stores every leaf");
-        let (warm, _) = search_compiled_cached(&engine, &cands, &cache, false).unwrap();
+        let (warm, _) = search_compiled_cached(&engine, &cands, &cache, None).unwrap();
         assert_eq!(
             warm.stats.cache.hits, leaves,
             "{engine:?}: one probe per leaf position: {:?}",
@@ -127,9 +132,9 @@ fn warm_summarised_repeat_answers_from_summaries() {
     let cands = chain_candidates(9);
     let engine = TreeEngine { threads: 1, prune: false, split: 0, summaries: true };
     let cache = LcTransCache::unbounded(4);
-    let (cold, value) = search_compiled_cached(&engine, &cands, &cache, false).unwrap();
+    let (cold, value) = search_compiled_cached(&engine, &cands, &cache, None).unwrap();
     assert!(cold.stats.summary.exact_installs > 0, "cold fill installs summaries");
-    let (warm, wv) = search_compiled_cached(&engine, &cands, &cache, false).unwrap();
+    let (warm, wv) = search_compiled_cached(&engine, &cands, &cache, None).unwrap();
     assert_eq!((warm.index, warm.loss.clone()), (cold.index, cold.loss.clone()));
     assert_eq!(wv, value);
     assert_eq!(warm.stats.summary.exact_hits, 1, "answered at the root: {:?}", warm.stats);
@@ -142,8 +147,9 @@ fn warm_summarised_repeat_answers_from_summaries() {
     // the fully-explored subtrees and bound entries re-justify the cuts.
     let pruned = TreeEngine { threads: 1, prune: true, split: 0, summaries: true };
     let pcache = LcTransCache::unbounded(4);
-    let (pcold, _) = search_compiled_cached(&pruned, &cands, &pcache, true).unwrap();
-    let (pwarm, _) = search_compiled_cached(&pruned, &cands, &pcache, true).unwrap();
+    let cert = cands.certificate().expect("chain corpus is flow-certifiable");
+    let (pcold, _) = search_compiled_cached(&pruned, &cands, &pcache, Some(cert)).unwrap();
+    let (pwarm, _) = search_compiled_cached(&pruned, &cands, &pcache, Some(cert)).unwrap();
     assert_eq!((pwarm.index, pwarm.loss.clone()), (pcold.index, pcold.loss));
     assert_eq!(pwarm.stats.evaluated, 0, "pruned warm repeat: {:?}", pwarm.stats);
     assert!(pwarm.stats.summary.probes() > 0, "summaries carried it: {:?}", pwarm.stats);
@@ -156,13 +162,13 @@ fn epoch_bump_retires_summaries() {
     let cands = chain_candidates(8);
     let engine = TreeEngine { threads: 1, prune: false, split: 0, summaries: true };
     let cache = LcTransCache::unbounded(4);
-    let (cold, _) = search_compiled_cached(&engine, &cands, &cache, false).unwrap();
+    let (cold, _) = search_compiled_cached(&engine, &cands, &cache, None).unwrap();
     cache.advance_epoch();
-    let (bumped, _) = search_compiled_cached(&engine, &cands, &cache, false).unwrap();
+    let (bumped, _) = search_compiled_cached(&engine, &cands, &cache, None).unwrap();
     assert_eq!((bumped.index, bumped.loss.clone()), (cold.index, cold.loss));
     assert_eq!(bumped.stats.summary.exact_hits, 0, "stale summaries must not answer");
     assert!(bumped.stats.summary.exact_installs > 0, "the bumped run refills the table");
-    let (rewarm, _) = search_compiled_cached(&engine, &cands, &cache, false).unwrap();
+    let (rewarm, _) = search_compiled_cached(&engine, &cands, &cache, None).unwrap();
     assert_eq!(rewarm.stats.summary.exact_hits, 1, "refilled: answered at the root again");
 }
 
@@ -174,13 +180,14 @@ fn epoch_bump_retires_summaries() {
 fn warm_space_seeds_the_bound_over_a_cold_table() {
     let cands = chain_candidates(8);
     let engine = TreeEngine { threads: 1, prune: true, split: 0, summaries: false };
+    let cert = cands.certificate().expect("chain corpus is flow-certifiable");
     let (first, _) =
-        search_compiled_cached(&engine, &cands, &LcTransCache::unbounded(4), true).unwrap();
+        search_compiled_cached(&engine, &cands, &LcTransCache::unbounded(4), Some(cert)).unwrap();
     assert!(first.stats.pruned > 0, "deep chains prune: {:?}", first.stats);
     // Fresh table: nothing to answer from, but `seed_bits` arms the
     // bound with the discovery run's winner before anything evaluates.
     let (seeded, _) =
-        search_compiled_cached(&engine, &cands, &LcTransCache::unbounded(4), true).unwrap();
+        search_compiled_cached(&engine, &cands, &LcTransCache::unbounded(4), Some(cert)).unwrap();
     assert_eq!((seeded.index, seeded.loss.clone()), (first.index, first.loss));
     assert!(
         seeded.stats.pruned >= first.stats.pruned,
@@ -213,13 +220,15 @@ proptest! {
         );
         let (flat, value) =
             search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
+        prop_assert!(cands.certificate().is_some(), "search corpus is flow-certifiable");
         let cache = LcTransCache::clock_lru(2, 8);
         for engine in [
             TreeEngine { threads: 2, prune: true, split: 1, summaries: true },
             TreeEngine { threads: 2, prune: true, split: 1, summaries: false },
             TreeEngine { threads: 1, prune: false, split: 0, summaries: true },
         ] {
-            let (out, v) = search_compiled_cached(&engine, &cands, &cache, true).unwrap();
+            let (out, v) =
+                search_compiled_cached(&engine, &cands, &cache, cands.certificate()).unwrap();
             prop_assert_eq!(out.index, flat.index);
             prop_assert_eq!(out.loss.clone(), flat.loss.clone());
             prop_assert_eq!(v, value.clone());

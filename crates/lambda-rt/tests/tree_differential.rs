@@ -32,6 +32,10 @@ fn tree_engines() -> Vec<TreeEngine> {
 /// Runs every tree configuration against the flat sequential reference.
 fn assert_tree_equals_flat(cands: &LcCandidates, label: &str) {
     let (flat, value) = search_compiled_flat(&SequentialEngine::exhaustive(), cands).unwrap();
+    // The corpus emits only non-negative constant losses, so every
+    // program must earn a flow certificate; pruned rounds run under it.
+    let cert = cands.certificate();
+    assert!(cert.is_some(), "{label}: corpus programs are flow-certifiable");
     let check = |out: &Outcome<OrdLossVal>, v: &lambda_rt::LcValue, what: &str| {
         assert_eq!(
             (out.index, out.loss.clone()),
@@ -45,25 +49,21 @@ fn assert_tree_equals_flat(cands: &LcCandidates, label: &str) {
         check(&out, &v, &format!("tree {engine:?}"));
         // Cached, cold (fresh tiny-capacity-respecting shared handle)…
         let cache = LcTransCache::from_env();
-        let (out, v) = search_compiled_cached(&engine, cands, &cache, true).unwrap();
+        let (out, v) = search_compiled_cached(&engine, cands, &cache, cert).unwrap();
         check(&out, &v, &format!("tree cached+pruned {engine:?}"));
         // …and warm over whatever the pruned fill left behind.
-        let (out, v) = search_compiled_cached(&engine, cands, &cache, true).unwrap();
+        let (out, v) = search_compiled_cached(&engine, cands, &cache, cert).unwrap();
         check(&out, &v, &format!("tree warm {engine:?}"));
         // Cross-warming: a flat search over the tree-filled table, and a
         // tree search over a flat-filled one, share keys bit-for-bit.
         let (out, v) =
-            search_compiled_flat_cached(&SequentialEngine::exhaustive(), cands, &cache, true)
+            search_compiled_flat_cached(&SequentialEngine::exhaustive(), cands, &cache, cert)
                 .unwrap();
         check(&out, &v, &format!("flat over tree-warmed table {engine:?}"));
         let flat_filled = LcTransCache::from_env();
-        let _ = search_compiled_flat_cached(
-            &SequentialEngine::exhaustive(),
-            cands,
-            &flat_filled,
-            false,
-        );
-        let (out, v) = search_compiled_cached(&engine, cands, &flat_filled, false).unwrap();
+        let _ =
+            search_compiled_flat_cached(&SequentialEngine::exhaustive(), cands, &flat_filled, None);
+        let (out, v) = search_compiled_cached(&engine, cands, &flat_filled, None).unwrap();
         check(&out, &v, &format!("tree over flat-warmed table {engine:?}"));
     }
 }
@@ -109,12 +109,13 @@ fn all_tied_paths_break_to_the_all_true_candidate() {
     }
     let e = handle0(testgen::argmin_handler(&Type::loss(), &Effect::empty()), body);
     let cands = LcCandidates::new(compile(&e).unwrap(), ["decide".to_owned()], 3);
+    let cert = cands.certificate().expect("constant-loss program is flow-certifiable");
     for engine in tree_engines() {
         let (out, _) = search_compiled(&engine, &cands).unwrap();
         assert_eq!(out.index, 0, "{engine:?}");
         assert_eq!(out.loss.0, LossVal::scalar(3.0), "{engine:?}");
         let cache = LcTransCache::from_env();
-        let (out, _) = search_compiled_cached(&engine, &cands, &cache, true).unwrap();
+        let (out, _) = search_compiled_cached(&engine, &cands, &cache, Some(cert)).unwrap();
         assert_eq!(out.index, 0, "cached {engine:?}");
     }
 }
@@ -147,7 +148,8 @@ proptest! {
             search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
         let cache = LcTransCache::from_env();
         for engine in [TreeEngine::auto(), TreeEngine::sequential()] {
-            let (out, v) = search_compiled_cached(&engine, &cands, &cache, true).unwrap();
+            let (out, v) =
+                search_compiled_cached(&engine, &cands, &cache, cands.certificate()).unwrap();
             prop_assert_eq!(out.index, flat.index);
             prop_assert_eq!(out.loss.clone(), flat.loss.clone());
             prop_assert_eq!(v, value.clone());

@@ -59,4 +59,4 @@ pub use protocol::{
 };
 pub use server::{ServeConfig, Server, ServerHandle, DEFAULT_MAX_SESSIONS, DEFAULT_PORT};
 pub use tenants::{Tenant, Tenants};
-pub use workload::{validate, Ran};
+pub use workload::{check_decision_shape, validate, Ran, WarmthPolicy};

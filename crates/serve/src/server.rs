@@ -448,7 +448,7 @@ fn serve_session(mut stream: TcpStream, shared: &Shared) {
                         if let Some(handle) = watcher {
                             shared.track_watcher(handle);
                         }
-                        let ran = workload::run(&tenant, &workload, &cancel);
+                        let ran = workload::run(&tenant, &workload, &cancel, deadline_ms > 0);
                         // The watcher wakes off the bell (or within one
                         // poll interval if it is mid-peek) and exits;
                         // its tracked handle is reaped later, off this
@@ -460,6 +460,10 @@ fn serve_session(mut stream: TcpStream, shared: &Shared) {
                                 SERVE_METRICS.deadline_timeouts.inc();
                                 Response::Timeout { partial }
                             }
+                            // The flow shape guard refused the compiled
+                            // program: same client-visible shape as a
+                            // parameter-level validation failure.
+                            Ran::Rejected(msg) => Response::Malformed(msg),
                         }
                     }
                 };

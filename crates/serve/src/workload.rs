@@ -10,8 +10,10 @@
 
 use crate::protocol::{WireStats, Workload};
 use crate::tenants::Tenant;
-use lambda_rt::search_compiled_cached_with;
+use lambda_rt::{search_compiled_cached_with, LcCandidates};
 use selc_engine::{CancelToken, SearchResult, SearchStats, TreeEngine};
+use selc_obs::{metrics, Counter};
+use std::sync::LazyLock;
 
 /// Largest decide chain the server will compile (space `2^24`).
 pub const MAX_CHAIN_CHOICES: u8 = 24;
@@ -24,6 +26,75 @@ pub const MAX_GAME_DEPTH: u8 = 12;
 
 /// Cap on `branching^depth` (the leaf count actually allocated).
 pub const MAX_GAME_LEAVES: u64 = 1 << 20;
+
+/// Workload-layer registry handles: which warmth policy chain runs
+/// chose, and how many compiled programs the flow guard refused. All
+/// of these ride along in a `Metrics` response (the snapshot serialises
+/// the whole registry), so a scraper can see a tenant population's
+/// prune-eligibility without a protocol change.
+struct FlowMetrics {
+    policy_certified_prune: Counter,
+    policy_exact_summaries: Counter,
+    shape_rejected: Counter,
+}
+
+static FLOW_METRICS: LazyLock<FlowMetrics> = LazyLock::new(|| FlowMetrics {
+    policy_certified_prune: metrics::counter("serve.policy.certified_prune"),
+    policy_exact_summaries: metrics::counter("serve.policy.exact_summaries"),
+    shape_rejected: metrics::counter("serve.flow.shape_rejected"),
+});
+
+/// How a chain search uses the tenant's transposition table.
+///
+/// The two goods are in tension: mid-run pruning abandons dominated
+/// subtrees, which is the fastest route to a winner but leaves those
+/// subtrees without exact summaries; an unpruned pass resolves every
+/// interior node exactly, so the cold run installs exact summaries all
+/// the way to the root and a warm repeat answers in O(depth). The
+/// server used to hard-code the warmth side of that trade; now the
+/// choice is explicit and driven by what is actually known.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarmthPolicy {
+    /// Certificate-backed mid-run pruning: only available when
+    /// `lambda_c::flow` certified the program's losses non-negative,
+    /// and only chosen when the request is deadline-bound — a client
+    /// racing a clock wants time-to-winner, not future warmth.
+    CertifiedPrune,
+    /// No pruning: the cold pass pays full price so repeats are
+    /// O(depth). The default, and the only option for programs the
+    /// flow analysis could not certify.
+    ExactSummaries,
+}
+
+impl WarmthPolicy {
+    /// Picks the policy from the flow verdict and the request shape.
+    pub fn choose(certified: bool, deadline_bound: bool) -> WarmthPolicy {
+        if certified && deadline_bound {
+            WarmthPolicy::CertifiedPrune
+        } else {
+            WarmthPolicy::ExactSummaries
+        }
+    }
+}
+
+/// Flow-derived depth guard for compiled chain programs.
+///
+/// `validate` caps the *requested* parameter; this caps what the
+/// compiled program actually does. The static decision-shape analysis
+/// bounds how many decision ops any forced path can resolve, so a
+/// generator bug (or a future user-supplied program) whose true depth
+/// exceeds the cap — or cannot be bounded at all — is refused before
+/// the engine builds its tree.
+pub fn check_decision_shape(cands: &LcCandidates) -> Result<(), String> {
+    let shape = cands.flow_report().shape;
+    match shape.max {
+        Some(max) if max <= u64::from(MAX_CHAIN_CHOICES) => Ok(()),
+        Some(max) => Err(format!(
+            "chain program resolves up to {max} decisions, exceeding {MAX_CHAIN_CHOICES}"
+        )),
+        None => Err("chain program's decision count is statically unbounded".to_owned()),
+    }
+}
 
 /// Checks a workload's parameters against the resource caps. The error
 /// string goes back to the client verbatim (as `Response::Malformed`).
@@ -73,6 +144,10 @@ pub enum Ran {
         /// Sound partial best, when the search model has one.
         partial: Option<(u64, f64)>,
     },
+    /// The compiled program failed the flow-derived shape guard. The
+    /// string goes back to the client as `Response::Malformed`, same
+    /// as a parameter-level `validate` failure.
+    Rejected(String),
 }
 
 fn wire_stats(s: &SearchStats) -> WireStats {
@@ -93,22 +168,40 @@ fn wire_stats(s: &SearchStats) -> WireStats {
 }
 
 /// Runs a **validated** workload for `tenant` under `cancel`.
+/// `deadline_bound` is whether the request carried a real deadline
+/// (`deadline_ms > 0`); it feeds the [`WarmthPolicy`] choice.
 ///
 /// # Panics
 ///
 /// Panics if the workload was not [`validate`]d (e.g. a zero-choice
 /// chain would make the engines' non-empty-space invariants fire).
-pub fn run(tenant: &Tenant, w: &Workload, cancel: &CancelToken) -> Ran {
+pub fn run(tenant: &Tenant, w: &Workload, cancel: &CancelToken, deadline_bound: bool) -> Ran {
     match *w {
         Workload::Chain { choices } => {
             let cands = tenant.chain(choices);
+            if let Err(msg) = check_decision_shape(&cands) {
+                FLOW_METRICS.shape_rejected.inc();
+                return Ran::Rejected(msg);
+            }
             let engine = TreeEngine::auto();
-            // `nonneg = false`: no pruning means every interior node
-            // resolves *exactly*, so the cold pass installs exact
-            // subtree summaries all the way to the root — that is what
-            // lets a warm repeat answer in O(depth) instead of merely
-            // pruning fast, and warmth is this server's whole point.
-            match search_compiled_cached_with(&engine, &cands, &tenant.lc, false, cancel) {
+            // Prune only behind a flow certificate *and* a live
+            // deadline: an uncertified program must not prune at all
+            // (negative losses would make pruning unsound), and an
+            // unhurried request prefers exact summaries — the unpruned
+            // cold pass is what lets a warm repeat answer in O(depth),
+            // and warmth is this server's whole point.
+            let policy = WarmthPolicy::choose(cands.flow_report().certified(), deadline_bound);
+            let cert = match policy {
+                WarmthPolicy::CertifiedPrune => {
+                    FLOW_METRICS.policy_certified_prune.inc();
+                    cands.certificate()
+                }
+                WarmthPolicy::ExactSummaries => {
+                    FLOW_METRICS.policy_exact_summaries.inc();
+                    None
+                }
+            };
+            match search_compiled_cached_with(&engine, &cands, &tenant.lc, cert, cancel) {
                 SearchResult::Complete(out) => {
                     // `validate` rejects zero-choice chains, so the
                     // space is provably non-empty here; an empty argmin
@@ -172,11 +265,59 @@ mod tests {
     }
 
     #[test]
+    fn warmth_policy_prunes_only_certified_deadline_bound_requests() {
+        use WarmthPolicy::{CertifiedPrune, ExactSummaries};
+        assert_eq!(WarmthPolicy::choose(true, true), CertifiedPrune);
+        assert_eq!(WarmthPolicy::choose(true, false), ExactSummaries);
+        assert_eq!(WarmthPolicy::choose(false, true), ExactSummaries);
+        assert_eq!(WarmthPolicy::choose(false, false), ExactSummaries);
+    }
+
+    #[test]
+    fn shape_guard_accepts_served_chains_and_refuses_over_deep_programs() {
+        let tenants = Tenants::default();
+        let tenant = tenants.get_or_create(9);
+        assert!(check_decision_shape(&tenant.chain(MAX_CHAIN_CHOICES)).is_ok());
+        // A program whose *actual* static decision depth exceeds the
+        // cap is refused even though nothing at the parameter layer
+        // could have caught it.
+        let deep = lambda_c::testgen::deep_decide_chain(u32::from(MAX_CHAIN_CHOICES) + 6);
+        let compiled = lambda_c::compile(&deep.expr).expect("testgen chains compile");
+        let cands = lambda_rt::LcCandidates::new(
+            compiled,
+            ["decide".to_owned()],
+            u32::from(MAX_CHAIN_CHOICES) + 6,
+        );
+        let err = check_decision_shape(&cands).unwrap_err();
+        assert!(err.contains("exceeding"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn deadline_bound_certified_chains_prune_and_keep_the_exact_winner() {
+        let tenants = Tenants::default();
+        let tenant = tenants.get_or_create(8);
+        let w = Workload::Chain { choices: 8 };
+        let cands = tenant.chain(8);
+        assert!(cands.certificate().is_some(), "the served chain corpus must be flow-certifiable");
+        // deadline_bound = true with a certified program takes the
+        // CertifiedPrune arm; the winner must still be bit-identical
+        // to the exhaustive reference.
+        let Ran::Done { index, loss, .. } = run(&tenant, &w, &CancelToken::never(), true) else {
+            panic!("never token cannot time out");
+        };
+        let (reference, _) =
+            lambda_rt::search_compiled_flat(&SequentialEngine::exhaustive(), &cands).unwrap();
+        assert_eq!(index, reference.index as u64);
+        assert_eq!(loss.to_bits(), reference.loss.0.as_scalar().to_bits());
+    }
+
+    #[test]
     fn served_chain_winners_match_a_direct_flat_scan() {
         let tenants = Tenants::default();
         let tenant = tenants.get_or_create(1);
         let w = Workload::Chain { choices: 7 };
-        let Ran::Done { index, loss, stats } = run(&tenant, &w, &CancelToken::never()) else {
+        let Ran::Done { index, loss, stats } = run(&tenant, &w, &CancelToken::never(), false)
+        else {
             panic!("never token cannot time out");
         };
         let cands = tenant.chain(7);
@@ -187,7 +328,7 @@ mod tests {
         assert!(stats.cache_insertions > 0, "cold run fills the tenant table");
         // Warm repeat: answered from the tenant's summaries.
         let Ran::Done { index: i2, loss: l2, stats: warm } =
-            run(&tenant, &w, &CancelToken::never())
+            run(&tenant, &w, &CancelToken::never(), false)
         else {
             panic!("warm repeat cannot time out");
         };
@@ -205,7 +346,8 @@ mod tests {
         let tenants = Tenants::default();
         let tenant = tenants.get_or_create(2);
         let w = Workload::Game { branching: 3, depth: 5, seed: 11 };
-        let Ran::Done { index, loss, stats } = run(&tenant, &w, &CancelToken::never()) else {
+        let Ran::Done { index, loss, stats } = run(&tenant, &w, &CancelToken::never(), false)
+        else {
             panic!("never token cannot time out");
         };
         let tree = selc_games::alternating::GameTree::random(3, 5, 11);
@@ -214,7 +356,7 @@ mod tests {
         assert_eq!((index, loss.to_bits()), (expect, value.to_bits()));
         assert!(stats.evaluated > 0);
         // Warm repeat resolves at the root entry: zero leaves.
-        let Ran::Done { stats: warm, .. } = run(&tenant, &w, &CancelToken::never()) else {
+        let Ran::Done { stats: warm, .. } = run(&tenant, &w, &CancelToken::never(), false) else {
             panic!("warm repeat cannot time out");
         };
         assert_eq!(warm.evaluated, 0, "warm game answered from the root Exact entry");
@@ -228,17 +370,17 @@ mod tests {
         let dead = CancelToken::never();
         dead.cancel();
         assert!(matches!(
-            run(&tenant, &Workload::Chain { choices: 6 }, &dead),
+            run(&tenant, &Workload::Chain { choices: 6 }, &dead, false),
             Ran::TimedOut { .. }
         ));
         assert_eq!(
-            run(&tenant, &Workload::Game { branching: 2, depth: 6, seed: 1 }, &dead),
+            run(&tenant, &Workload::Game { branching: 2, depth: 6, seed: 1 }, &dead, false),
             Ran::TimedOut { partial: None }
         );
         // The timeouts must not have poisoned the tenant: a real run
         // still matches the direct reference.
         let Ran::Done { index, .. } =
-            run(&tenant, &Workload::Chain { choices: 6 }, &CancelToken::never())
+            run(&tenant, &Workload::Chain { choices: 6 }, &CancelToken::never(), false)
         else {
             panic!("never token cannot time out");
         };
